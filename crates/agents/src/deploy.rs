@@ -1,0 +1,102 @@
+//! One-call deployment of a full agent set for a site.
+
+use crate::ganglia::GangliaAgent;
+use crate::netlogger::NetLoggerAgent;
+use crate::nws::NwsAgent;
+use crate::scms::ScmsAgent;
+use crate::snmp::SnmpAgent;
+use gridrm_resmodel::SiteModel;
+use gridrm_simnet::Network;
+use std::sync::Arc;
+
+/// Handles to every agent deployed for one site.
+pub struct SiteAgents {
+    /// The site they observe.
+    pub site: Arc<SiteModel>,
+    /// One SNMP agent per host.
+    pub snmp: Vec<Arc<SnmpAgent>>,
+    /// The cluster-level Ganglia agent (head node).
+    pub ganglia: Arc<GangliaAgent>,
+    /// The NWS agent (head node).
+    pub nws: Arc<NwsAgent>,
+    /// The NetLogger agent (head node).
+    pub netlogger: Arc<NetLoggerAgent>,
+    /// The SCMS agent (head node).
+    pub scms: Arc<ScmsAgent>,
+}
+
+impl SiteAgents {
+    /// Run every agent's periodic work (trap thresholds, log generation).
+    /// Call after advancing virtual time. Returns `(traps, log_events)`.
+    pub fn pump(&self) -> (usize, usize) {
+        let traps = self.snmp.iter().filter(|a| a.pump()).count();
+        let events = self.netlogger.pump();
+        (traps, events)
+    }
+}
+
+/// Deploy the standard agent set for `site` onto `network`:
+/// an SNMP agent on every host (community `public`) and Ganglia, NWS,
+/// NetLogger and SCMS agents on the head node.
+pub fn deploy_site(network: &Arc<Network>, site: Arc<SiteModel>) -> SiteAgents {
+    let mut snmp = Vec::with_capacity(site.host_count());
+    for hostname in site.hostnames() {
+        let agent = SnmpAgent::new(site.clone(), &hostname, "public");
+        network.register(&agent.address(), agent.clone());
+        snmp.push(agent);
+    }
+    let ganglia = GangliaAgent::new(site.clone());
+    network.register(&ganglia.address(), ganglia.clone());
+    let nws = NwsAgent::new(site.clone());
+    network.register(&nws.address(), nws.clone());
+    let netlogger = NetLoggerAgent::new(site.clone());
+    netlogger.attach_network(network.clone());
+    network.register(&netlogger.address(), netlogger.clone());
+    let scms = ScmsAgent::new(site.clone());
+    network.register(&scms.address(), scms.clone());
+    SiteAgents {
+        site,
+        snmp,
+        ganglia,
+        nws,
+        netlogger,
+        scms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridrm_resmodel::SiteSpec;
+    use gridrm_simnet::SimClock;
+
+    #[test]
+    fn deploy_registers_all_addresses() {
+        let net = Network::new(SimClock::new(), 1);
+        let site = SiteModel::generate(3, &SiteSpec::new("d", 3, 2));
+        site.advance_to(10_000);
+        let agents = deploy_site(&net, site);
+        let addrs = net.scan();
+        assert!(addrs.contains(&"node00.d:snmp".to_owned()));
+        assert!(addrs.contains(&"node02.d:snmp".to_owned()));
+        assert!(addrs.contains(&"node00.d:ganglia".to_owned()));
+        assert!(addrs.contains(&"node00.d:nws".to_owned()));
+        assert!(addrs.contains(&"node00.d:netlogger".to_owned()));
+        assert!(addrs.contains(&"node00.d:scms".to_owned()));
+        assert_eq!(agents.snmp.len(), 3);
+        // All five protocol services answer.
+        assert!(net.request("c", "node00.d:ganglia", b"").is_ok());
+        assert!(net.request("c", "node00.d:scms", b"SUMMARY").is_ok());
+    }
+
+    #[test]
+    fn pump_produces_events() {
+        let net = Network::new(SimClock::new(), 1);
+        let site = SiteModel::generate(3, &SiteSpec::new("d", 2, 2));
+        site.advance_to(10_000);
+        let agents = deploy_site(&net, site);
+        let (traps, events) = agents.pump();
+        assert_eq!(traps, 0); // no sinks configured
+        assert!(events > 0);
+    }
+}

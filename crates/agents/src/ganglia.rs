@@ -1,0 +1,237 @@
+//! The Ganglia gmond-style agent: any connection returns the whole
+//! cluster's state as one XML document — the paper's archetype of a
+//! *coarse-grained* data source whose responses need real parsing (§3.2.4).
+
+use gridrm_resmodel::{HostSnapshot, SiteModel};
+use gridrm_simnet::Service;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Escape the five XML special characters.
+pub fn xml_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn metric(out: &mut String, name: &str, val: impl std::fmt::Display, ty: &str, units: &str) {
+    let _ = writeln!(
+        out,
+        r#"<METRIC NAME="{name}" VAL="{val}" TYPE="{ty}" UNITS="{units}"/>"#
+    );
+}
+
+/// Render one host element with the standard gmond metric set.
+fn host_xml(out: &mut String, snap: &HostSnapshot) {
+    let spec = &snap.spec;
+    let ip = spec
+        .nics
+        .first()
+        .map(|(_, ip, _)| ip.clone())
+        .unwrap_or_default();
+    let _ = writeln!(
+        out,
+        r#"<HOST NAME="{}" IP="{}" REPORTED="{}">"#,
+        xml_escape(&spec.hostname),
+        ip,
+        snap.at_ms / 1000
+    );
+    metric(out, "load_one", format!("{:.2}", snap.load1), "float", "");
+    metric(out, "load_five", format!("{:.2}", snap.load5), "float", "");
+    metric(
+        out,
+        "load_fifteen",
+        format!("{:.2}", snap.load15),
+        "float",
+        "",
+    );
+    metric(out, "cpu_num", spec.ncpu, "uint16", "CPUs");
+    metric(out, "cpu_speed", spec.clock_mhz, "uint32", "MHz");
+    metric(
+        out,
+        "cpu_user",
+        format!("{:.1}", snap.cpu_user),
+        "float",
+        "%",
+    );
+    metric(
+        out,
+        "cpu_system",
+        format!("{:.1}", snap.cpu_system),
+        "float",
+        "%",
+    );
+    metric(
+        out,
+        "cpu_idle",
+        format!("{:.1}", snap.cpu_idle),
+        "float",
+        "%",
+    );
+    metric(out, "mem_total", spec.mem_mb * 1024, "uint32", "KB");
+    metric(
+        out,
+        "mem_free",
+        snap.mem_available_mb * 1024,
+        "uint32",
+        "KB",
+    );
+    metric(out, "swap_total", spec.swap_mb * 1024, "uint32", "KB");
+    metric(
+        out,
+        "swap_free",
+        snap.swap_available_mb * 1024,
+        "uint32",
+        "KB",
+    );
+    let disk_total_mb: u64 = snap.filesystems.iter().map(|f| f.size_mb).sum();
+    let disk_free_mb: u64 = snap.filesystems.iter().map(|f| f.available_mb).sum();
+    metric(
+        out,
+        "disk_total",
+        format!("{:.3}", disk_total_mb as f64 / 1024.0),
+        "double",
+        "GB",
+    );
+    metric(
+        out,
+        "disk_free",
+        format!("{:.3}", disk_free_mb as f64 / 1024.0),
+        "double",
+        "GB",
+    );
+    if let Some(nic) = snap.nics.first() {
+        metric(out, "bytes_in", nic.rx_bytes, "float", "bytes/sec");
+        metric(out, "bytes_out", nic.tx_bytes, "float", "bytes/sec");
+    }
+    metric(out, "boottime", snap.boot_time_ms / 1000, "uint32", "s");
+    metric(out, "os_name", xml_escape(&spec.os.name), "string", "");
+    metric(
+        out,
+        "os_release",
+        xml_escape(&spec.os.release),
+        "string",
+        "",
+    );
+    metric(out, "machine_type", "x86", "string", "");
+    let _ = writeln!(out, "</HOST>");
+}
+
+/// The gmond-style agent for one site. Register at `"{head}:ganglia"`.
+/// The request payload is ignored (connecting to gmond's TCP port dumps
+/// the XML), matching real gmond behaviour.
+pub struct GangliaAgent {
+    site: Arc<SiteModel>,
+    head: String,
+}
+
+impl GangliaAgent {
+    /// Agent for `site`, hosted on the head node.
+    pub fn new(site: Arc<SiteModel>) -> Arc<GangliaAgent> {
+        let head = site
+            .hostnames()
+            .first()
+            .cloned()
+            .unwrap_or_else(|| format!("head.{}", site.name()));
+        Arc::new(GangliaAgent { site, head })
+    }
+
+    /// The simnet address to register at.
+    pub fn address(&self) -> String {
+        format!("{}:ganglia", self.head)
+    }
+
+    /// Produce the full cluster XML dump.
+    pub fn dump(&self) -> String {
+        let snaps = self.site.all_snapshots();
+        let localtime = snaps.first().map(|s| s.at_ms / 1000).unwrap_or(0);
+        let mut out = String::with_capacity(snaps.len() * 1200 + 256);
+        let _ = writeln!(out, r#"<?xml version="1.0" encoding="ISO-8859-1"?>"#);
+        let _ = writeln!(out, r#"<GANGLIA_XML VERSION="2.5.7" SOURCE="gmond">"#);
+        let _ = writeln!(
+            out,
+            r#"<CLUSTER NAME="{}" LOCALTIME="{}" OWNER="gridrm" URL="">"#,
+            xml_escape(self.site.name()),
+            localtime
+        );
+        for snap in &snaps {
+            host_xml(&mut out, snap);
+        }
+        let _ = writeln!(out, "</CLUSTER>");
+        let _ = writeln!(out, "</GANGLIA_XML>");
+        out
+    }
+}
+
+impl Service for GangliaAgent {
+    fn handle(&self, _from: &str, _request: &[u8]) -> Vec<u8> {
+        self.dump().into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridrm_resmodel::SiteSpec;
+    use gridrm_simnet::{Network, SimClock};
+
+    fn setup(hosts: usize) -> (Arc<Network>, Arc<GangliaAgent>) {
+        let net = Network::new(SimClock::new(), 5);
+        let site = SiteModel::generate(9, &SiteSpec::new("clu", hosts, 4));
+        site.advance_to(120_000);
+        let agent = GangliaAgent::new(site);
+        net.register(&agent.address(), agent.clone());
+        (net, agent)
+    }
+
+    #[test]
+    fn dump_contains_every_host() {
+        let (net, agent) = setup(5);
+        let xml = String::from_utf8(net.request("gw", &agent.address(), b"").unwrap()).unwrap();
+        for i in 0..5 {
+            assert!(
+                xml.contains(&format!(r#"<HOST NAME="node{i:02}.clu""#)),
+                "{xml}"
+            );
+        }
+        assert!(xml.contains(r#"<CLUSTER NAME="clu""#));
+        assert!(xml.contains(r#"<METRIC NAME="load_one""#));
+        assert!(xml.ends_with("</GANGLIA_XML>\n"));
+    }
+
+    #[test]
+    fn response_grows_with_cluster_size() {
+        // The coarse-grained property of E8: response size scales with the
+        // whole cluster, regardless of what the client wanted.
+        let (net1, a1) = setup(1);
+        let (net16, a16) = setup(16);
+        let small = net1.request("gw", &a1.address(), b"").unwrap().len();
+        let big = net16.request("gw", &a16.address(), b"").unwrap().len();
+        assert!(big > small * 8, "small={small} big={big}");
+    }
+
+    #[test]
+    fn xml_escaping() {
+        assert_eq!(xml_escape("a<b&c>\"d'"), "a&lt;b&amp;c&gt;&quot;d&apos;");
+        assert_eq!(xml_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn metrics_have_expected_units() {
+        let (net, agent) = setup(1);
+        let xml = String::from_utf8(net.request("gw", &agent.address(), b"").unwrap()).unwrap();
+        assert!(
+            xml.contains(r#"<METRIC NAME="mem_total" VAL="2097152" TYPE="uint32" UNITS="KB"/>"#)
+        );
+        assert!(xml.contains(r#"NAME="cpu_speed" VAL="2400""#));
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # gridrm-agents — native monitoring agents
+//!
+//! The paper's initial driver set targets "SNMP, Ganglia, NWS, Net Logger
+//! and SCMS … selected for their data representation characteristics and as
+//! they are commonly used systems" (§3.2.4). This crate implements those
+//! five agents from scratch against the simulated resource model, each
+//! speaking its own wire format over the simulated network:
+//!
+//! | Agent | Granularity | Format | Paper's characterisation |
+//! |-------|-------------|--------|--------------------------|
+//! | [`snmp`] | fine | binary TLV ("BER-lite") | "fine grained native requests … little or no parsing" |
+//! | [`ganglia`] | coarse | whole-cluster XML | "responses are typically coarse grained … greater overhead to parse" |
+//! | [`nws`] | coarse | plain text + forecasts | same, plus genuine NWS forecasting |
+//! | [`netlogger`] | fine | ULM text lines | fine-grained log events, also a native *event* source |
+//! | [`scms`] | fine | key=value text | simple cluster status |
+//!
+//! Addressing convention: an agent for protocol `p` on host `h` registers
+//! at simnet address `"{h}:{p}"` (e.g. `node00.site-a:snmp`); cluster-level
+//! agents (Ganglia, NWS, SCMS, NetLogger) live on the site head node.
+//! [`deploy::deploy_site`] wires a whole site up in one call.
+
+pub mod deploy;
+pub mod ganglia;
+pub mod netlogger;
+pub mod nws;
+pub mod scms;
+pub mod snmp;
+
+pub use deploy::{deploy_site, SiteAgents};

@@ -1,0 +1,362 @@
+//! The NetLogger agent: ULM-format event lines, fine-grained field queries,
+//! and a streaming mode that pushes events to subscribers — the native
+//! *event source* feeding the gateway Event Manager (Fig 4).
+
+use gridrm_resmodel::SiteModel;
+use gridrm_simnet::{Network, Service};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// One ULM (Universal Logger Message) event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UlmEvent {
+    /// Event time, epoch millis.
+    pub at_ms: u64,
+    /// Originating host.
+    pub host: String,
+    /// Program name.
+    pub prog: String,
+    /// Severity level.
+    pub level: String,
+    /// Event name, e.g. `cpu.load`.
+    pub event: String,
+    /// Numeric value, if any.
+    pub value: Option<f64>,
+}
+
+impl UlmEvent {
+    /// Render in ULM `KEY=value` line format.
+    pub fn to_line(&self) -> String {
+        let mut s = format!(
+            "DATE={} HOST={} PROG={} LVL={} NL.EVNT={}",
+            format_ulm_date(self.at_ms),
+            self.host,
+            self.prog,
+            self.level,
+            self.event
+        );
+        if let Some(v) = self.value {
+            let _ = write!(s, " VAL={v:.4}");
+        }
+        s
+    }
+
+    /// Parse a ULM line (used by the driver and by tests).
+    pub fn parse(line: &str) -> Option<UlmEvent> {
+        let mut at_ms = None;
+        let mut host = None;
+        let mut prog = None;
+        let mut level = None;
+        let mut event = None;
+        let mut value = None;
+        for field in line.split_whitespace() {
+            let (k, v) = field.split_once('=')?;
+            match k {
+                "DATE" => at_ms = parse_ulm_date(v),
+                "HOST" => host = Some(v.to_owned()),
+                "PROG" => prog = Some(v.to_owned()),
+                "LVL" => level = Some(v.to_owned()),
+                "NL.EVNT" => event = Some(v.to_owned()),
+                "VAL" => value = v.parse().ok(),
+                _ => {}
+            }
+        }
+        Some(UlmEvent {
+            at_ms: at_ms?,
+            host: host?,
+            prog: prog.unwrap_or_else(|| "netlogger".to_owned()),
+            level: level.unwrap_or_else(|| "Info".to_owned()),
+            event: event?,
+            value,
+        })
+    }
+}
+
+/// ULM dates are `YYYYMMDDhhmmss.uuuuuu`; the simulation maps virtual
+/// millis onto that shape directly (days roll at 86.4M ms as expected).
+fn format_ulm_date(at_ms: u64) -> String {
+    let secs = at_ms / 1000;
+    let (d, rem) = (secs / 86_400, secs % 86_400);
+    let (h, rem2) = (rem / 3600, rem % 3600);
+    let (m, s) = (rem2 / 60, rem2 % 60);
+    format!(
+        "2003{:02}{:02}{:02}{:02}{:02}.{:06}",
+        1 + d / 28, // month (synthetic)
+        1 + d % 28, // day
+        h,
+        m,
+        s,
+        (at_ms % 1000) * 1000
+    )
+}
+
+fn parse_ulm_date(s: &str) -> Option<u64> {
+    // Inverse of format_ulm_date for the synthetic calendar.
+    let (whole, frac) = s.split_once('.')?;
+    if whole.len() != 14 {
+        return None;
+    }
+    let month: u64 = whole[4..6].parse().ok()?;
+    let day: u64 = whole[6..8].parse().ok()?;
+    let h: u64 = whole[8..10].parse().ok()?;
+    let m: u64 = whole[10..12].parse().ok()?;
+    let sec: u64 = whole[12..14].parse().ok()?;
+    let micros: u64 = frac.parse().ok()?;
+    let days = (month - 1) * 28 + (day - 1);
+    Some((((days * 24 + h) * 60 + m) * 60 + sec) * 1000 + micros / 1000)
+}
+
+/// NetLogger agent for a site: keeps a bounded event log it refreshes from
+/// the resource model on [`NetLoggerAgent::pump`], serves fine-grained
+/// queries, and streams new events to registered destinations.
+///
+/// Protocol:
+/// * `TAIL <n>` — last n events;
+/// * `QUERY <event-name> <n>` — last n events of one type;
+/// * `HOSTQ <host> <n>` — last n events for one host;
+/// * `SUBSCRIBE <addr>` — stream subsequent events to `addr` via push.
+pub struct NetLoggerAgent {
+    site: Arc<SiteModel>,
+    head: String,
+    network: Mutex<Option<Arc<Network>>>,
+    log: Mutex<VecDeque<UlmEvent>>,
+    subscribers: Mutex<Vec<String>>,
+    capacity: usize,
+}
+
+impl NetLoggerAgent {
+    /// Agent for `site`, hosted on the head node.
+    pub fn new(site: Arc<SiteModel>) -> Arc<NetLoggerAgent> {
+        let head = site
+            .hostnames()
+            .first()
+            .cloned()
+            .unwrap_or_else(|| format!("head.{}", site.name()));
+        Arc::new(NetLoggerAgent {
+            site,
+            head,
+            network: Mutex::new(None),
+            log: Mutex::new(VecDeque::new()),
+            subscribers: Mutex::new(Vec::new()),
+            capacity: 4096,
+        })
+    }
+
+    /// The simnet address to register at.
+    pub fn address(&self) -> String {
+        format!("{}:netlogger", self.head)
+    }
+
+    /// Attach the network (needed for streaming pushes).
+    pub fn attach_network(&self, network: Arc<Network>) {
+        *self.network.lock() = Some(network);
+    }
+
+    /// Sample the resource model into new log events and stream them to
+    /// subscribers. Call after advancing virtual time. Returns how many
+    /// events were generated.
+    pub fn pump(&self) -> usize {
+        let snaps = self.site.all_snapshots();
+        let mut fresh = Vec::with_capacity(snaps.len() * 3);
+        for s in &snaps {
+            fresh.push(UlmEvent {
+                at_ms: s.at_ms,
+                host: s.spec.hostname.clone(),
+                prog: "netlogger".into(),
+                level: if s.load1 > s.spec.ncpu as f64 {
+                    "Warning".into()
+                } else {
+                    "Info".into()
+                },
+                event: "cpu.load".into(),
+                value: Some(s.load1),
+            });
+            fresh.push(UlmEvent {
+                at_ms: s.at_ms,
+                host: s.spec.hostname.clone(),
+                prog: "netlogger".into(),
+                level: "Info".into(),
+                event: "mem.free".into(),
+                value: Some(s.mem_available_mb as f64),
+            });
+            if let Some(nic) = s.nics.first() {
+                fresh.push(UlmEvent {
+                    at_ms: s.at_ms,
+                    host: s.spec.hostname.clone(),
+                    prog: "netlogger".into(),
+                    level: "Info".into(),
+                    event: "net.rx_bytes".into(),
+                    value: Some(nic.rx_bytes as f64),
+                });
+            }
+        }
+        let n = fresh.len();
+        {
+            let mut log = self.log.lock();
+            for e in &fresh {
+                if log.len() == self.capacity {
+                    log.pop_front();
+                }
+                log.push_back(e.clone());
+            }
+        }
+        let subs = self.subscribers.lock().clone();
+        if !subs.is_empty() {
+            if let Some(net) = self.network.lock().clone() {
+                for e in &fresh {
+                    let line = e.to_line();
+                    for dst in &subs {
+                        net.push(&self.address(), dst, line.clone().into_bytes());
+                    }
+                }
+            }
+        }
+        n
+    }
+
+    fn render<'a>(events: impl Iterator<Item = &'a UlmEvent>) -> String {
+        let mut out = String::new();
+        for e in events {
+            let _ = writeln!(out, "{}", e.to_line());
+        }
+        out
+    }
+}
+
+impl Service for NetLoggerAgent {
+    fn handle(&self, _from: &str, request: &[u8]) -> Vec<u8> {
+        let text = String::from_utf8_lossy(request);
+        let mut parts = text.split_whitespace();
+        let log = self.log.lock();
+        let reply = match parts.next() {
+            Some("TAIL") => {
+                let n: usize = parts.next().and_then(|s| s.parse().ok()).unwrap_or(10);
+                let skip = log.len().saturating_sub(n);
+                Self::render(log.iter().skip(skip))
+            }
+            Some("QUERY") => match parts.next() {
+                Some(event) => {
+                    let n: usize = parts.next().and_then(|s| s.parse().ok()).unwrap_or(100);
+                    let matching: Vec<&UlmEvent> =
+                        log.iter().filter(|e| e.event == event).collect();
+                    let skip = matching.len().saturating_sub(n);
+                    Self::render(matching.into_iter().skip(skip))
+                }
+                None => "ERROR usage: QUERY <event> <n>\n".to_owned(),
+            },
+            Some("HOSTQ") => match parts.next() {
+                Some(host) => {
+                    let n: usize = parts.next().and_then(|s| s.parse().ok()).unwrap_or(100);
+                    let matching: Vec<&UlmEvent> = log.iter().filter(|e| e.host == host).collect();
+                    let skip = matching.len().saturating_sub(n);
+                    Self::render(matching.into_iter().skip(skip))
+                }
+                None => "ERROR usage: HOSTQ <host> <n>\n".to_owned(),
+            },
+            Some("SUBSCRIBE") => match parts.next() {
+                Some(addr) => {
+                    drop(log);
+                    self.subscribers.lock().push(addr.to_owned());
+                    "OK\n".to_owned()
+                }
+                None => "ERROR usage: SUBSCRIBE <addr>\n".to_owned(),
+            },
+            _ => "ERROR unknown command\n".to_owned(),
+        };
+        reply.into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridrm_resmodel::SiteSpec;
+    use gridrm_simnet::SimClock;
+
+    fn setup() -> (Arc<Network>, Arc<NetLoggerAgent>) {
+        let net = Network::new(SimClock::new(), 2);
+        let site = SiteModel::generate(4, &SiteSpec::new("nl", 2, 2));
+        site.advance_to(30_000);
+        let agent = NetLoggerAgent::new(site);
+        agent.attach_network(net.clone());
+        net.register(&agent.address(), agent.clone());
+        (net, agent)
+    }
+
+    fn ask(net: &Network, agent: &NetLoggerAgent, cmd: &str) -> String {
+        String::from_utf8(net.request("gw", &agent.address(), cmd.as_bytes()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn ulm_line_roundtrip() {
+        let e = UlmEvent {
+            at_ms: 123_456,
+            host: "node00.nl".into(),
+            prog: "netlogger".into(),
+            level: "Info".into(),
+            event: "cpu.load".into(),
+            value: Some(0.75),
+        };
+        let line = e.to_line();
+        assert!(line.contains("NL.EVNT=cpu.load"));
+        assert!(line.contains("VAL=0.7500"));
+        let back = UlmEvent::parse(&line).unwrap();
+        assert_eq!(back.at_ms, e.at_ms);
+        assert_eq!(back.host, e.host);
+        assert_eq!(back.event, e.event);
+        assert!((back.value.unwrap() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn date_roundtrip_across_days() {
+        for ms in [0u64, 999, 86_399_999, 86_400_000, 10 * 86_400_000 + 5432] {
+            let s = format_ulm_date(ms);
+            assert_eq!(parse_ulm_date(&s), Some(ms), "date {s}");
+        }
+    }
+
+    #[test]
+    fn tail_and_query() {
+        let (net, agent) = setup();
+        assert!(agent.pump() > 0);
+        let tail = ask(&net, &agent, "TAIL 3");
+        assert_eq!(tail.lines().count(), 3);
+        let q = ask(&net, &agent, "QUERY cpu.load 10");
+        assert!(q.lines().all(|l| l.contains("NL.EVNT=cpu.load")));
+        assert_eq!(q.lines().count(), 2); // one per host
+        let hq = ask(&net, &agent, "HOSTQ node01.nl 10");
+        assert!(hq.lines().all(|l| l.contains("HOST=node01.nl")));
+    }
+
+    #[test]
+    fn streaming_pushes_to_subscriber() {
+        let (net, agent) = setup();
+        net.register("gw", Arc::new(|_: &str, _: &[u8]| Vec::new()));
+        let rx = net.subscribe("gw").unwrap();
+        assert_eq!(ask(&net, &agent, "SUBSCRIBE gw"), "OK\n");
+        let n = agent.pump();
+        let mut received = 0;
+        while rx.try_recv().is_ok() {
+            received += 1;
+        }
+        assert_eq!(received, n);
+    }
+
+    #[test]
+    fn log_capacity_bounded() {
+        let (_net, agent) = setup();
+        for _ in 0..2000 {
+            agent.pump();
+        }
+        assert!(agent.log.lock().len() <= 4096);
+    }
+
+    #[test]
+    fn bad_commands_error() {
+        let (net, agent) = setup();
+        assert!(ask(&net, &agent, "QUERY").starts_with("ERROR"));
+        assert!(ask(&net, &agent, "NOPE").starts_with("ERROR"));
+    }
+}

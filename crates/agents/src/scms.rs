@@ -1,0 +1,180 @@
+//! The SCMS (Scalable Cluster Management System) agent: simple per-host
+//! `key: value` status text — the third data shape the drivers must cope
+//! with (§3.2.4).
+
+use gridrm_resmodel::{HostSnapshot, SiteModel};
+use gridrm_simnet::Service;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Derive the coarse SCMS host status from load.
+fn status_of(snap: &HostSnapshot) -> &'static str {
+    let per_cpu = snap.load1 / snap.spec.ncpu as f64;
+    if per_cpu > 1.5 {
+        "overloaded"
+    } else if per_cpu > 0.9 {
+        "busy"
+    } else {
+        "ok"
+    }
+}
+
+fn host_block(out: &mut String, snap: &HostSnapshot) {
+    let _ = writeln!(out, "host: {}", snap.spec.hostname);
+    let _ = writeln!(out, "status: {}", status_of(snap));
+    let _ = writeln!(out, "ncpu: {}", snap.spec.ncpu);
+    let _ = writeln!(out, "cpu_mhz: {}", snap.spec.clock_mhz);
+    let _ = writeln!(out, "load1: {:.2}", snap.load1);
+    let _ = writeln!(out, "load5: {:.2}", snap.load5);
+    let _ = writeln!(out, "mem_total_mb: {}", snap.spec.mem_mb);
+    let _ = writeln!(out, "mem_free_mb: {}", snap.mem_available_mb);
+    let _ = writeln!(out, "uptime_sec: {}", snap.uptime_sec);
+    let _ = writeln!(out, "os: {} {}", snap.spec.os.name, snap.spec.os.release);
+    let _ = writeln!(out);
+}
+
+/// SCMS agent for a site. Register at `"{head}:scms"`.
+///
+/// Protocol: `ALL` dumps every host block; `STATUS <host>` one block;
+/// `SUMMARY` one site-level line.
+pub struct ScmsAgent {
+    site: Arc<SiteModel>,
+    head: String,
+}
+
+impl ScmsAgent {
+    /// Agent for `site`, hosted on the head node.
+    pub fn new(site: Arc<SiteModel>) -> Arc<ScmsAgent> {
+        let head = site
+            .hostnames()
+            .first()
+            .cloned()
+            .unwrap_or_else(|| format!("head.{}", site.name()));
+        Arc::new(ScmsAgent { site, head })
+    }
+
+    /// The simnet address to register at.
+    pub fn address(&self) -> String {
+        format!("{}:scms", self.head)
+    }
+}
+
+impl Service for ScmsAgent {
+    fn handle(&self, _from: &str, request: &[u8]) -> Vec<u8> {
+        let text = String::from_utf8_lossy(request);
+        let mut parts = text.split_whitespace();
+        let reply = match parts.next() {
+            Some("ALL") => {
+                let mut out = String::new();
+                for snap in self.site.all_snapshots() {
+                    host_block(&mut out, &snap);
+                }
+                out
+            }
+            Some("STATUS") => match parts.next() {
+                Some(host) => match self.site.host_snapshot(host) {
+                    Some(snap) => {
+                        let mut out = String::new();
+                        host_block(&mut out, &snap);
+                        out
+                    }
+                    None => "ERROR no such host\n".to_owned(),
+                },
+                None => "ERROR usage: STATUS <host>\n".to_owned(),
+            },
+            Some("SUMMARY") => {
+                let (total, free, running, waiting) = self.site.compute_summary();
+                format!(
+                    "site: {}\nhosts: {}\ncpus_total: {total}\ncpus_free: {free}\njobs_running: {running}\njobs_waiting: {waiting}\n",
+                    self.site.name(),
+                    self.site.host_count()
+                )
+            }
+            _ => "ERROR unknown command\n".to_owned(),
+        };
+        reply.into_bytes()
+    }
+}
+
+/// Parse an SCMS host block into key/value pairs (used by the driver).
+pub fn parse_blocks(text: &str) -> Vec<Vec<(String, String)>> {
+    let mut blocks = Vec::new();
+    let mut cur: Vec<(String, String)> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            if !cur.is_empty() {
+                blocks.push(std::mem::take(&mut cur));
+            }
+            continue;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            cur.push((k.trim().to_owned(), v.trim().to_owned()));
+        }
+    }
+    if !cur.is_empty() {
+        blocks.push(cur);
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridrm_resmodel::SiteSpec;
+    use gridrm_simnet::{Network, SimClock};
+
+    fn setup() -> (Arc<Network>, Arc<ScmsAgent>) {
+        let net = Network::new(SimClock::new(), 8);
+        let site = SiteModel::generate(21, &SiteSpec::new("sc", 3, 2));
+        site.advance_to(90_000);
+        let agent = ScmsAgent::new(site);
+        net.register(&agent.address(), agent.clone());
+        (net, agent)
+    }
+
+    fn ask(net: &Network, agent: &ScmsAgent, cmd: &str) -> String {
+        String::from_utf8(net.request("gw", &agent.address(), cmd.as_bytes()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn all_returns_block_per_host() {
+        let (net, agent) = setup();
+        let out = ask(&net, &agent, "ALL");
+        let blocks = parse_blocks(&out);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0][0].0, "host");
+        assert!(blocks.iter().all(|b| b.iter().any(|(k, _)| k == "status")));
+    }
+
+    #[test]
+    fn status_single_host() {
+        let (net, agent) = setup();
+        let out = ask(&net, &agent, "STATUS node01.sc");
+        let blocks = parse_blocks(&out);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0][0].1, "node01.sc");
+        assert!(ask(&net, &agent, "STATUS ghost").starts_with("ERROR"));
+    }
+
+    #[test]
+    fn summary_fields() {
+        let (net, agent) = setup();
+        let out = ask(&net, &agent, "SUMMARY");
+        assert!(out.contains("site: sc"));
+        assert!(out.contains("cpus_total: 6"));
+    }
+
+    #[test]
+    fn parse_blocks_handles_trailing_block() {
+        let blocks = parse_blocks("a: 1\nb: 2");
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(
+            blocks[0],
+            vec![
+                ("a".to_owned(), "1".to_owned()),
+                ("b".to_owned(), "2".to_owned())
+            ]
+        );
+    }
+}

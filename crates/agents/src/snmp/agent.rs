@@ -1,0 +1,357 @@
+//! The SNMP agent service: GET / GETNEXT / GETBULK over the simulated
+//! network, plus threshold traps pushed to a configured sink.
+
+use super::codec::{self, error_status, Pdu, SnmpMessage, SnmpValue};
+use super::mib::{mib_for_host, oids};
+use super::oid::Oid;
+use gridrm_resmodel::SiteModel;
+use gridrm_simnet::{Network, Service};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// An SNMP agent for one host of a site.
+///
+/// Register it at simnet address `"{hostname}:snmp"`. The community string
+/// of incoming messages must match `community` or the agent answers with an
+/// authentication error — this is the data-source end of GridRM's security
+/// story (wrong credentials are indistinguishable from a broken driver,
+/// which is what the failure-policy machinery must cope with).
+pub struct SnmpAgent {
+    site: Arc<SiteModel>,
+    hostname: String,
+    community: String,
+    /// Trap sink (gateway address) and load threshold.
+    trap_sink: Mutex<Option<(Arc<Network>, String, f64)>>,
+    /// Last load value seen by the trap pump (edge-triggered traps).
+    last_over: Mutex<bool>,
+}
+
+impl SnmpAgent {
+    /// Create an agent bound to `hostname` within `site`.
+    pub fn new(site: Arc<SiteModel>, hostname: &str, community: &str) -> Arc<SnmpAgent> {
+        Arc::new(SnmpAgent {
+            site,
+            hostname: hostname.to_owned(),
+            community: community.to_owned(),
+            trap_sink: Mutex::new(None),
+            last_over: Mutex::new(false),
+        })
+    }
+
+    /// The simnet address this agent should be registered at.
+    pub fn address(&self) -> String {
+        format!("{}:snmp", self.hostname)
+    }
+
+    /// Configure trap emission: when the host's load1 crosses `threshold`,
+    /// push a `TRAP_LOAD_HIGH` to `sink` over `network` (fire-and-forget,
+    /// like UDP traps).
+    pub fn set_trap_sink(&self, network: Arc<Network>, sink: &str, threshold: f64) {
+        *self.trap_sink.lock() = Some((network, sink.to_owned(), threshold));
+    }
+
+    /// Poll thresholds; call from the scenario's event pump after advancing
+    /// virtual time. Returns `true` if a trap was emitted.
+    pub fn pump(&self) -> bool {
+        let guard = self.trap_sink.lock();
+        let Some((network, sink, threshold)) = guard.as_ref() else {
+            return false;
+        };
+        let Some(snap) = self.site.host_snapshot(&self.hostname) else {
+            return false;
+        };
+        let over = snap.load1 > *threshold;
+        let mut last = self.last_over.lock();
+        let fire = over && !*last;
+        *last = over;
+        if fire {
+            let msg = SnmpMessage::v2c(
+                &self.community,
+                Pdu::Trap {
+                    trap_oid: oids::TRAP_LOAD_HIGH.parse().expect("static OID"),
+                    bindings: vec![
+                        (
+                            oids::SYS_NAME.parse().expect("static OID"),
+                            SnmpValue::OctetString(self.hostname.clone()),
+                        ),
+                        (
+                            format!("{}.1", oids::LA_LOAD_INT)
+                                .parse()
+                                .expect("static OID"),
+                            SnmpValue::Integer((snap.load1 * 100.0).round() as i64),
+                        ),
+                    ],
+                },
+            );
+            network.push(&self.address(), sink, codec::encode(&msg));
+        }
+        fire
+    }
+
+    fn respond(&self, request_id: u32, error: u8, bindings: Vec<(Oid, SnmpValue)>) -> Vec<u8> {
+        codec::encode(&SnmpMessage::v2c(
+            &self.community,
+            Pdu::Response {
+                request_id,
+                error_status: error,
+                bindings,
+            },
+        ))
+    }
+}
+
+impl Service for SnmpAgent {
+    fn handle(&self, _from: &str, request: &[u8]) -> Vec<u8> {
+        let Ok(msg) = codec::decode(request) else {
+            // Undecodable request: answer with a generic error response.
+            return self.respond(0, error_status::NO_SUCH_NAME, Vec::new());
+        };
+        let request_id = match &msg.pdu {
+            Pdu::Get { request_id, .. }
+            | Pdu::GetNext { request_id, .. }
+            | Pdu::GetBulk { request_id, .. } => *request_id,
+            _ => 0,
+        };
+        if msg.community != self.community {
+            return self.respond(request_id, error_status::AUTH_ERROR, Vec::new());
+        }
+        let Some(snap) = self.site.host_snapshot(&self.hostname) else {
+            return self.respond(request_id, error_status::NO_SUCH_NAME, Vec::new());
+        };
+        let mib = mib_for_host(&snap);
+        match msg.pdu {
+            Pdu::Get { oids, .. } => {
+                let bindings = oids
+                    .iter()
+                    .map(|oid| {
+                        (
+                            oid.clone(),
+                            mib.get(oid).cloned().unwrap_or(SnmpValue::Null),
+                        )
+                    })
+                    .collect();
+                self.respond(request_id, error_status::NO_ERROR, bindings)
+            }
+            Pdu::GetNext { oids, .. } => {
+                let mut bindings = Vec::with_capacity(oids.len());
+                let mut status = error_status::NO_ERROR;
+                for oid in &oids {
+                    use std::ops::Bound;
+                    let next = mib
+                        .range((Bound::Excluded(oid.clone()), Bound::Unbounded))
+                        .next();
+                    match next {
+                        Some((o2, v)) => bindings.push((o2.clone(), v.clone())),
+                        None => status = error_status::NO_SUCH_NAME, // end of MIB
+                    }
+                }
+                self.respond(request_id, status, bindings)
+            }
+            Pdu::GetBulk {
+                max_repetitions,
+                oid,
+                ..
+            } => {
+                use std::ops::Bound;
+                let bindings: Vec<(Oid, SnmpValue)> = mib
+                    .range((Bound::Excluded(oid), Bound::Unbounded))
+                    .take(max_repetitions as usize)
+                    .map(|(o2, v)| (o2.clone(), v.clone()))
+                    .collect();
+                self.respond(request_id, error_status::NO_ERROR, bindings)
+            }
+            // Agents don't accept responses or traps.
+            Pdu::Response { .. } | Pdu::Trap { .. } => {
+                self.respond(request_id, error_status::NO_SUCH_NAME, Vec::new())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridrm_resmodel::SiteSpec;
+    use gridrm_simnet::SimClock;
+
+    fn setup() -> (Arc<Network>, Arc<SiteModel>, Arc<SnmpAgent>) {
+        let clock = SimClock::new();
+        let net = Network::new(clock, 1);
+        let site = SiteModel::generate(42, &SiteSpec::new("t", 2, 4));
+        site.advance_to(60_000);
+        let agent = SnmpAgent::new(site.clone(), "node00.t", "public");
+        net.register(&agent.address(), agent.clone());
+        (net, site, agent)
+    }
+
+    fn ask(net: &Network, agent: &SnmpAgent, msg: SnmpMessage) -> Pdu {
+        let resp = net
+            .request("gw", &agent.address(), &codec::encode(&msg))
+            .unwrap();
+        codec::decode(&resp).unwrap().pdu
+    }
+
+    #[test]
+    fn get_sysname() {
+        let (net, _site, agent) = setup();
+        let pdu = ask(
+            &net,
+            &agent,
+            SnmpMessage::v2c(
+                "public",
+                Pdu::Get {
+                    request_id: 9,
+                    oids: vec![oids::SYS_NAME.parse().unwrap()],
+                },
+            ),
+        );
+        match pdu {
+            Pdu::Response {
+                request_id,
+                error_status: 0,
+                bindings,
+            } => {
+                assert_eq!(request_id, 9);
+                assert_eq!(bindings[0].1, SnmpValue::OctetString("node00.t".to_owned()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn get_unknown_oid_is_null() {
+        let (net, _s, agent) = setup();
+        let pdu = ask(
+            &net,
+            &agent,
+            SnmpMessage::v2c(
+                "public",
+                Pdu::Get {
+                    request_id: 1,
+                    oids: vec!["9.9.9".parse().unwrap()],
+                },
+            ),
+        );
+        let Pdu::Response { bindings, .. } = pdu else {
+            panic!()
+        };
+        assert_eq!(bindings[0].1, SnmpValue::Null);
+    }
+
+    #[test]
+    fn wrong_community_rejected() {
+        let (net, _s, agent) = setup();
+        let pdu = ask(
+            &net,
+            &agent,
+            SnmpMessage::v2c(
+                "letmein",
+                Pdu::Get {
+                    request_id: 1,
+                    oids: vec![oids::SYS_NAME.parse().unwrap()],
+                },
+            ),
+        );
+        let Pdu::Response { error_status, .. } = pdu else {
+            panic!()
+        };
+        assert_eq!(error_status, error_status::AUTH_ERROR);
+    }
+
+    #[test]
+    fn getnext_walks_in_order() {
+        let (net, _s, agent) = setup();
+        // Walk the whole MIB from the root; must terminate and visit
+        // strictly ascending OIDs.
+        let mut cur: Oid = "1".parse().unwrap();
+        let mut visited = 0;
+        loop {
+            let pdu = ask(
+                &net,
+                &agent,
+                SnmpMessage::v2c(
+                    "public",
+                    Pdu::GetNext {
+                        request_id: visited,
+                        oids: vec![cur.clone()],
+                    },
+                ),
+            );
+            let Pdu::Response {
+                error_status,
+                bindings,
+                ..
+            } = pdu
+            else {
+                panic!()
+            };
+            if error_status == error_status::NO_SUCH_NAME {
+                break;
+            }
+            let (next, _) = bindings.into_iter().next().unwrap();
+            assert!(next > cur, "GETNEXT went backwards");
+            cur = next;
+            visited += 1;
+            assert!(visited < 1000, "walk did not terminate");
+        }
+        assert!(visited > 25, "only {visited} objects walked");
+    }
+
+    #[test]
+    fn getbulk_caps_repetitions() {
+        let (net, _s, agent) = setup();
+        let pdu = ask(
+            &net,
+            &agent,
+            SnmpMessage::v2c(
+                "public",
+                Pdu::GetBulk {
+                    request_id: 1,
+                    max_repetitions: 5,
+                    oid: "1".parse().unwrap(),
+                },
+            ),
+        );
+        let Pdu::Response { bindings, .. } = pdu else {
+            panic!()
+        };
+        assert_eq!(bindings.len(), 5);
+    }
+
+    #[test]
+    fn traps_fire_on_threshold_edge() {
+        let (net, site, agent) = setup();
+        net.register("gw", Arc::new(|_: &str, _: &[u8]| Vec::new()));
+        let rx = net.subscribe("gw").unwrap();
+        agent.set_trap_sink(net.clone(), "gw", 3.0);
+
+        // Below threshold: no trap.
+        assert!(!agent.pump());
+        // Spike the host over the threshold.
+        site.inject_load_spike("node00.t", 10.0);
+        site.advance_to(61_000);
+        assert!(agent.pump());
+        // Still over: edge-triggered, no second trap.
+        assert!(!agent.pump());
+
+        let push = rx.try_recv().unwrap();
+        let msg = codec::decode(&push.payload).unwrap();
+        match msg.pdu {
+            Pdu::Trap { trap_oid, bindings } => {
+                assert_eq!(trap_oid.to_string(), oids::TRAP_LOAD_HIGH);
+                assert!(!bindings.is_empty());
+            }
+            other => panic!("expected trap, got {other:?}"),
+        }
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn garbage_request_answered_not_panicked() {
+        let (net, _s, agent) = setup();
+        let resp = net
+            .request("gw", &agent.address(), b"\xFF\xFF\xFF")
+            .unwrap();
+        assert!(codec::decode(&resp).is_ok());
+    }
+}

@@ -1,0 +1,310 @@
+//! The MIB subset served by the agent: MIB-2 system + interfaces,
+//! HOST-RESOURCES, and UCD-SNMP load/memory/CPU — the objects the paper's
+//! JDBC-SNMP driver needs to populate the GLUE host groups.
+
+use super::codec::SnmpValue;
+use super::oid::Oid;
+use gridrm_resmodel::HostSnapshot;
+use std::collections::BTreeMap;
+
+/// Well-known OIDs (string form; parse with `.parse::<Oid>()`).
+pub mod oids {
+    /// sysDescr.0
+    pub const SYS_DESCR: &str = "1.3.6.1.2.1.1.1.0";
+    /// sysUpTime.0 (TimeTicks, centiseconds)
+    pub const SYS_UPTIME: &str = "1.3.6.1.2.1.1.3.0";
+    /// sysName.0
+    pub const SYS_NAME: &str = "1.3.6.1.2.1.1.5.0";
+    /// ifNumber.0
+    pub const IF_NUMBER: &str = "1.3.6.1.2.1.2.1.0";
+    /// ifDescr table column
+    pub const IF_DESCR: &str = "1.3.6.1.2.1.2.2.1.2";
+    /// ifMtu table column
+    pub const IF_MTU: &str = "1.3.6.1.2.1.2.2.1.4";
+    /// ifOperStatus table column (1 = up)
+    pub const IF_OPER_STATUS: &str = "1.3.6.1.2.1.2.2.1.8";
+    /// ifInOctets table column
+    pub const IF_IN_OCTETS: &str = "1.3.6.1.2.1.2.2.1.10";
+    /// ifOutOctets table column
+    pub const IF_OUT_OCTETS: &str = "1.3.6.1.2.1.2.2.1.16";
+    /// hrMemorySize.0 (KB)
+    pub const HR_MEMORY_SIZE: &str = "1.3.6.1.2.1.25.2.2.0";
+    /// hrStorageDescr column
+    pub const HR_STORAGE_DESCR: &str = "1.3.6.1.2.1.25.2.3.1.3";
+    /// hrStorageSize column (in allocation units; we use MB units)
+    pub const HR_STORAGE_SIZE: &str = "1.3.6.1.2.1.25.2.3.1.5";
+    /// hrStorageUsed column
+    pub const HR_STORAGE_USED: &str = "1.3.6.1.2.1.25.2.3.1.6";
+    /// hrProcessorLoad column (percent)
+    pub const HR_PROCESSOR_LOAD: &str = "1.3.6.1.2.1.25.3.3.1.2";
+    /// hrSystemNumUsers-adjacent: number of processors (we publish a scalar)
+    pub const HR_NUM_CPU: &str = "1.3.6.1.2.1.25.3.3.2.0";
+    /// UCD laLoadInt.{1,2,3} (load × 100)
+    pub const LA_LOAD_INT: &str = "1.3.6.1.4.1.2021.10.1.5";
+    /// UCD memAvailReal.0 (KB)
+    pub const MEM_AVAIL_REAL: &str = "1.3.6.1.4.1.2021.4.6.0";
+    /// UCD memTotalSwap.0 (KB)
+    pub const MEM_TOTAL_SWAP: &str = "1.3.6.1.4.1.2021.4.3.0";
+    /// UCD memAvailSwap.0 (KB)
+    pub const MEM_AVAIL_SWAP: &str = "1.3.6.1.4.1.2021.4.4.0";
+    /// UCD ssCpuUser.0 (percent)
+    pub const SS_CPU_USER: &str = "1.3.6.1.4.1.2021.11.9.0";
+    /// UCD ssCpuSystem.0 (percent)
+    pub const SS_CPU_SYSTEM: &str = "1.3.6.1.4.1.2021.11.10.0";
+    /// UCD ssCpuIdle.0 (percent)
+    pub const SS_CPU_IDLE: &str = "1.3.6.1.4.1.2021.11.11.0";
+    /// UCD diskIO device-name column (per device)
+    pub const DISK_IO_DEVICE: &str = "1.3.6.1.4.1.2021.13.15.1.1.2";
+    /// UCD diskIO reads column (per device)
+    pub const DISK_IO_READS: &str = "1.3.6.1.4.1.2021.13.15.1.1.5";
+    /// UCD diskIO writes column (per device)
+    pub const DISK_IO_WRITES: &str = "1.3.6.1.4.1.2021.13.15.1.1.6";
+    /// CPU clock MHz (vendor extension scalar)
+    pub const CPU_MHZ: &str = "1.3.6.1.4.1.2021.100.1.0";
+    /// CPU model (vendor extension scalar)
+    pub const CPU_MODEL: &str = "1.3.6.1.4.1.2021.100.2.0";
+    /// CPU vendor (vendor extension scalar)
+    pub const CPU_VENDOR: &str = "1.3.6.1.4.1.2021.100.3.0";
+    /// Enterprise trap: load threshold exceeded
+    pub const TRAP_LOAD_HIGH: &str = "1.3.6.1.4.1.2021.251.1";
+}
+
+fn o(s: &str) -> Oid {
+    s.parse().expect("static OID")
+}
+
+/// Build the complete sorted OID → value view of one host snapshot.
+///
+/// The map is rebuilt per request from the live snapshot — agents are
+/// stateless views over the resource model, exactly like a real snmpd
+/// reading /proc.
+pub fn mib_for_host(snap: &HostSnapshot) -> BTreeMap<Oid, SnmpValue> {
+    let mut m = BTreeMap::new();
+    let spec = &snap.spec;
+    m.insert(
+        o(oids::SYS_DESCR),
+        SnmpValue::OctetString(format!(
+            "{} {} {} {}",
+            spec.os.name, spec.hostname, spec.os.release, spec.os.version
+        )),
+    );
+    m.insert(
+        o(oids::SYS_UPTIME),
+        SnmpValue::TimeTicks(snap.uptime_sec * 100),
+    );
+    m.insert(
+        o(oids::SYS_NAME),
+        SnmpValue::OctetString(spec.hostname.clone()),
+    );
+
+    // interfaces
+    m.insert(
+        o(oids::IF_NUMBER),
+        SnmpValue::Integer(snap.nics.len() as i64),
+    );
+    for (i, nic) in snap.nics.iter().enumerate() {
+        let idx = i as u32 + 1;
+        m.insert(
+            o(oids::IF_DESCR).child(idx),
+            SnmpValue::OctetString(nic.name.clone()),
+        );
+        m.insert(
+            o(oids::IF_MTU).child(idx),
+            SnmpValue::Integer(nic.mtu as i64),
+        );
+        m.insert(
+            o(oids::IF_OPER_STATUS).child(idx),
+            SnmpValue::Integer(if nic.up { 1 } else { 2 }),
+        );
+        m.insert(
+            o(oids::IF_IN_OCTETS).child(idx),
+            SnmpValue::Counter64(nic.rx_bytes),
+        );
+        m.insert(
+            o(oids::IF_OUT_OCTETS).child(idx),
+            SnmpValue::Counter64(nic.tx_bytes),
+        );
+    }
+
+    // host resources
+    m.insert(
+        o(oids::HR_MEMORY_SIZE),
+        SnmpValue::Integer((spec.mem_mb * 1024) as i64),
+    );
+    m.insert(o(oids::HR_NUM_CPU), SnmpValue::Integer(spec.ncpu as i64));
+    for (i, fsys) in snap.filesystems.iter().enumerate() {
+        let idx = i as u32 + 1;
+        m.insert(
+            o(oids::HR_STORAGE_DESCR).child(idx),
+            SnmpValue::OctetString(fsys.name.clone()),
+        );
+        m.insert(
+            o(oids::HR_STORAGE_SIZE).child(idx),
+            SnmpValue::Integer(fsys.size_mb as i64),
+        );
+        m.insert(
+            o(oids::HR_STORAGE_USED).child(idx),
+            SnmpValue::Integer((fsys.size_mb - fsys.available_mb) as i64),
+        );
+    }
+    let per_cpu_load = ((snap.cpu_user + snap.cpu_system).round() as i64).clamp(0, 100);
+    for cpu in 0..spec.ncpu {
+        m.insert(
+            o(oids::HR_PROCESSOR_LOAD).child(cpu + 1),
+            SnmpValue::Integer(per_cpu_load),
+        );
+    }
+
+    // UCD
+    m.insert(
+        o(oids::LA_LOAD_INT).child(1),
+        SnmpValue::Integer((snap.load1 * 100.0).round() as i64),
+    );
+    m.insert(
+        o(oids::LA_LOAD_INT).child(2),
+        SnmpValue::Integer((snap.load5 * 100.0).round() as i64),
+    );
+    m.insert(
+        o(oids::LA_LOAD_INT).child(3),
+        SnmpValue::Integer((snap.load15 * 100.0).round() as i64),
+    );
+    m.insert(
+        o(oids::MEM_AVAIL_REAL),
+        SnmpValue::Integer((snap.mem_available_mb * 1024) as i64),
+    );
+    m.insert(
+        o(oids::MEM_TOTAL_SWAP),
+        SnmpValue::Integer((spec.swap_mb * 1024) as i64),
+    );
+    m.insert(
+        o(oids::MEM_AVAIL_SWAP),
+        SnmpValue::Integer((snap.swap_available_mb * 1024) as i64),
+    );
+    m.insert(
+        o(oids::SS_CPU_USER),
+        SnmpValue::Integer(snap.cpu_user.round() as i64),
+    );
+    m.insert(
+        o(oids::SS_CPU_SYSTEM),
+        SnmpValue::Integer(snap.cpu_system.round() as i64),
+    );
+    m.insert(
+        o(oids::SS_CPU_IDLE),
+        SnmpValue::Integer(snap.cpu_idle.round() as i64),
+    );
+    for (i, d) in snap.disks.iter().enumerate() {
+        let idx = i as u32 + 1;
+        m.insert(
+            o(oids::DISK_IO_DEVICE).child(idx),
+            SnmpValue::OctetString(d.device.clone()),
+        );
+        m.insert(
+            o(oids::DISK_IO_READS).child(idx),
+            SnmpValue::Counter64(d.read_count),
+        );
+        m.insert(
+            o(oids::DISK_IO_WRITES).child(idx),
+            SnmpValue::Counter64(d.write_count),
+        );
+    }
+    m.insert(o(oids::CPU_MHZ), SnmpValue::Integer(spec.clock_mhz as i64));
+    m.insert(
+        o(oids::CPU_MODEL),
+        SnmpValue::OctetString(spec.cpu_model.clone()),
+    );
+    m.insert(
+        o(oids::CPU_VENDOR),
+        SnmpValue::OctetString(spec.cpu_vendor.clone()),
+    );
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridrm_resmodel::{Host, HostSpec, OsSpec};
+
+    fn snapshot() -> HostSnapshot {
+        let spec = HostSpec {
+            hostname: "node01.test".into(),
+            site: "test".into(),
+            ncpu: 2,
+            clock_mhz: 2000,
+            cpu_model: "Xeon".into(),
+            cpu_vendor: "GenuineIntel".into(),
+            mem_mb: 1024,
+            swap_mb: 2048,
+            os: OsSpec {
+                name: "Linux".into(),
+                release: "2.4.20".into(),
+                version: "#1".into(),
+            },
+            disks: vec![("sda".into(), 40_000)],
+            filesystems: vec![("/".into(), "sda1".into(), 38_000)],
+            nics: vec![("eth0".into(), "10.0.0.1".into(), 1500)],
+        };
+        let mut h = Host::new(7, spec);
+        h.advance_to(30_000);
+        h.snapshot()
+    }
+
+    #[test]
+    fn scalar_objects_present() {
+        let m = mib_for_host(&snapshot());
+        assert!(matches!(
+            m.get(&oids::SYS_NAME.parse().unwrap()),
+            Some(SnmpValue::OctetString(s)) if s == "node01.test"
+        ));
+        assert!(matches!(
+            m.get(&oids::SYS_UPTIME.parse().unwrap()),
+            Some(SnmpValue::TimeTicks(3000))
+        ));
+        assert!(matches!(
+            m.get(&oids::HR_NUM_CPU.parse().unwrap()),
+            Some(SnmpValue::Integer(2))
+        ));
+    }
+
+    #[test]
+    fn table_objects_indexed_from_one() {
+        let m = mib_for_host(&snapshot());
+        let descr: Oid = oids::IF_DESCR.parse().unwrap();
+        assert!(m.contains_key(&descr.child(1)));
+        assert!(!m.contains_key(&descr.child(2)));
+        let load: Oid = oids::HR_PROCESSOR_LOAD.parse().unwrap();
+        assert!(m.contains_key(&load.child(1)));
+        assert!(m.contains_key(&load.child(2)));
+        assert!(!m.contains_key(&load.child(3)));
+    }
+
+    #[test]
+    fn load_is_centiload() {
+        let snap = snapshot();
+        let m = mib_for_host(&snap);
+        let Some(SnmpValue::Integer(centi)) =
+            m.get(&format!("{}.1", oids::LA_LOAD_INT).parse().unwrap())
+        else {
+            panic!("laLoadInt.1 missing")
+        };
+        assert_eq!(*centi, (snap.load1 * 100.0).round() as i64);
+    }
+
+    #[test]
+    fn map_is_sorted_for_getnext() {
+        let m = mib_for_host(&snapshot());
+        let keys: Vec<&Oid> = m.keys().collect();
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(m.len() > 25);
+    }
+
+    #[test]
+    fn memory_reported_in_kb() {
+        let m = mib_for_host(&snapshot());
+        assert!(matches!(
+            m.get(&oids::HR_MEMORY_SIZE.parse().unwrap()),
+            Some(SnmpValue::Integer(i)) if *i == 1024 * 1024
+        ));
+    }
+}

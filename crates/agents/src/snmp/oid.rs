@@ -1,0 +1,109 @@
+//! Object identifiers with the lexicographic ordering GETNEXT walks.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An SNMP object identifier, e.g. `1.3.6.1.2.1.1.5.0`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Oid(pub Vec<u32>);
+
+impl Oid {
+    /// Construct from components.
+    pub fn new(parts: &[u32]) -> Oid {
+        Oid(parts.to_vec())
+    }
+
+    /// Append one component (table index, scalar `.0`, ...).
+    pub fn child(&self, component: u32) -> Oid {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.extend_from_slice(&self.0);
+        v.push(component);
+        Oid(v)
+    }
+
+    /// Append several components.
+    pub fn extend(&self, components: &[u32]) -> Oid {
+        let mut v = Vec::with_capacity(self.0.len() + components.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(components);
+        Oid(v)
+    }
+
+    /// Is `self` a prefix of `other` (i.e. is `other` inside this subtree)?
+    pub fn is_prefix_of(&self, other: &Oid) -> bool {
+        other.0.len() >= self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the empty OID.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Oid {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.strip_prefix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Ok(Oid::default());
+        }
+        s.split('.')
+            .map(|p| {
+                p.parse::<u32>()
+                    .map_err(|_| format!("bad OID component '{p}'"))
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(Oid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let o: Oid = "1.3.6.1.2.1.1.5.0".parse().unwrap();
+        assert_eq!(o.to_string(), "1.3.6.1.2.1.1.5.0");
+        let with_dot: Oid = ".1.3.6".parse().unwrap();
+        assert_eq!(with_dot, Oid::new(&[1, 3, 6]));
+        assert!("1.x.3".parse::<Oid>().is_err());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a: Oid = "1.3.6.1.2.1.1".parse().unwrap();
+        let b: Oid = "1.3.6.1.2.1.1.5.0".parse().unwrap();
+        let c: Oid = "1.3.6.1.2.1.2".parse().unwrap();
+        assert!(a < b); // prefix sorts before extension
+        assert!(b < c);
+    }
+
+    #[test]
+    fn prefix_and_children() {
+        let sys: Oid = "1.3.6.1.2.1.1".parse().unwrap();
+        let name = sys.extend(&[5, 0]);
+        assert!(sys.is_prefix_of(&name));
+        assert!(!name.is_prefix_of(&sys));
+        assert!(sys.is_prefix_of(&sys));
+        assert_eq!(sys.child(5).to_string(), "1.3.6.1.2.1.1.5");
+    }
+}

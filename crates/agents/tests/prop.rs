@@ -1,0 +1,136 @@
+//! Property tests for the agent substrates: SNMP codec round-trips, OID
+//! ordering vs GETNEXT, and ULM line round-trips.
+
+use gridrm_agents::netlogger::UlmEvent;
+use gridrm_agents::snmp::codec::{self, Pdu, SnmpMessage, SnmpValue};
+use gridrm_agents::snmp::Oid;
+use proptest::prelude::*;
+
+fn arb_oid() -> impl Strategy<Value = Oid> {
+    prop::collection::vec(0u32..100_000, 1..12).prop_map(Oid)
+}
+
+fn arb_snmp_value() -> impl Strategy<Value = SnmpValue> {
+    prop_oneof![
+        any::<i64>().prop_map(SnmpValue::Integer),
+        any::<u64>().prop_map(SnmpValue::Counter64),
+        any::<u64>().prop_map(SnmpValue::Gauge),
+        "[ -~]{0,24}".prop_map(SnmpValue::OctetString),
+        any::<u64>().prop_map(SnmpValue::TimeTicks),
+        arb_oid().prop_map(SnmpValue::ObjectId),
+        Just(SnmpValue::Null),
+    ]
+}
+
+fn arb_pdu() -> impl Strategy<Value = Pdu> {
+    prop_oneof![
+        (any::<u32>(), prop::collection::vec(arb_oid(), 0..8))
+            .prop_map(|(request_id, oids)| Pdu::Get { request_id, oids }),
+        (any::<u32>(), prop::collection::vec(arb_oid(), 0..8))
+            .prop_map(|(request_id, oids)| Pdu::GetNext { request_id, oids }),
+        (any::<u32>(), 1u32..64, arb_oid()).prop_map(|(request_id, max_repetitions, oid)| {
+            Pdu::GetBulk {
+                request_id,
+                max_repetitions,
+                oid,
+            }
+        }),
+        (
+            any::<u32>(),
+            any::<u8>(),
+            prop::collection::vec((arb_oid(), arb_snmp_value()), 0..10)
+        )
+            .prop_map(|(request_id, error_status, bindings)| Pdu::Response {
+                request_id,
+                error_status,
+                bindings,
+            }),
+        (
+            arb_oid(),
+            prop::collection::vec((arb_oid(), arb_snmp_value()), 0..6)
+        )
+            .prop_map(|(trap_oid, bindings)| Pdu::Trap { trap_oid, bindings }),
+    ]
+}
+
+proptest! {
+    /// Every message round-trips through the codec.
+    #[test]
+    fn snmp_codec_roundtrip(community in "[a-z]{0,12}", version in 0u8..4, pdu in arb_pdu()) {
+        let msg = SnmpMessage { version, community, pdu };
+        let bytes = codec::encode(&msg);
+        let back = codec::decode(&bytes).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Decoding arbitrary bytes never panics.
+    #[test]
+    fn snmp_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = codec::decode(&bytes);
+    }
+
+    /// Truncating a valid encoding never panics and never decodes to the
+    /// original (no silent mis-framing).
+    #[test]
+    fn snmp_truncation_is_detected(pdu in arb_pdu(), cut in 0.0f64..1.0) {
+        let msg = SnmpMessage { version: 2, community: "public".into(), pdu };
+        let bytes = codec::encode(&msg);
+        if bytes.len() > 1 {
+            let n = ((bytes.len() - 1) as f64 * cut) as usize;
+            if let Ok(decoded) = codec::decode(&bytes[..n]) { prop_assert_ne!(decoded, msg) }
+        }
+    }
+
+    /// OID ordering is consistent with string component comparison and
+    /// prefix relationships (the invariant GETNEXT walks rely on).
+    #[test]
+    fn oid_order_laws(a in arb_oid(), b in arb_oid()) {
+        // Antisymmetry via the derived Ord.
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        // A strict prefix always sorts before its extension.
+        if a.is_prefix_of(&b) && a != b {
+            prop_assert!(a < b);
+        }
+        // Display/parse round-trip.
+        let reparsed: Oid = a.to_string().parse().unwrap();
+        prop_assert_eq!(reparsed, a.clone());
+        // child() extends and is strictly greater.
+        let c = a.child(7);
+        prop_assert!(a.is_prefix_of(&c));
+        prop_assert!(c > a);
+    }
+
+    /// ULM event lines round-trip through parse().
+    #[test]
+    fn ulm_roundtrip(
+        at_ms in 0u64..(27u64 * 28 * 86_400_000),
+        host in "[a-z][a-z0-9.]{0,16}",
+        level in prop::sample::select(vec!["Info", "Warning", "Error"]),
+        event in "[a-z]+(\\.[a-z]+){0,2}",
+        value in prop::option::of(-1e6f64..1e6),
+    ) {
+        let e = UlmEvent {
+            at_ms,
+            host: host.clone(),
+            prog: "netlogger".into(),
+            level: level.to_owned(),
+            event: event.clone(),
+            value,
+        };
+        let back = UlmEvent::parse(&e.to_line()).unwrap();
+        prop_assert_eq!(back.at_ms, at_ms);
+        prop_assert_eq!(back.host, host);
+        prop_assert_eq!(back.event, event);
+        match (back.value, value) {
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-3),
+            (None, None) => {}
+            other => prop_assert!(false, "value mismatch {:?}", other),
+        }
+    }
+
+    /// ULM parse never panics on arbitrary text.
+    #[test]
+    fn ulm_parse_never_panics(line in "\\PC{0,96}") {
+        let _ = UlmEvent::parse(&line);
+    }
+}

@@ -1,0 +1,67 @@
+//! E11 (§3.1.4, §3.2.3, Fig 5): GLUE translation cost per row, and the
+//! value of caching the schema handle on the connection (one atomic
+//! version check per statement instead of a full handle fetch).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gridrm_drivers::mappings::snmp_mapping;
+use gridrm_glue::{NativeRow, SchemaManager, Translator};
+use gridrm_sqlparse::SqlValue;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn native_rows(n: usize) -> Vec<NativeRow> {
+    (0..n)
+        .map(|i| {
+            let mut row = NativeRow::new();
+            row.insert(
+                "1.3.6.1.2.1.1.5.0".into(),
+                SqlValue::Str(format!("node{i:03}")),
+            );
+            row.insert("1.3.6.1.2.1.25.3.3.2.0".into(), SqlValue::Int(4));
+            row.insert("1.3.6.1.4.1.2021.100.1.0".into(), SqlValue::Int(2400));
+            row.insert(
+                "1.3.6.1.4.1.2021.10.1.5.1".into(),
+                SqlValue::Int(42 + i as i64),
+            );
+            row.insert("1.3.6.1.4.1.2021.11.9.0".into(), SqlValue::Int(30));
+            row
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let manager = SchemaManager::new();
+    manager.register_mapping(snmp_mapping());
+
+    let mut group = c.benchmark_group("e11_schema_translation");
+    group.measurement_time(Duration::from_secs(3));
+
+    for n in [1usize, 64, 512] {
+        let rows = native_rows(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new("translate_processor_rows", n),
+            &n,
+            |b, _| {
+                let handle = manager.handle_for("jdbc-snmp");
+                let translator = Translator::new(&handle);
+                b.iter(|| black_box(translator.translate_all("Processor", &rows).unwrap()));
+            },
+        );
+    }
+
+    group.throughput(Throughput::Elements(1));
+    // Per-statement consistency check (cached handle) vs refetching the
+    // handle every statement.
+    group.bench_function("per_statement_validate_cached_handle", |b| {
+        let handle = manager.handle_for("jdbc-snmp");
+        b.iter(|| black_box(manager.is_current(&handle)));
+    });
+    group.bench_function("per_statement_full_handle_fetch", |b| {
+        b.iter(|| black_box(manager.handle_for("jdbc-snmp").version));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

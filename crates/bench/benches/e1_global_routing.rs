@@ -1,0 +1,35 @@
+//! E1 (Fig 1): local queries are served entirely within the site; remote
+//! queries pay one extra gateway hop. Measures the added cost of Global-
+//! layer routing (serialisation + directory lookup + gateway RPC).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridrm_bench::grid_world;
+use gridrm_core::ClientRequest;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let world = grid_world(2, 4);
+    let local_layer = &world.sites[0].3;
+    let sql = "SELECT Hostname, Load1 FROM Processor";
+
+    let mut group = c.benchmark_group("e1_global_routing");
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("local_source_via_global_layer", |b| {
+        let req = ClientRequest::realtime("jdbc:snmp://node01.site0/public", sql);
+        b.iter(|| black_box(local_layer.query(&req).unwrap()));
+    });
+    group.bench_function("remote_source_via_global_layer", |b| {
+        let req = ClientRequest::realtime("jdbc:snmp://node01.site1/public", sql);
+        b.iter(|| black_box(local_layer.query(&req).unwrap()));
+    });
+    group.bench_function("remote_source_served_from_remote_cache", |b| {
+        let req = ClientRequest::cached("jdbc:snmp://node01.site1/public", sql, Some(u64::MAX / 2));
+        local_layer.query(&req).unwrap(); // prime
+        b.iter(|| black_box(local_layer.query(&req).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E2 (Fig 2): the layered gateway architecture (ACIL → security →
+//! RequestManager → ConnectionManager → DriverManager) adds only a small,
+//! constant overhead over calling the driver directly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridrm_bench::single_site_world;
+use gridrm_core::ClientRequest;
+use gridrm_dbc::{Driver, JdbcUrl, Properties, RowSet};
+use gridrm_drivers::SnmpDriver;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let world = single_site_world(4);
+    let sql = "SELECT Hostname, Load1 FROM Processor";
+    let url = JdbcUrl::parse("jdbc:snmp://node01.bench/public").unwrap();
+
+    let mut group = c.benchmark_group("e2_layer_overhead");
+    group.measurement_time(Duration::from_secs(3));
+
+    // Baseline: straight to a driver instance, reusing one connection.
+    let driver = SnmpDriver::new(world.env.clone());
+    let mut conn = driver.connect(&url, &Properties::new()).unwrap();
+    group.bench_function("direct_driver_call", |b| {
+        b.iter(|| {
+            let mut stmt = conn.create_statement().unwrap();
+            let mut rs = stmt.execute_query(sql).unwrap();
+            black_box(RowSet::materialize(rs.as_mut()).unwrap())
+        });
+    });
+
+    // Through the full gateway stack (ACIL + CGSL/FGSL + RequestManager +
+    // cache bookkeeping + ConnectionManager pool + GridRMDriverManager).
+    let req = ClientRequest::realtime("jdbc:snmp://node01.bench/public", sql);
+    group.bench_function("through_gateway_stack", |b| {
+        b.iter(|| black_box(world.gateway.query(&req).unwrap()));
+    });
+
+    // The same with history recording disabled, isolating the layers
+    // themselves from the history write.
+    world.gateway.request_manager().set_record_history(false);
+    group.bench_function("through_gateway_stack_no_history", |b| {
+        b.iter(|| black_box(world.gateway.query(&req).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! E4 (Fig 4): Event Manager throughput — ingest + dispatch rate as the
+//! listener population grows, and the cost of the overflow (disk-buffer)
+//! path relative to the fast path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gridrm_core::events::{EventManager, GridRMEvent, ListenerFilter, Severity};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn event(i: u64) -> GridRMEvent {
+    GridRMEvent {
+        id: 0,
+        at_ms: i as i64,
+        source: "node00:snmp".into(),
+        hostname: Some("node00".into()),
+        severity: if i.is_multiple_of(10) {
+            Severity::Critical
+        } else {
+            Severity::Info
+        },
+        category: "cpu.load".into(),
+        message: "threshold exceeded".into(),
+        value: Some(i as f64 * 0.01),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    const BATCH: u64 = 1000;
+    let mut group = c.benchmark_group("e4_event_throughput");
+    group.measurement_time(Duration::from_secs(3));
+    group.throughput(Throughput::Elements(BATCH));
+
+    for listeners in [0usize, 1, 4, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("ingest_dispatch_1k", listeners),
+            &listeners,
+            |b, &n| {
+                let manager = EventManager::new(4096);
+                let rxs: Vec<_> = (0..n)
+                    .map(|_| manager.register_listener(ListenerFilter::default()).1)
+                    .collect();
+                b.iter(|| {
+                    for i in 0..BATCH {
+                        manager.ingest(event(i));
+                    }
+                    let out = manager.dispatch();
+                    for rx in &rxs {
+                        while rx.try_recv().is_ok() {}
+                    }
+                    black_box(out.len())
+                });
+            },
+        );
+    }
+
+    // Fast path vs forced overflow: same work, buffer 16 vs 4096.
+    for (name, capacity) in [("fast_path_4096", 4096usize), ("overflow_path_16", 16)] {
+        group.bench_function(name, |b| {
+            let manager = EventManager::new(capacity);
+            b.iter(|| {
+                for i in 0..BATCH {
+                    manager.ingest(event(i));
+                }
+                black_box(manager.dispatch().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

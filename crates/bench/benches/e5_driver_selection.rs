@@ -1,0 +1,106 @@
+//! E5 (Fig 5, Table 2): driver-to-resource allocation cost — dynamic
+//! first-time scans vs the last-success cache vs static preferences, as
+//! the registry grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridrm_core::GridRMDriverManager;
+use gridrm_dbc::{Connection, DbcResult, Driver, DriverMetaData, JdbcUrl, Properties};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A synthetic driver whose accepts_url is a cheap string check — so the
+/// bench isolates the *selection machinery*, not network probing.
+struct SyntheticDriver {
+    name: String,
+    proto: String,
+}
+
+impl Driver for SyntheticDriver {
+    fn meta(&self) -> DriverMetaData {
+        DriverMetaData {
+            name: self.name.clone(),
+            subprotocol: self.proto.clone(),
+            version: (1, 0),
+            description: String::new(),
+        }
+    }
+    fn accepts_url(&self, url: &JdbcUrl) -> bool {
+        url.subprotocol == self.proto
+    }
+    fn connect(&self, _url: &JdbcUrl, _props: &Properties) -> DbcResult<Box<dyn Connection>> {
+        Err(gridrm_dbc::SqlError::Connection("bench driver".into()))
+    }
+}
+
+fn manager_with(n: usize) -> GridRMDriverManager {
+    let m = GridRMDriverManager::new();
+    for i in 0..n {
+        m.register(Arc::new(SyntheticDriver {
+            name: format!("drv-{i}"),
+            proto: format!("proto{i}"),
+        }));
+    }
+    m
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_driver_selection");
+    group.measurement_time(Duration::from_secs(3));
+
+    for n in [4usize, 16, 64] {
+        // Worst case: the matching driver is the last registered.
+        let url = JdbcUrl::parse(&format!("jdbc:proto{}://host/x", n - 1)).unwrap();
+
+        let m = manager_with(n);
+        group.bench_with_input(BenchmarkId::new("dynamic_scan", n), &n, |b, _| {
+            b.iter(|| {
+                // No cache: record a failure each round to keep the path
+                // dynamic.
+                let d = m.resolve(&url).unwrap();
+                m.record_failure(&url, &d.name());
+                black_box(d.name())
+            });
+        });
+
+        let m = manager_with(n);
+        m.record_success(&url, &format!("drv-{}", n - 1));
+        group.bench_with_input(BenchmarkId::new("last_success_cache", n), &n, |b, _| {
+            b.iter(|| black_box(m.resolve(&url).unwrap().name()));
+        });
+
+        let m = manager_with(n);
+        m.set_preferences(&url, vec![format!("drv-{}", n - 1)]);
+        group.bench_with_input(BenchmarkId::new("static_preference", n), &n, |b, _| {
+            b.iter(|| {
+                // Defeat the cache so the static path is exercised.
+                m.record_failure(&url, &format!("drv-{}", n - 1));
+                black_box(m.resolve(&url).unwrap().name())
+            });
+        });
+    }
+
+    // With *real* drivers, a dynamic wildcard scan probes agents over the
+    // network (Table 2's "can connect to the data source?"), which is what
+    // the last-success cache actually amortises.
+    let world = gridrm_bench::single_site_world(4);
+    let dm = world.gateway.driver_manager();
+    let wildcard = JdbcUrl::parse("jdbc:://node01.bench/public").unwrap();
+    group.bench_function("real_drivers_dynamic_probe_scan", |b| {
+        b.iter(|| {
+            if let Some(d) = dm.cached_driver(&wildcard) {
+                dm.record_failure(&wildcard, &d);
+            }
+            black_box(dm.resolve(&wildcard).unwrap().name())
+        });
+    });
+    let d = dm.resolve(&wildcard).unwrap();
+    dm.record_success(&wildcard, &d.name());
+    group.bench_function("real_drivers_last_success_cache", |b| {
+        b.iter(|| black_box(dm.resolve(&wildcard).unwrap().name()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E7 (§4, Fig 9): serving repeat clients from the Cache Controller vs
+//! re-polling the agent. (The traffic-count side of this experiment lives
+//! in the `experiments e7` harness; this bench shows the latency side.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridrm_bench::single_site_world;
+use gridrm_core::ClientRequest;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let world = single_site_world(16);
+    world.gateway.request_manager().set_record_history(false);
+    let source = "jdbc:ganglia://node00.bench/bench?ttl=0";
+    let sql = "SELECT Hostname, Load1, CpuIdle FROM Processor";
+
+    let mut group = c.benchmark_group("e7_cache_scalability");
+    group.measurement_time(Duration::from_secs(3));
+
+    let realtime = ClientRequest::realtime(source, sql);
+    group.bench_function("realtime_poll_16_hosts", |b| {
+        b.iter(|| black_box(world.gateway.query(&realtime).unwrap()));
+    });
+
+    let cached = ClientRequest::cached(source, sql, Some(u64::MAX / 2));
+    world.gateway.query(&cached).unwrap(); // prime
+    group.bench_function("cache_served_16_hosts", |b| {
+        b.iter(|| {
+            let resp = world.gateway.query(&cached).unwrap();
+            debug_assert_eq!(resp.served_from_cache, 1);
+            black_box(resp)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

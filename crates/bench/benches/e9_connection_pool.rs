@@ -1,0 +1,53 @@
+//! E9 (§3.1.2): connection pooling "to reduce the overhead effects" of
+//! per-query connects — with and without dynamic driver mapping on top.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridrm_bench::single_site_world;
+use gridrm_dbc::JdbcUrl;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let world = single_site_world(4);
+    let cm = world.gateway.connections();
+    let dm = world.gateway.driver_manager();
+    let sql = "SELECT Hostname, Load1 FROM Processor";
+    let pinned = JdbcUrl::parse("jdbc:snmp://node01.bench/public").unwrap();
+    let wildcard = JdbcUrl::parse("jdbc:://node02.bench/public").unwrap();
+
+    let mut group = c.benchmark_group("e9_connection_pool");
+    group.measurement_time(Duration::from_secs(3));
+
+    cm.set_pooling(true);
+    group.bench_function("pooled_pinned_driver", |b| {
+        b.iter(|| black_box(cm.execute(&pinned, sql).unwrap()));
+    });
+
+    cm.set_pooling(false);
+    group.bench_function("unpooled_pinned_driver", |b| {
+        b.iter(|| black_box(cm.execute(&pinned, sql).unwrap()));
+    });
+
+    // Dynamic mapping: each query must re-resolve the driver (the paper's
+    // "especially if drivers are dynamically mapped" case).
+    cm.set_pooling(false);
+    group.bench_function("unpooled_dynamic_mapping", |b| {
+        b.iter(|| {
+            // Drop the last-success cache so resolution stays dynamic.
+            if let Some(d) = dm.cached_driver(&wildcard) {
+                dm.record_failure(&wildcard, &d);
+            }
+            black_box(cm.execute(&wildcard, sql).unwrap())
+        });
+    });
+
+    cm.set_pooling(true);
+    group.bench_function("pooled_dynamic_mapping_cached", |b| {
+        cm.execute(&wildcard, sql).unwrap(); // warm driver cache + pool
+        b.iter(|| black_box(cm.execute(&wildcard, sql).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+#![warn(missing_docs)]
+
+//! # gridrm-bench — experiment support library
+//!
+//! Shared scenario builders used by both the Criterion benches
+//! (`benches/`) and the experiment harness binary
+//! (`src/bin/experiments.rs`). Each experiment in `EXPERIMENTS.md` (E1 —
+//! E12) maps to a bench target and/or a harness subcommand; this crate
+//! keeps their world-building identical so numbers are comparable.
+
+pub mod world;
+
+pub use world::{grid_world, single_site_world, GridWorld, SiteWorld, SEED};

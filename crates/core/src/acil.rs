@@ -1,0 +1,221 @@
+//! The Abstract Client Interface Layer (paper §2): "a clear separation
+//! between client specific APIs and the data model used within GridRM".
+//! Java applets, JSP pages and Web/Grid services all funnel through this
+//! one request shape; here the bundled client adapters are the in-process
+//! [`ClientInterface`] and a text adapter ([`render_csv`]/[`render_json`])
+//! standing in for the web-facing front ends.
+
+use crate::security::Identity;
+use crate::session::SessionToken;
+use gridrm_dbc::{DbcResult, RowSet};
+use gridrm_sqlparse::SqlValue;
+
+/// How a query should be satisfied (§3.1.1, §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryMode {
+    /// Always contact the data source ("explicitly poll", Fig 9).
+    RealTime,
+    /// Serve from the gateway cache when fresh enough; `None` uses the
+    /// gateway's default TTL ("refresh their tree view", Fig 9).
+    Cached {
+        /// Maximum acceptable age in virtual ms.
+        max_age_ms: Option<u64>,
+    },
+    /// Query the gateway's internal historical database.
+    Historical,
+}
+
+/// A client request as it crosses the ACIL.
+#[derive(Debug, Clone)]
+pub struct ClientRequest {
+    /// Session token from a previous authentication, if any.
+    pub token: Option<SessionToken>,
+    /// Direct identity (in-process clients); ignored when `token` is set.
+    pub identity: Option<Identity>,
+    /// Data-source URLs to query ("the request consists of two parts, the
+    /// network address of the data source and the query", §3.2.2).
+    /// Historical queries leave this empty.
+    pub sources: Vec<String>,
+    /// The SQL text.
+    pub sql: String,
+    /// Freshness mode.
+    pub mode: QueryMode,
+}
+
+impl ClientRequest {
+    /// Real-time query of one source.
+    pub fn realtime(source: &str, sql: &str) -> ClientRequest {
+        ClientRequest {
+            token: None,
+            identity: None,
+            sources: vec![source.to_owned()],
+            sql: sql.to_owned(),
+            mode: QueryMode::RealTime,
+        }
+    }
+
+    /// Cache-friendly query of one source.
+    pub fn cached(source: &str, sql: &str, max_age_ms: Option<u64>) -> ClientRequest {
+        ClientRequest {
+            mode: QueryMode::Cached { max_age_ms },
+            ..ClientRequest::realtime(source, sql)
+        }
+    }
+
+    /// Historical query.
+    pub fn historical(sql: &str) -> ClientRequest {
+        ClientRequest {
+            token: None,
+            identity: None,
+            sources: Vec::new(),
+            sql: sql.to_owned(),
+            mode: QueryMode::Historical,
+        }
+    }
+
+    /// Builder: attach an identity.
+    pub fn with_identity(mut self, identity: Identity) -> ClientRequest {
+        self.identity = Some(identity);
+        self
+    }
+
+    /// Builder: attach a session token.
+    pub fn with_token(mut self, token: SessionToken) -> ClientRequest {
+        self.token = Some(token);
+        self
+    }
+
+    /// Builder: query several sources (consolidated, §3.1.1).
+    pub fn with_sources(mut self, sources: &[&str]) -> ClientRequest {
+        self.sources = sources.iter().map(|s| (*s).to_owned()).collect();
+        self
+    }
+}
+
+/// The answer crossing back over the ACIL.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// Consolidated result rows.
+    pub rows: RowSet,
+    /// Per-source warnings (failed sources, deferred security, …).
+    pub warnings: Vec<String>,
+    /// How many sources were answered from the gateway cache.
+    pub served_from_cache: usize,
+    /// How many sources contributed rows.
+    pub sources_ok: usize,
+}
+
+/// Anything that accepts GridRM client requests (the ACIL seam).
+pub trait ClientInterface: Send + Sync {
+    /// Submit one request.
+    fn submit(&self, request: &ClientRequest) -> DbcResult<ClientResponse>;
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Render a result set as CSV (header + rows) — the "Web/Grid Services"
+/// client adapter.
+pub fn render_csv(rows: &RowSet) -> String {
+    let meta = rows.meta();
+    let mut out = String::new();
+    let names: Vec<String> = (0..meta.column_count())
+        .map(|i| csv_escape(meta.column_name(i).unwrap_or("?")))
+        .collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for row in rows.rows() {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|v| match v {
+                SqlValue::Null => String::new(),
+                other => csv_escape(&other.to_string()),
+            })
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a result set as a JSON array of objects.
+pub fn render_json(rows: &RowSet) -> String {
+    let meta = rows.meta();
+    let objects: Vec<serde_json::Value> = rows
+        .rows()
+        .iter()
+        .map(|row| {
+            let mut map = serde_json::Map::new();
+            for (i, v) in row.iter().enumerate() {
+                let key = meta.column_name(i).unwrap_or("?").to_owned();
+                let val = match v {
+                    SqlValue::Null => serde_json::Value::Null,
+                    SqlValue::Bool(b) => serde_json::Value::Bool(*b),
+                    SqlValue::Int(x) => serde_json::Value::from(*x),
+                    SqlValue::Float(x) => serde_json::Value::from(*x),
+                    SqlValue::Timestamp(t) => serde_json::Value::from(*t),
+                    SqlValue::Str(s) => serde_json::Value::from(s.clone()),
+                };
+                map.insert(key, val);
+            }
+            serde_json::Value::Object(map)
+        })
+        .collect();
+    serde_json::Value::Array(objects).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridrm_dbc::{ColumnMeta, ResultSetMetaData};
+    use gridrm_sqlparse::SqlType;
+
+    fn rows() -> RowSet {
+        RowSet::new(
+            ResultSetMetaData::new(vec![
+                ColumnMeta::new("Hostname", SqlType::Str),
+                ColumnMeta::new("Load1", SqlType::Float),
+            ]),
+            vec![
+                vec![SqlValue::Str("a,b".into()), SqlValue::Float(0.5)],
+                vec![SqlValue::Str("n2".into()), SqlValue::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn request_builders() {
+        let r = ClientRequest::realtime("jdbc:snmp://h/p", "SELECT * FROM Processor")
+            .with_identity(Identity::anonymous())
+            .with_sources(&["a", "b"]);
+        assert_eq!(r.sources, vec!["a", "b"]);
+        assert_eq!(r.mode, QueryMode::RealTime);
+        let h = ClientRequest::historical("SELECT * FROM history");
+        assert!(h.sources.is_empty());
+        assert_eq!(h.mode, QueryMode::Historical);
+    }
+
+    #[test]
+    fn csv_rendering_escapes() {
+        let csv = render_csv(&rows());
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "Hostname,Load1");
+        assert_eq!(lines.next().unwrap(), "\"a,b\",0.5");
+        assert_eq!(lines.next().unwrap(), "n2,");
+    }
+
+    #[test]
+    fn json_rendering_types() {
+        let json = render_json(&rows());
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed[0]["Hostname"], "a,b");
+        assert_eq!(parsed[0]["Load1"], 0.5);
+        assert!(parsed[1]["Load1"].is_null());
+    }
+}

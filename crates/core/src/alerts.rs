@@ -1,0 +1,238 @@
+//! Resource alerts (Fig 2's "Resource Alerts", Fig 9's "Threshold
+//! exceeded → Event transmitted"): declarative threshold rules evaluated
+//! over harvested result sets, producing normalised [`GridRMEvent`]s.
+
+use crate::events::{GridRMEvent, Severity};
+use gridrm_dbc::RowSet;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+/// Comparison operator for a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Comparison {
+    Gt,
+    Ge,
+    Lt,
+    Le,
+    Eq,
+}
+
+impl Comparison {
+    fn holds(&self, value: f64, threshold: f64) -> bool {
+        match self {
+            Comparison::Gt => value > threshold,
+            Comparison::Ge => value >= threshold,
+            Comparison::Lt => value < threshold,
+            Comparison::Le => value <= threshold,
+            Comparison::Eq => (value - threshold).abs() < f64::EPSILON,
+        }
+    }
+
+    fn symbol(&self) -> &'static str {
+        match self {
+            Comparison::Gt => ">",
+            Comparison::Ge => ">=",
+            Comparison::Lt => "<",
+            Comparison::Le => "<=",
+            Comparison::Eq => "=",
+        }
+    }
+}
+
+/// One threshold rule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlertRule {
+    /// Rule name.
+    pub name: String,
+    /// GLUE group it applies to (case-insensitive).
+    pub group: String,
+    /// Attribute (result column) to test.
+    pub attr: String,
+    /// Comparison against the threshold.
+    pub cmp: Comparison,
+    /// Threshold value.
+    pub threshold: f64,
+    /// Severity of the generated event.
+    pub severity: Severity,
+    /// Category of the generated event (e.g. `cpu.load.high`).
+    pub category: String,
+}
+
+/// The alert engine: a rule set scanned over query results.
+#[derive(Default)]
+pub struct AlertEngine {
+    rules: RwLock<Vec<AlertRule>>,
+}
+
+impl AlertEngine {
+    /// Empty engine.
+    pub fn new() -> AlertEngine {
+        AlertEngine::default()
+    }
+
+    /// Install a rule (replacing any same-named one).
+    pub fn add_rule(&self, rule: AlertRule) {
+        let mut rules = self.rules.write();
+        rules.retain(|r| r.name != rule.name);
+        rules.push(rule);
+    }
+
+    /// Remove a rule by name.
+    pub fn remove_rule(&self, name: &str) -> bool {
+        let mut rules = self.rules.write();
+        let before = rules.len();
+        rules.retain(|r| r.name != name);
+        rules.len() != before
+    }
+
+    /// Current rules.
+    pub fn rules(&self) -> Vec<AlertRule> {
+        self.rules.read().clone()
+    }
+
+    /// Scan a result set harvested from `source` for group `group`;
+    /// returns one event per (rule, matching row).
+    pub fn scan(&self, source: &str, group: &str, rows: &RowSet, now_ms: i64) -> Vec<GridRMEvent> {
+        let rules = self.rules.read();
+        let applicable: Vec<&AlertRule> = rules
+            .iter()
+            .filter(|r| r.group.eq_ignore_ascii_case(group))
+            .collect();
+        if applicable.is_empty() {
+            return Vec::new();
+        }
+        let meta = rows.meta();
+        let host_idx = meta.column_index("Hostname").ok();
+        let mut events = Vec::new();
+        for rule in applicable {
+            let Ok(attr_idx) = meta.column_index(&rule.attr) else {
+                continue; // attribute not in this projection
+            };
+            for row in rows.rows() {
+                let Some(value) = row[attr_idx].as_f64() else {
+                    continue; // NULL or non-numeric
+                };
+                if rule.cmp.holds(value, rule.threshold) {
+                    let hostname = host_idx
+                        .and_then(|i| row.get(i))
+                        .and_then(|v| v.as_str().map(str::to_owned));
+                    events.push(GridRMEvent {
+                        id: 0,
+                        at_ms: now_ms,
+                        source: source.to_owned(),
+                        hostname: hostname.clone(),
+                        severity: rule.severity,
+                        category: rule.category.clone(),
+                        message: format!(
+                            "{}: {}.{} = {value:.3} {} {:.3}{}",
+                            rule.name,
+                            group,
+                            rule.attr,
+                            rule.cmp.symbol(),
+                            rule.threshold,
+                            hostname
+                                .as_deref()
+                                .map(|h| format!(" on {h}"))
+                                .unwrap_or_default(),
+                        ),
+                        value: Some(value),
+                    });
+                }
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridrm_dbc::{ColumnMeta, ResultSetMetaData};
+    use gridrm_sqlparse::{SqlType, SqlValue};
+
+    fn rows() -> RowSet {
+        RowSet::new(
+            ResultSetMetaData::new(vec![
+                ColumnMeta::new("Hostname", SqlType::Str),
+                ColumnMeta::new("Load1", SqlType::Float),
+            ]),
+            vec![
+                vec![SqlValue::Str("calm".into()), SqlValue::Float(0.2)],
+                vec![SqlValue::Str("busy".into()), SqlValue::Float(3.7)],
+                vec![SqlValue::Str("unknown".into()), SqlValue::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn load_rule(threshold: f64) -> AlertRule {
+        AlertRule {
+            name: "high-load".into(),
+            group: "Processor".into(),
+            attr: "Load1".into(),
+            cmp: Comparison::Gt,
+            threshold,
+            severity: Severity::Warning,
+            category: "cpu.load.high".into(),
+        }
+    }
+
+    #[test]
+    fn threshold_fires_per_matching_row() {
+        let e = AlertEngine::new();
+        e.add_rule(load_rule(1.0));
+        let events = e.scan("src", "Processor", &rows(), 42);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].hostname.as_deref(), Some("busy"));
+        assert_eq!(events[0].value, Some(3.7));
+        assert_eq!(events[0].at_ms, 42);
+        assert!(events[0].message.contains("high-load"));
+    }
+
+    #[test]
+    fn group_mismatch_no_events() {
+        let e = AlertEngine::new();
+        e.add_rule(load_rule(1.0));
+        assert!(e.scan("src", "MainMemory", &rows(), 0).is_empty());
+        // Case-insensitive group match.
+        assert_eq!(e.scan("src", "processor", &rows(), 0).len(), 1);
+    }
+
+    #[test]
+    fn null_values_never_match() {
+        let e = AlertEngine::new();
+        e.add_rule(load_rule(-100.0)); // everything numeric matches
+        let events = e.scan("src", "Processor", &rows(), 0);
+        assert_eq!(events.len(), 2); // NULL row skipped
+    }
+
+    #[test]
+    fn rule_replacement_and_removal() {
+        let e = AlertEngine::new();
+        e.add_rule(load_rule(1.0));
+        e.add_rule(load_rule(10.0)); // replaces by name
+        assert_eq!(e.rules().len(), 1);
+        assert!(e.scan("s", "Processor", &rows(), 0).is_empty());
+        assert!(e.remove_rule("high-load"));
+        assert!(!e.remove_rule("high-load"));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(Comparison::Ge.holds(1.0, 1.0));
+        assert!(!Comparison::Gt.holds(1.0, 1.0));
+        assert!(Comparison::Le.holds(1.0, 1.0));
+        assert!(Comparison::Lt.holds(0.5, 1.0));
+        assert!(Comparison::Eq.holds(2.0, 2.0));
+    }
+
+    #[test]
+    fn missing_attribute_is_ignored() {
+        let e = AlertEngine::new();
+        let mut rule = load_rule(0.0);
+        rule.attr = "NotProjected".into();
+        e.add_rule(rule);
+        assert!(e.scan("s", "Processor", &rows(), 0).is_empty());
+    }
+}

@@ -1,0 +1,246 @@
+//! The Cache Controller (Fig 3, §4): query results are cached so that "a
+//! heavily used GridRM Gateway can return a view of the recent status of a
+//! site while limiting resource intrusion", and the same mechanism "is
+//! used between gateways to increase scalability by reducing unnecessary
+//! requests".
+
+use gridrm_dbc::RowSet;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A cached result with its capture time.
+#[derive(Clone)]
+pub struct CachedResult {
+    /// The result rows.
+    pub rows: Arc<RowSet>,
+    /// Virtual capture time (ms).
+    pub cached_at_ms: u64,
+}
+
+impl CachedResult {
+    /// Age of the entry at `now_ms`.
+    pub fn age_ms(&self, now_ms: u64) -> u64 {
+        now_ms.saturating_sub(self.cached_at_ms)
+    }
+}
+
+/// Cache counters (experiment E7).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Lookups that found a fresh entry.
+    pub hits: AtomicU64,
+    /// Lookups that found nothing usable.
+    pub misses: AtomicU64,
+    /// Entries stored.
+    pub stores: AtomicU64,
+    /// Entries evicted/invalidated.
+    pub invalidations: AtomicU64,
+}
+
+impl CacheStats {
+    /// Snapshot `(hits, misses, stores, invalidations)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.stores.load(Ordering::Relaxed),
+            self.invalidations.load(Ordering::Relaxed),
+        )
+    }
+}
+
+type Key = (String, String); // (source url, sql)
+
+/// The gateway query-result cache.
+pub struct CacheController {
+    entries: RwLock<HashMap<Key, CachedResult>>,
+    /// Default maximum age served, ms (clients may ask for fresher).
+    default_ttl_ms: u64,
+    stats: CacheStats,
+}
+
+impl CacheController {
+    /// Controller with a default TTL.
+    pub fn new(default_ttl_ms: u64) -> CacheController {
+        CacheController {
+            entries: RwLock::new(HashMap::new()),
+            default_ttl_ms,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The default TTL.
+    pub fn default_ttl_ms(&self) -> u64 {
+        self.default_ttl_ms
+    }
+
+    /// Look up a cached result no older than `max_age_ms` (`None` uses the
+    /// default TTL).
+    pub fn lookup(
+        &self,
+        source: &str,
+        sql: &str,
+        now_ms: u64,
+        max_age_ms: Option<u64>,
+    ) -> Option<CachedResult> {
+        let limit = max_age_ms.unwrap_or(self.default_ttl_ms);
+        let key: Key = (source.to_owned(), sql.to_owned());
+        let found = self.entries.read().get(&key).cloned();
+        match found {
+            Some(entry) if entry.age_ms(now_ms) <= limit => {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry)
+            }
+            _ => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a fresh result.
+    pub fn store(&self, source: &str, sql: &str, rows: Arc<RowSet>, now_ms: u64) {
+        self.stats.stores.fetch_add(1, Ordering::Relaxed);
+        self.entries.write().insert(
+            (source.to_owned(), sql.to_owned()),
+            CachedResult {
+                rows,
+                cached_at_ms: now_ms,
+            },
+        );
+    }
+
+    /// Invalidate all entries for one source (e.g. after a failure or an
+    /// explicit poll). Returns how many entries were dropped.
+    pub fn invalidate_source(&self, source: &str) -> usize {
+        let mut entries = self.entries.write();
+        let before = entries.len();
+        entries.retain(|(s, _), _| s != source);
+        let dropped = before - entries.len();
+        self.stats
+            .invalidations
+            .fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
+    /// Drop entries older than `max_age_ms` (housekeeping sweep).
+    pub fn sweep(&self, now_ms: u64, max_age_ms: u64) -> usize {
+        let mut entries = self.entries.write();
+        let before = entries.len();
+        entries.retain(|_, e| e.age_ms(now_ms) <= max_age_ms);
+        let dropped = before - entries.len();
+        self.stats
+            .invalidations
+            .fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
+    /// Every cached (source, sql, age) triple — feeds the admin tree view
+    /// (Fig 9, "populated with cached data from queries issued within the
+    /// local gateway").
+    pub fn inventory(&self, now_ms: u64) -> Vec<(String, String, u64)> {
+        let mut v: Vec<(String, String, u64)> = self
+            .entries
+            .read()
+            .iter()
+            .map(|((s, q), e)| (s.clone(), q.clone(), e.age_ms(now_ms)))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// True when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridrm_dbc::{ColumnMeta, ResultSetMetaData};
+    use gridrm_sqlparse::SqlType;
+
+    fn rows() -> Arc<RowSet> {
+        Arc::new(RowSet::empty(ResultSetMetaData::new(vec![
+            ColumnMeta::new("a", SqlType::Int),
+        ])))
+    }
+
+    #[test]
+    fn hit_within_ttl_miss_after() {
+        let c = CacheController::new(5_000);
+        c.store("src", "SELECT 1", rows(), 1_000);
+        assert!(c.lookup("src", "SELECT 1", 3_000, None).is_some());
+        assert!(c.lookup("src", "SELECT 1", 7_000, None).is_none());
+        let (hits, misses, stores, _) = c.stats().snapshot();
+        assert_eq!((hits, misses, stores), (1, 1, 1));
+    }
+
+    #[test]
+    fn client_max_age_overrides_default() {
+        let c = CacheController::new(60_000);
+        c.store("src", "q", rows(), 0);
+        // Client insists on ≤1s freshness.
+        assert!(c.lookup("src", "q", 5_000, Some(1_000)).is_none());
+        assert!(c.lookup("src", "q", 5_000, Some(10_000)).is_some());
+    }
+
+    #[test]
+    fn keyed_by_source_and_sql() {
+        let c = CacheController::new(5_000);
+        c.store("a", "q1", rows(), 0);
+        assert!(c.lookup("a", "q2", 0, None).is_none());
+        assert!(c.lookup("b", "q1", 0, None).is_none());
+        assert!(c.lookup("a", "q1", 0, None).is_some());
+    }
+
+    #[test]
+    fn invalidate_source_scoped() {
+        let c = CacheController::new(5_000);
+        c.store("a", "q1", rows(), 0);
+        c.store("a", "q2", rows(), 0);
+        c.store("b", "q1", rows(), 0);
+        assert_eq!(c.invalidate_source("a"), 2);
+        assert_eq!(c.len(), 1);
+        assert!(c.lookup("b", "q1", 0, None).is_some());
+    }
+
+    #[test]
+    fn sweep_by_age() {
+        let c = CacheController::new(60_000);
+        c.store("a", "q1", rows(), 0);
+        c.store("a", "q2", rows(), 50_000);
+        assert_eq!(c.sweep(60_000, 20_000), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn inventory_reports_ages() {
+        let c = CacheController::new(5_000);
+        c.store("a", "q", rows(), 1_000);
+        let inv = c.inventory(4_000);
+        assert_eq!(inv.len(), 1);
+        assert_eq!(inv[0].2, 3_000);
+    }
+
+    #[test]
+    fn age_never_negative() {
+        let c = CacheController::new(5_000);
+        c.store("a", "q", rows(), 10_000);
+        // Clock skew (entry "from the future") reads as age 0.
+        assert!(c.lookup("a", "q", 5_000, None).is_some());
+    }
+}

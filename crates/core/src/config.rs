@@ -1,0 +1,65 @@
+//! Gateway policy & configuration (Fig 2's "Gateway Policy and Schemas").
+
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of one gateway.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GatewayConfig {
+    /// Gateway name (unique within the Grid).
+    pub name: String,
+    /// The Grid site this gateway manages.
+    pub site: String,
+    /// The gateway's own network address.
+    pub address: String,
+    /// Default cache TTL served to `Cached` queries, virtual ms (§4).
+    pub cache_ttl_ms: u64,
+    /// History retention window, virtual ms.
+    pub history_retention_ms: u64,
+    /// Event fast-buffer capacity (Fig 4).
+    pub event_fast_capacity: usize,
+    /// Max idle pooled connections per (source, driver) pair (§3.1.2).
+    pub pool_max_idle: usize,
+    /// Session time-to-live, virtual ms.
+    pub session_ttl_ms: u64,
+    /// Record harvested real-time results into history?
+    pub record_history: bool,
+}
+
+impl GatewayConfig {
+    /// Sensible defaults for a site gateway.
+    pub fn new(name: &str, site: &str) -> GatewayConfig {
+        GatewayConfig {
+            name: name.to_owned(),
+            site: site.to_owned(),
+            address: format!("gw.{site}"),
+            cache_ttl_ms: 10_000,
+            history_retention_ms: 24 * 3_600_000,
+            event_fast_capacity: 1024,
+            pool_max_idle: 8,
+            session_ttl_ms: 1_800_000,
+            record_history: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = GatewayConfig::new("gw-a", "site-a");
+        assert_eq!(c.address, "gw.site-a");
+        assert!(c.record_history);
+        assert!(c.cache_ttl_ms > 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = GatewayConfig::new("gw-a", "site-a");
+        let json = serde_json::to_string(&c).unwrap();
+        let back: GatewayConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name, c.name);
+        assert_eq!(back.pool_max_idle, c.pool_max_idle);
+    }
+}

@@ -1,0 +1,513 @@
+//! The Connection Manager (paper §3.1.2): executes queries through pooled
+//! driver connections. "Driver connections typically incur an overhead
+//! when a data source is first connected, especially if drivers are
+//! dynamically mapped to the data source. Therefore the ConnectionManager
+//! provides pooling of driver connections to reduce the overhead effects."
+//!
+//! This is also where failure policies play out (§4): a failed query
+//! invalidates the driver cache and, depending on policy, is retried,
+//! rerouted to the next compatible driver, or reported.
+
+use crate::driver_manager::{FailurePolicy, GridRMDriverManager};
+use gridrm_dbc::{Connection, DbcResult, JdbcUrl, Properties, RowSet, SqlError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Pool counters (experiment E9).
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    /// Connection requests.
+    pub checkouts: AtomicU64,
+    /// Served from the pool.
+    pub pool_hits: AtomicU64,
+    /// Fresh connections created.
+    pub creates: AtomicU64,
+    /// Pooled connections discarded (failed ping / over capacity).
+    pub discards: AtomicU64,
+    /// Query attempts that failed.
+    pub failures: AtomicU64,
+}
+
+impl PoolStats {
+    /// Snapshot `(checkouts, pool_hits, creates, discards, failures)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.checkouts.load(Ordering::Relaxed),
+            self.pool_hits.load(Ordering::Relaxed),
+            self.creates.load(Ordering::Relaxed),
+            self.discards.load(Ordering::Relaxed),
+            self.failures.load(Ordering::Relaxed),
+        )
+    }
+}
+
+type PoolKey = (String, String); // (url, driver name)
+
+/// The Connection Manager.
+pub struct ConnectionManager {
+    driver_manager: Arc<GridRMDriverManager>,
+    pool: Mutex<HashMap<PoolKey, Vec<Box<dyn Connection>>>>,
+    max_idle_per_key: usize,
+    /// Pooling can be disabled to measure its benefit (E9).
+    pooling_enabled: std::sync::atomic::AtomicBool,
+    stats: PoolStats,
+}
+
+impl ConnectionManager {
+    /// Manager over a driver manager, keeping up to `max_idle_per_key`
+    /// idle connections per (source, driver) pair.
+    pub fn new(driver_manager: Arc<GridRMDriverManager>, max_idle_per_key: usize) -> Self {
+        ConnectionManager {
+            driver_manager,
+            pool: Mutex::new(HashMap::new()),
+            max_idle_per_key: max_idle_per_key.max(1),
+            pooling_enabled: std::sync::atomic::AtomicBool::new(true),
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Enable/disable pooling (ablation switch).
+    pub fn set_pooling(&self, enabled: bool) {
+        self.pooling_enabled.store(enabled, Ordering::Relaxed);
+        if !enabled {
+            self.pool.lock().clear();
+        }
+    }
+
+    /// The underlying GridRM driver manager.
+    pub fn driver_manager(&self) -> &Arc<GridRMDriverManager> {
+        &self.driver_manager
+    }
+
+    fn checkout(&self, url: &JdbcUrl, driver_name: &str) -> DbcResult<Box<dyn Connection>> {
+        self.stats.checkouts.fetch_add(1, Ordering::Relaxed);
+        let key: PoolKey = (url.to_string(), driver_name.to_owned());
+        if self.pooling_enabled.load(Ordering::Relaxed) {
+            loop {
+                let candidate = self.pool.lock().get_mut(&key).and_then(Vec::pop);
+                let Some(mut conn) = candidate else { break };
+                // "All new connections are registered with the connection
+                // pool before use" — and pooled ones are validated before
+                // being handed out.
+                if conn.ping().is_ok() {
+                    self.stats.pool_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(conn);
+                }
+                self.stats.discards.fetch_add(1, Ordering::Relaxed);
+                let _ = conn.close();
+            }
+        }
+        // "The ConnectionManager calls the GridRMDriverManager to return a
+        // new connection if a suitable pooled instance does not exist."
+        let driver = self
+            .driver_manager
+            .base()
+            .get_by_name(driver_name)
+            .ok_or_else(|| SqlError::NoSuitableDriver(format!("{driver_name} unregistered")))?;
+        self.stats.creates.fetch_add(1, Ordering::Relaxed);
+        driver.connect(url, &Properties::new())
+    }
+
+    fn checkin(&self, url: &JdbcUrl, driver_name: &str, mut conn: Box<dyn Connection>) {
+        if !self.pooling_enabled.load(Ordering::Relaxed) || conn.is_closed() {
+            let _ = conn.close();
+            return;
+        }
+        let key: PoolKey = (url.to_string(), driver_name.to_owned());
+        let mut pool = self.pool.lock();
+        let slot = pool.entry(key).or_default();
+        if slot.len() >= self.max_idle_per_key {
+            self.stats.discards.fetch_add(1, Ordering::Relaxed);
+            let _ = conn.close();
+        } else {
+            slot.push(conn);
+        }
+    }
+
+    /// Number of idle pooled connections (across all keys).
+    pub fn idle_connections(&self) -> usize {
+        self.pool.lock().values().map(Vec::len).sum()
+    }
+
+    /// Drop every pooled connection (e.g. on shutdown).
+    pub fn drain(&self) {
+        self.pool.lock().clear();
+    }
+
+    /// One query attempt against one specific driver.
+    fn attempt(&self, url: &JdbcUrl, driver_name: &str, sql: &str) -> DbcResult<RowSet> {
+        let mut conn = self.checkout(url, driver_name)?;
+        let result = (|| {
+            let mut stmt = conn.create_statement()?;
+            let mut rs = stmt.execute_query(sql)?;
+            RowSet::materialize(rs.as_mut())
+        })();
+        match &result {
+            Ok(_) => self.checkin(url, driver_name, conn),
+            Err(_) => {
+                // A failed connection is not returned to the pool.
+                self.stats.discards.fetch_add(1, Ordering::Relaxed);
+                let _ = conn.close();
+            }
+        }
+        result
+    }
+
+    /// Execute a real-time query against a data source, applying the
+    /// source's failure policy. This is the Fig 3/Fig 5 query path.
+    pub fn execute(&self, url: &JdbcUrl, sql: &str) -> DbcResult<RowSet> {
+        let policy = self.driver_manager.policy_for(url);
+        let mut excluded: Vec<String> = Vec::new();
+        let mut retries_used = 0u32;
+        let mut last_err: Option<SqlError> = None;
+        loop {
+            let driver = match self.driver_manager.resolve_excluding(url, &excluded) {
+                Ok(d) => d,
+                Err(e) => return Err(last_err.unwrap_or(e)),
+            };
+            let name = driver.name();
+            match self.attempt(url, &name, sql) {
+                Ok(rs) => {
+                    self.driver_manager.record_success(url, &name);
+                    return Ok(rs);
+                }
+                Err(err) => {
+                    self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                    self.driver_manager.record_failure(url, &name);
+                    // Query-level errors (bad SQL, unsupported group) are
+                    // not connectivity failures: no policy will fix them.
+                    if !err.is_retryable() && !matches!(err, SqlError::Driver(_)) {
+                        return Err(err);
+                    }
+                    match policy {
+                        FailurePolicy::Report => return Err(err),
+                        FailurePolicy::Retry(n) => {
+                            if retries_used >= n {
+                                return Err(err);
+                            }
+                            retries_used += 1;
+                            last_err = Some(err);
+                        }
+                        FailurePolicy::TryNext => {
+                            excluded.push(name);
+                            last_err = Some(err);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pool counters.
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridrm_dbc::{ColumnMeta, Driver, DriverMetaData, ResultSet, ResultSetMetaData, Statement};
+    use gridrm_sqlparse::{SqlType, SqlValue};
+    use std::sync::atomic::AtomicBool;
+
+    /// A scriptable driver: fails while `broken` is set.
+    struct ScriptedDriver {
+        name: &'static str,
+        broken: Arc<AtomicBool>,
+        connects: Arc<AtomicU64>,
+    }
+
+    struct ScriptedConn {
+        url: JdbcUrl,
+        name: &'static str,
+        broken: Arc<AtomicBool>,
+        closed: bool,
+    }
+
+    struct ScriptedStmt {
+        name: &'static str,
+        broken: Arc<AtomicBool>,
+    }
+
+    impl Driver for ScriptedDriver {
+        fn meta(&self) -> DriverMetaData {
+            DriverMetaData {
+                name: self.name.to_owned(),
+                subprotocol: "any".to_owned(),
+                version: (1, 0),
+                description: String::new(),
+            }
+        }
+        fn accepts_url(&self, _url: &JdbcUrl) -> bool {
+            true
+        }
+        fn connect(&self, url: &JdbcUrl, _props: &Properties) -> DbcResult<Box<dyn Connection>> {
+            self.connects.fetch_add(1, Ordering::Relaxed);
+            if self.broken.load(Ordering::Relaxed) {
+                return Err(SqlError::Connection(format!("{} down", self.name)));
+            }
+            Ok(Box::new(ScriptedConn {
+                url: url.clone(),
+                name: self.name,
+                broken: self.broken.clone(),
+                closed: false,
+            }))
+        }
+    }
+
+    impl Connection for ScriptedConn {
+        fn create_statement(&mut self) -> DbcResult<Box<dyn Statement>> {
+            if self.closed {
+                return Err(SqlError::Closed);
+            }
+            Ok(Box::new(ScriptedStmt {
+                name: self.name,
+                broken: self.broken.clone(),
+            }))
+        }
+        fn url(&self) -> &JdbcUrl {
+            &self.url
+        }
+        fn is_closed(&self) -> bool {
+            self.closed
+        }
+        fn close(&mut self) -> DbcResult<()> {
+            self.closed = true;
+            Ok(())
+        }
+        fn ping(&mut self) -> DbcResult<()> {
+            if self.broken.load(Ordering::Relaxed) {
+                Err(SqlError::Connection("ping failed".into()))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    impl Statement for ScriptedStmt {
+        fn execute_query(&mut self, _sql: &str) -> DbcResult<Box<dyn ResultSet>> {
+            if self.broken.load(Ordering::Relaxed) {
+                return Err(SqlError::Connection("query failed".into()));
+            }
+            Ok(Box::new(
+                RowSet::new(
+                    ResultSetMetaData::new(vec![ColumnMeta::new("driver", SqlType::Str)]),
+                    vec![vec![SqlValue::Str(self.name.to_owned())]],
+                )
+                .unwrap(),
+            ))
+        }
+    }
+
+    struct Rig {
+        cm: ConnectionManager,
+        broken_a: Arc<AtomicBool>,
+        broken_b: Arc<AtomicBool>,
+        connects_a: Arc<AtomicU64>,
+    }
+
+    fn rig() -> Rig {
+        let dm = Arc::new(GridRMDriverManager::new());
+        let broken_a = Arc::new(AtomicBool::new(false));
+        let broken_b = Arc::new(AtomicBool::new(false));
+        let connects_a = Arc::new(AtomicU64::new(0));
+        dm.register(Arc::new(ScriptedDriver {
+            name: "drv-a",
+            broken: broken_a.clone(),
+            connects: connects_a.clone(),
+        }));
+        dm.register(Arc::new(ScriptedDriver {
+            name: "drv-b",
+            broken: broken_b.clone(),
+            connects: Arc::new(AtomicU64::new(0)),
+        }));
+        Rig {
+            cm: ConnectionManager::new(dm, 4),
+            broken_a,
+            broken_b,
+            connects_a,
+        }
+    }
+
+    fn url() -> JdbcUrl {
+        JdbcUrl::parse("jdbc:any://host/x").unwrap()
+    }
+
+    fn winner(rs: &RowSet) -> String {
+        rs.rows()[0][0].to_string()
+    }
+
+    #[test]
+    fn pooling_reuses_connections() {
+        let r = rig();
+        for _ in 0..10 {
+            r.cm.execute(&url(), "SELECT 1 FROM t").unwrap();
+        }
+        assert_eq!(r.connects_a.load(Ordering::Relaxed), 1);
+        let (checkouts, hits, creates, _, _) = r.cm.stats().snapshot();
+        assert_eq!(checkouts, 10);
+        assert_eq!(hits, 9);
+        assert_eq!(creates, 1);
+        assert_eq!(r.cm.idle_connections(), 1);
+    }
+
+    #[test]
+    fn pooling_disabled_reconnects_every_time() {
+        let r = rig();
+        r.cm.set_pooling(false);
+        for _ in 0..5 {
+            r.cm.execute(&url(), "q").unwrap();
+        }
+        assert_eq!(r.connects_a.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn trynext_fails_over_to_second_driver() {
+        let r = rig();
+        r.broken_a.store(true, Ordering::Relaxed);
+        let rs = r.cm.execute(&url(), "q").unwrap();
+        assert_eq!(winner(&rs), "drv-b");
+        // And the success is cached for next time.
+        assert_eq!(
+            r.cm.driver_manager().cached_driver(&url()).as_deref(),
+            Some("drv-b")
+        );
+    }
+
+    #[test]
+    fn report_policy_surfaces_error() {
+        let r = rig();
+        r.cm.driver_manager()
+            .set_policy(&url(), FailurePolicy::Report);
+        r.broken_a.store(true, Ordering::Relaxed);
+        assert!(matches!(
+            r.cm.execute(&url(), "q").err().unwrap(),
+            SqlError::Connection(_)
+        ));
+    }
+
+    #[test]
+    fn retry_policy_recovers_after_transient_failure() {
+        let r = rig();
+        r.cm.driver_manager()
+            .set_policy(&url(), FailurePolicy::Retry(3));
+        // Pre-establish the cache so retry targets drv-a.
+        r.cm.execute(&url(), "q").unwrap();
+        r.broken_a.store(true, Ordering::Relaxed);
+        // All retries exhausted → error.
+        assert!(r.cm.execute(&url(), "q").is_err());
+        // Transient failure: agent comes back before retries run out. The
+        // scripted driver recovers instantly, so the first retry wins.
+        r.broken_a.store(false, Ordering::Relaxed);
+        assert_eq!(winner(&r.cm.execute(&url(), "q").unwrap()), "drv-a");
+    }
+
+    #[test]
+    fn all_drivers_down_reports_last_error() {
+        let r = rig();
+        r.broken_a.store(true, Ordering::Relaxed);
+        r.broken_b.store(true, Ordering::Relaxed);
+        let err = r.cm.execute(&url(), "q").err().unwrap();
+        assert!(matches!(err, SqlError::Connection(_)), "{err}");
+    }
+
+    #[test]
+    fn recovery_after_failover_and_back() {
+        let r = rig();
+        r.cm.execute(&url(), "q").unwrap(); // cache = drv-a
+        r.broken_a.store(true, Ordering::Relaxed);
+        assert_eq!(winner(&r.cm.execute(&url(), "q").unwrap()), "drv-b");
+        // drv-a heals; cache still says drv-b, which keeps working — the
+        // gateway stays on the known-good driver (paper §4 behaviour).
+        r.broken_a.store(false, Ordering::Relaxed);
+        assert_eq!(winner(&r.cm.execute(&url(), "q").unwrap()), "drv-b");
+    }
+
+    #[test]
+    fn broken_pooled_connection_is_replaced() {
+        let r = rig();
+        r.cm.execute(&url(), "q").unwrap();
+        assert_eq!(r.cm.idle_connections(), 1);
+        // Break the agent: the pooled connection fails its ping, is
+        // discarded, and (after the failure) drv-b takes over.
+        r.broken_a.store(true, Ordering::Relaxed);
+        let rs = r.cm.execute(&url(), "q").unwrap();
+        assert_eq!(winner(&rs), "drv-b");
+        let (_, _, _, discards, _) = r.cm.stats().snapshot();
+        assert!(discards >= 1);
+    }
+
+    #[test]
+    fn pool_respects_capacity() {
+        let dm = Arc::new(GridRMDriverManager::new());
+        dm.register(Arc::new(ScriptedDriver {
+            name: "drv-a",
+            broken: Arc::new(AtomicBool::new(false)),
+            connects: Arc::new(AtomicU64::new(0)),
+        }));
+        let cm = ConnectionManager::new(dm, 2);
+        // Checkout 4 connections simultaneously, then return them all.
+        let u = url();
+        let conns: Vec<_> = (0..4).map(|_| cm.checkout(&u, "drv-a").unwrap()).collect();
+        for c in conns {
+            cm.checkin(&u, "drv-a", c);
+        }
+        assert_eq!(cm.idle_connections(), 2);
+        cm.drain();
+        assert_eq!(cm.idle_connections(), 0);
+    }
+
+    #[test]
+    fn nonretryable_error_not_failed_over() {
+        // An Unsupported error (bad group) must not trigger failover —
+        // trying another driver cannot fix the client's SQL.
+        struct UnsupportedDriver;
+        impl Driver for UnsupportedDriver {
+            fn meta(&self) -> DriverMetaData {
+                DriverMetaData {
+                    name: "drv-unsup".into(),
+                    subprotocol: "any".into(),
+                    version: (1, 0),
+                    description: String::new(),
+                }
+            }
+            fn accepts_url(&self, _url: &JdbcUrl) -> bool {
+                true
+            }
+            fn connect(&self, url: &JdbcUrl, _p: &Properties) -> DbcResult<Box<dyn Connection>> {
+                struct C(JdbcUrl);
+                impl Connection for C {
+                    fn create_statement(&mut self) -> DbcResult<Box<dyn Statement>> {
+                        struct S;
+                        impl Statement for S {
+                            fn execute_query(&mut self, _q: &str) -> DbcResult<Box<dyn ResultSet>> {
+                                Err(SqlError::Unsupported("no such group".into()))
+                            }
+                        }
+                        Ok(Box::new(S))
+                    }
+                    fn url(&self) -> &JdbcUrl {
+                        &self.0
+                    }
+                    fn is_closed(&self) -> bool {
+                        false
+                    }
+                    fn close(&mut self) -> DbcResult<()> {
+                        Ok(())
+                    }
+                }
+                Ok(Box::new(C(url.clone())))
+            }
+        }
+        let dm = Arc::new(GridRMDriverManager::new());
+        dm.register(Arc::new(UnsupportedDriver));
+        let cm = ConnectionManager::new(dm, 2);
+        assert!(matches!(
+            cm.execute(&url(), "SELECT * FROM Bogus").err().unwrap(),
+            SqlError::Unsupported(_)
+        ));
+    }
+}

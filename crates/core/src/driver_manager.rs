@@ -1,0 +1,383 @@
+//! The GridRM Driver Manager (paper §3.1.3): registers/unregisters
+//! drivers, performs driver-to-resource allocation either **statically**
+//! ("using driver preferences registered in advance by the user") or
+//! **dynamically** ("selects a compatible driver at runtime"), keeps a
+//! cache of "the driver last successfully used for a data source", and
+//! applies configurable failure policies ("retry the driver, try another,
+//! report the error", §3.1.3/§4).
+
+use gridrm_dbc::{DbcResult, Driver, DriverManager, JdbcUrl, SqlError};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What to do when the selected driver fails a request (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum FailurePolicy {
+    /// "Provide notification of a connection failure": surface the error.
+    Report,
+    /// "Retry the specified drivers for n iterations".
+    Retry(u32),
+    /// "Dynamically select a new driver from the set of registered
+    /// drivers", excluding those that already failed.
+    #[default]
+    TryNext,
+}
+
+/// Selection-path counters (experiment E5).
+#[derive(Debug, Default)]
+pub struct ResolutionStats {
+    /// Total resolutions requested.
+    pub resolutions: AtomicU64,
+    /// Served from the last-success cache.
+    pub cache_hits: AtomicU64,
+    /// Served from static preferences.
+    pub static_hits: AtomicU64,
+    /// Fell through to a dynamic `accepts_url` scan.
+    pub dynamic_scans: AtomicU64,
+    /// Cache invalidations after failures.
+    pub invalidations: AtomicU64,
+}
+
+impl ResolutionStats {
+    /// Snapshot `(resolutions, cache_hits, static_hits, dynamic_scans,
+    /// invalidations)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.resolutions.load(Ordering::Relaxed),
+            self.cache_hits.load(Ordering::Relaxed),
+            self.static_hits.load(Ordering::Relaxed),
+            self.dynamic_scans.load(Ordering::Relaxed),
+            self.invalidations.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The GridRM Driver Manager wrapping the base registry.
+pub struct GridRMDriverManager {
+    base: DriverManager,
+    /// Per-source prioritised driver-name preferences (Fig 8's "register a
+    /// number of drivers to be used in prioritised order").
+    preferences: RwLock<HashMap<String, Vec<String>>>,
+    /// Per-source last successfully used driver.
+    last_success: RwLock<HashMap<String, String>>,
+    /// Per-source failure policy, with a gateway-wide default.
+    policies: RwLock<HashMap<String, FailurePolicy>>,
+    default_policy: RwLock<FailurePolicy>,
+    stats: ResolutionStats,
+}
+
+impl GridRMDriverManager {
+    /// Empty manager with the default failure policy.
+    pub fn new() -> GridRMDriverManager {
+        GridRMDriverManager {
+            base: DriverManager::new(),
+            preferences: RwLock::new(HashMap::new()),
+            last_success: RwLock::new(HashMap::new()),
+            policies: RwLock::new(HashMap::new()),
+            default_policy: RwLock::new(FailurePolicy::default()),
+            stats: ResolutionStats::default(),
+        }
+    }
+
+    /// The wrapped base registry (registration API, Table 1).
+    pub fn base(&self) -> &DriverManager {
+        &self.base
+    }
+
+    /// Register a driver plug-in (runtime-safe, §3.2).
+    pub fn register(&self, driver: Arc<dyn Driver>) {
+        self.base.register(driver);
+    }
+
+    /// Unregister a driver and purge it from caches/preferences so future
+    /// resolutions cannot hand it out.
+    pub fn unregister(&self, name: &str) -> bool {
+        let removed = self.base.unregister(name);
+        if removed {
+            self.last_success.write().retain(|_, d| d != name);
+        }
+        removed
+    }
+
+    /// Set (replace) the user's prioritised driver preference for a source.
+    pub fn set_preferences(&self, url: &JdbcUrl, drivers: Vec<String>) {
+        self.preferences.write().insert(url.to_string(), drivers);
+    }
+
+    /// Clear a source's preferences.
+    pub fn clear_preferences(&self, url: &JdbcUrl) -> bool {
+        self.preferences.write().remove(&url.to_string()).is_some()
+    }
+
+    /// Configure the failure policy for one source.
+    pub fn set_policy(&self, url: &JdbcUrl, policy: FailurePolicy) {
+        self.policies.write().insert(url.to_string(), policy);
+    }
+
+    /// Configure the gateway-wide default failure policy.
+    pub fn set_default_policy(&self, policy: FailurePolicy) {
+        *self.default_policy.write() = policy;
+    }
+
+    /// The failure policy in force for a source.
+    pub fn policy_for(&self, url: &JdbcUrl) -> FailurePolicy {
+        self.policies
+            .read()
+            .get(&url.to_string())
+            .copied()
+            .unwrap_or(*self.default_policy.read())
+    }
+
+    /// Resolve the driver for `url`, excluding drivers named in `exclude`
+    /// (used by the TryNext policy). Order: last-success cache → static
+    /// preferences → dynamic scan (Table 2).
+    pub fn resolve_excluding(
+        &self,
+        url: &JdbcUrl,
+        exclude: &[String],
+    ) -> DbcResult<Arc<dyn Driver>> {
+        self.stats.resolutions.fetch_add(1, Ordering::Relaxed);
+        let key = url.to_string();
+
+        // 1. Last-success cache ("for performance, the GridRMDriverManager
+        //    maintains a cache containing details of the driver last
+        //    successfully used for a data source").
+        if let Some(name) = self.last_success.read().get(&key) {
+            if !exclude.contains(name) {
+                if let Some(d) = self.base.get_by_name(name) {
+                    self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(d);
+                }
+            }
+        }
+
+        // 2. Static preferences, in priority order.
+        if let Some(prefs) = self.preferences.read().get(&key) {
+            for name in prefs {
+                if exclude.contains(name) {
+                    continue;
+                }
+                if let Some(d) = self.base.get_by_name(name) {
+                    self.stats.static_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(d);
+                }
+            }
+            // Explicit preferences exist but none are usable: that is a
+            // configuration-level failure the user asked to control; fall
+            // through to dynamic selection only under TryNext.
+            if self.policy_for(url) != FailurePolicy::TryNext {
+                return Err(SqlError::NoSuitableDriver(format!(
+                    "{key} (preferred drivers unavailable)"
+                )));
+            }
+        }
+
+        // 3. Dynamic selection (Table 2's accepts_url scan).
+        self.stats.dynamic_scans.fetch_add(1, Ordering::Relaxed);
+        if exclude.is_empty() {
+            return self.base.locate(url);
+        }
+        let drivers = self.base.drivers();
+        for d in drivers {
+            if exclude.contains(&d.name()) {
+                continue;
+            }
+            if d.accepts_url(url) {
+                return Ok(d);
+            }
+        }
+        Err(SqlError::NoSuitableDriver(key))
+    }
+
+    /// Resolve with no exclusions.
+    pub fn resolve(&self, url: &JdbcUrl) -> DbcResult<Arc<dyn Driver>> {
+        self.resolve_excluding(url, &[])
+    }
+
+    /// Record a successful use of `driver` for `url` (feeds the cache).
+    pub fn record_success(&self, url: &JdbcUrl, driver: &str) {
+        self.last_success
+            .write()
+            .insert(url.to_string(), driver.to_owned());
+    }
+
+    /// Record a failed use: "configuration rules determine the actions that
+    /// should occur if a cached driver reference is no longer valid" — at
+    /// minimum the stale cache entry is dropped.
+    pub fn record_failure(&self, url: &JdbcUrl, driver: &str) {
+        let mut cache = self.last_success.write();
+        if cache.get(&url.to_string()).map(String::as_str) == Some(driver) {
+            cache.remove(&url.to_string());
+            self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The cached last-success driver for a source, if any.
+    pub fn cached_driver(&self, url: &JdbcUrl) -> Option<String> {
+        self.last_success.read().get(&url.to_string()).cloned()
+    }
+
+    /// Selection counters.
+    pub fn stats(&self) -> &ResolutionStats {
+        &self.stats
+    }
+}
+
+impl Default for GridRMDriverManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridrm_dbc::{Connection, DriverMetaData, Properties};
+
+    struct FakeDriver {
+        name: &'static str,
+        proto: &'static str,
+        accept_wildcard: bool,
+    }
+    impl Driver for FakeDriver {
+        fn meta(&self) -> DriverMetaData {
+            DriverMetaData {
+                name: self.name.to_owned(),
+                subprotocol: self.proto.to_owned(),
+                version: (1, 0),
+                description: String::new(),
+            }
+        }
+        fn accepts_url(&self, url: &JdbcUrl) -> bool {
+            url.subprotocol == self.proto || (url.is_wildcard() && self.accept_wildcard)
+        }
+        fn connect(&self, _url: &JdbcUrl, _props: &Properties) -> DbcResult<Box<dyn Connection>> {
+            Err(SqlError::Connection("fake".into()))
+        }
+    }
+
+    fn manager() -> GridRMDriverManager {
+        let m = GridRMDriverManager::new();
+        m.register(Arc::new(FakeDriver {
+            name: "d-snmp",
+            proto: "snmp",
+            accept_wildcard: false,
+        }));
+        m.register(Arc::new(FakeDriver {
+            name: "d-ganglia",
+            proto: "ganglia",
+            accept_wildcard: true,
+        }));
+        m.register(Arc::new(FakeDriver {
+            name: "d-nws",
+            proto: "nws",
+            accept_wildcard: true,
+        }));
+        m
+    }
+
+    fn url(s: &str) -> JdbcUrl {
+        JdbcUrl::parse(s).unwrap()
+    }
+
+    #[test]
+    fn dynamic_then_cached() {
+        let m = manager();
+        let u = url("jdbc:://host/x");
+        let d = m.resolve(&u).unwrap();
+        assert_eq!(d.name(), "d-ganglia"); // first wildcard-acceptor
+        m.record_success(&u, &d.name());
+        let d2 = m.resolve(&u).unwrap();
+        assert_eq!(d2.name(), "d-ganglia");
+        let (res, hits, _stat, scans, _) = m.stats().snapshot();
+        assert_eq!(res, 2);
+        assert_eq!(hits, 1);
+        assert_eq!(scans, 1);
+    }
+
+    #[test]
+    fn static_preferences_take_priority() {
+        let m = manager();
+        let u = url("jdbc:://host/x");
+        m.set_preferences(&u, vec!["d-nws".into(), "d-ganglia".into()]);
+        assert_eq!(m.resolve(&u).unwrap().name(), "d-nws");
+        let (_, _, stat, scans, _) = m.stats().snapshot();
+        assert_eq!(stat, 1);
+        assert_eq!(scans, 0);
+        // Cache beats preferences on subsequent resolutions.
+        m.record_success(&u, "d-ganglia");
+        assert_eq!(m.resolve(&u).unwrap().name(), "d-ganglia");
+    }
+
+    #[test]
+    fn preferences_fall_through_only_with_trynext() {
+        let m = manager();
+        let u = url("jdbc:snmp://host/x");
+        m.set_preferences(&u, vec!["missing-driver".into()]);
+        m.set_policy(&u, FailurePolicy::Report);
+        assert!(m.resolve(&u).is_err());
+        m.set_policy(&u, FailurePolicy::TryNext);
+        assert_eq!(m.resolve(&u).unwrap().name(), "d-snmp");
+    }
+
+    #[test]
+    fn failure_invalidates_cache() {
+        let m = manager();
+        let u = url("jdbc:snmp://host/x");
+        m.record_success(&u, "d-snmp");
+        assert_eq!(m.cached_driver(&u).as_deref(), Some("d-snmp"));
+        m.record_failure(&u, "d-snmp");
+        assert!(m.cached_driver(&u).is_none());
+        // Failures of a *different* driver leave the cache alone.
+        m.record_success(&u, "d-snmp");
+        m.record_failure(&u, "d-other");
+        assert!(m.cached_driver(&u).is_some());
+    }
+
+    #[test]
+    fn exclusion_skips_failed_drivers() {
+        let m = manager();
+        let u = url("jdbc:://host/x");
+        let d = m.resolve_excluding(&u, &["d-ganglia".to_owned()]).unwrap();
+        assert_eq!(d.name(), "d-nws");
+        assert!(m
+            .resolve_excluding(&u, &["d-ganglia".to_owned(), "d-nws".to_owned()])
+            .is_err());
+    }
+
+    #[test]
+    fn unregister_purges_cache() {
+        let m = manager();
+        let u = url("jdbc:ganglia://host/x");
+        m.record_success(&u, "d-ganglia");
+        assert!(m.unregister("d-ganglia"));
+        assert!(m.cached_driver(&u).is_none());
+        // Dynamic resolution no longer offers it.
+        assert!(m.resolve(&u).is_err());
+    }
+
+    #[test]
+    fn per_source_policy_overrides_default() {
+        let m = manager();
+        let u = url("jdbc:snmp://a/x");
+        assert_eq!(m.policy_for(&u), FailurePolicy::TryNext);
+        m.set_policy(&u, FailurePolicy::Retry(3));
+        assert_eq!(m.policy_for(&u), FailurePolicy::Retry(3));
+        m.set_default_policy(FailurePolicy::Report);
+        assert_eq!(m.policy_for(&url("jdbc:snmp://b/x")), FailurePolicy::Report);
+        assert_eq!(m.policy_for(&u), FailurePolicy::Retry(3));
+    }
+
+    #[test]
+    fn stale_cached_name_falls_through() {
+        let m = manager();
+        let u = url("jdbc:nws://host/x");
+        m.record_success(&u, "gone-driver");
+        // Cache points at an unregistered driver: resolution must still
+        // succeed dynamically.
+        assert_eq!(m.resolve(&u).unwrap().name(), "d-nws");
+    }
+}

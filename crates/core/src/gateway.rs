@@ -1,0 +1,246 @@
+//! The Gateway facade: wires every Local-layer component together
+//! (Fig 2/Fig 3) and exposes the ACIL entry point.
+
+use crate::acil::{ClientInterface, ClientRequest, ClientResponse};
+use crate::admin::AdminInterface;
+use crate::alerts::AlertEngine;
+use crate::cache::CacheController;
+use crate::config::GatewayConfig;
+use crate::connection::ConnectionManager;
+use crate::driver_manager::GridRMDriverManager;
+use crate::events::EventManager;
+use crate::history::HistoryManager;
+use crate::request::RequestManager;
+use crate::security::{Identity, SecurityPolicy};
+use crate::session::{SessionManager, SessionToken};
+use crossbeam::channel::Receiver;
+use gridrm_dbc::DbcResult;
+use gridrm_glue::SchemaManager;
+use gridrm_simnet::{Network, Push, SimClock};
+use gridrm_store::Store;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A GridRM gateway: "an access point to local resource data within its
+/// local control" (§1.1).
+pub struct Gateway {
+    config: GatewayConfig,
+    clock: Arc<SimClock>,
+    network: Arc<Network>,
+    schema: Arc<SchemaManager>,
+    driver_manager: Arc<GridRMDriverManager>,
+    connections: Arc<ConnectionManager>,
+    cache: Arc<CacheController>,
+    history: HistoryManager,
+    events: Arc<EventManager>,
+    sessions: Arc<SessionManager>,
+    security: Arc<RwLock<SecurityPolicy>>,
+    alerts: Arc<AlertEngine>,
+    admin: Arc<AdminInterface>,
+    request: Arc<RequestManager>,
+    /// Native pushes (traps, streamed events) addressed to this gateway.
+    push_rx: Receiver<Push>,
+}
+
+impl Gateway {
+    /// Build and wire a gateway. Registers the gateway's address on the
+    /// network (so agents can push traps to it) and mounts the history
+    /// store for the JDBC-GridRM driver under the name `history`.
+    pub fn new(config: GatewayConfig, network: Arc<Network>) -> Arc<Gateway> {
+        let clock = network.clock().clone();
+        let schema = Arc::new(SchemaManager::new());
+        let driver_manager = Arc::new(GridRMDriverManager::new());
+        let connections = Arc::new(ConnectionManager::new(
+            driver_manager.clone(),
+            config.pool_max_idle,
+        ));
+        let cache = Arc::new(CacheController::new(config.cache_ttl_ms));
+        let store = Store::new();
+        let history = HistoryManager::new(store).expect("fresh store accepts schema");
+        let events = EventManager::new(config.event_fast_capacity);
+        let sessions = Arc::new(SessionManager::new(config.session_ttl_ms));
+        let security = Arc::new(RwLock::new(SecurityPolicy::permissive()));
+        let alerts = Arc::new(AlertEngine::new());
+        let admin = Arc::new(AdminInterface::new(driver_manager.clone(), cache.clone()));
+        let request = Arc::new(RequestManager::new(
+            connections.clone(),
+            cache.clone(),
+            history.clone(),
+            events.clone(),
+            alerts.clone(),
+            sessions.clone(),
+            security.clone(),
+            clock.clone(),
+            config.record_history,
+        ));
+        // Become reachable: agents push traps to `config.address`.
+        network.register(
+            &config.address,
+            Arc::new(|_from: &str, _req: &[u8]| {
+                // The Local layer speaks to clients in-process; RPC to the
+                // gateway goes through the Global layer's `:gma` endpoint.
+                b"gridrm-gateway: use the :gma endpoint for RPC".to_vec()
+            }),
+        );
+        let push_rx = network
+            .subscribe(&config.address)
+            .expect("gateway endpoint just registered");
+        Arc::new(Gateway {
+            config,
+            clock,
+            network,
+            schema,
+            driver_manager,
+            connections,
+            cache,
+            history,
+            events,
+            sessions,
+            security,
+            alerts,
+            admin,
+            request,
+            push_rx,
+        })
+    }
+
+    /// The gateway's configuration.
+    pub fn config(&self) -> &GatewayConfig {
+        &self.config
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    /// The network the gateway lives on.
+    pub fn network(&self) -> &Arc<Network> {
+        &self.network
+    }
+
+    /// The Naming Schema Manager (§3.1.4).
+    pub fn schema(&self) -> &Arc<SchemaManager> {
+        &self.schema
+    }
+
+    /// The GridRM Driver Manager (§3.1.3).
+    pub fn driver_manager(&self) -> &Arc<GridRMDriverManager> {
+        &self.driver_manager
+    }
+
+    /// The Connection Manager (§3.1.2).
+    pub fn connections(&self) -> &Arc<ConnectionManager> {
+        &self.connections
+    }
+
+    /// The Cache Controller (§4).
+    pub fn cache(&self) -> &Arc<CacheController> {
+        &self.cache
+    }
+
+    /// Historical data (§3.1.1).
+    pub fn history(&self) -> &HistoryManager {
+        &self.history
+    }
+
+    /// The Event Manager (§3.1.5).
+    pub fn events(&self) -> &Arc<EventManager> {
+        &self.events
+    }
+
+    /// Session management.
+    pub fn sessions(&self) -> &Arc<SessionManager> {
+        &self.sessions
+    }
+
+    /// The security policy (shared, hot-swappable).
+    pub fn security(&self) -> &Arc<RwLock<SecurityPolicy>> {
+        &self.security
+    }
+
+    /// Replace the security policy.
+    pub fn set_security_policy(&self, policy: SecurityPolicy) {
+        *self.security.write() = policy;
+    }
+
+    /// Threshold alerting.
+    pub fn alerts(&self) -> &Arc<AlertEngine> {
+        &self.alerts
+    }
+
+    /// Administration (Figs 6–9).
+    pub fn admin(&self) -> &Arc<AdminInterface> {
+        &self.admin
+    }
+
+    /// The Request Manager (§3.1.1).
+    pub fn request_manager(&self) -> &Arc<RequestManager> {
+        &self.request
+    }
+
+    /// Authenticate and open a session.
+    pub fn login(&self, identity: Identity) -> SessionToken {
+        self.sessions.open(identity, self.clock.now_millis())
+    }
+
+    /// Submit a client request (ACIL shortcut).
+    pub fn query(&self, request: &ClientRequest) -> DbcResult<ClientResponse> {
+        let result = self.request.handle(request);
+        // Feed the admin tree-view health model (Fig 9 icons).
+        let now = self.clock.now_millis();
+        match &result {
+            Ok(resp) => {
+                for s in &request.sources {
+                    if !resp.warnings.iter().any(|w| w.starts_with(s.as_str())) {
+                        self.admin.record_poll_ok(s, now);
+                    } else if let Some(w) = resp.warnings.iter().find(|w| w.starts_with(s.as_str()))
+                    {
+                        self.admin.record_poll_error(s, now, w);
+                    }
+                }
+            }
+            Err(e) => {
+                for s in &request.sources {
+                    self.admin.record_poll_error(s, now, &e.to_string());
+                }
+            }
+        }
+        result
+    }
+
+    /// Run the gateway's periodic work: ingest pending native pushes
+    /// through the Event Manager's formatters, dispatch buffered events
+    /// (recording them into history and the admin health model), sweep
+    /// expired cache entries and sessions, and apply history retention.
+    /// Returns the number of events dispatched.
+    pub fn pump(&self) -> usize {
+        let now = self.clock.now_millis();
+        // 1. Native pushes → formatters → fast buffer.
+        while let Ok(push) = self.push_rx.try_recv() {
+            self.events
+                .ingest_native(&push.from, &push.payload, push.sent_at as i64);
+        }
+        // 2. Dispatch to listeners/transmitters; record history + health.
+        let dispatched = self.events.dispatch();
+        for event in &dispatched {
+            let _ = self.history.record_event(event);
+            self.admin.record_event(&event.source, now);
+        }
+        // 3. Housekeeping.
+        self.sessions.sweep(now);
+        self.cache
+            .sweep(now, self.config.cache_ttl_ms.saturating_mul(10));
+        let cutoff = now.saturating_sub(self.config.history_retention_ms);
+        if cutoff > 0 {
+            let _ = self.history.retain_since(cutoff as i64);
+        }
+        dispatched.len()
+    }
+}
+
+impl ClientInterface for Gateway {
+    fn submit(&self, request: &ClientRequest) -> DbcResult<ClientResponse> {
+        self.query(request)
+    }
+}

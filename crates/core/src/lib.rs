@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # gridrm-core — the GridRM Gateway Local layer
+//!
+//! This crate is the paper's primary contribution (§2–§4): a gateway that
+//! gives clients a homogeneous SQL view over heterogeneous local data
+//! sources through pluggable drivers, with caching, history, events,
+//! security and runtime administration. The module map follows Figs 2–4:
+//!
+//! | Paper component | Module |
+//! |---|---|
+//! | Abstract Client Interface Layer | [`acil`] |
+//! | Coarse/Fine Grained Security Layers | [`security`] |
+//! | Request Manager | [`request`] |
+//! | Connection Manager + pool | [`connection`] |
+//! | GridRM Driver Manager | [`driver_manager`] |
+//! | Cache Controller | [`cache`] |
+//! | Event Manager (Fig 4) | [`events`] |
+//! | Historical data | [`history`] |
+//! | Session Management | [`session`] |
+//! | Resource alerts (Fig 9 thresholds) | [`alerts`] |
+//! | Driver/data-source administration (Figs 6–8) | [`admin`] |
+//! | Gateway policy | [`config`] |
+//!
+//! The [`gateway::Gateway`] facade wires everything together; the Global
+//! layer (`gridrm-global`) stacks GMA routing on top of it.
+
+pub mod acil;
+pub mod admin;
+pub mod alerts;
+pub mod cache;
+pub mod config;
+pub mod connection;
+pub mod driver_manager;
+pub mod events;
+pub mod gateway;
+pub mod history;
+pub mod request;
+pub mod security;
+pub mod session;
+
+pub use acil::{ClientInterface, ClientRequest, ClientResponse, QueryMode};
+pub use admin::{render_tree_text, AdminInterface, DataSourceConfig, SourceStatus, TreeNode};
+pub use alerts::{AlertEngine, AlertRule, Comparison};
+pub use cache::CacheController;
+pub use config::GatewayConfig;
+pub use connection::ConnectionManager;
+pub use driver_manager::{FailurePolicy, GridRMDriverManager};
+pub use events::{EventManager, GridRMEvent, ListenerFilter, Severity};
+pub use gateway::Gateway;
+pub use history::HistoryManager;
+pub use request::RequestManager;
+pub use security::{CoarseOperation, Decision, Identity, SecurityPolicy};
+pub use session::{SessionManager, SessionToken};

@@ -1,0 +1,251 @@
+//! The Request Manager (paper §3.1.1): "SQL requests are received from the
+//! Abstract Client Interface Layer, the queries are processed and the
+//! results returned to the ACIL. The RequestManager coordinates queries
+//! across multiple data sources and consolidates results … executing
+//! queries that span real-time resource requests and historical (or
+//! cached) data."
+
+use crate::acil::{ClientRequest, ClientResponse, QueryMode};
+use crate::alerts::AlertEngine;
+use crate::cache::CacheController;
+use crate::connection::ConnectionManager;
+use crate::events::EventManager;
+use crate::history::HistoryManager;
+use crate::security::{CoarseOperation, Decision, Identity, SecurityPolicy};
+use crate::session::SessionManager;
+use gridrm_dbc::{DbcResult, JdbcUrl, RowSet, SqlError};
+use gridrm_simnet::SimClock;
+use gridrm_sqlparse::Statement;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Request-path counters.
+#[derive(Debug, Default)]
+pub struct RequestStats {
+    /// Requests handled.
+    pub requests: AtomicU64,
+    /// Individual source queries that hit a data source.
+    pub realtime_fetches: AtomicU64,
+    /// Individual source queries served from the cache.
+    pub cache_served: AtomicU64,
+    /// Historical queries executed.
+    pub historical: AtomicU64,
+    /// Requests denied by a security layer.
+    pub denied: AtomicU64,
+}
+
+/// The Request Manager.
+pub struct RequestManager {
+    connections: Arc<ConnectionManager>,
+    cache: Arc<CacheController>,
+    history: HistoryManager,
+    events: Arc<EventManager>,
+    alerts: Arc<AlertEngine>,
+    sessions: Arc<SessionManager>,
+    security: Arc<RwLock<SecurityPolicy>>,
+    clock: Arc<SimClock>,
+    record_history: AtomicBool,
+    stats: RequestStats,
+}
+
+impl RequestManager {
+    /// Wire the manager to its collaborators.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        connections: Arc<ConnectionManager>,
+        cache: Arc<CacheController>,
+        history: HistoryManager,
+        events: Arc<EventManager>,
+        alerts: Arc<AlertEngine>,
+        sessions: Arc<SessionManager>,
+        security: Arc<RwLock<SecurityPolicy>>,
+        clock: Arc<SimClock>,
+        record_history: bool,
+    ) -> RequestManager {
+        RequestManager {
+            connections,
+            cache,
+            history,
+            events,
+            alerts,
+            sessions,
+            security,
+            clock,
+            record_history: AtomicBool::new(record_history),
+            stats: RequestStats::default(),
+        }
+    }
+
+    /// Toggle history recording.
+    pub fn set_record_history(&self, on: bool) {
+        self.record_history.store(on, Ordering::Relaxed);
+    }
+
+    fn resolve_identity(&self, request: &ClientRequest) -> DbcResult<Identity> {
+        if let Some(token) = request.token {
+            return self
+                .sessions
+                .resolve(token, self.clock.now_millis())
+                .ok_or_else(|| SqlError::Security("invalid or expired session".into()));
+        }
+        Ok(request.identity.clone().unwrap_or_else(Identity::anonymous))
+    }
+
+    /// Handle one client request (the Fig 3 entry point).
+    pub fn handle(&self, request: &ClientRequest) -> DbcResult<ClientResponse> {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let identity = self.resolve_identity(request)?;
+
+        // Clients may only SELECT; writes to the historical store go
+        // through the admin/driver path.
+        let parsed = gridrm_sqlparse::parse(&request.sql)?;
+        let Statement::Select(sel) = parsed else {
+            return Err(SqlError::Unsupported(
+                "clients may only submit SELECT statements".into(),
+            ));
+        };
+
+        let now = self.clock.now_millis();
+        let policy = self.security.read().clone();
+
+        if request.mode == QueryMode::Historical {
+            if let Decision::Deny(reason) =
+                policy.check_coarse(&identity, CoarseOperation::QueryHistory)
+            {
+                self.stats.denied.fetch_add(1, Ordering::Relaxed);
+                return Err(SqlError::Security(reason));
+            }
+            self.stats.historical.fetch_add(1, Ordering::Relaxed);
+            let rows = self.history.query(&request.sql, now as i64)?;
+            return Ok(ClientResponse {
+                sources_ok: usize::from(!rows.is_empty()),
+                rows,
+                warnings: Vec::new(),
+                served_from_cache: 0,
+            });
+        }
+
+        if let Decision::Deny(reason) = policy.check_coarse(&identity, CoarseOperation::Query) {
+            self.stats.denied.fetch_add(1, Ordering::Relaxed);
+            return Err(SqlError::Security(reason));
+        }
+        if request.sources.is_empty() {
+            return Err(SqlError::Unsupported(
+                "real-time queries need at least one data source".into(),
+            ));
+        }
+
+        let group = sel.table.clone();
+        let mut consolidated: Option<RowSet> = None;
+        let mut warnings = Vec::new();
+        let mut served_from_cache = 0usize;
+        let mut sources_ok = 0usize;
+        let mut first_err: Option<SqlError> = None;
+
+        for source in &request.sources {
+            // Fine Grained Security Layer, per resource (§2).
+            match policy.check_fine(&identity, source, &group) {
+                Decision::Allow => {}
+                Decision::Deny(reason) => {
+                    self.stats.denied.fetch_add(1, Ordering::Relaxed);
+                    warnings.push(format!("{source}: {reason}"));
+                    first_err.get_or_insert(SqlError::Security(reason));
+                    continue;
+                }
+                Decision::Defer => {
+                    warnings.push(format!(
+                        "{source}: not authoritative here; route via the Global layer"
+                    ));
+                    continue;
+                }
+            }
+
+            // Cache path (§4).
+            if let QueryMode::Cached { max_age_ms } = request.mode {
+                if let Some(hit) = self.cache.lookup(source, &request.sql, now, max_age_ms) {
+                    self.stats.cache_served.fetch_add(1, Ordering::Relaxed);
+                    served_from_cache += 1;
+                    sources_ok += 1;
+                    append(
+                        &mut consolidated,
+                        (*hit.rows).clone(),
+                        &mut warnings,
+                        source,
+                    );
+                    continue;
+                }
+            }
+
+            // Real-time path through the ConnectionManager (Fig 3).
+            let url = match JdbcUrl::parse(source) {
+                Ok(u) => u,
+                Err(e) => {
+                    warnings.push(format!("{source}: {e}"));
+                    first_err.get_or_insert(e);
+                    continue;
+                }
+            };
+            self.stats.realtime_fetches.fetch_add(1, Ordering::Relaxed);
+            match self.connections.execute(&url, &request.sql) {
+                Ok(rows) => {
+                    sources_ok += 1;
+                    let shared = Arc::new(rows.clone());
+                    self.cache.store(source, &request.sql, shared, now);
+                    if self.record_history.load(Ordering::Relaxed) {
+                        if let Err(e) = self.history.record_rows(source, &group, &rows, now as i64)
+                        {
+                            warnings.push(format!("{source}: history write failed: {e}"));
+                        }
+                    }
+                    // Threshold alerts over fresh data (Fig 9).
+                    for event in self.alerts.scan(source, &group, &rows, now as i64) {
+                        self.events.ingest(event);
+                    }
+                    append(&mut consolidated, rows, &mut warnings, source);
+                }
+                Err(e) => {
+                    warnings.push(format!("{source}: {e}"));
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+
+        match consolidated {
+            Some(rows) => Ok(ClientResponse {
+                rows,
+                warnings,
+                served_from_cache,
+                sources_ok,
+            }),
+            None => {
+                Err(first_err
+                    .unwrap_or_else(|| SqlError::Driver("no source produced a result".into())))
+            }
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &RequestStats {
+        &self.stats
+    }
+}
+
+/// Consolidate result sets from multiple sources (§3.1.1). Shape
+/// mismatches (a driver translating differently) become warnings rather
+/// than hard failures.
+fn append(
+    consolidated: &mut Option<RowSet>,
+    rows: RowSet,
+    warnings: &mut Vec<String>,
+    source: &str,
+) {
+    match consolidated {
+        None => *consolidated = Some(rows),
+        Some(acc) => {
+            if let Err(e) = acc.append(rows) {
+                warnings.push(format!("{source}: result shape mismatch: {e}"));
+            }
+        }
+    }
+}

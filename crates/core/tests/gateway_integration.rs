@@ -1,0 +1,407 @@
+//! End-to-end Local-layer integration: simulated site, agents, gateway
+//! and the standard drivers, exercising the paper's Fig 3 query path, the
+//! Fig 4 event path, caching (§4), history (§3.1.1), failure policies (§4)
+//! and the admin tree view (Fig 9).
+
+use gridrm_agents::deploy_site;
+use gridrm_core::{
+    AlertRule, ClientRequest, Comparison, DataSourceConfig, Gateway, GatewayConfig, Identity,
+    ListenerFilter, Severity, SourceStatus,
+};
+use gridrm_drivers::install_into_gateway;
+use gridrm_resmodel::{SiteModel, SiteSpec};
+use gridrm_simnet::{Network, SimClock};
+use gridrm_sqlparse::SqlValue;
+use std::sync::Arc;
+
+struct World {
+    net: Arc<Network>,
+    site: Arc<SiteModel>,
+    agents: gridrm_agents::SiteAgents,
+    gateway: Arc<Gateway>,
+}
+
+fn world() -> World {
+    let net = Network::new(SimClock::new(), 99);
+    let mut spec = SiteSpec::new("alpha", 4, 4);
+    spec.peers = vec!["node00.beta".to_owned()];
+    let site = SiteModel::generate(1234, &spec);
+    site.advance_to(120_000);
+    let agents = deploy_site(&net, site.clone());
+    let gateway = Gateway::new(GatewayConfig::new("gw-alpha", "alpha"), net.clone());
+    install_into_gateway(&gateway);
+    World {
+        net,
+        site,
+        agents,
+        gateway,
+    }
+}
+
+#[test]
+fn realtime_query_through_full_stack() {
+    let w = world();
+    let resp = w
+        .gateway
+        .query(&ClientRequest::realtime(
+            "jdbc:snmp://node01.alpha/public",
+            "SELECT Hostname, NCpu, Load1 FROM Processor",
+        ))
+        .unwrap();
+    assert_eq!(resp.rows.len(), 1);
+    assert_eq!(resp.sources_ok, 1);
+    assert!(resp.warnings.is_empty());
+    assert_eq!(resp.rows.rows()[0][0], SqlValue::Str("node01.alpha".into()));
+}
+
+#[test]
+fn multi_source_consolidation() {
+    let w = world();
+    let sources: Vec<String> = (0..4)
+        .map(|i| format!("jdbc:snmp://node{i:02}.alpha/public"))
+        .collect();
+    let src_refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    let resp = w
+        .gateway
+        .query(
+            &ClientRequest::realtime("", "SELECT Hostname, Load1 FROM Processor")
+                .with_sources(&src_refs),
+        )
+        .unwrap();
+    // "The RequestManager coordinates queries across multiple data sources
+    // and consolidates results" (§3.1.1): one row per host, one result.
+    assert_eq!(resp.rows.len(), 4);
+    assert_eq!(resp.sources_ok, 4);
+}
+
+#[test]
+fn cached_mode_limits_intrusion() {
+    let w = world();
+    let source = "jdbc:ganglia://node00.alpha/alpha";
+    let sql = "SELECT Hostname, Load1 FROM Processor";
+    // Prime.
+    w.gateway
+        .query(&ClientRequest::realtime(source, sql))
+        .unwrap();
+    let served_before = w
+        .net
+        .endpoint_stats("node00.alpha:ganglia")
+        .unwrap()
+        .snapshot()
+        .requests_served;
+    // 50 cached reads: zero additional agent traffic (§4's scalability).
+    for _ in 0..50 {
+        let resp = w
+            .gateway
+            .query(&ClientRequest::cached(source, sql, None))
+            .unwrap();
+        assert_eq!(resp.served_from_cache, 1);
+    }
+    let served_after = w
+        .net
+        .endpoint_stats("node00.alpha:ganglia")
+        .unwrap()
+        .snapshot()
+        .requests_served;
+    assert_eq!(served_after, served_before);
+
+    // Explicit real-time poll refreshes (Fig 9's "explicitly poll").
+    let resp = w
+        .gateway
+        .query(&ClientRequest::realtime(source, sql))
+        .unwrap();
+    assert_eq!(resp.served_from_cache, 0);
+}
+
+#[test]
+fn history_accumulates_and_is_queryable() {
+    let w = world();
+    let source = "jdbc:snmp://node02.alpha/public";
+    for step in 1..=5u64 {
+        w.site.advance_to(120_000 + step * 30_000);
+        w.gateway
+            .query(&ClientRequest::realtime(
+                source,
+                "SELECT Hostname, Load1 FROM Processor",
+            ))
+            .unwrap();
+    }
+    let resp = w
+        .gateway
+        .query(&ClientRequest::historical(
+            "SELECT COUNT(*) AS n FROM history WHERE attr = 'Load1'",
+        ))
+        .unwrap();
+    assert_eq!(resp.rows.rows()[0][0], SqlValue::Int(5));
+    // Series helper (Fig 9's plotting hook).
+    let series = w
+        .gateway
+        .history()
+        .series(source, "Processor", "node02.alpha", "Load1")
+        .unwrap();
+    assert_eq!(series.len(), 5);
+}
+
+#[test]
+fn trap_to_listener_pipeline() {
+    let w = world();
+    // Arm the SNMP agents to trap to this gateway.
+    for agent in &w.agents.snmp {
+        agent.set_trap_sink(w.net.clone(), "gw.alpha", 3.0);
+    }
+    let (_, rx) = w.gateway.events().register_listener(ListenerFilter {
+        category_prefix: Some("cpu.".into()),
+        ..Default::default()
+    });
+    // Provoke a spike on one host and pump.
+    w.site.inject_load_spike("node03.alpha", 12.0);
+    w.site.advance_to(121_000);
+    let (traps, _) = w.agents.pump();
+    assert_eq!(traps, 1);
+    let dispatched = w.gateway.pump();
+    assert!(dispatched >= 1);
+    let event = rx.try_recv().expect("listener got the trap");
+    assert_eq!(event.category, "cpu.load.high");
+    assert_eq!(event.hostname.as_deref(), Some("node03.alpha"));
+    assert_eq!(event.severity, Severity::Critical);
+    // Recorded for historical analysis (§3.1.5).
+    let resp = w
+        .gateway
+        .query(&ClientRequest::historical(
+            "SELECT COUNT(*) FROM events WHERE category = 'cpu.load.high'",
+        ))
+        .unwrap();
+    assert_eq!(resp.rows.rows()[0][0], SqlValue::Int(1));
+}
+
+#[test]
+fn threshold_alerts_from_queries() {
+    let w = world();
+    w.gateway.alerts().add_rule(AlertRule {
+        name: "mem-low".into(),
+        group: "MainMemory".into(),
+        attr: "RAMAvailableMB".into(),
+        cmp: Comparison::Lt,
+        threshold: 100_000.0, // generous: always fires
+        severity: Severity::Warning,
+        category: "mem.low".into(),
+    });
+    let (_, rx) = w
+        .gateway
+        .events()
+        .register_listener(ListenerFilter::default());
+    w.gateway
+        .query(&ClientRequest::realtime(
+            "jdbc:snmp://node00.alpha/public",
+            "SELECT Hostname, RAMAvailableMB FROM MainMemory",
+        ))
+        .unwrap();
+    w.gateway.pump();
+    let event = rx.try_recv().expect("alert fired");
+    assert_eq!(event.category, "mem.low");
+}
+
+#[test]
+fn failover_to_another_driver_when_agent_dies() {
+    let w = world();
+    // A wildcard source on the head node: SNMP normally wins the scan.
+    let source = "jdbc:://node00.alpha/public";
+    let sql = "SELECT Hostname, Load1 FROM Processor WHERE Hostname = 'node00.alpha'";
+    let resp = w
+        .gateway
+        .query(&ClientRequest::realtime(source, sql))
+        .unwrap();
+    assert_eq!(resp.rows.len(), 1);
+    let url = gridrm_dbc::JdbcUrl::parse(source).unwrap();
+    assert_eq!(
+        w.gateway.driver_manager().cached_driver(&url).as_deref(),
+        Some("jdbc-snmp")
+    );
+    // Kill the SNMP agent: TryNext reroutes (Ganglia can answer Processor
+    // for the whole cluster; the WHERE keeps the same row).
+    w.net.set_down("node00.alpha:snmp", true);
+    let resp = w
+        .gateway
+        .query(&ClientRequest::realtime(source, sql))
+        .unwrap();
+    assert_eq!(resp.rows.len(), 1);
+    assert_eq!(
+        w.gateway.driver_manager().cached_driver(&url).as_deref(),
+        Some("jdbc-ganglia")
+    );
+}
+
+#[test]
+fn security_layers_enforced() {
+    let w = world();
+    w.gateway
+        .set_security_policy(gridrm_core::SecurityPolicy::strict().with_rule(
+            gridrm_core::security::AclRule {
+                role: "monitor".into(),
+                url_prefix: "jdbc:snmp://".into(),
+                group: "Processor".into(),
+                allow: true,
+            },
+        ));
+    let source = "jdbc:snmp://node00.alpha/public";
+    let sql = "SELECT Hostname FROM Processor";
+    // Anonymous: coarse denial.
+    assert!(w
+        .gateway
+        .query(&ClientRequest::realtime(source, sql))
+        .is_err());
+    // Authorised role via a session.
+    let token = w.gateway.login(Identity::new("alice", &["monitor"]));
+    let resp = w
+        .gateway
+        .query(&ClientRequest::realtime(source, sql).with_token(token))
+        .unwrap();
+    assert_eq!(resp.rows.len(), 1);
+    // Fine-grained: same identity, disallowed group.
+    let err = w
+        .gateway
+        .query(
+            &ClientRequest::realtime(source, "SELECT Hostname FROM MainMemory").with_token(token),
+        )
+        .err()
+        .unwrap();
+    assert!(matches!(err, gridrm_dbc::SqlError::Security(_)));
+}
+
+#[test]
+fn admin_tree_view_reflects_health() {
+    let w = world();
+    let up = "jdbc:snmp://node00.alpha/public";
+    let down = "jdbc:snmp://node01.alpha/public";
+    w.gateway
+        .admin()
+        .add_source(DataSourceConfig::dynamic(up, "node00"))
+        .unwrap();
+    w.gateway
+        .admin()
+        .add_source(DataSourceConfig::dynamic(down, "node01"))
+        .unwrap();
+    w.gateway
+        .query(&ClientRequest::realtime(
+            up,
+            "SELECT Hostname FROM Processor",
+        ))
+        .unwrap();
+    w.net.set_down("node01.alpha:snmp", true);
+    // With Report policy the failure surfaces and is recorded.
+    let url = gridrm_dbc::JdbcUrl::parse(down).unwrap();
+    w.gateway
+        .driver_manager()
+        .set_policy(&url, gridrm_core::FailurePolicy::Report);
+    assert!(w
+        .gateway
+        .query(&ClientRequest::realtime(
+            down,
+            "SELECT Hostname FROM Processor"
+        ))
+        .is_err());
+
+    let tree = w
+        .gateway
+        .admin()
+        .tree_view(w.gateway.clock().now_millis(), 60_000);
+    let status = |u: &str| tree.iter().find(|n| n.source == u).unwrap().status;
+    assert_eq!(status(up), SourceStatus::Ok);
+    assert_eq!(status(down), SourceStatus::PollFailed);
+    // The healthy node's cached queries appear in its tree node.
+    assert!(!tree
+        .iter()
+        .find(|n| n.source == up)
+        .unwrap()
+        .cached
+        .is_empty());
+}
+
+#[test]
+fn dml_rejected_at_the_acil() {
+    let w = world();
+    let err = w
+        .gateway
+        .query(&ClientRequest::realtime(
+            "jdbc:gridrm://local/history",
+            "DELETE FROM history",
+        ))
+        .err()
+        .unwrap();
+    assert!(matches!(err, gridrm_dbc::SqlError::Unsupported(_)));
+}
+
+#[test]
+fn glue_homogeneity_across_all_five_agents() {
+    // The headline claim (§1): one SQL query, five heterogeneous agents,
+    // one homogeneous answer shape.
+    let w = world();
+    let sql = "SELECT Hostname, Load1 FROM Processor WHERE Hostname = 'node01.alpha'";
+    for source in [
+        "jdbc:snmp://node01.alpha/public",
+        "jdbc:ganglia://node00.alpha/alpha",
+        "jdbc:scms://node00.alpha/",
+    ] {
+        let resp = w
+            .gateway
+            .query(&ClientRequest::realtime(source, sql))
+            .unwrap();
+        assert_eq!(resp.rows.len(), 1, "via {source}");
+        assert_eq!(resp.rows.meta().column_name(0).unwrap(), "Hostname");
+        assert_eq!(resp.rows.meta().column_name(1).unwrap(), "Load1");
+    }
+    // NWS speaks NetworkElement, NetLogger speaks Event — same mechanism.
+    w.agents.pump();
+    let resp = w
+        .gateway
+        .query(&ClientRequest::realtime(
+            "jdbc:nws://node00.alpha/perf",
+            "SELECT SourceHost, DestHost, BandwidthMbps FROM NetworkElement",
+        ))
+        .unwrap();
+    assert!(resp.rows.len() >= 2);
+    let resp = w
+        .gateway
+        .query(&ClientRequest::realtime(
+            "jdbc:netlogger://node00.alpha/log",
+            "SELECT Hostname, Category, Value FROM Event WHERE Category = 'cpu.load'",
+        ))
+        .unwrap();
+    assert_eq!(resp.rows.len(), 4); // one per host
+}
+
+#[test]
+fn pump_housekeeping_sweeps_cache_sessions_and_history() {
+    let w = world();
+    let source = "jdbc:snmp://node00.alpha/public";
+    let sql = "SELECT Hostname, Load1 FROM Processor";
+    w.gateway
+        .query(&ClientRequest::realtime(source, sql))
+        .unwrap();
+    assert_eq!(w.gateway.cache().len(), 1);
+    let token = w.gateway.login(Identity::anonymous());
+
+    // Far beyond cache sweep age (10× TTL), session TTL and the history
+    // retention window.
+    let jump = w.gateway.config().history_retention_ms + 1_000_000;
+    w.gateway.clock().advance(jump);
+    w.gateway.pump();
+
+    assert_eq!(w.gateway.cache().len(), 0, "stale cache entry survived");
+    assert!(
+        w.gateway
+            .sessions()
+            .resolve(token, w.gateway.clock().now_millis())
+            .is_none(),
+        "expired session survived"
+    );
+    let resp = w
+        .gateway
+        .query(&ClientRequest::historical("SELECT COUNT(*) FROM history"))
+        .unwrap();
+    assert_eq!(
+        resp.rows.rows()[0][0],
+        SqlValue::Int(0),
+        "history not trimmed"
+    );
+}

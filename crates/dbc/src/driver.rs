@@ -1,0 +1,89 @@
+//! The `Driver` role: the entry point of a GridRM data-source plug-in.
+
+use crate::connection::Connection;
+use crate::error::DbcResult;
+use crate::url::JdbcUrl;
+use std::collections::BTreeMap;
+
+/// Connection properties (the `java.util.Properties` argument of
+/// `Driver.connect`). Keys are driver-specific, e.g. an SNMP community
+/// string or a Ganglia parse mode.
+pub type Properties = BTreeMap<String, String>;
+
+/// Static description of a driver, mirroring the paper's `DriverMetaData`
+/// used during registration (Table 1): the registration component "remains
+/// generic by avoiding any direct reference to the driver's actual class
+/// name".
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DriverMetaData {
+    /// Unique driver name, e.g. `jdbc-snmp`.
+    pub name: String,
+    /// Sub-protocol the driver serves, e.g. `snmp`.
+    pub subprotocol: String,
+    /// Version `(major, minor)`.
+    pub version: (u32, u32),
+    /// Human-readable description.
+    pub description: String,
+}
+
+/// A GridRM data-source driver (the `java.sql.Driver` role).
+///
+/// The paper's minimal-driver contract (§3.2.1): the driver "determines if
+/// \[it\] is capable of operating with the specified data source"
+/// ([`Driver::accepts_url`]) and opens sessions ([`Driver::connect`]).
+/// Drivers must be `Send + Sync`: the gateway shares them across request
+/// handling threads.
+pub trait Driver: Send + Sync {
+    /// Static metadata used by the registration machinery.
+    fn meta(&self) -> DriverMetaData;
+
+    /// Can this driver talk to the data source named by `url`?
+    ///
+    /// This is the predicate the `GridRMDriverManager` scans during dynamic
+    /// driver location (Table 2 of the paper): the first registered driver
+    /// returning `true` is used. Implementations should be cheap — they are
+    /// called once per registered driver on a cache miss — and should accept
+    /// wildcard URLs (`jdbc:://…`) only if they can actually probe the host.
+    fn accepts_url(&self, url: &JdbcUrl) -> bool;
+
+    /// Open a session with the data source.
+    fn connect(&self, url: &JdbcUrl, props: &Properties) -> DbcResult<Box<dyn Connection>>;
+
+    /// Convenience: the driver's registered name.
+    fn name(&self) -> String {
+        self.meta().name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::SqlError;
+
+    struct NullDriver;
+    impl Driver for NullDriver {
+        fn meta(&self) -> DriverMetaData {
+            DriverMetaData {
+                name: "jdbc-null".into(),
+                subprotocol: "null".into(),
+                version: (1, 2),
+                description: "accepts nothing".into(),
+            }
+        }
+        fn accepts_url(&self, url: &JdbcUrl) -> bool {
+            url.subprotocol == "null"
+        }
+        fn connect(&self, url: &JdbcUrl, _props: &Properties) -> DbcResult<Box<dyn Connection>> {
+            Err(SqlError::Connection(format!("cannot connect to {url}")))
+        }
+    }
+
+    #[test]
+    fn meta_and_accepts() {
+        let d = NullDriver;
+        assert_eq!(d.name(), "jdbc-null");
+        assert_eq!(d.meta().version, (1, 2));
+        assert!(d.accepts_url(&JdbcUrl::new("null", "h", "")));
+        assert!(!d.accepts_url(&JdbcUrl::new("snmp", "h", "")));
+    }
+}

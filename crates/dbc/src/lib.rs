@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # gridrm-dbc — the GridRM data-bridge connectivity layer
+//!
+//! A Rust rendering of the JDBC API roles the GridRM paper builds its driver
+//! infrastructure on (§3, §3.2.1): *"The drivers, which are implemented using
+//! the Java JDBC API, are passed a query, and in response, return a standard
+//! Java SQL object (a `javax.sql.ResultSet`)"* — **"String queries in, and
+//! ResultSets out."**
+//!
+//! The pieces map one-to-one onto the paper's minimal-driver checklist:
+//!
+//! | Paper (Java)              | Here                                        |
+//! |---------------------------|---------------------------------------------|
+//! | `java.sql.Driver`         | [`Driver`] trait                            |
+//! | `java.sql.Connection`     | [`Connection`] trait                        |
+//! | `java.sql.Statement`      | [`Statement`] trait                         |
+//! | `java.sql.ResultSet`      | [`ResultSet`] trait + [`RowSet`] concrete   |
+//! | `java.sql.ResultSetMetaData` | [`ResultSetMetaData`]                    |
+//! | `java.sql.DriverManager`  | [`DriverManager`]                           |
+//! | JDBC URL                  | [`JdbcUrl`]                                 |
+//!
+//! ## Incremental driver development
+//!
+//! The paper implements the JDBC interfaces "to return nulls or throw
+//! `SQLExceptions`" so drivers can be grown incrementally. Rust traits give
+//! the same effect through *default methods*: [`ResultSet`] requires only a
+//! cursor (`advance`), a cell accessor (`get`) and metadata; the remaining
+//! typed getters are defaults built on those, while optional capabilities
+//! (rewinding, row counts, updates) default to
+//! [`SqlError::NotImplemented`] — exactly the `SQLException` a partially
+//! implemented Java driver would throw.
+
+pub mod connection;
+pub mod driver;
+pub mod error;
+pub mod manager;
+pub mod result_set;
+pub mod statement;
+pub mod url;
+
+pub use connection::{Connection, ConnectionMetadata};
+pub use driver::{Driver, DriverMetaData, Properties};
+pub use error::{DbcResult, SqlError};
+pub use manager::{DriverManager, SelectionStats};
+pub use result_set::{ColumnMeta, ResultSet, ResultSetMetaData, RowSet};
+pub use statement::Statement;
+pub use url::JdbcUrl;
+
+// The shared value/type vocabulary comes from the SQL crate.
+pub use gridrm_sqlparse::{SqlType, SqlValue};

@@ -1,0 +1,71 @@
+//! The `Statement` role: executes SQL against a connected data source.
+
+use crate::error::{DbcResult, SqlError};
+use crate::result_set::ResultSet;
+use std::time::Duration;
+
+/// A statement bound to an open [`crate::Connection`].
+///
+/// Per the paper (§3.2.1), a minimal driver implements "translation of SQL
+/// queries and submission to data source" here. Only
+/// [`Statement::execute_query`] is required; updates and tuning knobs are
+/// optional capabilities that default to
+/// [`SqlError::NotImplemented`] — monitoring agents are mostly read-only.
+pub trait Statement: Send {
+    /// Execute a query and return its results.
+    fn execute_query(&mut self, sql: &str) -> DbcResult<Box<dyn ResultSet>>;
+
+    /// Execute a data-modifying statement, returning the affected row count.
+    /// Most monitoring drivers are read-only and keep the default.
+    fn execute_update(&mut self, _sql: &str) -> DbcResult<usize> {
+        Err(SqlError::NotImplemented("execute_update"))
+    }
+
+    /// Limit how long a query may take before the driver reports
+    /// [`SqlError::Timeout`].
+    fn set_query_timeout(&mut self, _timeout: Duration) -> DbcResult<()> {
+        Err(SqlError::NotImplemented("set_query_timeout"))
+    }
+
+    /// Cap the number of rows a query may return.
+    fn set_max_rows(&mut self, _max: usize) -> DbcResult<()> {
+        Err(SqlError::NotImplemented("set_max_rows"))
+    }
+
+    /// Release resources; default is a no-op.
+    fn close(&mut self) -> DbcResult<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result_set::{ResultSetMetaData, RowSet};
+
+    struct MinimalStatement;
+    impl Statement for MinimalStatement {
+        fn execute_query(&mut self, _sql: &str) -> DbcResult<Box<dyn ResultSet>> {
+            Ok(Box::new(RowSet::empty(ResultSetMetaData::default())))
+        }
+    }
+
+    #[test]
+    fn optional_methods_default_to_not_implemented() {
+        let mut s = MinimalStatement;
+        assert!(s.execute_query("SELECT * FROM t").is_ok());
+        assert_eq!(
+            s.execute_update("DELETE FROM t"),
+            Err(SqlError::NotImplemented("execute_update"))
+        );
+        assert_eq!(
+            s.set_query_timeout(Duration::from_secs(1)),
+            Err(SqlError::NotImplemented("set_query_timeout"))
+        );
+        assert_eq!(
+            s.set_max_rows(10),
+            Err(SqlError::NotImplemented("set_max_rows"))
+        );
+        assert_eq!(s.close(), Ok(()));
+    }
+}

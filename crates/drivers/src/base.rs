@@ -1,0 +1,241 @@
+//! The GridRM driver development kit (§3.2.1's "supplied as part of a
+//! GridRM driver development API"): the shared environment handle, SQL
+//! parsing helpers, GLUE result assembly and per-driver statistics.
+
+use gridrm_dbc::{ColumnMeta, DbcResult, ResultSetMetaData, RowSet, SqlError};
+use gridrm_glue::{GroupDef, SchemaManager};
+use gridrm_simnet::{Network, SimClock};
+use gridrm_sqlparse::ast::{ColumnDef, SelectStatement, Statement};
+use gridrm_sqlparse::SqlValue;
+use gridrm_store::{Store, Table};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Per-driver activity counters (read by experiments E8/E9).
+#[derive(Debug, Default)]
+pub struct DriverStats {
+    /// SQL queries executed.
+    pub queries: AtomicU64,
+    /// Native protocol requests sent to agents.
+    pub native_requests: AtomicU64,
+    /// Queries answered from a driver-internal cache.
+    pub cache_hits: AtomicU64,
+    /// Bytes of native payload parsed.
+    pub bytes_parsed: AtomicU64,
+}
+
+impl DriverStats {
+    /// Snapshot `(queries, native_requests, cache_hits, bytes_parsed)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.queries.load(Ordering::Relaxed),
+            self.native_requests.load(Ordering::Relaxed),
+            self.cache_hits.load(Ordering::Relaxed),
+            self.bytes_parsed.load(Ordering::Relaxed),
+        )
+    }
+
+    pub(crate) fn query(&self) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn native(&self) {
+        self.native_requests.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn parsed(&self, bytes: usize) {
+        self.bytes_parsed.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+}
+
+/// Everything a driver needs from its hosting gateway: the network, the
+/// schema manager, the virtual clock, the gateway's own network identity,
+/// and any locally mounted stores (for the JDBC-GridRM driver).
+pub struct DriverEnv {
+    /// The (simulated) network agents live on.
+    pub network: Arc<Network>,
+    /// The gateway's Naming Schema Manager.
+    pub schema: Arc<SchemaManager>,
+    /// Shared virtual clock.
+    pub clock: Arc<SimClock>,
+    /// Address requests originate from (the gateway's identity).
+    pub source_addr: String,
+    /// Locally mounted SQL stores by name (`jdbc:gridrm://local/<name>`).
+    pub stores: RwLock<HashMap<String, Store>>,
+}
+
+impl DriverEnv {
+    /// Build an environment.
+    pub fn new(
+        network: Arc<Network>,
+        schema: Arc<SchemaManager>,
+        source_addr: &str,
+    ) -> Arc<DriverEnv> {
+        let clock = network.clock().clone();
+        Arc::new(DriverEnv {
+            network,
+            schema,
+            clock,
+            source_addr: source_addr.to_owned(),
+            stores: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// Mount a store under a name for the JDBC-GridRM driver.
+    pub fn mount_store(&self, name: &str, store: Store) {
+        self.stores.write().insert(name.to_owned(), store);
+    }
+
+    /// Resolve a mounted store.
+    pub fn store(&self, name: &str) -> Option<Store> {
+        self.stores.read().get(name).cloned()
+    }
+
+    /// Send a native request to `"{host}:{proto}"` over the network,
+    /// mapping network failures to [`SqlError::Connection`].
+    pub fn native_request(&self, host: &str, proto: &str, payload: &[u8]) -> DbcResult<Vec<u8>> {
+        self.network
+            .request(&self.source_addr, &format!("{host}:{proto}"), payload)
+            .map_err(|e| SqlError::Connection(e.to_string()))
+    }
+}
+
+/// Parse SQL and require a `SELECT` (agent data sources are read-only).
+pub fn parse_select(sql: &str) -> DbcResult<SelectStatement> {
+    match gridrm_sqlparse::parse(sql)? {
+        Statement::Select(sel) => Ok(sel),
+        other => Err(SqlError::Unsupported(format!(
+            "data-source drivers only accept SELECT, got: {other}"
+        ))),
+    }
+}
+
+/// Assemble the final result set from GLUE-translated rows: builds a
+/// transient table over the group's attributes and runs the full SELECT
+/// semantics (`WHERE`, projection, `ORDER BY`, `LIMIT`, aggregates) via the
+/// store's query engine. Column metadata carries the GLUE units.
+pub fn finish_select(
+    group: &GroupDef,
+    rows: Vec<Vec<SqlValue>>,
+    sel: &SelectStatement,
+    now: i64,
+) -> DbcResult<RowSet> {
+    let columns: Vec<ColumnDef> = group
+        .attributes
+        .iter()
+        .map(|a| ColumnDef {
+            name: a.name.clone(),
+            ty: a.ty,
+            primary_key: false,
+        })
+        .collect();
+    let table = Table {
+        name: group.name.clone(),
+        columns,
+        rows,
+    };
+    let rs = gridrm_store::select_in_memory(&table, sel, now)
+        .map_err(|e| SqlError::Driver(e.to_string()))?;
+    // Re-decorate metadata with GLUE units where columns are plain attrs.
+    let meta = ResultSetMetaData::new(
+        rs.meta()
+            .columns()
+            .iter()
+            .map(|c| {
+                let mut cm = ColumnMeta::new(c.name.clone(), c.ty).with_table(group.name.clone());
+                if let Some(attr) = group.attribute(&c.name) {
+                    if let Some(u) = &attr.unit {
+                        cm = cm.with_unit(u.clone());
+                    }
+                }
+                cm
+            })
+            .collect(),
+    );
+    RowSet::new(meta, rs.rows().to_vec())
+}
+
+/// Convert an SNMP-style text number into an [`SqlValue`] guess (used by
+/// the text-based drivers). Integers stay integral.
+pub fn guess_value(text: &str) -> SqlValue {
+    let t = text.trim();
+    if let Ok(i) = t.parse::<i64>() {
+        return SqlValue::Int(i);
+    }
+    if let Ok(f) = t.parse::<f64>() {
+        return SqlValue::Float(f);
+    }
+    match t.to_ascii_lowercase().as_str() {
+        "true" | "yes" | "up" => SqlValue::Bool(true),
+        "false" | "no" | "down" => SqlValue::Bool(false),
+        _ => SqlValue::Str(t.to_owned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridrm_glue::builtin_schema;
+    use gridrm_sqlparse::SqlType;
+
+    #[test]
+    fn parse_select_rejects_dml() {
+        assert!(parse_select("SELECT * FROM Processor").is_ok());
+        assert!(matches!(
+            parse_select("DELETE FROM Processor"),
+            Err(SqlError::Unsupported(_))
+        ));
+        assert!(matches!(parse_select("garbage"), Err(SqlError::Syntax(_))));
+    }
+
+    #[test]
+    fn guess_value_types() {
+        assert_eq!(guess_value("42"), SqlValue::Int(42));
+        assert_eq!(guess_value("4.5"), SqlValue::Float(4.5));
+        assert_eq!(guess_value("up"), SqlValue::Bool(true));
+        assert_eq!(guess_value("hello"), SqlValue::Str("hello".into()));
+    }
+
+    #[test]
+    fn finish_select_applies_where_and_projection() {
+        let schema = builtin_schema();
+        let group = schema.group("Processor").unwrap();
+        let ncols = group.attributes.len();
+        let mk_row = |host: &str, load: f64| {
+            let mut row = vec![SqlValue::Null; ncols];
+            row[group.attribute_index("Hostname").unwrap()] = SqlValue::Str(host.to_owned());
+            row[group.attribute_index("Load1").unwrap()] = SqlValue::Float(load);
+            row
+        };
+        let rows = vec![mk_row("a", 0.2), mk_row("b", 1.5), mk_row("c", 2.5)];
+        let sel =
+            parse_select("SELECT Hostname FROM Processor WHERE Load1 > 1.0 ORDER BY Load1 DESC")
+                .unwrap();
+        let rs = finish_select(group, rows, &sel, 0).unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.rows()[0][0], SqlValue::Str("c".into()));
+        assert_eq!(rs.meta().column_count(), 1);
+    }
+
+    #[test]
+    fn finish_select_carries_units() {
+        let schema = builtin_schema();
+        let group = schema.group("MainMemory").unwrap();
+        let sel = parse_select("SELECT RAMSizeMB FROM MainMemory").unwrap();
+        let rs = finish_select(group, Vec::new(), &sel, 0).unwrap();
+        assert_eq!(rs.meta().column(0).unwrap().unit.as_deref(), Some("MB"));
+        assert_eq!(rs.meta().column_type(0).unwrap(), SqlType::Int);
+    }
+
+    #[test]
+    fn env_store_mounting() {
+        let net = Network::new(SimClock::new(), 1);
+        let env = DriverEnv::new(net, Arc::new(SchemaManager::new()), "gw");
+        assert!(env.store("history").is_none());
+        env.mount_store("history", Store::new());
+        assert!(env.store("history").is_some());
+    }
+}

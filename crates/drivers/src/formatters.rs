@@ -1,0 +1,262 @@
+//! Driver-supplied event formatters and transmitters (Fig 4: "Custom
+//! Formatter plugged into each Driver" and the Transmitter API).
+//!
+//! Formatters translate *native* push payloads (SNMP traps, NetLogger ULM
+//! lines) into normalised [`GridRMEvent`]s; transmitters do the reverse —
+//! "the GridRM internal event format is translated to the data source's
+//! native format" (§3.1.5) — which is how GridRM propagates events to
+//! groups of diverse data sources and other gateways.
+
+use gridrm_agents::netlogger::UlmEvent;
+use gridrm_agents::snmp::codec::{self, Pdu, SnmpValue};
+use gridrm_agents::snmp::oids;
+use gridrm_core::events::{EventFormatter, EventTransmitter, GridRMEvent, Severity};
+use gridrm_simnet::Network;
+use std::sync::Arc;
+
+/// Decodes SNMP trap pushes from `*:snmp` sources.
+pub struct SnmpTrapFormatter;
+
+impl EventFormatter for SnmpTrapFormatter {
+    fn accepts(&self, source: &str) -> bool {
+        source.ends_with(":snmp")
+    }
+
+    fn format(&self, source: &str, payload: &[u8], now_ms: i64) -> Vec<GridRMEvent> {
+        let Ok(msg) = codec::decode(payload) else {
+            return Vec::new();
+        };
+        let Pdu::Trap { trap_oid, bindings } = msg.pdu else {
+            return Vec::new();
+        };
+        let mut hostname = None;
+        let mut value = None;
+        for (oid, v) in &bindings {
+            let oid_s = oid.to_string();
+            if oid_s == oids::SYS_NAME {
+                if let SnmpValue::OctetString(s) = v {
+                    hostname = Some(s.clone());
+                }
+            } else if oid_s.starts_with(oids::LA_LOAD_INT) {
+                if let SnmpValue::Integer(centi) = v {
+                    value = Some(*centi as f64 / 100.0);
+                }
+            }
+        }
+        let trap_s = trap_oid.to_string();
+        let (category, severity) = if trap_s == oids::TRAP_LOAD_HIGH {
+            ("cpu.load.high".to_owned(), Severity::Critical)
+        } else {
+            (format!("snmp.trap.{trap_s}"), Severity::Warning)
+        };
+        vec![GridRMEvent {
+            id: 0,
+            at_ms: now_ms,
+            source: source.to_owned(),
+            hostname: hostname.clone(),
+            severity,
+            category,
+            message: format!(
+                "SNMP trap {trap_s}{}",
+                hostname
+                    .as_deref()
+                    .map(|h| format!(" from {h}"))
+                    .unwrap_or_default()
+            ),
+            value,
+        }]
+    }
+}
+
+/// Decodes NetLogger ULM line pushes from `*:netlogger` sources.
+pub struct NetLoggerLineFormatter;
+
+impl EventFormatter for NetLoggerLineFormatter {
+    fn accepts(&self, source: &str) -> bool {
+        source.ends_with(":netlogger")
+    }
+
+    fn format(&self, source: &str, payload: &[u8], now_ms: i64) -> Vec<GridRMEvent> {
+        let text = String::from_utf8_lossy(payload);
+        text.lines()
+            .filter_map(UlmEvent::parse)
+            .map(|e| GridRMEvent {
+                id: 0,
+                at_ms: if e.at_ms > 0 { e.at_ms as i64 } else { now_ms },
+                source: source.to_owned(),
+                hostname: Some(e.host.clone()),
+                severity: Severity::parse(&e.level),
+                category: e.event.clone(),
+                message: e.to_line(),
+                value: e.value,
+            })
+            .collect()
+    }
+}
+
+/// Transmits GridRM events back out as native ULM lines pushed to a
+/// destination address — the Fig 4 outbound path.
+pub struct UlmLineTransmitter {
+    name: String,
+    network: Arc<Network>,
+    from: String,
+    to: String,
+    /// Only transmit events at or above this severity.
+    pub min_severity: Severity,
+}
+
+impl UlmLineTransmitter {
+    /// Transmitter pushing from `from` to `to` over `network`.
+    pub fn new(
+        name: &str,
+        network: Arc<Network>,
+        from: &str,
+        to: &str,
+        min_severity: Severity,
+    ) -> Arc<UlmLineTransmitter> {
+        Arc::new(UlmLineTransmitter {
+            name: name.to_owned(),
+            network,
+            from: from.to_owned(),
+            to: to.to_owned(),
+            min_severity,
+        })
+    }
+}
+
+impl EventTransmitter for UlmLineTransmitter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn transmit(&self, event: &GridRMEvent) -> bool {
+        if event.severity < self.min_severity {
+            return false;
+        }
+        let ulm = UlmEvent {
+            at_ms: event.at_ms.max(0) as u64,
+            host: event.hostname.clone().unwrap_or_else(|| "unknown".into()),
+            prog: "gridrm".to_owned(),
+            level: match event.severity {
+                Severity::Info => "Info".into(),
+                Severity::Warning => "Warning".into(),
+                Severity::Critical => "Error".into(),
+            },
+            event: event.category.clone(),
+            value: event.value,
+        };
+        self.network
+            .push(&self.from, &self.to, ulm.to_line().into_bytes())
+            > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridrm_agents::snmp::codec::SnmpMessage;
+    use gridrm_simnet::SimClock;
+
+    fn trap_payload() -> Vec<u8> {
+        codec::encode(&SnmpMessage::v2c(
+            "public",
+            Pdu::Trap {
+                trap_oid: oids::TRAP_LOAD_HIGH.parse().unwrap(),
+                bindings: vec![
+                    (
+                        oids::SYS_NAME.parse().unwrap(),
+                        SnmpValue::OctetString("node07".into()),
+                    ),
+                    (
+                        format!("{}.1", oids::LA_LOAD_INT).parse().unwrap(),
+                        SnmpValue::Integer(512),
+                    ),
+                ],
+            },
+        ))
+    }
+
+    #[test]
+    fn snmp_trap_formatting() {
+        let f = SnmpTrapFormatter;
+        assert!(f.accepts("node07:snmp"));
+        assert!(!f.accepts("node07:ganglia"));
+        let events = f.format("node07:snmp", &trap_payload(), 42);
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.category, "cpu.load.high");
+        assert_eq!(e.severity, Severity::Critical);
+        assert_eq!(e.hostname.as_deref(), Some("node07"));
+        assert_eq!(e.value, Some(5.12));
+    }
+
+    #[test]
+    fn snmp_garbage_yields_nothing() {
+        let f = SnmpTrapFormatter;
+        assert!(f.format("n:snmp", b"\xFF\x00garbage", 0).is_empty());
+        // Non-trap PDUs are not events.
+        let get = codec::encode(&SnmpMessage::v2c(
+            "public",
+            Pdu::Get {
+                request_id: 1,
+                oids: vec![],
+            },
+        ));
+        assert!(f.format("n:snmp", &get, 0).is_empty());
+    }
+
+    #[test]
+    fn ulm_line_formatting() {
+        let f = NetLoggerLineFormatter;
+        let line = UlmEvent {
+            at_ms: 5000,
+            host: "node01".into(),
+            prog: "netlogger".into(),
+            level: "Warning".into(),
+            event: "cpu.load".into(),
+            value: Some(3.5),
+        }
+        .to_line();
+        let events = f.format("head:netlogger", line.as_bytes(), 99);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].at_ms, 5000);
+        assert_eq!(events[0].severity, Severity::Warning);
+        assert_eq!(events[0].category, "cpu.load");
+        // Multiple lines → multiple events.
+        let two = format!("{line}\n{line}");
+        assert_eq!(f.format("head:netlogger", two.as_bytes(), 0).len(), 2);
+    }
+
+    #[test]
+    fn ulm_transmitter_roundtrips_through_formatter() {
+        let net = Network::new(SimClock::new(), 1);
+        net.register("sink", Arc::new(|_: &str, _: &[u8]| Vec::new()));
+        net.register("gw", Arc::new(|_: &str, _: &[u8]| Vec::new()));
+        let rx = net.subscribe("sink").unwrap();
+        let t = UlmLineTransmitter::new("fwd", net, "gw", "sink", Severity::Warning);
+
+        let event = GridRMEvent {
+            id: 1,
+            at_ms: 777,
+            source: "x:snmp".into(),
+            hostname: Some("node03".into()),
+            severity: Severity::Critical,
+            category: "cpu.load.high".into(),
+            message: "m".into(),
+            value: Some(9.5),
+        };
+        assert!(t.transmit(&event));
+        let push = rx.try_recv().unwrap();
+        let parsed = UlmEvent::parse(std::str::from_utf8(&push.payload).unwrap()).unwrap();
+        assert_eq!(parsed.host, "node03");
+        assert_eq!(parsed.event, "cpu.load.high");
+
+        // Below min severity: filtered.
+        let info = GridRMEvent {
+            severity: Severity::Info,
+            ..event
+        };
+        assert!(!t.transmit(&info));
+        assert!(rx.try_recv().is_err());
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # gridrm-drivers — the GridRM data-source driver plug-ins
+//!
+//! "A key element of GridRM is the driver layer for interacting with data
+//! sources. The drivers are modular plug-ins that can be installed or
+//! removed at runtime" (§3.2). This crate ships the paper's initial driver
+//! set — JDBC-SNMP, JDBC-Ganglia, JDBC-NWS, JDBC-NetLogger, JDBC-SCMS —
+//! plus a JDBC-GridRM driver over the embedded historical store.
+//!
+//! Every driver follows the paper's minimal-driver recipe (§3.2.1):
+//!
+//! 1. a [`gridrm_dbc::Driver`] that decides URL compatibility (and, for
+//!    wildcard `jdbc:://…` URLs, *probes* the data source — Table 2's
+//!    "supports the URL AND can connect" check),
+//! 2. a `Connection` that "creates a session with the data source and
+//!    initialises schema settings for the session" (the GLUE
+//!    [`gridrm_glue::SchemaHandle`] is cached at connect time, Fig 5),
+//! 3. a `Statement` that re-validates the cached schema, translates SQL to
+//!    the native protocol, fetches, normalises via the GLUE mapping, and
+//! 4. returns a populated `ResultSet`.
+//!
+//! The shared plumbing (SQL parsing, GLUE translation, WHERE/projection
+//! execution) lives in [`base`], the per-protocol logic in one module per
+//! driver, and the paper's per-driver GLUE mappings in [`mappings`].
+
+pub mod base;
+pub mod formatters;
+pub mod ganglia;
+pub mod mappings;
+pub mod netlogger;
+pub mod nws;
+pub mod registry;
+pub mod scms;
+pub mod snmp;
+pub mod sqlstore;
+pub mod xml;
+
+pub use base::{DriverEnv, DriverStats};
+pub use formatters::{NetLoggerLineFormatter, SnmpTrapFormatter, UlmLineTransmitter};
+pub use ganglia::GangliaDriver;
+pub use netlogger::NetLoggerDriver;
+pub use nws::NwsDriver;
+pub use registry::{install_into_gateway, install_standard_formatters, register_standard_drivers};
+pub use scms::ScmsDriver;
+pub use snmp::SnmpDriver;
+pub use sqlstore::SqlStoreDriver;

@@ -1,0 +1,337 @@
+//! The JDBC-NetLogger driver: fine-grained ULM log queries for the GLUE
+//! `Event` group, with predicate push-down — a `WHERE Category = '…'`
+//! becomes a native `QUERY <event>` instead of a full `TAIL` (§3.2.4:
+//! "fine grained native requests for data are possible").
+//!
+//! URL form: `jdbc:netlogger://<head-host>/<log>[?limit=n]`.
+
+use crate::base::{finish_select, parse_select, DriverEnv, DriverStats};
+use gridrm_agents::netlogger::UlmEvent;
+use gridrm_dbc::{
+    Connection, DbcResult, Driver, DriverMetaData, JdbcUrl, Properties, ResultSet, SqlError,
+    Statement,
+};
+use gridrm_glue::{NativeRow, SchemaHandle, Translator};
+use gridrm_sqlparse::ast::{BinaryOp, Expr};
+use gridrm_sqlparse::SqlValue;
+use std::sync::Arc;
+
+/// Driver name as registered with the gateway.
+pub const DRIVER_NAME: &str = "jdbc-netlogger";
+
+/// The JDBC-NetLogger [`Driver`].
+pub struct NetLoggerDriver {
+    env: Arc<DriverEnv>,
+    stats: Arc<DriverStats>,
+}
+
+impl NetLoggerDriver {
+    /// Create the driver over a gateway environment.
+    pub fn new(env: Arc<DriverEnv>) -> Arc<NetLoggerDriver> {
+        Arc::new(NetLoggerDriver {
+            env,
+            stats: Arc::new(DriverStats::default()),
+        })
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> Arc<DriverStats> {
+        self.stats.clone()
+    }
+}
+
+/// Find an equality constraint `column = 'literal'` anywhere in the
+/// top-level AND-chain of a predicate — the push-down opportunity.
+pub fn find_eq_literal<'e>(expr: &'e Expr, column: &str) -> Option<&'e SqlValue> {
+    match expr {
+        Expr::Binary {
+            left,
+            op: BinaryOp::Eq,
+            right,
+        } => match (left.as_ref(), right.as_ref()) {
+            (Expr::Column { name, .. }, Expr::Literal(v))
+            | (Expr::Literal(v), Expr::Column { name, .. })
+                if name.eq_ignore_ascii_case(column) =>
+            {
+                Some(v)
+            }
+            _ => None,
+        },
+        Expr::Binary {
+            left,
+            op: BinaryOp::And,
+            right,
+        } => find_eq_literal(left, column).or_else(|| find_eq_literal(right, column)),
+        _ => None,
+    }
+}
+
+impl Driver for NetLoggerDriver {
+    fn meta(&self) -> DriverMetaData {
+        DriverMetaData {
+            name: DRIVER_NAME.to_owned(),
+            subprotocol: "netlogger".to_owned(),
+            version: (1, 0),
+            description: "GridRM driver for NetLogger ULM event logs".to_owned(),
+        }
+    }
+
+    fn accepts_url(&self, url: &JdbcUrl) -> bool {
+        if url.subprotocol == "netlogger" {
+            return true;
+        }
+        if !url.is_wildcard() {
+            return false;
+        }
+        matches!(
+            self.env.native_request(&url.host, "netlogger", b"TAIL 1"),
+            Ok(bytes) if !bytes.starts_with(b"ERROR")
+        )
+    }
+
+    fn connect(&self, url: &JdbcUrl, _props: &Properties) -> DbcResult<Box<dyn Connection>> {
+        self.stats.native();
+        let probe = self.env.native_request(&url.host, "netlogger", b"TAIL 1")?;
+        if probe.starts_with(b"ERROR") {
+            return Err(SqlError::Connection(
+                "NetLogger agent rejected probe".into(),
+            ));
+        }
+        let handle = self.env.schema.handle_for(DRIVER_NAME);
+        Ok(Box::new(NetLoggerConnection {
+            env: self.env.clone(),
+            stats: self.stats.clone(),
+            url: url.clone(),
+            handle,
+            closed: false,
+        }))
+    }
+}
+
+struct NetLoggerConnection {
+    env: Arc<DriverEnv>,
+    stats: Arc<DriverStats>,
+    url: JdbcUrl,
+    handle: SchemaHandle,
+    closed: bool,
+}
+
+impl Connection for NetLoggerConnection {
+    fn create_statement(&mut self) -> DbcResult<Box<dyn Statement>> {
+        if self.closed {
+            return Err(SqlError::Closed);
+        }
+        Ok(Box::new(NetLoggerStatement {
+            env: self.env.clone(),
+            stats: self.stats.clone(),
+            url: self.url.clone(),
+            handle: self.handle.clone(),
+        }))
+    }
+
+    fn url(&self) -> &JdbcUrl {
+        &self.url
+    }
+
+    fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    fn close(&mut self) -> DbcResult<()> {
+        self.closed = true;
+        Ok(())
+    }
+}
+
+struct NetLoggerStatement {
+    env: Arc<DriverEnv>,
+    stats: Arc<DriverStats>,
+    url: JdbcUrl,
+    handle: SchemaHandle,
+}
+
+impl Statement for NetLoggerStatement {
+    fn execute_query(&mut self, sql: &str) -> DbcResult<Box<dyn ResultSet>> {
+        self.stats.query();
+        let sel = parse_select(sql)?;
+        self.env
+            .schema
+            .ensure_current(&mut self.handle, DRIVER_NAME);
+        let group = self
+            .handle
+            .group(&sel.table)
+            .ok_or_else(|| SqlError::Unsupported(format!("unknown GLUE group '{}'", sel.table)))?
+            .clone();
+        if !group.name.eq_ignore_ascii_case("Event") {
+            return Err(SqlError::Unsupported(format!(
+                "{DRIVER_NAME} only implements Event, not '{}'",
+                group.name
+            )));
+        }
+
+        let limit: usize = self
+            .url
+            .param("limit")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(500);
+
+        // Predicate push-down: Category = 'x' → native QUERY; otherwise a
+        // HOSTQ for Hostname = 'x'; otherwise a plain TAIL.
+        let cmd = if let Some(category) = sel
+            .where_clause
+            .as_ref()
+            .and_then(|w| find_eq_literal(w, "Category"))
+            .and_then(|v| v.as_str().map(str::to_owned))
+        {
+            format!("QUERY {category} {limit}")
+        } else if let Some(host) = sel
+            .where_clause
+            .as_ref()
+            .and_then(|w| find_eq_literal(w, "Hostname"))
+            .and_then(|v| v.as_str().map(str::to_owned))
+        {
+            format!("HOSTQ {host} {limit}")
+        } else {
+            format!("TAIL {limit}")
+        };
+
+        self.stats.native();
+        let bytes = self
+            .env
+            .native_request(&self.url.host, "netlogger", cmd.as_bytes())?;
+        self.stats.parsed(bytes.len());
+        let text = String::from_utf8_lossy(&bytes);
+        if text.starts_with("ERROR") {
+            return Err(SqlError::Driver(format!("NetLogger: {}", text.trim())));
+        }
+
+        let source_url = self.url.to_string();
+        let native_rows: Vec<NativeRow> = text
+            .lines()
+            .filter_map(UlmEvent::parse)
+            .map(|e| {
+                let mut row = NativeRow::new();
+                row.insert("source_url".into(), SqlValue::Str(source_url.clone()));
+                row.insert("host".into(), SqlValue::Str(e.host.clone()));
+                row.insert("level".into(), SqlValue::Str(e.level.clone()));
+                row.insert("event".into(), SqlValue::Str(e.event.clone()));
+                row.insert("line".into(), SqlValue::Str(e.to_line()));
+                row.insert("at_ms".into(), SqlValue::Timestamp(e.at_ms as i64));
+                row.insert("value".into(), SqlValue::from(e.value));
+                row
+            })
+            .collect();
+
+        let translator = Translator::new(&self.handle);
+        let (rows, _nulls) = translator
+            .translate_all(&group.name, &native_rows)
+            .ok_or_else(|| SqlError::Driver("group vanished from schema".into()))?;
+        let rs = finish_select(&group, rows, &sel, self.env.clock.now_ts())?;
+        Ok(Box::new(rs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridrm_agents::deploy_site;
+    use gridrm_glue::SchemaManager;
+    use gridrm_resmodel::{SiteModel, SiteSpec};
+    use gridrm_simnet::{Network, SimClock};
+
+    fn setup() -> (Arc<DriverEnv>, Arc<NetLoggerDriver>) {
+        let net = Network::new(SimClock::new(), 6);
+        let site = SiteModel::generate(17, &SiteSpec::new("l", 2, 2));
+        site.advance_to(60_000);
+        let agents = deploy_site(&net, site);
+        agents.pump(); // generate one batch of events
+        let schema = Arc::new(SchemaManager::new());
+        schema.register_mapping(crate::mappings::netlogger_mapping());
+        let env = DriverEnv::new(net, schema, "gw");
+        let driver = NetLoggerDriver::new(env.clone());
+        (env, driver)
+    }
+
+    fn query(driver: &NetLoggerDriver, sql: &str) -> gridrm_dbc::RowSet {
+        let url = JdbcUrl::parse("jdbc:netlogger://node00.l/log").unwrap();
+        let mut conn = driver.connect(&url, &Properties::new()).unwrap();
+        let mut stmt = conn.create_statement().unwrap();
+        let mut rs = stmt.execute_query(sql).unwrap();
+        gridrm_dbc::RowSet::materialize(rs.as_mut()).unwrap()
+    }
+
+    #[test]
+    fn events_normalised_to_glue() {
+        let (_env, driver) = setup();
+        let rs = query(&driver, "SELECT Hostname, Category, Value, At FROM Event");
+        assert!(rs.len() >= 4, "{} events", rs.len());
+        for row in rs.rows() {
+            assert!(!row[0].is_null());
+            assert!(!row[1].is_null());
+            assert!(matches!(row[3], SqlValue::Timestamp(_)));
+        }
+    }
+
+    #[test]
+    fn category_pushdown_filters_natively() {
+        let (_env, driver) = setup();
+        let rs = query(
+            &driver,
+            "SELECT Category FROM Event WHERE Category = 'cpu.load'",
+        );
+        assert!(rs.len() >= 2);
+        assert!(rs
+            .rows()
+            .iter()
+            .all(|r| r[0] == SqlValue::Str("cpu.load".into())));
+    }
+
+    #[test]
+    fn hostname_pushdown() {
+        let (_env, driver) = setup();
+        let rs = query(
+            &driver,
+            "SELECT Hostname FROM Event WHERE Hostname = 'node01.l'",
+        );
+        assert!(!rs.is_empty());
+        assert!(rs
+            .rows()
+            .iter()
+            .all(|r| r[0] == SqlValue::Str("node01.l".into())));
+    }
+
+    #[test]
+    fn eq_literal_finder() {
+        let w = gridrm_sqlparse::parse_expr("Category = 'cpu.load' AND Value > 1").unwrap();
+        assert_eq!(
+            find_eq_literal(&w, "Category"),
+            Some(&SqlValue::Str("cpu.load".into()))
+        );
+        assert_eq!(find_eq_literal(&w, "Hostname"), None);
+        // OR-chains must NOT push down (the other branch could match more).
+        let w = gridrm_sqlparse::parse_expr("Category = 'a' OR Hostname = 'b'").unwrap();
+        assert_eq!(find_eq_literal(&w, "Category"), None);
+        // Reversed operand order still found.
+        let w = gridrm_sqlparse::parse_expr("'x' = Category").unwrap();
+        assert!(find_eq_literal(&w, "Category").is_some());
+    }
+
+    #[test]
+    fn event_group_only() {
+        let (_env, driver) = setup();
+        let url = JdbcUrl::parse("jdbc:netlogger://node00.l/log").unwrap();
+        let mut conn = driver.connect(&url, &Properties::new()).unwrap();
+        let mut stmt = conn.create_statement().unwrap();
+        assert!(matches!(
+            stmt.execute_query("SELECT * FROM Processor").err().unwrap(),
+            SqlError::Unsupported(_)
+        ));
+    }
+
+    #[test]
+    fn wildcard_probe() {
+        let (_env, driver) = setup();
+        assert!(driver.accepts_url(&JdbcUrl::parse("jdbc:://node00.l/x").unwrap()));
+        assert!(!driver.accepts_url(&JdbcUrl::parse("jdbc:://ghost/x").unwrap()));
+    }
+}

@@ -1,0 +1,500 @@
+//! The JDBC-NWS driver: plain-text Network Weather Service responses for
+//! the GLUE `NetworkElement` group, including forecasts.
+//!
+//! Per §3.2.4's guidance that caching policies be chosen "as appropriate
+//! for the characteristics of a particular type of data source", the
+//! driver caches translated pair rows with a TTL (`?ttl=<ms>`, default 0 —
+//! forecasts are usually wanted fresh; NWS sensors measure every ~60 s,
+//! so a TTL up to that is safe).
+//!
+//! URL form: `jdbc:nws://<head-host>/<path>[?ttl=ms]` (the path is
+//! ignored, as with a real NWS nameserver registration namespace).
+
+use crate::base::{finish_select, guess_value, parse_select, DriverEnv, DriverStats};
+use gridrm_dbc::{
+    Connection, DbcResult, Driver, DriverMetaData, JdbcUrl, Properties, ResultSet, SqlError,
+    Statement,
+};
+use gridrm_glue::{NativeRow, SchemaHandle, Translator};
+use gridrm_sqlparse::SqlValue;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::{Arc, Weak};
+
+/// Driver name as registered with the gateway.
+pub const DRIVER_NAME: &str = "jdbc-nws";
+
+/// Cache key: `(host, with_forecast)`; value: `(fetched_ms, rows)`.
+type PairCache = HashMap<(String, bool), (u64, Arc<Vec<NativeRow>>)>;
+
+/// The JDBC-NWS [`Driver`].
+pub struct NwsDriver {
+    env: Arc<DriverEnv>,
+    stats: Arc<DriverStats>,
+    cache: Mutex<PairCache>,
+    this: Weak<NwsDriver>,
+}
+
+impl NwsDriver {
+    /// Create the driver over a gateway environment.
+    pub fn new(env: Arc<DriverEnv>) -> Arc<NwsDriver> {
+        Arc::new_cyclic(|this| NwsDriver {
+            env,
+            stats: Arc::new(DriverStats::default()),
+            cache: Mutex::new(HashMap::new()),
+            this: this.clone(),
+        })
+    }
+
+    fn ttl_of(url: &JdbcUrl) -> u64 {
+        url.param("ttl").and_then(|s| s.parse().ok()).unwrap_or(0)
+    }
+
+    fn cache_lookup(&self, url: &JdbcUrl, forecast: bool, now: u64) -> Option<Arc<Vec<NativeRow>>> {
+        let ttl = Self::ttl_of(url);
+        if ttl == 0 {
+            return None;
+        }
+        let cache = self.cache.lock();
+        let (at, rows) = cache.get(&(url.host.clone(), forecast))?;
+        if now.saturating_sub(*at) < ttl {
+            self.stats.hit();
+            Some(rows.clone())
+        } else {
+            None
+        }
+    }
+
+    fn cache_store(&self, url: &JdbcUrl, forecast: bool, now: u64, rows: Arc<Vec<NativeRow>>) {
+        if Self::ttl_of(url) == 0 {
+            return;
+        }
+        self.cache
+            .lock()
+            .insert((url.host.clone(), forecast), (now, rows));
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> Arc<DriverStats> {
+        self.stats.clone()
+    }
+
+    fn text_request(&self, host: &str, cmd: &str) -> DbcResult<String> {
+        self.stats.native();
+        let bytes = self.env.native_request(host, "nws", cmd.as_bytes())?;
+        self.stats.parsed(bytes.len());
+        let text = String::from_utf8(bytes)
+            .map_err(|_| SqlError::Driver("NWS returned non-UTF-8 text".into()))?;
+        if text.starts_with("ERROR") {
+            return Err(SqlError::Driver(format!("NWS: {}", text.trim())));
+        }
+        Ok(text)
+    }
+}
+
+impl Driver for NwsDriver {
+    fn meta(&self) -> DriverMetaData {
+        DriverMetaData {
+            name: DRIVER_NAME.to_owned(),
+            subprotocol: "nws".to_owned(),
+            version: (1, 0),
+            description: "GridRM driver for the Network Weather Service".to_owned(),
+        }
+    }
+
+    fn accepts_url(&self, url: &JdbcUrl) -> bool {
+        if url.subprotocol == "nws" {
+            return true;
+        }
+        url.is_wildcard() && self.text_request(&url.host, "SERIES").is_ok()
+    }
+
+    fn connect(&self, url: &JdbcUrl, _props: &Properties) -> DbcResult<Box<dyn Connection>> {
+        // Verify the sensor answers.
+        self.text_request(&url.host, "SERIES")?;
+        let handle = self.env.schema.handle_for(DRIVER_NAME);
+        Ok(Box::new(NwsConnection {
+            env: self.env.clone(),
+            stats: self.stats.clone(),
+            driver: self.this.upgrade(),
+            url: url.clone(),
+            handle,
+            closed: false,
+        }))
+    }
+}
+
+struct NwsConnection {
+    env: Arc<DriverEnv>,
+    stats: Arc<DriverStats>,
+    driver: Option<Arc<NwsDriver>>,
+    url: JdbcUrl,
+    handle: SchemaHandle,
+    closed: bool,
+}
+
+impl Connection for NwsConnection {
+    fn create_statement(&mut self) -> DbcResult<Box<dyn Statement>> {
+        if self.closed {
+            return Err(SqlError::Closed);
+        }
+        Ok(Box::new(NwsStatement {
+            env: self.env.clone(),
+            stats: self.stats.clone(),
+            driver: self.driver.clone(),
+            url: self.url.clone(),
+            handle: self.handle.clone(),
+        }))
+    }
+
+    fn url(&self) -> &JdbcUrl {
+        &self.url
+    }
+
+    fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    fn close(&mut self) -> DbcResult<()> {
+        self.closed = true;
+        Ok(())
+    }
+
+    fn ping(&mut self) -> DbcResult<()> {
+        if self.closed {
+            return Err(SqlError::Closed);
+        }
+        self.env
+            .native_request(&self.url.host, "nws", b"SERIES")
+            .map(|_| ())
+    }
+}
+
+struct NwsStatement {
+    env: Arc<DriverEnv>,
+    stats: Arc<DriverStats>,
+    driver: Option<Arc<NwsDriver>>,
+    url: JdbcUrl,
+    handle: SchemaHandle,
+}
+
+/// Parse `key value [key value ...]`-style NWS lines into a map.
+fn parse_kv_lines(text: &str) -> NativeRow {
+    let mut row = NativeRow::new();
+    for line in text.lines() {
+        let mut parts = line.split_whitespace();
+        let Some(key) = parts.next() else { continue };
+        let Some(value) = parts.next() else { continue };
+        row.insert(key.to_owned(), guess_value(value));
+        // FORECAST lines carry `method <name> mse <e>` suffixes.
+        let rest: Vec<&str> = parts.collect();
+        let mut i = 0;
+        while i + 1 < rest.len() {
+            row.insert(format!("{key}.{}", rest[i]), guess_value(rest[i + 1]));
+            i += 2;
+        }
+    }
+    row
+}
+
+impl Statement for NwsStatement {
+    fn execute_query(&mut self, sql: &str) -> DbcResult<Box<dyn ResultSet>> {
+        self.stats.query();
+        let sel = parse_select(sql)?;
+        self.env
+            .schema
+            .ensure_current(&mut self.handle, DRIVER_NAME);
+        let group = self
+            .handle
+            .group(&sel.table)
+            .ok_or_else(|| SqlError::Unsupported(format!("unknown GLUE group '{}'", sel.table)))?
+            .clone();
+        if !group.name.eq_ignore_ascii_case("NetworkElement") {
+            return Err(SqlError::Unsupported(format!(
+                "{DRIVER_NAME} only implements NetworkElement, not '{}'",
+                group.name
+            )));
+        }
+
+        // Does the query need forecasts at all? (Avoid the expensive
+        // FORECAST call when only raw measurements are selected.)
+        let needs_forecast = match sel.required_columns() {
+            Some(cols) => cols
+                .iter()
+                .any(|c| c.to_ascii_lowercase().contains("forecast")),
+            None => true,
+        };
+
+        // Driver-level TTL cache (§3.2.4): serve cached pair rows without
+        // touching the sensor at all when fresh enough.
+        let now_ms = self.env.clock.now_millis();
+        if let Some(driver) = &self.driver {
+            if let Some(cached) = driver.cache_lookup(&self.url, needs_forecast, now_ms) {
+                let translator = Translator::new(&self.handle);
+                let (rows, _nulls) = translator
+                    .translate_all(&group.name, &cached)
+                    .ok_or_else(|| SqlError::Driver("group vanished from schema".into()))?;
+                let rs = finish_select(&group, rows, &sel, self.env.clock.now_ts())?;
+                return Ok(Box::new(rs));
+            }
+        }
+
+        // 1. Which pairs exist?
+        let series = {
+            self.stats.native();
+            let bytes = self.env.native_request(&self.url.host, "nws", b"SERIES")?;
+            self.stats.parsed(bytes.len());
+            String::from_utf8(bytes)
+                .map_err(|_| SqlError::Driver("NWS returned non-UTF-8 text".into()))?
+        };
+        let mut pairs: Vec<(String, String)> = Vec::new();
+        for line in series.lines() {
+            let mut parts = line.split_whitespace();
+            if parts.next() == Some("bandwidthMbps") {
+                if let (Some(s), Some(d)) = (parts.next(), parts.next()) {
+                    pairs.push((s.to_owned(), d.to_owned()));
+                }
+            }
+        }
+
+        // 2. One MEASURE (and maybe FORECAST) per pair — coarse-grained.
+        let mut native_rows = Vec::with_capacity(pairs.len());
+        for (src, dst) in &pairs {
+            let measure = {
+                self.stats.native();
+                let bytes = self.env.native_request(
+                    &self.url.host,
+                    "nws",
+                    format!("MEASURE {src} {dst}").as_bytes(),
+                )?;
+                self.stats.parsed(bytes.len());
+                String::from_utf8_lossy(&bytes).into_owned()
+            };
+            if measure.starts_with("ERROR") {
+                continue;
+            }
+            let mut row = parse_kv_lines(&measure);
+            row.insert("src".into(), SqlValue::Str(src.clone()));
+            row.insert("dst".into(), SqlValue::Str(dst.clone()));
+            if needs_forecast {
+                self.stats.native();
+                let bytes = self.env.native_request(
+                    &self.url.host,
+                    "nws",
+                    format!("FORECAST {src} {dst}").as_bytes(),
+                )?;
+                self.stats.parsed(bytes.len());
+                let text = String::from_utf8_lossy(&bytes).into_owned();
+                if !text.starts_with("ERROR") {
+                    let f = parse_kv_lines(&text);
+                    if let Some(v) = f.get("bandwidthMbps_forecast") {
+                        row.insert("forecastBandwidthMbps".into(), v.clone());
+                    }
+                    if let Some(v) = f.get("latencyMs_forecast") {
+                        row.insert("forecastLatencyMs".into(), v.clone());
+                    }
+                    if let Some(v) = f.get("bandwidthMbps_forecast.method") {
+                        row.insert("forecastMethod".into(), v.clone());
+                    }
+                }
+            }
+            native_rows.push(row);
+        }
+
+        let native_rows = Arc::new(native_rows);
+        if let Some(driver) = &self.driver {
+            driver.cache_store(&self.url, needs_forecast, now_ms, native_rows.clone());
+        }
+        let translator = Translator::new(&self.handle);
+        let (rows, _nulls) = translator
+            .translate_all(&group.name, &native_rows)
+            .ok_or_else(|| SqlError::Driver("group vanished from schema".into()))?;
+        let rs = finish_select(&group, rows, &sel, self.env.clock.now_ts())?;
+        Ok(Box::new(rs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridrm_agents::deploy_site;
+    use gridrm_glue::SchemaManager;
+    use gridrm_resmodel::{SiteModel, SiteSpec};
+    use gridrm_simnet::{Network, SimClock};
+
+    fn setup() -> (Arc<DriverEnv>, Arc<NwsDriver>) {
+        let net = Network::new(SimClock::new(), 4);
+        let mut spec = SiteSpec::new("n", 3, 2);
+        spec.peers = vec!["node00.remote".to_owned()];
+        let site = SiteModel::generate(5, &spec);
+        site.advance_to(1_800_000);
+        deploy_site(&net, site);
+        let schema = Arc::new(SchemaManager::new());
+        schema.register_mapping(crate::mappings::nws_mapping());
+        let env = DriverEnv::new(net, schema, "gw");
+        let driver = NwsDriver::new(env.clone());
+        (env, driver)
+    }
+
+    fn query(driver: &NwsDriver, sql: &str) -> gridrm_dbc::RowSet {
+        let url = JdbcUrl::parse("jdbc:nws://node00.n/perfdata").unwrap();
+        let mut conn = driver.connect(&url, &Properties::new()).unwrap();
+        let mut stmt = conn.create_statement().unwrap();
+        let mut rs = stmt.execute_query(sql).unwrap();
+        gridrm_dbc::RowSet::materialize(rs.as_mut()).unwrap()
+    }
+
+    #[test]
+    fn network_element_rows() {
+        let (_env, driver) = setup();
+        let rs = query(&driver, "SELECT * FROM NetworkElement");
+        assert!(rs.len() >= 2, "{} pairs", rs.len());
+        let src = rs.meta().column_index("SourceHost").unwrap();
+        let bw = rs.meta().column_index("BandwidthMbps").unwrap();
+        let fm = rs.meta().column_index("ForecastMethod").unwrap();
+        for row in rs.rows() {
+            assert!(!row[src].is_null());
+            assert!(row[bw].as_f64().unwrap() > 0.0);
+            assert!(!row[fm].is_null(), "forecast method missing");
+        }
+    }
+
+    #[test]
+    fn forecast_skipped_when_not_selected() {
+        let (env, driver) = setup();
+        let before = env
+            .network
+            .stats_for("gw", "node00.n:nws")
+            .snapshot()
+            .requests;
+        let rs = query(
+            &driver,
+            "SELECT SourceHost, BandwidthMbps FROM NetworkElement",
+        );
+        let after = env
+            .network
+            .stats_for("gw", "node00.n:nws")
+            .snapshot()
+            .requests;
+        let per_pair = (after - before - 2) as usize; // minus connect probe + SERIES
+        assert_eq!(per_pair, rs.len(), "one MEASURE per pair, no FORECAST");
+    }
+
+    #[test]
+    fn where_filters_pairs() {
+        let (_env, driver) = setup();
+        let rs = query(
+            &driver,
+            "SELECT SourceHost, DestHost FROM NetworkElement WHERE DestHost = 'node00.remote'",
+        );
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn other_groups_unsupported() {
+        let (_env, driver) = setup();
+        let url = JdbcUrl::parse("jdbc:nws://node00.n/x").unwrap();
+        let mut conn = driver.connect(&url, &Properties::new()).unwrap();
+        let mut stmt = conn.create_statement().unwrap();
+        assert!(matches!(
+            stmt.execute_query("SELECT * FROM Processor").err().unwrap(),
+            SqlError::Unsupported(_)
+        ));
+    }
+
+    #[test]
+    fn wildcard_probe() {
+        let (_env, driver) = setup();
+        assert!(driver.accepts_url(&JdbcUrl::parse("jdbc:://node00.n/x").unwrap()));
+        assert!(!driver.accepts_url(&JdbcUrl::parse("jdbc:://ghost/x").unwrap()));
+    }
+
+    #[test]
+    fn kv_parser_handles_method_suffix() {
+        let row = parse_kv_lines("bandwidthMbps_forecast 42.5 method sliding_mean_5 mse 0.01\n");
+        assert_eq!(
+            row.get("bandwidthMbps_forecast"),
+            Some(&SqlValue::Float(42.5))
+        );
+        assert_eq!(
+            row.get("bandwidthMbps_forecast.method"),
+            Some(&SqlValue::Str("sliding_mean_5".into()))
+        );
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+    use gridrm_agents::deploy_site;
+    use gridrm_glue::SchemaManager;
+    use gridrm_resmodel::{SiteModel, SiteSpec};
+    use gridrm_simnet::{Network, SimClock};
+
+    #[test]
+    fn ttl_cache_avoids_sensor_traffic() {
+        let net = Network::new(SimClock::new(), 3);
+        let mut spec = SiteSpec::new("nc", 2, 2);
+        spec.peers = vec!["node00.far".to_owned()];
+        let site = SiteModel::generate(19, &spec);
+        site.advance_to(900_000);
+        deploy_site(&net, site);
+        let schema = Arc::new(SchemaManager::new());
+        schema.register_mapping(crate::mappings::nws_mapping());
+        let env = DriverEnv::new(net.clone(), schema, "gw");
+        let driver = NwsDriver::new(env.clone());
+
+        let url = JdbcUrl::parse("jdbc:nws://node00.nc/perf?ttl=30000").unwrap();
+        let mut conn = driver.connect(&url, &Properties::new()).unwrap();
+        let mut stmt = conn.create_statement().unwrap();
+        let sql = "SELECT SourceHost, BandwidthMbps FROM NetworkElement";
+        let _ = stmt.execute_query(sql).unwrap();
+        let agent = net.endpoint_stats("node00.nc:nws").unwrap();
+        let before = agent.snapshot().requests_served;
+        for _ in 0..10 {
+            let _ = stmt.execute_query(sql).unwrap();
+        }
+        assert_eq!(agent.snapshot().requests_served, before, "cache bypassed");
+        // After the TTL, the sensor is consulted again.
+        env.clock.advance(60_000);
+        let _ = stmt.execute_query(sql).unwrap();
+        assert!(agent.snapshot().requests_served > before);
+        let (_q, _n, hits, _b) = driver.stats().snapshot();
+        assert_eq!(hits, 10);
+    }
+
+    #[test]
+    fn forecast_and_plain_cached_separately() {
+        let net = Network::new(SimClock::new(), 3);
+        let mut spec = SiteSpec::new("nd", 2, 2);
+        spec.peers = vec!["node00.far".to_owned()];
+        let site = SiteModel::generate(23, &spec);
+        site.advance_to(900_000);
+        deploy_site(&net, site);
+        let schema = Arc::new(SchemaManager::new());
+        schema.register_mapping(crate::mappings::nws_mapping());
+        let env = DriverEnv::new(net.clone(), schema, "gw");
+        let driver = NwsDriver::new(env);
+
+        let url = JdbcUrl::parse("jdbc:nws://node00.nd/perf?ttl=30000").unwrap();
+        let mut conn = driver.connect(&url, &Properties::new()).unwrap();
+        let mut stmt = conn.create_statement().unwrap();
+        // Plain query cached; forecast query must still hit the sensor
+        // once (different cache key), then be served from cache too.
+        let _ = stmt
+            .execute_query("SELECT SourceHost, BandwidthMbps FROM NetworkElement")
+            .unwrap();
+        let agent = net.endpoint_stats("node00.nd:nws").unwrap();
+        let before = agent.snapshot().requests_served;
+        let rs = stmt
+            .execute_query("SELECT SourceHost, ForecastMethod FROM NetworkElement")
+            .unwrap();
+        drop(rs);
+        assert!(agent.snapshot().requests_served > before);
+        let mid = agent.snapshot().requests_served;
+        let _ = stmt
+            .execute_query("SELECT SourceHost, ForecastMethod FROM NetworkElement")
+            .unwrap();
+        assert_eq!(agent.snapshot().requests_served, mid);
+    }
+}

@@ -1,0 +1,307 @@
+//! The JDBC-SCMS driver: simple `key: value` cluster-status text covering
+//! host groups and the site-level `ComputeElement` summary.
+//!
+//! URL form: `jdbc:scms://<head-host>/<anything>`.
+
+use crate::base::{finish_select, guess_value, parse_select, DriverEnv, DriverStats};
+use crate::netlogger::find_eq_literal;
+use gridrm_agents::scms::parse_blocks;
+use gridrm_dbc::{
+    Connection, DbcResult, Driver, DriverMetaData, JdbcUrl, Properties, ResultSet, SqlError,
+    Statement,
+};
+use gridrm_glue::{NativeRow, SchemaHandle, Translator};
+use gridrm_sqlparse::SqlValue;
+use std::sync::Arc;
+
+/// Driver name as registered with the gateway.
+pub const DRIVER_NAME: &str = "jdbc-scms";
+
+/// The JDBC-SCMS [`Driver`].
+pub struct ScmsDriver {
+    env: Arc<DriverEnv>,
+    stats: Arc<DriverStats>,
+}
+
+impl ScmsDriver {
+    /// Create the driver over a gateway environment.
+    pub fn new(env: Arc<DriverEnv>) -> Arc<ScmsDriver> {
+        Arc::new(ScmsDriver {
+            env,
+            stats: Arc::new(DriverStats::default()),
+        })
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> Arc<DriverStats> {
+        self.stats.clone()
+    }
+
+    fn text_request(&self, host: &str, cmd: &str) -> DbcResult<String> {
+        self.stats.native();
+        let bytes = self.env.native_request(host, "scms", cmd.as_bytes())?;
+        self.stats.parsed(bytes.len());
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        if text.starts_with("ERROR") {
+            return Err(SqlError::Driver(format!("SCMS: {}", text.trim())));
+        }
+        Ok(text)
+    }
+}
+
+impl Driver for ScmsDriver {
+    fn meta(&self) -> DriverMetaData {
+        DriverMetaData {
+            name: DRIVER_NAME.to_owned(),
+            subprotocol: "scms".to_owned(),
+            version: (1, 0),
+            description: "GridRM driver for SCMS cluster status".to_owned(),
+        }
+    }
+
+    fn accepts_url(&self, url: &JdbcUrl) -> bool {
+        if url.subprotocol == "scms" {
+            return true;
+        }
+        url.is_wildcard() && self.text_request(&url.host, "SUMMARY").is_ok()
+    }
+
+    fn connect(&self, url: &JdbcUrl, _props: &Properties) -> DbcResult<Box<dyn Connection>> {
+        self.text_request(&url.host, "SUMMARY")?;
+        let handle = self.env.schema.handle_for(DRIVER_NAME);
+        Ok(Box::new(ScmsConnection {
+            env: self.env.clone(),
+            stats: self.stats.clone(),
+            url: url.clone(),
+            handle,
+            closed: false,
+        }))
+    }
+}
+
+struct ScmsConnection {
+    env: Arc<DriverEnv>,
+    stats: Arc<DriverStats>,
+    url: JdbcUrl,
+    handle: SchemaHandle,
+    closed: bool,
+}
+
+impl Connection for ScmsConnection {
+    fn create_statement(&mut self) -> DbcResult<Box<dyn Statement>> {
+        if self.closed {
+            return Err(SqlError::Closed);
+        }
+        Ok(Box::new(ScmsStatement {
+            env: self.env.clone(),
+            stats: self.stats.clone(),
+            url: self.url.clone(),
+            handle: self.handle.clone(),
+        }))
+    }
+
+    fn url(&self) -> &JdbcUrl {
+        &self.url
+    }
+
+    fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    fn close(&mut self) -> DbcResult<()> {
+        self.closed = true;
+        Ok(())
+    }
+}
+
+struct ScmsStatement {
+    env: Arc<DriverEnv>,
+    stats: Arc<DriverStats>,
+    url: JdbcUrl,
+    handle: SchemaHandle,
+}
+
+impl ScmsStatement {
+    fn text_request(&self, cmd: &str) -> DbcResult<String> {
+        self.stats.native();
+        let bytes = self
+            .env
+            .native_request(&self.url.host, "scms", cmd.as_bytes())?;
+        self.stats.parsed(bytes.len());
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        if text.starts_with("ERROR") {
+            return Err(SqlError::Driver(format!("SCMS: {}", text.trim())));
+        }
+        Ok(text)
+    }
+}
+
+impl Statement for ScmsStatement {
+    fn execute_query(&mut self, sql: &str) -> DbcResult<Box<dyn ResultSet>> {
+        self.stats.query();
+        let sel = parse_select(sql)?;
+        self.env
+            .schema
+            .ensure_current(&mut self.handle, DRIVER_NAME);
+        let group = self
+            .handle
+            .group(&sel.table)
+            .ok_or_else(|| SqlError::Unsupported(format!("unknown GLUE group '{}'", sel.table)))?
+            .clone();
+        let mapping = self
+            .handle
+            .mapping
+            .clone()
+            .filter(|m| m.supports_group(&group.name))
+            .ok_or_else(|| {
+                SqlError::Unsupported(format!(
+                    "{DRIVER_NAME} does not implement group '{}'",
+                    group.name
+                ))
+            })?;
+        let _ = mapping;
+
+        let native_rows: Vec<NativeRow> = if group.name.eq_ignore_ascii_case("ComputeElement") {
+            // Site summary: one row.
+            let text = self.text_request("SUMMARY")?;
+            let mut row = NativeRow::new();
+            for line in text.lines() {
+                if let Some((k, v)) = line.split_once(':') {
+                    row.insert(k.trim().to_owned(), guess_value(v));
+                }
+            }
+            if let Some(site) = row.get("site").cloned() {
+                row.insert("ce_id".into(), site);
+            }
+            row.insert("status".into(), SqlValue::Str("production".into()));
+            vec![row]
+        } else {
+            // Host-level groups: push a `Hostname = 'x'` equality down to
+            // a native STATUS request, otherwise dump everything.
+            let cmd = sel
+                .where_clause
+                .as_ref()
+                .and_then(|w| find_eq_literal(w, "Hostname"))
+                .and_then(|v| v.as_str().map(|h| format!("STATUS {h}")))
+                .unwrap_or_else(|| "ALL".to_owned());
+            let text = match self.text_request(&cmd) {
+                Ok(t) => t,
+                // STATUS for an unknown host: no rows, not an error.
+                Err(SqlError::Driver(msg)) if msg.contains("no such host") => String::new(),
+                Err(e) => return Err(e),
+            };
+            parse_blocks(&text)
+                .into_iter()
+                .map(|block| {
+                    block
+                        .into_iter()
+                        .map(|(k, v)| (k, guess_value(&v)))
+                        .collect()
+                })
+                .collect()
+        };
+
+        let translator = Translator::new(&self.handle);
+        let (rows, _nulls) = translator
+            .translate_all(&group.name, &native_rows)
+            .ok_or_else(|| SqlError::Driver("group vanished from schema".into()))?;
+        let rs = finish_select(&group, rows, &sel, self.env.clock.now_ts())?;
+        Ok(Box::new(rs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridrm_agents::deploy_site;
+    use gridrm_glue::SchemaManager;
+    use gridrm_resmodel::{SiteModel, SiteSpec};
+    use gridrm_simnet::{Network, SimClock};
+
+    fn setup() -> (Arc<DriverEnv>, Arc<ScmsDriver>) {
+        let net = Network::new(SimClock::new(), 9);
+        let site = SiteModel::generate(23, &SiteSpec::new("c", 3, 4));
+        site.advance_to(45_000);
+        deploy_site(&net, site);
+        let schema = Arc::new(SchemaManager::new());
+        schema.register_mapping(crate::mappings::scms_mapping());
+        let env = DriverEnv::new(net, schema, "gw");
+        let driver = ScmsDriver::new(env.clone());
+        (env, driver)
+    }
+
+    fn query(driver: &ScmsDriver, sql: &str) -> gridrm_dbc::RowSet {
+        let url = JdbcUrl::parse("jdbc:scms://node00.c/").unwrap();
+        let mut conn = driver.connect(&url, &Properties::new()).unwrap();
+        let mut stmt = conn.create_statement().unwrap();
+        let mut rs = stmt.execute_query(sql).unwrap();
+        gridrm_dbc::RowSet::materialize(rs.as_mut()).unwrap()
+    }
+
+    #[test]
+    fn processor_rows_per_host() {
+        let (_env, driver) = setup();
+        let rs = query(
+            &driver,
+            "SELECT Hostname, NCpu, Load1 FROM Processor ORDER BY Hostname",
+        );
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs.rows()[0][1], SqlValue::Int(4));
+    }
+
+    #[test]
+    fn hostname_pushdown_uses_status() {
+        let (env, driver) = setup();
+        let before = env
+            .network
+            .endpoint_stats("node00.c:scms")
+            .unwrap()
+            .snapshot()
+            .bytes_served;
+        let rs = query(
+            &driver,
+            "SELECT Hostname FROM Processor WHERE Hostname = 'node01.c'",
+        );
+        assert_eq!(rs.len(), 1);
+        let after = env
+            .network
+            .endpoint_stats("node00.c:scms")
+            .unwrap()
+            .snapshot()
+            .bytes_served;
+        // STATUS response is one block (~10 lines), much smaller than ALL;
+        // together with the connect-time SUMMARY it stays small.
+        assert!(after - before < 400, "served {} bytes", after - before);
+    }
+
+    #[test]
+    fn compute_element_summary() {
+        let (_env, driver) = setup();
+        let rs = query(
+            &driver,
+            "SELECT CEId, SiteName, TotalCpus, FreeCpus, Status FROM ComputeElement",
+        );
+        assert_eq!(rs.len(), 1);
+        let row = &rs.rows()[0];
+        assert_eq!(row[1], SqlValue::Str("c".into()));
+        assert_eq!(row[2], SqlValue::Int(12));
+        assert_eq!(row[4], SqlValue::Str("production".into()));
+    }
+
+    #[test]
+    fn unknown_host_filter_gives_empty() {
+        let (_env, driver) = setup();
+        let rs = query(
+            &driver,
+            "SELECT Hostname FROM Processor WHERE Hostname = 'ghost'",
+        );
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn wildcard_probe() {
+        let (_env, driver) = setup();
+        assert!(driver.accepts_url(&JdbcUrl::parse("jdbc:://node00.c/x").unwrap()));
+        assert!(!driver.accepts_url(&JdbcUrl::parse("jdbc:://ghost/x").unwrap()));
+    }
+}

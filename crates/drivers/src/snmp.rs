@@ -1,0 +1,612 @@
+//! The JDBC-SNMP driver: fine-grained, per-attribute native requests
+//! (§3.2.4: "fine grained native requests for data are possible, with
+//! generally little or no parsing required").
+//!
+//! URL form: `jdbc:snmp://<host>[:port]/<community>`; the path is the SNMP
+//! community string (defaults to `public`).
+
+use crate::base::{finish_select, parse_select, DriverEnv, DriverStats};
+use gridrm_agents::snmp::codec::{self, error_status, Pdu, SnmpMessage, SnmpValue};
+use gridrm_agents::snmp::{oids, Oid};
+use gridrm_dbc::{
+    Connection, DbcResult, Driver, DriverMetaData, JdbcUrl, Properties, ResultSet, SqlError,
+    Statement,
+};
+use gridrm_glue::{NativeRow, SchemaHandle, Translator};
+use gridrm_sqlparse::SqlValue;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Driver name as registered with the gateway.
+pub const DRIVER_NAME: &str = "jdbc-snmp";
+
+/// GLUE groups whose rows are SNMP table walks rather than scalars.
+const INDEXED_GROUPS: [&str; 3] = ["NetworkAdapter", "FileSystem", "Disk"];
+
+fn snmp_to_sql(v: &SnmpValue) -> SqlValue {
+    match v {
+        SnmpValue::Integer(i) => SqlValue::Int(*i),
+        SnmpValue::Counter64(c) => SqlValue::Int(*c as i64),
+        SnmpValue::Gauge(g) => SqlValue::Int(*g as i64),
+        SnmpValue::OctetString(s) => SqlValue::Str(s.clone()),
+        SnmpValue::TimeTicks(t) => SqlValue::Int(*t as i64),
+        SnmpValue::ObjectId(o) => SqlValue::Str(o.to_string()),
+        SnmpValue::Null => SqlValue::Null,
+    }
+}
+
+/// The JDBC-SNMP [`Driver`].
+pub struct SnmpDriver {
+    env: Arc<DriverEnv>,
+    stats: Arc<DriverStats>,
+    request_id: AtomicU32,
+}
+
+impl SnmpDriver {
+    /// Create the driver over a gateway environment.
+    pub fn new(env: Arc<DriverEnv>) -> Arc<SnmpDriver> {
+        Arc::new(SnmpDriver {
+            env,
+            stats: Arc::new(DriverStats::default()),
+            request_id: AtomicU32::new(1),
+        })
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> Arc<DriverStats> {
+        self.stats.clone()
+    }
+
+    fn community_of(url: &JdbcUrl) -> String {
+        if url.path.is_empty() {
+            "public".to_owned()
+        } else {
+            url.path.clone()
+        }
+    }
+
+    fn next_id(&self) -> u32 {
+        self.request_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Send one PDU and decode the response bindings.
+    fn exchange(
+        &self,
+        host: &str,
+        community: &str,
+        pdu: Pdu,
+    ) -> DbcResult<(u8, Vec<(Oid, SnmpValue)>)> {
+        self.stats.native();
+        let req = codec::encode(&SnmpMessage::v2c(community, pdu));
+        let resp = self.env.native_request(host, "snmp", &req)?;
+        self.stats.parsed(resp.len());
+        let msg = codec::decode(&resp)
+            .map_err(|e| SqlError::Driver(format!("bad SNMP response: {e}")))?;
+        match msg.pdu {
+            Pdu::Response {
+                error_status,
+                bindings,
+                ..
+            } => Ok((error_status, bindings)),
+            other => Err(SqlError::Driver(format!(
+                "unexpected SNMP PDU in response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Cheap connectivity probe used for wildcard URLs (Table 2: "supports
+    /// the URL AND can connect to the data source").
+    fn probe(&self, url: &JdbcUrl) -> bool {
+        let community = Self::community_of(url);
+        let pdu = Pdu::Get {
+            request_id: self.next_id(),
+            oids: vec![oids::SYS_NAME.parse().expect("static OID")],
+        };
+        matches!(
+            self.exchange(&url.host, &community, pdu),
+            Ok((status, _)) if status == error_status::NO_ERROR
+        )
+    }
+}
+
+impl Driver for SnmpDriver {
+    fn meta(&self) -> DriverMetaData {
+        DriverMetaData {
+            name: DRIVER_NAME.to_owned(),
+            subprotocol: "snmp".to_owned(),
+            version: (1, 0),
+            description: "GridRM driver for SNMP agents (MIB-2, host-resources, UCD)".to_owned(),
+        }
+    }
+
+    fn accepts_url(&self, url: &JdbcUrl) -> bool {
+        if url.subprotocol == "snmp" {
+            return true;
+        }
+        url.is_wildcard() && self.probe(url)
+    }
+
+    fn connect(&self, url: &JdbcUrl, _props: &Properties) -> DbcResult<Box<dyn Connection>> {
+        let community = Self::community_of(url);
+        // Verify the agent answers before declaring the session open.
+        let (status, _) = self.exchange(
+            &url.host,
+            &community,
+            Pdu::Get {
+                request_id: self.next_id(),
+                oids: vec![oids::SYS_NAME.parse().expect("static OID")],
+            },
+        )?;
+        if status == error_status::AUTH_ERROR {
+            return Err(SqlError::Security(format!(
+                "SNMP community rejected by {}",
+                url.host
+            )));
+        }
+        // "Schema is cached when the connection is created" (Fig 5).
+        let handle = self.env.schema.handle_for(DRIVER_NAME);
+        Ok(Box::new(SnmpConnection {
+            env: self.env.clone(),
+            stats: self.stats.clone(),
+            url: url.clone(),
+            community,
+            handle,
+            closed: false,
+        }))
+    }
+}
+
+/// An open SNMP session.
+struct SnmpConnection {
+    env: Arc<DriverEnv>,
+    stats: Arc<DriverStats>,
+    url: JdbcUrl,
+    community: String,
+    handle: SchemaHandle,
+    closed: bool,
+}
+
+impl Connection for SnmpConnection {
+    fn create_statement(&mut self) -> DbcResult<Box<dyn Statement>> {
+        if self.closed {
+            return Err(SqlError::Closed);
+        }
+        Ok(Box::new(SnmpStatement {
+            env: self.env.clone(),
+            stats: self.stats.clone(),
+            url: self.url.clone(),
+            community: self.community.clone(),
+            handle: self.handle.clone(),
+        }))
+    }
+
+    fn url(&self) -> &JdbcUrl {
+        &self.url
+    }
+
+    fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    fn close(&mut self) -> DbcResult<()> {
+        self.closed = true;
+        Ok(())
+    }
+
+    fn ping(&mut self) -> DbcResult<()> {
+        if self.closed {
+            return Err(SqlError::Closed);
+        }
+        let req = codec::encode(&SnmpMessage::v2c(
+            &self.community,
+            Pdu::Get {
+                request_id: 0,
+                oids: vec![oids::SYS_UPTIME.parse().expect("static OID")],
+            },
+        ));
+        self.env
+            .native_request(&self.url.host, "snmp", &req)
+            .map(|_| ())
+    }
+
+    fn metadata(&self) -> gridrm_dbc::ConnectionMetadata {
+        gridrm_dbc::ConnectionMetadata {
+            driver_name: DRIVER_NAME.to_owned(),
+            driver_version: (1, 0),
+            url: self.url.to_string(),
+            agent_description: None,
+        }
+    }
+}
+
+struct SnmpStatement {
+    env: Arc<DriverEnv>,
+    stats: Arc<DriverStats>,
+    url: JdbcUrl,
+    community: String,
+    handle: SchemaHandle,
+}
+
+impl SnmpStatement {
+    fn exchange(&self, pdu: Pdu) -> DbcResult<(u8, Vec<(Oid, SnmpValue)>)> {
+        self.stats.native();
+        let req = codec::encode(&SnmpMessage::v2c(&self.community, pdu));
+        let resp = self.env.native_request(&self.url.host, "snmp", &req)?;
+        self.stats.parsed(resp.len());
+        let msg = codec::decode(&resp)
+            .map_err(|e| SqlError::Driver(format!("bad SNMP response: {e}")))?;
+        match msg.pdu {
+            Pdu::Response {
+                error_status: st,
+                bindings,
+                ..
+            } => {
+                if st == error_status::AUTH_ERROR {
+                    return Err(SqlError::Security("SNMP community rejected".into()));
+                }
+                Ok((st, bindings))
+            }
+            other => Err(SqlError::Driver(format!("unexpected PDU: {other:?}"))),
+        }
+    }
+
+    /// Walk one table column prefix with GETBULK, returning index → value.
+    fn walk(&self, prefix: &Oid) -> DbcResult<BTreeMap<u32, SnmpValue>> {
+        let mut out = BTreeMap::new();
+        let mut cursor = prefix.clone();
+        loop {
+            let (_, bindings) = self.exchange(Pdu::GetBulk {
+                request_id: 0,
+                max_repetitions: 32,
+                oid: cursor.clone(),
+            })?;
+            if bindings.is_empty() {
+                break;
+            }
+            let mut advanced = false;
+            let got = bindings.len();
+            for (oid, value) in bindings {
+                if !prefix.is_prefix_of(&oid) {
+                    return Ok(out);
+                }
+                if let Some(&idx) = oid.0.last() {
+                    out.insert(idx, value);
+                }
+                cursor = oid;
+                advanced = true;
+            }
+            if !advanced || got < 32 {
+                break;
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Statement for SnmpStatement {
+    fn execute_query(&mut self, sql: &str) -> DbcResult<Box<dyn ResultSet>> {
+        self.stats.query();
+        let sel = parse_select(sql)?;
+        // Fig 5: "Statement checks cache consistency before using schema
+        // instance to connect to data source".
+        self.env
+            .schema
+            .ensure_current(&mut self.handle, DRIVER_NAME);
+
+        let group = self
+            .handle
+            .group(&sel.table)
+            .ok_or_else(|| SqlError::Unsupported(format!("unknown GLUE group '{}'", sel.table)))?
+            .clone();
+        let mapping = self
+            .handle
+            .mapping
+            .clone()
+            .filter(|m| m.supports_group(&group.name))
+            .ok_or_else(|| {
+                SqlError::Unsupported(format!(
+                    "{DRIVER_NAME} does not implement group '{}'",
+                    group.name
+                ))
+            })?;
+
+        // Which attributes do we actually need? (Fine-grained fetching.)
+        let needed: Vec<&str> = match sel.required_columns() {
+            Some(cols) => group
+                .attributes
+                .iter()
+                .filter(|a| cols.iter().any(|c| c.eq_ignore_ascii_case(&a.name)))
+                .map(|a| a.name.as_str())
+                .collect(),
+            None => group.attributes.iter().map(|a| a.name.as_str()).collect(),
+        };
+        let keys = mapping.native_keys_for(&group.name, &needed);
+
+        let indexed = INDEXED_GROUPS
+            .iter()
+            .any(|g| g.eq_ignore_ascii_case(&group.name));
+
+        let native_rows: Vec<NativeRow> = if !indexed {
+            // Single-row group: one GET with every needed OID.
+            let oids: Vec<Oid> = keys.iter().filter_map(|k| k.parse().ok()).collect();
+            let mut row = NativeRow::new();
+            if !oids.is_empty() {
+                let (_, bindings) = self.exchange(Pdu::Get {
+                    request_id: 0,
+                    oids,
+                })?;
+                for (oid, value) in bindings {
+                    row.insert(oid.to_string(), snmp_to_sql(&value));
+                }
+            }
+            vec![row]
+        } else {
+            // Indexed group: the sysName key is scalar, everything else is
+            // a column prefix to walk.
+            let sysname_key = oids::SYS_NAME.to_owned();
+            let mut scalar_row = NativeRow::new();
+            if keys.contains(&sysname_key) {
+                let (_, bindings) = self.exchange(Pdu::Get {
+                    request_id: 0,
+                    oids: vec![oids::SYS_NAME.parse().expect("static OID")],
+                })?;
+                for (oid, value) in bindings {
+                    scalar_row.insert(oid.to_string(), snmp_to_sql(&value));
+                }
+            }
+            let mut per_index: BTreeMap<u32, NativeRow> = BTreeMap::new();
+            for key in keys.iter().filter(|k| **k != sysname_key) {
+                // Derived keys are synthesised below, not walked.
+                if key.starts_with("derived.") {
+                    continue;
+                }
+                let Ok(prefix) = key.parse::<Oid>() else {
+                    continue;
+                };
+                for (idx, value) in self.walk(&prefix)? {
+                    per_index
+                        .entry(idx)
+                        .or_default()
+                        .insert(key.clone(), snmp_to_sql(&value));
+                }
+            }
+            // FileSystem.AvailableMB is size - used: if the query wants it,
+            // make sure both inputs were walked, then synthesise.
+            let wants_avail = keys.iter().any(|k| k == "derived.hrStorageAvail");
+            if wants_avail {
+                for extra in [oids::HR_STORAGE_SIZE, oids::HR_STORAGE_USED] {
+                    if !keys.iter().any(|k| k == extra) {
+                        let prefix: Oid = extra.parse().expect("static OID");
+                        for (idx, value) in self.walk(&prefix)? {
+                            per_index
+                                .entry(idx)
+                                .or_default()
+                                .insert(extra.to_owned(), snmp_to_sql(&value));
+                        }
+                    }
+                }
+            }
+            per_index
+                .into_values()
+                .map(|mut row| {
+                    for (k, v) in &scalar_row {
+                        row.insert(k.clone(), v.clone());
+                    }
+                    if wants_avail {
+                        let size = row.get(oids::HR_STORAGE_SIZE).and_then(SqlValue::as_i64);
+                        let used = row.get(oids::HR_STORAGE_USED).and_then(SqlValue::as_i64);
+                        if let (Some(s), Some(u)) = (size, used) {
+                            row.insert("derived.hrStorageAvail".to_owned(), SqlValue::Int(s - u));
+                        }
+                    }
+                    row
+                })
+                .collect()
+        };
+
+        let translator = Translator::new(&self.handle);
+        let (rows, _nulls) = translator
+            .translate_all(&group.name, &native_rows)
+            .ok_or_else(|| SqlError::Driver("group vanished from schema".into()))?;
+        let rs = finish_select(&group, rows, &sel, self.env.clock.now_ts())?;
+        Ok(Box::new(rs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridrm_agents::deploy_site;
+    use gridrm_glue::SchemaManager;
+    use gridrm_resmodel::{SiteModel, SiteSpec};
+    use gridrm_simnet::{Network, SimClock};
+
+    fn setup() -> (Arc<DriverEnv>, Arc<SnmpDriver>) {
+        let net = Network::new(SimClock::new(), 2);
+        let site = SiteModel::generate(42, &SiteSpec::new("s", 3, 4));
+        site.advance_to(60_000);
+        deploy_site(&net, site);
+        let schema = Arc::new(SchemaManager::new());
+        schema.register_mapping(crate::mappings::snmp_mapping());
+        let env = DriverEnv::new(net, schema, "gw");
+        let driver = SnmpDriver::new(env.clone());
+        (env, driver)
+    }
+
+    fn query(driver: &SnmpDriver, url: &str, sql: &str) -> gridrm_dbc::RowSet {
+        let url = JdbcUrl::parse(url).unwrap();
+        let mut conn = driver.connect(&url, &Properties::new()).unwrap();
+        let mut stmt = conn.create_statement().unwrap();
+        let mut rs = stmt.execute_query(sql).unwrap();
+        gridrm_dbc::RowSet::materialize(rs.as_mut()).unwrap()
+    }
+
+    #[test]
+    fn processor_query_normalised() {
+        let (_env, driver) = setup();
+        let rs = query(
+            &driver,
+            "jdbc:snmp://node00.s/public",
+            "SELECT Hostname, NCpu, Load1, Model FROM Processor",
+        );
+        assert_eq!(rs.len(), 1);
+        let row = &rs.rows()[0];
+        assert_eq!(row[0], SqlValue::Str("node00.s".into()));
+        assert_eq!(row[1], SqlValue::Int(4));
+        assert!(matches!(row[2], SqlValue::Float(l) if (0.0..16.0).contains(&l)));
+        assert_eq!(row[3], SqlValue::Str("Xeon".into()));
+    }
+
+    #[test]
+    fn select_star_has_all_glue_columns_with_nulls() {
+        let (env, driver) = setup();
+        let rs = query(
+            &driver,
+            "jdbc:snmp://node01.s/public",
+            "SELECT * FROM OperatingSystem",
+        );
+        let group = env.schema.schema();
+        let def = group.group("OperatingSystem").unwrap();
+        assert_eq!(rs.meta().column_count(), def.attributes.len());
+        // Release is unmapped for SNMP → NULL (§3.2.3).
+        let rel_idx = rs.meta().column_index("Release").unwrap();
+        assert!(rs.rows()[0][rel_idx].is_null());
+        let name_idx = rs.meta().column_index("Name").unwrap();
+        assert!(rs.rows()[0][name_idx].as_str().unwrap().contains("Linux"));
+    }
+
+    #[test]
+    fn indexed_group_network_adapter() {
+        let (_env, driver) = setup();
+        let rs = query(
+            &driver,
+            "jdbc:snmp://node00.s/public",
+            "SELECT Hostname, Name, MTU, Up FROM NetworkAdapter",
+        );
+        assert_eq!(rs.len(), 1); // one NIC per simulated host
+        let row = &rs.rows()[0];
+        assert_eq!(row[1], SqlValue::Str("eth0".into()));
+        assert_eq!(row[2], SqlValue::Int(1500));
+        assert_eq!(row[3], SqlValue::Bool(true));
+    }
+
+    #[test]
+    fn filesystem_available_is_derived() {
+        let (_env, driver) = setup();
+        let rs = query(
+            &driver,
+            "jdbc:snmp://node00.s/public",
+            "SELECT Name, SizeMB, AvailableMB FROM FileSystem ORDER BY Name",
+        );
+        assert_eq!(rs.len(), 2); // "/" and "/boot"
+        for row in rs.rows() {
+            let size = row[1].as_i64().unwrap();
+            let avail = row[2].as_i64().unwrap();
+            assert!(avail <= size, "avail {avail} > size {size}");
+            assert!(avail >= 0);
+        }
+    }
+
+    #[test]
+    fn where_clause_pushapplied() {
+        let (_env, driver) = setup();
+        let rs = query(
+            &driver,
+            "jdbc:snmp://node00.s/public",
+            "SELECT Hostname FROM Processor WHERE Load1 > 1000.0",
+        );
+        assert_eq!(rs.len(), 0);
+    }
+
+    #[test]
+    fn wrong_community_is_security_error() {
+        let (_env, driver) = setup();
+        let url = JdbcUrl::parse("jdbc:snmp://node00.s/wrongpass").unwrap();
+        let err = driver.connect(&url, &Properties::new()).err().unwrap();
+        assert!(matches!(err, SqlError::Security(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_host_is_connection_error() {
+        let (_env, driver) = setup();
+        let url = JdbcUrl::parse("jdbc:snmp://ghost/public").unwrap();
+        assert!(matches!(
+            driver.connect(&url, &Properties::new()).err().unwrap(),
+            SqlError::Connection(_)
+        ));
+    }
+
+    #[test]
+    fn unsupported_group_rejected() {
+        let (_env, driver) = setup();
+        let url = JdbcUrl::parse("jdbc:snmp://node00.s/public").unwrap();
+        let mut conn = driver.connect(&url, &Properties::new()).unwrap();
+        let mut stmt = conn.create_statement().unwrap();
+        assert!(matches!(
+            stmt.execute_query("SELECT * FROM NetworkElement")
+                .err()
+                .unwrap(),
+            SqlError::Unsupported(_)
+        ));
+        assert!(matches!(
+            stmt.execute_query("SELECT * FROM NoSuchGroup")
+                .err()
+                .unwrap(),
+            SqlError::Unsupported(_)
+        ));
+    }
+
+    #[test]
+    fn wildcard_url_probing() {
+        let (_env, driver) = setup();
+        assert!(driver.accepts_url(&JdbcUrl::parse("jdbc:://node00.s/public").unwrap()));
+        assert!(!driver.accepts_url(&JdbcUrl::parse("jdbc:://nowhere/x").unwrap()));
+        assert!(driver.accepts_url(&JdbcUrl::parse("jdbc:snmp://anything/x").unwrap()));
+        assert!(!driver.accepts_url(&JdbcUrl::parse("jdbc:ganglia://node00.s/c").unwrap()));
+    }
+
+    #[test]
+    fn fine_grained_fetch_requests_only_needed_oids() {
+        let (env, driver) = setup();
+        let before = env.network.stats_for("gw", "node00.s:snmp").snapshot();
+        let _ = query(
+            &driver,
+            "jdbc:snmp://node00.s/public",
+            "SELECT Load1 FROM Processor",
+        );
+        let after = env.network.stats_for("gw", "node00.s:snmp").snapshot();
+        // connect probe + 1 GET for the single OID.
+        assert_eq!(after.requests - before.requests, 2);
+        // And the payloads are small (fine-grained property, E8).
+        assert!(after.bytes_in - before.bytes_in < 200);
+    }
+
+    #[test]
+    fn closed_connection_rejects_statements() {
+        let (_env, driver) = setup();
+        let url = JdbcUrl::parse("jdbc:snmp://node00.s/public").unwrap();
+        let mut conn = driver.connect(&url, &Properties::new()).unwrap();
+        conn.close().unwrap();
+        assert!(matches!(conn.create_statement(), Err(SqlError::Closed)));
+        assert!(matches!(conn.ping(), Err(SqlError::Closed)));
+    }
+
+    #[test]
+    fn schema_update_reflected_without_reconnect() {
+        let (env, driver) = setup();
+        let url = JdbcUrl::parse("jdbc:snmp://node00.s/public").unwrap();
+        let mut conn = driver.connect(&url, &Properties::new()).unwrap();
+        let mut stmt = conn.create_statement().unwrap();
+        let _ = stmt.execute_query("SELECT Load1 FROM Processor").unwrap();
+        // Remove the mapping: the statement's cached handle is now stale
+        // and must be refreshed (Fig 5's consistency check).
+        env.schema.unregister_mapping(DRIVER_NAME);
+        assert!(matches!(
+            stmt.execute_query("SELECT Load1 FROM Processor")
+                .err()
+                .unwrap(),
+            SqlError::Unsupported(_)
+        ));
+    }
+}

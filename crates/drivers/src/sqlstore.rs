@@ -1,0 +1,207 @@
+//! The JDBC-GridRM driver: SQL access to stores mounted in the gateway —
+//! the "SQL" plug-in of Fig 2's Abstract Data Layer and the path the
+//! RequestManager uses for historical queries (§3.1.1).
+//!
+//! URL form: `jdbc:gridrm://local/<store-name>`.
+
+use crate::base::{DriverEnv, DriverStats};
+use gridrm_dbc::{
+    Connection, DbcResult, Driver, DriverMetaData, JdbcUrl, Properties, ResultSet, SqlError,
+    Statement,
+};
+use gridrm_store::{ExecOutcome, Store};
+use std::sync::Arc;
+
+/// Driver name as registered with the gateway.
+pub const DRIVER_NAME: &str = "jdbc-gridrm";
+
+/// The JDBC-GridRM [`Driver`].
+pub struct SqlStoreDriver {
+    env: Arc<DriverEnv>,
+    stats: Arc<DriverStats>,
+}
+
+impl SqlStoreDriver {
+    /// Create the driver over a gateway environment.
+    pub fn new(env: Arc<DriverEnv>) -> Arc<SqlStoreDriver> {
+        Arc::new(SqlStoreDriver {
+            env,
+            stats: Arc::new(DriverStats::default()),
+        })
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> Arc<DriverStats> {
+        self.stats.clone()
+    }
+}
+
+impl Driver for SqlStoreDriver {
+    fn meta(&self) -> DriverMetaData {
+        DriverMetaData {
+            name: DRIVER_NAME.to_owned(),
+            subprotocol: "gridrm".to_owned(),
+            version: (1, 0),
+            description: "GridRM driver for gateway-local SQL stores (history)".to_owned(),
+        }
+    }
+
+    fn accepts_url(&self, url: &JdbcUrl) -> bool {
+        if url.subprotocol == "gridrm" {
+            return true;
+        }
+        url.is_wildcard() && url.host == "local" && self.env.store(&url.path).is_some()
+    }
+
+    fn connect(&self, url: &JdbcUrl, _props: &Properties) -> DbcResult<Box<dyn Connection>> {
+        let store = self
+            .env
+            .store(&url.path)
+            .ok_or_else(|| SqlError::Connection(format!("no store mounted at '{}'", url.path)))?;
+        Ok(Box::new(SqlStoreConnection {
+            env: self.env.clone(),
+            stats: self.stats.clone(),
+            url: url.clone(),
+            store,
+            closed: false,
+        }))
+    }
+}
+
+struct SqlStoreConnection {
+    env: Arc<DriverEnv>,
+    stats: Arc<DriverStats>,
+    url: JdbcUrl,
+    store: Store,
+    closed: bool,
+}
+
+impl Connection for SqlStoreConnection {
+    fn create_statement(&mut self) -> DbcResult<Box<dyn Statement>> {
+        if self.closed {
+            return Err(SqlError::Closed);
+        }
+        Ok(Box::new(SqlStoreStatement {
+            env: self.env.clone(),
+            stats: self.stats.clone(),
+            store: self.store.clone(),
+        }))
+    }
+
+    fn url(&self) -> &JdbcUrl {
+        &self.url
+    }
+
+    fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    fn close(&mut self) -> DbcResult<()> {
+        self.closed = true;
+        Ok(())
+    }
+}
+
+struct SqlStoreStatement {
+    env: Arc<DriverEnv>,
+    stats: Arc<DriverStats>,
+    store: Store,
+}
+
+impl Statement for SqlStoreStatement {
+    fn execute_query(&mut self, sql: &str) -> DbcResult<Box<dyn ResultSet>> {
+        self.stats.query();
+        let now = self.env.clock.now_ts();
+        match self.store.execute_sql(sql, now) {
+            Ok(ExecOutcome::Rows(rs)) => Ok(Box::new(rs)),
+            Ok(_) => Err(SqlError::Unsupported(
+                "statement did not produce rows; use execute_update".into(),
+            )),
+            Err(e) => Err(SqlError::Driver(e.to_string())),
+        }
+    }
+
+    /// Unlike agent drivers, the local store is writable: this is the
+    /// optional capability a "fully implemented" driver provides.
+    fn execute_update(&mut self, sql: &str) -> DbcResult<usize> {
+        self.stats.query();
+        let now = self.env.clock.now_ts();
+        match self.store.execute_sql(sql, now) {
+            Ok(ExecOutcome::Affected(n)) => Ok(n),
+            Ok(ExecOutcome::Done) => Ok(0),
+            Ok(ExecOutcome::Rows(_)) => Err(SqlError::Unsupported(
+                "SELECT passed to execute_update".into(),
+            )),
+            Err(e) => Err(SqlError::Driver(e.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridrm_glue::SchemaManager;
+    use gridrm_simnet::{Network, SimClock};
+
+    fn setup() -> (Arc<DriverEnv>, Arc<SqlStoreDriver>) {
+        let net = Network::new(SimClock::new(), 1);
+        let env = DriverEnv::new(net, Arc::new(SchemaManager::new()), "gw");
+        env.mount_store("history", Store::new());
+        let driver = SqlStoreDriver::new(env.clone());
+        (env, driver)
+    }
+
+    #[test]
+    fn full_sql_lifecycle() {
+        let (_env, driver) = setup();
+        let url = JdbcUrl::parse("jdbc:gridrm://local/history").unwrap();
+        let mut conn = driver.connect(&url, &Properties::new()).unwrap();
+        let mut stmt = conn.create_statement().unwrap();
+        assert_eq!(
+            stmt.execute_update("CREATE TABLE h (host TEXT, v REAL)")
+                .unwrap(),
+            0
+        );
+        assert_eq!(
+            stmt.execute_update("INSERT INTO h VALUES ('a', 1.5), ('b', 2.5)")
+                .unwrap(),
+            2
+        );
+        let mut rs = stmt
+            .execute_query("SELECT host FROM h WHERE v > 2 ORDER BY host")
+            .unwrap();
+        assert!(rs.advance().unwrap());
+        assert_eq!(rs.get_string(0).unwrap(), "b");
+        assert!(!rs.advance().unwrap());
+    }
+
+    #[test]
+    fn unknown_store_rejected() {
+        let (_env, driver) = setup();
+        let url = JdbcUrl::parse("jdbc:gridrm://local/nope").unwrap();
+        assert!(matches!(
+            driver.connect(&url, &Properties::new()).err().unwrap(),
+            SqlError::Connection(_)
+        ));
+    }
+
+    #[test]
+    fn mismatched_statement_kinds() {
+        let (_env, driver) = setup();
+        let url = JdbcUrl::parse("jdbc:gridrm://local/history").unwrap();
+        let mut conn = driver.connect(&url, &Properties::new()).unwrap();
+        let mut stmt = conn.create_statement().unwrap();
+        stmt.execute_update("CREATE TABLE t (a INTEGER)").unwrap();
+        assert!(stmt.execute_query("INSERT INTO t VALUES (1)").is_err());
+        assert!(stmt.execute_update("SELECT * FROM t").is_err());
+    }
+
+    #[test]
+    fn wildcard_accepts_only_mounted_local() {
+        let (_env, driver) = setup();
+        assert!(driver.accepts_url(&JdbcUrl::parse("jdbc:://local/history").unwrap()));
+        assert!(!driver.accepts_url(&JdbcUrl::parse("jdbc:://local/other").unwrap()));
+        assert!(!driver.accepts_url(&JdbcUrl::parse("jdbc:://remote/history").unwrap()));
+        assert!(driver.accepts_url(&JdbcUrl::parse("jdbc:gridrm://local/x").unwrap()));
+    }
+}

@@ -1,0 +1,229 @@
+//! A minimal XML pull-scanner, sufficient for the gmond dialect (elements,
+//! double-quoted attributes, self-closing tags, declarations, no text
+//! content we care about). The Ganglia driver's "greater overhead … to
+//! parse values from the response" (§3.2.4) happens here.
+
+use std::fmt;
+
+/// One scanned markup event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// `<name a="v" ...>`
+    Open {
+        /// Element name.
+        name: String,
+        /// Attributes in document order.
+        attrs: Vec<(String, String)>,
+    },
+    /// `<name a="v" .../>`
+    SelfClose {
+        /// Element name.
+        name: String,
+        /// Attributes in document order.
+        attrs: Vec<(String, String)>,
+    },
+    /// `</name>`
+    Close {
+        /// Element name.
+        name: String,
+    },
+}
+
+/// Scanner errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset.
+    pub offset: usize,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Decode the five standard entities.
+pub fn unescape(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_owned();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(idx) = rest.find('&') {
+        out.push_str(&rest[..idx]);
+        rest = &rest[idx..];
+        let (entity, len) = if rest.starts_with("&amp;") {
+            ("&", 5)
+        } else if rest.starts_with("&lt;") {
+            ("<", 4)
+        } else if rest.starts_with("&gt;") {
+            (">", 4)
+        } else if rest.starts_with("&quot;") {
+            ("\"", 6)
+        } else if rest.starts_with("&apos;") {
+            ("'", 6)
+        } else {
+            ("&", 1)
+        };
+        out.push_str(entity);
+        rest = &rest[len..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Scan a document into events, skipping declarations, comments and text.
+pub fn scan(xml: &str) -> Result<Vec<XmlEvent>, XmlError> {
+    let bytes = xml.as_bytes();
+    let mut pos = 0usize;
+    let mut events = Vec::new();
+    while pos < bytes.len() {
+        // Find the next tag.
+        let Some(lt) = xml[pos..].find('<') else {
+            break;
+        };
+        pos += lt;
+        let start = pos;
+        let Some(gt_rel) = xml[pos..].find('>') else {
+            return Err(XmlError {
+                message: "unterminated tag".into(),
+                offset: start,
+            });
+        };
+        let inner = &xml[pos + 1..pos + gt_rel];
+        pos += gt_rel + 1;
+        if inner.starts_with('?') || inner.starts_with('!') {
+            continue; // declaration / comment / doctype
+        }
+        if let Some(name) = inner.strip_prefix('/') {
+            events.push(XmlEvent::Close {
+                name: name.trim().to_owned(),
+            });
+            continue;
+        }
+        let self_close = inner.ends_with('/');
+        let body = if self_close {
+            &inner[..inner.len() - 1]
+        } else {
+            inner
+        };
+        let (name, attrs) = parse_tag_body(body, start)?;
+        events.push(if self_close {
+            XmlEvent::SelfClose { name, attrs }
+        } else {
+            XmlEvent::Open { name, attrs }
+        });
+    }
+    Ok(events)
+}
+
+fn parse_tag_body(body: &str, offset: usize) -> Result<(String, Vec<(String, String)>), XmlError> {
+    let body = body.trim();
+    let name_end = body.find(|c: char| c.is_whitespace()).unwrap_or(body.len());
+    let name = body[..name_end].to_owned();
+    if name.is_empty() {
+        return Err(XmlError {
+            message: "empty tag name".into(),
+            offset,
+        });
+    }
+    let mut attrs = Vec::new();
+    let mut rest = body[name_end..].trim_start();
+    while !rest.is_empty() {
+        let Some(eq) = rest.find('=') else {
+            return Err(XmlError {
+                message: format!("attribute without '=': {rest}"),
+                offset,
+            });
+        };
+        let key = rest[..eq].trim().to_owned();
+        rest = rest[eq + 1..].trim_start();
+        if !rest.starts_with('"') {
+            return Err(XmlError {
+                message: "attribute value must be double-quoted".into(),
+                offset,
+            });
+        }
+        let Some(endq) = rest[1..].find('"') else {
+            return Err(XmlError {
+                message: "unterminated attribute value".into(),
+                offset,
+            });
+        };
+        let value = unescape(&rest[1..1 + endq]);
+        attrs.push((key, value));
+        rest = rest[endq + 2..].trim_start();
+    }
+    Ok((name, attrs))
+}
+
+/// Fetch a named attribute from an attribute list.
+pub fn attr<'a>(attrs: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    attrs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_gmond_shape() {
+        let xml = r#"<?xml version="1.0"?>
+<GANGLIA_XML VERSION="2.5.7" SOURCE="gmond">
+<CLUSTER NAME="site-a" LOCALTIME="120">
+<HOST NAME="node00" IP="10.0.0.1" REPORTED="120">
+<METRIC NAME="load_one" VAL="0.75" TYPE="float" UNITS=""/>
+</HOST>
+</CLUSTER>
+</GANGLIA_XML>"#;
+        let events = scan(xml).unwrap();
+        assert_eq!(events.len(), 7);
+        match &events[0] {
+            XmlEvent::Open { name, attrs } => {
+                assert_eq!(name, "GANGLIA_XML");
+                assert_eq!(attr(attrs, "VERSION"), Some("2.5.7"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(&events[3], XmlEvent::SelfClose { name, .. } if name == "METRIC"));
+        assert!(matches!(&events[6], XmlEvent::Close { name } if name == "GANGLIA_XML"));
+    }
+
+    #[test]
+    fn unescape_entities() {
+        assert_eq!(unescape("a&lt;b&amp;c&gt;&quot;&apos;"), "a<b&c>\"'");
+        assert_eq!(unescape("no entities"), "no entities");
+        assert_eq!(unescape("lone & amp"), "lone & amp");
+    }
+
+    #[test]
+    fn escaped_attr_roundtrip() {
+        let xml = r#"<X NAME="a&amp;b &lt;c&gt;"/>"#;
+        let events = scan(xml).unwrap();
+        let XmlEvent::SelfClose { attrs, .. } = &events[0] else {
+            panic!()
+        };
+        assert_eq!(attr(attrs, "NAME"), Some("a&b <c>"));
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(scan("<unclosed").is_err());
+        assert!(scan(r#"<A B/>"#).is_err()); // attribute without =
+        assert!(scan(r#"<A B='x'/>"#).is_err()); // single quotes unsupported
+        assert!(scan(r#"<A B="x/>"#).is_err()); // unterminated value
+    }
+
+    #[test]
+    fn text_content_ignored() {
+        let events = scan("<a>some text</a>").unwrap();
+        assert_eq!(events.len(), 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! The GMA directory (Fig 1's "GMA Directory"): gateways register as
+//! producers of monitoring data for the hosts they own; consumers look up
+//! which gateway to contact for a resource.
+
+use gridrm_dbc::JdbcUrl;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One registered producer (a gateway).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProducerEntry {
+    /// Gateway name.
+    pub gateway: String,
+    /// Site it manages.
+    pub site: String,
+    /// Network address of its `:gma` endpoint.
+    pub gma_address: String,
+    /// Host-name suffixes this gateway is authoritative for (e.g.
+    /// `.site-a`). A URL belongs to the gateway whose suffix matches the
+    /// URL's host; `local` URLs are never owned remotely.
+    pub host_suffixes: Vec<String>,
+}
+
+impl ProducerEntry {
+    /// Does this producer own the resource at `url`?
+    pub fn owns(&self, url: &JdbcUrl) -> bool {
+        self.host_suffixes
+            .iter()
+            .any(|s| url.host.ends_with(s.as_str()))
+    }
+}
+
+/// The directory registry. In a deployment this is itself a GMA service;
+/// here it is shared in-process (an `Arc`) and additionally reachable over
+/// the network via `GlobalLayer`'s use of it — the interaction model is
+/// what the paper takes from GMA, not the discovery wire format.
+#[derive(Default)]
+pub struct GmaDirectory {
+    producers: RwLock<Vec<ProducerEntry>>,
+}
+
+impl GmaDirectory {
+    /// Empty directory.
+    pub fn new() -> Arc<GmaDirectory> {
+        Arc::new(GmaDirectory::default())
+    }
+
+    /// Register (or re-register) a producer.
+    pub fn register(&self, entry: ProducerEntry) {
+        let mut producers = self.producers.write();
+        producers.retain(|p| p.gateway != entry.gateway);
+        producers.push(entry);
+    }
+
+    /// Remove a producer.
+    pub fn unregister(&self, gateway: &str) -> bool {
+        let mut producers = self.producers.write();
+        let before = producers.len();
+        producers.retain(|p| p.gateway != gateway);
+        producers.len() != before
+    }
+
+    /// All producers.
+    pub fn producers(&self) -> Vec<ProducerEntry> {
+        self.producers.read().clone()
+    }
+
+    /// Which producer owns `url`?
+    pub fn lookup(&self, url: &JdbcUrl) -> Option<ProducerEntry> {
+        self.producers.read().iter().find(|p| p.owns(url)).cloned()
+    }
+
+    /// Look up a producer by gateway name.
+    pub fn by_name(&self, gateway: &str) -> Option<ProducerEntry> {
+        self.producers
+            .read()
+            .iter()
+            .find(|p| p.gateway == gateway)
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(gateway: &str, site: &str) -> ProducerEntry {
+        ProducerEntry {
+            gateway: gateway.to_owned(),
+            site: site.to_owned(),
+            gma_address: format!("gw.{site}:gma"),
+            host_suffixes: vec![format!(".{site}")],
+        }
+    }
+
+    #[test]
+    fn register_lookup_unregister() {
+        let d = GmaDirectory::new();
+        d.register(entry("gw-a", "site-a"));
+        d.register(entry("gw-b", "site-b"));
+        let url = JdbcUrl::parse("jdbc:snmp://node03.site-b/public").unwrap();
+        assert_eq!(d.lookup(&url).unwrap().gateway, "gw-b");
+        assert!(d
+            .lookup(&JdbcUrl::parse("jdbc:snmp://node.site-c/p").unwrap())
+            .is_none());
+        assert!(d.unregister("gw-b"));
+        assert!(d.lookup(&url).is_none());
+        assert!(!d.unregister("gw-b"));
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let d = GmaDirectory::new();
+        d.register(entry("gw-a", "site-a"));
+        let mut updated = entry("gw-a", "site-a");
+        updated.host_suffixes.push(".extra".to_owned());
+        d.register(updated);
+        assert_eq!(d.producers().len(), 1);
+        assert_eq!(d.by_name("gw-a").unwrap().host_suffixes.len(), 2);
+    }
+
+    #[test]
+    fn ownership_is_suffix_based() {
+        let e = entry("gw-a", "alpha");
+        assert!(e.owns(&JdbcUrl::parse("jdbc:ganglia://node00.alpha/c").unwrap()));
+        assert!(!e.owns(&JdbcUrl::parse("jdbc:ganglia://node00.beta/c").unwrap()));
+        assert!(!e.owns(&JdbcUrl::parse("jdbc:gridrm://local/history").unwrap()));
+    }
+}

@@ -1,0 +1,374 @@
+//! The Global layer attachment: per-gateway GMA endpoint, remote query
+//! routing, and inter-gateway event propagation.
+
+use crate::gma::{GmaDirectory, ProducerEntry};
+use crate::protocol::{self, GlobalRequest, GlobalResponse, WireIdentity, WireRows};
+use gridrm_core::acil::{ClientRequest, ClientResponse, QueryMode};
+use gridrm_core::events::{EventTransmitter, GridRMEvent, Severity};
+use gridrm_core::security::Identity;
+use gridrm_core::Gateway;
+use gridrm_dbc::{DbcResult, JdbcUrl, RowSet, SqlError};
+use gridrm_simnet::{Network, Service};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+/// Global-layer counters (experiments E1/E12).
+#[derive(Debug, Default)]
+pub struct GlobalStats {
+    /// Remote queries this gateway sent out.
+    pub remote_queries_out: AtomicU64,
+    /// Remote queries this gateway answered for peers.
+    pub remote_queries_in: AtomicU64,
+    /// Events forwarded to peers.
+    pub events_out: AtomicU64,
+    /// Events accepted from peers.
+    pub events_in: AtomicU64,
+}
+
+/// A gateway's Global-layer attachment.
+pub struct GlobalLayer {
+    gateway: Arc<Gateway>,
+    directory: Arc<GmaDirectory>,
+    network: Arc<Network>,
+    gma_address: String,
+    stats: GlobalStats,
+    this: Weak<GlobalLayer>,
+}
+
+impl GlobalLayer {
+    /// Attach the Global layer to `gateway`: registers the gateway as a
+    /// GMA producer for its site's hosts and serves the `{address}:gma`
+    /// endpoint.
+    pub fn attach(gateway: Arc<Gateway>, directory: Arc<GmaDirectory>) -> Arc<GlobalLayer> {
+        let network = gateway.network().clone();
+        let config = gateway.config().clone();
+        let gma_address = format!("{}:gma", config.address);
+        directory.register(ProducerEntry {
+            gateway: config.name.clone(),
+            site: config.site.clone(),
+            gma_address: gma_address.clone(),
+            host_suffixes: vec![format!(".{}", config.site)],
+        });
+        let layer = Arc::new_cyclic(|this: &Weak<GlobalLayer>| GlobalLayer {
+            gateway,
+            directory,
+            network: network.clone(),
+            gma_address: gma_address.clone(),
+            stats: GlobalStats::default(),
+            this: this.clone(),
+        });
+        let weak = layer.this.clone();
+        let service: Arc<dyn Service> =
+            Arc::new(move |from: &str, req: &[u8]| match weak.upgrade() {
+                Some(layer) => layer.handle_wire(from, req),
+                None => protocol::encode(&GlobalResponse::Error {
+                    message: "gateway shut down".into(),
+                }),
+            });
+        network.register(&gma_address, service);
+        layer
+    }
+
+    /// The wrapped gateway.
+    pub fn gateway(&self) -> &Arc<Gateway> {
+        &self.gateway
+    }
+
+    /// The directory in use.
+    pub fn directory(&self) -> &Arc<GmaDirectory> {
+        &self.directory
+    }
+
+    /// This layer's GMA endpoint address.
+    pub fn gma_address(&self) -> &str {
+        &self.gma_address
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &GlobalStats {
+        &self.stats
+    }
+
+    fn handle_wire(&self, _from: &str, req: &[u8]) -> Vec<u8> {
+        let request: GlobalRequest = match protocol::decode(req) {
+            Ok(r) => r,
+            Err(e) => {
+                return protocol::encode(&GlobalResponse::Error {
+                    message: e.to_string(),
+                })
+            }
+        };
+        let response = match request {
+            GlobalRequest::Ping => GlobalResponse::Pong {
+                gateway: self.gateway.config().name.clone(),
+            },
+            GlobalRequest::Event {
+                from_gateway,
+                event,
+            } => {
+                self.stats.events_in.fetch_add(1, Ordering::Relaxed);
+                // Re-source so the forwarding transmitter never loops it
+                // back out.
+                let mut event = event;
+                event.source = format!("gma:{from_gateway}:{}", event.source);
+                self.gateway.events().ingest(event);
+                GlobalResponse::EventAccepted
+            }
+            GlobalRequest::Query {
+                identity,
+                sources,
+                sql,
+                max_cache_age_ms,
+                ..
+            } => {
+                self.stats.remote_queries_in.fetch_add(1, Ordering::Relaxed);
+                let mode = match max_cache_age_ms {
+                    Some(age) => QueryMode::Cached {
+                        max_age_ms: Some(age),
+                    },
+                    None => QueryMode::RealTime,
+                };
+                let src_refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+                let request = ClientRequest {
+                    token: None,
+                    identity: Some(identity.to_identity()),
+                    sources: Vec::new(),
+                    sql,
+                    mode,
+                }
+                .with_sources(&src_refs);
+                match self.gateway.query(&request) {
+                    Ok(resp) => GlobalResponse::Rows {
+                        rows: WireRows::from_rowset(&resp.rows),
+                        warnings: resp.warnings,
+                        served_from_cache: resp.served_from_cache,
+                    },
+                    Err(e) => GlobalResponse::Error {
+                        message: e.to_string(),
+                    },
+                }
+            }
+        };
+        protocol::encode(&response)
+    }
+
+    /// Query through the Global layer: local sources are handled by the
+    /// local gateway, remote ones are routed to their owning gateways
+    /// (Fig 1), and everything is consolidated into one response.
+    pub fn query(&self, request: &ClientRequest) -> DbcResult<ClientResponse> {
+        let my_name = self.gateway.config().name.clone();
+        let mut local: Vec<String> = Vec::new();
+        let mut remote: BTreeMap<String, (ProducerEntry, Vec<String>)> = BTreeMap::new();
+        for source in &request.sources {
+            let owner = JdbcUrl::parse(source)
+                .ok()
+                .and_then(|u| self.directory.lookup(&u));
+            match owner {
+                Some(entry) if entry.gateway != my_name => {
+                    remote
+                        .entry(entry.gateway.clone())
+                        .or_insert_with(|| (entry, Vec::new()))
+                        .1
+                        .push(source.clone());
+                }
+                // Owned by us, or unknown to the directory (e.g. a local
+                // store URL): handle locally.
+                _ => local.push(source.clone()),
+            }
+        }
+
+        let identity = request.identity.clone().unwrap_or_else(Identity::anonymous);
+        let mut consolidated: Option<RowSet> = None;
+        let mut warnings: Vec<String> = Vec::new();
+        let mut served_from_cache = 0usize;
+        let mut sources_ok = 0usize;
+        let mut first_err: Option<SqlError> = None;
+
+        if !local.is_empty() || request.mode == QueryMode::Historical {
+            let local_refs: Vec<&str> = local.iter().map(String::as_str).collect();
+            let local_request = ClientRequest {
+                sources: Vec::new(),
+                ..request.clone()
+            }
+            .with_sources(&local_refs);
+            match self.gateway.query(&local_request) {
+                Ok(resp) => {
+                    sources_ok += resp.sources_ok;
+                    served_from_cache += resp.served_from_cache;
+                    warnings.extend(resp.warnings);
+                    merge(&mut consolidated, resp.rows, &mut warnings, "local");
+                }
+                Err(e) => {
+                    warnings.push(format!("local: {e}"));
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+
+        let max_cache_age_ms = match request.mode {
+            QueryMode::Cached { max_age_ms } => {
+                Some(max_age_ms.unwrap_or(self.gateway.cache().default_ttl_ms()))
+            }
+            _ => None,
+        };
+        for (gateway_name, (entry, sources)) in remote {
+            self.stats
+                .remote_queries_out
+                .fetch_add(1, Ordering::Relaxed);
+            let wire = GlobalRequest::Query {
+                from_gateway: my_name.clone(),
+                identity: WireIdentity::from(&identity),
+                sources,
+                sql: request.sql.clone(),
+                max_cache_age_ms,
+            };
+            let answer = self
+                .network
+                .request(
+                    &self.gma_address,
+                    &entry.gma_address,
+                    &protocol::encode(&wire),
+                )
+                .map_err(|e| SqlError::Connection(e.to_string()))
+                .and_then(|bytes| protocol::decode::<GlobalResponse>(&bytes));
+            match answer {
+                Ok(GlobalResponse::Rows {
+                    rows,
+                    warnings: remote_warnings,
+                    served_from_cache: remote_cached,
+                }) => match rows.to_rowset() {
+                    Ok(rs) => {
+                        sources_ok += 1;
+                        served_from_cache += remote_cached;
+                        warnings.extend(
+                            remote_warnings
+                                .into_iter()
+                                .map(|w| format!("{gateway_name}: {w}")),
+                        );
+                        merge(&mut consolidated, rs, &mut warnings, &gateway_name);
+                    }
+                    Err(e) => {
+                        warnings.push(format!("{gateway_name}: bad wire rows: {e}"));
+                        first_err.get_or_insert(e);
+                    }
+                },
+                Ok(GlobalResponse::Error { message }) => {
+                    warnings.push(format!("{gateway_name}: {message}"));
+                    first_err.get_or_insert(SqlError::Driver(message));
+                }
+                Ok(other) => {
+                    warnings.push(format!("{gateway_name}: unexpected response {other:?}"));
+                }
+                Err(e) => {
+                    warnings.push(format!("{gateway_name}: {e}"));
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+
+        match consolidated {
+            Some(rows) => Ok(ClientResponse {
+                rows,
+                warnings,
+                served_from_cache,
+                sources_ok,
+            }),
+            None => {
+                Err(first_err
+                    .unwrap_or_else(|| SqlError::Driver("no source produced a result".into())))
+            }
+        }
+    }
+
+    /// Forward one event to every *other* registered gateway. Returns how
+    /// many peers accepted it.
+    pub fn forward_event(&self, event: &GridRMEvent) -> usize {
+        let my_name = self.gateway.config().name.clone();
+        let mut accepted = 0;
+        for peer in self.directory.producers() {
+            if peer.gateway == my_name {
+                continue;
+            }
+            let wire = GlobalRequest::Event {
+                from_gateway: my_name.clone(),
+                event: event.clone(),
+            };
+            if let Ok(bytes) = self.network.request(
+                &self.gma_address,
+                &peer.gma_address,
+                &protocol::encode(&wire),
+            ) {
+                if matches!(
+                    protocol::decode::<GlobalResponse>(&bytes),
+                    Ok(GlobalResponse::EventAccepted)
+                ) {
+                    self.stats.events_out.fetch_add(1, Ordering::Relaxed);
+                    accepted += 1;
+                }
+            }
+        }
+        accepted
+    }
+
+    /// Register a transmitter on the gateway's Event Manager that forwards
+    /// local events at or above `min_severity` to all peer gateways —
+    /// "this behaviour allows GridRM to propagate events between Gateways"
+    /// (§3.1.5). Events that *arrived* via the Global layer are never
+    /// re-forwarded (loop prevention).
+    pub fn enable_event_propagation(self: &Arc<Self>, min_severity: Severity) {
+        struct Forwarder {
+            layer: Weak<GlobalLayer>,
+            min_severity: Severity,
+        }
+        impl EventTransmitter for Forwarder {
+            fn name(&self) -> &str {
+                "gma-event-forwarder"
+            }
+            fn transmit(&self, event: &GridRMEvent) -> bool {
+                if event.severity < self.min_severity || event.source.starts_with("gma:") {
+                    return false;
+                }
+                match self.layer.upgrade() {
+                    Some(layer) => layer.forward_event(event) > 0,
+                    None => false,
+                }
+            }
+        }
+        self.gateway
+            .events()
+            .register_transmitter(Arc::new(Forwarder {
+                layer: Arc::downgrade(self),
+                min_severity,
+            }));
+    }
+
+    /// Liveness check of a peer gateway.
+    pub fn ping(&self, gateway_name: &str) -> bool {
+        let Some(entry) = self.directory.by_name(gateway_name) else {
+            return false;
+        };
+        matches!(
+            self.network
+                .request(
+                    &self.gma_address,
+                    &entry.gma_address,
+                    &protocol::encode(&GlobalRequest::Ping),
+                )
+                .ok()
+                .and_then(|b| protocol::decode::<GlobalResponse>(&b).ok()),
+            Some(GlobalResponse::Pong { .. })
+        )
+    }
+}
+
+fn merge(acc: &mut Option<RowSet>, rows: RowSet, warnings: &mut Vec<String>, origin: &str) {
+    match acc {
+        None => *acc = Some(rows),
+        Some(existing) => {
+            if let Err(e) = existing.append(rows) {
+                warnings.push(format!("{origin}: result shape mismatch: {e}"));
+            }
+        }
+    }
+}

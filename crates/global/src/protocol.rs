@@ -1,0 +1,200 @@
+//! Wire protocol between gateways (and to the GMA directory): JSON
+//! messages over the simulated network.
+
+use gridrm_core::events::GridRMEvent;
+use gridrm_core::security::Identity;
+use gridrm_dbc::{ColumnMeta, DbcResult, ResultSetMetaData, RowSet, SqlError};
+use gridrm_sqlparse::{SqlType, SqlValue};
+use serde::{Deserialize, Serialize};
+
+/// Identity as shipped between gateways (the requesting gateway vouches
+/// for it; the owning gateway applies *its* policy — §2's deferral).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireIdentity {
+    /// Principal name.
+    pub name: String,
+    /// Roles.
+    pub roles: Vec<String>,
+}
+
+impl From<&Identity> for WireIdentity {
+    fn from(i: &Identity) -> Self {
+        WireIdentity {
+            name: i.name.clone(),
+            roles: i.roles.iter().cloned().collect(),
+        }
+    }
+}
+
+impl WireIdentity {
+    /// Back to a core identity.
+    pub fn to_identity(&self) -> Identity {
+        let roles: Vec<&str> = self.roles.iter().map(String::as_str).collect();
+        Identity::new(&self.name, &roles)
+    }
+}
+
+/// A result set in wire form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireRows {
+    /// Column `(name, type, unit)` triples.
+    pub columns: Vec<(String, SqlType, Option<String>)>,
+    /// Row data.
+    pub rows: Vec<Vec<SqlValue>>,
+}
+
+impl WireRows {
+    /// Capture a [`RowSet`].
+    pub fn from_rowset(rs: &RowSet) -> WireRows {
+        WireRows {
+            columns: rs
+                .meta()
+                .columns()
+                .iter()
+                .map(|c| (c.name.clone(), c.ty, c.unit.clone()))
+                .collect(),
+            rows: rs.rows().to_vec(),
+        }
+    }
+
+    /// Rebuild a [`RowSet`].
+    pub fn to_rowset(&self) -> DbcResult<RowSet> {
+        let meta = ResultSetMetaData::new(
+            self.columns
+                .iter()
+                .map(|(name, ty, unit)| {
+                    let mut c = ColumnMeta::new(name.clone(), *ty);
+                    if let Some(u) = unit {
+                        c = c.with_unit(u.clone());
+                    }
+                    c
+                })
+                .collect(),
+        );
+        RowSet::new(meta, self.rows.clone())
+    }
+}
+
+/// Requests a gateway's `:gma` endpoint accepts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum GlobalRequest {
+    /// Execute a query against sources this gateway owns.
+    Query {
+        /// Requesting gateway (for loop detection / auditing).
+        from_gateway: String,
+        /// Vouched client identity.
+        identity: WireIdentity,
+        /// Data-source URLs (all owned by the receiving gateway).
+        sources: Vec<String>,
+        /// SQL text.
+        sql: String,
+        /// Serve from the receiving gateway's cache when ≤ this age.
+        max_cache_age_ms: Option<u64>,
+    },
+    /// Deliver an event produced at another site.
+    Event {
+        /// Originating gateway.
+        from_gateway: String,
+        /// The normalised event.
+        event: GridRMEvent,
+    },
+    /// Liveness probe.
+    Ping,
+}
+
+/// Responses from a gateway's `:gma` endpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum GlobalResponse {
+    /// Query answered.
+    Rows {
+        /// The consolidated result.
+        rows: WireRows,
+        /// Per-source warnings.
+        warnings: Vec<String>,
+        /// Sources served from the remote cache.
+        served_from_cache: usize,
+    },
+    /// Event accepted.
+    EventAccepted,
+    /// Pong.
+    Pong {
+        /// Responding gateway name.
+        gateway: String,
+    },
+    /// Something failed.
+    Error {
+        /// Error description.
+        message: String,
+    },
+}
+
+/// Encode a message for the wire.
+pub fn encode<T: Serialize>(msg: &T) -> Vec<u8> {
+    serde_json::to_vec(msg).expect("wire messages are serialisable")
+}
+
+/// Decode a message from the wire.
+pub fn decode<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> DbcResult<T> {
+    serde_json::from_slice(bytes)
+        .map_err(|e| SqlError::Driver(format!("bad global-layer message: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_rows_roundtrip() {
+        let rs = RowSet::new(
+            ResultSetMetaData::new(vec![
+                ColumnMeta::new("Hostname", SqlType::Str).with_unit("".to_owned()),
+                ColumnMeta::new("Load1", SqlType::Float),
+            ]),
+            vec![
+                vec![SqlValue::Str("n1".into()), SqlValue::Float(0.5)],
+                vec![SqlValue::Str("n2".into()), SqlValue::Null],
+            ],
+        )
+        .unwrap();
+        let wire = WireRows::from_rowset(&rs);
+        let back = wire.to_rowset().unwrap();
+        assert_eq!(back.rows(), rs.rows());
+        assert_eq!(back.meta().column_name(1).unwrap(), "Load1");
+    }
+
+    #[test]
+    fn request_json_roundtrip() {
+        let req = GlobalRequest::Query {
+            from_gateway: "gw-a".into(),
+            identity: WireIdentity {
+                name: "alice".into(),
+                roles: vec!["monitor".into()],
+            },
+            sources: vec!["jdbc:snmp://n/p".into()],
+            sql: "SELECT * FROM Processor".into(),
+            max_cache_age_ms: Some(5_000),
+        };
+        let bytes = encode(&req);
+        let back: GlobalRequest = decode(&bytes).unwrap();
+        match back {
+            GlobalRequest::Query { identity, sql, .. } => {
+                assert_eq!(identity.name, "alice");
+                assert!(sql.contains("Processor"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_garbage_errors() {
+        assert!(decode::<GlobalRequest>(b"not json").is_err());
+    }
+
+    #[test]
+    fn identity_conversion() {
+        let id = Identity::new("bob", &["admin", "monitor"]);
+        let wire = WireIdentity::from(&id);
+        let back = wire.to_identity();
+        assert_eq!(back, id);
+    }
+}

@@ -1,0 +1,112 @@
+//! §2's hierarchical security deferral, end to end: "In a hierarchy of
+//! GridRM Gateways, security decisions can be deferred to the local
+//! Gateway responsible for a given resource."
+
+use gridrm_agents::deploy_site;
+use gridrm_core::security::AclRule;
+use gridrm_core::{ClientRequest, Gateway, GatewayConfig, Identity, SecurityPolicy};
+use gridrm_drivers::install_into_gateway;
+use gridrm_global::{GlobalLayer, GmaDirectory};
+use gridrm_resmodel::{SiteModel, SiteSpec};
+use gridrm_simnet::{Network, SimClock};
+
+#[test]
+fn local_gateway_defers_remote_decisions_to_the_owner() {
+    let net = Network::new(SimClock::new(), 808);
+    let directory = GmaDirectory::new();
+    let mut gateways = Vec::new();
+    for (i, name) in ["edge", "owner"].iter().enumerate() {
+        let model = SiteModel::generate(300 + i as u64, &SiteSpec::new(name, 2, 2));
+        model.advance_to(120_000);
+        deploy_site(&net, model);
+        let gw = Gateway::new(GatewayConfig::new(&format!("gw-{name}"), name), net.clone());
+        install_into_gateway(&gw);
+        let layer = GlobalLayer::attach(gw.clone(), directory.clone());
+        gateways.push((gw, layer));
+    }
+    let (edge_gw, edge_layer) = &gateways[0];
+    let (owner_gw, _) = &gateways[1];
+
+    // The edge gateway explicitly declines authority over `.owner` hosts
+    // (§2's deferral) — its Fine Grained Security Layer says Defer.
+    let mut edge_policy = SecurityPolicy::permissive();
+    edge_policy
+        .deferred_prefixes
+        .push("jdbc:snmp://node00.owner".to_owned());
+    edge_gw.set_security_policy(edge_policy);
+
+    // The owning gateway enforces its own rule: only `monitor` may read
+    // Processor data.
+    owner_gw.set_security_policy(SecurityPolicy::strict().with_rule(AclRule {
+        role: "monitor".into(),
+        url_prefix: String::new(),
+        group: "Processor".into(),
+        allow: true,
+    }));
+
+    let source = "jdbc:snmp://node00.owner/public";
+    let sql = "SELECT Hostname FROM Processor";
+
+    // 1. Asking the edge gateway's LOCAL layer directly: it refuses to
+    //    decide and points at the Global layer.
+    assert!(
+        edge_gw
+            .query(&ClientRequest::realtime(source, sql))
+            .is_err(),
+        "local layer must not answer a deferred resource"
+    );
+
+    // 2. Through the Global layer, the decision is made by the OWNER's
+    //    policy: anonymous denied, monitor allowed.
+    let denied = edge_layer
+        .query(&ClientRequest::realtime(source, sql).with_identity(Identity::anonymous()));
+    assert!(denied.is_err(), "owner policy must deny anonymous");
+
+    let allowed = edge_layer
+        .query(
+            &ClientRequest::realtime(source, sql)
+                .with_identity(Identity::new("alice", &["monitor"])),
+        )
+        .expect("owner policy must allow monitor");
+    assert_eq!(allowed.rows.len(), 1);
+
+    // The edge gateway never evaluated the owner's resources itself: the
+    // query crossed the gma link.
+    assert_eq!(
+        net.stats_for("gw.edge:gma", "gw.owner:gma")
+            .snapshot()
+            .requests,
+        2
+    );
+}
+
+#[test]
+fn deferred_source_warns_but_other_sources_still_answer_locally() {
+    let net = Network::new(SimClock::new(), 809);
+    let model = SiteModel::generate(77, &SiteSpec::new("solo", 2, 2));
+    model.advance_to(60_000);
+    deploy_site(&net, model);
+    let gw = Gateway::new(GatewayConfig::new("gw-solo", "solo"), net.clone());
+    install_into_gateway(&gw);
+
+    let mut policy = SecurityPolicy::permissive();
+    policy
+        .deferred_prefixes
+        .push("jdbc:snmp://elsewhere".into());
+    gw.set_security_policy(policy);
+
+    let resp = gw
+        .query(
+            &ClientRequest::realtime("", "SELECT Hostname FROM Processor").with_sources(&[
+                "jdbc:snmp://node00.solo/public",
+                "jdbc:snmp://elsewhere.host/public",
+            ]),
+        )
+        .expect("local source still answers");
+    assert_eq!(resp.rows.len(), 1);
+    assert!(
+        resp.warnings.iter().any(|w| w.contains("Global layer")),
+        "{:?}",
+        resp.warnings
+    );
+}

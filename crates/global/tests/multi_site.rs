@@ -1,0 +1,305 @@
+//! Fig 1 end-to-end: multiple sites, each with its own gateway and agent
+//! population; clients connect to one gateway and transparently query the
+//! whole Grid; events propagate between gateways.
+
+use gridrm_agents::{deploy_site, SiteAgents};
+use gridrm_core::events::ListenerFilter;
+use gridrm_core::{ClientRequest, Gateway, GatewayConfig, Identity, Severity};
+use gridrm_drivers::install_into_gateway;
+use gridrm_global::{GlobalLayer, GmaDirectory};
+use gridrm_resmodel::{SiteModel, SiteSpec};
+use gridrm_simnet::{Latency, Network, SimClock};
+use gridrm_sqlparse::SqlValue;
+use std::sync::Arc;
+
+struct Site {
+    site: Arc<SiteModel>,
+    agents: SiteAgents,
+    gateway: Arc<Gateway>,
+    layer: Arc<GlobalLayer>,
+}
+
+struct Grid {
+    net: Arc<Network>,
+    directory: Arc<GmaDirectory>,
+    sites: Vec<Site>,
+}
+
+fn grid(names: &[&str]) -> Grid {
+    let net = Network::new(SimClock::new(), 2026);
+    let directory = GmaDirectory::new();
+    let mut sites = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let model = SiteModel::generate(1000 + i as u64, &SiteSpec::new(name, 3, 4));
+        model.advance_to(180_000);
+        let agents = deploy_site(&net, model.clone());
+        let gateway = Gateway::new(GatewayConfig::new(&format!("gw-{name}"), name), net.clone());
+        install_into_gateway(&gateway);
+        let layer = GlobalLayer::attach(gateway.clone(), directory.clone());
+        sites.push(Site {
+            site: model,
+            agents,
+            gateway,
+            layer,
+        });
+    }
+    Grid {
+        net,
+        directory,
+        sites,
+    }
+}
+
+#[test]
+fn remote_query_routed_to_owning_gateway() {
+    let g = grid(&["alpha", "beta"]);
+    // Client connected to alpha queries a beta resource.
+    let resp = g.sites[0]
+        .layer
+        .query(&ClientRequest::realtime(
+            "jdbc:snmp://node01.beta/public",
+            "SELECT Hostname, NCpu FROM Processor",
+        ))
+        .unwrap();
+    assert_eq!(resp.rows.len(), 1);
+    assert_eq!(resp.rows.rows()[0][0], SqlValue::Str("node01.beta".into()));
+    // The query crossed exactly one gateway-to-gateway hop.
+    assert_eq!(
+        g.sites[0]
+            .layer
+            .stats()
+            .remote_queries_out
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    assert_eq!(
+        g.sites[1]
+            .layer
+            .stats()
+            .remote_queries_in
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    // And alpha's gateway never talked to beta's agent directly.
+    assert_eq!(
+        g.net
+            .stats_for("gw.alpha", "node01.beta:snmp")
+            .snapshot()
+            .requests,
+        0
+    );
+}
+
+#[test]
+fn mixed_local_and_remote_sources_consolidated() {
+    let g = grid(&["alpha", "beta", "gamma"]);
+    let resp = g.sites[0]
+        .layer
+        .query(
+            &ClientRequest::realtime("", "SELECT Hostname, Load1 FROM Processor").with_sources(&[
+                "jdbc:snmp://node00.alpha/public",
+                "jdbc:snmp://node00.beta/public",
+                "jdbc:snmp://node00.gamma/public",
+            ]),
+        )
+        .unwrap();
+    assert_eq!(resp.rows.len(), 3);
+    assert_eq!(resp.sources_ok, 3);
+    let hosts: Vec<String> = resp.rows.rows().iter().map(|r| r[0].to_string()).collect();
+    assert!(hosts.contains(&"node00.beta".to_owned()));
+    assert!(hosts.contains(&"node00.gamma".to_owned()));
+}
+
+#[test]
+fn local_queries_never_leave_the_site() {
+    let g = grid(&["alpha", "beta"]);
+    g.sites[0]
+        .layer
+        .query(&ClientRequest::realtime(
+            "jdbc:snmp://node02.alpha/public",
+            "SELECT Hostname FROM Processor",
+        ))
+        .unwrap();
+    assert_eq!(
+        g.sites[0]
+            .layer
+            .stats()
+            .remote_queries_out
+            .load(std::sync::atomic::Ordering::Relaxed),
+        0
+    );
+}
+
+#[test]
+fn remote_cache_mode_served_by_owner() {
+    let g = grid(&["alpha", "beta"]);
+    let source = "jdbc:ganglia://node00.beta/beta";
+    let sql = "SELECT Hostname, Load1 FROM Processor";
+    // Prime beta's cache through the global layer.
+    g.sites[0]
+        .layer
+        .query(&ClientRequest::realtime(source, sql))
+        .unwrap();
+    let served_before = g
+        .net
+        .endpoint_stats("node00.beta:ganglia")
+        .unwrap()
+        .snapshot()
+        .requests_served;
+    let resp = g.sites[0]
+        .layer
+        .query(&ClientRequest::cached(source, sql, Some(60_000)))
+        .unwrap();
+    assert_eq!(resp.served_from_cache, 1);
+    let served_after = g
+        .net
+        .endpoint_stats("node00.beta:ganglia")
+        .unwrap()
+        .snapshot()
+        .requests_served;
+    // The owning gateway answered from ITS cache: the agent saw nothing
+    // (the inter-gateway scalability mechanism, §4).
+    assert_eq!(served_after, served_before);
+}
+
+#[test]
+fn events_propagate_between_gateways() {
+    let g = grid(&["alpha", "beta"]);
+    g.sites[0].layer.enable_event_propagation(Severity::Warning);
+    g.sites[1].layer.enable_event_propagation(Severity::Warning);
+
+    // A consumer at beta listens for remote cpu events.
+    let (_, rx) = g.sites[1]
+        .gateway
+        .events()
+        .register_listener(ListenerFilter {
+            category_prefix: Some("cpu.".into()),
+            ..Default::default()
+        });
+
+    // Trap fires at alpha.
+    for a in &g.sites[0].agents.snmp {
+        a.set_trap_sink(g.net.clone(), "gw.alpha", 3.0);
+    }
+    g.sites[0].site.inject_load_spike("node01.alpha", 15.0);
+    g.sites[0].site.advance_to(181_000);
+    let (traps, _) = g.sites[0].agents.pump();
+    assert_eq!(traps, 1);
+
+    // Alpha dispatches (forwarding to beta), then beta dispatches to its
+    // local listeners.
+    g.sites[0].gateway.pump();
+    g.sites[1].gateway.pump();
+
+    let event = rx.try_recv().expect("event crossed the Grid");
+    assert_eq!(event.category, "cpu.load.high");
+    assert!(event.source.starts_with("gma:gw-alpha:"));
+    assert_eq!(event.hostname.as_deref(), Some("node01.alpha"));
+
+    // No ping-pong: pumping again moves nothing new.
+    g.sites[0].gateway.pump();
+    g.sites[1].gateway.pump();
+    assert!(rx.try_recv().is_err());
+    assert_eq!(
+        g.sites[1]
+            .layer
+            .stats()
+            .events_out
+            .load(std::sync::atomic::Ordering::Relaxed),
+        0,
+        "beta re-forwarded a gma-sourced event"
+    );
+}
+
+#[test]
+fn owning_gateway_applies_its_own_security() {
+    let g = grid(&["alpha", "beta"]);
+    // Beta locks down; alpha stays permissive.
+    g.sites[1]
+        .gateway
+        .set_security_policy(gridrm_core::SecurityPolicy::strict().with_rule(
+            gridrm_core::security::AclRule {
+                role: "monitor".into(),
+                url_prefix: String::new(),
+                group: "*".into(),
+                allow: true,
+            },
+        ));
+    let err = g.sites[0]
+        .layer
+        .query(
+            &ClientRequest::realtime(
+                "jdbc:snmp://node00.beta/public",
+                "SELECT Hostname FROM Processor",
+            )
+            .with_identity(Identity::anonymous()),
+        )
+        .err()
+        .unwrap();
+    let msg = err.to_string();
+    assert!(msg.contains("requires role"), "{msg}");
+    // With the right role, beta accepts the vouched identity.
+    let resp = g.sites[0]
+        .layer
+        .query(
+            &ClientRequest::realtime(
+                "jdbc:snmp://node00.beta/public",
+                "SELECT Hostname FROM Processor",
+            )
+            .with_identity(Identity::new("alice", &["monitor"])),
+        )
+        .unwrap();
+    assert_eq!(resp.rows.len(), 1);
+}
+
+#[test]
+fn dead_remote_gateway_degrades_gracefully() {
+    let g = grid(&["alpha", "beta"]);
+    g.net.set_down("gw.beta:gma", true);
+    // Mixed query: local part still answers, with a warning for beta.
+    let resp = g.sites[0]
+        .layer
+        .query(
+            &ClientRequest::realtime("", "SELECT Hostname FROM Processor").with_sources(&[
+                "jdbc:snmp://node00.alpha/public",
+                "jdbc:snmp://node00.beta/public",
+            ]),
+        )
+        .unwrap();
+    assert_eq!(resp.rows.len(), 1);
+    assert_eq!(resp.sources_ok, 1);
+    assert!(resp.warnings.iter().any(|w| w.contains("gw-beta")));
+    // Fully-remote query: hard error.
+    assert!(g.sites[0]
+        .layer
+        .query(&ClientRequest::realtime(
+            "jdbc:snmp://node00.beta/public",
+            "SELECT Hostname FROM Processor",
+        ))
+        .is_err());
+}
+
+#[test]
+fn ping_and_directory() {
+    let g = grid(&["alpha", "beta"]);
+    assert!(g.sites[0].layer.ping("gw-beta"));
+    assert!(!g.sites[0].layer.ping("gw-nowhere"));
+    assert_eq!(g.directory.producers().len(), 2);
+}
+
+#[test]
+fn wan_latency_accrues_on_remote_queries() {
+    let g = grid(&["alpha", "beta"]);
+    g.net
+        .set_latency("gw.alpha:gma", "gw.beta:gma", Latency::ms(40, 0));
+    g.sites[0]
+        .layer
+        .query(&ClientRequest::realtime(
+            "jdbc:snmp://node00.beta/public",
+            "SELECT Hostname FROM Processor",
+        ))
+        .unwrap();
+    let link = g.net.stats_for("gw.alpha:gma", "gw.beta:gma").snapshot();
+    assert_eq!(link.requests, 1);
+    assert_eq!(link.latency_us, 80_000); // 40 ms each way
+}

@@ -1,0 +1,99 @@
+//! Property tests for the Global-layer wire protocol.
+
+use gridrm_core::events::{GridRMEvent, Severity};
+use gridrm_dbc::{ColumnMeta, ResultSetMetaData, RowSet};
+use gridrm_global::protocol::{decode, encode};
+use gridrm_global::{GlobalRequest, GlobalResponse, WireIdentity, WireRows};
+use gridrm_sqlparse::{SqlType, SqlValue};
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+
+fn arb_value() -> impl Strategy<Value = SqlValue> {
+    prop_oneof![
+        Just(SqlValue::Null),
+        any::<bool>().prop_map(SqlValue::Bool),
+        any::<i64>().prop_map(SqlValue::Int),
+        (-1e12f64..1e12).prop_map(SqlValue::Float),
+        "\\PC{0,20}".prop_map(SqlValue::Str),
+        (0i64..i64::MAX / 2).prop_map(SqlValue::Timestamp),
+    ]
+}
+
+proptest! {
+    /// Arbitrary result sets survive the gateway-to-gateway wire format.
+    #[test]
+    fn wire_rows_roundtrip(
+        names in prop::collection::vec("[A-Za-z][A-Za-z0-9]{0,10}", 1..5),
+        nrows in 0usize..8,
+    ) {
+        let meta = ResultSetMetaData::new(
+            names.iter().map(|n| ColumnMeta::new(n.clone(), SqlType::Null)).collect(),
+        );
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let rows: Vec<Vec<SqlValue>> = (0..nrows)
+            .map(|_| {
+                (0..names.len())
+                    .map(|_| arb_value().new_tree(&mut runner).unwrap().current())
+                    .collect()
+            })
+            .collect();
+        let rs = RowSet::new(meta, rows).unwrap();
+        let wire = WireRows::from_rowset(&rs);
+        let bytes = encode(&wire);
+        let back: WireRows = decode(&bytes).unwrap();
+        let restored = back.to_rowset().unwrap();
+        prop_assert_eq!(restored.rows(), rs.rows());
+        prop_assert_eq!(restored.meta().column_count(), rs.meta().column_count());
+    }
+
+    /// Requests and responses round-trip, including events with odd text.
+    #[test]
+    fn request_event_roundtrip(
+        gateway in "[a-z-]{1,12}",
+        category in "\\PC{0,24}",
+        message in "\\PC{0,48}",
+        value in prop::option::of(any::<f64>().prop_filter("finite", |f| f.is_finite())),
+    ) {
+        let req = GlobalRequest::Event {
+            from_gateway: gateway.clone(),
+            event: GridRMEvent {
+                id: 7,
+                at_ms: 123,
+                source: "x:snmp".into(),
+                hostname: Some("h".into()),
+                severity: Severity::Warning,
+                category: category.clone(),
+                message: message.clone(),
+                value,
+            },
+        };
+        let back: GlobalRequest = decode(&encode(&req)).unwrap();
+        match back {
+            GlobalRequest::Event { from_gateway, event } => {
+                prop_assert_eq!(from_gateway, gateway);
+                prop_assert_eq!(event.category, category);
+                prop_assert_eq!(event.message, message);
+                prop_assert_eq!(event.value, value);
+            }
+            other => prop_assert!(false, "wrong variant {:?}", other),
+        }
+    }
+
+    /// Identities round-trip with any role set.
+    #[test]
+    fn identity_roundtrip(name in "[a-z]{1,10}", roles in prop::collection::vec("[a-z]{1,8}", 0..5)) {
+        let wire = WireIdentity { name: name.clone(), roles };
+        let id = wire.to_identity();
+        let back = WireIdentity::from(&id);
+        prop_assert_eq!(back.name.clone(), name);
+        prop_assert_eq!(back.to_identity(), id);
+    }
+
+    /// Decoding arbitrary bytes never panics.
+    #[test]
+    fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode::<GlobalRequest>(&bytes);
+        let _ = decode::<GlobalResponse>(&bytes);
+        let _ = decode::<WireRows>(&bytes);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the GLUE layer: transform laws, translation
+//! totality, and schema serde round-trips.
+
+use gridrm_glue::{
+    builtin_schema, DriverMapping, FieldMapping, NativeRow, SchemaManager, Transform, Translator,
+};
+use gridrm_sqlparse::SqlValue;
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = SqlValue> {
+    prop_oneof![
+        Just(SqlValue::Null),
+        any::<bool>().prop_map(SqlValue::Bool),
+        (-1_000_000i64..1_000_000).prop_map(SqlValue::Int),
+        (-1e9f64..1e9).prop_map(SqlValue::Float),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(SqlValue::Str),
+    ]
+}
+
+proptest! {
+    /// Scale by f then by 1/f returns (approximately) the numeric value;
+    /// NULL and non-numerics map to NULL, never panic.
+    #[test]
+    fn scale_inverse_law(v in arb_value(), factor in prop::sample::select(vec![0.5f64, 2.0, 0.01, 100.0])) {
+        let forward = Transform::Scale { factor };
+        let backward = Transform::Scale { factor: 1.0 / factor };
+        let out = backward.apply(&forward.apply(&v));
+        match v.as_f64() {
+            Some(x) if !v.is_null() => {
+                let y = out.as_f64().expect("numeric in, numeric out");
+                // round9 in the transform quantises; tolerate that.
+                prop_assert!((x - y).abs() <= 1e-3 + x.abs() * 1e-9, "{} vs {}", x, y);
+            }
+            _ => prop_assert!(out.is_null()),
+        }
+    }
+
+    /// Affine(identity parameters) is the numeric identity.
+    #[test]
+    fn affine_identity(v in arb_value()) {
+        let t = Transform::Affine { scale: 1.0, offset: 0.0 };
+        let out = t.apply(&v);
+        match v.as_f64() {
+            Some(x) if !v.is_null() => {
+                prop_assert!((out.as_f64().unwrap() - x).abs() <= 1e-9 + x.abs() * 1e-9)
+            }
+            _ => prop_assert!(out.is_null()),
+        }
+    }
+
+    /// Truthy never produces anything except Bool or NULL.
+    #[test]
+    fn truthy_closed(v in arb_value()) {
+        let out = Transform::Truthy.apply(&v);
+        prop_assert!(matches!(out, SqlValue::Bool(_) | SqlValue::Null));
+    }
+
+    /// Translation is total: for any native bag and any builtin group, the
+    /// output row always has exactly the group's arity, and every non-NULL
+    /// cell coerces to the declared attribute type.
+    #[test]
+    fn translation_total_and_typed(
+        entries in prop::collection::vec(("[a-z.0-9]{1,16}", arb_value()), 0..10),
+        group_idx in 0usize..11,
+    ) {
+        let schema = builtin_schema();
+        let group = &schema.groups[group_idx % schema.groups.len()];
+        let manager = SchemaManager::new();
+        // A mapping that wires the first few attributes to arbitrary keys.
+        let mut mapping = DriverMapping::new("prop-driver");
+        let mut fields = std::collections::BTreeMap::new();
+        for (i, attr) in group.attributes.iter().enumerate().take(3) {
+            if let Some((key, _)) = entries.get(i) {
+                fields.insert(attr.name.clone(), FieldMapping::direct(key));
+            }
+        }
+        mapping.groups.insert(group.name.clone(), fields);
+        manager.register_mapping(mapping);
+        let handle = manager.handle_for("prop-driver");
+        let translator = Translator::new(&handle);
+
+        let mut native = NativeRow::new();
+        for (k, v) in &entries {
+            native.insert(k.clone(), v.clone());
+        }
+        let (row, nulls) = translator.translate(&group.name, &native).unwrap();
+        prop_assert_eq!(row.len(), group.attributes.len());
+        prop_assert!(nulls <= row.len());
+        for (cell, attr) in row.iter().zip(&group.attributes) {
+            if !cell.is_null() {
+                prop_assert!(
+                    cell.coerce(attr.ty).is_some(),
+                    "cell {:?} not of type {:?}",
+                    cell,
+                    attr.ty
+                );
+            }
+        }
+    }
+
+    /// Schema and mappings survive a JSON round-trip.
+    #[test]
+    fn schema_serde_roundtrip(extra_attr in "[A-Z][a-zA-Z]{0,10}") {
+        let mut schema = builtin_schema();
+        let mut group = schema.group("Processor").unwrap().clone();
+        group.attributes.push(gridrm_glue::AttributeDef::new(
+            &extra_attr,
+            gridrm_sqlparse::SqlType::Float,
+            Some("u"),
+            "prop extension",
+        ));
+        schema.upsert_group(group);
+        let json = serde_json::to_string(&schema).unwrap();
+        let back: gridrm_glue::Schema = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, schema);
+    }
+
+    /// Handle versioning: any mutation invalidates outstanding handles;
+    /// no mutation keeps them valid.
+    #[test]
+    fn handle_version_monotonic(mutations in prop::collection::vec(any::<bool>(), 1..8)) {
+        let manager = SchemaManager::new();
+        let mut last_version = manager.version();
+        for (i, mutate) in mutations.iter().enumerate() {
+            let handle = manager.handle_for("d");
+            prop_assert!(manager.is_current(&handle));
+            if *mutate {
+                manager.register_mapping(DriverMapping::new(&format!("d{i}")));
+                prop_assert!(!manager.is_current(&handle));
+                prop_assert!(manager.version() > last_version);
+            } else {
+                prop_assert!(manager.is_current(&handle));
+            }
+            last_version = manager.version();
+        }
+    }
+}

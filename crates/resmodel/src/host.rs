@@ -1,0 +1,465 @@
+//! Simulated host: static identity plus evolving metrics.
+
+use crate::signal::{Counter, Rng, Signal};
+use serde::{Deserialize, Serialize};
+
+/// Operating system identity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OsSpec {
+    /// OS name, e.g. `Linux`.
+    pub name: String,
+    /// Kernel/OS release, e.g. `2.4.20`.
+    pub release: String,
+    /// Full version string.
+    pub version: String,
+}
+
+/// Static description of a simulated host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostSpec {
+    /// Fully qualified host name (also its simnet address).
+    pub hostname: String,
+    /// Owning site name.
+    pub site: String,
+    /// Logical CPU count.
+    pub ncpu: u32,
+    /// CPU clock, MHz.
+    pub clock_mhz: u32,
+    /// CPU model string.
+    pub cpu_model: String,
+    /// CPU vendor string.
+    pub cpu_vendor: String,
+    /// Physical memory, MB.
+    pub mem_mb: u64,
+    /// Swap, MB.
+    pub swap_mb: u64,
+    /// Operating system.
+    pub os: OsSpec,
+    /// Disk devices `(device, size_mb)`.
+    pub disks: Vec<(String, u64)>,
+    /// Mounted filesystems `(mount, device, size_mb)`.
+    pub filesystems: Vec<(String, String, u64)>,
+    /// Network interfaces `(name, ip, mtu)`.
+    pub nics: Vec<(String, String, u32)>,
+}
+
+/// Snapshot of one disk device.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskSnapshot {
+    /// Device name.
+    pub device: String,
+    /// Capacity, MB.
+    pub size_mb: u64,
+    /// Cumulative read operations.
+    pub read_count: u64,
+    /// Cumulative write operations.
+    pub write_count: u64,
+}
+
+/// Snapshot of one filesystem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FsSnapshot {
+    /// Mount point.
+    pub name: String,
+    /// Backing device.
+    pub root: String,
+    /// Capacity, MB.
+    pub size_mb: u64,
+    /// Free space, MB.
+    pub available_mb: u64,
+    /// Mounted read-only?
+    pub read_only: bool,
+}
+
+/// Snapshot of one network interface.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NicSnapshot {
+    /// Interface name.
+    pub name: String,
+    /// IPv4 address.
+    pub ip: String,
+    /// MTU, bytes.
+    pub mtu: u32,
+    /// Cumulative bytes received.
+    pub rx_bytes: u64,
+    /// Cumulative bytes sent.
+    pub tx_bytes: u64,
+    /// Operational state.
+    pub up: bool,
+}
+
+/// Full point-in-time view of a host — what agents serialise natively.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostSnapshot {
+    /// Static identity.
+    pub spec: HostSpec,
+    /// Virtual time of the snapshot, ms.
+    pub at_ms: u64,
+    /// Seconds since (virtual) boot.
+    pub uptime_sec: u64,
+    /// Boot time, epoch millis.
+    pub boot_time_ms: i64,
+    /// 1-minute load average.
+    pub load1: f64,
+    /// 5-minute load average.
+    pub load5: f64,
+    /// 15-minute load average.
+    pub load15: f64,
+    /// User CPU share, percent.
+    pub cpu_user: f64,
+    /// System CPU share, percent.
+    pub cpu_system: f64,
+    /// Idle CPU share, percent.
+    pub cpu_idle: f64,
+    /// Free physical memory, MB.
+    pub mem_available_mb: u64,
+    /// Free swap, MB.
+    pub swap_available_mb: u64,
+    /// Disks.
+    pub disks: Vec<DiskSnapshot>,
+    /// Filesystems.
+    pub filesystems: Vec<FsSnapshot>,
+    /// Interfaces.
+    pub nics: Vec<NicSnapshot>,
+}
+
+/// A live simulated host. Call [`Host::advance_to`] to evolve its metrics
+/// to a virtual time, then [`Host::snapshot`] to read them.
+#[derive(Debug, Clone)]
+pub struct Host {
+    spec: HostSpec,
+    last_ms: u64,
+    load: Signal,
+    cpu_user: Signal,
+    mem_avail: Signal,
+    swap_avail: Signal,
+    fs_avail: Vec<Signal>,
+    disk_reads: Vec<Counter>,
+    disk_writes: Vec<Counter>,
+    nic_rx: Vec<Counter>,
+    nic_tx: Vec<Counter>,
+    /// Smoothed load histories for load5/load15.
+    load5: f64,
+    load15: f64,
+    load1_now: f64,
+}
+
+impl Host {
+    /// Build a host from a spec, seeding all signals deterministically.
+    pub fn new(seed: u64, spec: HostSpec) -> Host {
+        let mut rng = Rng::new(seed ^ fnv(&spec.hostname));
+        let max_load = spec.ncpu as f64 * 2.0;
+        let base_load = 0.2 + rng.next_f64() * 0.6;
+        let load = Signal::new(rng.fork("load").next_u64(), base_load, 0.08, 0.0, max_load)
+            .with_wave(base_load * 0.5, 3_600_000.0);
+        let cpu_user = Signal::new(rng.fork("cpu").next_u64(), 30.0, 4.0, 0.0, 95.0);
+        let mem_avail = Signal::new(
+            rng.fork("mem").next_u64(),
+            spec.mem_mb as f64 * 0.5,
+            spec.mem_mb as f64 * 0.02,
+            spec.mem_mb as f64 * 0.05,
+            spec.mem_mb as f64,
+        );
+        let swap_avail = Signal::new(
+            rng.fork("swap").next_u64(),
+            spec.swap_mb as f64 * 0.9,
+            spec.swap_mb as f64 * 0.01,
+            0.0,
+            spec.swap_mb as f64,
+        );
+        let fs_avail = spec
+            .filesystems
+            .iter()
+            .map(|(name, _, size)| {
+                Signal::new(
+                    rng.fork(name).next_u64(),
+                    *size as f64 * 0.4,
+                    *size as f64 * 0.005,
+                    0.0,
+                    *size as f64,
+                )
+            })
+            .collect();
+        let disk_reads = spec
+            .disks
+            .iter()
+            .map(|(d, _)| Counter::new(rng.fork(d).next_u64(), 50.0))
+            .collect();
+        let disk_writes = spec
+            .disks
+            .iter()
+            .map(|(d, _)| Counter::new(rng.fork(d).next_u64() ^ 1, 30.0))
+            .collect();
+        let nic_rx = spec
+            .nics
+            .iter()
+            .map(|(n, _, _)| Counter::new(rng.fork(n).next_u64(), 200_000.0))
+            .collect();
+        let nic_tx = spec
+            .nics
+            .iter()
+            .map(|(n, _, _)| Counter::new(rng.fork(n).next_u64() ^ 2, 150_000.0))
+            .collect();
+        Host {
+            spec,
+            last_ms: 0,
+            load,
+            cpu_user,
+            mem_avail,
+            swap_avail,
+            fs_avail,
+            disk_reads,
+            disk_writes,
+            nic_rx,
+            nic_tx,
+            load5: base_load,
+            load15: base_load,
+            load1_now: base_load,
+        }
+    }
+
+    /// The static identity.
+    pub fn spec(&self) -> &HostSpec {
+        &self.spec
+    }
+
+    /// Evolve metrics up to virtual time `t_ms`. Steps are quantised to
+    /// 1-second ticks so advancing by large deltas stays cheap and the
+    /// series is independent of how the advancement is chunked.
+    pub fn advance_to(&mut self, t_ms: u64) {
+        const TICK_MS: u64 = 1000;
+        // Cap the number of catch-up ticks so a huge virtual jump costs a
+        // bounded amount of work; the signals are mean-reverting, so the
+        // distant past doesn't matter.
+        let mut steps = (t_ms.saturating_sub(self.last_ms)) / TICK_MS;
+        if steps > 600 {
+            steps = 600;
+        }
+        for i in 0..steps {
+            let t = self.last_ms + (i + 1) * TICK_MS;
+            self.load1_now = self.load.step(t);
+            self.load5 += (self.load1_now - self.load5) / 5.0;
+            self.load15 += (self.load1_now - self.load15) / 15.0;
+            self.cpu_user.step(t);
+            self.mem_avail.step(t);
+            self.swap_avail.step(t);
+            for s in &mut self.fs_avail {
+                s.step(t);
+            }
+            for c in self.disk_reads.iter_mut().chain(&mut self.disk_writes) {
+                c.step(TICK_MS);
+            }
+            for c in self.nic_rx.iter_mut().chain(&mut self.nic_tx) {
+                c.step(TICK_MS);
+            }
+        }
+        if t_ms > self.last_ms {
+            self.last_ms = t_ms;
+        }
+    }
+
+    /// Provoke a load spike (decays over ~10 virtual seconds) — used to
+    /// trigger threshold events.
+    pub fn inject_load_spike(&mut self, magnitude: f64) {
+        self.load.inject_spike(magnitude);
+    }
+
+    /// Read the current state.
+    pub fn snapshot(&self) -> HostSnapshot {
+        let spec = self.spec.clone();
+        let cpu_user = self.cpu_user.value();
+        let cpu_system = (cpu_user * 0.3).min(100.0 - cpu_user);
+        let cpu_idle = (100.0 - cpu_user - cpu_system).max(0.0);
+        HostSnapshot {
+            at_ms: self.last_ms,
+            uptime_sec: self.last_ms / 1000,
+            boot_time_ms: 0,
+            load1: self.load1_now,
+            load5: self.load5,
+            load15: self.load15,
+            cpu_user,
+            cpu_system,
+            cpu_idle,
+            mem_available_mb: self.mem_avail.value() as u64,
+            swap_available_mb: self.swap_avail.value() as u64,
+            disks: spec
+                .disks
+                .iter()
+                .enumerate()
+                .map(|(i, (device, size))| DiskSnapshot {
+                    device: device.clone(),
+                    size_mb: *size,
+                    read_count: self.disk_reads[i].value(),
+                    write_count: self.disk_writes[i].value(),
+                })
+                .collect(),
+            filesystems: spec
+                .filesystems
+                .iter()
+                .enumerate()
+                .map(|(i, (name, root, size))| FsSnapshot {
+                    name: name.clone(),
+                    root: root.clone(),
+                    size_mb: *size,
+                    available_mb: self.fs_avail[i].value() as u64,
+                    read_only: name == "/boot",
+                })
+                .collect(),
+            nics: spec
+                .nics
+                .iter()
+                .enumerate()
+                .map(|(i, (name, ip, mtu))| NicSnapshot {
+                    name: name.clone(),
+                    ip: ip.clone(),
+                    mtu: *mtu,
+                    rx_bytes: self.nic_rx[i].value(),
+                    tx_bytes: self.nic_tx[i].value(),
+                    up: true,
+                })
+                .collect(),
+            spec,
+        }
+    }
+}
+
+pub(crate) fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A plausible default host spec for tests and site generation.
+pub fn default_spec(site: &str, hostname: &str, ncpu: u32) -> HostSpec {
+    HostSpec {
+        hostname: hostname.to_owned(),
+        site: site.to_owned(),
+        ncpu,
+        clock_mhz: 2400,
+        cpu_model: "Xeon".to_owned(),
+        cpu_vendor: "GenuineIntel".to_owned(),
+        mem_mb: 2048,
+        swap_mb: 4096,
+        os: OsSpec {
+            name: "Linux".to_owned(),
+            release: "2.4.20".to_owned(),
+            version: "#1 SMP".to_owned(),
+        },
+        disks: vec![("sda".to_owned(), 80_000)],
+        filesystems: vec![
+            ("/".to_owned(), "sda1".to_owned(), 60_000),
+            ("/boot".to_owned(), "sda2".to_owned(), 512),
+        ],
+        nics: vec![("eth0".to_owned(), derive_ip(hostname), 1500)],
+    }
+}
+
+fn derive_ip(hostname: &str) -> String {
+    let h = fnv(hostname);
+    format!(
+        "10.{}.{}.{}",
+        (h >> 16) & 0xff,
+        (h >> 8) & 0xff,
+        (h & 0xfe) + 1
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host() -> Host {
+        Host::new(42, default_spec("site-a", "node01.site-a", 4))
+    }
+
+    #[test]
+    fn snapshot_matches_spec_shape() {
+        let mut h = host();
+        h.advance_to(10_000);
+        let s = h.snapshot();
+        assert_eq!(s.spec.hostname, "node01.site-a");
+        assert_eq!(s.disks.len(), 1);
+        assert_eq!(s.filesystems.len(), 2);
+        assert_eq!(s.nics.len(), 1);
+        assert_eq!(s.uptime_sec, 10);
+    }
+
+    #[test]
+    fn metrics_evolve_deterministically() {
+        let series = |seed| {
+            let mut h = Host::new(seed, default_spec("s", "n", 4));
+            (1..=20)
+                .map(|i| {
+                    h.advance_to(i * 5000);
+                    h.snapshot().load1
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(series(42), series(42));
+        assert_ne!(series(42), series(43));
+    }
+
+    #[test]
+    fn counters_are_monotone() {
+        let mut h = host();
+        let mut last_rx = 0;
+        for i in 1..=10 {
+            h.advance_to(i * 2000);
+            let rx = h.snapshot().nics[0].rx_bytes;
+            assert!(rx >= last_rx);
+            last_rx = rx;
+        }
+        assert!(last_rx > 0);
+    }
+
+    #[test]
+    fn cpu_shares_sum_to_100() {
+        let mut h = host();
+        h.advance_to(60_000);
+        let s = h.snapshot();
+        let sum = s.cpu_user + s.cpu_system + s.cpu_idle;
+        assert!((sum - 100.0).abs() < 1e-6, "sum {sum}");
+    }
+
+    #[test]
+    fn load_spike_raises_then_decays() {
+        let mut h = host();
+        h.advance_to(30_000);
+        let base = h.snapshot().load1;
+        h.inject_load_spike(5.0);
+        h.advance_to(31_000);
+        assert!(h.snapshot().load1 > base + 2.0);
+        h.advance_to(120_000);
+        assert!(h.snapshot().load1 < base + 1.0);
+    }
+
+    #[test]
+    fn advance_is_idempotent_for_same_time() {
+        let mut h = host();
+        h.advance_to(10_000);
+        let a = h.snapshot();
+        h.advance_to(10_000); // no time passed
+        let b = h.snapshot();
+        assert_eq!(a.load1, b.load1);
+    }
+
+    #[test]
+    fn huge_jump_is_bounded() {
+        let mut h = host();
+        let t0 = std::time::Instant::now();
+        h.advance_to(86_400_000 * 30); // 30 virtual days
+        assert!(t0.elapsed().as_millis() < 500);
+        assert!(h.snapshot().uptime_sec > 0);
+    }
+
+    #[test]
+    fn derived_ips_valid_and_stable() {
+        let a = derive_ip("node01");
+        assert_eq!(a, derive_ip("node01"));
+        assert_ne!(a, derive_ip("node02"));
+        assert_eq!(a.split('.').count(), 4);
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! # gridrm-resmodel — deterministic simulated resources
+//!
+//! The paper monitors real machines through their local agents. This crate
+//! is the substitution for those machines: seeded, deterministic models of
+//! hosts, clusters and pairwise network performance whose metrics evolve
+//! plausibly over virtual time. Every agent in `gridrm-agents` reads its
+//! data from here, so:
+//!
+//! * the *same* underlying truth is visible through SNMP, Ganglia, NWS,
+//!   NetLogger and SCMS — which is exactly what makes the GLUE
+//!   normalisation experiment (E11) meaningful;
+//! * experiments are reproducible: a seed fully determines every series;
+//! * threshold events can be provoked on demand ([`SiteModel::inject_load_spike`])
+//!   to exercise the Event Manager.
+
+pub mod host;
+pub mod netperf;
+pub mod signal;
+pub mod site;
+
+pub use host::{DiskSnapshot, FsSnapshot, Host, HostSnapshot, HostSpec, NicSnapshot, OsSpec};
+pub use netperf::{Measurement, PairPerf};
+pub use signal::Signal;
+pub use site::{SiteModel, SiteSpec};

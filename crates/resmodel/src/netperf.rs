@@ -1,0 +1,115 @@
+//! Pairwise end-to-end network performance series (what NWS measures).
+
+use crate::signal::Signal;
+use std::collections::VecDeque;
+
+/// One bandwidth/latency measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Virtual time of the measurement, ms.
+    pub at_ms: u64,
+    /// Bandwidth, Mb/s.
+    pub bandwidth_mbps: f64,
+    /// Latency, ms.
+    pub latency_ms: f64,
+}
+
+/// Evolving performance of one directed host pair, with a bounded history
+/// ring that the NWS agent forecasts from.
+#[derive(Debug, Clone)]
+pub struct PairPerf {
+    /// Source host.
+    pub src: String,
+    /// Destination host.
+    pub dst: String,
+    bandwidth: Signal,
+    latency: Signal,
+    history: VecDeque<Measurement>,
+    capacity: usize,
+    last_ms: u64,
+}
+
+impl PairPerf {
+    /// New pair with seeded signals. WAN-ish defaults: tens of Mb/s with a
+    /// diurnal wave, single-digit-to-tens of ms latency.
+    pub fn new(seed: u64, src: &str, dst: &str) -> PairPerf {
+        let base_bw = 20.0 + (seed % 80) as f64;
+        let base_lat = 5.0 + (seed % 40) as f64;
+        PairPerf {
+            src: src.to_owned(),
+            dst: dst.to_owned(),
+            bandwidth: Signal::new(seed ^ 0xBEEF, base_bw, base_bw * 0.05, 1.0, 1000.0)
+                .with_wave(base_bw * 0.3, 7_200_000.0),
+            latency: Signal::new(seed ^ 0xF00D, base_lat, base_lat * 0.08, 0.1, 500.0),
+            history: VecDeque::new(),
+            capacity: 256,
+            last_ms: 0,
+        }
+    }
+
+    /// Take a measurement at virtual time `t_ms` (appended to history).
+    pub fn measure(&mut self, t_ms: u64) -> Measurement {
+        let m = Measurement {
+            at_ms: t_ms,
+            bandwidth_mbps: self.bandwidth.step(t_ms),
+            latency_ms: self.latency.step(t_ms),
+        };
+        self.last_ms = t_ms;
+        if self.history.len() == self.capacity {
+            self.history.pop_front();
+        }
+        self.history.push_back(m);
+        m
+    }
+
+    /// Most recent measurement, if any.
+    pub fn latest(&self) -> Option<Measurement> {
+        self.history.back().copied()
+    }
+
+    /// The measurement history, oldest first.
+    pub fn history(&self) -> impl Iterator<Item = &Measurement> {
+        self.history.iter()
+    }
+
+    /// Number of retained measurements.
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurements_accumulate_and_cap() {
+        let mut p = PairPerf::new(1, "a", "b");
+        for i in 0..300u64 {
+            p.measure(i * 60_000);
+        }
+        assert_eq!(p.history_len(), 256);
+        assert!(p.latest().unwrap().at_ms == 299 * 60_000);
+    }
+
+    #[test]
+    fn values_plausible() {
+        let mut p = PairPerf::new(77, "a", "b");
+        for i in 0..100u64 {
+            let m = p.measure(i * 10_000);
+            assert!(m.bandwidth_mbps >= 1.0 && m.bandwidth_mbps <= 1000.0);
+            assert!(m.latency_ms >= 0.1 && m.latency_ms <= 500.0);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let mut p = PairPerf::new(5, "a", "b");
+            (0..50u64)
+                .map(|i| p.measure(i * 1000).bandwidth_mbps)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

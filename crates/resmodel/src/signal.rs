@@ -1,0 +1,229 @@
+//! Deterministic metric signal generators.
+
+/// Tiny xorshift64* PRNG, duplicated from `gridrm-simnet` to keep this
+/// crate dependency-free below the network layer.
+#[derive(Debug, Clone)]
+pub(crate) struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    pub(crate) fn new(seed: u64) -> Self {
+        Rng {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    pub(crate) fn gaussian(&mut self) -> f64 {
+        let mut acc = 0.0;
+        for _ in 0..12 {
+            acc += self.next_f64();
+        }
+        acc - 6.0
+    }
+
+    pub(crate) fn fork(&mut self, label: &str) -> Rng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Rng::new(self.next_u64() ^ h)
+    }
+}
+
+/// A stateful, bounded metric signal evolving in virtual time.
+///
+/// The model is a mean-reverting random walk with an optional diurnal
+/// sinusoid — enough structure that NWS-style forecasters have something to
+/// predict, and load averages look like load averages.
+#[derive(Debug, Clone)]
+pub struct Signal {
+    value: f64,
+    mean: f64,
+    /// Mean-reversion strength per step (0..1).
+    reversion: f64,
+    /// Gaussian step noise amplitude.
+    noise: f64,
+    /// Sinusoid amplitude (0 disables).
+    wave_amp: f64,
+    /// Sinusoid period in ms.
+    wave_period_ms: f64,
+    min: f64,
+    max: f64,
+    rng: Rng,
+    /// Additive spike that decays back to 0 (for injected load spikes).
+    spike: f64,
+    spike_decay: f64,
+}
+
+impl Signal {
+    /// A mean-reverting noisy signal clamped to `[min, max]`.
+    pub fn new(seed: u64, mean: f64, noise: f64, min: f64, max: f64) -> Signal {
+        Signal {
+            value: mean,
+            mean,
+            reversion: 0.15,
+            noise,
+            wave_amp: 0.0,
+            wave_period_ms: 1.0,
+            min,
+            max,
+            rng: Rng::new(seed),
+            spike: 0.0,
+            spike_decay: 0.85,
+        }
+    }
+
+    /// Builder: add a diurnal-style sinusoidal component.
+    pub fn with_wave(mut self, amplitude: f64, period_ms: f64) -> Signal {
+        self.wave_amp = amplitude;
+        self.wave_period_ms = period_ms.max(1.0);
+        self
+    }
+
+    /// Advance one step at virtual time `t_ms` and return the new value.
+    pub fn step(&mut self, t_ms: u64) -> f64 {
+        let wave = if self.wave_amp != 0.0 {
+            self.wave_amp * (2.0 * std::f64::consts::PI * (t_ms as f64) / self.wave_period_ms).sin()
+        } else {
+            0.0
+        };
+        let target = self.mean + wave;
+        self.value += (target - self.value) * self.reversion + self.rng.gaussian() * self.noise;
+        self.spike *= self.spike_decay;
+        (self.value + self.spike).clamp(self.min, self.max)
+    }
+
+    /// Current value without stepping.
+    pub fn value(&self) -> f64 {
+        (self.value + self.spike).clamp(self.min, self.max)
+    }
+
+    /// Inject an additive spike that decays over subsequent steps —
+    /// used to provoke threshold events.
+    pub fn inject_spike(&mut self, magnitude: f64) {
+        self.spike += magnitude;
+    }
+}
+
+/// A monotonically increasing counter (disk ops, NIC bytes).
+#[derive(Debug, Clone)]
+pub struct Counter {
+    value: u64,
+    /// Mean increase per second.
+    rate_per_sec: f64,
+    rng: Rng,
+}
+
+impl Counter {
+    /// Counter with a mean rate.
+    pub fn new(seed: u64, rate_per_sec: f64) -> Counter {
+        Counter {
+            value: 0,
+            rate_per_sec,
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// Advance by `dt_ms` of virtual time.
+    pub fn step(&mut self, dt_ms: u64) -> u64 {
+        let expected = self.rate_per_sec * dt_ms as f64 / 1000.0;
+        let jitter = 1.0 + 0.2 * (self.rng.next_f64() - 0.5);
+        self.value += (expected * jitter).max(0.0) as u64;
+        self.value
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_stays_in_bounds() {
+        let mut s = Signal::new(1, 0.5, 0.2, 0.0, 4.0);
+        for t in 0..10_000u64 {
+            let v = s.step(t * 100);
+            assert!((0.0..=4.0).contains(&v), "out of bounds: {v}");
+        }
+    }
+
+    #[test]
+    fn signal_deterministic() {
+        let run = || {
+            let mut s = Signal::new(7, 1.0, 0.1, 0.0, 8.0);
+            (0..100).map(|t| s.step(t * 1000)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn signal_reverts_to_mean() {
+        let mut s = Signal::new(3, 2.0, 0.01, 0.0, 10.0);
+        let avg: f64 = (0..5000).map(|t| s.step(t * 1000)).sum::<f64>() / 5000.0;
+        assert!((avg - 2.0).abs() < 0.3, "avg {avg}");
+    }
+
+    #[test]
+    fn spike_decays() {
+        let mut s = Signal::new(5, 0.2, 0.0, 0.0, 100.0);
+        for t in 0..10 {
+            s.step(t);
+        }
+        let before = s.value();
+        s.inject_spike(10.0);
+        let spiked = s.step(11);
+        assert!(spiked > before + 5.0);
+        let mut v = spiked;
+        for t in 12..200 {
+            v = s.step(t);
+        }
+        assert!(v < before + 1.0, "spike failed to decay: {v}");
+    }
+
+    #[test]
+    fn wave_moves_the_mean() {
+        let mut s = Signal::new(9, 5.0, 0.0, 0.0, 10.0).with_wave(3.0, 1000.0);
+        // At t=250ms the sine is at its crest.
+        let mut crest = 0.0;
+        for _ in 0..50 {
+            crest = s.step(250);
+        }
+        assert!(crest > 6.5, "crest {crest}");
+    }
+
+    #[test]
+    fn counter_monotone() {
+        let mut c = Counter::new(1, 100.0);
+        let mut last = 0;
+        for _ in 0..100 {
+            let v = c.step(500);
+            assert!(v >= last);
+            last = v;
+        }
+        // ~100/s * 50 s = ~5000 ±20%
+        assert!((3500..6500).contains(&last), "count {last}");
+    }
+}

@@ -1,0 +1,295 @@
+//! A whole simulated Grid site: a cluster of hosts plus pairwise network
+//! performance, behind one thread-safe facade the agents read from.
+
+use crate::host::{default_spec, Host, HostSnapshot, HostSpec};
+use crate::netperf::{Measurement, PairPerf};
+use crate::signal::Rng;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Parameters for generating a site.
+#[derive(Debug, Clone)]
+pub struct SiteSpec {
+    /// Site name, e.g. `site-a`.
+    pub name: String,
+    /// Number of worker hosts.
+    pub hosts: usize,
+    /// CPUs per host.
+    pub ncpu: u32,
+    /// Measure network performance against these peer hosts (other sites'
+    /// head nodes, for NWS-style monitoring).
+    pub peers: Vec<String>,
+}
+
+impl SiteSpec {
+    /// A site with `hosts` × `ncpu`-CPU nodes and no remote peers.
+    pub fn new(name: &str, hosts: usize, ncpu: u32) -> SiteSpec {
+        SiteSpec {
+            name: name.to_owned(),
+            hosts,
+            ncpu,
+            peers: Vec::new(),
+        }
+    }
+}
+
+struct Inner {
+    hosts: Vec<Host>,
+    pairs: Vec<PairPerf>,
+    last_ms: u64,
+}
+
+/// Thread-safe simulated site shared by all of the site's agents.
+pub struct SiteModel {
+    name: String,
+    inner: Mutex<Inner>,
+    index: HashMap<String, usize>,
+}
+
+impl SiteModel {
+    /// Generate a site deterministically from a seed.
+    pub fn generate(seed: u64, spec: &SiteSpec) -> Arc<SiteModel> {
+        let mut rng = Rng::new(seed ^ crate::host::fnv(&spec.name));
+        let mut hosts = Vec::with_capacity(spec.hosts);
+        let mut index = HashMap::new();
+        for i in 0..spec.hosts {
+            let hostname = format!("node{:02}.{}", i, spec.name);
+            let host_spec = default_spec(&spec.name, &hostname, spec.ncpu);
+            index.insert(hostname, hosts.len());
+            hosts.push(Host::new(rng.next_u64(), host_spec));
+        }
+        // Pairwise perf: head node (node00) to each peer, both directions.
+        let mut pairs = Vec::new();
+        if !hosts.is_empty() {
+            let head = hosts[0].spec().hostname.clone();
+            for peer in &spec.peers {
+                pairs.push(PairPerf::new(rng.next_u64(), &head, peer));
+                pairs.push(PairPerf::new(rng.next_u64(), peer, &head));
+            }
+            // And between the first few local hosts (intra-site links).
+            for other_host in hosts.iter().take(4).skip(1) {
+                let other = other_host.spec().hostname.clone();
+                pairs.push(PairPerf::new(rng.next_u64(), &head, &other));
+            }
+        }
+        Arc::new(SiteModel {
+            name: spec.name.clone(),
+            inner: Mutex::new(Inner {
+                hosts,
+                pairs,
+                last_ms: 0,
+            }),
+            index,
+        })
+    }
+
+    /// The site's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Host names, in node order.
+    pub fn hostnames(&self) -> Vec<String> {
+        let inner = self.inner.lock();
+        inner
+            .hosts
+            .iter()
+            .map(|h| h.spec().hostname.clone())
+            .collect()
+    }
+
+    /// Number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Advance the whole site to virtual time `t_ms`, taking a network
+    /// measurement per pair every 60 virtual seconds.
+    pub fn advance_to(&self, t_ms: u64) {
+        let mut inner = self.inner.lock();
+        for h in &mut inner.hosts {
+            h.advance_to(t_ms);
+        }
+        let last = inner.last_ms;
+        if t_ms > last {
+            // One measurement per started 60 s interval, capped.
+            let intervals = (((t_ms - last) / 60_000) + 1).min(16);
+            for k in 0..intervals {
+                let t = last + (k + 1) * ((t_ms - last) / intervals.max(1)).max(1);
+                for p in &mut inner.pairs {
+                    p.measure(t.min(t_ms));
+                }
+            }
+            inner.last_ms = t_ms;
+        }
+    }
+
+    /// Snapshot one host by name.
+    pub fn host_snapshot(&self, hostname: &str) -> Option<HostSnapshot> {
+        let idx = *self.index.get(hostname)?;
+        let inner = self.inner.lock();
+        Some(inner.hosts[idx].snapshot())
+    }
+
+    /// Snapshot every host.
+    pub fn all_snapshots(&self) -> Vec<HostSnapshot> {
+        let inner = self.inner.lock();
+        inner.hosts.iter().map(Host::snapshot).collect()
+    }
+
+    /// Static spec of one host.
+    pub fn host_spec(&self, hostname: &str) -> Option<HostSpec> {
+        let idx = *self.index.get(hostname)?;
+        Some(self.inner.lock().hosts[idx].spec().clone())
+    }
+
+    /// Inject a load spike into one host (threshold-event fuel).
+    pub fn inject_load_spike(&self, hostname: &str, magnitude: f64) -> bool {
+        let Some(&idx) = self.index.get(hostname) else {
+            return false;
+        };
+        self.inner.lock().hosts[idx].inject_load_spike(magnitude);
+        true
+    }
+
+    /// Latest measurement for every monitored pair.
+    pub fn pair_latest(&self) -> Vec<(String, String, Measurement)> {
+        let inner = self.inner.lock();
+        inner
+            .pairs
+            .iter()
+            .filter_map(|p| p.latest().map(|m| (p.src.clone(), p.dst.clone(), m)))
+            .collect()
+    }
+
+    /// Full history for one directed pair, oldest first.
+    pub fn pair_history(&self, src: &str, dst: &str) -> Vec<Measurement> {
+        let inner = self.inner.lock();
+        inner
+            .pairs
+            .iter()
+            .find(|p| p.src == src && p.dst == dst)
+            .map(|p| p.history().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// All monitored `(src, dst)` pairs.
+    pub fn pair_names(&self) -> Vec<(String, String)> {
+        let inner = self.inner.lock();
+        inner
+            .pairs
+            .iter()
+            .map(|p| (p.src.clone(), p.dst.clone()))
+            .collect()
+    }
+
+    /// Site-level compute summary derived from host state: a host with
+    /// `load1 < 0.75 * ncpu` contributes free CPUs.
+    pub fn compute_summary(&self) -> (u32, u32, u32, u32) {
+        let inner = self.inner.lock();
+        let mut total = 0u32;
+        let mut free = 0u32;
+        let mut running = 0u32;
+        for h in &inner.hosts {
+            let s = h.snapshot();
+            total += s.spec.ncpu;
+            let busy = s.load1.round().min(s.spec.ncpu as f64) as u32;
+            running += busy;
+            free += s.spec.ncpu - busy;
+        }
+        let waiting = running / 4;
+        (total, free, running, waiting)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site() -> Arc<SiteModel> {
+        let mut spec = SiteSpec::new("site-a", 4, 4);
+        spec.peers = vec!["node00.site-b".to_owned()];
+        SiteModel::generate(42, &spec)
+    }
+
+    #[test]
+    fn generation_shape() {
+        let s = site();
+        assert_eq!(s.host_count(), 4);
+        let names = s.hostnames();
+        assert_eq!(names[0], "node00.site-a");
+        assert!(s.host_spec("node03.site-a").is_some());
+        assert!(s.host_spec("node04.site-a").is_none());
+    }
+
+    #[test]
+    fn advance_and_snapshot() {
+        let s = site();
+        s.advance_to(120_000);
+        let snap = s.host_snapshot("node01.site-a").unwrap();
+        assert_eq!(snap.uptime_sec, 120);
+        assert!(snap.load1 >= 0.0);
+        assert_eq!(s.all_snapshots().len(), 4);
+    }
+
+    #[test]
+    fn pair_measurements_accumulate() {
+        let s = site();
+        s.advance_to(600_000); // 10 minutes
+        let pairs = s.pair_latest();
+        assert!(!pairs.is_empty());
+        let (src, dst) = (&pairs[0].0, &pairs[0].1);
+        let hist = s.pair_history(src, dst);
+        assert!(hist.len() >= 2, "history {}", hist.len());
+    }
+
+    #[test]
+    fn spike_injection_via_site() {
+        let s = site();
+        s.advance_to(60_000);
+        let before = s.host_snapshot("node02.site-a").unwrap().load1;
+        assert!(s.inject_load_spike("node02.site-a", 6.0));
+        s.advance_to(61_000);
+        let after = s.host_snapshot("node02.site-a").unwrap().load1;
+        assert!(after > before + 2.0, "{before} -> {after}");
+        assert!(!s.inject_load_spike("ghost", 1.0));
+    }
+
+    #[test]
+    fn compute_summary_consistent() {
+        let s = site();
+        s.advance_to(60_000);
+        let (total, free, running, _waiting) = s.compute_summary();
+        assert_eq!(total, 16);
+        assert_eq!(free + running, total);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = site().all_snapshots();
+        let b = site().all_snapshots();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].spec, b[0].spec);
+    }
+
+    #[test]
+    fn concurrent_readers_and_advancer() {
+        let s = site();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 1..=50 {
+                    s.advance_to(i * 1000);
+                }
+            });
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        let _ = s.host_snapshot("node00.site-a");
+                        let _ = s.pair_latest();
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for the resource model: bounds, monotonicity, and
+//! independence from advancement chunking.
+
+use gridrm_resmodel::{SiteModel, SiteSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// However time is advanced, every metric stays within physical
+    /// bounds and counters never decrease.
+    #[test]
+    fn metrics_bounded_and_counters_monotone(
+        seed in any::<u64>(),
+        steps in prop::collection::vec(1u64..120_000, 1..20),
+    ) {
+        let site = SiteModel::generate(seed, &SiteSpec::new("p", 2, 4));
+        let mut t = 0u64;
+        let mut last_rx = [0u64; 2];
+        let mut last_uptime = [0u64; 2];
+        for dt in steps {
+            t += dt;
+            site.advance_to(t);
+            for (i, snap) in site.all_snapshots().iter().enumerate() {
+                prop_assert!(snap.load1 >= 0.0 && snap.load1 <= 8.0, "load {}", snap.load1);
+                prop_assert!(snap.cpu_idle >= 0.0 && snap.cpu_user >= 0.0);
+                let total = snap.cpu_user + snap.cpu_system + snap.cpu_idle;
+                prop_assert!((total - 100.0).abs() < 1e-6);
+                prop_assert!(snap.mem_available_mb <= snap.spec.mem_mb);
+                let rx = snap.nics[0].rx_bytes;
+                prop_assert!(rx >= last_rx[i], "rx went backwards");
+                last_rx[i] = rx;
+                prop_assert!(snap.uptime_sec >= last_uptime[i]);
+                last_uptime[i] = snap.uptime_sec;
+                for fs in &snap.filesystems {
+                    prop_assert!(fs.available_mb <= fs.size_mb);
+                }
+            }
+        }
+    }
+
+    /// Compute summary invariants: free + running == total, regardless of
+    /// load state.
+    #[test]
+    fn compute_summary_conserves_cpus(seed in any::<u64>(), t in 1u64..3_600_000) {
+        let site = SiteModel::generate(seed, &SiteSpec::new("q", 3, 4));
+        site.advance_to(t);
+        let (total, free, running, _) = site.compute_summary();
+        prop_assert_eq!(total, 12);
+        prop_assert_eq!(free + running, total);
+    }
+
+    /// Spike injection never violates bounds and always decays.
+    #[test]
+    fn spikes_bounded_and_transient(seed in any::<u64>(), magnitude in 0.1f64..50.0) {
+        let site = SiteModel::generate(seed, &SiteSpec::new("r", 1, 4));
+        site.advance_to(60_000);
+        let host = site.hostnames()[0].clone();
+        let baseline = site.host_snapshot(&host).unwrap().load1;
+        site.inject_load_spike(&host, magnitude);
+        site.advance_to(61_000);
+        let spiked = site.host_snapshot(&host).unwrap().load1;
+        prop_assert!(spiked <= 8.0); // ncpu * 2 clamp
+        // After plenty of decay time the load returns to normal territory.
+        site.advance_to(600_000);
+        let later = site.host_snapshot(&host).unwrap().load1;
+        prop_assert!(later <= baseline + 2.0, "spike stuck: {later}");
+    }
+
+    /// NWS pair history timestamps are strictly increasing.
+    #[test]
+    fn pair_history_ordered(seed in any::<u64>(), minutes in 2u64..30) {
+        let mut spec = SiteSpec::new("s", 2, 2);
+        spec.peers = vec!["far.away".to_owned()];
+        let site = SiteModel::generate(seed, &spec);
+        site.advance_to(minutes * 60_000);
+        for (src, dst) in site.pair_names() {
+            let hist = site.pair_history(&src, &dst);
+            prop_assert!(!hist.is_empty());
+            for w in hist.windows(2) {
+                prop_assert!(w[0].at_ms < w[1].at_ms);
+            }
+        }
+    }
+}

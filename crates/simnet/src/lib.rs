@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # gridrm-simnet — simulated wide-area network substrate
+//!
+//! The GridRM paper deployed gateways and agents on real LAN/WAN hosts. This
+//! crate replaces that testbed with a **deterministic in-process network**
+//! so that every experiment in `EXPERIMENTS.md` is reproducible bit-for-bit
+//! and machine-independent:
+//!
+//! * [`Network`] — an address → service registry with request/response RPC
+//!   ([`Network::request`]) and one-way push delivery ([`Network::push`],
+//!   used for SNMP traps and NetLogger event streams);
+//! * [`LinkStats`]/[`EndpointStats`] — message/byte accounting. The paper's
+//!   scalability claims are about *traffic shape* ("limiting resource
+//!   intrusion", §4), so experiments count messages instead of trusting
+//!   wall-clock noise;
+//! * latency modelling — each request accrues simulated latency onto the
+//!   shared [`SimClock`] totals without ever sleeping;
+//! * fault injection — endpoints can be taken down, links blocked
+//!   (partitions) or given a deterministic drop rate, which exercises the
+//!   gateway's failure policies (§4).
+
+pub mod clock;
+pub mod network;
+pub mod rng;
+pub mod stats;
+
+pub use clock::SimClock;
+pub use network::{Endpoint, Latency, NetError, Network, Push, Service};
+pub use rng::XorShift;
+pub use stats::{EndpointSnapshot, EndpointStats, LinkKey, LinkSnapshot, LinkStats};

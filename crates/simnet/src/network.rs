@@ -1,0 +1,552 @@
+//! The in-memory network: service registry, RPC, push delivery, faults.
+
+use crate::clock::SimClock;
+use crate::rng::XorShift;
+use crate::stats::{EndpointStats, LinkKey, LinkStats};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A network-attached service: agents and gateways implement this.
+pub trait Service: Send + Sync {
+    /// Handle one request payload, producing a response payload.
+    fn handle(&self, from: &str, request: &[u8]) -> Vec<u8>;
+}
+
+impl<F> Service for F
+where
+    F: Fn(&str, &[u8]) -> Vec<u8> + Send + Sync,
+{
+    fn handle(&self, from: &str, request: &[u8]) -> Vec<u8> {
+        self(from, request)
+    }
+}
+
+/// A one-way asynchronous message (trap, streamed event).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Push {
+    /// Sender address.
+    pub from: String,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+    /// Virtual send time (ms).
+    pub sent_at: u64,
+}
+
+/// Network-level failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// No endpoint registered at the address.
+    NoSuchEndpoint(String),
+    /// Endpoint is administratively down (fault injection).
+    EndpointDown(String),
+    /// The link between the peers is partitioned.
+    Partitioned {
+        /// Sender.
+        src: String,
+        /// Receiver.
+        dst: String,
+    },
+    /// The message was dropped by the link's loss model.
+    Dropped,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::NoSuchEndpoint(a) => write!(f, "no endpoint at '{a}'"),
+            NetError::EndpointDown(a) => write!(f, "endpoint '{a}' is down"),
+            NetError::Partitioned { src, dst } => {
+                write!(f, "link {src} -> {dst} is partitioned")
+            }
+            NetError::Dropped => f.write_str("message dropped"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Latency model for a link: `base_us + uniform(0, jitter_us)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Latency {
+    /// Fixed one-way latency (µs).
+    pub base_us: u64,
+    /// Uniform jitter bound (µs).
+    pub jitter_us: u64,
+}
+
+impl Latency {
+    /// Zero-latency link (LAN-local calls, default).
+    pub const ZERO: Latency = Latency {
+        base_us: 0,
+        jitter_us: 0,
+    };
+
+    /// Convenience constructor from milliseconds.
+    pub fn ms(base_ms: u64, jitter_ms: u64) -> Latency {
+        Latency {
+            base_us: base_ms * 1000,
+            jitter_us: jitter_ms * 1000,
+        }
+    }
+}
+
+struct EndpointEntry {
+    service: Arc<dyn Service>,
+    down: bool,
+    stats: Arc<EndpointStats>,
+    subscribers: Vec<Sender<Push>>,
+}
+
+/// An endpoint registration handle: lets the owner read its stats and
+/// receive pushes.
+pub struct Endpoint {
+    /// The endpoint's address.
+    pub addr: String,
+    /// Its traffic counters.
+    pub stats: Arc<EndpointStats>,
+}
+
+/// The deterministic in-memory network.
+pub struct Network {
+    clock: Arc<SimClock>,
+    endpoints: RwLock<HashMap<String, EndpointEntry>>,
+    links: RwLock<HashMap<LinkKey, Arc<LinkStats>>>,
+    latency: RwLock<HashMap<LinkKey, Latency>>,
+    default_latency: RwLock<Latency>,
+    blocked: RwLock<HashSet<LinkKey>>,
+    drop_rates: RwLock<HashMap<LinkKey, f64>>,
+    rng: Mutex<XorShift>,
+}
+
+impl Network {
+    /// Network with the given virtual clock and deterministic seed.
+    pub fn new(clock: Arc<SimClock>, seed: u64) -> Arc<Network> {
+        Arc::new(Network {
+            clock,
+            endpoints: RwLock::new(HashMap::new()),
+            links: RwLock::new(HashMap::new()),
+            latency: RwLock::new(HashMap::new()),
+            default_latency: RwLock::new(Latency::ZERO),
+            blocked: RwLock::new(HashSet::new()),
+            drop_rates: RwLock::new(HashMap::new()),
+            rng: Mutex::new(XorShift::new(seed)),
+        })
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    /// Register a service at `addr`, replacing any previous registration.
+    pub fn register(&self, addr: &str, service: Arc<dyn Service>) -> Endpoint {
+        let stats = Arc::new(EndpointStats::default());
+        self.endpoints.write().insert(
+            addr.to_owned(),
+            EndpointEntry {
+                service,
+                down: false,
+                stats: stats.clone(),
+                subscribers: Vec::new(),
+            },
+        );
+        Endpoint {
+            addr: addr.to_owned(),
+            stats,
+        }
+    }
+
+    /// Remove an endpoint entirely.
+    pub fn unregister(&self, addr: &str) -> bool {
+        self.endpoints.write().remove(addr).is_some()
+    }
+
+    /// All registered addresses, sorted — this is what "scanning a network"
+    /// for data sources (§4) returns.
+    pub fn scan(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.endpoints.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Mark an endpoint up/down (fault injection).
+    pub fn set_down(&self, addr: &str, down: bool) -> bool {
+        let mut eps = self.endpoints.write();
+        match eps.get_mut(addr) {
+            Some(e) => {
+                e.down = down;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Block/unblock the directed link `src → dst` (partitions).
+    pub fn set_blocked(&self, src: &str, dst: &str, blocked: bool) {
+        let key = LinkKey::new(src, dst);
+        if blocked {
+            self.blocked.write().insert(key);
+        } else {
+            self.blocked.write().remove(&key);
+        }
+    }
+
+    /// Set a deterministic drop probability on a link.
+    pub fn set_drop_rate(&self, src: &str, dst: &str, rate: f64) {
+        self.drop_rates
+            .write()
+            .insert(LinkKey::new(src, dst), rate.clamp(0.0, 1.0));
+    }
+
+    /// Set the default latency model for all links without an override.
+    pub fn set_default_latency(&self, latency: Latency) {
+        *self.default_latency.write() = latency;
+    }
+
+    /// Override the latency model of one directed link.
+    pub fn set_latency(&self, src: &str, dst: &str, latency: Latency) {
+        self.latency.write().insert(LinkKey::new(src, dst), latency);
+    }
+
+    fn link_stats(&self, key: &LinkKey) -> Arc<LinkStats> {
+        if let Some(s) = self.links.read().get(key) {
+            return s.clone();
+        }
+        self.links
+            .write()
+            .entry(key.clone())
+            .or_insert_with(|| Arc::new(LinkStats::default()))
+            .clone()
+    }
+
+    /// Stats for the directed link `src → dst` (created lazily).
+    pub fn stats_for(&self, src: &str, dst: &str) -> Arc<LinkStats> {
+        self.link_stats(&LinkKey::new(src, dst))
+    }
+
+    /// Endpoint stats, if the endpoint exists.
+    pub fn endpoint_stats(&self, addr: &str) -> Option<Arc<EndpointStats>> {
+        self.endpoints.read().get(addr).map(|e| e.stats.clone())
+    }
+
+    /// Total requests served by all endpoints whose address matches
+    /// `predicate` — the aggregate-intrusion probe used by E7.
+    pub fn total_requests_served(&self, predicate: impl Fn(&str) -> bool) -> u64 {
+        self.endpoints
+            .read()
+            .iter()
+            .filter(|(a, _)| predicate(a))
+            .map(|(_, e)| e.stats.requests_served.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Synchronous request/response RPC from `src` to `dst`.
+    pub fn request(&self, src: &str, dst: &str, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        let key = LinkKey::new(src, dst);
+        let stats = self.link_stats(&key);
+
+        let fail = |e: NetError| {
+            stats.failures.fetch_add(1, Ordering::Relaxed);
+            Err(e)
+        };
+
+        if self.blocked.read().contains(&key) {
+            return fail(NetError::Partitioned {
+                src: src.to_owned(),
+                dst: dst.to_owned(),
+            });
+        }
+        if let Some(rate) = self.drop_rates.read().get(&key).copied() {
+            if rate > 0.0 && self.rng.lock().chance(rate) {
+                return fail(NetError::Dropped);
+            }
+        }
+
+        // Resolve the service handle without holding the map lock during
+        // the call (handlers may re-enter the network, e.g. a gateway
+        // forwarding to another gateway).
+        let (service, ep_stats, down) = {
+            let eps = self.endpoints.read();
+            let Some(entry) = eps.get(dst) else {
+                drop(eps);
+                return fail(NetError::NoSuchEndpoint(dst.to_owned()));
+            };
+            (entry.service.clone(), entry.stats.clone(), entry.down)
+        };
+        if down {
+            return fail(NetError::EndpointDown(dst.to_owned()));
+        }
+
+        // Latency accrual (round trip = 2 one-way samples).
+        let model = self
+            .latency
+            .read()
+            .get(&key)
+            .copied()
+            .unwrap_or(*self.default_latency.read());
+        let rtt_us = {
+            let mut rng = self.rng.lock();
+            let one = |rng: &mut XorShift| {
+                model.base_us
+                    + if model.jitter_us > 0 {
+                        rng.next_below(model.jitter_us + 1)
+                    } else {
+                        0
+                    }
+            };
+            one(&mut rng) + one(&mut rng)
+        };
+        stats.latency_us.fetch_add(rtt_us, Ordering::Relaxed);
+
+        let response = service.handle(src, payload);
+
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        stats
+            .bytes_out
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        stats
+            .bytes_in
+            .fetch_add(response.len() as u64, Ordering::Relaxed);
+        ep_stats.requests_served.fetch_add(1, Ordering::Relaxed);
+        ep_stats
+            .bytes_served
+            .fetch_add(response.len() as u64, Ordering::Relaxed);
+
+        Ok(response)
+    }
+
+    /// Subscribe to pushes addressed to `addr` (e.g. a gateway listening
+    /// for SNMP traps). Multiple subscribers each receive every push.
+    pub fn subscribe(&self, addr: &str) -> Option<Receiver<Push>> {
+        let (tx, rx) = unbounded();
+        let mut eps = self.endpoints.write();
+        let entry = eps.get_mut(addr)?;
+        entry.subscribers.push(tx);
+        Some(rx)
+    }
+
+    /// One-way push from `src` to `dst` subscribers. Returns the number of
+    /// subscribers reached (0 when the endpoint is missing, down or the
+    /// link is unavailable — pushes are fire-and-forget like UDP traps).
+    pub fn push(&self, src: &str, dst: &str, payload: Vec<u8>) -> usize {
+        let key = LinkKey::new(src, dst);
+        if self.blocked.read().contains(&key) {
+            return 0;
+        }
+        if let Some(rate) = self.drop_rates.read().get(&key).copied() {
+            if rate > 0.0 && self.rng.lock().chance(rate) {
+                return 0;
+            }
+        }
+        let push = Push {
+            from: src.to_owned(),
+            payload,
+            sent_at: self.clock.now_millis(),
+        };
+        let mut eps = self.endpoints.write();
+        let Some(entry) = eps.get_mut(dst) else {
+            return 0;
+        };
+        if entry.down {
+            return 0;
+        }
+        // Drop subscribers whose receiver side is gone.
+        entry.subscribers.retain(|tx| tx.send(push.clone()).is_ok());
+        let reached = entry.subscribers.len();
+        if reached > 0 {
+            if let Some(src_entry) = eps.get(src) {
+                src_entry.stats.pushes_sent.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        reached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo() -> Arc<dyn Service> {
+        Arc::new(|_from: &str, req: &[u8]| {
+            let mut v = b"echo:".to_vec();
+            v.extend_from_slice(req);
+            v
+        })
+    }
+
+    fn net() -> Arc<Network> {
+        Network::new(SimClock::new(), 42)
+    }
+
+    #[test]
+    fn basic_rpc() {
+        let n = net();
+        n.register("agent01", echo());
+        let resp = n.request("gw", "agent01", b"hello").unwrap();
+        assert_eq!(resp, b"echo:hello");
+    }
+
+    #[test]
+    fn missing_endpoint() {
+        let n = net();
+        assert_eq!(
+            n.request("gw", "nowhere", b"x"),
+            Err(NetError::NoSuchEndpoint("nowhere".into()))
+        );
+    }
+
+    #[test]
+    fn down_endpoint_and_recovery() {
+        let n = net();
+        n.register("a", echo());
+        assert!(n.set_down("a", true));
+        assert_eq!(
+            n.request("gw", "a", b"x"),
+            Err(NetError::EndpointDown("a".into()))
+        );
+        n.set_down("a", false);
+        assert!(n.request("gw", "a", b"x").is_ok());
+        assert!(!n.set_down("ghost", true));
+    }
+
+    #[test]
+    fn partition_is_directional() {
+        let n = net();
+        n.register("a", echo());
+        n.register("b", echo());
+        n.set_blocked("a", "b", true);
+        assert!(matches!(
+            n.request("a", "b", b"x"),
+            Err(NetError::Partitioned { .. })
+        ));
+        // Reverse direction unaffected.
+        assert!(n.request("b", "a", b"x").is_ok());
+        n.set_blocked("a", "b", false);
+        assert!(n.request("a", "b", b"x").is_ok());
+    }
+
+    #[test]
+    fn drop_rate_statistical() {
+        let n = net();
+        n.register("a", echo());
+        n.set_drop_rate("gw", "a", 0.5);
+        let mut dropped = 0;
+        for _ in 0..1000 {
+            if n.request("gw", "a", b"x").is_err() {
+                dropped += 1;
+            }
+        }
+        assert!((300..700).contains(&dropped), "dropped {dropped}");
+    }
+
+    #[test]
+    fn accounting() {
+        let n = net();
+        n.register("a", echo());
+        n.request("gw", "a", b"12345").unwrap();
+        n.request("gw", "a", b"12345").unwrap();
+        let link = n.stats_for("gw", "a").snapshot();
+        assert_eq!(link.requests, 2);
+        assert_eq!(link.bytes_out, 10);
+        assert_eq!(link.bytes_in, 2 * ("echo:12345".len() as u64));
+        let ep = n.endpoint_stats("a").unwrap().snapshot();
+        assert_eq!(ep.requests_served, 2);
+    }
+
+    #[test]
+    fn latency_accrues() {
+        let n = net();
+        n.register("a", echo());
+        n.set_latency("gw", "a", Latency::ms(10, 0));
+        n.request("gw", "a", b"x").unwrap();
+        let link = n.stats_for("gw", "a").snapshot();
+        assert_eq!(link.latency_us, 20_000); // 10 ms each way
+    }
+
+    #[test]
+    fn default_latency_applies_to_new_links() {
+        let n = net();
+        n.register("a", echo());
+        n.set_default_latency(Latency::ms(5, 0));
+        n.request("gw", "a", b"x").unwrap();
+        assert_eq!(n.stats_for("gw", "a").snapshot().latency_us, 10_000);
+    }
+
+    #[test]
+    fn push_subscription() {
+        let n = net();
+        n.register("gw", echo());
+        n.register("agent", echo());
+        let rx = n.subscribe("gw").unwrap();
+        let reached = n.push("agent", "gw", b"TRAP".to_vec());
+        assert_eq!(reached, 1);
+        let p = rx.try_recv().unwrap();
+        assert_eq!(p.from, "agent");
+        assert_eq!(p.payload, b"TRAP");
+    }
+
+    #[test]
+    fn push_to_down_endpoint_lost() {
+        let n = net();
+        n.register("gw", echo());
+        n.register("agent", echo());
+        let rx = n.subscribe("gw").unwrap();
+        n.set_down("gw", true);
+        assert_eq!(n.push("agent", "gw", b"TRAP".to_vec()), 0);
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn scan_lists_endpoints() {
+        let n = net();
+        n.register("b", echo());
+        n.register("a", echo());
+        assert_eq!(n.scan(), vec!["a".to_owned(), "b".into()]);
+        n.unregister("a");
+        assert_eq!(n.scan(), vec!["b".to_owned()]);
+    }
+
+    #[test]
+    fn reentrant_handler_allowed() {
+        // A "gateway" service that forwards to an agent over the same
+        // network — must not deadlock.
+        let n = net();
+        n.register("agent", echo());
+        let n2 = n.clone();
+        n.register(
+            "gw",
+            Arc::new(move |_from: &str, req: &[u8]| {
+                n2.request("gw", "agent", req).unwrap_or_default()
+            }),
+        );
+        let resp = n.request("client", "gw", b"q").unwrap();
+        assert_eq!(resp, b"echo:q");
+    }
+
+    #[test]
+    fn failure_counting() {
+        let n = net();
+        n.register("a", echo());
+        n.set_down("a", true);
+        let _ = n.request("gw", "a", b"x");
+        let _ = n.request("gw", "a", b"x");
+        assert_eq!(n.stats_for("gw", "a").snapshot().failures, 2);
+    }
+
+    #[test]
+    fn total_requests_served_filter() {
+        let n = net();
+        n.register("site-a/agent1", echo());
+        n.register("site-a/agent2", echo());
+        n.register("site-b/agent1", echo());
+        n.request("gw", "site-a/agent1", b"x").unwrap();
+        n.request("gw", "site-a/agent2", b"x").unwrap();
+        n.request("gw", "site-b/agent1", b"x").unwrap();
+        assert_eq!(n.total_requests_served(|a| a.starts_with("site-a/")), 2);
+        assert_eq!(n.total_requests_served(|_| true), 3);
+    }
+}

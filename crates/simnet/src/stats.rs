@@ -1,0 +1,103 @@
+//! Message and byte accounting.
+//!
+//! The paper's scalability argument (§4) is about *how many requests reach
+//! the agents and remote gateways*; these counters are the measurement
+//! instrument experiments E1/E7/E9 read.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifies a directed link `src → dst`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkKey {
+    /// Sending endpoint.
+    pub src: String,
+    /// Receiving endpoint.
+    pub dst: String,
+}
+
+impl LinkKey {
+    /// Construct a link key.
+    pub fn new(src: &str, dst: &str) -> Self {
+        LinkKey {
+            src: src.to_owned(),
+            dst: dst.to_owned(),
+        }
+    }
+}
+
+/// Per-link counters.
+#[derive(Debug, Default)]
+pub struct LinkStats {
+    /// Requests delivered.
+    pub requests: AtomicU64,
+    /// Bytes carried src → dst (request payloads).
+    pub bytes_out: AtomicU64,
+    /// Bytes carried dst → src (response payloads).
+    pub bytes_in: AtomicU64,
+    /// Requests that failed (down endpoint, partition, drop).
+    pub failures: AtomicU64,
+    /// Total simulated latency accrued on this link, in microseconds.
+    pub latency_us: AtomicU64,
+}
+
+/// Plain-data snapshot of [`LinkStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkSnapshot {
+    /// Requests delivered.
+    pub requests: u64,
+    /// Request bytes.
+    pub bytes_out: u64,
+    /// Response bytes.
+    pub bytes_in: u64,
+    /// Failed requests.
+    pub failures: u64,
+    /// Accrued simulated latency (µs).
+    pub latency_us: u64,
+}
+
+impl LinkStats {
+    /// Copy the counters out.
+    pub fn snapshot(&self) -> LinkSnapshot {
+        LinkSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            latency_us: self.latency_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Per-endpoint counters — `requests_served` is the "resource intrusion"
+/// metric of experiment E7.
+#[derive(Debug, Default)]
+pub struct EndpointStats {
+    /// Requests this endpoint's service handled.
+    pub requests_served: AtomicU64,
+    /// Bytes of responses it produced.
+    pub bytes_served: AtomicU64,
+    /// Pushes it emitted.
+    pub pushes_sent: AtomicU64,
+}
+
+/// Plain-data snapshot of [`EndpointStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EndpointSnapshot {
+    /// Requests handled.
+    pub requests_served: u64,
+    /// Response bytes produced.
+    pub bytes_served: u64,
+    /// Pushes emitted.
+    pub pushes_sent: u64,
+}
+
+impl EndpointStats {
+    /// Copy the counters out.
+    pub fn snapshot(&self) -> EndpointSnapshot {
+        EndpointSnapshot {
+            requests_served: self.requests_served.load(Ordering::Relaxed),
+            bytes_served: self.bytes_served.load(Ordering::Relaxed),
+            pushes_sent: self.pushes_sent.load(Ordering::Relaxed),
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the network substrate: accounting conservation and
+//! fault-injection invariants.
+
+use gridrm_simnet::{Network, Service, SimClock};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn echo() -> Arc<dyn Service> {
+    Arc::new(|_from: &str, req: &[u8]| req.to_vec())
+}
+
+proptest! {
+    /// requests + failures on a link equals attempts; byte counters equal
+    /// the sum of successful payload sizes (echo service: in == out).
+    #[test]
+    fn accounting_conserves(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..40),
+        down_after in prop::option::of(0usize..40),
+    ) {
+        let net = Network::new(SimClock::new(), 7);
+        net.register("agent", echo());
+        let mut expect_ok = 0u64;
+        let mut expect_fail = 0u64;
+        let mut expect_bytes = 0u64;
+        for (i, p) in payloads.iter().enumerate() {
+            if Some(i) == down_after {
+                net.set_down("agent", true);
+            }
+            match net.request("client", "agent", p) {
+                Ok(resp) => {
+                    prop_assert_eq!(&resp, p);
+                    expect_ok += 1;
+                    expect_bytes += p.len() as u64;
+                }
+                Err(_) => expect_fail += 1,
+            }
+        }
+        let snap = net.stats_for("client", "agent").snapshot();
+        prop_assert_eq!(snap.requests, expect_ok);
+        prop_assert_eq!(snap.failures, expect_fail);
+        prop_assert_eq!(snap.bytes_out, expect_bytes);
+        prop_assert_eq!(snap.bytes_in, expect_bytes);
+        let served = net.endpoint_stats("agent").unwrap().snapshot();
+        prop_assert_eq!(served.requests_served, expect_ok);
+    }
+
+    /// A drop rate of 0 never drops; a rate of 1 always drops; in between,
+    /// every outcome is one of Ok/Dropped and the counters still add up.
+    #[test]
+    fn drop_rate_extremes(rate in prop::sample::select(vec![0.0f64, 1.0]), n in 1usize..30) {
+        let net = Network::new(SimClock::new(), 11);
+        net.register("a", echo());
+        net.set_drop_rate("c", "a", rate);
+        let mut ok = 0;
+        for _ in 0..n {
+            if net.request("c", "a", b"x").is_ok() {
+                ok += 1;
+            }
+        }
+        if rate == 0.0 {
+            prop_assert_eq!(ok, n);
+        } else {
+            prop_assert_eq!(ok, 0);
+        }
+    }
+
+    /// Partitions are exactly directional and reversible.
+    #[test]
+    fn partitions_directional(block_ab in any::<bool>(), block_ba in any::<bool>()) {
+        let net = Network::new(SimClock::new(), 13);
+        net.register("a", echo());
+        net.register("b", echo());
+        net.set_blocked("a", "b", block_ab);
+        net.set_blocked("b", "a", block_ba);
+        prop_assert_eq!(net.request("a", "b", b"x").is_ok(), !block_ab);
+        prop_assert_eq!(net.request("b", "a", b"x").is_ok(), !block_ba);
+        net.set_blocked("a", "b", false);
+        net.set_blocked("b", "a", false);
+        prop_assert!(net.request("a", "b", b"x").is_ok());
+        prop_assert!(net.request("b", "a", b"x").is_ok());
+    }
+
+    /// Pushes reach every subscriber exactly once, in order.
+    #[test]
+    fn pushes_fan_out(messages in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..16), 0..20),
+                      subscribers in 1usize..4) {
+        let net = Network::new(SimClock::new(), 17);
+        net.register("sink", echo());
+        net.register("src", echo());
+        let rxs: Vec<_> = (0..subscribers)
+            .map(|_| net.subscribe("sink").unwrap())
+            .collect();
+        for m in &messages {
+            prop_assert_eq!(net.push("src", "sink", m.clone()), subscribers);
+        }
+        for rx in rxs {
+            let got: Vec<Vec<u8>> = rx.try_iter().map(|p| p.payload).collect();
+            prop_assert_eq!(&got, &messages);
+        }
+    }
+
+    /// Deterministic: two networks with the same seed and the same request
+    /// sequence agree on every outcome, even with a lossy link.
+    #[test]
+    fn seeded_determinism(n in 1usize..60, seed in any::<u64>()) {
+        let run = |seed: u64| -> Vec<bool> {
+            let net = Network::new(SimClock::new(), seed);
+            net.register("a", echo());
+            net.set_drop_rate("c", "a", 0.4);
+            (0..n).map(|_| net.request("c", "a", b"p").is_ok()).collect()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

@@ -1,0 +1,38 @@
+//! Parse errors with positional context.
+
+use std::fmt;
+
+/// Result alias for parse operations.
+pub type ParseResult<T> = Result<T, ParseError>;
+
+/// An error produced by the lexer or parser, carrying the byte offset at
+/// which it occurred so gateways can report precise diagnostics to clients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte offset into the source SQL where the error was detected.
+    pub offset: usize,
+}
+
+impl ParseError {
+    /// Construct an error at the given source offset.
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SQL parse error at offset {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}

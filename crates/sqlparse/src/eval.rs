@@ -1,0 +1,628 @@
+//! Expression evaluation with SQL three-valued logic.
+//!
+//! Used by data-source drivers to apply `WHERE` clauses to rows they have
+//! fetched natively, and by the embedded historical store for query
+//! execution.
+
+use crate::ast::{BinaryOp, Expr};
+use crate::value::SqlValue;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced during evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// A referenced column does not exist in the row context.
+    UnknownColumn(String),
+    /// Operands had types the operator cannot handle.
+    TypeMismatch {
+        /// The operator involved.
+        op: &'static str,
+        /// Printed operand summary.
+        detail: String,
+    },
+    /// Unknown scalar function.
+    UnknownFunction(String),
+    /// Function called with the wrong number of arguments.
+    Arity {
+        /// Function name.
+        name: String,
+        /// Expected argument count.
+        expected: usize,
+        /// Provided argument count.
+        got: usize,
+    },
+    /// Division or modulo by zero.
+    DivisionByZero,
+    /// Aggregates cannot be evaluated row-at-a-time.
+    AggregateInScalarContext(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            EvalError::TypeMismatch { op, detail } => {
+                write!(f, "type mismatch for {op}: {detail}")
+            }
+            EvalError::UnknownFunction(n) => write!(f, "unknown function '{n}'"),
+            EvalError::Arity {
+                name,
+                expected,
+                got,
+            } => write!(f, "{name} expects {expected} argument(s), got {got}"),
+            EvalError::DivisionByZero => f.write_str("division by zero"),
+            EvalError::AggregateInScalarContext(n) => {
+                write!(f, "aggregate {n} not allowed in a scalar context")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Names of the aggregate functions understood by the historical store.
+pub const AGGREGATE_FUNCTIONS: &[&str] = &["COUNT", "SUM", "AVG", "MIN", "MAX"];
+
+/// Is `name` (already upper-cased) an aggregate?
+pub fn is_aggregate(name: &str) -> bool {
+    AGGREGATE_FUNCTIONS.contains(&name)
+}
+
+/// Provides column values for a row during evaluation.
+pub trait EvalContext {
+    /// Fetch the value of `column`, or `None` when the column is unknown.
+    fn get(&self, column: &str) -> Option<SqlValue>;
+    /// Milliseconds since the epoch for `NOW()`. Defaults to 0 so that
+    /// evaluation stays deterministic unless a clock is supplied.
+    fn now_millis(&self) -> i64 {
+        0
+    }
+}
+
+/// Simple map-backed context, convenient in tests and drivers.
+#[derive(Debug, Default, Clone)]
+pub struct MapContext {
+    values: HashMap<String, SqlValue>,
+    now: i64,
+}
+
+impl MapContext {
+    /// Empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a column value (builder style).
+    pub fn with(mut self, column: impl Into<String>, value: impl Into<SqlValue>) -> Self {
+        self.values.insert(column.into(), value.into());
+        self
+    }
+
+    /// Set the `NOW()` clock.
+    pub fn with_now(mut self, now_millis: i64) -> Self {
+        self.now = now_millis;
+        self
+    }
+
+    /// Insert a column value.
+    pub fn set(&mut self, column: impl Into<String>, value: impl Into<SqlValue>) {
+        self.values.insert(column.into(), value.into());
+    }
+}
+
+impl EvalContext for MapContext {
+    fn get(&self, column: &str) -> Option<SqlValue> {
+        self.values.get(column).cloned()
+    }
+    fn now_millis(&self) -> i64 {
+        self.now
+    }
+}
+
+/// Stateless evaluator. Construct once and reuse across rows.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Evaluator;
+
+impl Evaluator {
+    /// Evaluate `expr` against `ctx`, producing a value (possibly NULL).
+    pub fn eval(&self, expr: &Expr, ctx: &dyn EvalContext) -> Result<SqlValue, EvalError> {
+        match expr {
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Column { name, .. } => ctx
+                .get(name)
+                .ok_or_else(|| EvalError::UnknownColumn(name.clone())),
+            Expr::Neg(e) => {
+                let v = self.eval(e, ctx)?;
+                match v {
+                    SqlValue::Null => Ok(SqlValue::Null),
+                    SqlValue::Int(i) => Ok(SqlValue::Int(i.wrapping_neg())),
+                    SqlValue::Float(x) => Ok(SqlValue::Float(-x)),
+                    other => Err(EvalError::TypeMismatch {
+                        op: "-",
+                        detail: other.to_string(),
+                    }),
+                }
+            }
+            Expr::Not(e) => match self.eval_truth(e, ctx)? {
+                Some(b) => Ok(SqlValue::Bool(!b)),
+                None => Ok(SqlValue::Null),
+            },
+            Expr::IsNull { expr, negated } => {
+                let v = self.eval(expr, ctx)?;
+                Ok(SqlValue::Bool(v.is_null() != *negated))
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let needle = self.eval(expr, ctx)?;
+                if needle.is_null() {
+                    return Ok(SqlValue::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    let v = self.eval(item, ctx)?;
+                    match needle.sql_eq(&v) {
+                        Some(true) => return Ok(SqlValue::Bool(!*negated)),
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                if saw_null {
+                    Ok(SqlValue::Null)
+                } else {
+                    Ok(SqlValue::Bool(*negated))
+                }
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let v = self.eval(expr, ctx)?;
+                let lo = self.eval(low, ctx)?;
+                let hi = self.eval(high, ctx)?;
+                let (Some(ge), Some(le)) = (
+                    v.compare(&lo).map(|o| o != std::cmp::Ordering::Less),
+                    v.compare(&hi).map(|o| o != std::cmp::Ordering::Greater),
+                ) else {
+                    return Ok(SqlValue::Null);
+                };
+                Ok(SqlValue::Bool((ge && le) != *negated))
+            }
+            Expr::Binary { left, op, right } => self.eval_binary(left, *op, right, ctx),
+            Expr::Function { name, args, star } => self.eval_function(name, args, *star, ctx),
+        }
+    }
+
+    /// Evaluate as a predicate: `Some(bool)` or `None` for SQL unknown.
+    pub fn eval_truth(
+        &self,
+        expr: &Expr,
+        ctx: &dyn EvalContext,
+    ) -> Result<Option<bool>, EvalError> {
+        let v = self.eval(expr, ctx)?;
+        Ok(match v {
+            SqlValue::Null => None,
+            other => other.as_bool(),
+        })
+    }
+
+    /// `WHERE` semantics: unknown filters the row out.
+    pub fn matches(&self, expr: &Expr, ctx: &dyn EvalContext) -> Result<bool, EvalError> {
+        Ok(self.eval_truth(expr, ctx)?.unwrap_or(false))
+    }
+
+    fn eval_binary(
+        &self,
+        left: &Expr,
+        op: BinaryOp,
+        right: &Expr,
+        ctx: &dyn EvalContext,
+    ) -> Result<SqlValue, EvalError> {
+        use BinaryOp::*;
+        // AND/OR get short-circuit three-valued logic.
+        if op == And || op == Or {
+            let l = self.eval_truth(left, ctx)?;
+            // SQL Kleene logic: FALSE AND x = FALSE, TRUE OR x = TRUE even
+            // when x is unknown.
+            match (op, l) {
+                (And, Some(false)) => return Ok(SqlValue::Bool(false)),
+                (Or, Some(true)) => return Ok(SqlValue::Bool(true)),
+                _ => {}
+            }
+            let r = self.eval_truth(right, ctx)?;
+            let out = match op {
+                And => match (l, r) {
+                    (Some(false), _) | (_, Some(false)) => Some(false),
+                    (Some(true), Some(true)) => Some(true),
+                    _ => None,
+                },
+                Or => match (l, r) {
+                    (Some(true), _) | (_, Some(true)) => Some(true),
+                    (Some(false), Some(false)) => Some(false),
+                    _ => None,
+                },
+                _ => unreachable!(),
+            };
+            return Ok(out.map_or(SqlValue::Null, SqlValue::Bool));
+        }
+
+        let l = self.eval(left, ctx)?;
+        let r = self.eval(right, ctx)?;
+        match op {
+            Eq | NotEq | Lt | LtEq | Gt | GtEq => {
+                let Some(ord) = l.compare(&r) else {
+                    // NULL involved, or incomparable types: unknown for
+                    // NULLs, type error otherwise.
+                    if l.is_null() || r.is_null() {
+                        return Ok(SqlValue::Null);
+                    }
+                    return Err(EvalError::TypeMismatch {
+                        op: op.symbol(),
+                        detail: format!("{} vs {}", l.sql_type(), r.sql_type()),
+                    });
+                };
+                use std::cmp::Ordering::*;
+                let b = match op {
+                    Eq => ord == Equal,
+                    NotEq => ord != Equal,
+                    Lt => ord == Less,
+                    LtEq => ord != Greater,
+                    Gt => ord == Greater,
+                    GtEq => ord != Less,
+                    _ => unreachable!(),
+                };
+                Ok(SqlValue::Bool(b))
+            }
+            Like => {
+                if l.is_null() || r.is_null() {
+                    return Ok(SqlValue::Null);
+                }
+                let (Some(s), Some(p)) = (l.as_str(), r.as_str()) else {
+                    return Err(EvalError::TypeMismatch {
+                        op: "LIKE",
+                        detail: format!("{} LIKE {}", l.sql_type(), r.sql_type()),
+                    });
+                };
+                Ok(SqlValue::Bool(like_match(p, s)))
+            }
+            Add | Sub | Mul | Div | Mod => self.eval_arith(l, op, r),
+            And | Or => unreachable!("handled above"),
+        }
+    }
+
+    fn eval_arith(&self, l: SqlValue, op: BinaryOp, r: SqlValue) -> Result<SqlValue, EvalError> {
+        use BinaryOp::*;
+        if l.is_null() || r.is_null() {
+            return Ok(SqlValue::Null);
+        }
+        // String concatenation via `+`, a convenience many small dialects allow.
+        if op == Add {
+            if let (SqlValue::Str(a), SqlValue::Str(b)) = (&l, &r) {
+                let mut s = String::with_capacity(a.len() + b.len());
+                s.push_str(a);
+                s.push_str(b);
+                return Ok(SqlValue::Str(s));
+            }
+        }
+        // Integer arithmetic stays integral; anything else goes via f64.
+        if let (SqlValue::Int(a), SqlValue::Int(b)) = (&l, &r) {
+            let (a, b) = (*a, *b);
+            return match op {
+                Add => Ok(SqlValue::Int(a.wrapping_add(b))),
+                Sub => Ok(SqlValue::Int(a.wrapping_sub(b))),
+                Mul => Ok(SqlValue::Int(a.wrapping_mul(b))),
+                Div => {
+                    if b == 0 {
+                        Err(EvalError::DivisionByZero)
+                    } else {
+                        Ok(SqlValue::Int(a.wrapping_div(b)))
+                    }
+                }
+                Mod => {
+                    if b == 0 {
+                        Err(EvalError::DivisionByZero)
+                    } else {
+                        Ok(SqlValue::Int(a.wrapping_rem(b)))
+                    }
+                }
+                _ => unreachable!(),
+            };
+        }
+        let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
+            return Err(EvalError::TypeMismatch {
+                op: op.symbol(),
+                detail: format!("{} {} {}", l.sql_type(), op.symbol(), r.sql_type()),
+            });
+        };
+        let out = match op {
+            Add => a + b,
+            Sub => a - b,
+            Mul => a * b,
+            Div => {
+                if b == 0.0 {
+                    return Err(EvalError::DivisionByZero);
+                }
+                a / b
+            }
+            Mod => {
+                if b == 0.0 {
+                    return Err(EvalError::DivisionByZero);
+                }
+                a % b
+            }
+            _ => unreachable!(),
+        };
+        Ok(SqlValue::Float(out))
+    }
+
+    fn eval_function(
+        &self,
+        name: &str,
+        args: &[Expr],
+        star: bool,
+        ctx: &dyn EvalContext,
+    ) -> Result<SqlValue, EvalError> {
+        if is_aggregate(name) {
+            return Err(EvalError::AggregateInScalarContext(name.to_owned()));
+        }
+        let arity = |expected: usize| -> Result<(), EvalError> {
+            let got = if star { 1 } else { args.len() };
+            if got == expected {
+                Ok(())
+            } else {
+                Err(EvalError::Arity {
+                    name: name.to_owned(),
+                    expected,
+                    got,
+                })
+            }
+        };
+        match name {
+            "NOW" => {
+                arity(0)?;
+                Ok(SqlValue::Timestamp(ctx.now_millis()))
+            }
+            "UPPER" => {
+                arity(1)?;
+                let v = self.eval(&args[0], ctx)?;
+                Ok(match v {
+                    SqlValue::Str(s) => SqlValue::Str(s.to_uppercase()),
+                    SqlValue::Null => SqlValue::Null,
+                    other => SqlValue::Str(other.to_string().to_uppercase()),
+                })
+            }
+            "LOWER" => {
+                arity(1)?;
+                let v = self.eval(&args[0], ctx)?;
+                Ok(match v {
+                    SqlValue::Str(s) => SqlValue::Str(s.to_lowercase()),
+                    SqlValue::Null => SqlValue::Null,
+                    other => SqlValue::Str(other.to_string().to_lowercase()),
+                })
+            }
+            "LENGTH" => {
+                arity(1)?;
+                let v = self.eval(&args[0], ctx)?;
+                Ok(match v {
+                    SqlValue::Str(s) => SqlValue::Int(s.chars().count() as i64),
+                    SqlValue::Null => SqlValue::Null,
+                    other => SqlValue::Int(other.to_string().chars().count() as i64),
+                })
+            }
+            "ABS" => {
+                arity(1)?;
+                let v = self.eval(&args[0], ctx)?;
+                Ok(match v {
+                    SqlValue::Int(i) => SqlValue::Int(i.wrapping_abs()),
+                    SqlValue::Float(x) => SqlValue::Float(x.abs()),
+                    SqlValue::Null => SqlValue::Null,
+                    other => {
+                        return Err(EvalError::TypeMismatch {
+                            op: "ABS",
+                            detail: other.to_string(),
+                        })
+                    }
+                })
+            }
+            "ROUND" => {
+                arity(1)?;
+                let v = self.eval(&args[0], ctx)?;
+                Ok(match v {
+                    SqlValue::Float(x) => SqlValue::Float(x.round()),
+                    SqlValue::Int(_) | SqlValue::Null => v,
+                    other => {
+                        return Err(EvalError::TypeMismatch {
+                            op: "ROUND",
+                            detail: other.to_string(),
+                        })
+                    }
+                })
+            }
+            "COALESCE" => {
+                if args.is_empty() {
+                    return Err(EvalError::Arity {
+                        name: name.to_owned(),
+                        expected: 1,
+                        got: 0,
+                    });
+                }
+                for a in args {
+                    let v = self.eval(a, ctx)?;
+                    if !v.is_null() {
+                        return Ok(v);
+                    }
+                }
+                Ok(SqlValue::Null)
+            }
+            other => Err(EvalError::UnknownFunction(other.to_owned())),
+        }
+    }
+}
+
+/// SQL `LIKE` matcher: `%` matches any run (including empty), `_` matches a
+/// single character. Matching is case-sensitive, per the standard.
+pub fn like_match(pattern: &str, text: &str) -> bool {
+    fn rec(p: &[char], t: &[char]) -> bool {
+        match p.split_first() {
+            None => t.is_empty(),
+            Some(('%', rest)) => {
+                // Try consuming 0..=len characters.
+                (0..=t.len()).any(|i| rec(rest, &t[i..]))
+            }
+            Some(('_', rest)) => !t.is_empty() && rec(rest, &t[1..]),
+            Some((c, rest)) => t.first() == Some(c) && rec(rest, &t[1..]),
+        }
+    }
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    rec(&p, &t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_expr;
+
+    fn ctx() -> MapContext {
+        MapContext::new()
+            .with("Load1", 0.75)
+            .with("Hostname", "node01")
+            .with("NCpu", 4i64)
+            .with("Missing", SqlValue::Null)
+            .with_now(1_000_000)
+    }
+
+    fn eval(sql: &str) -> SqlValue {
+        Evaluator.eval(&parse_expr(sql).unwrap(), &ctx()).unwrap()
+    }
+
+    fn truth(sql: &str) -> Option<bool> {
+        Evaluator
+            .eval_truth(&parse_expr(sql).unwrap(), &ctx())
+            .unwrap()
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(truth("Load1 > 0.5"), Some(true));
+        assert_eq!(truth("Load1 >= 0.75"), Some(true));
+        assert_eq!(truth("NCpu = 4"), Some(true));
+        assert_eq!(truth("NCpu <> 4"), Some(false));
+        assert_eq!(truth("Hostname = 'node01'"), Some(true));
+    }
+
+    #[test]
+    fn null_propagation() {
+        assert_eq!(truth("Missing = 1"), None);
+        assert_eq!(truth("Missing IS NULL"), Some(true));
+        assert_eq!(truth("Missing IS NOT NULL"), Some(false));
+        assert_eq!(eval("Missing + 1"), SqlValue::Null);
+    }
+
+    #[test]
+    fn kleene_logic() {
+        // FALSE AND unknown = FALSE; TRUE OR unknown = TRUE.
+        assert_eq!(truth("1 = 2 AND Missing = 1"), Some(false));
+        assert_eq!(truth("1 = 1 OR Missing = 1"), Some(true));
+        // TRUE AND unknown = unknown.
+        assert_eq!(truth("1 = 1 AND Missing = 1"), None);
+        assert_eq!(truth("1 = 2 OR Missing = 1"), None);
+    }
+
+    #[test]
+    fn short_circuit_avoids_rhs_error() {
+        // RHS references an unknown column but must never be evaluated.
+        let e = parse_expr("1 = 2 AND NoSuchColumn = 1").unwrap();
+        assert_eq!(Evaluator.eval_truth(&e, &ctx()).unwrap(), Some(false));
+    }
+
+    #[test]
+    fn in_list_semantics() {
+        assert_eq!(truth("NCpu IN (1, 2, 4)"), Some(true));
+        assert_eq!(truth("NCpu IN (1, 2)"), Some(false));
+        assert_eq!(truth("NCpu NOT IN (1, 2)"), Some(true));
+        // NULL in the list makes a failed match unknown.
+        assert_eq!(truth("NCpu IN (1, NULL)"), None);
+        assert_eq!(truth("NCpu IN (4, NULL)"), Some(true));
+        assert_eq!(truth("Missing IN (1, 2)"), None);
+    }
+
+    #[test]
+    fn between_semantics() {
+        assert_eq!(truth("Load1 BETWEEN 0.5 AND 1.0"), Some(true));
+        assert_eq!(truth("Load1 NOT BETWEEN 0.5 AND 1.0"), Some(false));
+        assert_eq!(truth("Load1 BETWEEN 0.8 AND 1.0"), Some(false));
+        assert_eq!(truth("Missing BETWEEN 0 AND 1"), None);
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("node%", "node01"));
+        assert!(like_match("%01", "node01"));
+        assert!(like_match("n_de01", "node01"));
+        assert!(!like_match("node", "node01"));
+        assert!(like_match("%", ""));
+        assert!(!like_match("_", ""));
+        assert!(like_match("a%b%c", "axxbyyc"));
+        assert_eq!(truth("Hostname LIKE 'node%'"), Some(true));
+        assert_eq!(truth("Hostname NOT LIKE 'x%'"), Some(true));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(eval("NCpu * 2"), SqlValue::Int(8));
+        assert_eq!(eval("7 / 2"), SqlValue::Int(3));
+        assert_eq!(eval("7.0 / 2"), SqlValue::Float(3.5));
+        assert_eq!(eval("7 % 3"), SqlValue::Int(1));
+        assert_eq!(eval("'a' + 'b'"), SqlValue::Str("ab".into()));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let e = parse_expr("1 / 0").unwrap();
+        assert_eq!(
+            Evaluator.eval(&e, &ctx()).unwrap_err(),
+            EvalError::DivisionByZero
+        );
+    }
+
+    #[test]
+    fn functions() {
+        assert_eq!(eval("UPPER(Hostname)"), SqlValue::Str("NODE01".into()));
+        assert_eq!(eval("LOWER('ABC')"), SqlValue::Str("abc".into()));
+        assert_eq!(eval("LENGTH(Hostname)"), SqlValue::Int(6));
+        assert_eq!(eval("ABS(-5)"), SqlValue::Int(5));
+        assert_eq!(eval("ROUND(2.6)"), SqlValue::Float(3.0));
+        assert_eq!(eval("COALESCE(Missing, 9)"), SqlValue::Int(9));
+        assert_eq!(eval("NOW()"), SqlValue::Timestamp(1_000_000));
+    }
+
+    #[test]
+    fn aggregates_rejected_in_scalar_context() {
+        let e = parse_expr("COUNT(*)").unwrap();
+        assert!(matches!(
+            Evaluator.eval(&e, &ctx()),
+            Err(EvalError::AggregateInScalarContext(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let e = parse_expr("Nope = 1").unwrap();
+        assert!(matches!(
+            Evaluator.eval(&e, &ctx()),
+            Err(EvalError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn matches_treats_unknown_as_false() {
+        let e = parse_expr("Missing = 1").unwrap();
+        assert!(!Evaluator.matches(&e, &ctx()).unwrap());
+    }
+}

@@ -1,0 +1,443 @@
+//! Hand-written SQL tokeniser.
+
+use crate::error::{ParseError, ParseResult};
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Streaming tokeniser over a SQL source string.
+///
+/// The lexer is typically driven to completion by [`Lexer::tokenize`]; the
+/// parser consumes the resulting token vector.
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Lex the whole input, appending a trailing [`TokenKind::Eof`].
+    pub fn tokenize(mut self) -> ParseResult<Vec<Token>> {
+        let mut out = Vec::with_capacity(self.src.len() / 4 + 4);
+        loop {
+            let tok = self.next_token()?;
+            let eof = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) -> ParseResult<()> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                // `-- line comment`
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                // `/* block comment */`
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.pos += 2;
+                                break;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(ParseError::new("unterminated block comment", start))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> ParseResult<Token> {
+        self.skip_trivia()?;
+        let offset = self.pos;
+        let Some(b) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                offset,
+            });
+        };
+        let kind = match b {
+            b'(' => {
+                self.pos += 1;
+                TokenKind::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                TokenKind::RParen
+            }
+            b',' => {
+                self.pos += 1;
+                TokenKind::Comma
+            }
+            b';' => {
+                self.pos += 1;
+                TokenKind::Semicolon
+            }
+            b'.' => {
+                self.pos += 1;
+                TokenKind::Dot
+            }
+            b'+' => {
+                self.pos += 1;
+                TokenKind::Plus
+            }
+            b'-' => {
+                self.pos += 1;
+                TokenKind::Minus
+            }
+            b'*' => {
+                self.pos += 1;
+                TokenKind::Star
+            }
+            b'/' => {
+                self.pos += 1;
+                TokenKind::Slash
+            }
+            b'%' => {
+                self.pos += 1;
+                TokenKind::Percent
+            }
+            b'=' => {
+                self.pos += 1;
+                TokenKind::Eq
+            }
+            b'<' => {
+                self.pos += 1;
+                match self.peek() {
+                    Some(b'=') => {
+                        self.pos += 1;
+                        TokenKind::LtEq
+                    }
+                    Some(b'>') => {
+                        self.pos += 1;
+                        TokenKind::NotEq
+                    }
+                    _ => TokenKind::Lt,
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::GtEq
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'!' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::NotEq
+                } else {
+                    return Err(ParseError::new("unexpected '!'", offset));
+                }
+            }
+            b'\'' => return self.lex_string(offset),
+            b'"' => return self.lex_quoted_ident(offset),
+            b'0'..=b'9' => return self.lex_number(offset),
+            b if b.is_ascii_alphabetic() || b == b'_' => return Ok(self.lex_word(offset)),
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character '{}'", other as char),
+                    offset,
+                ))
+            }
+        };
+        Ok(Token { kind, offset })
+    }
+
+    fn lex_string(&mut self, offset: usize) -> ParseResult<Token> {
+        // NOTE: the bump must happen unconditionally — never inside a
+        // debug_assert!, which compiles out in release builds.
+        let opening = self.bump();
+        debug_assert_eq!(opening, Some(b'\''));
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    // `''` escapes a single quote inside a literal.
+                    if self.peek() == Some(b'\'') {
+                        self.pos += 1;
+                        s.push('\'');
+                    } else {
+                        return Ok(Token {
+                            kind: TokenKind::Str(s),
+                            offset,
+                        });
+                    }
+                }
+                Some(b) => {
+                    // Collect raw bytes; re-validate as UTF-8 on multi-byte.
+                    if b < 0x80 {
+                        s.push(b as char);
+                    } else {
+                        // Walk back and take the full char from the source.
+                        let start = self.pos - 1;
+                        let ch_len = utf8_len(b);
+                        let end = start + ch_len;
+                        if end > self.bytes.len() {
+                            return Err(ParseError::new("invalid UTF-8 in string", start));
+                        }
+                        let ch = std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| ParseError::new("invalid UTF-8 in string", start))?;
+                        s.push_str(ch);
+                        self.pos = end;
+                    }
+                }
+                None => return Err(ParseError::new("unterminated string literal", offset)),
+            }
+        }
+    }
+
+    fn lex_quoted_ident(&mut self, offset: usize) -> ParseResult<Token> {
+        let opening = self.bump();
+        debug_assert_eq!(opening, Some(b'"'));
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'"' {
+                let ident = self.src[start..self.pos].to_owned();
+                self.pos += 1;
+                return Ok(Token {
+                    kind: TokenKind::Ident(ident),
+                    offset,
+                });
+            }
+            self.pos += 1;
+        }
+        Err(ParseError::new("unterminated quoted identifier", offset))
+    }
+
+    fn lex_number(&mut self, offset: usize) -> ParseResult<Token> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b) if b.is_ascii_digit()) {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            let save = self.pos;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                is_float = true;
+                while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            } else {
+                self.pos = save; // `1e` with no digits: treat `e` as next word
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let kind = if is_float {
+            TokenKind::Float(
+                text.parse()
+                    .map_err(|_| ParseError::new("invalid float literal", offset))?,
+            )
+        } else {
+            match text.parse::<i64>() {
+                Ok(i) => TokenKind::Int(i),
+                // Overflowing integers degrade to floats, like most SQL engines.
+                Err(_) => TokenKind::Float(
+                    text.parse()
+                        .map_err(|_| ParseError::new("invalid numeric literal", offset))?,
+                ),
+            }
+        };
+        Ok(Token { kind, offset })
+    }
+
+    fn lex_word(&mut self, offset: usize) -> Token {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || b == b'_') {
+            self.pos += 1;
+        }
+        let word = &self.src[start..self.pos];
+        let kind = match Keyword::lookup(word) {
+            Some(k) => TokenKind::Keyword(k),
+            None => TokenKind::Ident(word.to_owned()),
+        };
+        Token { kind, offset }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF7 => 4,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Keyword as K;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        Lexer::new(sql)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lex_select_star() {
+        assert_eq!(
+            kinds("SELECT * FROM Processor"),
+            vec![
+                TokenKind::Keyword(K::Select),
+                TokenKind::Star,
+                TokenKind::Keyword(K::From),
+                TokenKind::Ident("Processor".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_operators() {
+        assert_eq!(
+            kinds("a <= b <> c != d >= e"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::LtEq,
+                TokenKind::Ident("b".into()),
+                TokenKind::NotEq,
+                TokenKind::Ident("c".into()),
+                TokenKind::NotEq,
+                TokenKind::Ident("d".into()),
+                TokenKind::GtEq,
+                TokenKind::Ident("e".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(
+            kinds("1 2.5 1e3 7.25e-2"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Float(2.5),
+                TokenKind::Float(1000.0),
+                TokenKind::Float(0.0725),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_string_with_escape() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![TokenKind::Str("it's".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn lex_unicode_string() {
+        assert_eq!(
+            kinds("'héllo→'"),
+            vec![TokenKind::Str("héllo→".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn lex_comments() {
+        assert_eq!(
+            kinds("SELECT -- comment\n 1 /* block */ ,2"),
+            vec![
+                TokenKind::Keyword(K::Select),
+                TokenKind::Int(1),
+                TokenKind::Comma,
+                TokenKind::Int(2),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_quoted_identifier() {
+        assert_eq!(
+            kinds("\"Weird Col\""),
+            vec![TokenKind::Ident("Weird Col".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(Lexer::new("'oops").tokenize().is_err());
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(Lexer::new("/* no end").tokenize().is_err());
+    }
+
+    #[test]
+    fn error_carries_offset() {
+        let err = Lexer::new("SELECT @").tokenize().unwrap_err();
+        assert_eq!(err.offset, 7);
+    }
+
+    #[test]
+    fn big_integer_degrades_to_float() {
+        assert_eq!(
+            kinds("99999999999999999999"),
+            vec![TokenKind::Float(1e20), TokenKind::Eof]
+        );
+    }
+}

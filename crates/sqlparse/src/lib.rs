@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! # gridrm-sqlparse
+//!
+//! A small, dependency-light SQL dialect used throughout GridRM-rs.
+//!
+//! The GridRM paper (§3) uses SQL as the single query language flowing from
+//! clients through the gateway down to every data-source driver: *"queries for
+//! resource data are submitted as SQL statements and pass down to the data
+//! source drivers in the same format"*. This crate supplies that substrate:
+//!
+//! * [`Lexer`] — tokeniser with source positions,
+//! * [`Parser`] — recursive-descent parser producing a typed [`ast`],
+//! * [`eval`] — three-valued-logic expression evaluator used by drivers and
+//!   the historical store to apply `WHERE` clauses,
+//! * [`SqlValue`] — the dynamic value type shared with `gridrm-dbc` result
+//!   sets.
+//!
+//! The dialect covers what GridRM needs: `SELECT` (projection, `WHERE`,
+//! `ORDER BY`, `LIMIT`), `INSERT`, `DELETE`, `CREATE TABLE`, and the usual
+//! scalar expression grammar (`AND`/`OR`/`NOT`, comparisons, arithmetic,
+//! `LIKE`, `IN`, `BETWEEN`, `IS [NOT] NULL`).
+
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+pub mod value;
+
+pub use ast::{ColumnDef, Expr, OrderBy, Projection, SelectItem, SelectStatement, Statement};
+pub use error::{ParseError, ParseResult};
+pub use eval::{EvalContext, EvalError, Evaluator, MapContext};
+pub use lexer::Lexer;
+pub use parser::Parser;
+pub use token::{Keyword, Token, TokenKind};
+pub use value::{SqlType, SqlValue};
+
+/// Parse a complete SQL statement from a string.
+///
+/// Convenience wrapper over [`Parser::parse_statement`].
+///
+/// ```
+/// let stmt = gridrm_sqlparse::parse("SELECT * FROM Processor WHERE Load1 > 0.5").unwrap();
+/// assert!(matches!(stmt, gridrm_sqlparse::Statement::Select(_)));
+/// ```
+pub fn parse(sql: &str) -> ParseResult<Statement> {
+    Parser::new(sql)?.parse_statement()
+}
+
+/// Parse a SQL scalar expression (e.g. a bare `WHERE` clause body).
+pub fn parse_expr(sql: &str) -> ParseResult<Expr> {
+    Parser::new(sql)?.parse_standalone_expr()
+}

@@ -1,0 +1,772 @@
+//! Recursive-descent parser producing the [`crate::ast`] types.
+
+use crate::ast::*;
+use crate::error::{ParseError, ParseResult};
+use crate::lexer::Lexer;
+use crate::token::{Keyword as K, Token, TokenKind as T};
+use crate::value::{SqlType, SqlValue};
+
+/// Recursive-descent SQL parser.
+///
+/// Construction lexes the entire input; parsing then walks the token stream.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Lex `sql` and prepare a parser over it.
+    pub fn new(sql: &str) -> ParseResult<Self> {
+        Ok(Parser {
+            tokens: Lexer::new(sql).tokenize()?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kind(&mut self, kind: &T) -> bool {
+        if &self.peek().kind == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: K) -> bool {
+        self.eat_kind(&T::Keyword(kw))
+    }
+
+    fn expect_kw(&mut self, kw: K) -> ParseResult<()> {
+        let t = self.peek();
+        if t.kind == T::Keyword(kw) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                format!("expected {kw}, found {}", t.kind),
+                t.offset,
+            ))
+        }
+    }
+
+    fn expect_kind(&mut self, kind: T) -> ParseResult<()> {
+        let t = self.peek();
+        if t.kind == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                format!("expected {kind}, found {}", t.kind),
+                t.offset,
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> ParseResult<String> {
+        let t = self.peek().clone();
+        match t.kind {
+            T::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            // Allow non-reserved-looking keywords as identifiers where
+            // unambiguous (e.g. a column named "key").
+            T::Keyword(K::Key) => {
+                self.bump();
+                Ok("Key".to_owned())
+            }
+            other => Err(ParseError::new(
+                format!("expected identifier, found {other}"),
+                t.offset,
+            )),
+        }
+    }
+
+    /// Parse exactly one statement, requiring EOF (an optional trailing `;`
+    /// is allowed).
+    pub fn parse_statement(&mut self) -> ParseResult<Statement> {
+        let stmt = self.parse_statement_inner()?;
+        self.eat_kind(&T::Semicolon);
+        let t = self.peek();
+        if t.kind != T::Eof {
+            return Err(ParseError::new(
+                format!("unexpected trailing input: {}", t.kind),
+                t.offset,
+            ));
+        }
+        Ok(stmt)
+    }
+
+    fn parse_statement_inner(&mut self) -> ParseResult<Statement> {
+        let t = self.peek().clone();
+        match t.kind {
+            T::Keyword(K::Select) => self.parse_select().map(Statement::Select),
+            T::Keyword(K::Insert) => self.parse_insert(),
+            T::Keyword(K::Delete) => self.parse_delete(),
+            T::Keyword(K::Update) => self.parse_update(),
+            T::Keyword(K::Create) => self.parse_create_table(),
+            T::Keyword(K::Drop) => self.parse_drop_table(),
+            other => Err(ParseError::new(
+                format!("expected a statement, found {other}"),
+                t.offset,
+            )),
+        }
+    }
+
+    /// Parse a standalone scalar expression (whole input).
+    pub fn parse_standalone_expr(&mut self) -> ParseResult<Expr> {
+        let e = self.parse_expr()?;
+        let t = self.peek();
+        if t.kind != T::Eof {
+            return Err(ParseError::new(
+                format!("unexpected trailing input: {}", t.kind),
+                t.offset,
+            ));
+        }
+        Ok(e)
+    }
+
+    fn parse_select(&mut self) -> ParseResult<SelectStatement> {
+        self.expect_kw(K::Select)?;
+        let distinct = self.eat_kw(K::Distinct);
+        let projection = if self.eat_kind(&T::Star) {
+            Projection::Star
+        } else {
+            let mut items = Vec::new();
+            loop {
+                let expr = self.parse_expr()?;
+                let alias = if self.eat_kw(K::As) {
+                    Some(self.expect_ident()?)
+                } else if let T::Ident(_) = self.peek().kind {
+                    // Implicit alias: `SELECT Load1 busy`.
+                    Some(self.expect_ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem { expr, alias });
+                if !self.eat_kind(&T::Comma) {
+                    break;
+                }
+            }
+            Projection::Items(items)
+        };
+        self.expect_kw(K::From)?;
+        let table = self.expect_ident()?;
+        let where_clause = if self.eat_kw(K::Where) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw(K::Order) {
+            self.expect_kw(K::By)?;
+            loop {
+                let expr = self.parse_expr()?;
+                let desc = if self.eat_kw(K::Desc) {
+                    true
+                } else {
+                    self.eat_kw(K::Asc);
+                    false
+                };
+                order_by.push(OrderBy { expr, desc });
+                if !self.eat_kind(&T::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw(K::Limit) {
+            Some(self.expect_u64()?)
+        } else {
+            None
+        };
+        let offset = if self.eat_kw(K::Offset) {
+            Some(self.expect_u64()?)
+        } else {
+            None
+        };
+        Ok(SelectStatement {
+            distinct,
+            projection,
+            table,
+            where_clause,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    fn expect_u64(&mut self) -> ParseResult<u64> {
+        let t = self.peek().clone();
+        match t.kind {
+            T::Int(i) if i >= 0 => {
+                self.bump();
+                Ok(i as u64)
+            }
+            other => Err(ParseError::new(
+                format!("expected non-negative integer, found {other}"),
+                t.offset,
+            )),
+        }
+    }
+
+    fn parse_insert(&mut self) -> ParseResult<Statement> {
+        self.expect_kw(K::Insert)?;
+        self.expect_kw(K::Into)?;
+        let table = self.expect_ident()?;
+        let mut columns = Vec::new();
+        if self.eat_kind(&T::LParen) {
+            loop {
+                columns.push(self.expect_ident()?);
+                if !self.eat_kind(&T::Comma) {
+                    break;
+                }
+            }
+            self.expect_kind(T::RParen)?;
+        }
+        self.expect_kw(K::Values)?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_kind(T::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.parse_expr()?);
+                if !self.eat_kind(&T::Comma) {
+                    break;
+                }
+            }
+            self.expect_kind(T::RParen)?;
+            rows.push(row);
+            if !self.eat_kind(&T::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+        })
+    }
+
+    fn parse_delete(&mut self) -> ParseResult<Statement> {
+        self.expect_kw(K::Delete)?;
+        self.expect_kw(K::From)?;
+        let table = self.expect_ident()?;
+        let where_clause = if self.eat_kw(K::Where) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete {
+            table,
+            where_clause,
+        })
+    }
+
+    fn parse_update(&mut self) -> ParseResult<Statement> {
+        self.expect_kw(K::Update)?;
+        let table = self.expect_ident()?;
+        self.expect_kw(K::Set)?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.expect_ident()?;
+            self.expect_kind(T::Eq)?;
+            let e = self.parse_expr()?;
+            assignments.push((col, e));
+            if !self.eat_kind(&T::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw(K::Where) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            assignments,
+            where_clause,
+        })
+    }
+
+    fn parse_create_table(&mut self) -> ParseResult<Statement> {
+        self.expect_kw(K::Create)?;
+        self.expect_kw(K::Table)?;
+        let if_not_exists = if self.eat_kw(K::If) {
+            self.expect_kw(K::Not)?;
+            self.expect_kw(K::Exists)?;
+            true
+        } else {
+            false
+        };
+        let table = self.expect_ident()?;
+        self.expect_kind(T::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let name = self.expect_ident()?;
+            let ty_tok = self.peek().clone();
+            let ty_name = self.expect_ident()?;
+            let ty = SqlType::parse(&ty_name).ok_or_else(|| {
+                ParseError::new(format!("unknown column type '{ty_name}'"), ty_tok.offset)
+            })?;
+            let mut primary_key = false;
+            if self.eat_kw(K::Primary) {
+                self.expect_kw(K::Key)?;
+                primary_key = true;
+            }
+            columns.push(ColumnDef {
+                name,
+                ty,
+                primary_key,
+            });
+            if !self.eat_kind(&T::Comma) {
+                break;
+            }
+        }
+        self.expect_kind(T::RParen)?;
+        Ok(Statement::CreateTable {
+            table,
+            columns,
+            if_not_exists,
+        })
+    }
+
+    fn parse_drop_table(&mut self) -> ParseResult<Statement> {
+        self.expect_kw(K::Drop)?;
+        self.expect_kw(K::Table)?;
+        let if_exists = if self.eat_kw(K::If) {
+            self.expect_kw(K::Exists)?;
+            true
+        } else {
+            false
+        };
+        let table = self.expect_ident()?;
+        Ok(Statement::DropTable { table, if_exists })
+    }
+
+    // --- expressions: precedence climbing -------------------------------
+
+    /// OR < AND < NOT < comparison/IN/BETWEEN/LIKE/IS < add < mul < unary.
+    pub fn parse_expr(&mut self) -> ParseResult<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> ParseResult<Expr> {
+        let mut lhs = self.parse_and()?;
+        while self.eat_kw(K::Or) {
+            let rhs = self.parse_and()?;
+            lhs = Expr::bin(lhs, BinaryOp::Or, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> ParseResult<Expr> {
+        let mut lhs = self.parse_not()?;
+        while self.eat_kw(K::And) {
+            let rhs = self.parse_not()?;
+            lhs = Expr::bin(lhs, BinaryOp::And, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> ParseResult<Expr> {
+        if self.eat_kw(K::Not) {
+            Ok(Expr::Not(Box::new(self.parse_not()?)))
+        } else {
+            self.parse_comparison()
+        }
+    }
+
+    fn parse_comparison(&mut self) -> ParseResult<Expr> {
+        let lhs = self.parse_additive()?;
+        let op = match &self.peek().kind {
+            T::Eq => Some(BinaryOp::Eq),
+            T::NotEq => Some(BinaryOp::NotEq),
+            T::Lt => Some(BinaryOp::Lt),
+            T::LtEq => Some(BinaryOp::LtEq),
+            T::Gt => Some(BinaryOp::Gt),
+            T::GtEq => Some(BinaryOp::GtEq),
+            T::Keyword(K::Like) => Some(BinaryOp::Like),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.parse_additive()?;
+            return Ok(Expr::bin(lhs, op, rhs));
+        }
+        // IS [NOT] NULL
+        if self.eat_kw(K::Is) {
+            let negated = self.eat_kw(K::Not);
+            self.expect_kw(K::Null)?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
+        }
+        // [NOT] IN / [NOT] BETWEEN / NOT LIKE
+        let negated = self.eat_kw(K::Not);
+        if self.eat_kw(K::In) {
+            self.expect_kind(T::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_expr()?);
+                if !self.eat_kind(&T::Comma) {
+                    break;
+                }
+            }
+            self.expect_kind(T::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(lhs),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw(K::Between) {
+            let low = self.parse_additive()?;
+            self.expect_kw(K::And)?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(lhs),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if negated {
+            if self.eat_kw(K::Like) {
+                let rhs = self.parse_additive()?;
+                return Ok(Expr::Not(Box::new(Expr::bin(lhs, BinaryOp::Like, rhs))));
+            }
+            let t = self.peek();
+            return Err(ParseError::new(
+                format!("expected IN, BETWEEN or LIKE after NOT, found {}", t.kind),
+                t.offset,
+            ));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_additive(&mut self) -> ParseResult<Expr> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek().kind {
+                T::Plus => BinaryOp::Add,
+                T::Minus => BinaryOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::bin(lhs, op, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> ParseResult<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek().kind {
+                T::Star => BinaryOp::Mul,
+                T::Slash => BinaryOp::Div,
+                T::Percent => BinaryOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::bin(lhs, op, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> ParseResult<Expr> {
+        if self.eat_kind(&T::Minus) {
+            // Fold negation of numeric literals so `-1` round-trips as a
+            // literal rather than `Neg(Literal(1))`.
+            let inner = self.parse_unary()?;
+            return Ok(match inner {
+                Expr::Literal(SqlValue::Int(i)) => Expr::Literal(SqlValue::Int(-i)),
+                Expr::Literal(SqlValue::Float(x)) => Expr::Literal(SqlValue::Float(-x)),
+                other => Expr::Neg(Box::new(other)),
+            });
+        }
+        if self.eat_kind(&T::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> ParseResult<Expr> {
+        let t = self.peek().clone();
+        match t.kind {
+            T::Int(i) => {
+                self.bump();
+                Ok(Expr::Literal(SqlValue::Int(i)))
+            }
+            T::Float(x) => {
+                self.bump();
+                Ok(Expr::Literal(SqlValue::Float(x)))
+            }
+            T::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(SqlValue::Str(s)))
+            }
+            T::Keyword(K::Null) => {
+                self.bump();
+                Ok(Expr::Literal(SqlValue::Null))
+            }
+            T::Keyword(K::True) => {
+                self.bump();
+                Ok(Expr::Literal(SqlValue::Bool(true)))
+            }
+            T::Keyword(K::False) => {
+                self.bump();
+                Ok(Expr::Literal(SqlValue::Bool(false)))
+            }
+            T::LParen => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect_kind(T::RParen)?;
+                Ok(e)
+            }
+            T::Ident(name) => {
+                self.bump();
+                // Function call?
+                if self.peek().kind == T::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    let mut star = false;
+                    if self.eat_kind(&T::Star) {
+                        star = true;
+                    } else if self.peek().kind != T::RParen {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat_kind(&T::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_kind(T::RParen)?;
+                    return Ok(Expr::Function {
+                        name: name.to_ascii_uppercase(),
+                        args,
+                        star,
+                    });
+                }
+                // Qualified column?
+                if self.eat_kind(&T::Dot) {
+                    let col = self.expect_ident()?;
+                    return Ok(Expr::Column {
+                        qualifier: Some(name),
+                        name: col,
+                    });
+                }
+                Ok(Expr::col(name))
+            }
+            other => Err(ParseError::new(
+                format!("expected an expression, found {other}"),
+                t.offset,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn parse_glue_group_query() {
+        // The exact example query from the paper, §3.2.3.
+        let stmt = parse("SELECT * FROM Processor").unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert_eq!(s.table, "Processor");
+                assert!(matches!(s.projection, Projection::Star));
+            }
+            _ => panic!("not a select"),
+        }
+    }
+
+    #[test]
+    fn parse_full_select() {
+        let stmt = parse(
+            "SELECT DISTINCT Hostname, Load1 AS busy FROM Processor \
+             WHERE Load1 > 0.5 AND Hostname LIKE 'node%' \
+             ORDER BY Load1 DESC, Hostname LIMIT 10 OFFSET 5",
+        )
+        .unwrap();
+        let Statement::Select(s) = stmt else {
+            panic!("not a select")
+        };
+        assert!(s.distinct);
+        assert_eq!(s.order_by.len(), 2);
+        assert!(s.order_by[0].desc);
+        assert!(!s.order_by[1].desc);
+        assert_eq!(s.limit, Some(10));
+        assert_eq!(s.offset, Some(5));
+    }
+
+    #[test]
+    fn precedence_or_and() {
+        let e = crate::parse_expr("a = 1 OR b = 2 AND c = 3").unwrap();
+        // Must parse as a=1 OR (b=2 AND c=3).
+        assert_eq!(e.to_string(), "((a = 1) OR ((b = 2) AND (c = 3)))");
+    }
+
+    #[test]
+    fn precedence_arithmetic() {
+        let e = crate::parse_expr("1 + 2 * 3 - 4 / 2").unwrap();
+        assert_eq!(e.to_string(), "((1 + (2 * 3)) - (4 / 2))");
+    }
+
+    #[test]
+    fn parse_in_between_isnull() {
+        let e = crate::parse_expr("x IN (1, 2, 3)").unwrap();
+        assert!(matches!(e, Expr::InList { negated: false, .. }));
+        let e = crate::parse_expr("x NOT IN (1)").unwrap();
+        assert!(matches!(e, Expr::InList { negated: true, .. }));
+        let e = crate::parse_expr("x BETWEEN 1 AND 10").unwrap();
+        assert!(matches!(e, Expr::Between { negated: false, .. }));
+        let e = crate::parse_expr("x IS NOT NULL").unwrap();
+        assert!(matches!(e, Expr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn parse_not_like() {
+        let e = crate::parse_expr("x NOT LIKE 'a%'").unwrap();
+        assert!(matches!(e, Expr::Not(_)));
+    }
+
+    #[test]
+    fn parse_function_calls() {
+        let e = crate::parse_expr("COUNT(*)").unwrap();
+        assert!(matches!(e, Expr::Function { star: true, .. }));
+        let e = crate::parse_expr("avg(Load1)").unwrap();
+        match e {
+            Expr::Function { name, args, star } => {
+                assert_eq!(name, "AVG");
+                assert_eq!(args.len(), 1);
+                assert!(!star);
+            }
+            _ => panic!("not a function"),
+        }
+    }
+
+    #[test]
+    fn parse_qualified_column() {
+        let e = crate::parse_expr("Processor.Load1").unwrap();
+        assert_eq!(
+            e,
+            Expr::Column {
+                qualifier: Some("Processor".into()),
+                name: "Load1".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parse_insert_multi_row() {
+        let stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        match stmt {
+            Statement::Insert { columns, rows, .. } => {
+                assert_eq!(columns, vec!["a", "b"]);
+                assert_eq!(rows.len(), 2);
+            }
+            _ => panic!("not an insert"),
+        }
+    }
+
+    #[test]
+    fn parse_create_and_drop() {
+        let stmt = parse(
+            "CREATE TABLE IF NOT EXISTS events (id INTEGER PRIMARY KEY, at TIMESTAMP, msg TEXT)",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateTable {
+                columns,
+                if_not_exists,
+                ..
+            } => {
+                assert!(if_not_exists);
+                assert_eq!(columns.len(), 3);
+                assert!(columns[0].primary_key);
+                assert_eq!(columns[1].ty, SqlType::Timestamp);
+            }
+            _ => panic!("not create"),
+        }
+        let stmt = parse("DROP TABLE IF EXISTS events").unwrap();
+        assert!(matches!(
+            stmt,
+            Statement::DropTable {
+                if_exists: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parse_update() {
+        let stmt = parse("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3").unwrap();
+        match stmt {
+            Statement::Update {
+                assignments,
+                where_clause,
+                ..
+            } => {
+                assert_eq!(assignments.len(), 2);
+                assert!(where_clause.is_some());
+            }
+            _ => panic!("not update"),
+        }
+    }
+
+    #[test]
+    fn parse_delete_without_where() {
+        let stmt = parse("DELETE FROM history").unwrap();
+        assert!(matches!(
+            stmt,
+            Statement::Delete {
+                where_clause: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("SELECT * FROM t garbage garbage").is_err());
+        assert!(parse("SELECT * FROM t; extra").is_err());
+    }
+
+    #[test]
+    fn trailing_semicolon_ok() {
+        assert!(parse("SELECT * FROM t;").is_ok());
+    }
+
+    #[test]
+    fn error_messages_carry_position() {
+        let err = parse("SELECT FROM").unwrap_err();
+        assert!(err.offset > 0);
+        assert!(err.message.contains("expected an expression"));
+    }
+
+    #[test]
+    fn unary_minus_and_plus() {
+        let e = crate::parse_expr("-3 + +4").unwrap();
+        assert_eq!(e.to_string(), "(-3 + 4)");
+        let e = crate::parse_expr("-x").unwrap();
+        assert!(matches!(e, Expr::Neg(_)));
+    }
+}

@@ -1,0 +1,210 @@
+//! Tokens produced by the [`crate::Lexer`].
+
+use std::fmt;
+
+/// SQL keywords recognised by the dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    And,
+    Or,
+    Not,
+    Insert,
+    Into,
+    Values,
+    Delete,
+    Update,
+    Set,
+    Create,
+    Table,
+    Order,
+    By,
+    Asc,
+    Desc,
+    Limit,
+    Offset,
+    Like,
+    In,
+    Is,
+    Null,
+    True,
+    False,
+    Between,
+    As,
+    Distinct,
+    Primary,
+    Key,
+    If,
+    Exists,
+    Drop,
+}
+
+impl Keyword {
+    /// Look up a keyword from an identifier, case-insensitively.
+    ///
+    /// Hot path of the lexer (called once per word), so the uppercase
+    /// comparison happens in a stack buffer instead of allocating.
+    pub fn lookup(ident: &str) -> Option<Keyword> {
+        use Keyword::*;
+        // The longest keyword ("DISTINCT") is 8 bytes.
+        if ident.len() > 8 || !ident.is_ascii() {
+            return None;
+        }
+        let mut buf = [0u8; 8];
+        for (slot, b) in buf.iter_mut().zip(ident.bytes()) {
+            *slot = b.to_ascii_uppercase();
+        }
+        let up = std::str::from_utf8(&buf[..ident.len()]).expect("ASCII verified");
+        Some(match up {
+            "SELECT" => Select,
+            "FROM" => From,
+            "WHERE" => Where,
+            "AND" => And,
+            "OR" => Or,
+            "NOT" => Not,
+            "INSERT" => Insert,
+            "INTO" => Into,
+            "VALUES" => Values,
+            "DELETE" => Delete,
+            "UPDATE" => Update,
+            "SET" => Set,
+            "CREATE" => Create,
+            "TABLE" => Table,
+            "ORDER" => Order,
+            "BY" => By,
+            "ASC" => Asc,
+            "DESC" => Desc,
+            "LIMIT" => Limit,
+            "OFFSET" => Offset,
+            "LIKE" => Like,
+            "IN" => In,
+            "IS" => Is,
+            "NULL" => Null,
+            "TRUE" => True,
+            "FALSE" => False,
+            "BETWEEN" => Between,
+            "AS" => As,
+            "DISTINCT" => Distinct,
+            "PRIMARY" => Primary,
+            "KEY" => Key,
+            "IF" => If,
+            "EXISTS" => Exists,
+            "DROP" => Drop,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format!("{self:?}").to_ascii_uppercase())
+    }
+}
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A keyword such as `SELECT`.
+    Keyword(Keyword),
+    /// An identifier (table, column, function name).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*` (also used for `SELECT *`)
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(i) => write!(f, "{i}"),
+            TokenKind::Float(x) => write!(f, "{x}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::Eq => f.write_str("="),
+            TokenKind::NotEq => f.write_str("<>"),
+            TokenKind::Lt => f.write_str("<"),
+            TokenKind::LtEq => f.write_str("<="),
+            TokenKind::Gt => f.write_str(">"),
+            TokenKind::GtEq => f.write_str(">="),
+            TokenKind::Plus => f.write_str("+"),
+            TokenKind::Minus => f.write_str("-"),
+            TokenKind::Star => f.write_str("*"),
+            TokenKind::Slash => f.write_str("/"),
+            TokenKind::Percent => f.write_str("%"),
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::Dot => f.write_str("."),
+            TokenKind::Semicolon => f.write_str(";"),
+            TokenKind::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A token with its byte offset in the source string (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Byte offset of the first character in the original source.
+    pub offset: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_is_case_insensitive() {
+        assert_eq!(Keyword::lookup("select"), Some(Keyword::Select));
+        assert_eq!(Keyword::lookup("SeLeCt"), Some(Keyword::Select));
+        assert_eq!(Keyword::lookup("processor"), None);
+    }
+
+    #[test]
+    fn keyword_display_is_uppercase() {
+        assert_eq!(Keyword::Select.to_string(), "SELECT");
+        assert_eq!(Keyword::Between.to_string(), "BETWEEN");
+    }
+}

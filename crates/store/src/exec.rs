@@ -1,0 +1,481 @@
+//! Statement execution against a [`crate::Database`].
+
+use crate::table::{StoreError, Table};
+use gridrm_dbc::{ColumnMeta, ResultSetMetaData, RowSet};
+use gridrm_sqlparse::ast::{Expr, Projection, SelectStatement, Statement};
+use gridrm_sqlparse::eval::is_aggregate;
+use gridrm_sqlparse::{EvalContext, Evaluator, SqlType, SqlValue};
+
+/// The result of executing a statement.
+#[derive(Debug)]
+pub enum ExecOutcome {
+    /// `SELECT` produced rows.
+    Rows(RowSet),
+    /// DML affected this many rows.
+    Affected(usize),
+    /// DDL succeeded.
+    Done,
+}
+
+impl ExecOutcome {
+    /// Unwrap the row set (panics on DML/DDL outcomes — test helper).
+    pub fn rows(self) -> RowSet {
+        match self {
+            ExecOutcome::Rows(r) => r,
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    /// The affected-row count, if DML.
+    pub fn affected(&self) -> Option<usize> {
+        match self {
+            ExecOutcome::Affected(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Run a `SELECT` over an ad-hoc in-memory table.
+///
+/// This is the query-execution engine the data-source drivers reuse: after
+/// translating native agent data into GLUE rows, a driver builds a
+/// transient [`Table`] (columns = the GLUE group's attributes) and lets
+/// this function apply `WHERE`/projection/`ORDER BY`/`LIMIT`/aggregates —
+/// so every driver supports full SELECT semantics for free.
+pub fn select_in_memory(
+    table: &Table,
+    sel: &SelectStatement,
+    now: i64,
+) -> Result<RowSet, StoreError> {
+    execute_select(table, sel, now)
+}
+
+/// Row context over a table's columns.
+struct RowCtx<'a> {
+    table: &'a Table,
+    row: &'a [SqlValue],
+    now: i64,
+}
+
+impl EvalContext for RowCtx<'_> {
+    fn get(&self, column: &str) -> Option<SqlValue> {
+        self.table.column_index(column).map(|i| self.row[i].clone())
+    }
+    fn now_millis(&self) -> i64 {
+        self.now
+    }
+}
+
+/// Execute a SELECT against one table.
+pub(crate) fn execute_select(
+    table: &Table,
+    sel: &SelectStatement,
+    now: i64,
+) -> Result<RowSet, StoreError> {
+    let ev = Evaluator;
+
+    // 1. filter
+    let mut matching: Vec<&Vec<SqlValue>> = Vec::new();
+    for row in &table.rows {
+        let ctx = RowCtx { table, row, now };
+        let keep = match &sel.where_clause {
+            Some(w) => ev
+                .matches(w, &ctx)
+                .map_err(|e| StoreError::Query(e.to_string()))?,
+            None => true,
+        };
+        if keep {
+            matching.push(row);
+        }
+    }
+
+    // 2. aggregate or project
+    let items: Vec<(Expr, String)> = match &sel.projection {
+        Projection::Star => table
+            .columns
+            .iter()
+            .map(|c| (Expr::col(c.name.clone()), c.name.clone()))
+            .collect(),
+        Projection::Items(items) => items
+            .iter()
+            .map(|i| (i.expr.clone(), i.output_name()))
+            .collect(),
+    };
+
+    let has_aggregate = items.iter().any(|(e, _)| contains_aggregate(e));
+    if has_aggregate {
+        let row: Vec<SqlValue> = items
+            .iter()
+            .map(|(e, _)| eval_aggregate(table, &matching, e, now))
+            .collect::<Result<_, _>>()?;
+        let meta = ResultSetMetaData::new(
+            items
+                .iter()
+                .zip(&row)
+                .map(|((_, name), v)| ColumnMeta::new(name.clone(), v.sql_type()))
+                .collect(),
+        );
+        return RowSet::new(meta, vec![row]).map_err(|e| StoreError::Query(e.to_string()));
+    }
+
+    // 3. order by (on the raw rows, before projection, like SQL).
+    let mut ordered: Vec<&Vec<SqlValue>> = matching;
+    if !sel.order_by.is_empty() {
+        let mut keyed: Vec<(Vec<SqlValue>, &Vec<SqlValue>)> = Vec::with_capacity(ordered.len());
+        for row in ordered {
+            let ctx = RowCtx { table, row, now };
+            let mut keys = Vec::with_capacity(sel.order_by.len());
+            for ob in &sel.order_by {
+                keys.push(
+                    ev.eval(&ob.expr, &ctx)
+                        .map_err(|e| StoreError::Query(e.to_string()))?,
+                );
+            }
+            keyed.push((keys, row));
+        }
+        keyed.sort_by(|(ka, _), (kb, _)| {
+            for (i, ob) in sel.order_by.iter().enumerate() {
+                let ord = ka[i].total_cmp(&kb[i]);
+                let ord = if ob.desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        ordered = keyed.into_iter().map(|(_, r)| r).collect();
+    }
+
+    // 4. project
+    let mut out_rows: Vec<Vec<SqlValue>> = Vec::with_capacity(ordered.len());
+    for row in &ordered {
+        let ctx = RowCtx { table, row, now };
+        let mut out = Vec::with_capacity(items.len());
+        for (e, _) in &items {
+            out.push(
+                ev.eval(e, &ctx)
+                    .map_err(|err| StoreError::Query(err.to_string()))?,
+            );
+        }
+        out_rows.push(out);
+    }
+
+    // 5. distinct
+    if sel.distinct {
+        let mut seen: Vec<Vec<SqlValue>> = Vec::new();
+        out_rows.retain(|row| {
+            if seen.iter().any(|s| s == row) {
+                false
+            } else {
+                seen.push(row.clone());
+                true
+            }
+        });
+    }
+
+    // 6. offset / limit
+    let offset = sel.offset.unwrap_or(0) as usize;
+    if offset > 0 {
+        out_rows.drain(..offset.min(out_rows.len()));
+    }
+    if let Some(limit) = sel.limit {
+        out_rows.truncate(limit as usize);
+    }
+
+    // 7. metadata: take declared column types where the projection is a
+    // plain column, otherwise infer from the first row.
+    let meta = ResultSetMetaData::new(
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, (e, name))| {
+                let ty = match e {
+                    Expr::Column { name: c, .. } => table
+                        .column_index(c)
+                        .map(|idx| table.columns[idx].ty)
+                        .unwrap_or(SqlType::Null),
+                    _ => out_rows
+                        .first()
+                        .map(|r| r[i].sql_type())
+                        .unwrap_or(SqlType::Null),
+                };
+                ColumnMeta::new(name.clone(), ty).with_table(table.name.clone())
+            })
+            .collect(),
+    );
+    RowSet::new(meta, out_rows).map_err(|e| StoreError::Query(e.to_string()))
+}
+
+fn contains_aggregate(e: &Expr) -> bool {
+    match e {
+        Expr::Function { name, args, .. } => {
+            is_aggregate(name) || args.iter().any(contains_aggregate)
+        }
+        Expr::Binary { left, right, .. } => contains_aggregate(left) || contains_aggregate(right),
+        Expr::Not(e) | Expr::Neg(e) => contains_aggregate(e),
+        Expr::IsNull { expr, .. } => contains_aggregate(expr),
+        Expr::InList { expr, list, .. } => {
+            contains_aggregate(expr) || list.iter().any(contains_aggregate)
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => contains_aggregate(expr) || contains_aggregate(low) || contains_aggregate(high),
+        _ => false,
+    }
+}
+
+fn eval_aggregate(
+    table: &Table,
+    rows: &[&Vec<SqlValue>],
+    e: &Expr,
+    now: i64,
+) -> Result<SqlValue, StoreError> {
+    match e {
+        Expr::Function { name, args, star } if is_aggregate(name) => {
+            if *star {
+                if name == "COUNT" {
+                    return Ok(SqlValue::Int(rows.len() as i64));
+                }
+                return Err(StoreError::Unsupported(format!("{name}(*)")));
+            }
+            let arg = args
+                .first()
+                .ok_or_else(|| StoreError::Query(format!("{name} needs an argument")))?;
+            let ev = Evaluator;
+            let mut values = Vec::with_capacity(rows.len());
+            for row in rows {
+                let ctx = RowCtx { table, row, now };
+                let v = ev
+                    .eval(arg, &ctx)
+                    .map_err(|err| StoreError::Query(err.to_string()))?;
+                if !v.is_null() {
+                    values.push(v);
+                }
+            }
+            Ok(match name.as_str() {
+                "COUNT" => SqlValue::Int(values.len() as i64),
+                "SUM" => {
+                    if values.is_empty() {
+                        SqlValue::Null
+                    } else if values.iter().all(|v| matches!(v, SqlValue::Int(_))) {
+                        SqlValue::Int(values.iter().filter_map(SqlValue::as_i64).sum())
+                    } else {
+                        SqlValue::Float(values.iter().filter_map(SqlValue::as_f64).sum())
+                    }
+                }
+                "AVG" => {
+                    if values.is_empty() {
+                        SqlValue::Null
+                    } else {
+                        let sum: f64 = values.iter().filter_map(SqlValue::as_f64).sum();
+                        SqlValue::Float(sum / values.len() as f64)
+                    }
+                }
+                "MIN" => values
+                    .into_iter()
+                    .min_by(|a, b| a.total_cmp(b))
+                    .unwrap_or(SqlValue::Null),
+                "MAX" => values
+                    .into_iter()
+                    .max_by(|a, b| a.total_cmp(b))
+                    .unwrap_or(SqlValue::Null),
+                other => return Err(StoreError::Unsupported(other.to_owned())),
+            })
+        }
+        // Scalar wrapper around an aggregate, e.g. `AVG(x) * 2`: evaluate
+        // the aggregate sub-expressions first via substitution.
+        Expr::Binary { left, op, right } => {
+            let l = eval_aggregate(table, rows, left, now)?;
+            let r = eval_aggregate(table, rows, right, now)?;
+            let ev = Evaluator;
+            let expr = Expr::bin(Expr::Literal(l), *op, Expr::Literal(r));
+            ev.eval(&expr, &gridrm_sqlparse::MapContext::new())
+                .map_err(|err| StoreError::Query(err.to_string()))
+        }
+        Expr::Literal(v) => Ok(v.clone()),
+        other => {
+            if contains_aggregate(other) {
+                Err(StoreError::Unsupported(
+                    "complex aggregate expression".to_owned(),
+                ))
+            } else {
+                // Non-aggregate item alongside aggregates: evaluate against
+                // the first row, SQLite-style leniency.
+                let ev = Evaluator;
+                match rows.first() {
+                    Some(row) => ev
+                        .eval(other, &RowCtx { table, row, now })
+                        .map_err(|err| StoreError::Query(err.to_string())),
+                    None => Ok(SqlValue::Null),
+                }
+            }
+        }
+    }
+}
+
+/// Execute any statement against a database (crate-internal; the public
+/// entry is [`crate::Database::execute`]).
+pub(crate) fn execute(
+    db: &mut crate::database::Database,
+    stmt: &Statement,
+    now: i64,
+) -> Result<ExecOutcome, StoreError> {
+    match stmt {
+        Statement::Select(sel) => {
+            let table = db.table(&sel.table)?;
+            Ok(ExecOutcome::Rows(execute_select(table, sel, now)?))
+        }
+        Statement::Insert {
+            table,
+            columns,
+            rows,
+        } => {
+            let ev = Evaluator;
+            let empty = gridrm_sqlparse::MapContext::new().with_now(now);
+            // Evaluate all value expressions before touching the table so a
+            // failure can't leave a partial multi-row insert behind.
+            let mut evaluated = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut vals = Vec::with_capacity(row.len());
+                for e in row {
+                    vals.push(
+                        ev.eval(e, &empty)
+                            .map_err(|err| StoreError::Query(err.to_string()))?,
+                    );
+                }
+                evaluated.push(vals);
+            }
+            let t = db.table_mut(table)?;
+            let snapshot_len = t.rows.len();
+            let mut inserted = 0;
+            for vals in evaluated {
+                if let Err(e) = t.insert(columns, vals) {
+                    t.rows.truncate(snapshot_len);
+                    return Err(e);
+                }
+                inserted += 1;
+            }
+            Ok(ExecOutcome::Affected(inserted))
+        }
+        Statement::Delete {
+            table,
+            where_clause,
+        } => {
+            let t = db.table_mut(table)?;
+            let ev = Evaluator;
+            let before = t.rows.len();
+            match where_clause {
+                None => t.rows.clear(),
+                Some(w) => {
+                    let mut err = None;
+                    let t_ref: &Table = t;
+                    let keep: Vec<bool> = t_ref
+                        .rows
+                        .iter()
+                        .map(|row| {
+                            let ctx = RowCtx {
+                                table: t_ref,
+                                row,
+                                now,
+                            };
+                            match ev.matches(w, &ctx) {
+                                Ok(m) => !m,
+                                Err(e) => {
+                                    err = Some(StoreError::Query(e.to_string()));
+                                    true
+                                }
+                            }
+                        })
+                        .collect();
+                    if let Some(e) = err {
+                        return Err(e);
+                    }
+                    let mut it = keep.iter();
+                    t.rows.retain(|_| *it.next().unwrap());
+                }
+            }
+            Ok(ExecOutcome::Affected(before - t.rows.len()))
+        }
+        Statement::Update {
+            table,
+            assignments,
+            where_clause,
+        } => {
+            let t = db.table_mut(table)?;
+            let ev = Evaluator;
+            // Resolve assignment target indices first.
+            let targets: Vec<(usize, &Expr)> = assignments
+                .iter()
+                .map(|(c, e)| {
+                    t.column_index(c)
+                        .map(|i| (i, e))
+                        .ok_or_else(|| StoreError::NoSuchColumn(c.clone()))
+                })
+                .collect::<Result<_, _>>()?;
+            let mut updated = 0;
+            let columns = t.columns.clone();
+            let name = t.name.clone();
+            for row in &mut t.rows {
+                let snapshot_table = Table {
+                    name: name.clone(),
+                    columns: columns.clone(),
+                    rows: Vec::new(),
+                };
+                let ctx = RowCtx {
+                    table: &snapshot_table,
+                    row,
+                    now,
+                };
+                // RowCtx::get goes through column_index on the snapshot
+                // (same columns), row data borrowed directly.
+                let matches = match where_clause {
+                    Some(w) => ev
+                        .matches(w, &ctx)
+                        .map_err(|e| StoreError::Query(e.to_string()))?,
+                    None => true,
+                };
+                if !matches {
+                    continue;
+                }
+                let mut new_vals = Vec::with_capacity(targets.len());
+                for (idx, e) in &targets {
+                    let v = ev
+                        .eval(e, &ctx)
+                        .map_err(|err| StoreError::Query(err.to_string()))?;
+                    let col = &columns[*idx];
+                    let coerced = v.coerce(col.ty).ok_or_else(|| StoreError::Type {
+                        column: col.name.clone(),
+                        expected: col.ty,
+                    })?;
+                    new_vals.push((*idx, coerced));
+                }
+                for (idx, v) in new_vals {
+                    row[idx] = v;
+                }
+                updated += 1;
+            }
+            Ok(ExecOutcome::Affected(updated))
+        }
+        Statement::CreateTable {
+            table,
+            columns,
+            if_not_exists,
+        } => {
+            if db.has_table(table) {
+                if *if_not_exists {
+                    return Ok(ExecOutcome::Done);
+                }
+                return Err(StoreError::TableExists(table.clone()));
+            }
+            db.create_table(Table::new(table, columns.clone()));
+            Ok(ExecOutcome::Done)
+        }
+        Statement::DropTable { table, if_exists } => {
+            if db.drop_table(table) || *if_exists {
+                Ok(ExecOutcome::Done)
+            } else {
+                Err(StoreError::NoSuchTable(table.clone()))
+            }
+        }
+    }
+}

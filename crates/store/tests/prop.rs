@@ -1,0 +1,161 @@
+//! Property tests: the store's query engine agrees with naive reference
+//! computations over the same rows.
+
+use gridrm_sqlparse::SqlValue;
+use gridrm_store::Database;
+use proptest::prelude::*;
+
+fn db_with_rows(rows: &[(i64, f64, &str)]) -> Database {
+    let mut db = Database::new();
+    db.execute_sql("CREATE TABLE t (id INTEGER, v REAL, tag TEXT)", 0)
+        .unwrap();
+    for (id, v, tag) in rows {
+        db.execute_sql(&format!("INSERT INTO t VALUES ({id}, {v}, '{tag}')"), 0)
+            .unwrap();
+    }
+    db
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<(i64, f64, &'static str)>> {
+    prop::collection::vec(
+        (
+            0i64..1000,
+            -100.0f64..100.0,
+            prop::sample::select(vec!["a", "b", "c"]),
+        ),
+        0..40,
+    )
+}
+
+proptest! {
+    /// WHERE v > t matches a manual filter.
+    #[test]
+    fn where_matches_reference(rows in arb_rows(), threshold in -100.0f64..100.0) {
+        let mut db = db_with_rows(&rows);
+        let got = db
+            .execute_sql(&format!("SELECT COUNT(*) FROM t WHERE v > {threshold}"), 0)
+            .unwrap()
+            .rows();
+        let expected = rows.iter().filter(|(_, v, _)| *v > threshold).count() as i64;
+        prop_assert_eq!(&got.rows()[0][0], &SqlValue::Int(expected));
+    }
+
+    /// ORDER BY v ASC yields a non-decreasing sequence with the same
+    /// multiset of values.
+    #[test]
+    fn order_by_sorts(rows in arb_rows()) {
+        let mut db = db_with_rows(&rows);
+        let got = db
+            .execute_sql("SELECT v FROM t ORDER BY v", 0)
+            .unwrap()
+            .rows();
+        let values: Vec<f64> = got.rows().iter().map(|r| r[0].as_f64().unwrap()).collect();
+        for w in values.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        let mut expected: Vec<f64> = rows.iter().map(|(_, v, _)| *v).collect();
+        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(values.len(), expected.len());
+        for (a, b) in values.iter().zip(&expected) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// LIMIT/OFFSET slice like a vector slice.
+    #[test]
+    fn limit_offset_slices(rows in arb_rows(), limit in 0u64..20, offset in 0u64..20) {
+        let mut db = db_with_rows(&rows);
+        let got = db
+            .execute_sql(
+                &format!("SELECT id FROM t ORDER BY id, v LIMIT {limit} OFFSET {offset}"),
+                0,
+            )
+            .unwrap()
+            .rows();
+        let mut expected: Vec<i64> = rows.iter().map(|(id, _, _)| *id).collect();
+        expected.sort();
+        let lo = (offset as usize).min(expected.len());
+        let hi = (lo + limit as usize).min(expected.len());
+        let expected = &expected[lo..hi];
+        let got_ids: Vec<i64> = got.rows().iter().map(|r| r[0].as_i64().unwrap()).collect();
+        prop_assert_eq!(got_ids, expected.to_vec());
+    }
+
+    /// SUM/AVG/MIN/MAX agree with manual computation.
+    #[test]
+    fn aggregates_match_reference(rows in arb_rows()) {
+        prop_assume!(!rows.is_empty());
+        let mut db = db_with_rows(&rows);
+        let got = db
+            .execute_sql("SELECT SUM(v), AVG(v), MIN(v), MAX(v) FROM t", 0)
+            .unwrap()
+            .rows();
+        let vs: Vec<f64> = rows.iter().map(|(_, v, _)| *v).collect();
+        let sum: f64 = vs.iter().sum();
+        let avg = sum / vs.len() as f64;
+        let min = vs.iter().cloned().fold(f64::MAX, f64::min);
+        let max = vs.iter().cloned().fold(f64::MIN, f64::max);
+        let row = &got.rows()[0];
+        prop_assert!((row[0].as_f64().unwrap() - sum).abs() < 1e-6);
+        prop_assert!((row[1].as_f64().unwrap() - avg).abs() < 1e-6);
+        prop_assert!((row[2].as_f64().unwrap() - min).abs() < 1e-12);
+        prop_assert!((row[3].as_f64().unwrap() - max).abs() < 1e-12);
+    }
+
+    /// DELETE + COUNT bookkeeping: rows deleted + rows remaining = total.
+    #[test]
+    fn delete_conserves_rows(rows in arb_rows(), threshold in -100.0f64..100.0) {
+        let mut db = db_with_rows(&rows);
+        let deleted = db
+            .execute_sql(&format!("DELETE FROM t WHERE v <= {threshold}"), 0)
+            .unwrap()
+            .affected()
+            .unwrap();
+        let remaining = db
+            .execute_sql("SELECT COUNT(*) FROM t", 0)
+            .unwrap()
+            .rows()
+            .rows()[0][0]
+            .as_i64()
+            .unwrap() as usize;
+        prop_assert_eq!(deleted + remaining, rows.len());
+        // Everything left satisfies the negated predicate.
+        let still_bad = db
+            .execute_sql(&format!("SELECT COUNT(*) FROM t WHERE v <= {threshold}"), 0)
+            .unwrap()
+            .rows();
+        prop_assert_eq!(&still_bad.rows()[0][0], &SqlValue::Int(0));
+    }
+
+    /// UPDATE affects exactly the rows the predicate selects.
+    #[test]
+    fn update_targets_predicate(rows in arb_rows(), tag in prop::sample::select(vec!["a", "b", "c"])) {
+        let mut db = db_with_rows(&rows);
+        let updated = db
+            .execute_sql(&format!("UPDATE t SET v = 0 WHERE tag = '{tag}'"), 0)
+            .unwrap()
+            .affected()
+            .unwrap();
+        let expected = rows.iter().filter(|(_, _, t)| *t == tag).count();
+        prop_assert_eq!(updated, expected);
+        let zeros = db
+            .execute_sql(&format!("SELECT COUNT(*) FROM t WHERE tag = '{tag}' AND v = 0"), 0)
+            .unwrap()
+            .rows();
+        prop_assert_eq!(&zeros.rows()[0][0], &SqlValue::Int(expected as i64));
+    }
+
+    /// DISTINCT returns the set of distinct tags.
+    #[test]
+    fn distinct_matches_set(rows in arb_rows()) {
+        let mut db = db_with_rows(&rows);
+        let got = db
+            .execute_sql("SELECT DISTINCT tag FROM t", 0)
+            .unwrap()
+            .rows();
+        let mut expected: Vec<&str> = rows.iter().map(|(_, _, t)| *t).collect();
+        expected.sort();
+        expected.dedup();
+        prop_assert_eq!(got.len(), expected.len());
+    }
+}

@@ -1,0 +1,137 @@
+//! Threshold monitoring and historical analysis (Fig 4 + Fig 9): poll a
+//! site on a schedule, fire alert rules and SNMP traps into the Event
+//! Manager, and plot an attribute's history as an ASCII sparkline —
+//! the "click icon to plot historical/current values" hook of Fig 9.
+//!
+//! Run with: `cargo run --example alert_watch`
+
+use gridrm::prelude::*;
+
+fn sparkline(series: &[(i64, f64)]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if series.is_empty() {
+        return String::new();
+    }
+    let (mut lo, mut hi) = (f64::MAX, f64::MIN);
+    for (_, v) in series {
+        lo = lo.min(*v);
+        hi = hi.max(*v);
+    }
+    let span = (hi - lo).max(1e-9);
+    series
+        .iter()
+        .map(|(_, v)| BARS[(((v - lo) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+fn main() {
+    let net = Network::new(SimClock::new(), 77);
+    let site = SiteModel::generate(55, &SiteSpec::new("farm", 4, 2));
+    site.advance_to(60_000);
+    let agents = deploy_site(&net, site.clone());
+    let gateway = Gateway::new(GatewayConfig::new("gw-farm", "farm"), net.clone());
+    install_into_gateway(&gateway);
+
+    // Alert rules (Fig 9: "Threshold exceeded. Event transmitted").
+    gateway.alerts().add_rule(AlertRule {
+        name: "load-critical".into(),
+        group: "Processor".into(),
+        attr: "Load1".into(),
+        cmp: Comparison::Gt,
+        threshold: 3.0,
+        severity: Severity::Critical,
+        category: "cpu.load.critical".into(),
+    });
+    gateway.alerts().add_rule(AlertRule {
+        name: "memory-low".into(),
+        group: "MainMemory".into(),
+        attr: "RAMAvailableMB".into(),
+        cmp: Comparison::Lt,
+        threshold: 256.0,
+        severity: Severity::Warning,
+        category: "mem.low".into(),
+    });
+    // SNMP traps from the agents themselves.
+    for a in &agents.snmp {
+        a.set_trap_sink(net.clone(), "gw.farm", 3.5);
+    }
+
+    let (_, alerts_rx) = gateway.events().register_listener(ListenerFilter {
+        min_severity: Some(Severity::Warning),
+        ..Default::default()
+    });
+
+    let sources: Vec<String> = site
+        .hostnames()
+        .iter()
+        .map(|h| format!("jdbc:snmp://{h}/public"))
+        .collect();
+    let src_refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+
+    // Monitoring loop: poll every 30 virtual seconds for 20 minutes,
+    // injecting one load spike halfway through.
+    println!(
+        "polling {} hosts every 30 s of virtual time...\n",
+        sources.len()
+    );
+    let mut alerts_seen = 0usize;
+    for step in 1..=40u64 {
+        let t = 60_000 + step * 30_000;
+        site.advance_to(t);
+        if step == 20 {
+            println!(
+                "-- injecting load spike on node02.farm at t={}s --\n",
+                t / 1000
+            );
+            site.inject_load_spike("node02.farm", 9.0);
+            site.advance_to(t + 1000);
+        }
+        gateway
+            .query(
+                &ClientRequest::realtime("", "SELECT Hostname, Load1 FROM Processor")
+                    .with_sources(&src_refs),
+            )
+            .expect("poll failed");
+        gateway
+            .query(
+                &ClientRequest::realtime("", "SELECT Hostname, RAMAvailableMB FROM MainMemory")
+                    .with_sources(&src_refs),
+            )
+            .expect("poll failed");
+        agents.pump();
+        gateway.pump();
+        for e in alerts_rx.try_iter() {
+            alerts_seen += 1;
+            println!(
+                "t={:>5}s  ALERT [{}] {}",
+                t / 1000,
+                e.severity.name(),
+                e.message
+            );
+        }
+    }
+    println!("\n{alerts_seen} alert(s) raised during the run\n");
+
+    // Historical plotting per host (Fig 9's plot icon).
+    println!("Load1 history per host (20 virtual minutes):");
+    for host in site.hostnames() {
+        let source = format!("jdbc:snmp://{host}/public");
+        let series = gateway
+            .history()
+            .series(&source, "Processor", &host, "Load1")
+            .expect("history query failed");
+        let latest = series.last().map(|(_, v)| *v).unwrap_or(0.0);
+        println!("  {host:<14} {:>5.2}  {}", latest, sparkline(&series));
+    }
+
+    // SQL over the events table.
+    let resp = gateway
+        .query(&ClientRequest::historical(
+            "SELECT severity, category, COUNT(*) AS n FROM events WHERE severity = 'critical'",
+        ))
+        .expect("event query failed");
+    println!(
+        "\ncritical events recorded:\n{}",
+        resp.rows.to_table_string()
+    );
+}

@@ -1,0 +1,134 @@
+//! Fig 1 in action: a three-site Grid, one gateway per site, a GMA
+//! directory, and a client that connects to a single gateway yet monitors
+//! the whole Grid — with events propagating between sites.
+//!
+//! Run with: `cargo run --example multi_site_monitor`
+
+use gridrm::prelude::*;
+use std::sync::atomic::Ordering;
+
+fn main() {
+    let net = Network::new(SimClock::new(), 2003);
+    let directory = GmaDirectory::new();
+
+    // Three sites, each with agents and a gateway attached to the Global
+    // layer.
+    let mut sites = Vec::new();
+    for (i, name) in ["portsmouth", "lecce", "ncsa"].iter().enumerate() {
+        let model = SiteModel::generate(100 + i as u64, &SiteSpec::new(name, 3, 4));
+        model.advance_to(15 * 60_000);
+        let agents = deploy_site(&net, model.clone());
+        let gateway = Gateway::new(GatewayConfig::new(&format!("gw-{name}"), name), net.clone());
+        install_into_gateway(&gateway);
+        let layer = GlobalLayer::attach(gateway.clone(), directory.clone());
+        layer.enable_event_propagation(Severity::Warning);
+        sites.push((model, agents, gateway, layer));
+    }
+    // WAN latencies between the gateways.
+    for a in ["gw.portsmouth:gma", "gw.lecce:gma", "gw.ncsa:gma"] {
+        for b in ["gw.portsmouth:gma", "gw.lecce:gma", "gw.ncsa:gma"] {
+            if a != b {
+                net.set_latency(a, b, gridrm::simnet::Latency::ms(35, 10));
+            }
+        }
+    }
+
+    println!("GMA directory:");
+    for p in directory.producers() {
+        println!(
+            "  producer {:<14} site {:<11} endpoint {}",
+            p.gateway, p.site, p.gma_address
+        );
+    }
+    println!();
+
+    // The client talks ONLY to the Portsmouth gateway.
+    let (_, _, _, portal) = &sites[0];
+
+    // One consolidated query spanning every site (§1.1: "seamless and
+    // transparent client access to information").
+    let resp = portal
+        .query(
+            &ClientRequest::realtime(
+                "",
+                "SELECT Hostname, NCpu, Load1, Load15 FROM Processor ORDER BY Hostname",
+            )
+            .with_sources(&[
+                "jdbc:ganglia://node00.portsmouth/portsmouth",
+                "jdbc:ganglia://node00.lecce/lecce",
+                "jdbc:ganglia://node00.ncsa/ncsa",
+            ]),
+        )
+        .expect("grid-wide query failed");
+    println!(
+        "Grid-wide processor view through gw-portsmouth ({} rows):\n",
+        resp.rows.len()
+    );
+    println!("{}", resp.rows.to_table_string());
+    println!(
+        "remote queries sent by gw-portsmouth: {}",
+        portal.stats().remote_queries_out.load(Ordering::Relaxed)
+    );
+
+    // Site-level compute summaries via the SCMS ComputeElement group.
+    let resp = portal
+        .query(
+            &ClientRequest::realtime(
+                "",
+                "SELECT SiteName, TotalCpus, FreeCpus, RunningJobs FROM ComputeElement \
+                 ORDER BY SiteName",
+            )
+            .with_sources(&[
+                "jdbc:scms://node00.portsmouth/",
+                "jdbc:scms://node00.lecce/",
+                "jdbc:scms://node00.ncsa/",
+            ]),
+        )
+        .expect("compute-element query failed");
+    println!("\nPer-site compute summary:\n");
+    println!("{}", resp.rows.to_table_string());
+
+    // Event propagation: a trap at NCSA reaches a listener in Portsmouth.
+    let (_, rx) = sites[0].2.events().register_listener(ListenerFilter {
+        min_severity: Some(Severity::Warning),
+        ..Default::default()
+    });
+    for agent in &sites[2].1.snmp {
+        agent.set_trap_sink(net.clone(), "gw.ncsa", 3.0);
+    }
+    sites[2].0.inject_load_spike("node01.ncsa", 14.0);
+    sites[2].0.advance_to(15 * 60_000 + 1_000);
+    sites[2].1.pump();
+    sites[2].2.pump(); // NCSA dispatch + forward
+    sites[0].2.pump(); // Portsmouth dispatch to listeners
+
+    println!("\nCross-site event propagation:");
+    match rx.try_recv() {
+        Ok(e) => println!(
+            "  gw-portsmouth listener received: [{}] {} (value {:?}, via {})",
+            e.severity.name(),
+            e.message,
+            e.value,
+            e.source
+        ),
+        Err(_) => println!("  (no event arrived — unexpected)"),
+    }
+
+    // A remote gateway failure degrades gracefully.
+    net.set_down("gw.lecce:gma", true);
+    let resp = portal
+        .query(
+            &ClientRequest::realtime("", "SELECT Hostname FROM Processor").with_sources(&[
+                "jdbc:snmp://node00.portsmouth/public",
+                "jdbc:snmp://node00.lecce/public",
+            ]),
+        )
+        .expect("partial result expected");
+    println!(
+        "\nWith gw-lecce down: {} row(s), warnings:",
+        resp.rows.len()
+    );
+    for w in &resp.warnings {
+        println!("  ! {w}");
+    }
+}
