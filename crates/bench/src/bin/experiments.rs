@@ -48,7 +48,7 @@ fn e1() {
             .expect("query");
         println!("  query {label}: {} row(s)", resp.rows.len());
     }
-    let out = portal.stats().remote_queries_out.load(Ordering::Relaxed);
+    let out = portal.stats().remote_queries_out.get();
     let hops01 = world
         .net
         .stats_for("gw.site0:gma", "gw.site1:gma")
@@ -88,9 +88,15 @@ fn e3() {
         .query(&ClientRequest::realtime(source, sql))
         .expect("query");
     let after = link.snapshot();
-    let (resolutions, cache_hits, _stat, scans, _) =
-        world.gateway.driver_manager().stats().snapshot();
-    let (checkouts, pool_hits, creates, _, _) = world.gateway.connections().stats().snapshot();
+    let dm_snap = world.gateway.driver_manager().stats().snapshot();
+    let (resolutions, cache_hits, scans) = (
+        dm_snap.resolutions,
+        dm_snap.cache_hits,
+        dm_snap.dynamic_scans,
+    );
+    let pool_snap = world.gateway.connections().stats().snapshot();
+    let (checkouts, pool_hits, creates) =
+        (pool_snap.checkouts, pool_snap.pool_hits, pool_snap.creates);
     let (_h, validations, _s) = world.gateway.schema().stats().snapshot();
 
     println!("  query: {sql}\n  source: {source}\n");
@@ -115,8 +121,10 @@ fn e3() {
         .query(&ClientRequest::realtime(source, sql))
         .expect("query");
     let after = link.snapshot();
-    let (_, cache_hits2, _, scans2, _) = world.gateway.driver_manager().stats().snapshot();
-    let (_, pool_hits2, creates2, _, _) = world.gateway.connections().stats().snapshot();
+    let dm_snap = world.gateway.driver_manager().stats().snapshot();
+    let (cache_hits2, scans2) = (dm_snap.cache_hits, dm_snap.dynamic_scans);
+    let pool_snap = world.gateway.connections().stats().snapshot();
+    let (pool_hits2, creates2) = (pool_snap.pool_hits, pool_snap.creates);
     println!("\n  repeat query (warm):");
     println!(
         "  DriverManager   -> cached driver ({} total hits, scans still {scans2})",
@@ -160,7 +168,7 @@ fn e4() {
         }
         let dispatched = manager.dispatch().len();
         let delivered = rx.try_iter().count();
-        let overflowed = manager.stats().overflowed.load(Ordering::Relaxed);
+        let overflowed = manager.stats().overflowed.get();
         let lost = burst - delivered;
         println!("  {burst:<7} {cap:<9} {overflowed:<11} {dispatched:<11} {delivered:<10} {lost}");
     }
@@ -193,7 +201,13 @@ fn e5() {
     }
     let probes_cached = base.stats().snapshot().1 - probes1;
 
-    let (resolutions, cache_hits, _, dynamic_scans, invalidations) = dm.stats().snapshot();
+    let snap = dm.stats().snapshot();
+    let (resolutions, cache_hits, dynamic_scans, invalidations) = (
+        snap.resolutions,
+        snap.cache_hits,
+        snap.dynamic_scans,
+        snap.invalidations,
+    );
     println!("  first wildcard resolution: {probes_first} accepts_url probe(s)");
     println!("  next 10 resolutions:       {probes_cached} probe(s) (last-success cache)");
     println!("  totals: {resolutions} resolutions, {cache_hits} cache hits, {dynamic_scans} dynamic scans, {invalidations} invalidations");
@@ -459,7 +473,7 @@ fn e12() {
 
     let got1 = rx1.try_iter().count();
     let got2 = rx2.try_iter().count();
-    let fwd = world.sites[0].3.stats().events_out.load(Ordering::Relaxed);
+    let fwd = world.sites[0].3.stats().events_out.get();
     println!("  traps fired at site0 .................. {traps}");
     println!("  events forwarded by gw-site0 .......... {fwd} (expect 2 peers)");
     println!("  received by consumer at site1 ......... {got1}");

@@ -7,6 +7,7 @@ use crate::cache::CacheController;
 use crate::driver_manager::{FailurePolicy, GridRMDriverManager};
 use gridrm_dbc::{DbcResult, JdbcUrl, SqlError};
 use gridrm_simnet::Network;
+use gridrm_telemetry::{GatewayTelemetry, MetricSnapshot, TraceRecord};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
@@ -89,6 +90,7 @@ pub struct AdminInterface {
     health: RwLock<HashMap<String, SourceHealth>>,
     driver_manager: Arc<GridRMDriverManager>,
     cache: Arc<CacheController>,
+    telemetry: RwLock<Option<GatewayTelemetry>>,
 }
 
 impl AdminInterface {
@@ -102,7 +104,55 @@ impl AdminInterface {
             health: RwLock::new(HashMap::new()),
             driver_manager,
             cache,
+            telemetry: RwLock::new(None),
         }
+    }
+
+    /// Attach the gateway telemetry hub; enables the metric and trace
+    /// exposition endpoints below.
+    pub fn attach_telemetry(&self, telemetry: GatewayTelemetry) {
+        *self.telemetry.write() = Some(telemetry);
+    }
+
+    /// Prometheus text exposition of every gateway metric (the admin
+    /// scrape endpoint). Empty without attached telemetry.
+    pub fn metrics_prometheus(&self) -> String {
+        self.telemetry
+            .read()
+            .as_ref()
+            .map(|t| t.registry().render_prometheus())
+            .unwrap_or_default()
+    }
+
+    /// Structured snapshot of every metric family (JSON exposition).
+    pub fn metrics_snapshot(&self) -> Vec<MetricSnapshot> {
+        self.telemetry
+            .read()
+            .as_ref()
+            .map(|t| t.registry().snapshot())
+            .unwrap_or_default()
+    }
+
+    /// JSON text of [`AdminInterface::metrics_snapshot`].
+    pub fn metrics_json(&self) -> String {
+        serde_json::to_string_pretty(&self.metrics_snapshot()).expect("metrics are serialisable")
+    }
+
+    /// Recent query traces, oldest first.
+    pub fn traces(&self) -> Vec<TraceRecord> {
+        self.telemetry
+            .read()
+            .as_ref()
+            .map(|t| t.traces().recent())
+            .unwrap_or_default()
+    }
+
+    /// The slowest retained trace by virtual duration.
+    pub fn slowest_trace(&self) -> Option<TraceRecord> {
+        self.telemetry
+            .read()
+            .as_ref()
+            .and_then(|t| t.traces().slowest())
     }
 
     /// Add (or modify) a data source; applies its driver preferences and

@@ -5,9 +5,10 @@
 //! requests".
 
 use gridrm_dbc::RowSet;
+use gridrm_telemetry::{Counter, Labels, Registry};
 use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A cached result with its capture time.
@@ -26,28 +27,62 @@ impl CachedResult {
     }
 }
 
-/// Cache counters (experiment E7).
+/// Cache counters (experiment E7). Shared telemetry cells: also
+/// exposable in a gateway-wide [`Registry`] via
+/// [`CacheStats::register_into`].
 #[derive(Debug, Default)]
 pub struct CacheStats {
     /// Lookups that found a fresh entry.
-    pub hits: AtomicU64,
+    pub hits: Counter,
     /// Lookups that found nothing usable.
-    pub misses: AtomicU64,
+    pub misses: Counter,
     /// Entries stored.
-    pub stores: AtomicU64,
+    pub stores: Counter,
     /// Entries evicted/invalidated.
-    pub invalidations: AtomicU64,
+    pub invalidations: Counter,
+}
+
+/// Named point-in-time copy of [`CacheStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheSnapshot {
+    /// Lookups that found a fresh entry.
+    pub hits: u64,
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+    /// Entries stored.
+    pub stores: u64,
+    /// Entries evicted/invalidated.
+    pub invalidations: u64,
 }
 
 impl CacheStats {
-    /// Snapshot `(hits, misses, stores, invalidations)`.
-    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-            self.stores.load(Ordering::Relaxed),
-            self.invalidations.load(Ordering::Relaxed),
-        )
+    /// Point-in-time copy of all counters.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            stores: self.stores.get(),
+            invalidations: self.invalidations.get(),
+        }
+    }
+
+    /// Expose these counters in a metrics registry (shared cells: the
+    /// struct and the registry observe the same values).
+    pub fn register_into(&self, registry: &Registry) {
+        let series = [
+            ("hit", &self.hits),
+            ("miss", &self.misses),
+            ("store", &self.stores),
+            ("invalidate", &self.invalidations),
+        ];
+        for (event, counter) in series {
+            registry.expose_counter(
+                "gridrm_cache_events_total",
+                "Cache-controller lookup/store/invalidate events by kind",
+                Labels::from_pairs(&[("event", event)]),
+                counter,
+            );
+        }
     }
 }
 
@@ -90,11 +125,11 @@ impl CacheController {
         let found = self.entries.read().get(&key).cloned();
         match found {
             Some(entry) if entry.age_ms(now_ms) <= limit => {
-                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                self.stats.hits.inc();
                 Some(entry)
             }
             _ => {
-                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                self.stats.misses.inc();
                 None
             }
         }
@@ -102,7 +137,7 @@ impl CacheController {
 
     /// Store a fresh result.
     pub fn store(&self, source: &str, sql: &str, rows: Arc<RowSet>, now_ms: u64) {
-        self.stats.stores.fetch_add(1, Ordering::Relaxed);
+        self.stats.stores.inc();
         self.entries.write().insert(
             (source.to_owned(), sql.to_owned()),
             CachedResult {
@@ -119,9 +154,7 @@ impl CacheController {
         let before = entries.len();
         entries.retain(|(s, _), _| s != source);
         let dropped = before - entries.len();
-        self.stats
-            .invalidations
-            .fetch_add(dropped as u64, Ordering::Relaxed);
+        self.stats.invalidations.add(dropped as u64);
         dropped
     }
 
@@ -131,9 +164,7 @@ impl CacheController {
         let before = entries.len();
         entries.retain(|_, e| e.age_ms(now_ms) <= max_age_ms);
         let dropped = before - entries.len();
-        self.stats
-            .invalidations
-            .fetch_add(dropped as u64, Ordering::Relaxed);
+        self.stats.invalidations.add(dropped as u64);
         dropped
     }
 
@@ -185,8 +216,8 @@ mod tests {
         c.store("src", "SELECT 1", rows(), 1_000);
         assert!(c.lookup("src", "SELECT 1", 3_000, None).is_some());
         assert!(c.lookup("src", "SELECT 1", 7_000, None).is_none());
-        let (hits, misses, stores, _) = c.stats().snapshot();
-        assert_eq!((hits, misses, stores), (1, 1, 1));
+        let snap = c.stats().snapshot();
+        assert_eq!((snap.hits, snap.misses, snap.stores), (1, 1, 1));
     }
 
     #[test]

@@ -10,36 +10,77 @@
 
 use crate::driver_manager::{FailurePolicy, GridRMDriverManager};
 use gridrm_dbc::{Connection, DbcResult, JdbcUrl, Properties, RowSet, SqlError};
-use parking_lot::Mutex;
+use gridrm_telemetry::{
+    Counter, GatewayTelemetry, Labels, Registry, SpanBuilder, DEFAULT_LATENCY_BUCKETS_MS,
+};
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-/// Pool counters (experiment E9).
+/// Pool counters (experiment E9). Shared telemetry cells: also
+/// exposable in a gateway-wide [`Registry`] via
+/// [`PoolStats::register_into`].
 #[derive(Debug, Default)]
 pub struct PoolStats {
     /// Connection requests.
-    pub checkouts: AtomicU64,
+    pub checkouts: Counter,
     /// Served from the pool.
-    pub pool_hits: AtomicU64,
+    pub pool_hits: Counter,
     /// Fresh connections created.
-    pub creates: AtomicU64,
+    pub creates: Counter,
     /// Pooled connections discarded (failed ping / over capacity).
-    pub discards: AtomicU64,
+    pub discards: Counter,
     /// Query attempts that failed.
-    pub failures: AtomicU64,
+    pub failures: Counter,
+}
+
+/// Named point-in-time copy of [`PoolStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolSnapshot {
+    /// Connection requests.
+    pub checkouts: u64,
+    /// Served from the pool.
+    pub pool_hits: u64,
+    /// Fresh connections created.
+    pub creates: u64,
+    /// Pooled connections discarded (failed ping / over capacity).
+    pub discards: u64,
+    /// Query attempts that failed.
+    pub failures: u64,
 }
 
 impl PoolStats {
-    /// Snapshot `(checkouts, pool_hits, creates, discards, failures)`.
-    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
-        (
-            self.checkouts.load(Ordering::Relaxed),
-            self.pool_hits.load(Ordering::Relaxed),
-            self.creates.load(Ordering::Relaxed),
-            self.discards.load(Ordering::Relaxed),
-            self.failures.load(Ordering::Relaxed),
-        )
+    /// Point-in-time copy of all counters.
+    pub fn snapshot(&self) -> PoolSnapshot {
+        PoolSnapshot {
+            checkouts: self.checkouts.get(),
+            pool_hits: self.pool_hits.get(),
+            creates: self.creates.get(),
+            discards: self.discards.get(),
+            failures: self.failures.get(),
+        }
+    }
+
+    /// Expose these counters in a metrics registry (shared cells: the
+    /// struct and the registry observe the same values).
+    pub fn register_into(&self, registry: &Registry) {
+        let series = [
+            ("checkout", &self.checkouts),
+            ("pool_hit", &self.pool_hits),
+            ("create", &self.creates),
+            ("discard", &self.discards),
+            ("failure", &self.failures),
+        ];
+        for (event, counter) in series {
+            registry.expose_counter(
+                "gridrm_pool_events_total",
+                "Connection-pool lifecycle events by kind",
+                Labels::from_pairs(&[("event", event)]),
+                counter,
+            );
+        }
     }
 }
 
@@ -53,6 +94,9 @@ pub struct ConnectionManager {
     /// Pooling can be disabled to measure its benefit (E9).
     pooling_enabled: std::sync::atomic::AtomicBool,
     stats: PoolStats,
+    /// Optional gateway telemetry hub: per-driver latency histograms and
+    /// query-path trace stages.
+    telemetry: RwLock<Option<GatewayTelemetry>>,
 }
 
 impl ConnectionManager {
@@ -65,7 +109,15 @@ impl ConnectionManager {
             max_idle_per_key: max_idle_per_key.max(1),
             pooling_enabled: std::sync::atomic::AtomicBool::new(true),
             stats: PoolStats::default(),
+            telemetry: RwLock::new(None),
         }
+    }
+
+    /// Attach the gateway telemetry hub: driver executions start feeding
+    /// the per-driver latency histogram, and traced executions record
+    /// their query-path stages.
+    pub fn set_telemetry(&self, telemetry: GatewayTelemetry) {
+        *self.telemetry.write() = Some(telemetry);
     }
 
     /// Enable/disable pooling (ablation switch).
@@ -82,7 +134,7 @@ impl ConnectionManager {
     }
 
     fn checkout(&self, url: &JdbcUrl, driver_name: &str) -> DbcResult<Box<dyn Connection>> {
-        self.stats.checkouts.fetch_add(1, Ordering::Relaxed);
+        self.stats.checkouts.inc();
         let key: PoolKey = (url.to_string(), driver_name.to_owned());
         if self.pooling_enabled.load(Ordering::Relaxed) {
             loop {
@@ -92,10 +144,10 @@ impl ConnectionManager {
                 // pool before use" — and pooled ones are validated before
                 // being handed out.
                 if conn.ping().is_ok() {
-                    self.stats.pool_hits.fetch_add(1, Ordering::Relaxed);
+                    self.stats.pool_hits.inc();
                     return Ok(conn);
                 }
-                self.stats.discards.fetch_add(1, Ordering::Relaxed);
+                self.stats.discards.inc();
                 let _ = conn.close();
             }
         }
@@ -106,7 +158,7 @@ impl ConnectionManager {
             .base()
             .get_by_name(driver_name)
             .ok_or_else(|| SqlError::NoSuitableDriver(format!("{driver_name} unregistered")))?;
-        self.stats.creates.fetch_add(1, Ordering::Relaxed);
+        self.stats.creates.inc();
         driver.connect(url, &Properties::new())
     }
 
@@ -119,7 +171,7 @@ impl ConnectionManager {
         let mut pool = self.pool.lock();
         let slot = pool.entry(key).or_default();
         if slot.len() >= self.max_idle_per_key {
-            self.stats.discards.fetch_add(1, Ordering::Relaxed);
+            self.stats.discards.inc();
             let _ = conn.close();
         } else {
             slot.push(conn);
@@ -136,19 +188,38 @@ impl ConnectionManager {
         self.pool.lock().clear();
     }
 
-    /// One query attempt against one specific driver.
-    fn attempt(&self, url: &JdbcUrl, driver_name: &str, sql: &str) -> DbcResult<RowSet> {
+    /// One query attempt against one specific driver. Records the
+    /// `connect`/`execute`/`translate` stages on the span, when given.
+    fn attempt(
+        &self,
+        url: &JdbcUrl,
+        driver_name: &str,
+        sql: &str,
+        mut span: Option<&mut SpanBuilder>,
+    ) -> DbcResult<RowSet> {
         let mut conn = self.checkout(url, driver_name)?;
+        if let Some(s) = span.as_deref_mut() {
+            s.stage_with("connect", driver_name);
+        }
         let result = (|| {
             let mut stmt = conn.create_statement()?;
             let mut rs = stmt.execute_query(sql)?;
-            RowSet::materialize(rs.as_mut())
+            if let Some(s) = span.as_deref_mut() {
+                s.stage("execute");
+            }
+            let rows = RowSet::materialize(rs.as_mut());
+            if rows.is_ok() {
+                if let Some(s) = span.as_deref_mut() {
+                    s.stage_with("translate", "glue rowset");
+                }
+            }
+            rows
         })();
         match &result {
             Ok(_) => self.checkin(url, driver_name, conn),
             Err(_) => {
                 // A failed connection is not returned to the pool.
-                self.stats.discards.fetch_add(1, Ordering::Relaxed);
+                self.stats.discards.inc();
                 let _ = conn.close();
             }
         }
@@ -158,6 +229,20 @@ impl ConnectionManager {
     /// Execute a real-time query against a data source, applying the
     /// source's failure policy. This is the Fig 3/Fig 5 query path.
     pub fn execute(&self, url: &JdbcUrl, sql: &str) -> DbcResult<RowSet> {
+        self.execute_traced(url, sql, None)
+    }
+
+    /// [`ConnectionManager::execute`] with an optional in-flight trace
+    /// span. Each driver attempt records `resolve` → `connect` →
+    /// `execute` → `translate` stages and feeds the per-driver latency
+    /// histogram when telemetry is attached.
+    pub fn execute_traced(
+        &self,
+        url: &JdbcUrl,
+        sql: &str,
+        mut span: Option<&mut SpanBuilder>,
+    ) -> DbcResult<RowSet> {
+        let telemetry = self.telemetry.read().clone();
         let policy = self.driver_manager.policy_for(url);
         let mut excluded: Vec<String> = Vec::new();
         let mut retries_used = 0u32;
@@ -168,13 +253,29 @@ impl ConnectionManager {
                 Err(e) => return Err(last_err.unwrap_or(e)),
             };
             let name = driver.name();
-            match self.attempt(url, &name, sql) {
+            if let Some(s) = span.as_deref_mut() {
+                s.stage_with("resolve", &name);
+            }
+            let started_ms = telemetry.as_ref().map(|t| t.clock().now_millis());
+            let outcome = self.attempt(url, &name, sql, span.as_deref_mut());
+            if let (Some(t), Some(started)) = (&telemetry, started_ms) {
+                let elapsed = t.clock().now_millis().saturating_sub(started);
+                t.registry()
+                    .histogram(
+                        "gridrm_driver_latency_ms",
+                        "Per-driver query execution latency in virtual milliseconds",
+                        Labels::from_pairs(&[("driver", &name)]),
+                        DEFAULT_LATENCY_BUCKETS_MS,
+                    )
+                    .observe(elapsed as f64);
+            }
+            match outcome {
                 Ok(rs) => {
                     self.driver_manager.record_success(url, &name);
                     return Ok(rs);
                 }
                 Err(err) => {
-                    self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                    self.stats.failures.inc();
                     self.driver_manager.record_failure(url, &name);
                     // Query-level errors (bad SQL, unsupported group) are
                     // not connectivity failures: no policy will fix them.
@@ -211,7 +312,7 @@ mod tests {
     use super::*;
     use gridrm_dbc::{ColumnMeta, Driver, DriverMetaData, ResultSet, ResultSetMetaData, Statement};
     use gridrm_sqlparse::{SqlType, SqlValue};
-    use std::sync::atomic::AtomicBool;
+    use std::sync::atomic::{AtomicBool, AtomicU64};
 
     /// A scriptable driver: fails while `broken` is set.
     struct ScriptedDriver {
@@ -347,10 +448,10 @@ mod tests {
             r.cm.execute(&url(), "SELECT 1 FROM t").unwrap();
         }
         assert_eq!(r.connects_a.load(Ordering::Relaxed), 1);
-        let (checkouts, hits, creates, _, _) = r.cm.stats().snapshot();
-        assert_eq!(checkouts, 10);
-        assert_eq!(hits, 9);
-        assert_eq!(creates, 1);
+        let snap = r.cm.stats().snapshot();
+        assert_eq!(snap.checkouts, 10);
+        assert_eq!(snap.pool_hits, 9);
+        assert_eq!(snap.creates, 1);
         assert_eq!(r.cm.idle_connections(), 1);
     }
 
@@ -436,8 +537,7 @@ mod tests {
         r.broken_a.store(true, Ordering::Relaxed);
         let rs = r.cm.execute(&url(), "q").unwrap();
         assert_eq!(winner(&rs), "drv-b");
-        let (_, _, _, discards, _) = r.cm.stats().snapshot();
-        assert!(discards >= 1);
+        assert!(r.cm.stats().snapshot().discards >= 1);
     }
 
     #[test]

@@ -7,10 +7,10 @@
 //! report the error", §3.1.3/§4).
 
 use gridrm_dbc::{DbcResult, Driver, DriverManager, JdbcUrl, SqlError};
+use gridrm_telemetry::{Counter, Labels, Registry};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// What to do when the selected driver fails a request (§4).
@@ -26,32 +26,68 @@ pub enum FailurePolicy {
     TryNext,
 }
 
-/// Selection-path counters (experiment E5).
+/// Selection-path counters (experiment E5). The counters are shared
+/// telemetry cells, so they can simultaneously live in a gateway-wide
+/// [`Registry`] via [`ResolutionStats::register_into`].
 #[derive(Debug, Default)]
 pub struct ResolutionStats {
     /// Total resolutions requested.
-    pub resolutions: AtomicU64,
+    pub resolutions: Counter,
     /// Served from the last-success cache.
-    pub cache_hits: AtomicU64,
+    pub cache_hits: Counter,
     /// Served from static preferences.
-    pub static_hits: AtomicU64,
+    pub static_hits: Counter,
     /// Fell through to a dynamic `accepts_url` scan.
-    pub dynamic_scans: AtomicU64,
+    pub dynamic_scans: Counter,
     /// Cache invalidations after failures.
-    pub invalidations: AtomicU64,
+    pub invalidations: Counter,
+}
+
+/// Named point-in-time copy of [`ResolutionStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResolutionSnapshot {
+    /// Total resolutions requested.
+    pub resolutions: u64,
+    /// Served from the last-success cache.
+    pub cache_hits: u64,
+    /// Served from static preferences.
+    pub static_hits: u64,
+    /// Fell through to a dynamic `accepts_url` scan.
+    pub dynamic_scans: u64,
+    /// Cache invalidations after failures.
+    pub invalidations: u64,
 }
 
 impl ResolutionStats {
-    /// Snapshot `(resolutions, cache_hits, static_hits, dynamic_scans,
-    /// invalidations)`.
-    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
-        (
-            self.resolutions.load(Ordering::Relaxed),
-            self.cache_hits.load(Ordering::Relaxed),
-            self.static_hits.load(Ordering::Relaxed),
-            self.dynamic_scans.load(Ordering::Relaxed),
-            self.invalidations.load(Ordering::Relaxed),
-        )
+    /// Point-in-time copy of all counters.
+    pub fn snapshot(&self) -> ResolutionSnapshot {
+        ResolutionSnapshot {
+            resolutions: self.resolutions.get(),
+            cache_hits: self.cache_hits.get(),
+            static_hits: self.static_hits.get(),
+            dynamic_scans: self.dynamic_scans.get(),
+            invalidations: self.invalidations.get(),
+        }
+    }
+
+    /// Expose these counters in a metrics registry (shared cells: the
+    /// struct and the registry observe the same values).
+    pub fn register_into(&self, registry: &Registry) {
+        let series = [
+            ("resolutions", &self.resolutions),
+            ("cache_hits", &self.cache_hits),
+            ("static_hits", &self.static_hits),
+            ("dynamic_scans", &self.dynamic_scans),
+            ("invalidations", &self.invalidations),
+        ];
+        for (path, counter) in series {
+            registry.expose_counter(
+                "gridrm_driver_resolutions_total",
+                "Driver-manager resolution outcomes by path",
+                Labels::from_pairs(&[("path", path)]),
+                counter,
+            );
+        }
     }
 }
 
@@ -139,7 +175,7 @@ impl GridRMDriverManager {
         url: &JdbcUrl,
         exclude: &[String],
     ) -> DbcResult<Arc<dyn Driver>> {
-        self.stats.resolutions.fetch_add(1, Ordering::Relaxed);
+        self.stats.resolutions.inc();
         let key = url.to_string();
 
         // 1. Last-success cache ("for performance, the GridRMDriverManager
@@ -148,7 +184,7 @@ impl GridRMDriverManager {
         if let Some(name) = self.last_success.read().get(&key) {
             if !exclude.contains(name) {
                 if let Some(d) = self.base.get_by_name(name) {
-                    self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    self.stats.cache_hits.inc();
                     return Ok(d);
                 }
             }
@@ -161,7 +197,7 @@ impl GridRMDriverManager {
                     continue;
                 }
                 if let Some(d) = self.base.get_by_name(name) {
-                    self.stats.static_hits.fetch_add(1, Ordering::Relaxed);
+                    self.stats.static_hits.inc();
                     return Ok(d);
                 }
             }
@@ -176,7 +212,7 @@ impl GridRMDriverManager {
         }
 
         // 3. Dynamic selection (Table 2's accepts_url scan).
-        self.stats.dynamic_scans.fetch_add(1, Ordering::Relaxed);
+        self.stats.dynamic_scans.inc();
         if exclude.is_empty() {
             return self.base.locate(url);
         }
@@ -211,7 +247,7 @@ impl GridRMDriverManager {
         let mut cache = self.last_success.write();
         if cache.get(&url.to_string()).map(String::as_str) == Some(driver) {
             cache.remove(&url.to_string());
-            self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+            self.stats.invalidations.inc();
         }
     }
 
@@ -292,10 +328,10 @@ mod tests {
         m.record_success(&u, &d.name());
         let d2 = m.resolve(&u).unwrap();
         assert_eq!(d2.name(), "d-ganglia");
-        let (res, hits, _stat, scans, _) = m.stats().snapshot();
-        assert_eq!(res, 2);
-        assert_eq!(hits, 1);
-        assert_eq!(scans, 1);
+        let snap = m.stats().snapshot();
+        assert_eq!(snap.resolutions, 2);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.dynamic_scans, 1);
     }
 
     #[test]
@@ -304,9 +340,9 @@ mod tests {
         let u = url("jdbc:://host/x");
         m.set_preferences(&u, vec!["d-nws".into(), "d-ganglia".into()]);
         assert_eq!(m.resolve(&u).unwrap().name(), "d-nws");
-        let (_, _, stat, scans, _) = m.stats().snapshot();
-        assert_eq!(stat, 1);
-        assert_eq!(scans, 0);
+        let snap = m.stats().snapshot();
+        assert_eq!(snap.static_hits, 1);
+        assert_eq!(snap.dynamic_scans, 0);
         // Cache beats preferences on subsequent resolutions.
         m.record_success(&u, "d-ganglia");
         assert_eq!(m.resolve(&u).unwrap().name(), "d-ganglia");

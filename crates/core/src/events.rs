@@ -13,6 +13,7 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use crossbeam::queue::ArrayQueue;
+use gridrm_telemetry::{Counter, Labels, Registry};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -130,19 +131,69 @@ struct Listener {
     tx: Sender<GridRMEvent>,
 }
 
-/// Counters for the event path (experiment E4).
+/// Counters for the event path (experiment E4). Shared telemetry cells:
+/// also exposable in a gateway-wide [`Registry`] via
+/// [`EventStats::register_into`].
 #[derive(Debug, Default)]
 pub struct EventStats {
     /// Events accepted into the manager.
-    pub ingested: AtomicU64,
+    pub ingested: Counter,
     /// Events that took the overflow (disk) path.
-    pub overflowed: AtomicU64,
+    pub overflowed: Counter,
     /// Events delivered to listeners (sum over listeners).
-    pub delivered: AtomicU64,
+    pub delivered: Counter,
     /// Events transmitted back out natively.
-    pub transmitted: AtomicU64,
+    pub transmitted: Counter,
     /// Payloads no formatter accepted.
-    pub unformatted: AtomicU64,
+    pub unformatted: Counter,
+}
+
+/// Named point-in-time copy of [`EventStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventSnapshot {
+    /// Events accepted into the manager.
+    pub ingested: u64,
+    /// Events that took the overflow (disk) path.
+    pub overflowed: u64,
+    /// Events delivered to listeners (sum over listeners).
+    pub delivered: u64,
+    /// Events transmitted back out natively.
+    pub transmitted: u64,
+    /// Payloads no formatter accepted.
+    pub unformatted: u64,
+}
+
+impl EventStats {
+    /// Point-in-time copy of all counters.
+    pub fn snapshot(&self) -> EventSnapshot {
+        EventSnapshot {
+            ingested: self.ingested.get(),
+            overflowed: self.overflowed.get(),
+            delivered: self.delivered.get(),
+            transmitted: self.transmitted.get(),
+            unformatted: self.unformatted.get(),
+        }
+    }
+
+    /// Expose these counters in a metrics registry (shared cells: the
+    /// struct and the registry observe the same values).
+    pub fn register_into(&self, registry: &Registry) {
+        let series = [
+            ("ingested", &self.ingested),
+            ("overflowed", &self.overflowed),
+            ("delivered", &self.delivered),
+            ("transmitted", &self.transmitted),
+            ("unformatted", &self.unformatted),
+        ];
+        for (stage, counter) in series {
+            registry.expose_counter(
+                "gridrm_events_total",
+                "Event-manager pipeline events by stage",
+                Labels::from_pairs(&[("stage", stage)]),
+                counter,
+            );
+        }
+    }
 }
 
 /// The Event Manager.
@@ -217,7 +268,7 @@ impl EventManager {
             fs.iter().find(|f| f.accepts(source)).cloned()
         };
         let Some(formatter) = formatter else {
-            self.stats.unformatted.fetch_add(1, Ordering::Relaxed);
+            self.stats.unformatted.inc();
             return 0;
         };
         let events = formatter.format(source, payload, now_ms);
@@ -231,10 +282,10 @@ impl EventManager {
     /// Ingest an already-normalised event (assigns the sequence id).
     pub fn ingest(&self, mut event: GridRMEvent) {
         event.id = self.next_event_id.fetch_add(1, Ordering::Relaxed);
-        self.stats.ingested.fetch_add(1, Ordering::Relaxed);
+        self.stats.ingested.inc();
         if let Err(e) = self.fast.push(event) {
             // Fast buffer full: spill, never drop.
-            self.stats.overflowed.fetch_add(1, Ordering::Relaxed);
+            self.stats.overflowed.inc();
             self.disk.lock().push_back(e);
         }
     }
@@ -265,7 +316,7 @@ impl EventManager {
                         if l.tx.send(e.clone()).is_err() {
                             return false; // receiver gone
                         }
-                        self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                        self.stats.delivered.inc();
                     }
                 }
                 true
@@ -276,7 +327,7 @@ impl EventManager {
             for t in transmitters.iter() {
                 for e in &drained {
                     if t.transmit(e) {
-                        self.stats.transmitted.fetch_add(1, Ordering::Relaxed);
+                        self.stats.transmitted.inc();
                     }
                 }
             }
@@ -354,7 +405,7 @@ mod tests {
             m.ingest(ev(&format!("burst.{i}"), Severity::Info));
         }
         assert_eq!(m.backlog(), 10_000);
-        assert!(m.stats().overflowed.load(Ordering::Relaxed) > 0);
+        assert!(m.stats().overflowed.get() > 0);
         let drained = m.dispatch();
         assert_eq!(drained.len(), 10_000);
         assert_eq!(rx.try_iter().count(), 10_000);
@@ -379,7 +430,7 @@ mod tests {
             }
         });
         assert_eq!(m.dispatch().len(), 4000);
-        assert_eq!(m.stats().ingested.load(Ordering::Relaxed), 4000);
+        assert_eq!(m.stats().ingested.get(), 4000);
     }
 
     #[test]
@@ -427,7 +478,7 @@ mod tests {
         m.register_formatter(Arc::new(F));
         assert_eq!(m.ingest_native("node0:test", b"cat", 5), 1);
         assert_eq!(m.ingest_native("node0:other", b"cat", 5), 0);
-        assert_eq!(m.stats().unformatted.load(Ordering::Relaxed), 1);
+        assert_eq!(m.stats().unformatted.get(), 1);
         let out = m.dispatch();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].category, "cat");
@@ -453,7 +504,7 @@ mod tests {
         }
         m.dispatch();
         assert_eq!(count.load(Ordering::Relaxed), 3);
-        assert_eq!(m.stats().transmitted.load(Ordering::Relaxed), 3);
+        assert_eq!(m.stats().transmitted.get(), 3);
         assert!(m.unregister_transmitter("t"));
         assert!(!m.unregister_transmitter("t"));
     }

@@ -18,6 +18,7 @@ use gridrm_dbc::DbcResult;
 use gridrm_glue::SchemaManager;
 use gridrm_simnet::{Network, Push, SimClock};
 use gridrm_store::Store;
+use gridrm_telemetry::{GatewayTelemetry, Labels};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -38,6 +39,7 @@ pub struct Gateway {
     alerts: Arc<AlertEngine>,
     admin: Arc<AdminInterface>,
     request: Arc<RequestManager>,
+    telemetry: GatewayTelemetry,
     /// Native pushes (traps, streamed events) addressed to this gateway.
     push_rx: Receiver<Push>,
 }
@@ -48,6 +50,7 @@ impl Gateway {
     /// store for the JDBC-GridRM driver under the name `history`.
     pub fn new(config: GatewayConfig, network: Arc<Network>) -> Arc<Gateway> {
         let clock = network.clock().clone();
+        let telemetry = GatewayTelemetry::new(clock.clone());
         let schema = Arc::new(SchemaManager::new());
         let driver_manager = Arc::new(GridRMDriverManager::new());
         let connections = Arc::new(ConnectionManager::new(
@@ -62,6 +65,8 @@ impl Gateway {
         let security = Arc::new(RwLock::new(SecurityPolicy::permissive()));
         let alerts = Arc::new(AlertEngine::new());
         let admin = Arc::new(AdminInterface::new(driver_manager.clone(), cache.clone()));
+        admin.attach_telemetry(telemetry.clone());
+        connections.set_telemetry(telemetry.clone());
         let request = Arc::new(RequestManager::new(
             connections.clone(),
             cache.clone(),
@@ -72,7 +77,19 @@ impl Gateway {
             security.clone(),
             clock.clone(),
             config.record_history,
+            Some(telemetry.clone()),
         ));
+        // Retrofit every subsystem's counters onto the shared registry:
+        // the stats structs keep their handles, the registry sees the
+        // same cells.
+        {
+            let registry = telemetry.registry();
+            request.stats().register_into(registry);
+            driver_manager.stats().register_into(registry);
+            connections.stats().register_into(registry);
+            cache.stats().register_into(registry);
+            events.stats().register_into(registry);
+        }
         // Become reachable: agents push traps to `config.address`.
         network.register(
             &config.address,
@@ -100,6 +117,7 @@ impl Gateway {
             alerts,
             admin,
             request,
+            telemetry,
             push_rx,
         })
     }
@@ -179,6 +197,12 @@ impl Gateway {
         &self.request
     }
 
+    /// The gateway-wide telemetry hub: metric registry, trace ring
+    /// buffer, and the clock that stamps trace stages.
+    pub fn telemetry(&self) -> &GatewayTelemetry {
+        &self.telemetry
+    }
+
     /// Authenticate and open a session.
     pub fn login(&self, identity: Identity) -> SessionToken {
         self.sessions.open(identity, self.clock.now_millis())
@@ -228,6 +252,21 @@ impl Gateway {
             self.admin.record_event(&event.source, now);
         }
         // 3. Housekeeping.
+        let registry = self.telemetry.registry();
+        registry
+            .gauge(
+                "gridrm_cache_entries",
+                "Live query-result cache entries",
+                Labels::none(),
+            )
+            .set(self.cache.len() as f64);
+        registry
+            .gauge(
+                "gridrm_pool_idle",
+                "Idle pooled driver connections",
+                Labels::none(),
+            )
+            .set(self.connections.idle_connections() as f64);
         self.sessions.sweep(now);
         self.cache
             .sweep(now, self.config.cache_ttl_ms.saturating_mul(10));

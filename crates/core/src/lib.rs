@@ -42,13 +42,13 @@ pub mod session;
 pub use acil::{ClientInterface, ClientRequest, ClientResponse, QueryMode};
 pub use admin::{render_tree_text, AdminInterface, DataSourceConfig, SourceStatus, TreeNode};
 pub use alerts::{AlertEngine, AlertRule, Comparison};
-pub use cache::CacheController;
+pub use cache::{CacheController, CacheSnapshot};
 pub use config::GatewayConfig;
-pub use connection::ConnectionManager;
-pub use driver_manager::{FailurePolicy, GridRMDriverManager};
-pub use events::{EventManager, GridRMEvent, ListenerFilter, Severity};
+pub use connection::{ConnectionManager, PoolSnapshot};
+pub use driver_manager::{FailurePolicy, GridRMDriverManager, ResolutionSnapshot};
+pub use events::{EventManager, EventSnapshot, GridRMEvent, ListenerFilter, Severity};
 pub use gateway::Gateway;
 pub use history::HistoryManager;
-pub use request::RequestManager;
+pub use request::{RequestManager, RequestSnapshot};
 pub use security::{CoarseOperation, Decision, Identity, SecurityPolicy};
 pub use session::{SessionManager, SessionToken};

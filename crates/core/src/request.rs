@@ -16,23 +16,79 @@ use crate::session::SessionManager;
 use gridrm_dbc::{DbcResult, JdbcUrl, RowSet, SqlError};
 use gridrm_simnet::SimClock;
 use gridrm_sqlparse::Statement;
+use gridrm_telemetry::{Counter, GatewayTelemetry, Labels, Registry, SpanBuilder};
 use parking_lot::RwLock;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-/// Request-path counters.
+/// Request-path counters. Shared telemetry cells: also exposable in a
+/// gateway-wide [`Registry`] via [`RequestStats::register_into`].
 #[derive(Debug, Default)]
 pub struct RequestStats {
     /// Requests handled.
-    pub requests: AtomicU64,
+    pub requests: Counter,
     /// Individual source queries that hit a data source.
-    pub realtime_fetches: AtomicU64,
+    pub realtime_fetches: Counter,
     /// Individual source queries served from the cache.
-    pub cache_served: AtomicU64,
+    pub cache_served: Counter,
     /// Historical queries executed.
-    pub historical: AtomicU64,
+    pub historical: Counter,
     /// Requests denied by a security layer.
-    pub denied: AtomicU64,
+    pub denied: Counter,
+}
+
+/// Named point-in-time copy of [`RequestStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestSnapshot {
+    /// Requests handled.
+    pub requests: u64,
+    /// Individual source queries that hit a data source.
+    pub realtime_fetches: u64,
+    /// Individual source queries served from the cache.
+    pub cache_served: u64,
+    /// Historical queries executed.
+    pub historical: u64,
+    /// Requests denied by a security layer.
+    pub denied: u64,
+}
+
+impl RequestStats {
+    /// Point-in-time copy of all counters.
+    pub fn snapshot(&self) -> RequestSnapshot {
+        RequestSnapshot {
+            requests: self.requests.get(),
+            realtime_fetches: self.realtime_fetches.get(),
+            cache_served: self.cache_served.get(),
+            historical: self.historical.get(),
+            denied: self.denied.get(),
+        }
+    }
+
+    /// Expose these counters in a metrics registry (shared cells: the
+    /// struct and the registry observe the same values).
+    pub fn register_into(&self, registry: &Registry) {
+        registry.expose_counter(
+            "gridrm_requests_total",
+            "Client requests handled by the Request Manager",
+            Labels::none(),
+            &self.requests,
+        );
+        let series = [
+            ("realtime_fetch", &self.realtime_fetches),
+            ("cache_served", &self.cache_served),
+            ("historical", &self.historical),
+            ("denied", &self.denied),
+        ];
+        for (path, counter) in series {
+            registry.expose_counter(
+                "gridrm_request_paths_total",
+                "Request-manager per-source outcomes by path",
+                Labels::from_pairs(&[("path", path)]),
+                counter,
+            );
+        }
+    }
 }
 
 /// The Request Manager.
@@ -47,6 +103,9 @@ pub struct RequestManager {
     clock: Arc<SimClock>,
     record_history: AtomicBool,
     stats: RequestStats,
+    /// Optional gateway telemetry hub: request latency histogram and
+    /// per-request trace spans.
+    telemetry: Option<GatewayTelemetry>,
 }
 
 impl RequestManager {
@@ -62,6 +121,7 @@ impl RequestManager {
         security: Arc<RwLock<SecurityPolicy>>,
         clock: Arc<SimClock>,
         record_history: bool,
+        telemetry: Option<GatewayTelemetry>,
     ) -> RequestManager {
         RequestManager {
             connections,
@@ -74,6 +134,7 @@ impl RequestManager {
             clock,
             record_history: AtomicBool::new(record_history),
             stats: RequestStats::default(),
+            telemetry,
         }
     }
 
@@ -92,9 +153,48 @@ impl RequestManager {
         Ok(request.identity.clone().unwrap_or_else(Identity::anonymous))
     }
 
-    /// Handle one client request (the Fig 3 entry point).
+    /// Handle one client request (the Fig 3 entry point). When telemetry
+    /// is attached, the whole request is traced (ACIL receipt through
+    /// driver execution and GLUE translation) and its virtual latency
+    /// recorded.
     pub fn handle(&self, request: &ClientRequest) -> DbcResult<ClientResponse> {
-        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let mut span = self.telemetry.as_ref().map(|t| {
+            let mut s = t.span(&request.sql);
+            s.stage("acil");
+            s
+        });
+        let started_ms = self.clock.now_millis();
+        let result = self.handle_inner(request, &mut span);
+        if let Some(t) = &self.telemetry {
+            let elapsed = self.clock.now_millis().saturating_sub(started_ms);
+            t.registry()
+                .histogram(
+                    "gridrm_request_latency_ms",
+                    "End-to-end client request latency in virtual milliseconds",
+                    Labels::none(),
+                    gridrm_telemetry::DEFAULT_LATENCY_BUCKETS_MS,
+                )
+                .observe(elapsed as f64);
+        }
+        if let Some(s) = span {
+            s.finish(match &result {
+                Ok(_) => "ok",
+                Err(SqlError::Security(_)) => "denied",
+                Err(_) => "error",
+            });
+        }
+        result
+    }
+
+    fn handle_inner(
+        &self,
+        request: &ClientRequest,
+        span: &mut Option<SpanBuilder>,
+    ) -> DbcResult<ClientResponse> {
+        self.stats.requests.inc();
+        if let Some(s) = span.as_mut() {
+            s.stage("handle");
+        }
         let identity = self.resolve_identity(request)?;
 
         // Clients may only SELECT; writes to the historical store go
@@ -113,10 +213,10 @@ impl RequestManager {
             if let Decision::Deny(reason) =
                 policy.check_coarse(&identity, CoarseOperation::QueryHistory)
             {
-                self.stats.denied.fetch_add(1, Ordering::Relaxed);
+                self.stats.denied.inc();
                 return Err(SqlError::Security(reason));
             }
-            self.stats.historical.fetch_add(1, Ordering::Relaxed);
+            self.stats.historical.inc();
             let rows = self.history.query(&request.sql, now as i64)?;
             return Ok(ClientResponse {
                 sources_ok: usize::from(!rows.is_empty()),
@@ -127,7 +227,7 @@ impl RequestManager {
         }
 
         if let Decision::Deny(reason) = policy.check_coarse(&identity, CoarseOperation::Query) {
-            self.stats.denied.fetch_add(1, Ordering::Relaxed);
+            self.stats.denied.inc();
             return Err(SqlError::Security(reason));
         }
         if request.sources.is_empty() {
@@ -148,7 +248,7 @@ impl RequestManager {
             match policy.check_fine(&identity, source, &group) {
                 Decision::Allow => {}
                 Decision::Deny(reason) => {
-                    self.stats.denied.fetch_add(1, Ordering::Relaxed);
+                    self.stats.denied.inc();
                     warnings.push(format!("{source}: {reason}"));
                     first_err.get_or_insert(SqlError::Security(reason));
                     continue;
@@ -163,8 +263,12 @@ impl RequestManager {
 
             // Cache path (§4).
             if let QueryMode::Cached { max_age_ms } = request.mode {
-                if let Some(hit) = self.cache.lookup(source, &request.sql, now, max_age_ms) {
-                    self.stats.cache_served.fetch_add(1, Ordering::Relaxed);
+                let hit = self.cache.lookup(source, &request.sql, now, max_age_ms);
+                if let Some(s) = span.as_mut() {
+                    s.stage_with("cache_lookup", if hit.is_some() { "hit" } else { "miss" });
+                }
+                if let Some(hit) = hit {
+                    self.stats.cache_served.inc();
                     served_from_cache += 1;
                     sources_ok += 1;
                     append(
@@ -186,8 +290,14 @@ impl RequestManager {
                     continue;
                 }
             };
-            self.stats.realtime_fetches.fetch_add(1, Ordering::Relaxed);
-            match self.connections.execute(&url, &request.sql) {
+            self.stats.realtime_fetches.inc();
+            if let Some(s) = span.as_mut() {
+                s.source(source);
+            }
+            match self
+                .connections
+                .execute_traced(&url, &request.sql, span.as_mut())
+            {
                 Ok(rows) => {
                     sources_ok += 1;
                     let shared = Arc::new(rows.clone());

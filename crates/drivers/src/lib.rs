@@ -34,6 +34,7 @@ pub mod registry;
 pub mod scms;
 pub mod snmp;
 pub mod sqlstore;
+pub mod telemetry;
 pub mod xml;
 
 pub use base::{DriverEnv, DriverStats};
@@ -45,3 +46,4 @@ pub use registry::{install_into_gateway, install_standard_formatters, register_s
 pub use scms::ScmsDriver;
 pub use snmp::SnmpDriver;
 pub use sqlstore::SqlStoreDriver;
+pub use telemetry::TelemetryDriver;

@@ -50,6 +50,11 @@ pub fn install_into_gateway(gateway: &gridrm_core::Gateway) -> Arc<DriverEnv> {
     );
     env.mount_store("history", gateway.history().store().clone());
     register_standard_drivers(gateway.driver_manager().base(), &env);
+    // The gateway's own metrics, queryable as the `gridrm_telemetry`
+    // virtual table via `jdbc:telemetry://local/metrics`.
+    gateway
+        .driver_manager()
+        .register(crate::TelemetryDriver::new(gateway.telemetry().clone()));
     install_standard_formatters(gateway.events());
     env
 }

@@ -1,0 +1,264 @@
+//! The JDBC-Telemetry driver: the gateway's own metrics exposed as a
+//! virtual SQL table, queryable through the normal driver path — the
+//! "monitor the monitor" loop. Every flattened registry sample becomes
+//! one row of `gridrm_telemetry`:
+//!
+//! | column | type  | meaning                                        |
+//! |--------|-------|------------------------------------------------|
+//! | name   | TEXT  | sample name (`gridrm_requests_total`, `…_sum`) |
+//! | kind   | TEXT  | family kind: counter, gauge or histogram       |
+//! | labels | TEXT  | rendered labels (`driver="jdbc-snmp",le="10"`) |
+//! | value  | REAL  | sample value                                   |
+//!
+//! URL form: `jdbc:telemetry://local/metrics`.
+
+use crate::base::{parse_select, DriverStats};
+use gridrm_dbc::{
+    Connection, DbcResult, Driver, DriverMetaData, JdbcUrl, Properties, ResultSet, SqlError,
+    Statement,
+};
+use gridrm_sqlparse::ast::ColumnDef;
+use gridrm_sqlparse::{SqlType, SqlValue};
+use gridrm_store::Table;
+use gridrm_telemetry::GatewayTelemetry;
+use std::sync::Arc;
+
+/// Driver name as registered with the gateway.
+pub const DRIVER_NAME: &str = "jdbc-telemetry";
+
+/// The virtual table name.
+pub const TABLE_NAME: &str = "gridrm_telemetry";
+
+/// The JDBC-Telemetry [`Driver`].
+pub struct TelemetryDriver {
+    telemetry: GatewayTelemetry,
+    stats: Arc<DriverStats>,
+}
+
+impl TelemetryDriver {
+    /// Create the driver over a gateway's telemetry hub.
+    pub fn new(telemetry: GatewayTelemetry) -> Arc<TelemetryDriver> {
+        Arc::new(TelemetryDriver {
+            telemetry,
+            stats: Arc::new(DriverStats::default()),
+        })
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> Arc<DriverStats> {
+        self.stats.clone()
+    }
+}
+
+impl Driver for TelemetryDriver {
+    fn meta(&self) -> DriverMetaData {
+        DriverMetaData {
+            name: DRIVER_NAME.to_owned(),
+            subprotocol: "telemetry".to_owned(),
+            version: (1, 0),
+            description: "Virtual SQL table over the gateway's own metric registry".to_owned(),
+        }
+    }
+
+    fn accepts_url(&self, url: &JdbcUrl) -> bool {
+        url.subprotocol == "telemetry"
+    }
+
+    fn connect(&self, url: &JdbcUrl, _props: &Properties) -> DbcResult<Box<dyn Connection>> {
+        Ok(Box::new(TelemetryConnection {
+            telemetry: self.telemetry.clone(),
+            stats: self.stats.clone(),
+            url: url.clone(),
+            closed: false,
+        }))
+    }
+}
+
+struct TelemetryConnection {
+    telemetry: GatewayTelemetry,
+    stats: Arc<DriverStats>,
+    url: JdbcUrl,
+    closed: bool,
+}
+
+impl Connection for TelemetryConnection {
+    fn create_statement(&mut self) -> DbcResult<Box<dyn Statement>> {
+        if self.closed {
+            return Err(SqlError::Closed);
+        }
+        Ok(Box::new(TelemetryStatement {
+            telemetry: self.telemetry.clone(),
+            stats: self.stats.clone(),
+        }))
+    }
+
+    fn url(&self) -> &JdbcUrl {
+        &self.url
+    }
+
+    fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    fn close(&mut self) -> DbcResult<()> {
+        self.closed = true;
+        Ok(())
+    }
+}
+
+struct TelemetryStatement {
+    telemetry: GatewayTelemetry,
+    stats: Arc<DriverStats>,
+}
+
+/// Materialise the registry into the virtual table: one row per
+/// flattened sample, histogram buckets included.
+fn metrics_table(telemetry: &GatewayTelemetry) -> Table {
+    let columns = [
+        ("name", SqlType::Str),
+        ("kind", SqlType::Str),
+        ("labels", SqlType::Str),
+        ("value", SqlType::Float),
+    ]
+    .into_iter()
+    .map(|(name, ty)| ColumnDef {
+        name: name.to_owned(),
+        ty,
+        primary_key: false,
+    })
+    .collect();
+    let rows = telemetry
+        .registry()
+        .snapshot()
+        .into_iter()
+        .flat_map(|family| {
+            family.samples.into_iter().map(move |sample| {
+                vec![
+                    SqlValue::Str(sample.name),
+                    SqlValue::Str(family.kind.clone()),
+                    SqlValue::Str(sample.labels),
+                    SqlValue::Float(sample.value),
+                ]
+            })
+        })
+        .collect();
+    Table {
+        name: TABLE_NAME.to_owned(),
+        columns,
+        rows,
+    }
+}
+
+impl Statement for TelemetryStatement {
+    fn execute_query(&mut self, sql: &str) -> DbcResult<Box<dyn ResultSet>> {
+        self.stats.query();
+        let sel = parse_select(sql)?;
+        if !sel.table.eq_ignore_ascii_case(TABLE_NAME) {
+            return Err(SqlError::Unsupported(format!(
+                "the telemetry driver only serves the {TABLE_NAME} table, got '{}'",
+                sel.table
+            )));
+        }
+        let table = metrics_table(&self.telemetry);
+        let now = self.telemetry.clock().now_ts();
+        let rs = gridrm_store::select_in_memory(&table, &sel, now)
+            .map_err(|e| SqlError::Driver(e.to_string()))?;
+        Ok(Box::new(rs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridrm_dbc::RowSet;
+    use gridrm_simnet::SimClock;
+    use gridrm_telemetry::Labels;
+
+    fn driver() -> (GatewayTelemetry, Arc<TelemetryDriver>) {
+        let telemetry = GatewayTelemetry::new(SimClock::new());
+        let d = TelemetryDriver::new(telemetry.clone());
+        (telemetry, d)
+    }
+
+    fn query(d: &TelemetryDriver, sql: &str) -> DbcResult<RowSet> {
+        let url = JdbcUrl::parse("jdbc:telemetry://local/metrics").unwrap();
+        let mut conn = d.connect(&url, &Properties::new())?;
+        let mut stmt = conn.create_statement()?;
+        let mut rs = stmt.execute_query(sql)?;
+        RowSet::materialize(rs.as_mut())
+    }
+
+    #[test]
+    fn counters_appear_as_rows() {
+        let (t, d) = driver();
+        t.registry()
+            .counter("gridrm_cache_hits_total", "hits", Labels::none())
+            .add(5);
+        let rs = query(
+            &d,
+            "SELECT value FROM gridrm_telemetry WHERE name = 'gridrm_cache_hits_total'",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows()[0][0].as_f64().unwrap(), 5.0);
+    }
+
+    #[test]
+    fn like_filter_over_names() {
+        let (t, d) = driver();
+        t.registry()
+            .counter("gridrm_cache_hits_total", "hits", Labels::none())
+            .inc();
+        t.registry()
+            .counter("gridrm_cache_misses_total", "misses", Labels::none())
+            .inc();
+        t.registry()
+            .counter("gridrm_requests_total", "requests", Labels::none())
+            .inc();
+        let rs = query(
+            &d,
+            "SELECT name FROM gridrm_telemetry WHERE name LIKE 'gridrm_cache%' ORDER BY name",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(
+            rs.rows()[0][0],
+            SqlValue::Str("gridrm_cache_hits_total".into())
+        );
+    }
+
+    #[test]
+    fn histogram_samples_flatten() {
+        let (t, d) = driver();
+        let h = t.registry().histogram(
+            "gridrm_driver_latency_ms",
+            "latency",
+            Labels::from_pairs(&[("driver", "jdbc-snmp")]),
+            &[1.0, 10.0],
+        );
+        h.observe(3.0);
+        // 2 finite buckets + +Inf + _sum + _count = 5 rows.
+        let rs = query(
+            &d,
+            "SELECT name FROM gridrm_telemetry WHERE name LIKE 'gridrm_driver_latency_ms%'",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 5);
+    }
+
+    #[test]
+    fn other_tables_rejected() {
+        let (_t, d) = driver();
+        assert!(matches!(
+            query(&d, "SELECT * FROM Processor"),
+            Err(SqlError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn accepts_only_telemetry_urls() {
+        let (_t, d) = driver();
+        assert!(d.accepts_url(&JdbcUrl::parse("jdbc:telemetry://local/metrics").unwrap()));
+        assert!(!d.accepts_url(&JdbcUrl::parse("jdbc:snmp://node/public").unwrap()));
+    }
+}

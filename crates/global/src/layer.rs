@@ -9,21 +9,67 @@ use gridrm_core::security::Identity;
 use gridrm_core::Gateway;
 use gridrm_dbc::{DbcResult, JdbcUrl, RowSet, SqlError};
 use gridrm_simnet::{Network, Service};
+use gridrm_telemetry::{Counter, Labels, Registry};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
-/// Global-layer counters (experiments E1/E12).
+/// Global-layer counters (experiments E1/E12). Shared telemetry cells:
+/// also exposable in a gateway-wide [`Registry`] via
+/// [`GlobalStats::register_into`].
 #[derive(Debug, Default)]
 pub struct GlobalStats {
     /// Remote queries this gateway sent out.
-    pub remote_queries_out: AtomicU64,
+    pub remote_queries_out: Counter,
     /// Remote queries this gateway answered for peers.
-    pub remote_queries_in: AtomicU64,
+    pub remote_queries_in: Counter,
     /// Events forwarded to peers.
-    pub events_out: AtomicU64,
+    pub events_out: Counter,
     /// Events accepted from peers.
-    pub events_in: AtomicU64,
+    pub events_in: Counter,
+}
+
+/// Named point-in-time copy of [`GlobalStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GlobalSnapshot {
+    /// Remote queries this gateway sent out.
+    pub remote_queries_out: u64,
+    /// Remote queries this gateway answered for peers.
+    pub remote_queries_in: u64,
+    /// Events forwarded to peers.
+    pub events_out: u64,
+    /// Events accepted from peers.
+    pub events_in: u64,
+}
+
+impl GlobalStats {
+    /// Point-in-time copy of all counters.
+    pub fn snapshot(&self) -> GlobalSnapshot {
+        GlobalSnapshot {
+            remote_queries_out: self.remote_queries_out.get(),
+            remote_queries_in: self.remote_queries_in.get(),
+            events_out: self.events_out.get(),
+            events_in: self.events_in.get(),
+        }
+    }
+
+    /// Expose these counters in a metrics registry (shared cells: the
+    /// struct and the registry observe the same values).
+    pub fn register_into(&self, registry: &Registry) {
+        let series = [
+            ("query_out", &self.remote_queries_out),
+            ("query_in", &self.remote_queries_in),
+            ("event_out", &self.events_out),
+            ("event_in", &self.events_in),
+        ];
+        for (kind, counter) in series {
+            registry.expose_counter(
+                "gridrm_global_messages_total",
+                "Inter-gateway Global-layer messages by kind and direction",
+                Labels::from_pairs(&[("kind", kind)]),
+                counter,
+            );
+        }
+    }
 }
 
 /// A gateway's Global-layer attachment.
@@ -67,6 +113,10 @@ impl GlobalLayer {
                 }),
             });
         network.register(&gma_address, service);
+        // Global-layer traffic shows up in the gateway's own registry.
+        layer
+            .stats
+            .register_into(layer.gateway.telemetry().registry());
         layer
     }
 
@@ -107,7 +157,7 @@ impl GlobalLayer {
                 from_gateway,
                 event,
             } => {
-                self.stats.events_in.fetch_add(1, Ordering::Relaxed);
+                self.stats.events_in.inc();
                 // Re-source so the forwarding transmitter never loops it
                 // back out.
                 let mut event = event;
@@ -122,7 +172,7 @@ impl GlobalLayer {
                 max_cache_age_ms,
                 ..
             } => {
-                self.stats.remote_queries_in.fetch_add(1, Ordering::Relaxed);
+                self.stats.remote_queries_in.inc();
                 let mode = match max_cache_age_ms {
                     Some(age) => QueryMode::Cached {
                         max_age_ms: Some(age),
@@ -213,9 +263,7 @@ impl GlobalLayer {
             _ => None,
         };
         for (gateway_name, (entry, sources)) in remote {
-            self.stats
-                .remote_queries_out
-                .fetch_add(1, Ordering::Relaxed);
+            self.stats.remote_queries_out.inc();
             let wire = GlobalRequest::Query {
                 from_gateway: my_name.clone(),
                 identity: WireIdentity::from(&identity),
@@ -303,7 +351,7 @@ impl GlobalLayer {
                     protocol::decode::<GlobalResponse>(&bytes),
                     Ok(GlobalResponse::EventAccepted)
                 ) {
-                    self.stats.events_out.fetch_add(1, Ordering::Relaxed);
+                    self.stats.events_out.inc();
                     accepted += 1;
                 }
             }

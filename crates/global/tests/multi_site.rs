@@ -64,22 +64,8 @@ fn remote_query_routed_to_owning_gateway() {
     assert_eq!(resp.rows.len(), 1);
     assert_eq!(resp.rows.rows()[0][0], SqlValue::Str("node01.beta".into()));
     // The query crossed exactly one gateway-to-gateway hop.
-    assert_eq!(
-        g.sites[0]
-            .layer
-            .stats()
-            .remote_queries_out
-            .load(std::sync::atomic::Ordering::Relaxed),
-        1
-    );
-    assert_eq!(
-        g.sites[1]
-            .layer
-            .stats()
-            .remote_queries_in
-            .load(std::sync::atomic::Ordering::Relaxed),
-        1
-    );
+    assert_eq!(g.sites[0].layer.stats().remote_queries_out.get(), 1);
+    assert_eq!(g.sites[1].layer.stats().remote_queries_in.get(), 1);
     // And alpha's gateway never talked to beta's agent directly.
     assert_eq!(
         g.net
@@ -120,14 +106,7 @@ fn local_queries_never_leave_the_site() {
             "SELECT Hostname FROM Processor",
         ))
         .unwrap();
-    assert_eq!(
-        g.sites[0]
-            .layer
-            .stats()
-            .remote_queries_out
-            .load(std::sync::atomic::Ordering::Relaxed),
-        0
-    );
+    assert_eq!(g.sites[0].layer.stats().remote_queries_out.get(), 0);
 }
 
 #[test]
@@ -201,11 +180,7 @@ fn events_propagate_between_gateways() {
     g.sites[1].gateway.pump();
     assert!(rx.try_recv().is_err());
     assert_eq!(
-        g.sites[1]
-            .layer
-            .stats()
-            .events_out
-            .load(std::sync::atomic::Ordering::Relaxed),
+        g.sites[1].layer.stats().events_out.get(),
         0,
         "beta re-forwarded a gma-sourced event"
     );

@@ -1,0 +1,11 @@
+//! GridRM telemetry: metrics registry, query-path tracing, exposition.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, Labels, MetricSnapshot, Registry, Sample, DEFAULT_LATENCY_BUCKETS_MS,
+};
+pub use trace::{
+    GatewayTelemetry, SpanBuilder, SpanStage, TraceBuffer, TraceRecord, DEFAULT_TRACE_CAPACITY,
+};

@@ -1,0 +1,296 @@
+//! Per-request trace spans: timestamped stages through the query path,
+//! kept in a bounded ring buffer of recent traces.
+
+use gridrm_simnet::SimClock;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::metrics::Registry;
+
+/// One timestamped stage inside a trace (`resolve`, `connect`, …).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanStage {
+    /// Stage name from the closed query-path set.
+    pub stage: String,
+    /// Virtual time when the stage was recorded.
+    pub at_ms: u64,
+    /// Optional low-cardinality detail (driver name, cache outcome).
+    pub detail: Option<String>,
+}
+
+/// A completed (or in-flight) per-request trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Monotonic trace id, unique per gateway telemetry instance.
+    pub id: u64,
+    /// What is being traced (request label or SQL summary).
+    pub request: String,
+    /// The source URL the request resolved against, when known.
+    pub source: Option<String>,
+    /// Virtual start time.
+    pub started_ms: u64,
+    /// Virtual end time (equals `started_ms` until finished).
+    pub finished_ms: u64,
+    /// Outcome: `ok`, `error`, or `pending`.
+    pub outcome: String,
+    /// Ordered stages with monotonic timestamps.
+    pub stages: Vec<SpanStage>,
+}
+
+impl TraceRecord {
+    /// Total virtual duration.
+    pub fn duration_ms(&self) -> u64 {
+        self.finished_ms.saturating_sub(self.started_ms)
+    }
+}
+
+/// An in-flight trace; records stages against the shared clock and
+/// commits into the ring buffer when finished.
+pub struct SpanBuilder {
+    record: TraceRecord,
+    clock: Arc<SimClock>,
+    sink: Arc<TraceBuffer>,
+}
+
+impl SpanBuilder {
+    /// Record a stage now.
+    pub fn stage(&mut self, name: &str) {
+        self.record.stages.push(SpanStage {
+            stage: name.to_string(),
+            at_ms: self.clock.now_millis(),
+            detail: None,
+        });
+    }
+
+    /// Record a stage now, with a low-cardinality detail string.
+    pub fn stage_with(&mut self, name: &str, detail: &str) {
+        self.record.stages.push(SpanStage {
+            stage: name.to_string(),
+            at_ms: self.clock.now_millis(),
+            detail: Some(detail.to_string()),
+        });
+    }
+
+    /// Note which source the request resolved to.
+    pub fn source(&mut self, url: &str) {
+        self.record.source = Some(url.to_string());
+    }
+
+    /// The trace id assigned to this span.
+    pub fn id(&self) -> u64 {
+        self.record.id
+    }
+
+    /// Finish with an outcome and commit to the ring buffer.
+    pub fn finish(mut self, outcome: &str) {
+        self.record.finished_ms = self.clock.now_millis();
+        self.record.outcome = outcome.to_string();
+        self.sink.push(self.record);
+    }
+}
+
+/// Bounded ring buffer of recent traces: oldest evicted first.
+pub struct TraceBuffer {
+    capacity: usize,
+    ring: Mutex<VecDeque<TraceRecord>>,
+}
+
+impl TraceBuffer {
+    /// Buffer keeping at most `capacity` traces (capacity >= 1).
+    pub fn new(capacity: usize) -> TraceBuffer {
+        assert!(capacity > 0, "trace buffer capacity must be positive");
+        TraceBuffer {
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Append, evicting the oldest trace on overflow.
+    pub fn push(&self, record: TraceRecord) {
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// Retained traces, oldest first.
+    pub fn recent(&self) -> Vec<TraceRecord> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// The slowest retained trace by virtual duration.
+    pub fn slowest(&self) -> Option<TraceRecord> {
+        self.ring
+            .lock()
+            .iter()
+            .max_by_key(|t| t.duration_ms())
+            .cloned()
+    }
+
+    /// Number of retained traces.
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.lock().is_empty()
+    }
+
+    /// Maximum number of retained traces.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Default number of traces retained per gateway.
+pub const DEFAULT_TRACE_CAPACITY: usize = 256;
+
+/// The per-gateway telemetry hub: one registry, one trace ring, one
+/// clock. Cheap to clone (`Arc` inside) and share across subsystems.
+#[derive(Clone)]
+pub struct GatewayTelemetry {
+    registry: Arc<Registry>,
+    traces: Arc<TraceBuffer>,
+    clock: Arc<SimClock>,
+    next_trace_id: Arc<AtomicU64>,
+}
+
+impl GatewayTelemetry {
+    /// Telemetry hub over the gateway's clock.
+    pub fn new(clock: Arc<SimClock>) -> GatewayTelemetry {
+        GatewayTelemetry::with_capacity(clock, DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Telemetry hub with an explicit trace-ring capacity.
+    pub fn with_capacity(clock: Arc<SimClock>, trace_capacity: usize) -> GatewayTelemetry {
+        GatewayTelemetry {
+            registry: Arc::new(Registry::new()),
+            traces: Arc::new(TraceBuffer::new(trace_capacity)),
+            clock,
+            next_trace_id: Arc::new(AtomicU64::new(1)),
+        }
+    }
+
+    /// The shared metric registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The trace ring buffer.
+    pub fn traces(&self) -> &TraceBuffer {
+        &self.traces
+    }
+
+    /// The clock stamping trace stages.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    /// Start a trace for one request.
+    pub fn span(&self, request: &str) -> SpanBuilder {
+        let now = self.clock.now_millis();
+        SpanBuilder {
+            record: TraceRecord {
+                id: self.next_trace_id.fetch_add(1, Ordering::Relaxed),
+                request: request.to_string(),
+                source: None,
+                started_ms: now,
+                finished_ms: now,
+                outcome: "pending".to_string(),
+                stages: Vec::new(),
+            },
+            clock: Arc::clone(&self.clock),
+            sink: Arc::clone(&self.traces),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, started: u64, finished: u64) -> TraceRecord {
+        TraceRecord {
+            id,
+            request: format!("req-{id}"),
+            source: None,
+            started_ms: started,
+            finished_ms: finished,
+            outcome: "ok".into(),
+            stages: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_under_wraparound() {
+        let buf = TraceBuffer::new(3);
+        for id in 1..=7 {
+            buf.push(record(id, 0, id));
+        }
+        let kept: Vec<u64> = buf.recent().iter().map(|t| t.id).collect();
+        assert_eq!(kept, vec![5, 6, 7]); // oldest-first, newest retained
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.capacity(), 3);
+        // One more full cycle keeps eviction order stable.
+        for id in 8..=10 {
+            buf.push(record(id, 0, id));
+        }
+        let kept: Vec<u64> = buf.recent().iter().map(|t| t.id).collect();
+        assert_eq!(kept, vec![8, 9, 10]);
+    }
+
+    #[test]
+    fn span_records_monotonic_stages() {
+        let clock = SimClock::new();
+        let telemetry = GatewayTelemetry::new(Arc::clone(&clock));
+        let mut span = telemetry.span("SELECT * FROM host");
+        span.stage("resolve");
+        clock.advance(5);
+        span.stage_with("connect", "ganglia");
+        clock.advance(3);
+        span.stage("execute");
+        span.source("h0:xml");
+        span.finish("ok");
+
+        let traces = telemetry.traces().recent();
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert_eq!(t.outcome, "ok");
+        assert_eq!(t.source.as_deref(), Some("h0:xml"));
+        assert_eq!(t.duration_ms(), 8);
+        let stages: Vec<&str> = t.stages.iter().map(|s| s.stage.as_str()).collect();
+        assert_eq!(stages, vec!["resolve", "connect", "execute"]);
+        assert!(t.stages.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        assert_eq!(t.stages[1].detail.as_deref(), Some("ganglia"));
+    }
+
+    #[test]
+    fn slowest_picks_longest_duration() {
+        let buf = TraceBuffer::new(8);
+        buf.push(record(1, 0, 10));
+        buf.push(record(2, 0, 50));
+        buf.push(record(3, 0, 20));
+        assert_eq!(buf.slowest().unwrap().id, 2);
+    }
+
+    #[test]
+    fn trace_serializes_to_json() {
+        let t = record(9, 1, 4);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: TraceRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn span_ids_are_unique() {
+        let telemetry = GatewayTelemetry::new(SimClock::new());
+        let a = telemetry.span("a").id();
+        let b = telemetry.span("b").id();
+        assert_ne!(a, b);
+    }
+}

@@ -5,7 +5,6 @@
 //! Run with: `cargo run --example multi_site_monitor`
 
 use gridrm::prelude::*;
-use std::sync::atomic::Ordering;
 
 fn main() {
     let net = Network::new(SimClock::new(), 2003);
@@ -67,7 +66,7 @@ fn main() {
     println!("{}", resp.rows.to_table_string());
     println!(
         "remote queries sent by gw-portsmouth: {}",
-        portal.stats().remote_queries_out.load(Ordering::Relaxed)
+        portal.stats().remote_queries_out.get()
     );
 
     // Site-level compute summaries via the SCMS ComputeElement group.

@@ -47,6 +47,7 @@ pub use gridrm_resmodel as resmodel;
 pub use gridrm_simnet as simnet;
 pub use gridrm_sqlparse as sqlparse;
 pub use gridrm_store as store;
+pub use gridrm_telemetry as telemetry;
 
 /// Everything needed for the common "stand up a monitored Grid" flow.
 pub mod prelude {
@@ -62,4 +63,5 @@ pub mod prelude {
     pub use gridrm_resmodel::{SiteModel, SiteSpec};
     pub use gridrm_simnet::{Network, SimClock};
     pub use gridrm_sqlparse::SqlValue;
+    pub use gridrm_telemetry::{GatewayTelemetry, Registry, TraceRecord};
 }

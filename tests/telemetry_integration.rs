@@ -1,0 +1,247 @@
+//! Gateway-wide telemetry integration: a simulated multi-source workload
+//! must leave exactly-accountable marks in the metrics registry, produce
+//! ordered query-path traces, and expose the same numbers through all
+//! three exposition surfaces (JSON snapshot, Prometheus text, and the
+//! `gridrm_telemetry` virtual SQL table).
+
+use gridrm::prelude::*;
+use gridrm::telemetry::Sample;
+use std::sync::Arc;
+
+/// A deployed site with a gateway and the standard driver set.
+fn world() -> Arc<Gateway> {
+    let net = Network::new(SimClock::new(), 777);
+    let site = SiteModel::generate(21, &SiteSpec::new("tm", 4, 2));
+    site.advance_to(120_000);
+    deploy_site(&net, site);
+    let gateway = Gateway::new(GatewayConfig::new("gw-tm", "tm"), net);
+    install_into_gateway(&gateway);
+    gateway
+}
+
+const SNMP_URL: &str = "jdbc:snmp://node01.tm/public";
+const GANGLIA_URL: &str = "jdbc:ganglia://node00.tm/tm";
+
+/// Run the reference workload: four queries against two distinct
+/// simulated sources — one of them repeated from cache.
+fn run_workload(gateway: &Gateway) {
+    let sql = "SELECT Hostname, Load1 FROM Processor";
+    // 1. Real-time against the SNMP agent.
+    gateway
+        .query(&ClientRequest::realtime(SNMP_URL, sql))
+        .expect("snmp query");
+    // 2. Real-time against the Ganglia agent (different driver).
+    gateway
+        .query(&ClientRequest::realtime(GANGLIA_URL, sql))
+        .expect("ganglia query");
+    // 3. Cached query: misses (different SQL), so it fetches + stores.
+    gateway
+        .query(&ClientRequest::cached(
+            SNMP_URL,
+            "SELECT Hostname FROM Processor",
+            Some(60_000),
+        ))
+        .expect("cached query (miss)");
+    // 4. Same cached query again: served from the cache.
+    gateway
+        .query(&ClientRequest::cached(
+            SNMP_URL,
+            "SELECT Hostname FROM Processor",
+            Some(60_000),
+        ))
+        .expect("cached query (hit)");
+}
+
+fn sample_value(samples: &[Sample], name: &str, labels: &str) -> Option<f64> {
+    samples
+        .iter()
+        .find(|s| s.name == name && s.labels == labels)
+        .map(|s| s.value)
+}
+
+#[test]
+fn counters_match_workload_exactly() {
+    let gateway = world();
+    run_workload(&gateway);
+    let samples = gateway.telemetry().registry().samples();
+
+    // 4 client requests total.
+    assert_eq!(
+        sample_value(&samples, "gridrm_requests_total", ""),
+        Some(4.0)
+    );
+    // Cache: one lookup missed, one hit (realtime queries bypass lookup).
+    assert_eq!(
+        sample_value(&samples, "gridrm_cache_events_total", "event=\"hit\""),
+        Some(1.0)
+    );
+    assert_eq!(
+        sample_value(&samples, "gridrm_cache_events_total", "event=\"miss\""),
+        Some(1.0)
+    );
+    // Every successful real-time fetch stores its result: queries 1-3.
+    assert_eq!(
+        sample_value(&samples, "gridrm_cache_events_total", "event=\"store\""),
+        Some(3.0)
+    );
+    // Request paths: 3 real-time fetches, 1 served from cache.
+    assert_eq!(
+        sample_value(
+            &samples,
+            "gridrm_request_paths_total",
+            "path=\"realtime_fetch\""
+        ),
+        Some(3.0)
+    );
+    assert_eq!(
+        sample_value(
+            &samples,
+            "gridrm_request_paths_total",
+            "path=\"cache_served\""
+        ),
+        Some(1.0)
+    );
+
+    // Per-driver latency histograms: SNMP executed twice, Ganglia once.
+    assert_eq!(
+        sample_value(
+            &samples,
+            "gridrm_driver_latency_ms_count",
+            "driver=\"jdbc-snmp\""
+        ),
+        Some(2.0)
+    );
+    assert_eq!(
+        sample_value(
+            &samples,
+            "gridrm_driver_latency_ms_count",
+            "driver=\"jdbc-ganglia\""
+        ),
+        Some(1.0)
+    );
+    // And the request-latency histogram saw all four requests.
+    assert_eq!(
+        sample_value(&samples, "gridrm_request_latency_ms_count", ""),
+        Some(4.0)
+    );
+}
+
+#[test]
+fn traces_record_query_path_stages_in_order() {
+    let gateway = world();
+    run_workload(&gateway);
+    let traces = gateway.telemetry().traces().recent();
+    assert_eq!(traces.len(), 4, "one trace per client request");
+
+    // The first trace went to the SNMP agent through the full path.
+    let t = &traces[0];
+    assert_eq!(t.outcome, "ok");
+    assert_eq!(t.source.as_deref(), Some(SNMP_URL));
+    let stages: Vec<&str> = t.stages.iter().map(|s| s.stage.as_str()).collect();
+    let pos = |name: &str| {
+        stages
+            .iter()
+            .position(|s| *s == name)
+            .unwrap_or_else(|| panic!("stage {name} missing from {stages:?}"))
+    };
+    let order = [
+        pos("resolve"),
+        pos("connect"),
+        pos("execute"),
+        pos("translate"),
+    ];
+    assert!(
+        order.windows(2).all(|w| w[0] < w[1]),
+        "stages out of order: {stages:?}"
+    );
+    // Timestamps are monotone non-decreasing across the whole trace.
+    assert!(t.stages.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+    assert!(t.started_ms <= t.stages[0].at_ms);
+    assert!(t.finished_ms >= t.stages[t.stages.len() - 1].at_ms);
+    // The resolve stage names the winning driver.
+    assert_eq!(
+        t.stages[pos("resolve")].detail.as_deref(),
+        Some("jdbc-snmp")
+    );
+
+    // The cache-served request records a cache hit and never resolves.
+    let hit = &traces[3];
+    assert!(hit
+        .stages
+        .iter()
+        .any(|s| s.stage == "cache_lookup" && s.detail.as_deref() == Some("hit")));
+    assert!(!hit.stages.iter().any(|s| s.stage == "resolve"));
+}
+
+#[test]
+fn sql_virtual_table_agrees_with_json_snapshot() {
+    let gateway = world();
+    run_workload(&gateway);
+
+    // JSON exposition through the admin interface.
+    let json = gateway.admin().metrics_json();
+    assert!(json.contains("gridrm_requests_total"));
+    let snapshot = gateway.admin().metrics_snapshot();
+    let json_samples: Vec<Sample> = snapshot.into_iter().flat_map(|f| f.samples).collect();
+
+    // The same counters via SQL over the virtual table — through the
+    // normal driver path, like any other data source.
+    let resp = gateway
+        .query(&ClientRequest::realtime(
+            "jdbc:telemetry://local/metrics",
+            "SELECT name, labels, value FROM gridrm_telemetry \
+             WHERE kind = 'counter' ORDER BY name, labels",
+        ))
+        .expect("telemetry query");
+    assert!(!resp.rows.is_empty());
+    for row in resp.rows.rows() {
+        let name = row[0].to_string();
+        let labels = row[1].to_string();
+        let via_sql = row[2].as_f64().unwrap();
+        // The SQL query itself is one more request, so skip the counters
+        // it bumps between the JSON snapshot and the SQL read.
+        if name.starts_with("gridrm_requests")
+            || name.starts_with("gridrm_request_paths")
+            || name.starts_with("gridrm_driver_resolutions")
+            || name.starts_with("gridrm_pool")
+        {
+            continue;
+        }
+        let via_json = sample_value(&json_samples, &name, &labels)
+            .unwrap_or_else(|| panic!("{name}{{{labels}}} missing from JSON snapshot"));
+        assert_eq!(via_sql, via_json, "{name}{{{labels}}} disagrees");
+    }
+    // Spot-check the headline counter: the SQL read sees the 4 workload
+    // requests plus itself.
+    let req_row = resp
+        .rows
+        .rows()
+        .iter()
+        .find(|r| r[0].to_string() == "gridrm_requests_total")
+        .expect("gridrm_requests_total row");
+    assert_eq!(req_row[2].as_f64().unwrap(), 5.0);
+
+    // Prometheus text exposition carries the same families.
+    let prom = gateway.admin().metrics_prometheus();
+    assert!(prom.contains("# TYPE gridrm_requests_total counter"));
+    assert!(prom.contains("# TYPE gridrm_driver_latency_ms histogram"));
+    assert!(prom.contains("gridrm_cache_events_total{event=\"hit\"} 1"));
+}
+
+#[test]
+fn like_filter_over_virtual_table() {
+    let gateway = world();
+    run_workload(&gateway);
+    let resp = gateway
+        .query(&ClientRequest::realtime(
+            "jdbc:telemetry://local/metrics",
+            "SELECT name, value FROM gridrm_telemetry WHERE name LIKE 'gridrm_cache%'",
+        ))
+        .expect("LIKE query");
+    assert!(!resp.rows.is_empty());
+    assert!(resp
+        .rows
+        .rows()
+        .iter()
+        .all(|r| r[0].to_string().starts_with("gridrm_cache")));
+}

@@ -1,0 +1,159 @@
+//! Workspace-local stand-in for the `bytes` crate: `Bytes`/`BytesMut`
+//! plus the `Buf`/`BufMut` traits, covering the cursor-style reads and
+//! appends the SNMP codec uses.
+
+/// Read-side cursor operations.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// True when at least one byte is left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Consume and return one byte.
+    ///
+    /// # Panics
+    /// Panics when no byte remains.
+    fn get_u8(&mut self) -> u8;
+}
+
+/// Write-side append operations.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, b: u8);
+
+    /// Append a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Buffer owning a copy of `data`.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Split off and return the next `n` unread bytes, advancing the
+    /// cursor past them.
+    ///
+    /// # Panics
+    /// Panics when fewer than `n` bytes remain.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.remaining(), "split_to out of range");
+        let out = Bytes {
+            data: self.data[self.pos..self.pos + n].to_vec(),
+            pos: 0,
+        };
+        self.pos += n;
+        out
+    }
+
+    /// The unread bytes as a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+
+    /// The unread bytes as a slice.
+    pub fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.has_remaining(), "get_u8 past end of buffer");
+        let b = self.data[self.pos];
+        self.pos += 1;
+        b
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// The written bytes as a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+
+    /// Number of written bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, b: u8) {
+        self.data.push(b);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read() {
+        let mut w = BytesMut::with_capacity(8);
+        w.put_u8(7);
+        w.put_slice(b"abc");
+        assert_eq!(w.to_vec(), vec![7, b'a', b'b', b'c']);
+
+        let mut r = Bytes::copy_from_slice(&w.to_vec());
+        assert_eq!(r.remaining(), 4);
+        assert_eq!(r.get_u8(), 7);
+        let s = r.split_to(2);
+        assert_eq!(s.to_vec(), b"ab");
+        assert_eq!(r.remaining(), 1);
+        assert_eq!(r.get_u8(), b'c');
+        assert!(!r.has_remaining());
+    }
+}

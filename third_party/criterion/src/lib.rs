@@ -1,0 +1,190 @@
+//! Workspace-local stand-in for `criterion`.
+//!
+//! Offers the same bench-definition surface (`criterion_group!`,
+//! `benchmark_group`, `bench_with_input`, …) but executes each bench
+//! routine a handful of times and reports wall-clock per iteration,
+//! with none of criterion's sampling or statistics. This keeps
+//! `cargo bench` (and `cargo test --benches`) building and running
+//! offline; numbers are indicative only.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Iterations per bench routine (smoke-run, not a statistical sample).
+const ITERS: u32 = 10;
+
+/// Opaque hint preventing the optimizer from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level bench driver handed to every bench function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benches.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Run a single stand-alone bench.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(id, f);
+        self
+    }
+}
+
+/// A named set of benches sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is fixed here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; measurement time is fixed here.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one bench in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Run one parameterised bench in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// A function-plus-parameter bench identifier.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Units processed per iteration (ignored by this stand-in).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timer handle passed to each bench routine.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Time `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = ITERS;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 1,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed / b.iters.max(1);
+    println!("  {id}: {per_iter:?}/iter");
+}
+
+/// Collect bench functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benches() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(1));
+        group.throughput(Throughput::Elements(4));
+        let mut count = 0u64;
+        group.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, n| {
+            b.iter(|| {
+                count += *n;
+                black_box(count)
+            })
+        });
+        group.finish();
+        c.bench_function("top", |b| b.iter(|| black_box(2 * 2)));
+        assert!(count > 0);
+    }
+}

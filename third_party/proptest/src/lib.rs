@@ -1,0 +1,897 @@
+//! Workspace-local stand-in for `proptest`.
+//!
+//! Keeps the combinator surface the GridRM-rs property tests use
+//! (`proptest!`, `prop_oneof!`, `Strategy`, `prop::collection::vec`,
+//! regex-literal string strategies, `prop_recursive`, …) but generates
+//! values from a deterministic per-test PRNG and performs no shrinking:
+//! a failing case simply fails the test with the generated inputs in
+//! the assertion message.
+
+/// Number of generated cases per `proptest!` test function.
+pub const NUM_CASES: usize = 64;
+
+pub mod test_runner {
+    /// Deterministic xorshift64* generator seeded per test.
+    pub struct TestRunner {
+        state: u64,
+    }
+
+    impl TestRunner {
+        /// A runner with a fixed, well-known seed.
+        pub fn deterministic() -> TestRunner {
+            TestRunner {
+                state: 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// A runner seeded from the test name, so each test sees a
+        /// stable but distinct stream.
+        pub fn for_test(name: &str) -> TestRunner {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRunner {
+                state: h | 1, // never zero
+            }
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state ^= self.state >> 12;
+            self.state ^= self.state << 25;
+            self.state ^= self.state >> 27;
+            self.state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform value in `0..n` (`n > 0`).
+        pub fn usize_below(&mut self, n: usize) -> usize {
+            assert!(n > 0, "usize_below(0)");
+            (self.next_u64() % n as u64) as usize
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn f64_unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Per-suite configuration (only `cases` is honoured here).
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::stringgen;
+    use super::test_runner::TestRunner;
+    use std::marker::PhantomData;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> MapStrategy<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            MapStrategy { inner: self, f }
+        }
+
+        /// Keep only values for which `pred` holds (regenerating
+        /// otherwise; panics after too many rejections).
+        fn prop_filter<F, R>(self, reason: R, pred: F) -> FilterStrategy<Self, F>
+        where
+            Self: Sized,
+            R: std::fmt::Display,
+            F: Fn(&Self::Value) -> bool,
+        {
+            FilterStrategy {
+                inner: self,
+                reason: reason.to_string(),
+                pred,
+            }
+        }
+
+        /// Build recursive values: `recurse` receives a strategy for
+        /// the previous depth and returns one for the next.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> Recursive<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+        {
+            Recursive {
+                base: self.boxed(),
+                depth,
+                recurse: Rc::new(move |inner| recurse(inner).boxed()),
+            }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let this = self;
+            BoxedStrategy {
+                func: Rc::new(move |runner| this.generate(runner)),
+            }
+        }
+
+        /// Produce a (non-shrinking) value tree.
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<GeneratedTree<Self::Value>, String> {
+            Ok(GeneratedTree {
+                value: self.generate(runner),
+            })
+        }
+    }
+
+    /// A generated value plus (here: vestigial) shrinking state.
+    pub trait ValueTree {
+        /// The carried value type.
+        type Value;
+
+        /// The current value.
+        fn current(&self) -> Self::Value;
+    }
+
+    /// The value tree produced by this stand-in: a plain value.
+    pub struct GeneratedTree<T> {
+        value: T,
+    }
+
+    impl<T: Clone> ValueTree for GeneratedTree<T> {
+        type Value = T;
+
+        fn current(&self) -> T {
+            self.value.clone()
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T> {
+        func: Rc<dyn Fn(&mut TestRunner) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                func: Rc::clone(&self.func),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            (self.func)(runner)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between several strategies of one value type.
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from at least one option.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "Union of zero strategies");
+            Union { options }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            let pick = runner.usize_below(self.options.len());
+            self.options[pick].generate(runner)
+        }
+    }
+
+    /// `prop_map` adapter.
+    #[derive(Clone)]
+    pub struct MapStrategy<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for MapStrategy<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, runner: &mut TestRunner) -> U {
+            (self.f)(self.inner.generate(runner))
+        }
+    }
+
+    /// `prop_filter` adapter.
+    #[derive(Clone)]
+    pub struct FilterStrategy<S, F> {
+        inner: S,
+        reason: String,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for FilterStrategy<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, runner: &mut TestRunner) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.generate(runner);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 10000 candidates: {}", self.reason);
+        }
+    }
+
+    /// `prop_recursive` adapter: mixes the base case with ever-deeper
+    /// towers built by the recursion closure.
+    pub struct Recursive<T> {
+        base: BoxedStrategy<T>,
+        depth: u32,
+        #[allow(clippy::type_complexity)]
+        recurse: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    }
+
+    impl<T: 'static> Strategy for Recursive<T> {
+        type Value = T;
+
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            let levels = runner.usize_below(self.depth as usize + 1);
+            let mut strat = self.base.clone();
+            for _ in 0..levels {
+                let deeper = (self.recurse)(strat);
+                strat = Union::new(vec![self.base.clone(), deeper]).boxed();
+            }
+            strat.generate(runner)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128) - (self.start as i128);
+                    let off = (runner.next_u64() as i128).rem_euclid(span);
+                    (self.start as i128 + off) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    self.start + runner.f64_unit() as $t * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    impl Strategy for &str {
+        type Value = String;
+
+        /// String literals act as (a supported subset of) regexes.
+        fn generate(&self, runner: &mut TestRunner) -> String {
+            stringgen::from_regex(self, runner)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:tt $s:ident),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                    ($(self.$n.generate(runner),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+    }
+
+    /// Strategy for any [`super::arbitrary::Arbitrary`] type.
+    pub struct Any<A>(pub(crate) PhantomData<A>);
+
+    impl<A> Clone for Any<A> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<A: super::arbitrary::Arbitrary> Strategy for Any<A> {
+        type Value = A;
+
+        fn generate(&self, runner: &mut TestRunner) -> A {
+            A::arbitrary(runner)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Any;
+    use super::test_runner::TestRunner;
+    use std::marker::PhantomData;
+
+    /// Types with a default whole-domain generator.
+    pub trait Arbitrary: Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary(runner: &mut TestRunner) -> Self;
+    }
+
+    /// The strategy covering a type's whole domain.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(runner: &mut TestRunner) -> bool {
+            runner.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(runner: &mut TestRunner) -> $t {
+                    runner.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(runner: &mut TestRunner) -> f64 {
+            // Raw bit patterns: exercises subnormals, infinities, NaN.
+            f64::from_bits(runner.next_u64())
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(runner: &mut TestRunner) -> f32 {
+            f32::from_bits(runner.next_u64() as u32)
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRunner;
+    use std::collections::BTreeMap;
+
+    /// Inclusive size bounds accepted by collection strategies.
+    #[derive(Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl SizeRange {
+        fn draw(&self, runner: &mut TestRunner) -> usize {
+            self.lo + runner.usize_below(self.hi - self.lo + 1)
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for vectors with element strategy and length range.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of `element` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let n = self.size.draw(runner);
+            (0..n).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap`s from key and value strategies.
+    #[derive(Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// Maps with up to `size` entries (duplicate keys collapse, so the
+    /// result may be smaller, matching real proptest's behaviour only
+    /// loosely — fine for property inputs).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> BTreeMap<K::Value, V::Value> {
+            let n = self.size.draw(runner);
+            (0..n)
+                .map(|_| (self.key.generate(runner), self.value.generate(runner)))
+                .collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRunner;
+
+    /// Strategy for `Option<T>` (roughly half `Some`).
+    #[derive(Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` or `Some` of the inner strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Option<S::Value> {
+            if runner.next_u64() & 1 == 0 {
+                None
+            } else {
+                Some(self.0.generate(runner))
+            }
+        }
+    }
+}
+
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRunner;
+
+    /// Strategy picking one element of a base vector.
+    #[derive(Clone)]
+    pub struct Select<T: Clone> {
+        items: Vec<T>,
+    }
+
+    /// One uniformly chosen element of `items`.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select over no items");
+        Select { items }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            self.items[runner.usize_below(self.items.len())].clone()
+        }
+    }
+
+    /// Strategy for order-preserving subsequences of a base vector.
+    #[derive(Clone)]
+    pub struct Subsequence<T: Clone> {
+        items: Vec<T>,
+        size: std::ops::Range<usize>,
+    }
+
+    /// A subsequence of `items` (original order kept) whose length is
+    /// drawn from `size`, capped at the number of items.
+    pub fn subsequence<T: Clone>(items: Vec<T>, size: std::ops::Range<usize>) -> Subsequence<T> {
+        assert!(size.start < size.end, "empty subsequence size range");
+        Subsequence { items, size }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Vec<T> {
+            let hi = self.size.end.min(self.items.len() + 1);
+            let lo = self.size.start.min(hi.saturating_sub(1));
+            let n = lo + runner.usize_below(hi - lo);
+            // Choose n distinct indices, then emit them in order.
+            let mut picked = vec![false; self.items.len()];
+            let mut left = n;
+            while left > 0 {
+                let idx = runner.usize_below(self.items.len());
+                if !picked[idx] {
+                    picked[idx] = true;
+                    left -= 1;
+                }
+            }
+            self.items
+                .iter()
+                .zip(&picked)
+                .filter(|(_, &p)| p)
+                .map(|(item, _)| item.clone())
+                .collect()
+        }
+    }
+}
+
+mod stringgen {
+    use super::test_runner::TestRunner;
+
+    enum Atom {
+        Lit(char),
+        Class(Vec<(char, char)>),
+        Printable,
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generate a string matching the supported regex subset: literal
+    /// characters, `[...]` classes with ranges, `\PC` (any printable),
+    /// and `{n}` / `{m,n}` / `?` / `*` / `+` quantifiers.
+    pub fn from_regex(pattern: &str, runner: &mut TestRunner) -> String {
+        let pieces = parse(pattern);
+        let mut out = String::new();
+        for piece in &pieces {
+            let span = piece.max - piece.min + 1;
+            let reps = piece.min + runner.usize_below(span);
+            for _ in 0..reps {
+                out.push(pick(&piece.atom, runner));
+            }
+        }
+        out
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let (class, next) = parse_class(&chars, i + 1);
+                    i = next;
+                    Atom::Class(class)
+                }
+                '\\' => {
+                    i += 1;
+                    let c = chars
+                        .get(i)
+                        .copied()
+                        .unwrap_or_else(|| panic!("dangling escape in regex `{pattern}`"));
+                    i += 1;
+                    if c == 'P' || c == 'p' {
+                        // \PC / \pC — proptest shorthand for printable.
+                        i += 1; // skip the category letter
+                        Atom::Printable
+                    } else {
+                        Atom::Lit(c)
+                    }
+                }
+                c => {
+                    i += 1;
+                    Atom::Lit(c)
+                }
+            };
+            let (min, max, next) = parse_quant(&chars, i);
+            i = next;
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn parse_class(chars: &[char], mut i: usize) -> (Vec<(char, char)>, usize) {
+        let mut ranges = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let lo = chars[i];
+            if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                ranges.push((lo, chars[i + 2]));
+                i += 3;
+            } else {
+                ranges.push((lo, lo));
+                i += 1;
+            }
+        }
+        (ranges, i + 1) // skip the `]`
+    }
+
+    fn parse_quant(chars: &[char], i: usize) -> (usize, usize, usize) {
+        match chars.get(i) {
+            Some('?') => (0, 1, i + 1),
+            Some('*') => (0, 8, i + 1),
+            Some('+') => (1, 8, i + 1),
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unclosed quantifier")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (min, max) = match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                };
+                (min, max, close + 1)
+            }
+            _ => (1, 1, i),
+        }
+    }
+
+    fn pick(atom: &Atom, runner: &mut TestRunner) -> char {
+        match atom {
+            Atom::Lit(c) => *c,
+            Atom::Class(ranges) => {
+                let total: u32 = ranges
+                    .iter()
+                    .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                    .sum();
+                let mut idx = runner.usize_below(total as usize) as u32;
+                for (lo, hi) in ranges {
+                    let size = *hi as u32 - *lo as u32 + 1;
+                    if idx < size {
+                        return char::from_u32(*lo as u32 + idx).expect("invalid char range");
+                    }
+                    idx -= size;
+                }
+                unreachable!()
+            }
+            Atom::Printable => {
+                // Mostly printable ASCII, sometimes multi-byte text to
+                // exercise unicode paths.
+                const EXOTIC: [char; 8] = ['é', 'ß', 'λ', 'Ж', '中', '✓', 'ø', 'π'];
+                if runner.next_u64().is_multiple_of(8) {
+                    EXOTIC[runner.usize_below(EXOTIC.len())]
+                } else {
+                    char::from_u32(0x20 + runner.usize_below(0x5F) as u32).unwrap()
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestRunner;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespace alias so tests can write `prop::collection::vec(..)`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// Uniform choice between strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn` runs the configured number of
+/// generated cases ([`NUM_CASES`] unless `#![proptest_config(..)]`
+/// overrides it).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { (($cfg).cases as usize) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::NUM_CASES) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cases:expr) $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut __runner = $crate::test_runner::TestRunner::for_test(stringify!($name));
+                let __cases: usize = $cases;
+                for __case in 0..__cases {
+                    let _ = __case;
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __runner);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Skip the current generated case when its precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Assert within a property test (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality within a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality within a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::ValueTree;
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..50 {
+            let s = crate::strategy::Strategy::generate(&"[a-z]{1,8}", &mut runner);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let t = crate::strategy::Strategy::generate(&"[A-Za-z][A-Za-z0-9]{0,10}", &mut runner);
+            assert!(t.chars().next().unwrap().is_ascii_alphabetic());
+
+            let p = crate::strategy::Strategy::generate(&"\\PC{0,20}", &mut runner);
+            assert!(p.chars().count() <= 20);
+            assert!(p.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn oneof_and_trees() {
+        let strat = prop_oneof![Just(1i64), 10i64..20, any::<i64>()];
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..20 {
+            let _ = strat.new_tree(&mut runner).unwrap().current();
+        }
+    }
+
+    proptest! {
+        /// The macro itself compiles and runs bodies.
+        #[test]
+        fn macro_smoke(x in 0usize..10, flag in any::<bool>(), s in "[a-c]{0,3}") {
+            prop_assert!(x < 10);
+            prop_assert_eq!(flag, flag, "flag={} s={}", flag, s);
+            prop_assert_ne!(x, 10);
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! Workspace-local stand-in for `serde_derive`.
+//!
+//! Parses the deriving item directly from the proc-macro token stream
+//! (no `syn`/`quote` available offline) and emits `Serialize` /
+//! `Deserialize` impls against the Value-tree model of the companion
+//! `serde` stand-in. Supports non-generic structs (named, tuple, unit)
+//! and enums (unit, tuple, and struct variants) with externally-tagged
+//! encoding — the same JSON shape real serde produces by default.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if matches!(
+                    toks.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    toks.next();
+                }
+            }
+            _ => break,
+        }
+    }
+    let kw = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected struct/enum keyword, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected type name, got {other:?}"),
+    };
+    match kw.as_str() {
+        "struct" => {
+            let fields = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item {
+                name,
+                kind: ItemKind::Struct(fields),
+            }
+        }
+        "enum" => {
+            let body = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("derive: expected enum body, got {other:?}"),
+            };
+            Item {
+                name,
+                kind: ItemKind::Enum(parse_variants(body)),
+            }
+        }
+        other => panic!("derive supports only structs and enums, got `{other}`"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            toks.next();
+            toks.next();
+        }
+        if matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            toks.next();
+            if matches!(
+                toks.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                toks.next();
+            }
+        }
+        match toks.next() {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            None => break,
+            other => panic!("derive: expected field name, got {other:?}"),
+        }
+        toks.next(); // the `:` after the field name
+        let mut angle_depth = 0i32;
+        for t in toks.by_ref() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    names
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle_depth = 0i32;
+    let mut seg_nonempty = false;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    angle_depth += 1;
+                    seg_nonempty = true;
+                }
+                '>' => {
+                    angle_depth -= 1;
+                    seg_nonempty = true;
+                }
+                ',' if angle_depth == 0 => {
+                    if seg_nonempty {
+                        count += 1;
+                    }
+                    seg_nonempty = false;
+                }
+                _ => seg_nonempty = true,
+            },
+            _ => seg_nonempty = true,
+        }
+    }
+    if seg_nonempty {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            toks.next();
+            toks.next();
+        }
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("derive: expected variant name, got {other:?}"),
+        };
+        let peeked = toks.peek().cloned();
+        let fields = match peeked {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                toks.next();
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                toks.next();
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip any explicit discriminant, stop at the variant separator.
+        for t in toks.by_ref() {
+            if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let mut s = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(m)");
+            s
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        ItemKind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => \
+                         ::serde::Value::String(::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{\n\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(::std::string::String::from(\"{vname}\"), {inner});\n\
+                             ::serde::Value::Object(m)\n\
+                             }}\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let mut inner = String::from("let mut inner = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "inner.insert(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {fields} }} => {{\n\
+                             {inner}\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Object(inner));\n\
+                             ::serde::Value::Object(m)\n\
+                             }}\n",
+                            fields = fields.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_named_constructor(type_path: &str, fields: &[String], obj_var: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(\
+                 {obj_var}.get(\"{f}\").unwrap_or(&::serde::Value::Null))?"
+            )
+        })
+        .collect();
+    format!("{type_path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let ctor = gen_named_constructor(name, fields, "obj");
+            format!(
+                "let obj = v.as_object().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected object for {name}\"))?;\n\
+                 ::core::result::Result::Ok({ctor})"
+            )
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "let arr = v.as_array().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected array for {name}\"))?;\n\
+                 if arr.len() != {n} {{\n\
+                 return ::core::result::Result::Err(::serde::DeError::custom(\
+                 \"wrong tuple arity for {name}\"));\n\
+                 }}\n\
+                 ::core::result::Result::Ok({name}({inits}))",
+                inits = inits.join(", "),
+            )
+        }
+        ItemKind::Struct(Fields::Unit) => {
+            format!("let _ = v;\n::core::result::Result::Ok({name})")
+        }
+        ItemKind::Enum(variants) => {
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .collect();
+            let nonunit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .collect();
+
+            let string_arm = if unit.is_empty() {
+                format!(
+                    "::serde::Value::String(s) => \
+                     ::core::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"unknown variant {{s}} for {name}\"))),\n"
+                )
+            } else {
+                let mut arms = String::new();
+                for v in &unit {
+                    let vname = &v.name;
+                    arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
+                format!(
+                    "::serde::Value::String(s) => match s.as_str() {{\n\
+                     {arms}\
+                     other => ::core::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"unknown variant {{other}} for {name}\"))),\n\
+                     }},\n"
+                )
+            };
+
+            let object_arm = if nonunit.is_empty() {
+                format!(
+                    "::serde::Value::Object(_) => \
+                     ::core::result::Result::Err(::serde::DeError::custom(\
+                     \"unexpected object for {name}\")),\n"
+                )
+            } else {
+                let mut checks = String::new();
+                for v in &nonunit {
+                    let vname = &v.name;
+                    let build = match &v.fields {
+                        Fields::Tuple(1) => format!(
+                            "return ::core::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(inner)?));"
+                        ),
+                        Fields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                                .collect();
+                            format!(
+                                "let arr = inner.as_array().ok_or_else(|| \
+                                 ::serde::DeError::custom(\
+                                 \"expected array for variant {vname}\"))?;\n\
+                                 if arr.len() != {n} {{\n\
+                                 return ::core::result::Result::Err(\
+                                 ::serde::DeError::custom(\
+                                 \"wrong tuple arity for variant {vname}\"));\n\
+                                 }}\n\
+                                 return ::core::result::Result::Ok(\
+                                 {name}::{vname}({inits}));",
+                                inits = inits.join(", "),
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let ctor =
+                                gen_named_constructor(&format!("{name}::{vname}"), fields, "obj");
+                            format!(
+                                "let obj = inner.as_object().ok_or_else(|| \
+                                 ::serde::DeError::custom(\
+                                 \"expected object for variant {vname}\"))?;\n\
+                                 return ::core::result::Result::Ok({ctor});"
+                            )
+                        }
+                        Fields::Unit => unreachable!(),
+                    };
+                    checks.push_str(&format!(
+                        "if let ::core::option::Option::Some(inner) = m.get(\"{vname}\") {{\n\
+                         {build}\n\
+                         }}\n"
+                    ));
+                }
+                format!(
+                    "::serde::Value::Object(m) => {{\n\
+                     {checks}\
+                     ::core::result::Result::Err(::serde::DeError::custom(\
+                     \"unknown variant object for {name}\"))\n\
+                     }}\n"
+                )
+            };
+
+            format!(
+                "match v {{\n\
+                 {string_arm}\
+                 {object_arm}\
+                 _ => ::core::result::Result::Err(::serde::DeError::custom(\
+                 \"expected enum representation for {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn from_value(v: &::serde::Value) \
+         -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+/// Derive `serde::Serialize` (Value-tree model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derive `serde::Deserialize` (Value-tree model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}

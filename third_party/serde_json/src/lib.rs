@@ -1,0 +1,359 @@
+//! Workspace-local stand-in for `serde_json`.
+//!
+//! Prints and parses the [`Value`] tree from the companion `serde`
+//! stand-in as JSON text. Covers the subset GridRM-rs uses: `to_string`,
+//! `to_string_pretty`, `to_vec`, `from_str`, `from_slice`, plus the
+//! `Value`/`Map`/`Number` re-exports.
+
+pub use serde::{Map, Number, Value};
+
+use std::fmt;
+
+/// Error produced when parsing or converting JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error(e.to_string())
+    }
+}
+
+/// A specialized `Result` for JSON operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serialize to human-indented JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    serde::write_pretty_value(&mut out, &value.to_value());
+    Ok(out)
+}
+
+/// Serialize to compact JSON bytes.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Deserialize from JSON text.
+pub fn from_str<T: for<'de> serde::Deserialize<'de>>(s: &str) -> Result<T> {
+    let value = parse_value(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Deserialize from JSON bytes.
+pub fn from_slice<T: for<'de> serde::Deserialize<'de>>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid utf-8: {e}")))?;
+    from_str(s)
+}
+
+/// Rebuild a typed value from a [`Value`] tree.
+pub fn from_value<T: for<'de> serde::Deserialize<'de>>(value: Value) -> Result<T> {
+    Ok(T::from_value(&value)?)
+}
+
+fn parse_value(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        chars: s.chars().collect(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(Error::new(format!(
+            "trailing characters at offset {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<char> {
+        let c = self
+            .peek()
+            .ok_or_else(|| Error::new("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<()> {
+        let got = self.bump()?;
+        if got != want {
+            return Err(Error::new(format!(
+                "expected `{want}` at offset {}, got `{got}`",
+                self.pos - 1
+            )));
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value> {
+        for want in word.chars() {
+            self.expect(want)?;
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some('n') => self.literal("null", Value::Null),
+            Some('t') => self.literal("true", Value::Bool(true)),
+            Some('f') => self.literal("false", Value::Bool(false)),
+            Some('"') => Ok(Value::String(self.string()?)),
+            Some('[') => self.array(),
+            Some('{') => self.object(),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(Error::new(format!(
+                "unexpected character `{c}` at offset {}",
+                self.pos
+            ))),
+            None => Err(Error::new("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump()? {
+                ',' => continue,
+                ']' => return Ok(Value::Array(items)),
+                c => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` in array, got `{c}`"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect('{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump()? {
+                ',' => continue,
+                '}' => return Ok(Value::Object(map)),
+                c => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` in object, got `{c}`"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                '"' => return Ok(out),
+                '\\' => match self.bump()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'b' => out.push('\u{0008}'),
+                    'f' => out.push('\u{000C}'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let hi = self.hex4()?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: require a trailing \uXXXX.
+                            self.expect('\\')?;
+                            self.expect('u')?;
+                            let lo = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(Error::new("invalid low surrogate"));
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::new("invalid unicode escape"))?,
+                        );
+                    }
+                    c => return Err(Error::new(format!("invalid escape `\\{c}`"))),
+                },
+                c if (c as u32) < 0x20 => {
+                    return Err(Error::new("raw control character in string"))
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let c = self.bump()?;
+            let digit = c
+                .to_digit(16)
+                .ok_or_else(|| Error::new(format!("invalid hex digit `{c}`")))?;
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some('.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some('+' | '-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        if text.is_empty() || text == "-" {
+            return Err(Error::new("invalid number"));
+        }
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::NegInt(i)));
+            }
+            // Integer literal outside 64-bit range: fall through to f64.
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::Float(f)))
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_basic() {
+        let src = r#"{"a": [1, -2, 3.5, true, null], "b": "x\ny", "c": {"d": 0.5}}"#;
+        let v: Value = from_str(src).unwrap();
+        assert_eq!(v["a"][0], 1i64);
+        assert_eq!(v["a"][1], -2i64);
+        assert_eq!(v["a"][2], 3.5f64);
+        assert_eq!(v["a"][3], true);
+        assert!(v["a"][4].is_null());
+        assert_eq!(v["b"], "x\ny");
+        assert_eq!(v["c"]["d"], 0.5f64);
+        let printed = to_string(&v).unwrap();
+        let back: Value = from_str(&printed).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn float_roundtrip_exact() {
+        for f in [0.1, -1.75e-9, 3.0, 1.0e300, f64::MIN_POSITIVE] {
+            let printed = to_string(&f).unwrap();
+            let back: f64 = from_str(&printed).unwrap();
+            assert_eq!(back, f, "{printed}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v: Value = from_str(r#""aé😀b""#).unwrap();
+        assert_eq!(v, "aé😀b");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("0x1").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn pretty_parses_back() {
+        let v: Value = from_str(r#"{"a": [1, 2], "b": {}}"#).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+}
