@@ -5,9 +5,10 @@
 
 use crate::cache::CacheController;
 use crate::driver_manager::{FailurePolicy, GridRMDriverManager};
+use crate::health::{HealthMonitor, SourceHealthSnapshot};
 use gridrm_dbc::{DbcResult, JdbcUrl, SqlError};
 use gridrm_simnet::Network;
-use gridrm_telemetry::{GatewayTelemetry, MetricSnapshot, TraceRecord};
+use gridrm_telemetry::{GatewayTelemetry, JournalEntry, MetricSnapshot, TraceRecord};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
@@ -91,6 +92,7 @@ pub struct AdminInterface {
     driver_manager: Arc<GridRMDriverManager>,
     cache: Arc<CacheController>,
     telemetry: RwLock<Option<GatewayTelemetry>>,
+    health_monitor: RwLock<Option<Arc<HealthMonitor>>>,
 }
 
 impl AdminInterface {
@@ -105,6 +107,7 @@ impl AdminInterface {
             driver_manager,
             cache,
             telemetry: RwLock::new(None),
+            health_monitor: RwLock::new(None),
         }
     }
 
@@ -155,6 +158,64 @@ impl AdminInterface {
             .and_then(|t| t.traces().slowest())
     }
 
+    /// Attach the health monitor; enables the health exposition below
+    /// and health tracking of administered sources.
+    pub fn attach_health(&self, monitor: Arc<HealthMonitor>) {
+        // Sources configured before attachment become tracked now.
+        for url in self.sources.read().keys() {
+            monitor.track(url);
+        }
+        *self.health_monitor.write() = Some(monitor);
+    }
+
+    /// The attached health monitor, if any.
+    pub fn health_monitor(&self) -> Option<Arc<HealthMonitor>> {
+        self.health_monitor.read().clone()
+    }
+
+    /// Per-source health snapshot (JSON exposition source of truth —
+    /// the `gridrm_health` SQL table serves the same rows).
+    pub fn health_snapshot(&self) -> Vec<SourceHealthSnapshot> {
+        self.health_monitor
+            .read()
+            .as_ref()
+            .map(|m| m.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// JSON text of [`AdminInterface::health_snapshot`].
+    pub fn health_json(&self) -> String {
+        serde_json::to_string_pretty(&self.health_snapshot()).expect("health is serialisable")
+    }
+
+    /// Retained structured-journal entries, oldest first.
+    pub fn journal_entries(&self) -> Vec<JournalEntry> {
+        self.telemetry
+            .read()
+            .as_ref()
+            .map(|t| t.journal().recent())
+            .unwrap_or_default()
+    }
+
+    /// JSON text of [`AdminInterface::journal_entries`].
+    pub fn journal_json(&self) -> String {
+        serde_json::to_string_pretty(&self.journal_entries()).expect("journal is serialisable")
+    }
+
+    /// The slow-query log, slowest first (full per-stage breakdown).
+    pub fn slow_queries(&self) -> Vec<TraceRecord> {
+        self.telemetry
+            .read()
+            .as_ref()
+            .map(|t| t.slow_queries().top())
+            .unwrap_or_default()
+    }
+
+    /// JSON text of [`AdminInterface::slow_queries`].
+    pub fn slow_queries_json(&self) -> String {
+        serde_json::to_string_pretty(&self.slow_queries()).expect("traces are serialisable")
+    }
+
     /// Add (or modify) a data source; applies its driver preferences and
     /// failure policy to the GridRMDriverManager.
     pub fn add_source(&self, config: DataSourceConfig) -> DbcResult<()> {
@@ -167,6 +228,9 @@ impl AdminInterface {
         }
         if let Some(policy) = config.policy {
             self.driver_manager.set_policy(&url, policy);
+        }
+        if let Some(monitor) = self.health_monitor.read().as_ref() {
+            monitor.track(&config.url);
         }
         self.sources.write().insert(config.url.clone(), config);
         Ok(())
@@ -181,6 +245,9 @@ impl AdminInterface {
             }
             self.cache.invalidate_source(url);
             self.health.write().remove(url);
+            if let Some(monitor) = self.health_monitor.read().as_ref() {
+                monitor.untrack(url);
+            }
         }
         existed
     }

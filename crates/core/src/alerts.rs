@@ -3,6 +3,7 @@
 //! over harvested result sets, producing normalised [`GridRMEvent`]s.
 
 use crate::events::{GridRMEvent, Severity};
+use crate::health::{HealthState, HealthTransition};
 use gridrm_dbc::RowSet;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
@@ -143,6 +144,39 @@ impl AlertEngine {
         }
         events
     }
+
+    /// Map a health state-machine transition to an alert event (Fig 9's
+    /// "Threshold exceeded → Event transmitted", applied to the
+    /// gateway's own health): `Down` raises a Critical alert, `Degraded`
+    /// a Warning, and recovery back to `Up` an Info notice. Transitions
+    /// that carry no alerting value (e.g. `Unknown → Up` on the first
+    /// ever success) return `None`.
+    pub fn health_alert(&self, t: &HealthTransition) -> Option<GridRMEvent> {
+        let (severity, category) = match t.to {
+            HealthState::Down => (Severity::Critical, "health.state.down"),
+            HealthState::Degraded => (Severity::Warning, "health.state.degraded"),
+            HealthState::Up if matches!(t.from, HealthState::Down | HealthState::Degraded) => {
+                (Severity::Info, "health.state.recovered")
+            }
+            _ => return None,
+        };
+        Some(GridRMEvent {
+            id: 0,
+            at_ms: t.at_ms as i64,
+            source: t.source.clone(),
+            hostname: None,
+            severity,
+            category: category.to_owned(),
+            message: format!(
+                "{}: {} -> {}{}",
+                t.source,
+                t.from.name(),
+                t.to.name(),
+                if t.via_probe { " (probe)" } else { "" }
+            ),
+            value: None,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +222,38 @@ mod tests {
         assert_eq!(events[0].value, Some(3.7));
         assert_eq!(events[0].at_ms, 42);
         assert!(events[0].message.contains("high-load"));
+    }
+
+    #[test]
+    fn health_transitions_map_to_alert_events() {
+        let e = AlertEngine::new();
+        let t = |from, to| HealthTransition {
+            source: "jdbc:snmp://n/p".into(),
+            from,
+            to,
+            at_ms: 9,
+            via_probe: true,
+        };
+        let down = e
+            .health_alert(&t(HealthState::Degraded, HealthState::Down))
+            .unwrap();
+        assert_eq!(down.severity, Severity::Critical);
+        assert_eq!(down.category, "health.state.down");
+        assert_eq!(down.at_ms, 9);
+        assert!(down.message.contains("(probe)"));
+        let degraded = e
+            .health_alert(&t(HealthState::Up, HealthState::Degraded))
+            .unwrap();
+        assert_eq!(degraded.severity, Severity::Warning);
+        let recovered = e
+            .health_alert(&t(HealthState::Down, HealthState::Up))
+            .unwrap();
+        assert_eq!(recovered.severity, Severity::Info);
+        assert_eq!(recovered.category, "health.state.recovered");
+        // First-ever success is not alert-worthy.
+        assert!(e
+            .health_alert(&t(HealthState::Unknown, HealthState::Up))
+            .is_none());
     }
 
     #[test]

@@ -23,6 +23,50 @@ pub struct GatewayConfig {
     pub session_ttl_ms: u64,
     /// Record harvested real-time results into history?
     pub record_history: bool,
+    /// Virtual ms between active health probes of one source.
+    #[serde(default = "defaults::probe_interval_ms")]
+    pub probe_interval_ms: u64,
+    /// A probe slower than this (virtual ms) counts as failed.
+    #[serde(default = "defaults::probe_timeout_ms")]
+    pub probe_timeout_ms: u64,
+    /// Consecutive failures before a `Degraded` source becomes `Down`.
+    #[serde(default = "defaults::health_down_after")]
+    pub health_down_after: u32,
+    /// Consecutive successes before a `Degraded`/`Down` source is `Up`.
+    #[serde(default = "defaults::health_up_after")]
+    pub health_up_after: u32,
+    /// Requests at/above this virtual latency enter the slow-query log
+    /// (0 disables the log).
+    #[serde(default)]
+    pub slow_query_threshold_ms: u64,
+    /// Slow-query log size (top-K by end-to-end latency).
+    #[serde(default = "defaults::slow_query_log_capacity")]
+    pub slow_query_log_capacity: usize,
+    /// Structured event-journal ring capacity.
+    #[serde(default = "defaults::journal_capacity")]
+    pub journal_capacity: usize,
+}
+
+/// Serde defaults so pre-health persisted configs keep loading.
+mod defaults {
+    pub fn probe_interval_ms() -> u64 {
+        30_000
+    }
+    pub fn probe_timeout_ms() -> u64 {
+        5_000
+    }
+    pub fn health_down_after() -> u32 {
+        3
+    }
+    pub fn health_up_after() -> u32 {
+        2
+    }
+    pub fn slow_query_log_capacity() -> usize {
+        32
+    }
+    pub fn journal_capacity() -> usize {
+        512
+    }
 }
 
 impl GatewayConfig {
@@ -38,6 +82,13 @@ impl GatewayConfig {
             pool_max_idle: 8,
             session_ttl_ms: 1_800_000,
             record_history: true,
+            probe_interval_ms: defaults::probe_interval_ms(),
+            probe_timeout_ms: defaults::probe_timeout_ms(),
+            health_down_after: defaults::health_down_after(),
+            health_up_after: defaults::health_up_after(),
+            slow_query_threshold_ms: 0,
+            slow_query_log_capacity: defaults::slow_query_log_capacity(),
+            journal_capacity: defaults::journal_capacity(),
         }
     }
 }
@@ -61,5 +112,25 @@ mod tests {
         let back: GatewayConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.name, c.name);
         assert_eq!(back.pool_max_idle, c.pool_max_idle);
+        assert_eq!(back.probe_interval_ms, c.probe_interval_ms);
+        assert_eq!(back.health_down_after, c.health_down_after);
+    }
+
+    #[test]
+    fn pre_health_config_loads_with_defaults() {
+        // A config persisted before the health subsystem existed must
+        // still deserialise, picking up the new defaults.
+        let json = r#"{
+            "name": "gw-old", "site": "s", "address": "gw.s",
+            "cache_ttl_ms": 10000, "history_retention_ms": 86400000,
+            "event_fast_capacity": 1024, "pool_max_idle": 8,
+            "session_ttl_ms": 1800000, "record_history": true
+        }"#;
+        let c: GatewayConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(c.probe_interval_ms, 30_000);
+        assert_eq!(c.health_down_after, 3);
+        assert_eq!(c.health_up_after, 2);
+        assert_eq!(c.slow_query_threshold_ms, 0);
+        assert_eq!(c.journal_capacity, 512);
     }
 }

@@ -9,9 +9,11 @@
 //! rerouted to the next compatible driver, or reported.
 
 use crate::driver_manager::{FailurePolicy, GridRMDriverManager};
+use crate::health::HealthMonitor;
 use gridrm_dbc::{Connection, DbcResult, JdbcUrl, Properties, RowSet, SqlError};
 use gridrm_telemetry::{
-    Counter, GatewayTelemetry, Labels, Registry, SpanBuilder, DEFAULT_LATENCY_BUCKETS_MS,
+    Counter, GatewayTelemetry, JournalSeverity, Labels, Registry, SpanBuilder,
+    DEFAULT_LATENCY_BUCKETS_MS, KIND_DRIVER_FALLBACK, KIND_POLICY_DECISION,
 };
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
@@ -97,6 +99,8 @@ pub struct ConnectionManager {
     /// Optional gateway telemetry hub: per-driver latency histograms and
     /// query-path trace stages.
     telemetry: RwLock<Option<GatewayTelemetry>>,
+    /// Optional health monitor fed by query outcomes (passive signal).
+    health: RwLock<Option<Arc<HealthMonitor>>>,
 }
 
 impl ConnectionManager {
@@ -110,6 +114,7 @@ impl ConnectionManager {
             pooling_enabled: std::sync::atomic::AtomicBool::new(true),
             stats: PoolStats::default(),
             telemetry: RwLock::new(None),
+            health: RwLock::new(None),
         }
     }
 
@@ -118,6 +123,12 @@ impl ConnectionManager {
     /// their query-path stages.
     pub fn set_telemetry(&self, telemetry: GatewayTelemetry) {
         *self.telemetry.write() = Some(telemetry);
+    }
+
+    /// Attach the health monitor: every query outcome becomes a passive
+    /// health signal for its source.
+    pub fn set_health(&self, health: Arc<HealthMonitor>) {
+        *self.health.write() = Some(health);
     }
 
     /// Enable/disable pooling (ablation switch).
@@ -243,7 +254,15 @@ impl ConnectionManager {
         mut span: Option<&mut SpanBuilder>,
     ) -> DbcResult<RowSet> {
         let telemetry = self.telemetry.read().clone();
+        let health = self.health.read().clone();
         let policy = self.driver_manager.policy_for(url);
+        let key = url.to_string();
+        let now = || {
+            telemetry
+                .as_ref()
+                .map(|t| t.clock().now_millis())
+                .unwrap_or(0)
+        };
         let mut excluded: Vec<String> = Vec::new();
         let mut retries_used = 0u32;
         let mut last_err: Option<SqlError> = None;
@@ -272,31 +291,122 @@ impl ConnectionManager {
             match outcome {
                 Ok(rs) => {
                     self.driver_manager.record_success(url, &name);
+                    if let Some(h) = &health {
+                        h.record_success(&key, &name, now());
+                    }
                     return Ok(rs);
                 }
                 Err(err) => {
                     self.stats.failures.inc();
+                    // The *failed* driver is recorded against the source's
+                    // health, even when the policy falls back to another.
                     self.driver_manager.record_failure(url, &name);
+                    if let Some(h) = &health {
+                        h.record_failure(&key, Some(&name), &err.to_string(), now());
+                    }
                     // Query-level errors (bad SQL, unsupported group) are
                     // not connectivity failures: no policy will fix them.
                     if !err.is_retryable() && !matches!(err, SqlError::Driver(_)) {
                         return Err(err);
                     }
+                    let journal = telemetry.as_ref().map(|t| t.journal());
                     match policy {
-                        FailurePolicy::Report => return Err(err),
+                        FailurePolicy::Report => {
+                            if let Some(j) = journal {
+                                j.record(
+                                    now(),
+                                    JournalSeverity::Warning,
+                                    KIND_POLICY_DECISION,
+                                    &key,
+                                    Some(&name),
+                                    None,
+                                    "report: surfacing error to client",
+                                );
+                            }
+                            return Err(err);
+                        }
                         FailurePolicy::Retry(n) => {
                             if retries_used >= n {
+                                if let Some(j) = journal {
+                                    j.record(
+                                        now(),
+                                        JournalSeverity::Warning,
+                                        KIND_POLICY_DECISION,
+                                        &key,
+                                        Some(&name),
+                                        None,
+                                        &format!("retry: {n} attempts exhausted"),
+                                    );
+                                }
                                 return Err(err);
                             }
                             retries_used += 1;
+                            if let Some(j) = journal {
+                                j.record(
+                                    now(),
+                                    JournalSeverity::Info,
+                                    KIND_POLICY_DECISION,
+                                    &key,
+                                    Some(&name),
+                                    None,
+                                    &format!("retry {retries_used}/{n}"),
+                                );
+                            }
                             last_err = Some(err);
                         }
                         FailurePolicy::TryNext => {
+                            if let Some(j) = journal {
+                                j.record(
+                                    now(),
+                                    JournalSeverity::Warning,
+                                    KIND_DRIVER_FALLBACK,
+                                    &key,
+                                    Some(&name),
+                                    None,
+                                    &format!("falling back from {name}: {err}"),
+                                );
+                            }
                             excluded.push(name);
                             last_err = Some(err);
                         }
                     }
                 }
+            }
+        }
+    }
+
+    /// Actively probe a data source: resolve its driver, check a
+    /// connection out (pooled or fresh) and ping it. Returns the driver
+    /// name on success. Used by the gateway's probe scheduler — the
+    /// caller records the outcome (and elapsed time) into health.
+    pub fn probe(&self, url: &JdbcUrl) -> DbcResult<String> {
+        let driver = self.driver_manager.resolve(url)?;
+        let name = driver.name();
+        let result = (|| {
+            let mut conn = self.checkout(url, &name)?;
+            match conn.ping() {
+                Ok(()) => {
+                    self.checkin(url, &name, conn);
+                    Ok(())
+                }
+                Err(e) => {
+                    self.stats.discards.inc();
+                    let _ = conn.close();
+                    Err(e)
+                }
+            }
+        })();
+        match result {
+            Ok(()) => {
+                self.driver_manager.record_success(url, &name);
+                Ok(name)
+            }
+            Err(e) => {
+                // Keeps the last-success cache honest: a probe failing
+                // through the cached driver unpins it, so the next
+                // resolution can pick a live one.
+                self.driver_manager.record_failure(url, &name);
+                Err(e)
             }
         }
     }

@@ -251,6 +251,19 @@ impl GridRMDriverManager {
         }
     }
 
+    /// Drop the cached last-success driver for `url` regardless of which
+    /// driver is cached. Used on probe-driven health recovery: the cache
+    /// may be pinned to a fallback driver, and clearing it lets the next
+    /// resolution re-promote the preferred (now recovered) driver via
+    /// static preferences or a dynamic scan.
+    pub fn invalidate_cached_driver(&self, url: &JdbcUrl) -> bool {
+        let removed = self.last_success.write().remove(&url.to_string()).is_some();
+        if removed {
+            self.stats.invalidations.inc();
+        }
+        removed
+    }
+
     /// The cached last-success driver for a source, if any.
     pub fn cached_driver(&self, url: &JdbcUrl) -> Option<String> {
         self.last_success.read().get(&url.to_string()).cloned()
@@ -371,6 +384,22 @@ mod tests {
         m.record_success(&u, "d-snmp");
         m.record_failure(&u, "d-other");
         assert!(m.cached_driver(&u).is_some());
+    }
+
+    #[test]
+    fn invalidate_clears_any_cached_driver() {
+        let m = manager();
+        let u = url("jdbc:snmp://host/x");
+        // Unlike record_failure, invalidation is unconditional: it clears
+        // the cache even when a *different* driver is pinned (the
+        // re-promotion path after a probe-driven recovery).
+        m.record_success(&u, "d-ganglia");
+        assert!(m.invalidate_cached_driver(&u));
+        assert!(m.cached_driver(&u).is_none());
+        assert!(!m.invalidate_cached_driver(&u), "already clear");
+        assert_eq!(m.stats().snapshot().invalidations, 1);
+        // Next resolution falls back to the static/dynamic order.
+        assert_eq!(m.resolve(&u).unwrap().name(), "d-snmp");
     }
 
     #[test]

@@ -13,7 +13,11 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use crossbeam::queue::ArrayQueue;
-use gridrm_telemetry::{Counter, Labels, Registry};
+use gridrm_simnet::SimClock;
+use gridrm_telemetry::{
+    Counter, Journal, JournalSeverity, Labels, Registry, KIND_EVENT, KIND_EVENT_OVERFLOW,
+    KIND_EVENT_UNFORMATTED,
+};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -47,6 +51,15 @@ impl Severity {
             Severity::Info => "info",
             Severity::Warning => "warning",
             Severity::Critical => "critical",
+        }
+    }
+
+    /// The equivalent journal severity.
+    pub fn as_journal(&self) -> JournalSeverity {
+        match self {
+            Severity::Info => JournalSeverity::Info,
+            Severity::Warning => JournalSeverity::Warning,
+            Severity::Critical => JournalSeverity::Critical,
         }
     }
 }
@@ -208,6 +221,10 @@ pub struct EventManager {
     next_event_id: AtomicU64,
     next_listener_id: AtomicU64,
     stats: EventStats,
+    /// Optional structured journal; when attached, every emission path
+    /// (ingest, overflow, unformatted) writes its counter *and* a journal
+    /// entry through one helper, so the two counts cannot drift.
+    journal: RwLock<Option<(Arc<Journal>, Arc<SimClock>)>>,
 }
 
 impl EventManager {
@@ -222,7 +239,37 @@ impl EventManager {
             next_event_id: AtomicU64::new(1),
             next_listener_id: AtomicU64::new(1),
             stats: EventStats::default(),
+            journal: RwLock::new(None),
         })
+    }
+
+    /// Attach the structured journal (and the clock stamping entries).
+    pub fn set_journal(&self, journal: Arc<Journal>, clock: Arc<SimClock>) {
+        *self.journal.write() = Some((journal, clock));
+    }
+
+    /// The single emission path: increment the stage counter and mirror
+    /// the fact into the journal (when attached) in one place.
+    fn note(
+        &self,
+        counter: &Counter,
+        severity: JournalSeverity,
+        kind: &str,
+        source: &str,
+        message: &str,
+    ) {
+        counter.inc();
+        if let Some((journal, clock)) = self.journal.read().as_ref() {
+            journal.record(
+                clock.now_millis(),
+                severity,
+                kind,
+                source,
+                None,
+                None,
+                message,
+            );
+        }
     }
 
     /// Install an event formatter (driver-supplied, Fig 4).
@@ -268,7 +315,13 @@ impl EventManager {
             fs.iter().find(|f| f.accepts(source)).cloned()
         };
         let Some(formatter) = formatter else {
-            self.stats.unformatted.inc();
+            self.note(
+                &self.stats.unformatted,
+                JournalSeverity::Warning,
+                KIND_EVENT_UNFORMATTED,
+                source,
+                "no formatter accepted native payload",
+            );
             return 0;
         };
         let events = formatter.format(source, payload, now_ms);
@@ -282,10 +335,22 @@ impl EventManager {
     /// Ingest an already-normalised event (assigns the sequence id).
     pub fn ingest(&self, mut event: GridRMEvent) {
         event.id = self.next_event_id.fetch_add(1, Ordering::Relaxed);
-        self.stats.ingested.inc();
+        self.note(
+            &self.stats.ingested,
+            event.severity.as_journal(),
+            KIND_EVENT,
+            &event.source,
+            &event.category,
+        );
         if let Err(e) = self.fast.push(event) {
             // Fast buffer full: spill, never drop.
-            self.stats.overflowed.inc();
+            self.note(
+                &self.stats.overflowed,
+                JournalSeverity::Warning,
+                KIND_EVENT_OVERFLOW,
+                &e.source,
+                "fast buffer full; spilled to disk buffer",
+            );
             self.disk.lock().push_back(e);
         }
     }
@@ -507,6 +572,34 @@ mod tests {
         assert_eq!(m.stats().transmitted.get(), 3);
         assert!(m.unregister_transmitter("t"));
         assert!(!m.unregister_transmitter("t"));
+    }
+
+    #[test]
+    fn journal_mirrors_emission_counters() {
+        let m = EventManager::new(2);
+        let journal = Arc::new(Journal::new(64));
+        m.set_journal(journal.clone(), SimClock::new());
+        for i in 0..4 {
+            m.ingest(ev(&format!("c{i}"), Severity::Warning)); // 2 overflow
+        }
+        m.ingest_native("nobody:unknown", b"p", 0); // unformatted
+        assert_eq!(
+            journal.recent_of_kind(KIND_EVENT).len() as u64,
+            m.stats().ingested.get()
+        );
+        assert_eq!(
+            journal.recent_of_kind(KIND_EVENT_OVERFLOW).len() as u64,
+            m.stats().overflowed.get()
+        );
+        assert_eq!(
+            journal.recent_of_kind(KIND_EVENT_UNFORMATTED).len() as u64,
+            m.stats().unformatted.get()
+        );
+        // Journal severity mirrors the event severity.
+        assert!(journal
+            .recent_of_kind(KIND_EVENT)
+            .iter()
+            .all(|e| e.severity == JournalSeverity::Warning));
     }
 
     #[test]

@@ -9,16 +9,17 @@ use crate::config::GatewayConfig;
 use crate::connection::ConnectionManager;
 use crate::driver_manager::GridRMDriverManager;
 use crate::events::EventManager;
+use crate::health::{HealthConfig, HealthMonitor, HealthState};
 use crate::history::HistoryManager;
 use crate::request::RequestManager;
 use crate::security::{Identity, SecurityPolicy};
 use crate::session::{SessionManager, SessionToken};
 use crossbeam::channel::Receiver;
-use gridrm_dbc::DbcResult;
+use gridrm_dbc::{DbcResult, JdbcUrl};
 use gridrm_glue::SchemaManager;
 use gridrm_simnet::{Network, Push, SimClock};
 use gridrm_store::Store;
-use gridrm_telemetry::{GatewayTelemetry, Labels};
+use gridrm_telemetry::{GatewayTelemetry, Labels, TelemetryCapacities, DEFAULT_TRACE_CAPACITY};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -40,6 +41,7 @@ pub struct Gateway {
     admin: Arc<AdminInterface>,
     request: Arc<RequestManager>,
     telemetry: GatewayTelemetry,
+    health: Arc<HealthMonitor>,
     /// Native pushes (traps, streamed events) addressed to this gateway.
     push_rx: Receiver<Push>,
 }
@@ -50,7 +52,15 @@ impl Gateway {
     /// store for the JDBC-GridRM driver under the name `history`.
     pub fn new(config: GatewayConfig, network: Arc<Network>) -> Arc<Gateway> {
         let clock = network.clock().clone();
-        let telemetry = GatewayTelemetry::new(clock.clone());
+        let telemetry = GatewayTelemetry::with_capacities(
+            clock.clone(),
+            TelemetryCapacities {
+                traces: DEFAULT_TRACE_CAPACITY,
+                journal: config.journal_capacity,
+                slow_queries: config.slow_query_log_capacity,
+                slow_query_threshold_ms: config.slow_query_threshold_ms,
+            },
+        );
         let schema = Arc::new(SchemaManager::new());
         let driver_manager = Arc::new(GridRMDriverManager::new());
         let connections = Arc::new(ConnectionManager::new(
@@ -67,6 +77,21 @@ impl Gateway {
         let admin = Arc::new(AdminInterface::new(driver_manager.clone(), cache.clone()));
         admin.attach_telemetry(telemetry.clone());
         connections.set_telemetry(telemetry.clone());
+        // Data-source health: the state machine is fed passively by the
+        // ConnectionManager's execute/checkout outcomes and actively by
+        // the probe scheduler in `pump()`.
+        let health = Arc::new(HealthMonitor::new(
+            HealthConfig {
+                probe_interval_ms: config.probe_interval_ms,
+                probe_timeout_ms: config.probe_timeout_ms,
+                down_after: config.health_down_after,
+                up_after: config.health_up_after,
+            },
+            telemetry.journal().clone(),
+        ));
+        connections.set_health(health.clone());
+        events.set_journal(telemetry.journal().clone(), clock.clone());
+        admin.attach_health(health.clone());
         let request = Arc::new(RequestManager::new(
             connections.clone(),
             cache.clone(),
@@ -89,6 +114,9 @@ impl Gateway {
             connections.stats().register_into(registry);
             cache.stats().register_into(registry);
             events.stats().register_into(registry);
+            health.stats().register_into(registry);
+            telemetry.journal().stats().register_into(registry);
+            telemetry.slow_queries().register_into(registry);
         }
         // Become reachable: agents push traps to `config.address`.
         network.register(
@@ -118,6 +146,7 @@ impl Gateway {
             admin,
             request,
             telemetry,
+            health,
             push_rx,
         })
     }
@@ -203,6 +232,11 @@ impl Gateway {
         &self.telemetry
     }
 
+    /// The data-source health monitor (state machine + probe scheduler).
+    pub fn health(&self) -> &Arc<HealthMonitor> {
+        &self.health
+    }
+
     /// Authenticate and open a session.
     pub fn login(&self, identity: Identity) -> SessionToken {
         self.sessions.open(identity, self.clock.now_millis())
@@ -240,6 +274,59 @@ impl Gateway {
     /// Returns the number of events dispatched.
     pub fn pump(&self) -> usize {
         let now = self.clock.now_millis();
+        // 0. Active health probes: every admin-registered source whose
+        // probe interval has elapsed gets a lightweight ping through its
+        // resolved driver. Probe transitions can re-promote a recovered
+        // source (invalidating a cached fallback driver) and raise
+        // alert events, which then dispatch in the same pump.
+        for source in self.admin.list_sources() {
+            if !self.health.probe_due(&source.url, now) {
+                continue;
+            }
+            match JdbcUrl::parse(&source.url) {
+                Ok(url) => {
+                    let started = self.clock.now_millis();
+                    match self.connections.probe(&url) {
+                        Ok(driver) => {
+                            let elapsed = self.clock.now_millis().saturating_sub(started);
+                            self.health
+                                .record_probe_success(&source.url, &driver, now, elapsed);
+                        }
+                        Err(e) => {
+                            self.health.record_probe_failure(
+                                &source.url,
+                                None,
+                                &e.to_string(),
+                                now,
+                            );
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.health
+                        .record_probe_failure(&source.url, None, &e.to_string(), now);
+                }
+            }
+        }
+        // Drain state transitions (from probes above and from passive
+        // observation of query traffic since the last pump): re-promote
+        // probe-verified recoveries and raise health alerts.
+        for t in self.health.take_transitions() {
+            if t.via_probe
+                && t.to == HealthState::Up
+                && matches!(t.from, HealthState::Down | HealthState::Degraded)
+            {
+                // A probe proved the source healthy again: unpin any
+                // cached fallback driver so the preferred one can win
+                // the next resolution.
+                if let Ok(url) = JdbcUrl::parse(&t.source) {
+                    self.driver_manager.invalidate_cached_driver(&url);
+                }
+            }
+            if let Some(event) = self.alerts.health_alert(&t) {
+                self.events.ingest(event);
+            }
+        }
         // 1. Native pushes → formatters → fast buffer.
         while let Ok(push) = self.push_rx.try_recv() {
             self.events
@@ -267,6 +354,15 @@ impl Gateway {
                 Labels::none(),
             )
             .set(self.connections.idle_connections() as f64);
+        for (state, count) in self.health.state_counts() {
+            registry
+                .gauge(
+                    "gridrm_health_sources",
+                    "Tracked data sources by health state",
+                    Labels::from_pairs(&[("state", state.name())]),
+                )
+                .set(count as f64);
+        }
         self.sessions.sweep(now);
         self.cache
             .sweep(now, self.config.cache_ttl_ms.saturating_mul(10));

@@ -21,6 +21,7 @@
 //! | Resource alerts (Fig 9 thresholds) | [`alerts`] |
 //! | Driver/data-source administration (Figs 6–8) | [`admin`] |
 //! | Gateway policy | [`config`] |
+//! | Data-source health state machine + probes | [`health`] |
 //!
 //! The [`gateway::Gateway`] facade wires everything together; the Global
 //! layer (`gridrm-global`) stacks GMA routing on top of it.
@@ -34,6 +35,7 @@ pub mod connection;
 pub mod driver_manager;
 pub mod events;
 pub mod gateway;
+pub mod health;
 pub mod history;
 pub mod request;
 pub mod security;
@@ -48,6 +50,9 @@ pub use connection::{ConnectionManager, PoolSnapshot};
 pub use driver_manager::{FailurePolicy, GridRMDriverManager, ResolutionSnapshot};
 pub use events::{EventManager, EventSnapshot, GridRMEvent, ListenerFilter, Severity};
 pub use gateway::Gateway;
+pub use health::{
+    HealthConfig, HealthMonitor, HealthState, HealthTransition, SourceHealthSnapshot,
+};
 pub use history::HistoryManager;
 pub use request::{RequestManager, RequestSnapshot};
 pub use security::{CoarseOperation, Decision, Identity, SecurityPolicy};

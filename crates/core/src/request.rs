@@ -16,7 +16,9 @@ use crate::session::SessionManager;
 use gridrm_dbc::{DbcResult, JdbcUrl, RowSet, SqlError};
 use gridrm_simnet::SimClock;
 use gridrm_sqlparse::Statement;
-use gridrm_telemetry::{Counter, GatewayTelemetry, Labels, Registry, SpanBuilder};
+use gridrm_telemetry::{
+    Counter, GatewayTelemetry, JournalSeverity, Labels, Registry, SpanBuilder, KIND_CACHE_SERVE,
+};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -269,6 +271,20 @@ impl RequestManager {
                 }
                 if let Some(hit) = hit {
                     self.stats.cache_served.inc();
+                    // The cache serving a last-known-state result is an
+                    // operational fact worth journalling (§4): the client
+                    // got an answer without the source being consulted.
+                    if let Some(t) = &self.telemetry {
+                        t.journal().record(
+                            now,
+                            JournalSeverity::Info,
+                            KIND_CACHE_SERVE,
+                            source,
+                            None,
+                            Some("cache_lookup"),
+                            "served last known state from cache",
+                        );
+                    }
                     served_from_cache += 1;
                     sources_ok += 1;
                     append(

@@ -50,11 +50,16 @@ pub fn install_into_gateway(gateway: &gridrm_core::Gateway) -> Arc<DriverEnv> {
     );
     env.mount_store("history", gateway.history().store().clone());
     register_standard_drivers(gateway.driver_manager().base(), &env);
-    // The gateway's own metrics, queryable as the `gridrm_telemetry`
-    // virtual table via `jdbc:telemetry://local/metrics`.
+    // The gateway's own metrics, health, journal and slow-query log,
+    // queryable as the `gridrm_telemetry`/`gridrm_health`/
+    // `gridrm_journal`/`gridrm_slow_queries` virtual tables via
+    // `jdbc:telemetry://local/metrics`.
     gateway
         .driver_manager()
-        .register(crate::TelemetryDriver::new(gateway.telemetry().clone()));
+        .register(crate::TelemetryDriver::with_health(
+            gateway.telemetry().clone(),
+            Some(gateway.health().clone()),
+        ));
     install_standard_formatters(gateway.events());
     env
 }

@@ -1,7 +1,8 @@
-//! The JDBC-Telemetry driver: the gateway's own metrics exposed as a
-//! virtual SQL table, queryable through the normal driver path — the
-//! "monitor the monitor" loop. Every flattened registry sample becomes
-//! one row of `gridrm_telemetry`:
+//! The JDBC-Telemetry driver: the gateway's own observability surfaces
+//! exposed as virtual SQL tables, queryable through the normal driver
+//! path — the "monitor the monitor" loop.
+//!
+//! `gridrm_telemetry` — one row per flattened registry sample:
 //!
 //! | column | type  | meaning                                        |
 //! |--------|-------|------------------------------------------------|
@@ -10,9 +11,22 @@
 //! | labels | TEXT  | rendered labels (`driver="jdbc-snmp",le="10"`) |
 //! | value  | REAL  | sample value                                   |
 //!
+//! `gridrm_health` — one row per tracked data source (see
+//! `gridrm_core::health`): source, state, consecutive failure/success
+//! streaks, last-ok/last-probe/last-transition times, last error, last
+//! failed driver and total transition count.
+//!
+//! `gridrm_journal` — one row per structured journal entry: seq, at_ms,
+//! severity, kind, source, driver, stage, message.
+//!
+//! `gridrm_slow_queries` — one row per slow-query log entry: trace id,
+//! request summary, source, started/finished/duration, outcome and a
+//! rendered per-stage breakdown.
+//!
 //! URL form: `jdbc:telemetry://local/metrics`.
 
 use crate::base::{parse_select, DriverStats};
+use gridrm_core::health::HealthMonitor;
 use gridrm_dbc::{
     Connection, DbcResult, Driver, DriverMetaData, JdbcUrl, Properties, ResultSet, SqlError,
     Statement,
@@ -26,20 +40,41 @@ use std::sync::Arc;
 /// Driver name as registered with the gateway.
 pub const DRIVER_NAME: &str = "jdbc-telemetry";
 
-/// The virtual table name.
+/// The metrics virtual table name.
 pub const TABLE_NAME: &str = "gridrm_telemetry";
+
+/// The per-source health virtual table name.
+pub const HEALTH_TABLE: &str = "gridrm_health";
+
+/// The structured event-journal virtual table name.
+pub const JOURNAL_TABLE: &str = "gridrm_journal";
+
+/// The slow-query log virtual table name.
+pub const SLOW_TABLE: &str = "gridrm_slow_queries";
 
 /// The JDBC-Telemetry [`Driver`].
 pub struct TelemetryDriver {
     telemetry: GatewayTelemetry,
+    health: Option<Arc<HealthMonitor>>,
     stats: Arc<DriverStats>,
 }
 
 impl TelemetryDriver {
-    /// Create the driver over a gateway's telemetry hub.
+    /// Create the driver over a gateway's telemetry hub. Without a
+    /// health monitor the `gridrm_health` table is served empty.
     pub fn new(telemetry: GatewayTelemetry) -> Arc<TelemetryDriver> {
+        TelemetryDriver::with_health(telemetry, None)
+    }
+
+    /// Create the driver over a gateway's telemetry hub and health
+    /// monitor, enabling the `gridrm_health` table.
+    pub fn with_health(
+        telemetry: GatewayTelemetry,
+        health: Option<Arc<HealthMonitor>>,
+    ) -> Arc<TelemetryDriver> {
         Arc::new(TelemetryDriver {
             telemetry,
+            health,
             stats: Arc::new(DriverStats::default()),
         })
     }
@@ -56,7 +91,9 @@ impl Driver for TelemetryDriver {
             name: DRIVER_NAME.to_owned(),
             subprotocol: "telemetry".to_owned(),
             version: (1, 0),
-            description: "Virtual SQL table over the gateway's own metric registry".to_owned(),
+            description: "Virtual SQL tables over the gateway's metrics, \
+                          health, journal and slow-query log"
+                .to_owned(),
         }
     }
 
@@ -67,6 +104,7 @@ impl Driver for TelemetryDriver {
     fn connect(&self, url: &JdbcUrl, _props: &Properties) -> DbcResult<Box<dyn Connection>> {
         Ok(Box::new(TelemetryConnection {
             telemetry: self.telemetry.clone(),
+            health: self.health.clone(),
             stats: self.stats.clone(),
             url: url.clone(),
             closed: false,
@@ -76,6 +114,7 @@ impl Driver for TelemetryDriver {
 
 struct TelemetryConnection {
     telemetry: GatewayTelemetry,
+    health: Option<Arc<HealthMonitor>>,
     stats: Arc<DriverStats>,
     url: JdbcUrl,
     closed: bool,
@@ -88,6 +127,7 @@ impl Connection for TelemetryConnection {
         }
         Ok(Box::new(TelemetryStatement {
             telemetry: self.telemetry.clone(),
+            health: self.health.clone(),
             stats: self.stats.clone(),
         }))
     }
@@ -108,25 +148,37 @@ impl Connection for TelemetryConnection {
 
 struct TelemetryStatement {
     telemetry: GatewayTelemetry,
+    health: Option<Arc<HealthMonitor>>,
     stats: Arc<DriverStats>,
 }
 
-/// Materialise the registry into the virtual table: one row per
+fn columns(spec: &[(&str, SqlType)]) -> Vec<ColumnDef> {
+    spec.iter()
+        .map(|(name, ty)| ColumnDef {
+            name: (*name).to_owned(),
+            ty: *ty,
+            primary_key: false,
+        })
+        .collect()
+}
+
+fn opt_str(v: &Option<String>) -> SqlValue {
+    match v {
+        Some(s) => SqlValue::Str(s.clone()),
+        None => SqlValue::Null,
+    }
+}
+
+fn opt_ms(v: Option<u64>) -> SqlValue {
+    match v {
+        Some(ms) => SqlValue::Int(ms as i64),
+        None => SqlValue::Null,
+    }
+}
+
+/// Materialise the registry into the metrics virtual table: one row per
 /// flattened sample, histogram buckets included.
 fn metrics_table(telemetry: &GatewayTelemetry) -> Table {
-    let columns = [
-        ("name", SqlType::Str),
-        ("kind", SqlType::Str),
-        ("labels", SqlType::Str),
-        ("value", SqlType::Float),
-    ]
-    .into_iter()
-    .map(|(name, ty)| ColumnDef {
-        name: name.to_owned(),
-        ty,
-        primary_key: false,
-    })
-    .collect();
     let rows = telemetry
         .registry()
         .snapshot()
@@ -144,7 +196,135 @@ fn metrics_table(telemetry: &GatewayTelemetry) -> Table {
         .collect();
     Table {
         name: TABLE_NAME.to_owned(),
-        columns,
+        columns: columns(&[
+            ("name", SqlType::Str),
+            ("kind", SqlType::Str),
+            ("labels", SqlType::Str),
+            ("value", SqlType::Float),
+        ]),
+        rows,
+    }
+}
+
+/// One row per tracked data source, straight from the health monitor's
+/// state machine. Served empty when no monitor is attached.
+fn health_table(health: Option<&Arc<HealthMonitor>>) -> Table {
+    let rows = health
+        .map(|h| h.snapshot())
+        .unwrap_or_default()
+        .into_iter()
+        .map(|s| {
+            vec![
+                SqlValue::Str(s.source),
+                SqlValue::Str(s.state.name().to_owned()),
+                SqlValue::Int(s.consecutive_failures as i64),
+                SqlValue::Int(s.consecutive_successes as i64),
+                opt_ms(s.last_ok_ms),
+                opt_str(&s.last_error),
+                opt_ms(s.last_probe_ms),
+                opt_str(&s.last_failed_driver),
+                SqlValue::Int(s.transitions as i64),
+                opt_ms(s.last_transition_ms),
+            ]
+        })
+        .collect();
+    Table {
+        name: HEALTH_TABLE.to_owned(),
+        columns: columns(&[
+            ("source", SqlType::Str),
+            ("state", SqlType::Str),
+            ("consecutive_failures", SqlType::Int),
+            ("consecutive_successes", SqlType::Int),
+            ("last_ok_ms", SqlType::Int),
+            ("last_error", SqlType::Str),
+            ("last_probe_ms", SqlType::Int),
+            ("last_failed_driver", SqlType::Str),
+            ("transitions", SqlType::Int),
+            ("last_transition_ms", SqlType::Int),
+        ]),
+        rows,
+    }
+}
+
+/// One row per structured journal entry, oldest first.
+fn journal_table(telemetry: &GatewayTelemetry) -> Table {
+    let rows = telemetry
+        .journal()
+        .recent()
+        .into_iter()
+        .map(|e| {
+            vec![
+                SqlValue::Int(e.seq as i64),
+                SqlValue::Int(e.at_ms as i64),
+                SqlValue::Str(e.severity.name().to_owned()),
+                SqlValue::Str(e.kind),
+                SqlValue::Str(e.source),
+                opt_str(&e.driver),
+                opt_str(&e.stage),
+                SqlValue::Str(e.message),
+            ]
+        })
+        .collect();
+    Table {
+        name: JOURNAL_TABLE.to_owned(),
+        columns: columns(&[
+            ("seq", SqlType::Int),
+            ("at_ms", SqlType::Int),
+            ("severity", SqlType::Str),
+            ("kind", SqlType::Str),
+            ("source", SqlType::Str),
+            ("driver", SqlType::Str),
+            ("stage", SqlType::Str),
+            ("message", SqlType::Str),
+        ]),
+        rows,
+    }
+}
+
+/// One row per slow-query log entry, slowest first, with the per-stage
+/// breakdown rendered as `stage@offset_ms[=detail]` segments.
+fn slow_table(telemetry: &GatewayTelemetry) -> Table {
+    let rows = telemetry
+        .slow_queries()
+        .top()
+        .into_iter()
+        .map(|r| {
+            let stages = r
+                .stages
+                .iter()
+                .map(|s| {
+                    let offset = s.at_ms.saturating_sub(r.started_ms);
+                    match &s.detail {
+                        Some(d) => format!("{}@{offset}={d}", s.stage),
+                        None => format!("{}@{offset}", s.stage),
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(";");
+            vec![
+                SqlValue::Int(r.id as i64),
+                SqlValue::Str(r.request.clone()),
+                opt_str(&r.source),
+                SqlValue::Int(r.started_ms as i64),
+                SqlValue::Int(r.finished_ms as i64),
+                SqlValue::Int(r.duration_ms() as i64),
+                SqlValue::Str(r.outcome.clone()),
+                SqlValue::Str(stages),
+            ]
+        })
+        .collect();
+    Table {
+        name: SLOW_TABLE.to_owned(),
+        columns: columns(&[
+            ("id", SqlType::Int),
+            ("request", SqlType::Str),
+            ("source", SqlType::Str),
+            ("started_ms", SqlType::Int),
+            ("finished_ms", SqlType::Int),
+            ("duration_ms", SqlType::Int),
+            ("outcome", SqlType::Str),
+            ("stages", SqlType::Str),
+        ]),
         rows,
     }
 }
@@ -153,13 +333,21 @@ impl Statement for TelemetryStatement {
     fn execute_query(&mut self, sql: &str) -> DbcResult<Box<dyn ResultSet>> {
         self.stats.query();
         let sel = parse_select(sql)?;
-        if !sel.table.eq_ignore_ascii_case(TABLE_NAME) {
+        let table = if sel.table.eq_ignore_ascii_case(TABLE_NAME) {
+            metrics_table(&self.telemetry)
+        } else if sel.table.eq_ignore_ascii_case(HEALTH_TABLE) {
+            health_table(self.health.as_ref())
+        } else if sel.table.eq_ignore_ascii_case(JOURNAL_TABLE) {
+            journal_table(&self.telemetry)
+        } else if sel.table.eq_ignore_ascii_case(SLOW_TABLE) {
+            slow_table(&self.telemetry)
+        } else {
             return Err(SqlError::Unsupported(format!(
-                "the telemetry driver only serves the {TABLE_NAME} table, got '{}'",
+                "the telemetry driver serves {TABLE_NAME}, {HEALTH_TABLE}, \
+                 {JOURNAL_TABLE} and {SLOW_TABLE}, got '{}'",
                 sel.table
             )));
-        }
-        let table = metrics_table(&self.telemetry);
+        };
         let now = self.telemetry.clock().now_ts();
         let rs = gridrm_store::select_in_memory(&table, &sel, now)
             .map_err(|e| SqlError::Driver(e.to_string()))?;
@@ -253,6 +441,91 @@ mod tests {
             query(&d, "SELECT * FROM Processor"),
             Err(SqlError::Unsupported(_))
         ));
+    }
+
+    #[test]
+    fn health_table_reflects_monitor_state() {
+        use gridrm_core::health::{HealthConfig, HealthMonitor};
+        let telemetry = GatewayTelemetry::new(SimClock::new());
+        let monitor = Arc::new(HealthMonitor::new(
+            HealthConfig::default(),
+            telemetry.journal().clone(),
+        ));
+        monitor.record_failure("jdbc:snmp://n/p", Some("jdbc-snmp"), "timed out", 5);
+        let d = TelemetryDriver::with_health(telemetry, Some(monitor));
+        let rs = query(
+            &d,
+            "SELECT source, state, consecutive_failures, last_failed_driver \
+             FROM gridrm_health",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows()[0][1], SqlValue::Str("degraded".into()));
+        assert_eq!(rs.rows()[0][2], SqlValue::Int(1));
+        assert_eq!(rs.rows()[0][3], SqlValue::Str("jdbc-snmp".into()));
+    }
+
+    #[test]
+    fn health_table_empty_without_monitor() {
+        let (_t, d) = driver();
+        let rs = query(&d, "SELECT * FROM gridrm_health").unwrap();
+        assert_eq!(rs.len(), 0);
+    }
+
+    #[test]
+    fn journal_table_serves_entries() {
+        use gridrm_telemetry::{JournalSeverity, KIND_PROBE};
+        let (t, d) = driver();
+        t.journal().record(
+            7,
+            JournalSeverity::Warning,
+            KIND_PROBE,
+            "jdbc:snmp://n/p",
+            Some("jdbc-snmp"),
+            Some("probe"),
+            "probe failed",
+        );
+        let rs = query(
+            &d,
+            "SELECT seq, severity, kind, driver, message FROM gridrm_journal",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows()[0][1], SqlValue::Str("warning".into()));
+        assert_eq!(rs.rows()[0][2], SqlValue::Str("probe".into()));
+        assert_eq!(rs.rows()[0][3], SqlValue::Str("jdbc-snmp".into()));
+    }
+
+    #[test]
+    fn slow_query_table_renders_stage_breakdown() {
+        let telemetry = GatewayTelemetry::with_capacities(
+            SimClock::new(),
+            gridrm_telemetry::TelemetryCapacities {
+                slow_query_threshold_ms: 1,
+                ..Default::default()
+            },
+        );
+        let clock = telemetry.clock().clone();
+        let mut span = telemetry.span("SELECT Load1 FROM Processor");
+        span.stage("acil");
+        clock.advance(40);
+        span.stage_with("driver_execute", "jdbc-snmp");
+        span.finish("ok");
+        let d = TelemetryDriver::new(telemetry);
+        let rs = query(
+            &d,
+            "SELECT duration_ms, outcome, stages FROM gridrm_slow_queries",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows()[0][0], SqlValue::Int(40));
+        assert_eq!(rs.rows()[0][1], SqlValue::Str("ok".into()));
+        let stages = rs.rows()[0][2].as_str().unwrap();
+        assert!(stages.contains("acil@0"), "stages: {stages}");
+        assert!(
+            stages.contains("driver_execute@40=jdbc-snmp"),
+            "stages: {stages}"
+        );
     }
 
     #[test]

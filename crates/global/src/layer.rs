@@ -5,11 +5,13 @@ use crate::gma::{GmaDirectory, ProducerEntry};
 use crate::protocol::{self, GlobalRequest, GlobalResponse, WireIdentity, WireRows};
 use gridrm_core::acil::{ClientRequest, ClientResponse, QueryMode};
 use gridrm_core::events::{EventTransmitter, GridRMEvent, Severity};
+use gridrm_core::health::HealthState;
 use gridrm_core::security::Identity;
 use gridrm_core::Gateway;
 use gridrm_dbc::{DbcResult, JdbcUrl, RowSet, SqlError};
 use gridrm_simnet::{Network, Service};
 use gridrm_telemetry::{Counter, Labels, Registry};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Weak};
 
@@ -68,6 +70,76 @@ impl GlobalStats {
                 Labels::from_pairs(&[("kind", kind)]),
                 counter,
             );
+        }
+    }
+}
+
+/// Site-level health rollup: one gateway's per-source health states
+/// aggregated into per-state counts plus a worst-state-wins overall
+/// verdict, as presented to the rest of the Grid (Fig 1's site view).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteHealthRollup {
+    /// The Grid site.
+    pub site: String,
+    /// The reporting gateway.
+    pub gateway: String,
+    /// Worst-state-wins verdict: any `Down` source makes the site
+    /// `Down`, else any `Degraded` makes it `Degraded`, else any `Up`
+    /// makes it `Up`; a site with no (or only untested) sources is
+    /// `Unknown`.
+    pub overall: HealthState,
+    /// Sources currently `Up`.
+    pub up: usize,
+    /// Sources currently `Degraded`.
+    pub degraded: usize,
+    /// Sources currently `Down`.
+    pub down: usize,
+    /// Sources never yet observed.
+    pub unknown: usize,
+}
+
+impl SiteHealthRollup {
+    /// Total tracked sources.
+    pub fn sources(&self) -> usize {
+        self.up + self.degraded + self.down + self.unknown
+    }
+
+    /// Build a rollup from per-state counts (worst state wins).
+    pub fn from_counts(
+        site: &str,
+        gateway: &str,
+        counts: [(HealthState, usize); 4],
+    ) -> SiteHealthRollup {
+        let count = |want: HealthState| {
+            counts
+                .iter()
+                .find(|(s, _)| *s == want)
+                .map(|(_, n)| *n)
+                .unwrap_or(0)
+        };
+        let (up, degraded, down, unknown) = (
+            count(HealthState::Up),
+            count(HealthState::Degraded),
+            count(HealthState::Down),
+            count(HealthState::Unknown),
+        );
+        let overall = if down > 0 {
+            HealthState::Down
+        } else if degraded > 0 {
+            HealthState::Degraded
+        } else if up > 0 {
+            HealthState::Up
+        } else {
+            HealthState::Unknown
+        };
+        SiteHealthRollup {
+            site: site.to_owned(),
+            gateway: gateway.to_owned(),
+            overall,
+            up,
+            degraded,
+            down,
+            unknown,
         }
     }
 }
@@ -391,6 +463,17 @@ impl GlobalLayer {
             }));
     }
 
+    /// Roll this gateway's per-source health up to the site level
+    /// (worst state wins) for Grid-wide presentation.
+    pub fn site_health(&self) -> SiteHealthRollup {
+        let config = self.gateway.config();
+        SiteHealthRollup::from_counts(
+            &config.site,
+            &config.name,
+            self.gateway.health().state_counts(),
+        )
+    }
+
     /// Liveness check of a peer gateway.
     pub fn ping(&self, gateway_name: &str) -> bool {
         let Some(entry) = self.directory.by_name(gateway_name) else {
@@ -418,5 +501,37 @@ fn merge(acc: &mut Option<RowSet>, rows: RowSet, warnings: &mut Vec<String>, ori
                 warnings.push(format!("{origin}: result shape mismatch: {e}"));
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(
+        up: usize,
+        degraded: usize,
+        down: usize,
+        unknown: usize,
+    ) -> [(HealthState, usize); 4] {
+        [
+            (HealthState::Up, up),
+            (HealthState::Degraded, degraded),
+            (HealthState::Down, down),
+            (HealthState::Unknown, unknown),
+        ]
+    }
+
+    #[test]
+    fn rollup_worst_state_wins() {
+        let r = SiteHealthRollup::from_counts("s", "gw", counts(3, 1, 1, 0));
+        assert_eq!(r.overall, HealthState::Down);
+        assert_eq!(r.sources(), 5);
+        let r = SiteHealthRollup::from_counts("s", "gw", counts(3, 1, 0, 0));
+        assert_eq!(r.overall, HealthState::Degraded);
+        let r = SiteHealthRollup::from_counts("s", "gw", counts(3, 0, 0, 2));
+        assert_eq!(r.overall, HealthState::Up);
+        let r = SiteHealthRollup::from_counts("s", "gw", counts(0, 0, 0, 0));
+        assert_eq!(r.overall, HealthState::Unknown);
     }
 }

@@ -24,5 +24,5 @@ pub mod layer;
 pub mod protocol;
 
 pub use gma::{GmaDirectory, ProducerEntry};
-pub use layer::GlobalLayer;
+pub use layer::{GlobalLayer, SiteHealthRollup};
 pub use protocol::{GlobalRequest, GlobalResponse, WireIdentity, WireRows};

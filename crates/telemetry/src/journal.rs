@@ -1,0 +1,368 @@
+//! The structured event journal: a bounded ring of operational facts
+//! (health transitions, driver fallbacks, cache last-known-state serves,
+//! policy decisions, event-pipeline activity) with severity levels and
+//! low-cardinality source/driver/stage fields.
+//!
+//! The journal is to *gateway behaviour* what the trace ring is to *one
+//! request*: an ordered, bounded, queryable record. Entries are stamped
+//! with the shared virtual clock by callers, so journal ordering can be
+//! lined up against trace timestamps exactly.
+
+use crate::metrics::{Counter, Labels, Registry};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Journal severity, ordered. Mirrors the gateway's event severities but
+/// lives here so every crate below `core` can record entries.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum JournalSeverity {
+    /// Routine operational fact.
+    #[default]
+    Info,
+    /// Needs attention (degraded health, fallbacks, overflow).
+    Warning,
+    /// Needs attention now (source down, data loss risk).
+    Critical,
+}
+
+impl JournalSeverity {
+    /// Lower-case name (`info`, `warning`, `critical`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            JournalSeverity::Info => "info",
+            JournalSeverity::Warning => "warning",
+            JournalSeverity::Critical => "critical",
+        }
+    }
+
+    /// Parse from common level strings (anything unknown is `Info`).
+    pub fn parse(s: &str) -> JournalSeverity {
+        match s.to_ascii_lowercase().as_str() {
+            "critical" | "crit" | "error" | "fatal" => JournalSeverity::Critical,
+            "warning" | "warn" => JournalSeverity::Warning,
+            _ => JournalSeverity::Info,
+        }
+    }
+}
+
+/// One journal entry. `kind` comes from a closed set (see the constants
+/// in this module); `source`/`driver`/`stage` carry the high-cardinality
+/// detail that must stay out of metric labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalEntry {
+    /// Monotonic sequence number, unique per journal.
+    pub seq: u64,
+    /// Virtual time the entry was recorded.
+    pub at_ms: u64,
+    /// Severity level.
+    pub severity: JournalSeverity,
+    /// Entry kind from the closed set (`state_transition`, …).
+    pub kind: String,
+    /// The data source (URL) or component concerned.
+    pub source: String,
+    /// Driver involved, when one was.
+    pub driver: Option<String>,
+    /// Pipeline stage involved, when one was.
+    pub stage: Option<String>,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Kind: a health state machine transition.
+pub const KIND_STATE_TRANSITION: &str = "state_transition";
+/// Kind: a failure policy fell back to another driver.
+pub const KIND_DRIVER_FALLBACK: &str = "driver_fallback";
+/// Kind: the cache served a last-known-state result.
+pub const KIND_CACHE_SERVE: &str = "cache_serve";
+/// Kind: a failure-policy decision (retry, report, exhausted).
+pub const KIND_POLICY_DECISION: &str = "policy_decision";
+/// Kind: an active health probe ran.
+pub const KIND_PROBE: &str = "probe";
+/// Kind: a normalised event entered the event pipeline.
+pub const KIND_EVENT: &str = "event";
+/// Kind: the event fast buffer overflowed to the disk buffer.
+pub const KIND_EVENT_OVERFLOW: &str = "event_overflow";
+/// Kind: a native push no formatter accepted.
+pub const KIND_EVENT_UNFORMATTED: &str = "event_unformatted";
+
+/// Per-severity journal counters. Shared telemetry cells, exposable in a
+/// gateway-wide [`Registry`] via [`JournalStats::register_into`].
+#[derive(Debug, Default)]
+pub struct JournalStats {
+    /// Info entries recorded.
+    pub info: Counter,
+    /// Warning entries recorded.
+    pub warning: Counter,
+    /// Critical entries recorded.
+    pub critical: Counter,
+}
+
+impl JournalStats {
+    fn for_severity(&self, severity: JournalSeverity) -> &Counter {
+        match severity {
+            JournalSeverity::Info => &self.info,
+            JournalSeverity::Warning => &self.warning,
+            JournalSeverity::Critical => &self.critical,
+        }
+    }
+
+    /// Expose these counters in a metrics registry (shared cells: the
+    /// struct and the registry observe the same values).
+    pub fn register_into(&self, registry: &Registry) {
+        let series = [
+            ("info", &self.info),
+            ("warning", &self.warning),
+            ("critical", &self.critical),
+        ];
+        for (severity, counter) in series {
+            registry.expose_counter(
+                "gridrm_journal_entries_total",
+                "Structured journal entries recorded by severity",
+                Labels::from_pairs(&[("severity", severity)]),
+                counter,
+            );
+        }
+    }
+}
+
+/// Default number of journal entries retained per gateway.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 512;
+
+/// The bounded structured journal: oldest entries evicted first, like
+/// the trace ring.
+pub struct Journal {
+    capacity: usize,
+    ring: Mutex<VecDeque<JournalEntry>>,
+    next_seq: AtomicU64,
+    stats: JournalStats,
+}
+
+impl Journal {
+    /// Journal keeping at most `capacity` entries (capacity >= 1).
+    pub fn new(capacity: usize) -> Journal {
+        Journal {
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::new()),
+            next_seq: AtomicU64::new(1),
+            stats: JournalStats::default(),
+        }
+    }
+
+    /// Record one entry (the journal assigns `seq`). Returns the assigned
+    /// sequence number.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &self,
+        at_ms: u64,
+        severity: JournalSeverity,
+        kind: &str,
+        source: &str,
+        driver: Option<&str>,
+        stage: Option<&str>,
+        message: &str,
+    ) -> u64 {
+        self.stats.for_severity(severity).inc();
+        let mut ring = self.ring.lock();
+        // Seq is assigned under the ring lock so sequence order always
+        // matches ring order (and clock order, the clock being monotone).
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(JournalEntry {
+            seq,
+            at_ms,
+            severity,
+            kind: kind.to_owned(),
+            source: source.to_owned(),
+            driver: driver.map(str::to_owned),
+            stage: stage.map(str::to_owned),
+            message: message.to_owned(),
+        });
+        seq
+    }
+
+    /// Retained entries, oldest first.
+    pub fn recent(&self) -> Vec<JournalEntry> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// Retained entries of one kind, oldest first.
+    pub fn recent_of_kind(&self, kind: &str) -> Vec<JournalEntry> {
+        self.ring
+            .lock()
+            .iter()
+            .filter(|e| e.kind == kind)
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.lock().is_empty()
+    }
+
+    /// Maximum number of retained entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total entries ever recorded (survives ring eviction).
+    pub fn total_recorded(&self) -> u64 {
+        self.stats.info.get() + self.stats.warning.get() + self.stats.critical.get()
+    }
+
+    /// Per-severity counters.
+    pub fn stats(&self) -> &JournalStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j(capacity: usize) -> Journal {
+        Journal::new(capacity)
+    }
+
+    #[test]
+    fn seq_is_monotonic_and_ring_bounded() {
+        let journal = j(3);
+        for i in 0..5u64 {
+            journal.record(
+                i,
+                JournalSeverity::Info,
+                KIND_PROBE,
+                "jdbc:snmp://n/p",
+                None,
+                None,
+                "probe ok",
+            );
+        }
+        let kept = journal.recent();
+        assert_eq!(kept.len(), 3);
+        let seqs: Vec<u64> = kept.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![3, 4, 5]);
+        assert_eq!(journal.total_recorded(), 5);
+        assert_eq!(journal.capacity(), 3);
+    }
+
+    #[test]
+    fn severity_counters_track_records() {
+        let journal = j(8);
+        journal.record(0, JournalSeverity::Info, KIND_EVENT, "s", None, None, "m");
+        journal.record(
+            1,
+            JournalSeverity::Warning,
+            KIND_DRIVER_FALLBACK,
+            "s",
+            Some("jdbc-snmp"),
+            None,
+            "m",
+        );
+        journal.record(
+            2,
+            JournalSeverity::Critical,
+            KIND_STATE_TRANSITION,
+            "s",
+            None,
+            Some("down"),
+            "m",
+        );
+        journal.record(
+            3,
+            JournalSeverity::Critical,
+            KIND_PROBE,
+            "s",
+            None,
+            None,
+            "m",
+        );
+        assert_eq!(journal.stats().info.get(), 1);
+        assert_eq!(journal.stats().warning.get(), 1);
+        assert_eq!(journal.stats().critical.get(), 2);
+        assert_eq!(journal.total_recorded(), 4);
+    }
+
+    #[test]
+    fn kind_filter() {
+        let journal = j(8);
+        journal.record(0, JournalSeverity::Info, KIND_PROBE, "a", None, None, "m");
+        journal.record(
+            1,
+            JournalSeverity::Warning,
+            KIND_STATE_TRANSITION,
+            "a",
+            None,
+            None,
+            "m",
+        );
+        journal.record(2, JournalSeverity::Info, KIND_PROBE, "b", None, None, "m");
+        let probes = journal.recent_of_kind(KIND_PROBE);
+        assert_eq!(probes.len(), 2);
+        assert!(probes.iter().all(|e| e.kind == KIND_PROBE));
+    }
+
+    #[test]
+    fn entries_serialize_to_json() {
+        let journal = j(2);
+        journal.record(
+            7,
+            JournalSeverity::Warning,
+            KIND_CACHE_SERVE,
+            "jdbc:snmp://n/p",
+            Some("jdbc-snmp"),
+            Some("cache_lookup"),
+            "served last known state",
+        );
+        let entries = journal.recent();
+        let json = serde_json::to_string(&entries).unwrap();
+        let back: Vec<JournalEntry> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn severity_parse_and_order() {
+        assert_eq!(JournalSeverity::parse("WARN"), JournalSeverity::Warning);
+        assert_eq!(JournalSeverity::parse("error"), JournalSeverity::Critical);
+        assert_eq!(JournalSeverity::parse("other"), JournalSeverity::Info);
+        assert!(JournalSeverity::Info < JournalSeverity::Warning);
+        assert!(JournalSeverity::Warning < JournalSeverity::Critical);
+    }
+
+    #[test]
+    fn concurrent_records_keep_ring_ordered_by_seq() {
+        let journal = j(4096);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let journal = &journal;
+                s.spawn(move || {
+                    for i in 0..200 {
+                        journal.record(
+                            0,
+                            JournalSeverity::Info,
+                            KIND_EVENT,
+                            &format!("src-{t}"),
+                            None,
+                            None,
+                            &format!("m{i}"),
+                        );
+                    }
+                });
+            }
+        });
+        let entries = journal.recent();
+        assert_eq!(entries.len(), 1600);
+        assert!(entries.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+}

@@ -1,11 +1,21 @@
-//! GridRM telemetry: metrics registry, query-path tracing, exposition.
+//! GridRM telemetry: metrics registry, query-path tracing, structured
+//! event journal, slow-query log, exposition.
 
+pub mod journal;
 pub mod metrics;
+pub mod slowlog;
 pub mod trace;
 
+pub use journal::{
+    Journal, JournalEntry, JournalSeverity, JournalStats, DEFAULT_JOURNAL_CAPACITY,
+    KIND_CACHE_SERVE, KIND_DRIVER_FALLBACK, KIND_EVENT, KIND_EVENT_OVERFLOW,
+    KIND_EVENT_UNFORMATTED, KIND_POLICY_DECISION, KIND_PROBE, KIND_STATE_TRANSITION,
+};
 pub use metrics::{
     Counter, Gauge, Histogram, Labels, MetricSnapshot, Registry, Sample, DEFAULT_LATENCY_BUCKETS_MS,
 };
+pub use slowlog::{SlowQueryLog, DEFAULT_SLOW_QUERY_CAPACITY, DEFAULT_SLOW_QUERY_THRESHOLD_MS};
 pub use trace::{
-    GatewayTelemetry, SpanBuilder, SpanStage, TraceBuffer, TraceRecord, DEFAULT_TRACE_CAPACITY,
+    GatewayTelemetry, SpanBuilder, SpanStage, TelemetryCapacities, TraceBuffer, TraceRecord,
+    DEFAULT_TRACE_CAPACITY,
 };

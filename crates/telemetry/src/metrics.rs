@@ -586,7 +586,7 @@ mod tests {
         let c = reg.counter(
             "gridrm_cache_hits_total",
             "Cache hits",
-            Labels::from_pairs(&[("source", "a:xml")]),
+            Labels::from_pairs(&[("proto", "a:xml")]),
         );
         c.add(4);
         let g = reg.gauge(
@@ -604,7 +604,7 @@ mod tests {
         h.observe(3.0);
         let text = reg.render_prometheus();
         assert!(text.contains("# TYPE gridrm_cache_hits_total counter"));
-        assert!(text.contains("gridrm_cache_hits_total{source=\"a:xml\"} 4"));
+        assert!(text.contains("gridrm_cache_hits_total{proto=\"a:xml\"} 4"));
         assert!(text.contains("gridrm_pool_idle 2"));
         assert!(text.contains("gridrm_request_latency_ms_bucket{driver=\"ganglia\",le=\"10\"} 1"));
         assert!(text.contains("gridrm_request_latency_ms_bucket{driver=\"ganglia\",le=\"+Inf\"} 1"));

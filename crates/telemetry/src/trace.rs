@@ -8,7 +8,9 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::journal::{Journal, DEFAULT_JOURNAL_CAPACITY};
 use crate::metrics::Registry;
+use crate::slowlog::{SlowQueryLog, DEFAULT_SLOW_QUERY_CAPACITY, DEFAULT_SLOW_QUERY_THRESHOLD_MS};
 
 /// One timestamped stage inside a trace (`resolve`, `connect`, …).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,6 +55,7 @@ pub struct SpanBuilder {
     record: TraceRecord,
     clock: Arc<SimClock>,
     sink: Arc<TraceBuffer>,
+    slowlog: Arc<SlowQueryLog>,
 }
 
 impl SpanBuilder {
@@ -84,10 +87,12 @@ impl SpanBuilder {
         self.record.id
     }
 
-    /// Finish with an outcome and commit to the ring buffer.
+    /// Finish with an outcome, commit to the ring buffer, and offer the
+    /// completed trace to the slow-query log.
     pub fn finish(mut self, outcome: &str) {
         self.record.finished_ms = self.clock.now_millis();
         self.record.outcome = outcome.to_string();
+        self.slowlog.offer(&self.record);
         self.sink.push(self.record);
     }
 }
@@ -150,27 +155,70 @@ impl TraceBuffer {
 /// Default number of traces retained per gateway.
 pub const DEFAULT_TRACE_CAPACITY: usize = 256;
 
+/// Capacities and thresholds for the telemetry hub's bounded stores.
+#[derive(Debug, Clone)]
+pub struct TelemetryCapacities {
+    /// Trace ring size.
+    pub traces: usize,
+    /// Structured journal ring size.
+    pub journal: usize,
+    /// Slow-query log top-K size.
+    pub slow_queries: usize,
+    /// Slow-query threshold in virtual milliseconds (0 disables).
+    pub slow_query_threshold_ms: u64,
+}
+
+impl Default for TelemetryCapacities {
+    fn default() -> TelemetryCapacities {
+        TelemetryCapacities {
+            traces: DEFAULT_TRACE_CAPACITY,
+            journal: DEFAULT_JOURNAL_CAPACITY,
+            slow_queries: DEFAULT_SLOW_QUERY_CAPACITY,
+            slow_query_threshold_ms: DEFAULT_SLOW_QUERY_THRESHOLD_MS,
+        }
+    }
+}
+
 /// The per-gateway telemetry hub: one registry, one trace ring, one
-/// clock. Cheap to clone (`Arc` inside) and share across subsystems.
+/// journal, one slow-query log, one clock. Cheap to clone (`Arc`
+/// inside) and share across subsystems.
 #[derive(Clone)]
 pub struct GatewayTelemetry {
     registry: Arc<Registry>,
     traces: Arc<TraceBuffer>,
+    journal: Arc<Journal>,
+    slow_queries: Arc<SlowQueryLog>,
     clock: Arc<SimClock>,
     next_trace_id: Arc<AtomicU64>,
 }
 
 impl GatewayTelemetry {
-    /// Telemetry hub over the gateway's clock.
+    /// Telemetry hub over the gateway's clock, default capacities.
     pub fn new(clock: Arc<SimClock>) -> GatewayTelemetry {
-        GatewayTelemetry::with_capacity(clock, DEFAULT_TRACE_CAPACITY)
+        GatewayTelemetry::with_capacities(clock, TelemetryCapacities::default())
     }
 
     /// Telemetry hub with an explicit trace-ring capacity.
     pub fn with_capacity(clock: Arc<SimClock>, trace_capacity: usize) -> GatewayTelemetry {
+        GatewayTelemetry::with_capacities(
+            clock,
+            TelemetryCapacities {
+                traces: trace_capacity,
+                ..TelemetryCapacities::default()
+            },
+        )
+    }
+
+    /// Telemetry hub with explicit capacities for every bounded store.
+    pub fn with_capacities(clock: Arc<SimClock>, caps: TelemetryCapacities) -> GatewayTelemetry {
         GatewayTelemetry {
             registry: Arc::new(Registry::new()),
-            traces: Arc::new(TraceBuffer::new(trace_capacity)),
+            traces: Arc::new(TraceBuffer::new(caps.traces)),
+            journal: Arc::new(Journal::new(caps.journal)),
+            slow_queries: Arc::new(SlowQueryLog::new(
+                caps.slow_query_threshold_ms,
+                caps.slow_queries,
+            )),
             clock,
             next_trace_id: Arc::new(AtomicU64::new(1)),
         }
@@ -184,6 +232,16 @@ impl GatewayTelemetry {
     /// The trace ring buffer.
     pub fn traces(&self) -> &TraceBuffer {
         &self.traces
+    }
+
+    /// The structured event journal.
+    pub fn journal(&self) -> &Arc<Journal> {
+        &self.journal
+    }
+
+    /// The slow-query log.
+    pub fn slow_queries(&self) -> &Arc<SlowQueryLog> {
+        &self.slow_queries
     }
 
     /// The clock stamping trace stages.
@@ -206,6 +264,7 @@ impl GatewayTelemetry {
             },
             clock: Arc::clone(&self.clock),
             sink: Arc::clone(&self.traces),
+            slowlog: Arc::clone(&self.slow_queries),
         }
     }
 }

@@ -54,14 +54,17 @@ pub mod prelude {
     pub use gridrm_agents::{deploy_site, SiteAgents};
     pub use gridrm_core::{
         AlertRule, ClientInterface, ClientRequest, ClientResponse, Comparison, DataSourceConfig,
-        FailurePolicy, Gateway, GatewayConfig, GridRMEvent, Identity, ListenerFilter, QueryMode,
-        SecurityPolicy, Severity,
+        FailurePolicy, Gateway, GatewayConfig, GridRMEvent, HealthMonitor, HealthState, Identity,
+        ListenerFilter, QueryMode, SecurityPolicy, Severity, SourceHealthSnapshot,
     };
     pub use gridrm_dbc::{JdbcUrl, ResultSet, RowSet, SqlError};
     pub use gridrm_drivers::install_into_gateway;
-    pub use gridrm_global::{GlobalLayer, GmaDirectory};
+    pub use gridrm_global::{GlobalLayer, GmaDirectory, SiteHealthRollup};
     pub use gridrm_resmodel::{SiteModel, SiteSpec};
     pub use gridrm_simnet::{Network, SimClock};
     pub use gridrm_sqlparse::SqlValue;
-    pub use gridrm_telemetry::{GatewayTelemetry, Registry, TraceRecord};
+    pub use gridrm_telemetry::{
+        GatewayTelemetry, Journal, JournalEntry, JournalSeverity, Registry, SlowQueryLog,
+        TraceRecord,
+    };
 }

@@ -9,9 +9,16 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+struct Field {
+    name: String,
+    /// `#[serde(default)]` → `Some(None)`;
+    /// `#[serde(default = "path")]` → `Some(Some(path))`.
+    default: Option<Option<String>>,
+}
+
 enum Fields {
     Unit,
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
 }
 
@@ -88,13 +95,48 @@ fn parse_item(input: TokenStream) -> Item {
     }
 }
 
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
-    let mut names = Vec::new();
+/// Recognise `serde(default)` / `serde(default = "path")` inside one
+/// attribute's bracket group; any other attribute returns `None`.
+fn parse_serde_default(stream: TokenStream) -> Option<Option<String>> {
+    let mut toks = stream.into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return None,
+    };
+    let mut toks = inner.into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => {}
+        _ => return None,
+    }
+    match toks.next() {
+        None => Some(None),
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => match toks.next() {
+            Some(TokenTree::Literal(lit)) => {
+                let s = lit.to_string();
+                Some(Some(s.trim_matches('"').to_owned()))
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
     let mut toks = stream.into_iter().peekable();
     loop {
+        let mut default = None;
         while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
             toks.next();
-            toks.next();
+            if let Some(TokenTree::Group(g)) = toks.next() {
+                if let Some(d) = parse_serde_default(g.stream()) {
+                    default = Some(d);
+                }
+            }
         }
         if matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
             toks.next();
@@ -106,7 +148,10 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             }
         }
         match toks.next() {
-            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            Some(TokenTree::Ident(id)) => fields.push(Field {
+                name: id.to_string(),
+                default,
+            }),
             None => break,
             other => panic!("derive: expected field name, got {other:?}"),
         }
@@ -123,7 +168,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             }
         }
     }
-    names
+    fields
 }
 
 fn count_tuple_fields(stream: TokenStream) -> usize {
@@ -200,6 +245,7 @@ fn gen_serialize(item: &Item) -> String {
         ItemKind::Struct(Fields::Named(fields)) => {
             let mut s = String::from("let mut m = ::serde::Map::new();\n");
             for f in fields {
+                let f = &f.name;
                 s.push_str(&format!(
                     "m.insert(::std::string::String::from(\"{f}\"), \
                      ::serde::Serialize::to_value(&self.{f}));\n"
@@ -248,11 +294,13 @@ fn gen_serialize(item: &Item) -> String {
                     Fields::Named(fields) => {
                         let mut inner = String::from("let mut inner = ::serde::Map::new();\n");
                         for f in fields {
+                            let f = &f.name;
                             inner.push_str(&format!(
                                 "inner.insert(::std::string::String::from(\"{f}\"), \
                                  ::serde::Serialize::to_value({f}));\n"
                             ));
                         }
+                        let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         arms.push_str(&format!(
                             "{name}::{vname} {{ {fields} }} => {{\n\
                              {inner}\
@@ -261,7 +309,7 @@ fn gen_serialize(item: &Item) -> String {
                              ::serde::Value::Object(inner));\n\
                              ::serde::Value::Object(m)\n\
                              }}\n",
-                            fields = fields.join(", "),
+                            fields = names.join(", "),
                         ));
                     }
                 }
@@ -277,14 +325,32 @@ fn gen_serialize(item: &Item) -> String {
     )
 }
 
-fn gen_named_constructor(type_path: &str, fields: &[String], obj_var: &str) -> String {
+fn gen_named_constructor(type_path: &str, fields: &[Field], obj_var: &str) -> String {
     let inits: Vec<String> = fields
         .iter()
-        .map(|f| {
-            format!(
-                "{f}: ::serde::Deserialize::from_value(\
-                 {obj_var}.get(\"{f}\").unwrap_or(&::serde::Value::Null))?"
-            )
+        .map(|field| {
+            let f = &field.name;
+            match &field.default {
+                // Like real serde, `default` fires only when the key is
+                // absent; an explicit value (even null) deserializes.
+                Some(default) => {
+                    let expr = match default {
+                        Some(path) => format!("{path}()"),
+                        None => "::core::default::Default::default()".to_owned(),
+                    };
+                    format!(
+                        "{f}: match {obj_var}.get(\"{f}\") {{\n\
+                         ::core::option::Option::Some(value) => \
+                         ::serde::Deserialize::from_value(value)?,\n\
+                         ::core::option::Option::None => {expr},\n\
+                         }}"
+                    )
+                }
+                None => format!(
+                    "{f}: ::serde::Deserialize::from_value(\
+                     {obj_var}.get(\"{f}\").unwrap_or(&::serde::Value::Null))?"
+                ),
+            }
         })
         .collect();
     format!("{type_path} {{ {} }}", inits.join(", "))

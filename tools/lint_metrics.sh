@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Grep-based lint for the metric naming and label-cardinality house
+# rules in docs/observability.md:
+#
+#   1. every registered metric name starts with `gridrm_`
+#   2. counter names end in `_total`
+#   3. label KEYS never come from the open sets clients control
+#      (source / url / hostname / host / sql / query / address) —
+#      high-cardinality detail belongs in the trace, not in labels
+#
+# Usage: tools/lint_metrics.sh   (exits nonzero on any violation)
+set -u
+cd "$(dirname "$0")/.."
+
+SCAN_DIRS="crates src examples"
+FORBIDDEN_LABEL_KEYS='source|url|hostname|host|sql|query|address'
+fail=0
+
+# Every counter/gauge/histogram registration (direct or expose_*)
+# paired with the metric-name literal that follows it — the name sits
+# on the same line or within the next two (rustfmt wraps arguments).
+registrations() {
+  grep -rn -E '\.(expose_)?(counter|gauge|histogram)\(' \
+      --include='*.rs' $SCAN_DIRS |
+    while IFS=: read -r file line rest; do
+      kind=$(printf '%s' "$rest" |
+        grep -oE '(expose_)?(counter|gauge|histogram)\(' | head -1 |
+        sed 's/expose_//; s/($//; s/(//')
+      name=$(sed -n "${line},$((line + 2))p" "$file" |
+        grep -oE '"[A-Za-z0-9_:]+"' | head -1 | tr -d '"')
+      [ -n "$name" ] && printf '%s:%s:%s:%s\n' "$file" "$line" "$kind" "$name"
+    done
+}
+
+regs=$(registrations)
+if [ -z "$regs" ]; then
+  echo "lint_metrics: found no metric registrations — scan pattern broken?" >&2
+  exit 1
+fi
+
+# Rule 1: gridrm_ prefix.
+bad=$(printf '%s\n' "$regs" | awk -F: '$4 !~ /^gridrm_/')
+if [ -n "$bad" ]; then
+  echo "FAIL: metric names must start with gridrm_:" >&2
+  printf '%s\n' "$bad" | sed 's/^/  /' >&2
+  fail=1
+fi
+
+# Rule 2: counters end in _total.
+bad=$(printf '%s\n' "$regs" | awk -F: '$3 == "counter" && $4 !~ /_total$/')
+if [ -n "$bad" ]; then
+  echo "FAIL: counter names must end in _total:" >&2
+  printf '%s\n' "$bad" | sed 's/^/  /' >&2
+  fail=1
+fi
+
+# Rule 3: no open-set label keys. Label pairs are written
+# ("key", "value") inside Labels::from_pairs; the key literal may land
+# one line below the call after rustfmt wrapping, so scan every
+# ("...", pair on lines near a from_pairs call.
+bad=$(grep -rn -A3 'Labels::from_pairs' --include='*.rs' $SCAN_DIRS |
+  grep -E "\(\"(${FORBIDDEN_LABEL_KEYS})\"," || true)
+if [ -n "$bad" ]; then
+  echo "FAIL: forbidden label key (open-set / client-controlled values):" >&2
+  printf '%s\n' "$bad" | sed 's/^/  /' >&2
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "lint_metrics: OK ($(printf '%s\n' "$regs" | wc -l | tr -d ' ') registrations checked)"
+fi
+exit "$fail"
