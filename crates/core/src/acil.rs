@@ -9,6 +9,7 @@ use crate::security::Identity;
 use crate::session::SessionToken;
 use gridrm_dbc::{DbcResult, RowSet};
 use gridrm_sqlparse::SqlValue;
+use gridrm_telemetry::TraceContext;
 
 /// How a query should be satisfied (§3.1.1, §4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +41,10 @@ pub struct ClientRequest {
     pub sql: String,
     /// Freshness mode.
     pub mode: QueryMode,
+    /// Trace context this request runs under, when it is one leg of a
+    /// larger traced operation (global fan-out, `EXPLAIN`). `None`
+    /// starts a fresh trace.
+    pub trace: Option<TraceContext>,
 }
 
 impl ClientRequest {
@@ -51,6 +56,7 @@ impl ClientRequest {
             sources: vec![source.to_owned()],
             sql: sql.to_owned(),
             mode: QueryMode::RealTime,
+            trace: None,
         }
     }
 
@@ -70,6 +76,7 @@ impl ClientRequest {
             sources: Vec::new(),
             sql: sql.to_owned(),
             mode: QueryMode::Historical,
+            trace: None,
         }
     }
 
@@ -88,6 +95,13 @@ impl ClientRequest {
     /// Builder: query several sources (consolidated, §3.1.1).
     pub fn with_sources(mut self, sources: &[&str]) -> ClientRequest {
         self.sources = sources.iter().map(|s| (*s).to_owned()).collect();
+        self
+    }
+
+    /// Builder: run under an existing trace context, making the
+    /// gateway's request span a child instead of a new root.
+    pub fn with_trace(mut self, trace: TraceContext) -> ClientRequest {
+        self.trace = Some(trace);
         self
     }
 }

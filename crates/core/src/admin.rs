@@ -158,6 +158,21 @@ impl AdminInterface {
             .and_then(|t| t.traces().slowest())
     }
 
+    /// Every retained span of one trace tree, oldest first.
+    pub fn trace_spans(&self, trace_id: &str) -> Vec<TraceRecord> {
+        self.telemetry
+            .read()
+            .as_ref()
+            .map(|t| t.traces().for_trace(trace_id))
+            .unwrap_or_default()
+    }
+
+    /// JSON text of [`AdminInterface::trace_spans`] (the span tree of
+    /// one trace, with full span-identity fields).
+    pub fn trace_spans_json(&self, trace_id: &str) -> String {
+        serde_json::to_string_pretty(&self.trace_spans(trace_id)).expect("traces are serialisable")
+    }
+
     /// Attach the health monitor; enables the health exposition below
     /// and health tracking of administered sources.
     pub fn attach_health(&self, monitor: Arc<HealthMonitor>) {

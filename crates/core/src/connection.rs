@@ -144,7 +144,10 @@ impl ConnectionManager {
         &self.driver_manager
     }
 
-    fn checkout(&self, url: &JdbcUrl, driver_name: &str) -> DbcResult<Box<dyn Connection>> {
+    /// Check a connection out; the boolean is true when it came from
+    /// the pool (vs. freshly created), so callers can trace the
+    /// decision.
+    fn checkout(&self, url: &JdbcUrl, driver_name: &str) -> DbcResult<(Box<dyn Connection>, bool)> {
         self.stats.checkouts.inc();
         let key: PoolKey = (url.to_string(), driver_name.to_owned());
         if self.pooling_enabled.load(Ordering::Relaxed) {
@@ -156,7 +159,7 @@ impl ConnectionManager {
                 // being handed out.
                 if conn.ping().is_ok() {
                     self.stats.pool_hits.inc();
-                    return Ok(conn);
+                    return Ok((conn, true));
                 }
                 self.stats.discards.inc();
                 let _ = conn.close();
@@ -170,7 +173,7 @@ impl ConnectionManager {
             .get_by_name(driver_name)
             .ok_or_else(|| SqlError::NoSuitableDriver(format!("{driver_name} unregistered")))?;
         self.stats.creates.inc();
-        driver.connect(url, &Properties::new())
+        Ok((driver.connect(url, &Properties::new())?, false))
     }
 
     fn checkin(&self, url: &JdbcUrl, driver_name: &str, mut conn: Box<dyn Connection>) {
@@ -200,7 +203,8 @@ impl ConnectionManager {
     }
 
     /// One query attempt against one specific driver. Records the
-    /// `connect`/`execute`/`translate` stages on the span, when given.
+    /// `checkout`/`connect`/`execute`/`translate` stages on the span,
+    /// when given.
     fn attempt(
         &self,
         url: &JdbcUrl,
@@ -208,8 +212,9 @@ impl ConnectionManager {
         sql: &str,
         mut span: Option<&mut SpanBuilder>,
     ) -> DbcResult<RowSet> {
-        let mut conn = self.checkout(url, driver_name)?;
+        let (mut conn, pooled) = self.checkout(url, driver_name)?;
         if let Some(s) = span.as_deref_mut() {
+            s.stage_with("checkout", if pooled { "pool_hit" } else { "create" });
             s.stage_with("connect", driver_name);
         }
         let result = (|| {
@@ -244,9 +249,13 @@ impl ConnectionManager {
     }
 
     /// [`ConnectionManager::execute`] with an optional in-flight trace
-    /// span. Each driver attempt records `resolve` → `connect` →
-    /// `execute` → `translate` stages and feeds the per-driver latency
-    /// histogram when telemetry is attached.
+    /// span. Each resolution runs under a `resolve` child span (which
+    /// candidates were weighed, and why the winner won) and each driver
+    /// attempt under a `driver_execute` child span (`checkout` →
+    /// `connect` → `execute` → `translate`); the attempt's span is also
+    /// entered as the thread's ambient active span, so GLUE translation
+    /// inside the driver hangs its own child off it. The per-driver
+    /// latency histogram is fed when telemetry is attached.
     pub fn execute_traced(
         &self,
         url: &JdbcUrl,
@@ -257,6 +266,7 @@ impl ConnectionManager {
         let health = self.health.read().clone();
         let policy = self.driver_manager.policy_for(url);
         let key = url.to_string();
+        let trace_id = span.as_deref().map(|s| s.trace_id().to_owned());
         let now = || {
             telemetry
                 .as_ref()
@@ -267,16 +277,45 @@ impl ConnectionManager {
         let mut retries_used = 0u32;
         let mut last_err: Option<SqlError> = None;
         loop {
-            let driver = match self.driver_manager.resolve_excluding(url, &excluded) {
-                Ok(d) => d,
-                Err(e) => return Err(last_err.unwrap_or(e)),
+            let mut resolve_span = span.as_deref().map(|s| s.child(&format!("resolve {key}")));
+            let resolved =
+                self.driver_manager
+                    .resolve_excluding_traced(url, &excluded, resolve_span.as_mut());
+            let driver = match resolved {
+                Ok(d) => {
+                    if let Some(rs) = resolve_span {
+                        rs.finish("ok");
+                    }
+                    d
+                }
+                Err(e) => {
+                    if let Some(rs) = resolve_span {
+                        rs.finish("error");
+                    }
+                    return Err(last_err.unwrap_or(e));
+                }
             };
             let name = driver.name();
             if let Some(s) = span.as_deref_mut() {
                 s.stage_with("resolve", &name);
             }
+            let mut exec_span = span.as_deref().map(|s| {
+                let mut c = s.child(&format!("driver_execute {name}"));
+                c.stage_with("driver_execute", &name);
+                c.source(&key);
+                c
+            });
             let started_ms = telemetry.as_ref().map(|t| t.clock().now_millis());
-            let outcome = self.attempt(url, &name, sql, span.as_deref_mut());
+            let outcome = {
+                let _active = match (&telemetry, exec_span.as_ref()) {
+                    (Some(t), Some(es)) => Some(gridrm_telemetry::active::enter(t, es.context())),
+                    _ => None,
+                };
+                self.attempt(url, &name, sql, exec_span.as_mut())
+            };
+            if let Some(es) = exec_span {
+                es.finish(if outcome.is_ok() { "ok" } else { "error" });
+            }
             if let (Some(t), Some(started)) = (&telemetry, started_ms) {
                 let elapsed = t.clock().now_millis().saturating_sub(started);
                 t.registry()
@@ -313,7 +352,7 @@ impl ConnectionManager {
                     match policy {
                         FailurePolicy::Report => {
                             if let Some(j) = journal {
-                                j.record(
+                                j.record_traced(
                                     now(),
                                     JournalSeverity::Warning,
                                     KIND_POLICY_DECISION,
@@ -321,6 +360,7 @@ impl ConnectionManager {
                                     Some(&name),
                                     None,
                                     "report: surfacing error to client",
+                                    trace_id.as_deref(),
                                 );
                             }
                             return Err(err);
@@ -328,7 +368,7 @@ impl ConnectionManager {
                         FailurePolicy::Retry(n) => {
                             if retries_used >= n {
                                 if let Some(j) = journal {
-                                    j.record(
+                                    j.record_traced(
                                         now(),
                                         JournalSeverity::Warning,
                                         KIND_POLICY_DECISION,
@@ -336,13 +376,14 @@ impl ConnectionManager {
                                         Some(&name),
                                         None,
                                         &format!("retry: {n} attempts exhausted"),
+                                        trace_id.as_deref(),
                                     );
                                 }
                                 return Err(err);
                             }
                             retries_used += 1;
                             if let Some(j) = journal {
-                                j.record(
+                                j.record_traced(
                                     now(),
                                     JournalSeverity::Info,
                                     KIND_POLICY_DECISION,
@@ -350,13 +391,14 @@ impl ConnectionManager {
                                     Some(&name),
                                     None,
                                     &format!("retry {retries_used}/{n}"),
+                                    trace_id.as_deref(),
                                 );
                             }
                             last_err = Some(err);
                         }
                         FailurePolicy::TryNext => {
                             if let Some(j) = journal {
-                                j.record(
+                                j.record_traced(
                                     now(),
                                     JournalSeverity::Warning,
                                     KIND_DRIVER_FALLBACK,
@@ -364,6 +406,7 @@ impl ConnectionManager {
                                     Some(&name),
                                     None,
                                     &format!("falling back from {name}: {err}"),
+                                    trace_id.as_deref(),
                                 );
                             }
                             excluded.push(name);
@@ -383,7 +426,7 @@ impl ConnectionManager {
         let driver = self.driver_manager.resolve(url)?;
         let name = driver.name();
         let result = (|| {
-            let mut conn = self.checkout(url, &name)?;
+            let (mut conn, _pooled) = self.checkout(url, &name)?;
             match conn.ping() {
                 Ok(()) => {
                     self.checkin(url, &name, conn);
@@ -661,7 +704,9 @@ mod tests {
         let cm = ConnectionManager::new(dm, 2);
         // Checkout 4 connections simultaneously, then return them all.
         let u = url();
-        let conns: Vec<_> = (0..4).map(|_| cm.checkout(&u, "drv-a").unwrap()).collect();
+        let conns: Vec<_> = (0..4)
+            .map(|_| cm.checkout(&u, "drv-a").unwrap().0)
+            .collect();
         for c in conns {
             cm.checkin(&u, "drv-a", c);
         }

@@ -7,7 +7,7 @@
 //! report the error", §3.1.3/§4).
 
 use gridrm_dbc::{DbcResult, Driver, DriverManager, JdbcUrl, SqlError};
-use gridrm_telemetry::{Counter, Labels, Registry};
+use gridrm_telemetry::{Counter, Labels, Registry, SpanBuilder};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -175,31 +175,68 @@ impl GridRMDriverManager {
         url: &JdbcUrl,
         exclude: &[String],
     ) -> DbcResult<Arc<dyn Driver>> {
+        self.resolve_excluding_traced(url, exclude, None)
+    }
+
+    /// [`GridRMDriverManager::resolve_excluding`] with an optional span:
+    /// the resolution records which cache/preference/`accepts_url`
+    /// candidates it weighed (`resolve_cache`, `resolve_candidate`), the
+    /// failure policy in force (`resolve_policy`) and the final pick
+    /// (`resolve_chosen`) — the raw material for `EXPLAIN`'s "why this
+    /// driver" answer.
+    pub fn resolve_excluding_traced(
+        &self,
+        url: &JdbcUrl,
+        exclude: &[String],
+        mut span: Option<&mut SpanBuilder>,
+    ) -> DbcResult<Arc<dyn Driver>> {
         self.stats.resolutions.inc();
         let key = url.to_string();
+        let traced = span.is_some();
+        let mut note = |stage: &str, detail: &str| {
+            if let Some(s) = span.as_deref_mut() {
+                s.stage_with(stage, detail);
+            }
+        };
+        if traced {
+            note("resolve_policy", &format!("{:?}", self.policy_for(url)));
+        }
 
         // 1. Last-success cache ("for performance, the GridRMDriverManager
         //    maintains a cache containing details of the driver last
         //    successfully used for a data source").
-        if let Some(name) = self.last_success.read().get(&key) {
-            if !exclude.contains(name) {
-                if let Some(d) = self.base.get_by_name(name) {
+        let cached = self.last_success.read().get(&key).cloned();
+        match cached {
+            Some(name) if exclude.contains(&name) => {
+                note("resolve_cache", &format!("{name} excluded"));
+            }
+            Some(name) => {
+                if let Some(d) = self.base.get_by_name(&name) {
                     self.stats.cache_hits.inc();
+                    note("resolve_cache", &format!("hit {name}"));
+                    note("resolve_chosen", &format!("{name} via cache"));
                     return Ok(d);
                 }
+                note("resolve_cache", &format!("stale {name}"));
             }
+            None => note("resolve_cache", "miss"),
         }
 
         // 2. Static preferences, in priority order.
-        if let Some(prefs) = self.preferences.read().get(&key) {
-            for name in prefs {
+        let prefs = self.preferences.read().get(&key).cloned();
+        if let Some(prefs) = prefs {
+            for name in &prefs {
                 if exclude.contains(name) {
+                    note("resolve_candidate", &format!("{name} static excluded"));
                     continue;
                 }
                 if let Some(d) = self.base.get_by_name(name) {
                     self.stats.static_hits.inc();
+                    note("resolve_candidate", &format!("{name} static accepted"));
+                    note("resolve_chosen", &format!("{name} via static preference"));
                     return Ok(d);
                 }
+                note("resolve_candidate", &format!("{name} static unregistered"));
             }
             // Explicit preferences exist but none are usable: that is a
             // configuration-level failure the user asked to control; fall
@@ -213,17 +250,23 @@ impl GridRMDriverManager {
 
         // 3. Dynamic selection (Table 2's accepts_url scan).
         self.stats.dynamic_scans.inc();
-        if exclude.is_empty() {
+        if !traced && exclude.is_empty() {
+            // Untraced fast path through the base registry's own scan.
             return self.base.locate(url);
         }
         let drivers = self.base.drivers();
         for d in drivers {
-            if exclude.contains(&d.name()) {
+            let name = d.name();
+            if exclude.contains(&name) {
+                note("resolve_candidate", &format!("{name} accepts_url excluded"));
                 continue;
             }
             if d.accepts_url(url) {
+                note("resolve_candidate", &format!("{name} accepts_url accepted"));
+                note("resolve_chosen", &format!("{name} via accepts_url scan"));
                 return Ok(d);
             }
+            note("resolve_candidate", &format!("{name} accepts_url rejected"));
         }
         Err(SqlError::NoSuitableDriver(key))
     }
@@ -411,6 +454,31 @@ mod tests {
         assert!(m
             .resolve_excluding(&u, &["d-ganglia".to_owned(), "d-nws".to_owned()])
             .is_err());
+    }
+
+    #[test]
+    fn traced_resolution_records_candidates() {
+        use gridrm_telemetry::GatewayTelemetry;
+        let m = manager();
+        let t = GatewayTelemetry::new(gridrm_simnet::SimClock::new());
+        let u = url("jdbc:://host/x");
+        let mut span = t.span("resolve jdbc:://host/x");
+        let d = m
+            .resolve_excluding_traced(&u, &["d-ganglia".to_owned()], Some(&mut span))
+            .unwrap();
+        assert_eq!(d.name(), "d-nws");
+        span.finish("ok");
+        let rec = &t.traces().recent()[0];
+        let stages: Vec<(&str, &str)> = rec
+            .stages
+            .iter()
+            .map(|s| (s.stage.as_str(), s.detail.as_deref().unwrap_or("")))
+            .collect();
+        assert!(stages.contains(&("resolve_cache", "miss")));
+        assert!(stages.contains(&("resolve_candidate", "d-snmp accepts_url rejected")));
+        assert!(stages.contains(&("resolve_candidate", "d-ganglia accepts_url excluded")));
+        assert!(stages.contains(&("resolve_candidate", "d-nws accepts_url accepted")));
+        assert!(stages.contains(&("resolve_chosen", "d-nws via accepts_url scan")));
     }
 
     #[test]

@@ -61,6 +61,9 @@ impl Gateway {
                 slow_query_threshold_ms: config.slow_query_threshold_ms,
             },
         );
+        // Spans are stamped with the gateway's Grid identity so a
+        // multi-site trace reassembles unambiguously.
+        telemetry.set_identity(&config.site, &config.name);
         let schema = Arc::new(SchemaManager::new());
         let driver_manager = Arc::new(GridRMDriverManager::new());
         let connections = Arc::new(ConnectionManager::new(

@@ -34,6 +34,7 @@ pub mod config;
 pub mod connection;
 pub mod driver_manager;
 pub mod events;
+pub mod explain;
 pub mod gateway;
 pub mod health;
 pub mod history;

@@ -158,10 +158,19 @@ impl RequestManager {
     /// Handle one client request (the Fig 3 entry point). When telemetry
     /// is attached, the whole request is traced (ACIL receipt through
     /// driver execution and GLUE translation) and its virtual latency
-    /// recorded.
+    /// recorded. A request carrying a [`gridrm_telemetry::TraceContext`]
+    /// joins that trace as a child span instead of starting a new root.
     pub fn handle(&self, request: &ClientRequest) -> DbcResult<ClientResponse> {
+        // The EXPLAIN verb runs the normal pipeline under its own span
+        // and answers with the resulting span tree instead of the rows.
+        if let Ok(Statement::Explain { analyze, inner }) = gridrm_sqlparse::parse(&request.sql) {
+            return self.handle_explain(request, analyze, &inner);
+        }
         let mut span = self.telemetry.as_ref().map(|t| {
-            let mut s = t.span(&request.sql);
+            let mut s = match &request.trace {
+                Some(ctx) => t.span_in(ctx, &request.sql),
+                None => t.span(&request.sql),
+            };
             s.stage("acil");
             s
         });
@@ -186,6 +195,59 @@ impl RequestManager {
             });
         }
         result
+    }
+
+    /// `EXPLAIN [ANALYZE]`: execute the inner statement through the
+    /// ordinary pipeline as a child of an `explain` span, then render
+    /// every span of the resulting trace as the result set. An inner
+    /// failure still yields the (partial) span tree, with a warning —
+    /// exactly when a query misbehaves is when its plan matters most.
+    fn handle_explain(
+        &self,
+        request: &ClientRequest,
+        analyze: bool,
+        inner: &Statement,
+    ) -> DbcResult<ClientResponse> {
+        let Some(t) = &self.telemetry else {
+            return Err(SqlError::Unsupported(
+                "EXPLAIN needs gateway telemetry attached".into(),
+            ));
+        };
+        let mut span = match &request.trace {
+            Some(ctx) => t.span_in(ctx, &request.sql),
+            None => t.span(&request.sql),
+        };
+        span.stage_with("explain", if analyze { "analyze" } else { "plan" });
+        let trace_id = span.trace_id().to_owned();
+
+        let inner_request = ClientRequest {
+            sql: inner.to_string(),
+            trace: Some(span.context()),
+            ..request.clone()
+        };
+        let result = self.handle(&inner_request);
+
+        let mut warnings = Vec::new();
+        let mut sources_ok = 0;
+        match &result {
+            Ok(resp) => {
+                warnings.clone_from(&resp.warnings);
+                sources_ok = resp.sources_ok;
+                span.finish("ok");
+            }
+            Err(e) => {
+                warnings.push(format!("explain: inner query failed: {e}"));
+                span.finish("error");
+            }
+        }
+
+        let spans = t.traces().for_trace(&trace_id);
+        Ok(ClientResponse {
+            rows: crate::explain::explain_rowset(&spans, analyze)?,
+            warnings,
+            served_from_cache: 0,
+            sources_ok,
+        })
     }
 
     fn handle_inner(
@@ -275,7 +337,7 @@ impl RequestManager {
                     // operational fact worth journalling (§4): the client
                     // got an answer without the source being consulted.
                     if let Some(t) = &self.telemetry {
-                        t.journal().record(
+                        t.journal().record_traced(
                             now,
                             JournalSeverity::Info,
                             KIND_CACHE_SERVE,
@@ -283,6 +345,7 @@ impl RequestManager {
                             None,
                             Some("cache_lookup"),
                             "served last known state from cache",
+                            span.as_ref().map(|s| s.trace_id()),
                         );
                     }
                     served_from_cache += 1;

@@ -3,7 +3,7 @@
 //! parsing helpers, GLUE result assembly and per-driver statistics.
 
 use gridrm_dbc::{ColumnMeta, DbcResult, ResultSetMetaData, RowSet, SqlError};
-use gridrm_glue::{GroupDef, SchemaManager};
+use gridrm_glue::{GroupDef, NativeRow, SchemaManager, Translator};
 use gridrm_simnet::{Network, SimClock};
 use gridrm_sqlparse::ast::{ColumnDef, SelectStatement, Statement};
 use gridrm_sqlparse::SqlValue;
@@ -111,6 +111,46 @@ pub fn parse_select(sql: &str) -> DbcResult<SelectStatement> {
             "data-source drivers only accept SELECT, got: {other}"
         ))),
     }
+}
+
+/// GLUE-translate a batch of native rows for `group`, reporting the
+/// translation into the ambient trace (when the query is traced): a
+/// `glue {group}` child span whose `glue_translate` stage lists the
+/// group attributes this driver's mapping cannot translate at all —
+/// the §3.2.3 "not possible to translate" drops — plus the NULL count
+/// across the batch.
+pub fn glue_translate(
+    translator: &Translator<'_>,
+    group: &str,
+    native_rows: &[NativeRow],
+) -> DbcResult<Vec<Vec<SqlValue>>> {
+    let span = gridrm_telemetry::active::child_span(&format!("glue {group}"));
+    let result = translator
+        .translate_all(group, native_rows)
+        .ok_or_else(|| SqlError::Driver("group vanished from schema".into()));
+    if let Some(mut s) = span {
+        match &result {
+            Ok((rows, nulls)) => {
+                let dropped = translator.unmapped_attributes(group);
+                let detail = if dropped.is_empty() {
+                    format!("dropped none; {} rows, {nulls} nulls", rows.len())
+                } else {
+                    format!(
+                        "dropped {}; {} rows, {nulls} nulls",
+                        dropped.join(","),
+                        rows.len()
+                    )
+                };
+                s.stage_with("glue_translate", &detail);
+                s.finish("ok");
+            }
+            Err(_) => {
+                s.stage_with("glue_translate", "group vanished from schema");
+                s.finish("error");
+            }
+        }
+    }
+    result.map(|(rows, _nulls)| rows)
 }
 
 /// Assemble the final result set from GLUE-translated rows: builds a

@@ -15,7 +15,9 @@
 //!
 //! URL form: `jdbc:ganglia://<head-host>/<cluster>[?ttl=ms&parse=mode]`.
 
-use crate::base::{finish_select, guess_value, parse_select, DriverEnv, DriverStats};
+use crate::base::{
+    finish_select, glue_translate, guess_value, parse_select, DriverEnv, DriverStats,
+};
 use crate::xml::{attr, scan, XmlEvent};
 use gridrm_dbc::{
     Connection, DbcResult, Driver, DriverMetaData, JdbcUrl, Properties, ResultSet, SqlError,
@@ -394,9 +396,7 @@ impl Statement for GangliaStatement {
         };
 
         let translator = Translator::new(&self.handle);
-        let (rows, _nulls) = translator
-            .translate_all(&group.name, &native_rows)
-            .ok_or_else(|| SqlError::Driver("group vanished from schema".into()))?;
+        let rows = glue_translate(&translator, &group.name, &native_rows)?;
         let rs = finish_select(&group, rows, &sel, self.env.clock.now_ts())?;
         Ok(Box::new(rs))
     }

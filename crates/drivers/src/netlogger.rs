@@ -5,7 +5,7 @@
 //!
 //! URL form: `jdbc:netlogger://<head-host>/<log>[?limit=n]`.
 
-use crate::base::{finish_select, parse_select, DriverEnv, DriverStats};
+use crate::base::{finish_select, glue_translate, parse_select, DriverEnv, DriverStats};
 use gridrm_agents::netlogger::UlmEvent;
 use gridrm_dbc::{
     Connection, DbcResult, Driver, DriverMetaData, JdbcUrl, Properties, ResultSet, SqlError,
@@ -223,9 +223,7 @@ impl Statement for NetLoggerStatement {
             .collect();
 
         let translator = Translator::new(&self.handle);
-        let (rows, _nulls) = translator
-            .translate_all(&group.name, &native_rows)
-            .ok_or_else(|| SqlError::Driver("group vanished from schema".into()))?;
+        let rows = glue_translate(&translator, &group.name, &native_rows)?;
         let rs = finish_select(&group, rows, &sel, self.env.clock.now_ts())?;
         Ok(Box::new(rs))
     }

@@ -10,7 +10,9 @@
 //! URL form: `jdbc:nws://<head-host>/<path>[?ttl=ms]` (the path is
 //! ignored, as with a real NWS nameserver registration namespace).
 
-use crate::base::{finish_select, guess_value, parse_select, DriverEnv, DriverStats};
+use crate::base::{
+    finish_select, glue_translate, guess_value, parse_select, DriverEnv, DriverStats,
+};
 use gridrm_dbc::{
     Connection, DbcResult, Driver, DriverMetaData, JdbcUrl, Properties, ResultSet, SqlError,
     Statement,
@@ -231,9 +233,7 @@ impl Statement for NwsStatement {
         if let Some(driver) = &self.driver {
             if let Some(cached) = driver.cache_lookup(&self.url, needs_forecast, now_ms) {
                 let translator = Translator::new(&self.handle);
-                let (rows, _nulls) = translator
-                    .translate_all(&group.name, &cached)
-                    .ok_or_else(|| SqlError::Driver("group vanished from schema".into()))?;
+                let rows = glue_translate(&translator, &group.name, &cached)?;
                 let rs = finish_select(&group, rows, &sel, self.env.clock.now_ts())?;
                 return Ok(Box::new(rs));
             }
@@ -306,9 +306,7 @@ impl Statement for NwsStatement {
             driver.cache_store(&self.url, needs_forecast, now_ms, native_rows.clone());
         }
         let translator = Translator::new(&self.handle);
-        let (rows, _nulls) = translator
-            .translate_all(&group.name, &native_rows)
-            .ok_or_else(|| SqlError::Driver("group vanished from schema".into()))?;
+        let rows = glue_translate(&translator, &group.name, &native_rows)?;
         let rs = finish_select(&group, rows, &sel, self.env.clock.now_ts())?;
         Ok(Box::new(rs))
     }

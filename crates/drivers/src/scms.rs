@@ -3,7 +3,9 @@
 //!
 //! URL form: `jdbc:scms://<head-host>/<anything>`.
 
-use crate::base::{finish_select, guess_value, parse_select, DriverEnv, DriverStats};
+use crate::base::{
+    finish_select, glue_translate, guess_value, parse_select, DriverEnv, DriverStats,
+};
 use crate::netlogger::find_eq_literal;
 use gridrm_agents::scms::parse_blocks;
 use gridrm_dbc::{
@@ -202,9 +204,7 @@ impl Statement for ScmsStatement {
         };
 
         let translator = Translator::new(&self.handle);
-        let (rows, _nulls) = translator
-            .translate_all(&group.name, &native_rows)
-            .ok_or_else(|| SqlError::Driver("group vanished from schema".into()))?;
+        let rows = glue_translate(&translator, &group.name, &native_rows)?;
         let rs = finish_select(&group, rows, &sel, self.env.clock.now_ts())?;
         Ok(Box::new(rs))
     }

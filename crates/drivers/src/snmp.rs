@@ -5,7 +5,7 @@
 //! URL form: `jdbc:snmp://<host>[:port]/<community>`; the path is the SNMP
 //! community string (defaults to `public`).
 
-use crate::base::{finish_select, parse_select, DriverEnv, DriverStats};
+use crate::base::{finish_select, glue_translate, parse_select, DriverEnv, DriverStats};
 use gridrm_agents::snmp::codec::{self, error_status, Pdu, SnmpMessage, SnmpValue};
 use gridrm_agents::snmp::{oids, Oid};
 use gridrm_dbc::{
@@ -406,9 +406,7 @@ impl Statement for SnmpStatement {
         };
 
         let translator = Translator::new(&self.handle);
-        let (rows, _nulls) = translator
-            .translate_all(&group.name, &native_rows)
-            .ok_or_else(|| SqlError::Driver("group vanished from schema".into()))?;
+        let rows = glue_translate(&translator, &group.name, &native_rows)?;
         let rs = finish_select(&group, rows, &sel, self.env.clock.now_ts())?;
         Ok(Box::new(rs))
     }

@@ -17,11 +17,17 @@
 //! failed driver and total transition count.
 //!
 //! `gridrm_journal` — one row per structured journal entry: seq, at_ms,
-//! severity, kind, source, driver, stage, message.
+//! severity, kind, source, driver, stage, message and the trace id of
+//! the query that produced the entry (NULL for untraced events).
 //!
 //! `gridrm_slow_queries` — one row per slow-query log entry: trace id,
 //! request summary, source, started/finished/duration, outcome and a
 //! rendered per-stage breakdown.
+//!
+//! `gridrm_spans` — one row per span in the trace ring buffer, oldest
+//! first: trace/span/parent identifiers, originating site, request,
+//! timings, outcome and the rendered stage breakdown. Joining rows on
+//! `trace_id` reconstructs the same tree `EXPLAIN ANALYZE` renders.
 //!
 //! URL form: `jdbc:telemetry://local/metrics`.
 
@@ -51,6 +57,9 @@ pub const JOURNAL_TABLE: &str = "gridrm_journal";
 
 /// The slow-query log virtual table name.
 pub const SLOW_TABLE: &str = "gridrm_slow_queries";
+
+/// The hierarchical-span virtual table name.
+pub const SPANS_TABLE: &str = "gridrm_spans";
 
 /// The JDBC-Telemetry [`Driver`].
 pub struct TelemetryDriver {
@@ -176,6 +185,22 @@ fn opt_ms(v: Option<u64>) -> SqlValue {
     }
 }
 
+/// Render a span's stage marks as `stage@offset_ms[=detail]` segments
+/// joined with `;` — the same encoding the slow-query table uses.
+fn render_stages(r: &gridrm_telemetry::TraceRecord) -> String {
+    r.stages
+        .iter()
+        .map(|s| {
+            let offset = s.at_ms.saturating_sub(r.started_ms);
+            match &s.detail {
+                Some(d) => format!("{}@{offset}={d}", s.stage),
+                None => format!("{}@{offset}", s.stage),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
 /// Materialise the registry into the metrics virtual table: one row per
 /// flattened sample, histogram buckets included.
 fn metrics_table(telemetry: &GatewayTelemetry) -> Table {
@@ -262,6 +287,7 @@ fn journal_table(telemetry: &GatewayTelemetry) -> Table {
                 opt_str(&e.driver),
                 opt_str(&e.stage),
                 SqlValue::Str(e.message),
+                opt_str(&e.trace_id),
             ]
         })
         .collect();
@@ -276,6 +302,7 @@ fn journal_table(telemetry: &GatewayTelemetry) -> Table {
             ("driver", SqlType::Str),
             ("stage", SqlType::Str),
             ("message", SqlType::Str),
+            ("trace_id", SqlType::Str),
         ]),
         rows,
     }
@@ -289,20 +316,10 @@ fn slow_table(telemetry: &GatewayTelemetry) -> Table {
         .top()
         .into_iter()
         .map(|r| {
-            let stages = r
-                .stages
-                .iter()
-                .map(|s| {
-                    let offset = s.at_ms.saturating_sub(r.started_ms);
-                    match &s.detail {
-                        Some(d) => format!("{}@{offset}={d}", s.stage),
-                        None => format!("{}@{offset}", s.stage),
-                    }
-                })
-                .collect::<Vec<_>>()
-                .join(";");
+            let stages = render_stages(&r);
             vec![
                 SqlValue::Int(r.id as i64),
+                SqlValue::Str(r.trace_id.clone()),
                 SqlValue::Str(r.request.clone()),
                 opt_str(&r.source),
                 SqlValue::Int(r.started_ms as i64),
@@ -316,6 +333,53 @@ fn slow_table(telemetry: &GatewayTelemetry) -> Table {
     Table {
         name: SLOW_TABLE.to_owned(),
         columns: columns(&[
+            ("id", SqlType::Int),
+            ("trace_id", SqlType::Str),
+            ("request", SqlType::Str),
+            ("source", SqlType::Str),
+            ("started_ms", SqlType::Int),
+            ("finished_ms", SqlType::Int),
+            ("duration_ms", SqlType::Int),
+            ("outcome", SqlType::Str),
+            ("stages", SqlType::Str),
+        ]),
+        rows,
+    }
+}
+
+/// One row per span in the trace ring buffer, oldest first. Rows for one
+/// `trace_id` reconstruct the same tree `EXPLAIN ANALYZE` renders: every
+/// non-NULL `parent_span_id` names another `span_id` in the trace.
+fn spans_table(telemetry: &GatewayTelemetry) -> Table {
+    let rows = telemetry
+        .traces()
+        .recent()
+        .into_iter()
+        .map(|r| {
+            let stages = render_stages(&r);
+            vec![
+                SqlValue::Str(r.trace_id.clone()),
+                SqlValue::Str(r.span_id.clone()),
+                opt_str(&r.parent_span_id),
+                SqlValue::Str(r.site.clone()),
+                SqlValue::Int(r.id as i64),
+                SqlValue::Str(r.request.clone()),
+                opt_str(&r.source),
+                SqlValue::Int(r.started_ms as i64),
+                SqlValue::Int(r.finished_ms as i64),
+                SqlValue::Int(r.duration_ms() as i64),
+                SqlValue::Str(r.outcome.clone()),
+                SqlValue::Str(stages),
+            ]
+        })
+        .collect();
+    Table {
+        name: SPANS_TABLE.to_owned(),
+        columns: columns(&[
+            ("trace_id", SqlType::Str),
+            ("span_id", SqlType::Str),
+            ("parent_span_id", SqlType::Str),
+            ("site", SqlType::Str),
             ("id", SqlType::Int),
             ("request", SqlType::Str),
             ("source", SqlType::Str),
@@ -341,10 +405,12 @@ impl Statement for TelemetryStatement {
             journal_table(&self.telemetry)
         } else if sel.table.eq_ignore_ascii_case(SLOW_TABLE) {
             slow_table(&self.telemetry)
+        } else if sel.table.eq_ignore_ascii_case(SPANS_TABLE) {
+            spans_table(&self.telemetry)
         } else {
             return Err(SqlError::Unsupported(format!(
                 "the telemetry driver serves {TABLE_NAME}, {HEALTH_TABLE}, \
-                 {JOURNAL_TABLE} and {SLOW_TABLE}, got '{}'",
+                 {JOURNAL_TABLE}, {SLOW_TABLE} and {SPANS_TABLE}, got '{}'",
                 sel.table
             )));
         };
@@ -526,6 +592,52 @@ mod tests {
             stages.contains("driver_execute@40=jdbc-snmp"),
             "stages: {stages}"
         );
+    }
+
+    #[test]
+    fn spans_table_links_children_to_parents() {
+        let (t, d) = driver();
+        t.set_identity("siteA", "gw-a");
+        let root = t.span("SELECT Load1 FROM Processor");
+        let mut child = root.child("driver_execute jdbc-snmp");
+        child.stage_with("driver_execute", "jdbc-snmp");
+        child.finish("ok");
+        root.finish("ok");
+        let rs = query(
+            &d,
+            "SELECT trace_id, span_id, parent_span_id, site, stages FROM gridrm_spans",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 2);
+        let (child_row, root_row) = (&rs.rows()[0], &rs.rows()[1]);
+        // Both spans share the trace, the child points at the root, and
+        // every span is stamped with the gateway's site.
+        assert_eq!(child_row[0], root_row[0]);
+        assert_eq!(child_row[2], root_row[1]);
+        assert!(root_row[2].is_null());
+        assert_eq!(root_row[3], SqlValue::Str("siteA".into()));
+        assert!(child_row[4]
+            .as_str()
+            .unwrap()
+            .contains("driver_execute@0=jdbc-snmp"));
+    }
+
+    #[test]
+    fn journal_table_carries_trace_ids() {
+        use gridrm_telemetry::{JournalSeverity, KIND_CACHE_SERVE};
+        let (t, d) = driver();
+        t.journal().record_traced(
+            3,
+            JournalSeverity::Info,
+            KIND_CACHE_SERVE,
+            "jdbc:snmp://n/p",
+            None,
+            None,
+            "served",
+            Some("gw-a:1"),
+        );
+        let rs = query(&d, "SELECT trace_id FROM gridrm_journal").unwrap();
+        assert_eq!(rs.rows()[0][0], SqlValue::Str("gw-a:1".into()));
     }
 
     #[test]

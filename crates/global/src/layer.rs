@@ -10,7 +10,8 @@ use gridrm_core::security::Identity;
 use gridrm_core::Gateway;
 use gridrm_dbc::{DbcResult, JdbcUrl, RowSet, SqlError};
 use gridrm_simnet::{Network, Service};
-use gridrm_telemetry::{Counter, Labels, Registry};
+use gridrm_sqlparse::ast::Statement as SqlStatement;
+use gridrm_telemetry::{Counter, Labels, Registry, SpanBuilder, DEFAULT_LATENCY_BUCKETS_MS};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Weak};
@@ -242,6 +243,7 @@ impl GlobalLayer {
                 sources,
                 sql,
                 max_cache_age_ms,
+                trace,
                 ..
             } => {
                 self.stats.remote_queries_in.inc();
@@ -258,14 +260,25 @@ impl GlobalLayer {
                     sources: Vec::new(),
                     sql,
                     mode,
+                    trace: trace.clone(),
                 }
                 .with_sources(&src_refs);
                 match self.gateway.query(&request) {
-                    Ok(resp) => GlobalResponse::Rows {
-                        rows: WireRows::from_rowset(&resp.rows),
-                        warnings: resp.warnings,
-                        served_from_cache: resp.served_from_cache,
-                    },
+                    Ok(resp) => {
+                        // Ship the spans this gateway recorded for the
+                        // caller's trace back with the rows, so the
+                        // caller can reassemble the cross-site tree.
+                        let spans = match &trace {
+                            Some(ctx) => self.gateway.telemetry().traces().for_trace(&ctx.trace_id),
+                            None => Vec::new(),
+                        };
+                        GlobalResponse::Rows {
+                            rows: WireRows::from_rowset(&resp.rows),
+                            warnings: resp.warnings,
+                            served_from_cache: resp.served_from_cache,
+                            spans,
+                        }
+                    }
                     Err(e) => GlobalResponse::Error {
                         message: e.to_string(),
                     },
@@ -278,7 +291,90 @@ impl GlobalLayer {
     /// Query through the Global layer: local sources are handled by the
     /// local gateway, remote ones are routed to their owning gateways
     /// (Fig 1), and everything is consolidated into one response.
+    ///
+    /// The whole fan-out runs under one span: the local segment and every
+    /// remote segment become children sharing a single `trace_id`, and
+    /// `EXPLAIN [ANALYZE] <query>` renders that tree as a result set
+    /// instead of the query's rows.
     pub fn query(&self, request: &ClientRequest) -> DbcResult<ClientResponse> {
+        if let Ok(SqlStatement::Explain { analyze, inner }) = gridrm_sqlparse::parse(&request.sql) {
+            return self.query_explain(request, analyze, &inner.to_string());
+        }
+        self.fan_out(request)
+    }
+
+    /// Open the Global-layer span for `request`: a child when the caller
+    /// already carries a trace context, a fresh root otherwise.
+    fn open_span(&self, request: &ClientRequest) -> SpanBuilder {
+        let telemetry = self.gateway.telemetry();
+        match &request.trace {
+            Some(ctx) => telemetry.span_in(ctx, &request.sql),
+            None => telemetry.span(&request.sql),
+        }
+    }
+
+    /// Observe one fan-out segment's end-to-end latency in the per-site
+    /// histogram (virtual milliseconds, `site` label).
+    fn observe_site_latency(&self, site: &str, elapsed_ms: u64) {
+        self.gateway
+            .telemetry()
+            .registry()
+            .histogram(
+                "gridrm_site_latency_ms",
+                "End-to-end per-site latency of Global-layer query segments",
+                Labels::from_pairs(&[("site", site)]),
+                DEFAULT_LATENCY_BUCKETS_MS,
+            )
+            .observe(elapsed_ms as f64);
+    }
+
+    /// `EXPLAIN [ANALYZE]` at the Global layer: run the inner query
+    /// through the normal fan-out under a fresh explain span, then
+    /// answer with the collected span tree instead of the query's rows.
+    fn query_explain(
+        &self,
+        request: &ClientRequest,
+        analyze: bool,
+        inner_sql: &str,
+    ) -> DbcResult<ClientResponse> {
+        let telemetry = self.gateway.telemetry();
+        let mut span = self.open_span(request);
+        span.stage_with("explain", if analyze { "analyze" } else { "plan" });
+        let trace_id = span.trace_id().to_owned();
+        let inner_request = ClientRequest {
+            sql: inner_sql.to_owned(),
+            trace: Some(span.context()),
+            ..request.clone()
+        };
+        let mut warnings = Vec::new();
+        let mut sources_ok = 0;
+        match self.fan_out(&inner_request) {
+            Ok(resp) => {
+                warnings = resp.warnings;
+                sources_ok = resp.sources_ok;
+                span.finish("ok");
+            }
+            Err(e) => {
+                // The failed attempt still produced a span tree worth
+                // explaining; report the failure as a warning.
+                warnings.push(format!("explain: inner query failed: {e}"));
+                span.finish("error");
+            }
+        }
+        let spans = telemetry.traces().for_trace(&trace_id);
+        let rows = gridrm_core::explain::explain_rowset(&spans, analyze)?;
+        Ok(ClientResponse {
+            rows,
+            warnings,
+            served_from_cache: 0,
+            sources_ok,
+        })
+    }
+
+    fn fan_out(&self, request: &ClientRequest) -> DbcResult<ClientResponse> {
+        let telemetry = self.gateway.telemetry().clone();
+        let clock = telemetry.clock().clone();
+        let my_site = self.gateway.config().site.clone();
         let my_name = self.gateway.config().name.clone();
         let mut local: Vec<String> = Vec::new();
         let mut remote: BTreeMap<String, (ProducerEntry, Vec<String>)> = BTreeMap::new();
@@ -300,6 +396,13 @@ impl GlobalLayer {
             }
         }
 
+        let mut span = self.open_span(request);
+        span.stage_with(
+            "global_query",
+            &format!("{} local, {} remote gateways", local.len(), remote.len()),
+        );
+        let ctx = span.context();
+
         let identity = request.identity.clone().unwrap_or_else(Identity::anonymous);
         let mut consolidated: Option<RowSet> = None;
         let mut warnings: Vec<String> = Vec::new();
@@ -311,9 +414,11 @@ impl GlobalLayer {
             let local_refs: Vec<&str> = local.iter().map(String::as_str).collect();
             let local_request = ClientRequest {
                 sources: Vec::new(),
+                trace: Some(ctx.clone()),
                 ..request.clone()
             }
             .with_sources(&local_refs);
+            let local_start = clock.now_millis();
             match self.gateway.query(&local_request) {
                 Ok(resp) => {
                     sources_ok += resp.sources_ok;
@@ -326,6 +431,7 @@ impl GlobalLayer {
                     first_err.get_or_insert(e);
                 }
             }
+            self.observe_site_latency(&my_site, clock.now_millis() - local_start);
         }
 
         let max_cache_age_ms = match request.mode {
@@ -342,7 +448,9 @@ impl GlobalLayer {
                 sources,
                 sql: request.sql.clone(),
                 max_cache_age_ms,
+                trace: Some(ctx.clone()),
             };
+            let remote_start = clock.now_millis();
             let answer = self
                 .network
                 .request(
@@ -352,27 +460,36 @@ impl GlobalLayer {
                 )
                 .map_err(|e| SqlError::Connection(e.to_string()))
                 .and_then(|bytes| protocol::decode::<GlobalResponse>(&bytes));
+            self.observe_site_latency(&entry.site, clock.now_millis() - remote_start);
             match answer {
                 Ok(GlobalResponse::Rows {
                     rows,
                     warnings: remote_warnings,
                     served_from_cache: remote_cached,
-                }) => match rows.to_rowset() {
-                    Ok(rs) => {
-                        sources_ok += 1;
-                        served_from_cache += remote_cached;
-                        warnings.extend(
-                            remote_warnings
-                                .into_iter()
-                                .map(|w| format!("{gateway_name}: {w}")),
-                        );
-                        merge(&mut consolidated, rs, &mut warnings, &gateway_name);
+                    spans,
+                }) => {
+                    // Adopt the remote half of the trace into the local
+                    // ring buffer so EXPLAIN sees one cross-site tree.
+                    for remote_span in spans {
+                        telemetry.import_span(remote_span);
                     }
-                    Err(e) => {
-                        warnings.push(format!("{gateway_name}: bad wire rows: {e}"));
-                        first_err.get_or_insert(e);
+                    match rows.to_rowset() {
+                        Ok(rs) => {
+                            sources_ok += 1;
+                            served_from_cache += remote_cached;
+                            warnings.extend(
+                                remote_warnings
+                                    .into_iter()
+                                    .map(|w| format!("{gateway_name}: {w}")),
+                            );
+                            merge(&mut consolidated, rs, &mut warnings, &gateway_name);
+                        }
+                        Err(e) => {
+                            warnings.push(format!("{gateway_name}: bad wire rows: {e}"));
+                            first_err.get_or_insert(e);
+                        }
                     }
-                },
+                }
                 Ok(GlobalResponse::Error { message }) => {
                     warnings.push(format!("{gateway_name}: {message}"));
                     first_err.get_or_insert(SqlError::Driver(message));
@@ -387,6 +504,11 @@ impl GlobalLayer {
             }
         }
 
+        span.finish(if consolidated.is_some() {
+            "ok"
+        } else {
+            "error"
+        });
         match consolidated {
             Some(rows) => Ok(ClientResponse {
                 rows,

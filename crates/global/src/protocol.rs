@@ -5,6 +5,7 @@ use gridrm_core::events::GridRMEvent;
 use gridrm_core::security::Identity;
 use gridrm_dbc::{ColumnMeta, DbcResult, ResultSetMetaData, RowSet, SqlError};
 use gridrm_sqlparse::{SqlType, SqlValue};
+use gridrm_telemetry::{TraceContext, TraceRecord};
 use serde::{Deserialize, Serialize};
 
 /// Identity as shipped between gateways (the requesting gateway vouches
@@ -90,6 +91,10 @@ pub enum GlobalRequest {
         sql: String,
         /// Serve from the receiving gateway's cache when ≤ this age.
         max_cache_age_ms: Option<u64>,
+        /// Trace context of the originating query, so remote spans join
+        /// the caller's trace (absent from pre-span peers).
+        #[serde(default)]
+        trace: Option<TraceContext>,
     },
     /// Deliver an event produced at another site.
     Event {
@@ -113,6 +118,11 @@ pub enum GlobalResponse {
         warnings: Vec<String>,
         /// Sources served from the remote cache.
         served_from_cache: usize,
+        /// Spans the remote gateway recorded for this trace, shipped
+        /// back so the caller can assemble the full cross-site tree
+        /// (empty from pre-span peers).
+        #[serde(default)]
+        spans: Vec<TraceRecord>,
     },
     /// Event accepted.
     EventAccepted,
@@ -173,6 +183,10 @@ mod tests {
             sources: vec!["jdbc:snmp://n/p".into()],
             sql: "SELECT * FROM Processor".into(),
             max_cache_age_ms: Some(5_000),
+            trace: Some(TraceContext {
+                trace_id: "gw-a:1".into(),
+                parent_span_id: "gw-a:1".into(),
+            }),
         };
         let bytes = encode(&req);
         let back: GlobalRequest = decode(&bytes).unwrap();
@@ -181,6 +195,23 @@ mod tests {
                 assert_eq!(identity.name, "alice");
                 assert!(sql.contains("Processor"));
             }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_span_query_json_still_decodes() {
+        // A peer built before hierarchical tracing sends no `trace`
+        // field and no `spans` field; both default.
+        let json = br#"{"Query":{"from_gateway":"gw-b","identity":{"name":"alice","roles":[]},"sources":[],"sql":"SELECT 1","max_cache_age_ms":null}}"#;
+        match decode::<GlobalRequest>(json).unwrap() {
+            GlobalRequest::Query { trace, .. } => assert!(trace.is_none()),
+            other => panic!("{other:?}"),
+        }
+        let json =
+            br#"{"Rows":{"rows":{"columns":[],"rows":[]},"warnings":[],"served_from_cache":0}}"#;
+        match decode::<GlobalResponse>(json).unwrap() {
+            GlobalResponse::Rows { spans, .. } => assert!(spans.is_empty()),
             other => panic!("{other:?}"),
         }
     }

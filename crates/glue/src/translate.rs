@@ -66,6 +66,31 @@ impl<'a> Translator<'a> {
         Some((row, nulls))
     }
 
+    /// The attributes of `group` this driver's mapping cannot translate
+    /// at all — "not possible to translate" drops (§3.2.3), as opposed
+    /// to values that merely happen to be absent from one native row.
+    /// Empty when the schema has no such group.
+    pub fn unmapped_attributes(&self, group: &str) -> Vec<String> {
+        let Some(def) = self.handle.group(group) else {
+            return Vec::new();
+        };
+        let fields = self
+            .handle
+            .mapping
+            .as_ref()
+            .and_then(|m| m.group(group).cloned())
+            .unwrap_or_default();
+        def.attributes
+            .iter()
+            .filter(|attr| {
+                !fields
+                    .iter()
+                    .any(|(name, _)| name.eq_ignore_ascii_case(&attr.name))
+            })
+            .map(|attr| attr.name.clone())
+            .collect()
+    }
+
     /// Translate a batch of native rows.
     pub fn translate_all(
         &self,
@@ -197,6 +222,21 @@ mod tests {
         native.insert("anything".into(), SqlValue::Int(1));
         let (row, nulls) = t.translate("Host", &native).unwrap();
         assert_eq!(nulls, row.len());
+    }
+
+    #[test]
+    fn unmapped_attributes_lists_untranslatable_drops() {
+        let m = manager_with_snmp_mapping();
+        let h = m.handle_for("jdbc-snmp");
+        let t = Translator::new(&h);
+        let dropped = t.unmapped_attributes("Processor");
+        // The mapped trio never appears; everything else does.
+        for mapped in ["Hostname", "NCpu", "Load1"] {
+            assert!(!dropped.iter().any(|d| d == mapped), "{mapped} is mapped");
+        }
+        let def = h.group("Processor").unwrap();
+        assert_eq!(dropped.len(), def.attributes.len() - 3);
+        assert!(t.unmapped_attributes("Bogus").is_empty());
     }
 
     #[test]

@@ -322,6 +322,15 @@ pub enum Statement {
         /// Whether `IF EXISTS` was given.
         if_exists: bool,
     },
+    /// `EXPLAIN [ANALYZE] <statement>` — run (or plan) the inner
+    /// statement and return its span tree as a result set.
+    Explain {
+        /// Whether `ANALYZE` was given (execute and report real
+        /// timings rather than a plan-only rendering).
+        analyze: bool,
+        /// The statement being explained.
+        inner: Box<Statement>,
+    },
 }
 
 fn fmt_literal(v: &SqlValue, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -514,6 +523,13 @@ impl fmt::Display for Statement {
                     f,
                     "DROP TABLE {}{table}",
                     if *if_exists { "IF EXISTS " } else { "" }
+                )
+            }
+            Statement::Explain { analyze, inner } => {
+                write!(
+                    f,
+                    "EXPLAIN {}{inner}",
+                    if *analyze { "ANALYZE " } else { "" }
                 )
             }
         }

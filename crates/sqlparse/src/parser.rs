@@ -118,6 +118,12 @@ impl Parser {
             T::Keyword(K::Update) => self.parse_update(),
             T::Keyword(K::Create) => self.parse_create_table(),
             T::Keyword(K::Drop) => self.parse_drop_table(),
+            T::Keyword(K::Explain) => {
+                self.expect_kw(K::Explain)?;
+                let analyze = self.eat_kw(K::Analyze);
+                let inner = Box::new(self.parse_statement_inner()?);
+                Ok(Statement::Explain { analyze, inner })
+            }
             other => Err(ParseError::new(
                 format!("expected a statement, found {other}"),
                 t.offset,
@@ -615,6 +621,31 @@ mod tests {
         assert!(!s.order_by[1].desc);
         assert_eq!(s.limit, Some(10));
         assert_eq!(s.offset, Some(5));
+    }
+
+    #[test]
+    fn parse_explain_variants() {
+        let stmt = parse("EXPLAIN SELECT * FROM Processor").unwrap();
+        let Statement::Explain { analyze, inner } = stmt else {
+            panic!("not an explain")
+        };
+        assert!(!analyze);
+        assert!(matches!(*inner, Statement::Select(_)));
+
+        let stmt = parse("explain analyze SELECT Hostname FROM Processor WHERE Load1 > 1").unwrap();
+        let Statement::Explain { analyze, inner } = &stmt else {
+            panic!("not an explain")
+        };
+        assert!(analyze);
+        assert!(matches!(**inner, Statement::Select(_)));
+        // Round-trips through Display so the inner SQL can be re-dispatched.
+        assert_eq!(
+            stmt.to_string(),
+            "EXPLAIN ANALYZE SELECT Hostname FROM Processor WHERE (Load1 > 1)"
+        );
+
+        assert!(parse("EXPLAIN").is_err());
+        assert!(parse("EXPLAIN ANALYZE").is_err());
     }
 
     #[test]

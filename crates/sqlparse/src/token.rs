@@ -40,6 +40,8 @@ pub enum Keyword {
     If,
     Exists,
     Drop,
+    Explain,
+    Analyze,
 }
 
 impl Keyword {
@@ -93,6 +95,8 @@ impl Keyword {
             "IF" => If,
             "EXISTS" => Exists,
             "DROP" => Drop,
+            "EXPLAIN" => Explain,
+            "ANALYZE" => Analyze,
             _ => return None,
         })
     }

@@ -477,5 +477,8 @@ pub(crate) fn execute(
                 Err(StoreError::NoSuchTable(table.clone()))
             }
         }
+        Statement::Explain { .. } => Err(StoreError::Unsupported(
+            "EXPLAIN is handled by the gateway query path, not the store".into(),
+        )),
     }
 }

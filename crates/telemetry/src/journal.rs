@@ -70,6 +70,11 @@ pub struct JournalEntry {
     pub stage: Option<String>,
     /// Human-readable detail.
     pub message: String,
+    /// The trace tree active when the entry was recorded, so journal
+    /// rows join against `gridrm_spans`. Defaults empty for entries
+    /// recorded outside any request.
+    #[serde(default)]
+    pub trace_id: Option<String>,
 }
 
 /// Kind: a health state machine transition.
@@ -165,6 +170,23 @@ impl Journal {
         stage: Option<&str>,
         message: &str,
     ) -> u64 {
+        self.record_traced(at_ms, severity, kind, source, driver, stage, message, None)
+    }
+
+    /// [`Journal::record`] stamped with the active `trace_id`, so the
+    /// entry joins against the span tree it was recorded under.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_traced(
+        &self,
+        at_ms: u64,
+        severity: JournalSeverity,
+        kind: &str,
+        source: &str,
+        driver: Option<&str>,
+        stage: Option<&str>,
+        message: &str,
+        trace_id: Option<&str>,
+    ) -> u64 {
         self.stats.for_severity(severity).inc();
         let mut ring = self.ring.lock();
         // Seq is assigned under the ring lock so sequence order always
@@ -182,6 +204,7 @@ impl Journal {
             driver: driver.map(str::to_owned),
             stage: stage.map(str::to_owned),
             message: message.to_owned(),
+            trace_id: trace_id.map(str::to_owned),
         });
         seq
     }

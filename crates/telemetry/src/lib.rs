@@ -1,6 +1,7 @@
 //! GridRM telemetry: metrics registry, query-path tracing, structured
 //! event journal, slow-query log, exposition.
 
+pub mod active;
 pub mod journal;
 pub mod metrics;
 pub mod slowlog;
@@ -16,6 +17,6 @@ pub use metrics::{
 };
 pub use slowlog::{SlowQueryLog, DEFAULT_SLOW_QUERY_CAPACITY, DEFAULT_SLOW_QUERY_THRESHOLD_MS};
 pub use trace::{
-    GatewayTelemetry, SpanBuilder, SpanStage, TelemetryCapacities, TraceBuffer, TraceRecord,
-    DEFAULT_TRACE_CAPACITY,
+    GatewayTelemetry, SpanBuilder, SpanStage, TelemetryCapacities, TraceBuffer, TraceContext,
+    TraceRecord, DEFAULT_TRACE_CAPACITY,
 };

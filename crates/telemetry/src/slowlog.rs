@@ -115,11 +115,10 @@ mod tests {
         TraceRecord {
             id,
             request: format!("req-{id}"),
-            source: None,
             started_ms: 1_000,
             finished_ms: 1_000 + duration,
             outcome: "ok".into(),
-            stages: Vec::new(),
+            ..TraceRecord::default()
         }
     }
 

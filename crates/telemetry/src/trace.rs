@@ -1,8 +1,15 @@
 //! Per-request trace spans: timestamped stages through the query path,
 //! kept in a bounded ring buffer of recent traces.
+//!
+//! Since the hierarchical-tracing upgrade every record is a **span** in a
+//! tree: it carries a `trace_id` naming the whole tree, its own globally
+//! unique `span_id`, an optional `parent_span_id` and the Grid `site`
+//! that produced it. A [`TraceContext`] is the portable half of a span —
+//! it crosses layer (and gateway) boundaries so children created
+//! anywhere land in the same tree.
 
 use gridrm_simnet::SimClock;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -13,7 +20,7 @@ use crate::metrics::Registry;
 use crate::slowlog::{SlowQueryLog, DEFAULT_SLOW_QUERY_CAPACITY, DEFAULT_SLOW_QUERY_THRESHOLD_MS};
 
 /// One timestamped stage inside a trace (`resolve`, `connect`, …).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SpanStage {
     /// Stage name from the closed query-path set.
     pub stage: String,
@@ -23,11 +30,28 @@ pub struct SpanStage {
     pub detail: Option<String>,
 }
 
-/// A completed (or in-flight) per-request trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A completed (or in-flight) span of a trace tree.
+///
+/// The span-identity fields default to empty so records serialised
+/// before the hierarchical upgrade still deserialise.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TraceRecord {
-    /// Monotonic trace id, unique per gateway telemetry instance.
+    /// Monotonic numeric id, unique per gateway telemetry instance
+    /// (kept for ordering and slow-log tie-breaks).
     pub id: u64,
+    /// The trace tree this span belongs to (equals the root's
+    /// `span_id`).
+    #[serde(default)]
+    pub trace_id: String,
+    /// Globally unique span id (`{gateway}:{n}`).
+    #[serde(default)]
+    pub span_id: String,
+    /// The parent span, `None` for a root.
+    #[serde(default)]
+    pub parent_span_id: Option<String>,
+    /// Grid site of the gateway that recorded this span.
+    #[serde(default)]
+    pub site: String,
     /// What is being traced (request label or SQL summary).
     pub request: String,
     /// The source URL the request resolved against, when known.
@@ -49,13 +73,21 @@ impl TraceRecord {
     }
 }
 
-/// An in-flight trace; records stages against the shared clock and
+/// The portable identity of an in-flight span: everything a child —
+/// possibly on another gateway — needs to attach itself to the tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceContext {
+    /// The trace tree.
+    pub trace_id: String,
+    /// The span that children created under this context hang off.
+    pub parent_span_id: String,
+}
+
+/// An in-flight span; records stages against the shared clock and
 /// commits into the ring buffer when finished.
 pub struct SpanBuilder {
     record: TraceRecord,
-    clock: Arc<SimClock>,
-    sink: Arc<TraceBuffer>,
-    slowlog: Arc<SlowQueryLog>,
+    hub: GatewayTelemetry,
 }
 
 impl SpanBuilder {
@@ -63,7 +95,7 @@ impl SpanBuilder {
     pub fn stage(&mut self, name: &str) {
         self.record.stages.push(SpanStage {
             stage: name.to_string(),
-            at_ms: self.clock.now_millis(),
+            at_ms: self.hub.clock.now_millis(),
             detail: None,
         });
     }
@@ -72,7 +104,7 @@ impl SpanBuilder {
     pub fn stage_with(&mut self, name: &str, detail: &str) {
         self.record.stages.push(SpanStage {
             stage: name.to_string(),
-            at_ms: self.clock.now_millis(),
+            at_ms: self.hub.clock.now_millis(),
             detail: Some(detail.to_string()),
         });
     }
@@ -82,25 +114,51 @@ impl SpanBuilder {
         self.record.source = Some(url.to_string());
     }
 
-    /// The trace id assigned to this span.
+    /// The numeric id assigned to this span.
     pub fn id(&self) -> u64 {
         self.record.id
+    }
+
+    /// The trace tree this span belongs to.
+    pub fn trace_id(&self) -> &str {
+        &self.record.trace_id
+    }
+
+    /// The context under which children of this span are created.
+    pub fn context(&self) -> TraceContext {
+        TraceContext {
+            trace_id: self.record.trace_id.clone(),
+            parent_span_id: self.record.span_id.clone(),
+        }
+    }
+
+    /// Start a child span of this one (on the same telemetry hub).
+    pub fn child(&self, request: &str) -> SpanBuilder {
+        self.hub.span_in(&self.context(), request)
     }
 
     /// Finish with an outcome, commit to the ring buffer, and offer the
     /// completed trace to the slow-query log.
     pub fn finish(mut self, outcome: &str) {
-        self.record.finished_ms = self.clock.now_millis();
+        self.record.finished_ms = self.hub.clock.now_millis();
         self.record.outcome = outcome.to_string();
-        self.slowlog.offer(&self.record);
-        self.sink.push(self.record);
+        self.hub.slow_queries.offer(&self.record);
+        self.hub.traces.push(self.record);
     }
+}
+
+struct RingState {
+    ring: VecDeque<TraceRecord>,
+    /// Cached slowest retained record, so `slowest()` is O(1) instead of
+    /// a full scan under the lock on every admin poll. Re-derived only
+    /// when the cached maximum itself is evicted.
+    slowest: Option<TraceRecord>,
 }
 
 /// Bounded ring buffer of recent traces: oldest evicted first.
 pub struct TraceBuffer {
     capacity: usize,
-    ring: Mutex<VecDeque<TraceRecord>>,
+    state: Mutex<RingState>,
 }
 
 impl TraceBuffer {
@@ -109,41 +167,63 @@ impl TraceBuffer {
         assert!(capacity > 0, "trace buffer capacity must be positive");
         TraceBuffer {
             capacity,
-            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            state: Mutex::new(RingState {
+                ring: VecDeque::with_capacity(capacity),
+                slowest: None,
+            }),
         }
     }
 
     /// Append, evicting the oldest trace on overflow.
     pub fn push(&self, record: TraceRecord) {
-        let mut ring = self.ring.lock();
-        if ring.len() == self.capacity {
-            ring.pop_front();
+        let mut state = self.state.lock();
+        if state.ring.len() == self.capacity {
+            let evicted = state.ring.pop_front();
+            if state.slowest == evicted {
+                // The cached maximum left the ring: rescan what remains.
+                // Ties resolve to the newest, matching the old full scan.
+                state.slowest = state.ring.iter().max_by_key(|t| t.duration_ms()).cloned();
+            }
         }
-        ring.push_back(record);
+        let beats_cached = state
+            .slowest
+            .as_ref()
+            .is_none_or(|s| record.duration_ms() >= s.duration_ms());
+        if beats_cached {
+            state.slowest = Some(record.clone());
+        }
+        state.ring.push_back(record);
     }
 
     /// Retained traces, oldest first.
     pub fn recent(&self) -> Vec<TraceRecord> {
-        self.ring.lock().iter().cloned().collect()
+        self.state.lock().ring.iter().cloned().collect()
     }
 
-    /// The slowest retained trace by virtual duration.
-    pub fn slowest(&self) -> Option<TraceRecord> {
-        self.ring
+    /// Retained spans belonging to one trace tree, oldest first.
+    pub fn for_trace(&self, trace_id: &str) -> Vec<TraceRecord> {
+        self.state
             .lock()
+            .ring
             .iter()
-            .max_by_key(|t| t.duration_ms())
+            .filter(|t| t.trace_id == trace_id)
             .cloned()
+            .collect()
+    }
+
+    /// The slowest retained trace by virtual duration (cached: O(1)).
+    pub fn slowest(&self) -> Option<TraceRecord> {
+        self.state.lock().slowest.clone()
     }
 
     /// Number of retained traces.
     pub fn len(&self) -> usize {
-        self.ring.lock().len()
+        self.state.lock().ring.len()
     }
 
     /// True when nothing is retained.
     pub fn is_empty(&self) -> bool {
-        self.ring.lock().is_empty()
+        self.state.lock().ring.is_empty()
     }
 
     /// Maximum number of retained traces.
@@ -179,6 +259,12 @@ impl Default for TelemetryCapacities {
     }
 }
 
+#[derive(Clone)]
+struct TelemetryIdentity {
+    site: String,
+    gateway: String,
+}
+
 /// The per-gateway telemetry hub: one registry, one trace ring, one
 /// journal, one slow-query log, one clock. Cheap to clone (`Arc`
 /// inside) and share across subsystems.
@@ -190,6 +276,7 @@ pub struct GatewayTelemetry {
     slow_queries: Arc<SlowQueryLog>,
     clock: Arc<SimClock>,
     next_trace_id: Arc<AtomicU64>,
+    identity: Arc<RwLock<TelemetryIdentity>>,
 }
 
 impl GatewayTelemetry {
@@ -221,7 +308,26 @@ impl GatewayTelemetry {
             )),
             clock,
             next_trace_id: Arc::new(AtomicU64::new(1)),
+            identity: Arc::new(RwLock::new(TelemetryIdentity {
+                site: "local".to_owned(),
+                gateway: "local".to_owned(),
+            })),
         }
+    }
+
+    /// Set the Grid identity stamped onto spans: the site name and the
+    /// gateway name (which prefixes span ids so they stay globally
+    /// unique across a multi-gateway trace).
+    pub fn set_identity(&self, site: &str, gateway: &str) {
+        *self.identity.write() = TelemetryIdentity {
+            site: site.to_owned(),
+            gateway: gateway.to_owned(),
+        };
+    }
+
+    /// The site name spans are stamped with.
+    pub fn site(&self) -> String {
+        self.identity.read().site.clone()
     }
 
     /// The shared metric registry.
@@ -249,12 +355,22 @@ impl GatewayTelemetry {
         &self.clock
     }
 
-    /// Start a trace for one request.
-    pub fn span(&self, request: &str) -> SpanBuilder {
+    fn build_span(&self, parent: Option<&TraceContext>, request: &str) -> SpanBuilder {
         let now = self.clock.now_millis();
+        let identity = self.identity.read().clone();
+        let id = self.next_trace_id.fetch_add(1, Ordering::Relaxed);
+        let span_id = format!("{}:{id}", identity.gateway);
+        let (trace_id, parent_span_id) = match parent {
+            Some(ctx) => (ctx.trace_id.clone(), Some(ctx.parent_span_id.clone())),
+            None => (span_id.clone(), None),
+        };
         SpanBuilder {
             record: TraceRecord {
-                id: self.next_trace_id.fetch_add(1, Ordering::Relaxed),
+                id,
+                trace_id,
+                span_id,
+                parent_span_id,
+                site: identity.site,
                 request: request.to_string(),
                 source: None,
                 started_ms: now,
@@ -262,10 +378,26 @@ impl GatewayTelemetry {
                 outcome: "pending".to_string(),
                 stages: Vec::new(),
             },
-            clock: Arc::clone(&self.clock),
-            sink: Arc::clone(&self.traces),
-            slowlog: Arc::clone(&self.slow_queries),
+            hub: self.clone(),
         }
+    }
+
+    /// Start a root span for one request.
+    pub fn span(&self, request: &str) -> SpanBuilder {
+        self.build_span(None, request)
+    }
+
+    /// Start a span as a child of an existing context (possibly one
+    /// that originated on another gateway).
+    pub fn span_in(&self, ctx: &TraceContext, request: &str) -> SpanBuilder {
+        self.build_span(Some(ctx), request)
+    }
+
+    /// Import a finished span produced elsewhere (a remote gateway's
+    /// half of a distributed trace) into the local ring buffer. The
+    /// record is not re-offered to the slow-query log.
+    pub fn import_span(&self, record: TraceRecord) {
+        self.traces.push(record);
     }
 }
 
@@ -276,12 +408,13 @@ mod tests {
     fn record(id: u64, started: u64, finished: u64) -> TraceRecord {
         TraceRecord {
             id,
+            trace_id: format!("gw:{id}"),
+            span_id: format!("gw:{id}"),
             request: format!("req-{id}"),
-            source: None,
             started_ms: started,
             finished_ms: finished,
             outcome: "ok".into(),
-            stages: Vec::new(),
+            ..TraceRecord::default()
         }
     }
 
@@ -326,6 +459,9 @@ mod tests {
         assert_eq!(stages, vec!["resolve", "connect", "execute"]);
         assert!(t.stages.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
         assert_eq!(t.stages[1].detail.as_deref(), Some("ganglia"));
+        // A root span is its own trace.
+        assert_eq!(t.trace_id, t.span_id);
+        assert!(t.parent_span_id.is_none());
     }
 
     #[test]
@@ -338,6 +474,22 @@ mod tests {
     }
 
     #[test]
+    fn slowest_cache_survives_eviction_of_maximum() {
+        let buf = TraceBuffer::new(3);
+        buf.push(record(1, 0, 50)); // the maximum
+        buf.push(record(2, 0, 10));
+        buf.push(record(3, 0, 30));
+        assert_eq!(buf.slowest().unwrap().id, 1);
+        // Pushing a 4th evicts #1 (the cached maximum): the cache must
+        // re-derive from what remains, not keep a stale answer.
+        buf.push(record(4, 0, 20));
+        assert_eq!(buf.slowest().unwrap().id, 3);
+        // Ties go to the newest, matching the previous full-scan behaviour.
+        buf.push(record(5, 0, 30));
+        assert_eq!(buf.slowest().unwrap().id, 5);
+    }
+
+    #[test]
     fn trace_serializes_to_json() {
         let t = record(9, 1, 4);
         let json = serde_json::to_string(&t).unwrap();
@@ -346,10 +498,69 @@ mod tests {
     }
 
     #[test]
+    fn legacy_json_without_span_fields_still_deserializes() {
+        let json = r#"{"id":3,"request":"q","source":null,"started_ms":0,
+                       "finished_ms":2,"outcome":"ok","stages":[]}"#;
+        let back: TraceRecord = serde_json::from_str(json).unwrap();
+        assert_eq!(back.id, 3);
+        assert_eq!(back.trace_id, "");
+        assert!(back.parent_span_id.is_none());
+    }
+
+    #[test]
     fn span_ids_are_unique() {
         let telemetry = GatewayTelemetry::new(SimClock::new());
         let a = telemetry.span("a").id();
         let b = telemetry.span("b").id();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn child_spans_share_the_trace() {
+        let telemetry = GatewayTelemetry::new(SimClock::new());
+        telemetry.set_identity("alpha", "gw-alpha");
+        let root = telemetry.span("SELECT 1 FROM t");
+        let child = root.child("resolve");
+        let grandchild = child.child("driver");
+        let (rc, cc) = (root.context(), child.context());
+        assert_eq!(cc.trace_id, rc.trace_id);
+        assert_eq!(grandchild.context().trace_id, rc.trace_id);
+        grandchild.finish("ok");
+        child.finish("ok");
+        root.finish("ok");
+        let spans = telemetry.traces().for_trace(&rc.trace_id);
+        assert_eq!(spans.len(), 3);
+        assert!(spans.iter().all(|s| s.site == "alpha"));
+        assert!(spans.iter().all(|s| s.span_id.starts_with("gw-alpha:")));
+        // Every parent resolves within the same trace.
+        let ids: Vec<&str> = spans.iter().map(|s| s.span_id.as_str()).collect();
+        for s in &spans {
+            if let Some(p) = &s.parent_span_id {
+                assert!(ids.contains(&p.as_str()), "dangling parent {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn context_crosses_hubs_like_gateways() {
+        let clock = SimClock::new();
+        let a = GatewayTelemetry::new(clock.clone());
+        a.set_identity("alpha", "gw-a");
+        let b = GatewayTelemetry::new(clock);
+        b.set_identity("beta", "gw-b");
+        let root = a.span("global query");
+        let ctx = root.context();
+        let remote = b.span_in(&ctx, "remote half");
+        assert_eq!(remote.trace_id(), root.trace_id());
+        remote.finish("ok");
+        // The remote half travels back and is imported locally.
+        let remote_spans = b.traces().for_trace(root.trace_id());
+        assert_eq!(remote_spans.len(), 1);
+        assert_eq!(remote_spans[0].site, "beta");
+        for s in remote_spans {
+            a.import_span(s);
+        }
+        root.finish("ok");
+        assert_eq!(a.traces().for_trace("gw-a:1").len(), 2);
     }
 }

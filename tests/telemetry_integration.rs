@@ -131,10 +131,15 @@ fn traces_record_query_path_stages_in_order() {
     let gateway = world();
     run_workload(&gateway);
     let traces = gateway.telemetry().traces().recent();
-    assert_eq!(traces.len(), 4, "one trace per client request");
+    let roots: Vec<_> = traces
+        .iter()
+        .filter(|t| t.parent_span_id.is_none())
+        .collect();
+    assert_eq!(roots.len(), 4, "one root span per client request");
 
-    // The first trace went to the SNMP agent through the full path.
-    let t = &traces[0];
+    // The first request went to the SNMP agent through the full path:
+    // the root span holds the request-manager stages...
+    let t = roots[0];
     assert_eq!(t.outcome, "ok");
     assert_eq!(t.source.as_deref(), Some(SNMP_URL));
     let stages: Vec<&str> = t.stages.iter().map(|s| s.stage.as_str()).collect();
@@ -144,14 +149,12 @@ fn traces_record_query_path_stages_in_order() {
             .position(|s| *s == name)
             .unwrap_or_else(|| panic!("stage {name} missing from {stages:?}"))
     };
-    let order = [
-        pos("resolve"),
-        pos("connect"),
-        pos("execute"),
-        pos("translate"),
-    ];
     assert!(
-        order.windows(2).all(|w| w[0] < w[1]),
+        pos("acil") < pos("handle"),
+        "stages out of order: {stages:?}"
+    );
+    assert!(
+        pos("handle") < pos("resolve"),
         "stages out of order: {stages:?}"
     );
     // Timestamps are monotone non-decreasing across the whole trace.
@@ -164,8 +167,36 @@ fn traces_record_query_path_stages_in_order() {
         Some("jdbc-snmp")
     );
 
+    // ...while the per-driver work lives on a `driver_execute` child
+    // span sharing the root's trace.
+    let child = traces
+        .iter()
+        .find(|c| {
+            c.parent_span_id.as_deref() == Some(t.span_id.as_str())
+                && c.stages.iter().any(|s| s.stage == "driver_execute")
+        })
+        .expect("driver_execute child span");
+    assert_eq!(child.trace_id, t.trace_id);
+    let child_stages: Vec<&str> = child.stages.iter().map(|s| s.stage.as_str()).collect();
+    let cpos = |name: &str| {
+        child_stages
+            .iter()
+            .position(|s| *s == name)
+            .unwrap_or_else(|| panic!("stage {name} missing from {child_stages:?}"))
+    };
+    let order = [
+        cpos("checkout"),
+        cpos("connect"),
+        cpos("execute"),
+        cpos("translate"),
+    ];
+    assert!(
+        order.windows(2).all(|w| w[0] < w[1]),
+        "child stages out of order: {child_stages:?}"
+    );
+
     // The cache-served request records a cache hit and never resolves.
-    let hit = &traces[3];
+    let hit = roots[3];
     assert!(hit
         .stages
         .iter()

@@ -7,6 +7,9 @@
 #   3. label KEYS never come from the open sets clients control
 #      (source / url / hostname / host / sql / query / address) —
 #      high-cardinality detail belongs in the trace, not in labels
+#   4. every span stage name recorded via .stage()/.stage_with() is
+#      documented in the "Span stage vocabulary" section of
+#      docs/observability.md — stages are a closed set too
 #
 # Usage: tools/lint_metrics.sh   (exits nonzero on any violation)
 set -u
@@ -66,7 +69,32 @@ if [ -n "$bad" ]; then
   fail=1
 fi
 
+# Rule 4: span stage names must appear (backticked) in the "Span stage
+# vocabulary" section of docs/observability.md. Stage literals follow
+# .stage("...") / .stage_with("...", — the literal may land on the next
+# line after rustfmt wrapping, so match across newlines (-z).
+VOCAB_DOC="docs/observability.md"
+vocab=$(awk '/^### Span stage vocabulary/{hit=1; next} hit && /^#/{exit} hit' \
+  "$VOCAB_DOC" | grep -oE '`[a-z_]+`' | tr -d '`' | sort -u)
+if [ -z "$vocab" ]; then
+  echo "lint_metrics: no stage vocabulary found in $VOCAB_DOC — section renamed?" >&2
+  exit 1
+fi
+stages=$(grep -rzoE '\.stage(_with)?\(\s*"[a-z_]+"' --include='*.rs' $SCAN_DIRS |
+  tr '\0' '\n' | grep -oE '"[a-z_]+"' | tr -d '"' | sort -u)
+if [ -z "$stages" ]; then
+  echo "lint_metrics: found no span stages — scan pattern broken?" >&2
+  exit 1
+fi
+bad=$(comm -23 <(printf '%s\n' "$stages") <(printf '%s\n' "$vocab"))
+if [ -n "$bad" ]; then
+  echo "FAIL: span stage(s) not documented in $VOCAB_DOC (Span stage vocabulary):" >&2
+  printf '%s\n' "$bad" | sed 's/^/  /' >&2
+  fail=1
+fi
+
 if [ "$fail" -eq 0 ]; then
-  echo "lint_metrics: OK ($(printf '%s\n' "$regs" | wc -l | tr -d ' ') registrations checked)"
+  nstages=$(printf '%s\n' "$stages" | wc -l | tr -d ' ')
+  echo "lint_metrics: OK ($(printf '%s\n' "$regs" | wc -l | tr -d ' ') registrations, ${nstages} stage names checked)"
 fi
 exit "$fail"
