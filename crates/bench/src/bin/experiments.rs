@@ -8,10 +8,11 @@
 //! deterministic (message counts on the simulated network) and therefore
 //! machine-independent.
 
-use gridrm_bench::{grid_world, single_site_world, SEED};
+use gridrm_bench::{grid_world, grid_world_with_wan, single_site_world, SEED};
 use gridrm_core::events::{EventManager, GridRMEvent, ListenerFilter, Severity};
 use gridrm_core::{ClientRequest, FailurePolicy};
 use gridrm_dbc::JdbcUrl;
+use gridrm_simnet::Latency;
 use std::sync::atomic::Ordering;
 
 fn banner(id: &str, title: &str) {
@@ -488,6 +489,94 @@ fn e12() {
     println!("  RESULT: {}", if ok { "PASS" } else { "FAIL" });
 }
 
+/// E13 — Fan-out engine: a consolidated multi-site query should cost
+/// about the *slowest* site (parallel dispatch), not the *sum* of sites
+/// (sequential dispatch). Virtual-clock latencies, so the numbers are
+/// machine-independent; also emitted as `BENCH_fanout.json`.
+fn e13() {
+    banner("E13", "Parallel fan-out: max(site) vs sum(site) latency");
+    const ROUNDS: usize = 12;
+    const WAN_MS: u64 = 40;
+    const WAN_JITTER_MS: u64 = 10;
+    let sql = "SELECT Hostname, Load1 FROM Processor ORDER BY Hostname";
+    let pct = |sorted: &[u64], p: usize| sorted[(sorted.len() * p / 100).min(sorted.len() - 1)];
+
+    println!("  WAN one-way latency {WAN_MS}ms + jitter {WAN_JITTER_MS}ms, {ROUNDS} cold queries per mode\n");
+    row(
+        &[
+            "sites", "par p50", "par p95", "seq p50", "seq p95", "speedup",
+        ],
+        &[6, 8, 8, 8, 8, 8],
+    );
+    let mut json_rows = Vec::new();
+    let mut speedup_at_8 = 0.0_f64;
+    for n in [1usize, 2, 4, 8] {
+        let world = grid_world_with_wan(n, 2, Latency::ms(WAN_MS, WAN_JITTER_MS));
+        let (_, _, portal_gw, portal) = &world.sites[0];
+        let sources: Vec<String> = (0..n)
+            .map(|i| format!("jdbc:snmp://node00.site{i}/public"))
+            .collect();
+        let sources: Vec<&str> = sources.iter().map(String::as_str).collect();
+
+        let measure = |parallel: bool| -> Vec<u64> {
+            portal.set_parallel_fanout(parallel);
+            let mut samples = Vec::with_capacity(ROUNDS);
+            for _ in 0..ROUNDS {
+                // Sweep every cache so each round pays the full fan-out.
+                for (_, _, gw, _) in &world.sites {
+                    gw.cache().sweep(gw.clock().now_millis(), 0);
+                }
+                let t0 = portal_gw.clock().now_millis();
+                let request = ClientRequest::builder(sql).sources(&sources).build();
+                portal.query(&request).expect("fan-out query");
+                samples.push(portal_gw.clock().now_millis() - t0);
+            }
+            samples.sort_unstable();
+            samples
+        };
+        let par = measure(true);
+        let seq = measure(false);
+        let (pp50, pp95) = (pct(&par, 50), pct(&par, 95));
+        let (sp50, sp95) = (pct(&seq, 50), pct(&seq, 95));
+        // An all-local query costs ~0ms either way: call that parity.
+        let speedup = if sp50 == 0 && pp50 == 0 {
+            1.0
+        } else {
+            sp50 as f64 / pp50.max(1) as f64
+        };
+        if n == 8 {
+            speedup_at_8 = speedup;
+        }
+        row(
+            &[
+                &n.to_string(),
+                &format!("{pp50}ms"),
+                &format!("{pp95}ms"),
+                &format!("{sp50}ms"),
+                &format!("{sp95}ms"),
+                &format!("{speedup:.2}x"),
+            ],
+            &[6, 8, 8, 8, 8, 8],
+        );
+        json_rows.push(format!(
+            "    {{\"sites\": {n}, \"parallel_p50_ms\": {pp50}, \"parallel_p95_ms\": {pp95}, \
+             \"sequential_p50_ms\": {sp50}, \"sequential_p95_ms\": {sp95}, \
+             \"speedup_p50\": {speedup:.2}}}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"fanout\",\n  \"seed\": \"{SEED:#x}\",\n  \
+         \"wan_base_ms\": {WAN_MS},\n  \"wan_jitter_ms\": {WAN_JITTER_MS},\n  \
+         \"rounds_per_mode\": {ROUNDS},\n  \"unit\": \"virtual_ms\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_fanout.json", &json).expect("write BENCH_fanout.json");
+    println!("\n  wrote BENCH_fanout.json");
+    println!("  speedup at 8 sites .................... {speedup_at_8:.2}x (expect >= 3x)");
+    let ok = speedup_at_8 >= 3.0;
+    println!("  RESULT: {}", if ok { "PASS" } else { "FAIL" });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id || a == "all");
@@ -519,6 +608,9 @@ fn main() {
     }
     if want("e12") {
         e12();
+    }
+    if want("e13") {
+        e13();
     }
     println!();
 }

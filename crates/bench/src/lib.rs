@@ -10,4 +10,4 @@
 
 pub mod world;
 
-pub use world::{grid_world, single_site_world, GridWorld, SiteWorld, SEED};
+pub use world::{grid_world, grid_world_with_wan, single_site_world, GridWorld, SiteWorld, SEED};

@@ -5,7 +5,7 @@ use gridrm_core::{Gateway, GatewayConfig};
 use gridrm_drivers::{install_into_gateway, DriverEnv};
 use gridrm_global::{GlobalLayer, GmaDirectory};
 use gridrm_resmodel::{SiteModel, SiteSpec};
-use gridrm_simnet::{Network, SimClock};
+use gridrm_simnet::{Latency, Network, SimClock};
 use std::sync::Arc;
 
 /// Fixed seed so every experiment run is reproducible; printed by the
@@ -82,4 +82,21 @@ pub fn grid_world(n_sites: usize, hosts: usize) -> GridWorld {
         directory,
         sites,
     }
+}
+
+/// A [`grid_world`] whose inter-gateway GMA links all carry the given
+/// symmetric WAN latency. Intra-site links stay LAN-fast (zero), so any
+/// latency an experiment measures is attributable to the wide area.
+pub fn grid_world_with_wan(n_sites: usize, hosts: usize, wan: Latency) -> GridWorld {
+    let world = grid_world(n_sites, hosts);
+    for a in 0..n_sites {
+        for b in 0..n_sites {
+            if a != b {
+                world
+                    .net
+                    .set_latency(&format!("gw.site{a}:gma"), &format!("gw.site{b}:gma"), wan);
+            }
+        }
+    }
+    world
 }

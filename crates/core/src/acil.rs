@@ -10,6 +10,7 @@ use crate::session::SessionToken;
 use gridrm_dbc::{DbcResult, RowSet};
 use gridrm_sqlparse::SqlValue;
 use gridrm_telemetry::TraceContext;
+use serde::{Deserialize, Serialize};
 
 /// How a query should be satisfied (§3.1.1, §4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,6 +25,127 @@ pub enum QueryMode {
     },
     /// Query the gateway's internal historical database.
     Historical,
+}
+
+/// What a multi-source query does when some sources fail (§2: the
+/// Global layer consolidates results from many sites — a grid-wide
+/// query should not be hostage to its slowest or flakiest site).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ResultPolicy {
+    /// Abort on the first failed source; no partial results.
+    FailFast,
+    /// Return whatever succeeded, reporting failures as outcomes
+    /// (the historical behaviour, and the default).
+    #[default]
+    BestEffort,
+    /// Succeed only when at least `n` sources answered; otherwise the
+    /// whole query fails even if some rows were gathered.
+    Quorum(
+        /// Minimum number of successful sources.
+        usize,
+    ),
+}
+
+/// Per-source terminal status inside a consolidated response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OutcomeStatus {
+    /// The source answered from a live fetch.
+    Ok,
+    /// The source was answered from the gateway cache.
+    Cached,
+    /// An identical in-flight query was coalesced into one execution;
+    /// this request shared the leader's rows.
+    Coalesced,
+    /// The per-request deadline budget ran out before (or while) this
+    /// source was queried.
+    Timeout,
+    /// The fetch failed (driver, connection, SQL error).
+    Error,
+    /// Security policy denied access to this source.
+    Denied,
+    /// This gateway is not authoritative for the source; route via the
+    /// Global layer.
+    Deferred,
+}
+
+impl OutcomeStatus {
+    /// True for statuses that contributed rows (`Ok`/`Cached`/`Coalesced`).
+    pub fn is_success(self) -> bool {
+        matches!(
+            self,
+            OutcomeStatus::Ok | OutcomeStatus::Cached | OutcomeStatus::Coalesced
+        )
+    }
+
+    /// Lower-case wire/driver-friendly name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OutcomeStatus::Ok => "ok",
+            OutcomeStatus::Cached => "cached",
+            OutcomeStatus::Coalesced => "coalesced",
+            OutcomeStatus::Timeout => "timeout",
+            OutcomeStatus::Error => "error",
+            OutcomeStatus::Denied => "denied",
+            OutcomeStatus::Deferred => "deferred",
+        }
+    }
+}
+
+/// Structured per-source result of a consolidated query: what the
+/// stringly-typed `warnings` list used to encode, made machine-readable.
+/// The legacy `warnings` / `sources_ok` / `served_from_cache` fields are
+/// now *derived* from these (see [`ClientResponse::from_outcomes`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceOutcome {
+    /// The data-source URL (or historical/virtual table name).
+    pub source: String,
+    /// Terminal status.
+    pub status: OutcomeStatus,
+    /// Virtual milliseconds this source took, as observed by the
+    /// gateway that executed it (includes link RTT for remote segments).
+    pub elapsed_ms: u64,
+    /// Failure detail (error text), when there is one.
+    #[serde(default)]
+    pub detail: Option<String>,
+}
+
+impl SourceOutcome {
+    /// A successful outcome with the given status.
+    pub fn success(source: &str, status: OutcomeStatus, elapsed_ms: u64) -> SourceOutcome {
+        debug_assert!(status.is_success());
+        SourceOutcome {
+            source: source.to_owned(),
+            status,
+            elapsed_ms,
+            detail: None,
+        }
+    }
+
+    /// A failed outcome with the given status and detail text.
+    pub fn failure(
+        source: &str,
+        status: OutcomeStatus,
+        elapsed_ms: u64,
+        detail: &str,
+    ) -> SourceOutcome {
+        SourceOutcome {
+            source: source.to_owned(),
+            status,
+            elapsed_ms,
+            detail: Some(detail.to_owned()),
+        }
+    }
+
+    /// The legacy warning string for this outcome, if it warrants one.
+    /// Kept byte-for-byte compatible with the pre-structured format
+    /// (`"{source}: {detail}"`) that callers match on.
+    pub fn warning(&self) -> Option<String> {
+        match (&self.status, &self.detail) {
+            (s, _) if s.is_success() => None,
+            (_, Some(detail)) => Some(format!("{}: {detail}", self.source)),
+            (s, None) => Some(format!("{}: {}", self.source, s.name())),
+        }
+    }
 }
 
 /// A client request as it crosses the ACIL.
@@ -45,39 +167,41 @@ pub struct ClientRequest {
     /// larger traced operation (global fan-out, `EXPLAIN`). `None`
     /// starts a fresh trace.
     pub trace: Option<TraceContext>,
+    /// Virtual-millisecond deadline budget for the whole request.
+    /// `None` falls back to the gateway's configured default (0 = no
+    /// deadline). Sources not answered within the budget come back as
+    /// [`OutcomeStatus::Timeout`] outcomes.
+    pub deadline_ms: Option<u64>,
+    /// What to do when only some sources answer.
+    pub policy: ResultPolicy,
 }
 
 impl ClientRequest {
+    /// Start building a request with the given SQL text. This is the
+    /// one construction path; [`ClientRequest::realtime`] and friends
+    /// are shorthands over it.
+    pub fn builder(sql: &str) -> QueryBuilder {
+        QueryBuilder::new(sql)
+    }
+
     /// Real-time query of one source.
     pub fn realtime(source: &str, sql: &str) -> ClientRequest {
-        ClientRequest {
-            token: None,
-            identity: None,
-            sources: vec![source.to_owned()],
-            sql: sql.to_owned(),
-            mode: QueryMode::RealTime,
-            trace: None,
-        }
+        ClientRequest::builder(sql).source(source).build()
     }
 
     /// Cache-friendly query of one source.
     pub fn cached(source: &str, sql: &str, max_age_ms: Option<u64>) -> ClientRequest {
-        ClientRequest {
-            mode: QueryMode::Cached { max_age_ms },
-            ..ClientRequest::realtime(source, sql)
-        }
+        ClientRequest::builder(sql)
+            .source(source)
+            .mode(QueryMode::Cached { max_age_ms })
+            .build()
     }
 
     /// Historical query.
     pub fn historical(sql: &str) -> ClientRequest {
-        ClientRequest {
-            token: None,
-            identity: None,
-            sources: Vec::new(),
-            sql: sql.to_owned(),
-            mode: QueryMode::Historical,
-            trace: None,
-        }
+        ClientRequest::builder(sql)
+            .mode(QueryMode::Historical)
+            .build()
     }
 
     /// Builder: attach an identity.
@@ -93,6 +217,7 @@ impl ClientRequest {
     }
 
     /// Builder: query several sources (consolidated, §3.1.1).
+    #[deprecated(since = "0.4.0", note = "use ClientRequest::builder(...).sources(...)")]
     pub fn with_sources(mut self, sources: &[&str]) -> ClientRequest {
         self.sources = sources.iter().map(|s| (*s).to_owned()).collect();
         self
@@ -106,23 +231,167 @@ impl ClientRequest {
     }
 }
 
+/// Fluent constructor for [`ClientRequest`] — the one way to express
+/// every request knob (sources, freshness mode, identity, deadline,
+/// partial-results policy) without reaching for struct literals.
+///
+/// ```
+/// use gridrm_core::acil::{ClientRequest, QueryMode, ResultPolicy};
+/// let req = ClientRequest::builder("SELECT Hostname, Load1 FROM Processor")
+///     .sources(&["jdbc:snmp://node00.alpha/public", "jdbc:snmp://node00.beta/public"])
+///     .mode(QueryMode::Cached { max_age_ms: Some(5_000) })
+///     .deadline_ms(250)
+///     .policy(ResultPolicy::Quorum(1))
+///     .build();
+/// assert_eq!(req.sources.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    request: ClientRequest,
+}
+
+impl QueryBuilder {
+    /// Start a builder for the given SQL text (defaults: no sources,
+    /// real-time mode, anonymous, no deadline, best-effort policy).
+    pub fn new(sql: &str) -> QueryBuilder {
+        QueryBuilder {
+            request: ClientRequest {
+                token: None,
+                identity: None,
+                sources: Vec::new(),
+                sql: sql.to_owned(),
+                mode: QueryMode::RealTime,
+                trace: None,
+                deadline_ms: None,
+                policy: ResultPolicy::BestEffort,
+            },
+        }
+    }
+
+    /// Append one data-source URL.
+    pub fn source(mut self, source: &str) -> QueryBuilder {
+        self.request.sources.push(source.to_owned());
+        self
+    }
+
+    /// Replace the source list (consolidated query, §3.1.1).
+    pub fn sources<S: AsRef<str>>(mut self, sources: &[S]) -> QueryBuilder {
+        self.request.sources = sources.iter().map(|s| s.as_ref().to_owned()).collect();
+        self
+    }
+
+    /// Set the freshness mode.
+    pub fn mode(mut self, mode: QueryMode) -> QueryBuilder {
+        self.request.mode = mode;
+        self
+    }
+
+    /// Attach a direct identity.
+    pub fn identity(mut self, identity: Identity) -> QueryBuilder {
+        self.request.identity = Some(identity);
+        self
+    }
+
+    /// Attach a session token from a previous authentication.
+    pub fn token(mut self, token: SessionToken) -> QueryBuilder {
+        self.request.token = Some(token);
+        self
+    }
+
+    /// Set the virtual-millisecond deadline budget.
+    pub fn deadline_ms(mut self, deadline_ms: u64) -> QueryBuilder {
+        self.request.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Set the partial-results policy.
+    pub fn policy(mut self, policy: ResultPolicy) -> QueryBuilder {
+        self.request.policy = policy;
+        self
+    }
+
+    /// Run under an existing trace context.
+    pub fn trace(mut self, trace: TraceContext) -> QueryBuilder {
+        self.request.trace = Some(trace);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> ClientRequest {
+        self.request
+    }
+}
+
 /// The answer crossing back over the ACIL.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ClientResponse {
     /// Consolidated result rows.
     pub rows: RowSet,
     /// Per-source warnings (failed sources, deferred security, …).
+    /// Derived from `outcomes`; kept for text-facing clients.
     pub warnings: Vec<String>,
     /// How many sources were answered from the gateway cache.
+    /// Derived from `outcomes`.
     pub served_from_cache: usize,
-    /// How many sources contributed rows.
+    /// How many sources contributed rows. Derived from `outcomes`.
     pub sources_ok: usize,
+    /// Structured per-source outcomes — the source of truth the three
+    /// legacy fields above are computed from.
+    pub outcomes: Vec<SourceOutcome>,
+}
+
+impl ClientResponse {
+    /// Build a response from structured outcomes, deriving the legacy
+    /// `warnings` / `served_from_cache` / `sources_ok` fields from
+    /// them. `extra_warnings` carries non-source diagnostics (result
+    /// shape mismatches during consolidation).
+    pub fn from_outcomes(
+        rows: RowSet,
+        outcomes: Vec<SourceOutcome>,
+        extra_warnings: Vec<String>,
+    ) -> ClientResponse {
+        let mut warnings: Vec<String> = outcomes.iter().filter_map(|o| o.warning()).collect();
+        warnings.extend(extra_warnings);
+        let served_from_cache = outcomes
+            .iter()
+            .filter(|o| o.status == OutcomeStatus::Cached)
+            .count();
+        let sources_ok = outcomes.iter().filter(|o| o.status.is_success()).count();
+        ClientResponse {
+            rows,
+            warnings,
+            served_from_cache,
+            sources_ok,
+            outcomes,
+        }
+    }
 }
 
 /// Anything that accepts GridRM client requests (the ACIL seam).
 pub trait ClientInterface: Send + Sync {
     /// Submit one request.
     fn submit(&self, request: &ClientRequest) -> DbcResult<ClientResponse>;
+}
+
+/// One query surface over local and grid execution: `Gateway` answers
+/// from its own site, `GlobalLayer` fans out across the grid, and code
+/// written against this trait (tests, examples, the admin poller) works
+/// unchanged against either.
+pub trait QueryExecutor: Send + Sync {
+    /// Execute one request to completion.
+    fn execute(&self, request: &ClientRequest) -> DbcResult<ClientResponse>;
+
+    /// Human-readable scope label (`"local:gw-alpha"`, `"grid:gw-alpha"`)
+    /// for logs and dashboards.
+    fn scope(&self) -> String;
+}
+
+/// Every [`QueryExecutor`] is a [`ClientInterface`]: `submit` is
+/// `execute`. (This replaces the hand-written per-type impls.)
+impl<T: QueryExecutor + ?Sized> ClientInterface for T {
+    fn submit(&self, request: &ClientRequest) -> DbcResult<ClientResponse> {
+        self.execute(request)
+    }
 }
 
 fn csv_escape(s: &str) -> String {
@@ -205,14 +474,54 @@ mod tests {
 
     #[test]
     fn request_builders() {
-        let r = ClientRequest::realtime("jdbc:snmp://h/p", "SELECT * FROM Processor")
-            .with_identity(Identity::anonymous())
-            .with_sources(&["a", "b"]);
+        let r = ClientRequest::builder("SELECT * FROM Processor")
+            .identity(Identity::anonymous())
+            .sources(&["a", "b"])
+            .deadline_ms(250)
+            .policy(ResultPolicy::Quorum(2))
+            .build();
         assert_eq!(r.sources, vec!["a", "b"]);
         assert_eq!(r.mode, QueryMode::RealTime);
+        assert_eq!(r.deadline_ms, Some(250));
+        assert_eq!(r.policy, ResultPolicy::Quorum(2));
         let h = ClientRequest::historical("SELECT * FROM history");
         assert!(h.sources.is_empty());
         assert_eq!(h.mode, QueryMode::Historical);
+        assert_eq!(h.policy, ResultPolicy::BestEffort);
+        assert_eq!(h.deadline_ms, None);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn with_sources_shim_still_works() {
+        let r = ClientRequest::realtime("seed", "SELECT 1 FROM t").with_sources(&["a", "b"]);
+        assert_eq!(r.sources, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn outcomes_derive_legacy_fields() {
+        let outcomes = vec![
+            SourceOutcome::success("a", OutcomeStatus::Ok, 3),
+            SourceOutcome::success("b", OutcomeStatus::Cached, 0),
+            SourceOutcome::success("c", OutcomeStatus::Coalesced, 1),
+            SourceOutcome::failure("d", OutcomeStatus::Error, 2, "driver exploded"),
+            SourceOutcome::failure("e", OutcomeStatus::Timeout, 9, "deadline exceeded"),
+        ];
+        let resp = ClientResponse::from_outcomes(rows(), outcomes, vec!["extra note".to_owned()]);
+        assert_eq!(resp.sources_ok, 3);
+        assert_eq!(resp.served_from_cache, 1);
+        assert_eq!(
+            resp.warnings,
+            vec![
+                "d: driver exploded".to_owned(),
+                "e: deadline exceeded".to_owned(),
+                "extra note".to_owned(),
+            ]
+        );
+        // Outcomes round-trip through serde for the wire protocol.
+        let json = serde_json::to_string(&resp.outcomes).unwrap();
+        let back: Vec<SourceOutcome> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, resp.outcomes);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! modify data sources, prioritised driver registration per source,
 //! network discovery, and the cached tree view with status icons.
 
+use crate::acil::{ClientRequest, ClientResponse, QueryExecutor};
 use crate::cache::CacheController;
 use crate::driver_manager::{FailurePolicy, GridRMDriverManager};
 use crate::health::{HealthMonitor, SourceHealthSnapshot};
@@ -318,6 +319,36 @@ impl AdminInterface {
             ));
         }
         found
+    }
+
+    /// Explicitly poll one administered source ("explicitly poll",
+    /// Fig 9) through *any* query surface — a local [`crate::Gateway`]
+    /// or the grid-wide `GlobalLayer` — and feed the tree-view health
+    /// model from the structured per-source outcomes. Being generic
+    /// over [`QueryExecutor`] is the point: the admin console refreshes
+    /// its tree the same way whether it manages one site or the Grid.
+    pub fn poll_now(
+        &self,
+        executor: &dyn QueryExecutor,
+        url: &str,
+        sql: &str,
+        now_ms: u64,
+    ) -> DbcResult<ClientResponse> {
+        let request = ClientRequest::builder(sql).source(url).build();
+        let result = executor.execute(&request);
+        match &result {
+            Ok(resp) => {
+                for o in &resp.outcomes {
+                    if o.status.is_success() {
+                        self.record_poll_ok(&o.source, now_ms);
+                    } else if let Some(w) = o.warning() {
+                        self.record_poll_error(&o.source, now_ms, &w);
+                    }
+                }
+            }
+            Err(e) => self.record_poll_error(url, now_ms, &e.to_string()),
+        }
+        result
     }
 
     /// Record a successful poll of `url` at `now_ms` (gateway hook).

@@ -221,6 +221,46 @@ mod tests {
     }
 
     #[test]
+    fn ttl_expiry_is_inclusive_at_the_boundary() {
+        // An entry exactly `ttl` old is still served; one millisecond
+        // older is not. Clients pinning `max_age_ms` get the same edge.
+        let c = CacheController::new(5_000);
+        c.store("src", "q", rows(), 1_000);
+        assert!(c.lookup("src", "q", 5_999, None).is_some(), "age ttl-1");
+        assert!(c.lookup("src", "q", 6_000, None).is_some(), "age == ttl");
+        assert!(c.lookup("src", "q", 6_001, None).is_none(), "age ttl+1");
+        assert!(c.lookup("src", "q", 2_000, Some(1_000)).is_some());
+        assert!(c.lookup("src", "q", 2_001, Some(1_000)).is_none());
+        // Zero max-age only accepts a same-instant entry.
+        assert!(c.lookup("src", "q", 1_000, Some(0)).is_some());
+        assert!(c.lookup("src", "q", 1_001, Some(0)).is_none());
+    }
+
+    #[test]
+    fn clock_skew_before_store_time_counts_as_age_zero() {
+        // `age_ms` saturates: a lookup timestamped before the store (the
+        // sim clock never goes backwards, but defensive code shouldn't
+        // underflow) behaves like a fresh entry.
+        let c = CacheController::new(5_000);
+        c.store("src", "q", rows(), 10_000);
+        assert_eq!(c.lookup("src", "q", 9_000, None).unwrap().age_ms(9_000), 0);
+    }
+
+    #[test]
+    fn sweep_keeps_entries_exactly_at_the_age_limit() {
+        let c = CacheController::new(60_000);
+        c.store("a", "q1", rows(), 0);
+        c.store("a", "q2", rows(), 1);
+        // At now=20_000 with a 20_000 limit, q1 is exactly at the limit
+        // (kept) and nothing is older.
+        assert_eq!(c.sweep(20_000, 20_000), 0);
+        // One millisecond later q1 crosses the line; q2 survives.
+        assert_eq!(c.sweep(20_001, 20_000), 1);
+        assert!(c.lookup("a", "q2", 20_001, None).is_some());
+        assert!(c.lookup("a", "q1", 20_001, None).is_none());
+    }
+
+    #[test]
     fn client_max_age_overrides_default() {
         let c = CacheController::new(60_000);
         c.store("src", "q", rows(), 0);

@@ -45,6 +45,19 @@ pub struct GatewayConfig {
     /// Structured event-journal ring capacity.
     #[serde(default = "defaults::journal_capacity")]
     pub journal_capacity: usize,
+    /// Dispatch global fan-out segments concurrently (virtual time
+    /// advances by the slowest segment) instead of one after another
+    /// (virtual time advances by the sum).
+    #[serde(default = "defaults::fanout_parallel")]
+    pub fanout_parallel: bool,
+    /// Default per-request deadline budget, virtual ms, applied when a
+    /// request does not set its own. 0 means no deadline.
+    #[serde(default)]
+    pub default_deadline_ms: u64,
+    /// Coalesce identical concurrent realtime queries into one driver
+    /// execution (single-flight).
+    #[serde(default = "defaults::coalesce_identical")]
+    pub coalesce_identical: bool,
 }
 
 /// Serde defaults so pre-health persisted configs keep loading.
@@ -66,6 +79,12 @@ mod defaults {
     }
     pub fn journal_capacity() -> usize {
         512
+    }
+    pub fn fanout_parallel() -> bool {
+        true
+    }
+    pub fn coalesce_identical() -> bool {
+        true
     }
 }
 
@@ -89,6 +108,9 @@ impl GatewayConfig {
             slow_query_threshold_ms: 0,
             slow_query_log_capacity: defaults::slow_query_log_capacity(),
             journal_capacity: defaults::journal_capacity(),
+            fanout_parallel: defaults::fanout_parallel(),
+            default_deadline_ms: 0,
+            coalesce_identical: defaults::coalesce_identical(),
         }
     }
 }
@@ -132,5 +154,22 @@ mod tests {
         assert_eq!(c.health_up_after, 2);
         assert_eq!(c.slow_query_threshold_ms, 0);
         assert_eq!(c.journal_capacity, 512);
+    }
+
+    #[test]
+    fn pre_fanout_config_loads_with_defaults() {
+        // A config persisted before the parallel fan-out engine existed
+        // must still deserialise, with parallelism and coalescing on
+        // and no default deadline.
+        let json = r#"{
+            "name": "gw-old", "site": "s", "address": "gw.s",
+            "cache_ttl_ms": 10000, "history_retention_ms": 86400000,
+            "event_fast_capacity": 1024, "pool_max_idle": 8,
+            "session_ttl_ms": 1800000, "record_history": true
+        }"#;
+        let c: GatewayConfig = serde_json::from_str(json).unwrap();
+        assert!(c.fanout_parallel);
+        assert!(c.coalesce_identical);
+        assert_eq!(c.default_deadline_ms, 0);
     }
 }

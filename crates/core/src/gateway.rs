@@ -1,7 +1,7 @@
 //! The Gateway facade: wires every Local-layer component together
 //! (Fig 2/Fig 3) and exposes the ACIL entry point.
 
-use crate::acil::{ClientInterface, ClientRequest, ClientResponse};
+use crate::acil::{ClientRequest, ClientResponse, QueryExecutor};
 use crate::admin::AdminInterface;
 use crate::alerts::AlertEngine;
 use crate::cache::CacheController;
@@ -107,6 +107,8 @@ impl Gateway {
             config.record_history,
             Some(telemetry.clone()),
         ));
+        request.set_coalesce_identical(config.coalesce_identical);
+        request.set_default_deadline_ms(config.default_deadline_ms);
         // Retrofit every subsystem's counters onto the shared registry:
         // the stats structs keep their handles, the registry sees the
         // same cells.
@@ -248,16 +250,16 @@ impl Gateway {
     /// Submit a client request (ACIL shortcut).
     pub fn query(&self, request: &ClientRequest) -> DbcResult<ClientResponse> {
         let result = self.request.handle(request);
-        // Feed the admin tree-view health model (Fig 9 icons).
+        // Feed the admin tree-view health model (Fig 9 icons) from the
+        // structured per-source outcomes.
         let now = self.clock.now_millis();
         match &result {
             Ok(resp) => {
-                for s in &request.sources {
-                    if !resp.warnings.iter().any(|w| w.starts_with(s.as_str())) {
-                        self.admin.record_poll_ok(s, now);
-                    } else if let Some(w) = resp.warnings.iter().find(|w| w.starts_with(s.as_str()))
-                    {
-                        self.admin.record_poll_error(s, now, w);
+                for o in &resp.outcomes {
+                    if o.status.is_success() {
+                        self.admin.record_poll_ok(&o.source, now);
+                    } else if let Some(w) = o.warning() {
+                        self.admin.record_poll_error(&o.source, now, &w);
                     }
                 }
             }
@@ -377,8 +379,15 @@ impl Gateway {
     }
 }
 
-impl ClientInterface for Gateway {
-    fn submit(&self, request: &ClientRequest) -> DbcResult<ClientResponse> {
+/// Local-only execution: every source is answered by this gateway's own
+/// drivers. (The blanket impl in [`crate::acil`] makes this a
+/// [`crate::acil::ClientInterface`] too.)
+impl QueryExecutor for Gateway {
+    fn execute(&self, request: &ClientRequest) -> DbcResult<ClientResponse> {
         self.query(request)
+    }
+
+    fn scope(&self) -> String {
+        format!("local:{}", self.config.name)
     }
 }

@@ -41,8 +41,12 @@ pub mod history;
 pub mod request;
 pub mod security;
 pub mod session;
+pub mod singleflight;
 
-pub use acil::{ClientInterface, ClientRequest, ClientResponse, QueryMode};
+pub use acil::{
+    ClientInterface, ClientRequest, ClientResponse, OutcomeStatus, QueryBuilder, QueryExecutor,
+    QueryMode, ResultPolicy, SourceOutcome,
+};
 pub use admin::{render_tree_text, AdminInterface, DataSourceConfig, SourceStatus, TreeNode};
 pub use alerts::{AlertEngine, AlertRule, Comparison};
 pub use cache::{CacheController, CacheSnapshot};
@@ -58,3 +62,4 @@ pub use history::HistoryManager;
 pub use request::{RequestManager, RequestSnapshot};
 pub use security::{CoarseOperation, Decision, Identity, SecurityPolicy};
 pub use session::{SessionManager, SessionToken};
+pub use singleflight::SingleFlight;

@@ -5,7 +5,9 @@
 //! queries that span real-time resource requests and historical (or
 //! cached) data."
 
-use crate::acil::{ClientRequest, ClientResponse, QueryMode};
+use crate::acil::{
+    ClientRequest, ClientResponse, OutcomeStatus, QueryMode, ResultPolicy, SourceOutcome,
+};
 use crate::alerts::AlertEngine;
 use crate::cache::CacheController;
 use crate::connection::ConnectionManager;
@@ -13,6 +15,7 @@ use crate::events::EventManager;
 use crate::history::HistoryManager;
 use crate::security::{CoarseOperation, Decision, Identity, SecurityPolicy};
 use crate::session::SessionManager;
+use crate::singleflight::SingleFlight;
 use gridrm_dbc::{DbcResult, JdbcUrl, RowSet, SqlError};
 use gridrm_simnet::SimClock;
 use gridrm_sqlparse::Statement;
@@ -21,7 +24,7 @@ use gridrm_telemetry::{
 };
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Request-path counters. Shared telemetry cells: also exposable in a
@@ -38,6 +41,12 @@ pub struct RequestStats {
     pub historical: Counter,
     /// Requests denied by a security layer.
     pub denied: Counter,
+    /// Identical concurrent queries that shared another request's
+    /// in-flight execution instead of running their own.
+    pub coalesced_hits: Counter,
+    /// Source queries abandoned because the request's deadline budget
+    /// ran out.
+    pub deadline_exceeded: Counter,
 }
 
 /// Named point-in-time copy of [`RequestStats`].
@@ -53,6 +62,12 @@ pub struct RequestSnapshot {
     pub historical: u64,
     /// Requests denied by a security layer.
     pub denied: u64,
+    /// Queries answered by single-flight coalescing.
+    #[serde(default)]
+    pub coalesced_hits: u64,
+    /// Source queries dropped by deadline budget exhaustion.
+    #[serde(default)]
+    pub deadline_exceeded: u64,
 }
 
 impl RequestStats {
@@ -64,6 +79,8 @@ impl RequestStats {
             cache_served: self.cache_served.get(),
             historical: self.historical.get(),
             denied: self.denied.get(),
+            coalesced_hits: self.coalesced_hits.get(),
+            deadline_exceeded: self.deadline_exceeded.get(),
         }
     }
 
@@ -81,6 +98,8 @@ impl RequestStats {
             ("cache_served", &self.cache_served),
             ("historical", &self.historical),
             ("denied", &self.denied),
+            ("coalesced", &self.coalesced_hits),
+            ("deadline_exceeded", &self.deadline_exceeded),
         ];
         for (path, counter) in series {
             registry.expose_counter(
@@ -108,6 +127,14 @@ pub struct RequestManager {
     /// Optional gateway telemetry hub: request latency histogram and
     /// per-request trace spans.
     telemetry: Option<GatewayTelemetry>,
+    /// Deduplicates identical concurrent realtime fetches (keyed by
+    /// source URL + SQL text).
+    singleflight: SingleFlight<(String, String), DbcResult<RowSet>>,
+    /// Single-flight coalescing on/off (config `coalesce_identical`).
+    coalesce_identical: AtomicBool,
+    /// Deadline budget applied to requests that set none
+    /// (config `default_deadline_ms`; 0 = no deadline).
+    default_deadline_ms: AtomicU64,
 }
 
 impl RequestManager {
@@ -137,12 +164,35 @@ impl RequestManager {
             record_history: AtomicBool::new(record_history),
             stats: RequestStats::default(),
             telemetry,
+            singleflight: SingleFlight::new(),
+            coalesce_identical: AtomicBool::new(true),
+            default_deadline_ms: AtomicU64::new(0),
         }
     }
 
     /// Toggle history recording.
     pub fn set_record_history(&self, on: bool) {
         self.record_history.store(on, Ordering::Relaxed);
+    }
+
+    /// Toggle single-flight coalescing of identical concurrent fetches.
+    pub fn set_coalesce_identical(&self, on: bool) {
+        self.coalesce_identical.store(on, Ordering::Relaxed);
+    }
+
+    /// Set the deadline budget (virtual ms) applied to requests that do
+    /// not carry their own; 0 disables.
+    pub fn set_default_deadline_ms(&self, deadline_ms: u64) {
+        self.default_deadline_ms
+            .store(deadline_ms, Ordering::Relaxed);
+    }
+
+    /// Followers currently parked on an in-flight `(source, sql)`
+    /// fetch. Exists so concurrency tests can synchronise on "the
+    /// second request has actually joined the flight".
+    pub fn inflight_waiters(&self, source: &str, sql: &str) -> usize {
+        self.singleflight
+            .waiters(&(source.to_owned(), sql.to_owned()))
     }
 
     fn resolve_identity(&self, request: &ClientRequest) -> DbcResult<Identity> {
@@ -229,10 +279,12 @@ impl RequestManager {
 
         let mut warnings = Vec::new();
         let mut sources_ok = 0;
+        let mut outcomes = Vec::new();
         match &result {
             Ok(resp) => {
                 warnings.clone_from(&resp.warnings);
                 sources_ok = resp.sources_ok;
+                outcomes.clone_from(&resp.outcomes);
                 span.finish("ok");
             }
             Err(e) => {
@@ -247,6 +299,7 @@ impl RequestManager {
             warnings,
             served_from_cache: 0,
             sources_ok,
+            outcomes,
         })
     }
 
@@ -282,12 +335,17 @@ impl RequestManager {
             }
             self.stats.historical.inc();
             let rows = self.history.query(&request.sql, now as i64)?;
-            return Ok(ClientResponse {
-                sources_ok: usize::from(!rows.is_empty()),
-                rows,
-                warnings: Vec::new(),
-                served_from_cache: 0,
-            });
+            let outcomes = if rows.is_empty() {
+                Vec::new()
+            } else {
+                let elapsed = self.clock.now_millis().saturating_sub(now);
+                vec![SourceOutcome::success(
+                    "historical",
+                    OutcomeStatus::Ok,
+                    elapsed,
+                )]
+            };
+            return Ok(ClientResponse::from_outcomes(rows, outcomes, Vec::new()));
         }
 
         if let Decision::Deny(reason) = policy.check_coarse(&identity, CoarseOperation::Query) {
@@ -300,27 +358,74 @@ impl RequestManager {
             ));
         }
 
+        let deadline = request.deadline_ms.or({
+            match self.default_deadline_ms.load(Ordering::Relaxed) {
+                0 => None,
+                d => Some(d),
+            }
+        });
         let group = sel.table.clone();
         let mut consolidated: Option<RowSet> = None;
-        let mut warnings = Vec::new();
-        let mut served_from_cache = 0usize;
-        let mut sources_ok = 0usize;
+        let mut outcomes: Vec<SourceOutcome> = Vec::new();
+        let mut extra_warnings = Vec::new();
         let mut first_err: Option<SqlError> = None;
 
-        for source in &request.sources {
+        for (idx, source) in request.sources.iter().enumerate() {
+            let src_started = self.clock.now_millis();
+            let elapsed_total = src_started.saturating_sub(now);
+            // Deadline budget: sources we no longer have time for are
+            // reported as timeouts, not silently dropped.
+            if deadline.is_some_and(|d| elapsed_total >= d) {
+                self.stats.deadline_exceeded.inc();
+                outcomes.push(SourceOutcome::failure(
+                    source,
+                    OutcomeStatus::Timeout,
+                    0,
+                    "deadline budget exhausted",
+                ));
+                first_err.get_or_insert(SqlError::Timeout(format!(
+                    "{source}: deadline budget exhausted"
+                )));
+                if request.policy == ResultPolicy::FailFast {
+                    fail_fast_remaining(&mut outcomes, &request.sources[idx + 1..]);
+                    return Err(first_err.expect("set above"));
+                }
+                continue;
+            }
+
             // Fine Grained Security Layer, per resource (§2).
             match policy.check_fine(&identity, source, &group) {
                 Decision::Allow => {}
                 Decision::Deny(reason) => {
                     self.stats.denied.inc();
-                    warnings.push(format!("{source}: {reason}"));
+                    outcomes.push(SourceOutcome::failure(
+                        source,
+                        OutcomeStatus::Denied,
+                        0,
+                        &reason,
+                    ));
                     first_err.get_or_insert(SqlError::Security(reason));
+                    if request.policy == ResultPolicy::FailFast {
+                        fail_fast_remaining(&mut outcomes, &request.sources[idx + 1..]);
+                        return Err(first_err.expect("set above"));
+                    }
                     continue;
                 }
                 Decision::Defer => {
-                    warnings.push(format!(
-                        "{source}: not authoritative here; route via the Global layer"
+                    outcomes.push(SourceOutcome::failure(
+                        source,
+                        OutcomeStatus::Deferred,
+                        0,
+                        "not authoritative here; route via the Global layer",
                     ));
+                    if request.policy == ResultPolicy::FailFast {
+                        fail_fast_remaining(&mut outcomes, &request.sources[idx + 1..]);
+                        return Err(first_err.unwrap_or_else(|| {
+                            SqlError::Unsupported(format!(
+                                "{source}: not authoritative here; route via the Global layer"
+                            ))
+                        }));
+                    }
                     continue;
                 }
             }
@@ -348,12 +453,15 @@ impl RequestManager {
                             span.as_ref().map(|s| s.trace_id()),
                         );
                     }
-                    served_from_cache += 1;
-                    sources_ok += 1;
+                    outcomes.push(SourceOutcome::success(
+                        source,
+                        OutcomeStatus::Cached,
+                        self.clock.now_millis().saturating_sub(src_started),
+                    ));
                     append(
                         &mut consolidated,
                         (*hit.rows).clone(),
-                        &mut warnings,
+                        &mut extra_warnings,
                         source,
                     );
                     continue;
@@ -364,49 +472,111 @@ impl RequestManager {
             let url = match JdbcUrl::parse(source) {
                 Ok(u) => u,
                 Err(e) => {
-                    warnings.push(format!("{source}: {e}"));
+                    outcomes.push(SourceOutcome::failure(
+                        source,
+                        OutcomeStatus::Error,
+                        0,
+                        &e.to_string(),
+                    ));
                     first_err.get_or_insert(e);
+                    if request.policy == ResultPolicy::FailFast {
+                        fail_fast_remaining(&mut outcomes, &request.sources[idx + 1..]);
+                        return Err(first_err.expect("set above"));
+                    }
                     continue;
                 }
             };
-            self.stats.realtime_fetches.inc();
             if let Some(s) = span.as_mut() {
                 s.source(source);
             }
-            match self
-                .connections
-                .execute_traced(&url, &request.sql, span.as_mut())
-            {
+            // Single-flight: identical concurrent fetches share one
+            // driver execution and one cache fill. The first caller in
+            // (the leader) runs the closure; overlapping identical
+            // callers block and share its result.
+            let key = (source.clone(), request.sql.clone());
+            let coalesce = self.coalesce_identical.load(Ordering::Relaxed);
+            let (result, coalesced) = if coalesce {
+                self.singleflight.execute(key, || {
+                    self.stats.realtime_fetches.inc();
+                    self.connections
+                        .execute_traced(&url, &request.sql, span.as_mut())
+                })
+            } else {
+                self.stats.realtime_fetches.inc();
+                (
+                    self.connections
+                        .execute_traced(&url, &request.sql, span.as_mut()),
+                    false,
+                )
+            };
+            if coalesced {
+                self.stats.coalesced_hits.inc();
+                if let Some(s) = span.as_mut() {
+                    s.stage_with("coalesce", "shared");
+                }
+            }
+            let elapsed = self.clock.now_millis().saturating_sub(src_started);
+            match result {
                 Ok(rows) => {
-                    sources_ok += 1;
+                    if coalesced {
+                        // The leader already filled the cache, recorded
+                        // history and scanned alerts for this result —
+                        // repeating any of it would double-count one
+                        // physical fetch.
+                        outcomes.push(SourceOutcome::success(
+                            source,
+                            OutcomeStatus::Coalesced,
+                            elapsed,
+                        ));
+                        append(&mut consolidated, rows, &mut extra_warnings, source);
+                        continue;
+                    }
+                    outcomes.push(SourceOutcome::success(source, OutcomeStatus::Ok, elapsed));
                     let shared = Arc::new(rows.clone());
                     self.cache.store(source, &request.sql, shared, now);
                     if self.record_history.load(Ordering::Relaxed) {
                         if let Err(e) = self.history.record_rows(source, &group, &rows, now as i64)
                         {
-                            warnings.push(format!("{source}: history write failed: {e}"));
+                            extra_warnings.push(format!("{source}: history write failed: {e}"));
                         }
                     }
                     // Threshold alerts over fresh data (Fig 9).
                     for event in self.alerts.scan(source, &group, &rows, now as i64) {
                         self.events.ingest(event);
                     }
-                    append(&mut consolidated, rows, &mut warnings, source);
+                    append(&mut consolidated, rows, &mut extra_warnings, source);
                 }
                 Err(e) => {
-                    warnings.push(format!("{source}: {e}"));
+                    outcomes.push(SourceOutcome::failure(
+                        source,
+                        OutcomeStatus::Error,
+                        elapsed,
+                        &e.to_string(),
+                    ));
                     first_err.get_or_insert(e);
+                    if request.policy == ResultPolicy::FailFast {
+                        fail_fast_remaining(&mut outcomes, &request.sources[idx + 1..]);
+                        return Err(first_err.expect("set above"));
+                    }
                 }
             }
         }
 
+        if let ResultPolicy::Quorum(n) = request.policy {
+            let ok = outcomes.iter().filter(|o| o.status.is_success()).count();
+            if ok < n {
+                return Err(SqlError::Driver(format!(
+                    "quorum not met: {ok}/{n} sources answered"
+                )));
+            }
+        }
+
         match consolidated {
-            Some(rows) => Ok(ClientResponse {
+            Some(rows) => Ok(ClientResponse::from_outcomes(
                 rows,
-                warnings,
-                served_from_cache,
-                sources_ok,
-            }),
+                outcomes,
+                extra_warnings,
+            )),
             None => {
                 Err(first_err
                     .unwrap_or_else(|| SqlError::Driver("no source produced a result".into())))
@@ -417,6 +587,20 @@ impl RequestManager {
     /// Counters.
     pub fn stats(&self) -> &RequestStats {
         &self.stats
+    }
+}
+
+/// Under [`ResultPolicy::FailFast`] the first failure aborts the whole
+/// request; sources never dispatched are still accounted for so the
+/// outcome list covers every requested source.
+fn fail_fast_remaining(outcomes: &mut Vec<SourceOutcome>, remaining: &[String]) {
+    for source in remaining {
+        outcomes.push(SourceOutcome::failure(
+            source,
+            OutcomeStatus::Error,
+            0,
+            "skipped: fail-fast after earlier failure",
+        ));
     }
 }
 

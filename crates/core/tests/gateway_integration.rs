@@ -64,8 +64,9 @@ fn multi_source_consolidation() {
     let resp = w
         .gateway
         .query(
-            &ClientRequest::realtime("", "SELECT Hostname, Load1 FROM Processor")
-                .with_sources(&src_refs),
+            &ClientRequest::builder("SELECT Hostname, Load1 FROM Processor")
+                .sources(&src_refs)
+                .build(),
         )
         .unwrap();
     // "The RequestManager coordinates queries across multiple data sources

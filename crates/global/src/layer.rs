@@ -2,18 +2,17 @@
 //! routing, and inter-gateway event propagation.
 
 use crate::gma::{GmaDirectory, ProducerEntry};
-use crate::protocol::{self, GlobalRequest, GlobalResponse, WireIdentity, WireRows};
-use gridrm_core::acil::{ClientRequest, ClientResponse, QueryMode};
+use crate::protocol::{self, GlobalRequest, GlobalResponse, WireRows};
+use gridrm_core::acil::{ClientRequest, ClientResponse, QueryExecutor, QueryMode};
 use gridrm_core::events::{EventTransmitter, GridRMEvent, Severity};
 use gridrm_core::health::HealthState;
-use gridrm_core::security::Identity;
 use gridrm_core::Gateway;
-use gridrm_dbc::{DbcResult, JdbcUrl, RowSet, SqlError};
+use gridrm_dbc::DbcResult;
 use gridrm_simnet::{Network, Service};
 use gridrm_sqlparse::ast::Statement as SqlStatement;
 use gridrm_telemetry::{Counter, Labels, Registry, SpanBuilder, DEFAULT_LATENCY_BUCKETS_MS};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 
 /// Global-layer counters (experiments E1/E12). Shared telemetry cells:
@@ -29,6 +28,12 @@ pub struct GlobalStats {
     pub events_out: Counter,
     /// Events accepted from peers.
     pub events_in: Counter,
+    /// Fan-out segments that answered successfully.
+    pub segments_ok: Counter,
+    /// Fan-out segments that failed (or were skipped by fail-fast).
+    pub segments_error: Counter,
+    /// Fan-out segments abandoned because the deadline budget ran out.
+    pub segments_deadline_exceeded: Counter,
 }
 
 /// Named point-in-time copy of [`GlobalStats`].
@@ -42,6 +47,12 @@ pub struct GlobalSnapshot {
     pub events_out: u64,
     /// Events accepted from peers.
     pub events_in: u64,
+    /// Fan-out segments that answered successfully.
+    pub segments_ok: u64,
+    /// Fan-out segments that failed (or were skipped by fail-fast).
+    pub segments_error: u64,
+    /// Fan-out segments abandoned because the deadline budget ran out.
+    pub segments_deadline_exceeded: u64,
 }
 
 impl GlobalStats {
@@ -52,6 +63,9 @@ impl GlobalStats {
             remote_queries_in: self.remote_queries_in.get(),
             events_out: self.events_out.get(),
             events_in: self.events_in.get(),
+            segments_ok: self.segments_ok.get(),
+            segments_error: self.segments_error.get(),
+            segments_deadline_exceeded: self.segments_deadline_exceeded.get(),
         }
     }
 
@@ -69,6 +83,19 @@ impl GlobalStats {
                 "gridrm_global_messages_total",
                 "Inter-gateway Global-layer messages by kind and direction",
                 Labels::from_pairs(&[("kind", kind)]),
+                counter,
+            );
+        }
+        let segments = [
+            ("ok", &self.segments_ok),
+            ("error", &self.segments_error),
+            ("deadline_exceeded", &self.segments_deadline_exceeded),
+        ];
+        for (outcome, counter) in segments {
+            registry.expose_counter(
+                "gridrm_global_segments_total",
+                "Global-layer fan-out segments by outcome",
+                Labels::from_pairs(&[("outcome", outcome)]),
                 counter,
             );
         }
@@ -147,11 +174,14 @@ impl SiteHealthRollup {
 
 /// A gateway's Global-layer attachment.
 pub struct GlobalLayer {
-    gateway: Arc<Gateway>,
-    directory: Arc<GmaDirectory>,
-    network: Arc<Network>,
-    gma_address: String,
-    stats: GlobalStats,
+    pub(crate) gateway: Arc<Gateway>,
+    pub(crate) directory: Arc<GmaDirectory>,
+    pub(crate) network: Arc<Network>,
+    pub(crate) gma_address: String,
+    pub(crate) stats: GlobalStats,
+    /// Fan-out dispatch mode: `true` issues segments concurrently in
+    /// virtual time, `false` replays the historical one-at-a-time walk.
+    parallel: AtomicBool,
     this: Weak<GlobalLayer>,
 }
 
@@ -175,6 +205,7 @@ impl GlobalLayer {
             network: network.clone(),
             gma_address: gma_address.clone(),
             stats: GlobalStats::default(),
+            parallel: AtomicBool::new(config.fanout_parallel),
             this: this.clone(),
         });
         let weak = layer.this.clone();
@@ -213,6 +244,18 @@ impl GlobalLayer {
         &self.stats
     }
 
+    /// Whether fan-out currently dispatches segments concurrently in
+    /// virtual time (`true`, the default) or one gateway at a time.
+    pub fn parallel_fanout(&self) -> bool {
+        self.parallel.load(Ordering::Relaxed)
+    }
+
+    /// Switch between concurrent and sequential segment dispatch at
+    /// runtime (the bench A/Bs the two modes on the same grid).
+    pub fn set_parallel_fanout(&self, parallel: bool) {
+        self.parallel.store(parallel, Ordering::Relaxed);
+    }
+
     fn handle_wire(&self, _from: &str, req: &[u8]) -> Vec<u8> {
         let request: GlobalRequest = match protocol::decode(req) {
             Ok(r) => r,
@@ -244,6 +287,7 @@ impl GlobalLayer {
                 sql,
                 max_cache_age_ms,
                 trace,
+                deadline_ms,
                 ..
             } => {
                 self.stats.remote_queries_in.inc();
@@ -253,16 +297,18 @@ impl GlobalLayer {
                     },
                     None => QueryMode::RealTime,
                 };
-                let src_refs: Vec<&str> = sources.iter().map(String::as_str).collect();
-                let request = ClientRequest {
-                    token: None,
-                    identity: Some(identity.to_identity()),
-                    sources: Vec::new(),
-                    sql,
-                    mode,
-                    trace: trace.clone(),
+                let mut builder = ClientRequest::builder(&sql)
+                    .sources(&sources)
+                    .identity(identity.to_identity())
+                    .mode(mode);
+                if let Some(deadline) = deadline_ms {
+                    builder = builder.deadline_ms(deadline);
                 }
-                .with_sources(&src_refs);
+                if let Some(ctx) = trace.clone() {
+                    builder = builder.trace(ctx);
+                }
+                let request = builder.build();
+                let started_ms = self.gateway.telemetry().clock().now_millis();
                 match self.gateway.query(&request) {
                     Ok(resp) => {
                         // Ship the spans this gateway recorded for the
@@ -272,11 +318,19 @@ impl GlobalLayer {
                             Some(ctx) => self.gateway.telemetry().traces().for_trace(&ctx.trace_id),
                             None => Vec::new(),
                         };
+                        let elapsed_ms = self
+                            .gateway
+                            .telemetry()
+                            .clock()
+                            .now_millis()
+                            .saturating_sub(started_ms);
                         GlobalResponse::Rows {
                             rows: WireRows::from_rowset(&resp.rows),
                             warnings: resp.warnings,
                             served_from_cache: resp.served_from_cache,
                             spans,
+                            elapsed_ms,
+                            outcomes: resp.outcomes,
                         }
                     }
                     Err(e) => GlobalResponse::Error {
@@ -305,7 +359,7 @@ impl GlobalLayer {
 
     /// Open the Global-layer span for `request`: a child when the caller
     /// already carries a trace context, a fresh root otherwise.
-    fn open_span(&self, request: &ClientRequest) -> SpanBuilder {
+    pub(crate) fn open_span(&self, request: &ClientRequest) -> SpanBuilder {
         let telemetry = self.gateway.telemetry();
         match &request.trace {
             Some(ctx) => telemetry.span_in(ctx, &request.sql),
@@ -315,7 +369,7 @@ impl GlobalLayer {
 
     /// Observe one fan-out segment's end-to-end latency in the per-site
     /// histogram (virtual milliseconds, `site` label).
-    fn observe_site_latency(&self, site: &str, elapsed_ms: u64) {
+    pub(crate) fn observe_site_latency(&self, site: &str, elapsed_ms: u64) {
         self.gateway
             .telemetry()
             .registry()
@@ -348,10 +402,12 @@ impl GlobalLayer {
         };
         let mut warnings = Vec::new();
         let mut sources_ok = 0;
+        let mut outcomes = Vec::new();
         match self.fan_out(&inner_request) {
             Ok(resp) => {
                 warnings = resp.warnings;
                 sources_ok = resp.sources_ok;
+                outcomes = resp.outcomes;
                 span.finish("ok");
             }
             Err(e) => {
@@ -368,159 +424,8 @@ impl GlobalLayer {
             warnings,
             served_from_cache: 0,
             sources_ok,
+            outcomes,
         })
-    }
-
-    fn fan_out(&self, request: &ClientRequest) -> DbcResult<ClientResponse> {
-        let telemetry = self.gateway.telemetry().clone();
-        let clock = telemetry.clock().clone();
-        let my_site = self.gateway.config().site.clone();
-        let my_name = self.gateway.config().name.clone();
-        let mut local: Vec<String> = Vec::new();
-        let mut remote: BTreeMap<String, (ProducerEntry, Vec<String>)> = BTreeMap::new();
-        for source in &request.sources {
-            let owner = JdbcUrl::parse(source)
-                .ok()
-                .and_then(|u| self.directory.lookup(&u));
-            match owner {
-                Some(entry) if entry.gateway != my_name => {
-                    remote
-                        .entry(entry.gateway.clone())
-                        .or_insert_with(|| (entry, Vec::new()))
-                        .1
-                        .push(source.clone());
-                }
-                // Owned by us, or unknown to the directory (e.g. a local
-                // store URL): handle locally.
-                _ => local.push(source.clone()),
-            }
-        }
-
-        let mut span = self.open_span(request);
-        span.stage_with(
-            "global_query",
-            &format!("{} local, {} remote gateways", local.len(), remote.len()),
-        );
-        let ctx = span.context();
-
-        let identity = request.identity.clone().unwrap_or_else(Identity::anonymous);
-        let mut consolidated: Option<RowSet> = None;
-        let mut warnings: Vec<String> = Vec::new();
-        let mut served_from_cache = 0usize;
-        let mut sources_ok = 0usize;
-        let mut first_err: Option<SqlError> = None;
-
-        if !local.is_empty() || request.mode == QueryMode::Historical {
-            let local_refs: Vec<&str> = local.iter().map(String::as_str).collect();
-            let local_request = ClientRequest {
-                sources: Vec::new(),
-                trace: Some(ctx.clone()),
-                ..request.clone()
-            }
-            .with_sources(&local_refs);
-            let local_start = clock.now_millis();
-            match self.gateway.query(&local_request) {
-                Ok(resp) => {
-                    sources_ok += resp.sources_ok;
-                    served_from_cache += resp.served_from_cache;
-                    warnings.extend(resp.warnings);
-                    merge(&mut consolidated, resp.rows, &mut warnings, "local");
-                }
-                Err(e) => {
-                    warnings.push(format!("local: {e}"));
-                    first_err.get_or_insert(e);
-                }
-            }
-            self.observe_site_latency(&my_site, clock.now_millis() - local_start);
-        }
-
-        let max_cache_age_ms = match request.mode {
-            QueryMode::Cached { max_age_ms } => {
-                Some(max_age_ms.unwrap_or(self.gateway.cache().default_ttl_ms()))
-            }
-            _ => None,
-        };
-        for (gateway_name, (entry, sources)) in remote {
-            self.stats.remote_queries_out.inc();
-            let wire = GlobalRequest::Query {
-                from_gateway: my_name.clone(),
-                identity: WireIdentity::from(&identity),
-                sources,
-                sql: request.sql.clone(),
-                max_cache_age_ms,
-                trace: Some(ctx.clone()),
-            };
-            let remote_start = clock.now_millis();
-            let answer = self
-                .network
-                .request(
-                    &self.gma_address,
-                    &entry.gma_address,
-                    &protocol::encode(&wire),
-                )
-                .map_err(|e| SqlError::Connection(e.to_string()))
-                .and_then(|bytes| protocol::decode::<GlobalResponse>(&bytes));
-            self.observe_site_latency(&entry.site, clock.now_millis() - remote_start);
-            match answer {
-                Ok(GlobalResponse::Rows {
-                    rows,
-                    warnings: remote_warnings,
-                    served_from_cache: remote_cached,
-                    spans,
-                }) => {
-                    // Adopt the remote half of the trace into the local
-                    // ring buffer so EXPLAIN sees one cross-site tree.
-                    for remote_span in spans {
-                        telemetry.import_span(remote_span);
-                    }
-                    match rows.to_rowset() {
-                        Ok(rs) => {
-                            sources_ok += 1;
-                            served_from_cache += remote_cached;
-                            warnings.extend(
-                                remote_warnings
-                                    .into_iter()
-                                    .map(|w| format!("{gateway_name}: {w}")),
-                            );
-                            merge(&mut consolidated, rs, &mut warnings, &gateway_name);
-                        }
-                        Err(e) => {
-                            warnings.push(format!("{gateway_name}: bad wire rows: {e}"));
-                            first_err.get_or_insert(e);
-                        }
-                    }
-                }
-                Ok(GlobalResponse::Error { message }) => {
-                    warnings.push(format!("{gateway_name}: {message}"));
-                    first_err.get_or_insert(SqlError::Driver(message));
-                }
-                Ok(other) => {
-                    warnings.push(format!("{gateway_name}: unexpected response {other:?}"));
-                }
-                Err(e) => {
-                    warnings.push(format!("{gateway_name}: {e}"));
-                    first_err.get_or_insert(e);
-                }
-            }
-        }
-
-        span.finish(if consolidated.is_some() {
-            "ok"
-        } else {
-            "error"
-        });
-        match consolidated {
-            Some(rows) => Ok(ClientResponse {
-                rows,
-                warnings,
-                served_from_cache,
-                sources_ok,
-            }),
-            None => {
-                Err(first_err
-                    .unwrap_or_else(|| SqlError::Driver("no source produced a result".into())))
-            }
-        }
     }
 
     /// Forward one event to every *other* registered gateway. Returns how
@@ -615,14 +520,13 @@ impl GlobalLayer {
     }
 }
 
-fn merge(acc: &mut Option<RowSet>, rows: RowSet, warnings: &mut Vec<String>, origin: &str) {
-    match acc {
-        None => *acc = Some(rows),
-        Some(existing) => {
-            if let Err(e) = existing.append(rows) {
-                warnings.push(format!("{origin}: result shape mismatch: {e}"));
-            }
-        }
+impl QueryExecutor for GlobalLayer {
+    fn execute(&self, request: &ClientRequest) -> DbcResult<ClientResponse> {
+        self.query(request)
+    }
+
+    fn scope(&self) -> String {
+        format!("grid:{}", self.gateway.config().name)
     }
 }
 

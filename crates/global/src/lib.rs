@@ -19,6 +19,7 @@
 //! format, splits client queries into local and remote parts, and
 //! consolidates the answers.
 
+mod engine;
 pub mod gma;
 pub mod layer;
 pub mod protocol;

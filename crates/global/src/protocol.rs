@@ -1,6 +1,7 @@
 //! Wire protocol between gateways (and to the GMA directory): JSON
 //! messages over the simulated network.
 
+use gridrm_core::acil::SourceOutcome;
 use gridrm_core::events::GridRMEvent;
 use gridrm_core::security::Identity;
 use gridrm_dbc::{ColumnMeta, DbcResult, ResultSetMetaData, RowSet, SqlError};
@@ -95,6 +96,11 @@ pub enum GlobalRequest {
         /// the caller's trace (absent from pre-span peers).
         #[serde(default)]
         trace: Option<TraceContext>,
+        /// Remaining deadline budget (virtual ms) the originator grants
+        /// this segment; the receiving gateway enforces it against its
+        /// own sources (absent from pre-deadline peers = unlimited).
+        #[serde(default)]
+        deadline_ms: Option<u64>,
     },
     /// Deliver an event produced at another site.
     Event {
@@ -123,6 +129,14 @@ pub enum GlobalResponse {
         /// (empty from pre-span peers).
         #[serde(default)]
         spans: Vec<TraceRecord>,
+        /// Virtual milliseconds the remote gateway spent answering, so
+        /// the originator can cost the segment (0 from older peers).
+        #[serde(default)]
+        elapsed_ms: u64,
+        /// Structured per-source outcomes from the remote gateway
+        /// (empty from pre-outcome peers; the originator synthesises).
+        #[serde(default)]
+        outcomes: Vec<SourceOutcome>,
     },
     /// Event accepted.
     EventAccepted,
@@ -187,6 +201,7 @@ mod tests {
                 trace_id: "gw-a:1".into(),
                 parent_span_id: "gw-a:1".into(),
             }),
+            deadline_ms: Some(250),
         };
         let bytes = encode(&req);
         let back: GlobalRequest = decode(&bytes).unwrap();
@@ -202,16 +217,32 @@ mod tests {
     #[test]
     fn pre_span_query_json_still_decodes() {
         // A peer built before hierarchical tracing sends no `trace`
-        // field and no `spans` field; both default.
+        // field and no `spans` field; both default. Peers built before
+        // the fan-out engine additionally omit `deadline_ms`,
+        // `elapsed_ms` and `outcomes`.
         let json = br#"{"Query":{"from_gateway":"gw-b","identity":{"name":"alice","roles":[]},"sources":[],"sql":"SELECT 1","max_cache_age_ms":null}}"#;
         match decode::<GlobalRequest>(json).unwrap() {
-            GlobalRequest::Query { trace, .. } => assert!(trace.is_none()),
+            GlobalRequest::Query {
+                trace, deadline_ms, ..
+            } => {
+                assert!(trace.is_none());
+                assert!(deadline_ms.is_none());
+            }
             other => panic!("{other:?}"),
         }
         let json =
             br#"{"Rows":{"rows":{"columns":[],"rows":[]},"warnings":[],"served_from_cache":0}}"#;
         match decode::<GlobalResponse>(json).unwrap() {
-            GlobalResponse::Rows { spans, .. } => assert!(spans.is_empty()),
+            GlobalResponse::Rows {
+                spans,
+                elapsed_ms,
+                outcomes,
+                ..
+            } => {
+                assert!(spans.is_empty());
+                assert_eq!(elapsed_ms, 0);
+                assert!(outcomes.is_empty());
+            }
             other => panic!("{other:?}"),
         }
     }

@@ -97,10 +97,12 @@ fn deferred_source_warns_but_other_sources_still_answer_locally() {
 
     let resp = gw
         .query(
-            &ClientRequest::realtime("", "SELECT Hostname FROM Processor").with_sources(&[
-                "jdbc:snmp://node00.solo/public",
-                "jdbc:snmp://elsewhere.host/public",
-            ]),
+            &ClientRequest::builder("SELECT Hostname FROM Processor")
+                .sources(&[
+                    "jdbc:snmp://node00.solo/public",
+                    "jdbc:snmp://elsewhere.host/public",
+                ])
+                .build(),
         )
         .expect("local source still answers");
     assert_eq!(resp.rows.len(), 1);

@@ -82,11 +82,13 @@ fn mixed_local_and_remote_sources_consolidated() {
     let resp = g.sites[0]
         .layer
         .query(
-            &ClientRequest::realtime("", "SELECT Hostname, Load1 FROM Processor").with_sources(&[
-                "jdbc:snmp://node00.alpha/public",
-                "jdbc:snmp://node00.beta/public",
-                "jdbc:snmp://node00.gamma/public",
-            ]),
+            &ClientRequest::builder("SELECT Hostname, Load1 FROM Processor")
+                .sources(&[
+                    "jdbc:snmp://node00.alpha/public",
+                    "jdbc:snmp://node00.beta/public",
+                    "jdbc:snmp://node00.gamma/public",
+                ])
+                .build(),
         )
         .unwrap();
     assert_eq!(resp.rows.len(), 3);
@@ -235,10 +237,12 @@ fn dead_remote_gateway_degrades_gracefully() {
     let resp = g.sites[0]
         .layer
         .query(
-            &ClientRequest::realtime("", "SELECT Hostname FROM Processor").with_sources(&[
-                "jdbc:snmp://node00.alpha/public",
-                "jdbc:snmp://node00.beta/public",
-            ]),
+            &ClientRequest::builder("SELECT Hostname FROM Processor")
+                .sources(&[
+                    "jdbc:snmp://node00.alpha/public",
+                    "jdbc:snmp://node00.beta/public",
+                ])
+                .build(),
         )
         .unwrap();
     assert_eq!(resp.rows.len(), 1);

@@ -246,6 +246,18 @@ impl Network {
 
     /// Synchronous request/response RPC from `src` to `dst`.
     pub fn request(&self, src: &str, dst: &str, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        self.request_timed(src, dst, payload).map(|(resp, _)| resp)
+    }
+
+    /// Like [`Network::request`], but also returns the sampled
+    /// round-trip latency in microseconds so callers modelling time
+    /// (the global fan-out scheduler) can charge the virtual clock.
+    pub fn request_timed(
+        &self,
+        src: &str,
+        dst: &str,
+        payload: &[u8],
+    ) -> Result<(Vec<u8>, u64), NetError> {
         let key = LinkKey::new(src, dst);
         let stats = self.link_stats(&key);
 
@@ -316,7 +328,7 @@ impl Network {
             .bytes_served
             .fetch_add(response.len() as u64, Ordering::Relaxed);
 
-        Ok(response)
+        Ok((response, rtt_us))
     }
 
     /// Subscribe to pushes addressed to `addr` (e.g. a gateway listening
@@ -465,6 +477,18 @@ mod tests {
         n.request("gw", "a", b"x").unwrap();
         let link = n.stats_for("gw", "a").snapshot();
         assert_eq!(link.latency_us, 20_000); // 10 ms each way
+    }
+
+    #[test]
+    fn request_timed_reports_the_sampled_rtt() {
+        let n = net();
+        n.register("a", echo());
+        n.set_latency("gw", "a", Latency::ms(10, 0));
+        let (resp, rtt_us) = n.request_timed("gw", "a", b"x").unwrap();
+        assert_eq!(resp, b"echo:x");
+        assert_eq!(rtt_us, 20_000); // 10 ms each way
+                                    // The reported sample is exactly what the link stats accrued.
+        assert_eq!(n.stats_for("gw", "a").snapshot().latency_us, rtt_us);
     }
 
     #[test]

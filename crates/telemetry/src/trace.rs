@@ -139,8 +139,22 @@ impl SpanBuilder {
 
     /// Finish with an outcome, commit to the ring buffer, and offer the
     /// completed trace to the slow-query log.
-    pub fn finish(mut self, outcome: &str) {
-        self.record.finished_ms = self.hub.clock.now_millis();
+    pub fn finish(self, outcome: &str) {
+        let now = self.hub.clock.now_millis();
+        self.finish_at(outcome, now);
+    }
+
+    /// Finish with an explicit virtual end time instead of "now".
+    ///
+    /// The parallel fan-out scheduler executes segments one after the
+    /// other in deterministic order but models them as concurrent: each
+    /// segment span ends at `start + virtual_cost`, so overlapping
+    /// segments render with overlapping time offsets in `EXPLAIN
+    /// ANALYZE` even though the clock only advances once, by the
+    /// slowest segment's cost. `finished_ms` is clamped to be no
+    /// earlier than `started_ms`.
+    pub fn finish_at(mut self, outcome: &str, finished_ms: u64) {
+        self.record.finished_ms = finished_ms.max(self.record.started_ms);
         self.record.outcome = outcome.to_string();
         self.hub.slow_queries.offer(&self.record);
         self.hub.traces.push(self.record);

@@ -52,6 +52,8 @@ fn main() {
     }
 
     // 3. Poll everything once so the tree view has health + cache data.
+    //    `poll_now` drives any QueryExecutor and feeds each structured
+    //    outcome straight into the admin health ledger.
     let sources = gateway.admin().list_sources();
     for cfg in &sources {
         let sql = if cfg.url.contains(":nws") {
@@ -61,7 +63,10 @@ fn main() {
         } else {
             "SELECT Hostname, Load1 FROM Processor"
         };
-        let _ = gateway.query(&ClientRequest::realtime(&cfg.url, sql));
+        let now = gateway.clock().now_millis();
+        let _ = gateway
+            .admin()
+            .poll_now(gateway.as_ref(), &cfg.url, sql, now);
     }
     render_tree(&gateway, "tree view after first poll (Fig 9)");
 

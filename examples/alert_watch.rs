@@ -88,14 +88,16 @@ fn main() {
         }
         gateway
             .query(
-                &ClientRequest::realtime("", "SELECT Hostname, Load1 FROM Processor")
-                    .with_sources(&src_refs),
+                &ClientRequest::builder("SELECT Hostname, Load1 FROM Processor")
+                    .sources(&src_refs)
+                    .build(),
             )
             .expect("poll failed");
         gateway
             .query(
-                &ClientRequest::realtime("", "SELECT Hostname, RAMAvailableMB FROM MainMemory")
-                    .with_sources(&src_refs),
+                &ClientRequest::builder("SELECT Hostname, RAMAvailableMB FROM MainMemory")
+                    .sources(&src_refs)
+                    .build(),
             )
             .expect("poll failed");
         agents.pump();

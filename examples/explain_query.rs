@@ -30,10 +30,14 @@ fn main() {
     // west's gateway — and answers with the span tree instead of rows.
     let sql = "EXPLAIN ANALYZE SELECT Hostname, Load1 FROM Processor";
     let resp = layer
-        .query(&ClientRequest::realtime("", sql).with_sources(&[
-            "jdbc:snmp://node00.east/public",
-            "jdbc:snmp://node01.west/public",
-        ]))
+        .query(
+            &ClientRequest::builder(sql)
+                .sources(&[
+                    "jdbc:snmp://node00.east/public",
+                    "jdbc:snmp://node01.west/public",
+                ])
+                .build(),
+        )
         .expect("explain query");
 
     println!("== {sql}");

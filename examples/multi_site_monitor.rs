@@ -2,9 +2,23 @@
 //! directory, and a client that connects to a single gateway yet monitors
 //! the whole Grid — with events propagating between sites.
 //!
+//! The client code below is written against [`QueryExecutor`], so the
+//! same helper works whether it is handed a single local [`Gateway`] or
+//! the whole Grid through a [`GlobalLayer`].
+//!
 //! Run with: `cargo run --example multi_site_monitor`
 
 use gridrm::prelude::*;
+
+/// One consolidated query against *any* executor — a local gateway or
+/// the Global layer; the client cannot tell the difference (§1.1's
+/// "seamless and transparent client access to information").
+fn consolidated_view(executor: &dyn QueryExecutor, sql: &str, sources: &[&str]) -> ClientResponse {
+    let request = ClientRequest::builder(sql).sources(sources).build();
+    executor
+        .execute(&request)
+        .unwrap_or_else(|e| panic!("query via {} failed: {e}", executor.scope()))
+}
 
 fn main() {
     let net = Network::new(SimClock::new(), 2003);
@@ -41,26 +55,33 @@ fn main() {
     }
     println!();
 
-    // The client talks ONLY to the Portsmouth gateway.
-    let (_, _, _, portal) = &sites[0];
-
-    // One consolidated query spanning every site (§1.1: "seamless and
-    // transparent client access to information").
-    let resp = portal
-        .query(
-            &ClientRequest::realtime(
-                "",
-                "SELECT Hostname, NCpu, Load1, Load15 FROM Processor ORDER BY Hostname",
-            )
-            .with_sources(&[
-                "jdbc:ganglia://node00.portsmouth/portsmouth",
-                "jdbc:ganglia://node00.lecce/lecce",
-                "jdbc:ganglia://node00.ncsa/ncsa",
-            ]),
-        )
-        .expect("grid-wide query failed");
+    // The client talks ONLY to the Portsmouth gateway. The same
+    // `consolidated_view` helper serves a purely local question (via the
+    // gateway) and a grid-wide one (via the Global layer).
+    let (_, _, portal_gw, portal) = &sites[0];
     println!(
-        "Grid-wide processor view through gw-portsmouth ({} rows):\n",
+        "local view via {}:\n",
+        QueryExecutor::scope(portal_gw.as_ref())
+    );
+    let resp = consolidated_view(
+        portal_gw.as_ref(),
+        "SELECT Hostname, Load1 FROM Processor",
+        &["jdbc:ganglia://node00.portsmouth/portsmouth"],
+    );
+    println!("{}", resp.rows.to_table_string());
+
+    let resp = consolidated_view(
+        portal.as_ref(),
+        "SELECT Hostname, NCpu, Load1, Load15 FROM Processor ORDER BY Hostname",
+        &[
+            "jdbc:ganglia://node00.portsmouth/portsmouth",
+            "jdbc:ganglia://node00.lecce/lecce",
+            "jdbc:ganglia://node00.ncsa/ncsa",
+        ],
+    );
+    println!(
+        "Grid-wide processor view via {} ({} rows):\n",
+        QueryExecutor::scope(portal.as_ref()),
         resp.rows.len()
     );
     println!("{}", resp.rows.to_table_string());
@@ -70,20 +91,16 @@ fn main() {
     );
 
     // Site-level compute summaries via the SCMS ComputeElement group.
-    let resp = portal
-        .query(
-            &ClientRequest::realtime(
-                "",
-                "SELECT SiteName, TotalCpus, FreeCpus, RunningJobs FROM ComputeElement \
-                 ORDER BY SiteName",
-            )
-            .with_sources(&[
-                "jdbc:scms://node00.portsmouth/",
-                "jdbc:scms://node00.lecce/",
-                "jdbc:scms://node00.ncsa/",
-            ]),
-        )
-        .expect("compute-element query failed");
+    let resp = consolidated_view(
+        portal.as_ref(),
+        "SELECT SiteName, TotalCpus, FreeCpus, RunningJobs FROM ComputeElement \
+         ORDER BY SiteName",
+        &[
+            "jdbc:scms://node00.portsmouth/",
+            "jdbc:scms://node00.lecce/",
+            "jdbc:scms://node00.ncsa/",
+        ],
+    );
     println!("\nPer-site compute summary:\n");
     println!("{}", resp.rows.to_table_string());
 
@@ -113,21 +130,29 @@ fn main() {
         Err(_) => println!("  (no event arrived — unexpected)"),
     }
 
-    // A remote gateway failure degrades gracefully.
+    // A remote gateway failure degrades gracefully: best-effort (the
+    // default policy) keeps the rows that did arrive and reports a
+    // structured outcome per source.
     net.set_down("gw.lecce:gma", true);
-    let resp = portal
-        .query(
-            &ClientRequest::realtime("", "SELECT Hostname FROM Processor").with_sources(&[
-                "jdbc:snmp://node00.portsmouth/public",
-                "jdbc:snmp://node00.lecce/public",
-            ]),
-        )
-        .expect("partial result expected");
+    let resp = consolidated_view(
+        portal.as_ref(),
+        "SELECT Hostname FROM Processor",
+        &[
+            "jdbc:snmp://node00.portsmouth/public",
+            "jdbc:snmp://node00.lecce/public",
+        ],
+    );
     println!(
-        "\nWith gw-lecce down: {} row(s), warnings:",
+        "\nWith gw-lecce down: {} row(s), per-source outcomes:",
         resp.rows.len()
     );
-    for w in &resp.warnings {
-        println!("  ! {w}");
+    for o in &resp.outcomes {
+        println!(
+            "  {:<38} {:<8} {:>4}ms  {}",
+            o.source,
+            o.status.name(),
+            o.elapsed_ms,
+            o.detail.as_deref().unwrap_or("-")
+        );
     }
 }

@@ -55,7 +55,8 @@ pub mod prelude {
     pub use gridrm_core::{
         AlertRule, ClientInterface, ClientRequest, ClientResponse, Comparison, DataSourceConfig,
         FailurePolicy, Gateway, GatewayConfig, GridRMEvent, HealthMonitor, HealthState, Identity,
-        ListenerFilter, QueryMode, SecurityPolicy, Severity, SourceHealthSnapshot,
+        ListenerFilter, OutcomeStatus, QueryBuilder, QueryExecutor, QueryMode, ResultPolicy,
+        SecurityPolicy, Severity, SourceHealthSnapshot, SourceOutcome,
     };
     pub use gridrm_dbc::{JdbcUrl, ResultSet, RowSet, SqlError};
     pub use gridrm_drivers::install_into_gateway;

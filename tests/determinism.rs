@@ -93,6 +93,77 @@ fn identical_seeds_identical_worlds() {
     assert!(a.len() > 1000, "fingerprint suspiciously small");
 }
 
+/// A multi-site Grid with *jittered* WAN latency, queried through the
+/// parallel fan-out engine: rows, per-source outcomes, segment metrics
+/// and the virtual clock itself must all replay byte-identically.
+fn grid_fingerprint(seed: u64) -> String {
+    let net = Network::new(SimClock::new(), seed);
+    let directory = GmaDirectory::new();
+    let mut layers = Vec::new();
+    for (i, name) in ["east", "west", "south"].iter().enumerate() {
+        let site = SiteModel::generate(seed + i as u64, &SiteSpec::new(name, 2, 3));
+        site.advance_to(90_000);
+        deploy_site(&net, site);
+        let gateway = Gateway::new(GatewayConfig::new(&format!("gw-{name}"), name), net.clone());
+        gridrm::drivers::install_into_gateway(&gateway);
+        layers.push(GlobalLayer::attach(gateway, directory.clone()));
+    }
+    let gmas = ["gw.east:gma", "gw.west:gma", "gw.south:gma"];
+    for a in gmas {
+        for b in gmas {
+            if a != b {
+                net.set_latency(a, b, gridrm::simnet::Latency::ms(25, 15));
+            }
+        }
+    }
+    // An unreliable remote endpoint makes RNG-order regressions visible.
+    net.set_drop_rate("gw.east:gma", "gw.south:gma", 0.4);
+
+    let mut out = String::new();
+    for _round in 0..4 {
+        let request =
+            ClientRequest::builder("SELECT Hostname, Load1 FROM Processor ORDER BY Hostname")
+                .sources(&[
+                    "jdbc:snmp://node00.east/public",
+                    "jdbc:snmp://node00.west/public",
+                    "jdbc:snmp://node00.south/public",
+                ])
+                .deadline_ms(500)
+                .build();
+        match layers[0].query(&request) {
+            Ok(resp) => {
+                out.push_str(&resp.rows.to_table_string());
+                for o in &resp.outcomes {
+                    out.push_str(&format!(
+                        "OUT {} {} {}ms {:?}\n",
+                        o.source,
+                        o.status.name(),
+                        o.elapsed_ms,
+                        o.detail
+                    ));
+                }
+            }
+            Err(e) => out.push_str(&format!("ERR {e}\n")),
+        }
+        out.push_str(&format!("t={}\n", layers[0].gateway().clock().now_millis()));
+    }
+    let s = layers[0].stats().snapshot();
+    out.push_str(&format!(
+        "segments ok={} err={} deadline={}\n",
+        s.segments_ok, s.segments_error, s.segments_deadline_exceeded
+    ));
+    out
+}
+
+#[test]
+fn parallel_fanout_with_jittered_wan_is_deterministic() {
+    let a = grid_fingerprint(0xFA0);
+    let b = grid_fingerprint(0xFA0);
+    assert_eq!(a, b, "parallel fan-out broke determinism");
+    assert!(a.contains("t="), "fingerprint should include the clock");
+    assert_ne!(a, grid_fingerprint(0xFA1), "seed should matter");
+}
+
 #[test]
 fn different_seeds_different_worlds() {
     let a = fingerprint(1);

@@ -1,0 +1,384 @@
+//! The parallel fan-out query engine end to end: latency ≈ max(site)
+//! rather than sum(site), deadline budgets, partial-results policies,
+//! overlapping segment spans, the `QueryExecutor` abstraction, and
+//! single-flight coalescing of identical concurrent queries.
+
+use gridrm::dbc::{
+    Connection, DbcResult, Driver, DriverMetaData, JdbcUrl, Properties, ResultSet, RowSet,
+    SqlError, Statement,
+};
+use gridrm::prelude::*;
+use gridrm::simnet::Latency;
+use gridrm::sqlparse::{SqlType, SqlValue};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+const SQL: &str = "SELECT Hostname, Load1 FROM Processor ORDER BY Hostname";
+const ALPHA_URL: &str = "jdbc:snmp://node00.alpha/public";
+const BETA_URL: &str = "jdbc:snmp://node00.beta/public";
+const GAMMA_URL: &str = "jdbc:snmp://node00.gamma/public";
+
+struct Grid {
+    net: Arc<Network>,
+    gateways: Vec<Arc<Gateway>>,
+    layers: Vec<Arc<GlobalLayer>>,
+}
+
+/// Three sites behind one directory, with `wan_ms` of one-way latency on
+/// every inter-gateway link.
+fn grid(wan_ms: u64) -> Grid {
+    let net = Network::new(SimClock::new(), 4242);
+    let directory = GmaDirectory::new();
+    let mut gateways = Vec::new();
+    let mut layers = Vec::new();
+    for (i, name) in ["alpha", "beta", "gamma"].iter().enumerate() {
+        let model = SiteModel::generate(900 + i as u64, &SiteSpec::new(name, 2, 3));
+        model.advance_to(120_000);
+        deploy_site(&net, model);
+        let gateway = Gateway::new(GatewayConfig::new(&format!("gw-{name}"), name), net.clone());
+        install_into_gateway(&gateway);
+        layers.push(GlobalLayer::attach(gateway.clone(), directory.clone()));
+        gateways.push(gateway);
+    }
+    if wan_ms > 0 {
+        for a in ["gw.alpha:gma", "gw.beta:gma", "gw.gamma:gma"] {
+            for b in ["gw.alpha:gma", "gw.beta:gma", "gw.gamma:gma"] {
+                if a != b {
+                    net.set_latency(a, b, Latency::ms(wan_ms, 0));
+                }
+            }
+        }
+    }
+    Grid {
+        net,
+        gateways,
+        layers,
+    }
+}
+
+fn all_sources_request() -> ClientRequest {
+    ClientRequest::builder(SQL)
+        .sources(&[ALPHA_URL, BETA_URL, GAMMA_URL])
+        .build()
+}
+
+#[test]
+fn parallel_fanout_costs_the_slowest_segment_not_the_sum() {
+    let g = grid(40); // 80 ms RTT per remote gateway
+    let clock = g.gateways[0].clock();
+
+    let before = clock.now_millis();
+    let resp = g.layers[0].query(&all_sources_request()).unwrap();
+    let parallel_ms = clock.now_millis() - before;
+    assert_eq!(resp.rows.len(), 3);
+    assert_eq!(resp.sources_ok, 3);
+    // Two remote segments of 80 ms each ran side by side: the query cost
+    // one RTT, not two.
+    assert_eq!(parallel_ms, 80, "parallel fan-out should cost max(site)");
+
+    g.layers[0].set_parallel_fanout(false);
+    let before = clock.now_millis();
+    let resp = g.layers[0].query(&all_sources_request()).unwrap();
+    let sequential_ms = clock.now_millis() - before;
+    assert_eq!(resp.rows.len(), 3);
+    assert_eq!(
+        sequential_ms, 160,
+        "sequential fan-out should cost sum(site)"
+    );
+}
+
+#[test]
+fn deadline_budget_drops_segments_that_answer_too_late() {
+    let g = grid(40); // each remote segment costs 80 ms
+    let request = ClientRequest::builder(SQL)
+        .sources(&[ALPHA_URL, BETA_URL, GAMMA_URL])
+        .deadline_ms(50)
+        .build();
+    let resp = g.layers[0].query(&request).unwrap();
+    // Best effort: the local row survives, the remote answers landed
+    // after the 50 ms budget and were dropped.
+    assert_eq!(resp.rows.len(), 1);
+    assert_eq!(resp.sources_ok, 1);
+    let timeouts: Vec<&SourceOutcome> = resp
+        .outcomes
+        .iter()
+        .filter(|o| o.status == OutcomeStatus::Timeout)
+        .collect();
+    assert_eq!(timeouts.len(), 2, "outcomes: {:?}", resp.outcomes);
+    for t in &timeouts {
+        assert_eq!(t.elapsed_ms, 50, "caller stops waiting at the budget");
+    }
+    assert_eq!(g.layers[0].stats().segments_deadline_exceeded.get(), 2);
+    // A roomier budget lets everything through.
+    let request = ClientRequest::builder(SQL)
+        .sources(&[ALPHA_URL, BETA_URL, GAMMA_URL])
+        .deadline_ms(100)
+        .build();
+    assert_eq!(g.layers[0].query(&request).unwrap().sources_ok, 3);
+}
+
+#[test]
+fn fail_fast_aborts_remaining_segments() {
+    let g = grid(0);
+    g.net.set_down("gw.beta:gma", true);
+    let request = ClientRequest::builder(SQL)
+        .sources(&[ALPHA_URL, BETA_URL, GAMMA_URL])
+        .policy(ResultPolicy::FailFast)
+        .build();
+    let err = g.layers[0].query(&request).expect_err("fail-fast errors");
+    assert!(err.to_string().contains("down"), "{err}");
+    // Segments run local-first then by gateway name: beta failed, so
+    // gamma was never dispatched.
+    assert_eq!(
+        g.net
+            .stats_for("gw.alpha:gma", "gw.gamma:gma")
+            .snapshot()
+            .requests,
+        0,
+        "fail-fast should skip the gamma segment"
+    );
+    // Best effort on the same grid still answers with what it can get.
+    let resp = g.layers[0].query(&all_sources_request()).unwrap();
+    assert_eq!(resp.rows.len(), 2);
+    assert_eq!(resp.sources_ok, 2);
+}
+
+#[test]
+fn quorum_policy_requires_enough_sources() {
+    let g = grid(0);
+    g.net.set_down("gw.beta:gma", true);
+    let quorum = |n| {
+        g.layers[0].query(
+            &ClientRequest::builder(SQL)
+                .sources(&[ALPHA_URL, BETA_URL, GAMMA_URL])
+                .policy(ResultPolicy::Quorum(n))
+                .build(),
+        )
+    };
+    let err = quorum(3).expect_err("beta is down, quorum of 3 fails");
+    assert_eq!(
+        err.to_string(),
+        "driver error: quorum not met: 2/3 sources answered"
+    );
+    let resp = quorum(2).expect("two of three sources suffice");
+    assert_eq!(resp.sources_ok, 2);
+}
+
+#[test]
+fn concurrent_segment_spans_overlap_in_explain_analyze() {
+    let g = grid(40);
+    // Both sources are remote from alpha: two 80 ms segments.
+    let resp = g.layers[0]
+        .query(
+            &ClientRequest::builder(&format!("EXPLAIN ANALYZE {SQL}"))
+                .sources(&[BETA_URL, GAMMA_URL])
+                .build(),
+        )
+        .unwrap();
+    let meta = resp.rows.meta();
+    let col = |name: &str| {
+        meta.columns()
+            .iter()
+            .position(|c| c.name == name)
+            .unwrap_or_else(|| panic!("no column {name}"))
+    };
+    let (req_col, start_col, finish_col) = (col("request"), col("started_ms"), col("finished_ms"));
+    let ms = |v: &SqlValue| match v {
+        SqlValue::Int(n) => *n,
+        other => panic!("expected integer timestamp, got {other:?}"),
+    };
+    let segments: Vec<(i64, i64)> = resp
+        .rows
+        .rows()
+        .iter()
+        .filter(|r| r[req_col].to_string().starts_with("segment:"))
+        .map(|r| (ms(&r[start_col]), ms(&r[finish_col])))
+        .collect();
+    assert_eq!(segments.len(), 2, "one span per remote segment");
+    let (a, b) = (segments[0], segments[1]);
+    assert!(a.1 > a.0 && b.1 > b.0, "segments took time: {a:?} {b:?}");
+    assert!(
+        a.0 < b.1 && b.0 < a.1,
+        "remote segments should overlap in time: {a:?} vs {b:?}"
+    );
+}
+
+#[test]
+fn query_executor_unifies_local_and_grid_clients() {
+    // The same client helper runs against a single gateway or the whole
+    // Grid; only the scope string tells them apart.
+    fn hosts_via(executor: &dyn QueryExecutor, sources: &[&str]) -> usize {
+        let request = ClientRequest::builder(SQL).sources(sources).build();
+        executor.execute(&request).expect("query failed").rows.len()
+    }
+
+    let g = grid(0);
+    let gateway: &Gateway = &g.gateways[0];
+    let layer: &GlobalLayer = &g.layers[0];
+    assert_eq!(QueryExecutor::scope(gateway), "local:gw-alpha");
+    assert_eq!(QueryExecutor::scope(layer), "grid:gw-alpha");
+    assert_eq!(hosts_via(gateway, &[ALPHA_URL]), 1);
+    assert_eq!(hosts_via(layer, &[ALPHA_URL, BETA_URL, GAMMA_URL]), 3);
+}
+
+// ---------------------------------------------------------------------
+// Single-flight coalescing: a driver that blocks until released, so two
+// OS threads can genuinely overlap on one gateway.
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn wait(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+    }
+    fn release(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+struct BlockingDriver {
+    gate: Arc<Gate>,
+    executions: Arc<AtomicUsize>,
+}
+
+struct BlockingConnection {
+    url: JdbcUrl,
+    gate: Arc<Gate>,
+    executions: Arc<AtomicUsize>,
+    closed: bool,
+}
+
+struct BlockingStatement {
+    gate: Arc<Gate>,
+    executions: Arc<AtomicUsize>,
+}
+
+impl Driver for BlockingDriver {
+    fn meta(&self) -> DriverMetaData {
+        DriverMetaData {
+            name: "jdbc-block".to_owned(),
+            subprotocol: "block".to_owned(),
+            version: (0, 1),
+            description: "test driver that blocks until released".to_owned(),
+        }
+    }
+    fn accepts_url(&self, url: &JdbcUrl) -> bool {
+        url.subprotocol == "block"
+    }
+    fn connect(&self, url: &JdbcUrl, _props: &Properties) -> DbcResult<Box<dyn Connection>> {
+        Ok(Box::new(BlockingConnection {
+            url: url.clone(),
+            gate: self.gate.clone(),
+            executions: self.executions.clone(),
+            closed: false,
+        }))
+    }
+}
+
+impl Connection for BlockingConnection {
+    fn create_statement(&mut self) -> DbcResult<Box<dyn Statement>> {
+        Ok(Box::new(BlockingStatement {
+            gate: self.gate.clone(),
+            executions: self.executions.clone(),
+        }))
+    }
+    fn url(&self) -> &JdbcUrl {
+        &self.url
+    }
+    fn is_closed(&self) -> bool {
+        self.closed
+    }
+    fn close(&mut self) -> DbcResult<()> {
+        self.closed = true;
+        Ok(())
+    }
+}
+
+impl Statement for BlockingStatement {
+    fn execute_query(&mut self, _sql: &str) -> DbcResult<Box<dyn ResultSet>> {
+        self.executions.fetch_add(1, Ordering::SeqCst);
+        self.gate.wait();
+        let rows = RowSet::new(
+            gridrm::dbc::ResultSetMetaData::new(vec![
+                gridrm::dbc::ColumnMeta::new("Hostname", SqlType::Str),
+                gridrm::dbc::ColumnMeta::new("Load1", SqlType::Float),
+            ]),
+            vec![vec![
+                SqlValue::Str("slow-node".into()),
+                SqlValue::Float(0.7),
+            ]],
+        )
+        .map_err(|e| SqlError::Driver(e.to_string()))?;
+        Ok(Box::new(rows))
+    }
+}
+
+#[test]
+fn identical_concurrent_queries_coalesce_into_one_fetch() {
+    let net = Network::new(SimClock::new(), 7);
+    let gateway = Gateway::new(GatewayConfig::new("gw-co", "co"), net);
+    let gate = Arc::new(Gate::default());
+    let executions = Arc::new(AtomicUsize::new(0));
+    gateway.driver_manager().register(Arc::new(BlockingDriver {
+        gate: gate.clone(),
+        executions: executions.clone(),
+    }));
+
+    let source = "jdbc:block://node00.co/x";
+    let sql = "SELECT Hostname, Load1 FROM Processor";
+    let run = |gw: Arc<Gateway>| {
+        thread::spawn(move || {
+            gw.query(&ClientRequest::builder(sql).source(source).build())
+                .expect("query failed")
+        })
+    };
+
+    let leader = run(gateway.clone());
+    // Wait until the leader is inside the (blocked) driver call.
+    while executions.load(Ordering::SeqCst) == 0 {
+        thread::yield_now();
+    }
+    let follower = run(gateway.clone());
+    // Wait until the follower has joined the in-flight query.
+    while gateway.request_manager().inflight_waiters(source, sql) == 0 {
+        thread::yield_now();
+    }
+    gate.release();
+    let lead_resp = leader.join().unwrap();
+    let follow_resp = follower.join().unwrap();
+
+    assert_eq!(lead_resp.rows.len(), 1);
+    assert_eq!(follow_resp.rows.len(), 1);
+    assert_eq!(
+        executions.load(Ordering::SeqCst),
+        1,
+        "one physical fetch for two identical queries"
+    );
+    let snap = gateway.request_manager().stats().snapshot();
+    assert_eq!(snap.realtime_fetches, 1);
+    assert_eq!(snap.coalesced_hits, 1);
+    // Exactly one of the two responses carries the coalesced marker.
+    let statuses: Vec<OutcomeStatus> = [&lead_resp, &follow_resp]
+        .iter()
+        .flat_map(|r| r.outcomes.iter().map(|o| o.status))
+        .collect();
+    assert_eq!(
+        statuses
+            .iter()
+            .filter(|s| **s == OutcomeStatus::Coalesced)
+            .count(),
+        1,
+        "statuses: {statuses:?}"
+    );
+    assert!(statuses.contains(&OutcomeStatus::Ok));
+}

@@ -38,7 +38,11 @@ fn one_trace_spans_the_global_fanout() {
     let g = grid();
     let (gateway, layer) = &g[0];
     layer
-        .query(&ClientRequest::realtime("", SQL).with_sources(&[ALPHA_URL, BETA_URL]))
+        .query(
+            &ClientRequest::builder(SQL)
+                .sources(&[ALPHA_URL, BETA_URL])
+                .build(),
+        )
         .unwrap();
 
     // The fan-out root lives in alpha's buffer with no parent.
@@ -92,8 +96,9 @@ fn explain_analyze_reconstructs_the_span_tree() {
     let (gateway, layer) = &g[0];
     let resp = layer
         .query(
-            &ClientRequest::realtime("", &format!("EXPLAIN ANALYZE {SQL}"))
-                .with_sources(&[ALPHA_URL, BETA_URL]),
+            &ClientRequest::builder(&format!("EXPLAIN ANALYZE {SQL}"))
+                .sources(&[ALPHA_URL, BETA_URL])
+                .build(),
         )
         .unwrap();
     assert!(resp.warnings.is_empty(), "warnings: {:?}", resp.warnings);
