@@ -72,6 +72,7 @@ impl Gateway {
         ));
         let cache = Arc::new(CacheController::new(config.cache_ttl_ms));
         let store = Store::new();
+        // xlint: allow(hot-path-panic) -- startup-only: runs once in new(), before any request is served
         let history = HistoryManager::new(store).expect("fresh store accepts schema");
         let events = EventManager::new(config.event_fast_capacity);
         let sessions = Arc::new(SessionManager::new(config.session_ttl_ms));
@@ -134,7 +135,7 @@ impl Gateway {
         );
         let push_rx = network
             .subscribe(&config.address)
-            .expect("gateway endpoint just registered");
+            .expect("gateway endpoint just registered"); // xlint: allow(hot-path-panic) -- startup-only: register() on this address is two statements up
         Arc::new(Gateway {
             config,
             clock,

@@ -387,8 +387,11 @@ impl RequestManager {
                     "{source}: deadline budget exhausted"
                 )));
                 if request.policy == ResultPolicy::FailFast {
-                    fail_fast_remaining(&mut outcomes, &request.sources[idx + 1..]);
-                    return Err(first_err.expect("set above"));
+                    fail_fast_remaining(
+                        &mut outcomes,
+                        request.sources.get(idx + 1..).unwrap_or_default(),
+                    );
+                    return Err(take_first_err(&mut first_err));
                 }
                 continue;
             }
@@ -406,8 +409,11 @@ impl RequestManager {
                     ));
                     first_err.get_or_insert(SqlError::Security(reason));
                     if request.policy == ResultPolicy::FailFast {
-                        fail_fast_remaining(&mut outcomes, &request.sources[idx + 1..]);
-                        return Err(first_err.expect("set above"));
+                        fail_fast_remaining(
+                            &mut outcomes,
+                            request.sources.get(idx + 1..).unwrap_or_default(),
+                        );
+                        return Err(take_first_err(&mut first_err));
                     }
                     continue;
                 }
@@ -419,7 +425,10 @@ impl RequestManager {
                         "not authoritative here; route via the Global layer",
                     ));
                     if request.policy == ResultPolicy::FailFast {
-                        fail_fast_remaining(&mut outcomes, &request.sources[idx + 1..]);
+                        fail_fast_remaining(
+                            &mut outcomes,
+                            request.sources.get(idx + 1..).unwrap_or_default(),
+                        );
                         return Err(first_err.unwrap_or_else(|| {
                             SqlError::Unsupported(format!(
                                 "{source}: not authoritative here; route via the Global layer"
@@ -480,8 +489,11 @@ impl RequestManager {
                     ));
                     first_err.get_or_insert(e);
                     if request.policy == ResultPolicy::FailFast {
-                        fail_fast_remaining(&mut outcomes, &request.sources[idx + 1..]);
-                        return Err(first_err.expect("set above"));
+                        fail_fast_remaining(
+                            &mut outcomes,
+                            request.sources.get(idx + 1..).unwrap_or_default(),
+                        );
+                        return Err(take_first_err(&mut first_err));
                     }
                     continue;
                 }
@@ -555,8 +567,11 @@ impl RequestManager {
                     ));
                     first_err.get_or_insert(e);
                     if request.policy == ResultPolicy::FailFast {
-                        fail_fast_remaining(&mut outcomes, &request.sources[idx + 1..]);
-                        return Err(first_err.expect("set above"));
+                        fail_fast_remaining(
+                            &mut outcomes,
+                            request.sources.get(idx + 1..).unwrap_or_default(),
+                        );
+                        return Err(take_first_err(&mut first_err));
                     }
                 }
             }
@@ -593,6 +608,16 @@ impl RequestManager {
 /// Under [`ResultPolicy::FailFast`] the first failure aborts the whole
 /// request; sources never dispatched are still accounted for so the
 /// outcome list covers every requested source.
+/// The error a fail-fast return surfaces: the first recorded failure.
+/// Every call site records one just before bailing, so the `Internal`
+/// fallback is defensive — it degrades a would-be panic into an error
+/// response instead (see docs/static-analysis.md, rule hot-path-panic).
+fn take_first_err(first_err: &mut Option<SqlError>) -> SqlError {
+    first_err.take().unwrap_or_else(|| {
+        SqlError::Internal("fail-fast tripped with no recorded failure".to_owned())
+    })
+}
+
 fn fail_fast_remaining(outcomes: &mut Vec<SourceOutcome>, remaining: &[String]) {
     for source in remaining {
         outcomes.push(SourceOutcome::failure(

@@ -18,7 +18,7 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 enum SlotState<V> {
     Pending,
@@ -62,7 +62,7 @@ impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
     /// shared the leader's published result.
     pub fn execute(&self, key: K, f: impl FnOnce() -> V) -> (V, bool) {
         let (slot, leader) = {
-            let mut map = self.inflight.lock().expect("singleflight poisoned");
+            let mut map = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
             match map.get(&key) {
                 Some(slot) => (Arc::clone(slot), false),
                 None => {
@@ -76,28 +76,32 @@ impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
         if leader {
             let value = f();
             {
-                let mut state = slot.state.lock().expect("singleflight poisoned");
+                let mut state = slot.state.lock().unwrap_or_else(PoisonError::into_inner);
                 *state = SlotState::Done(value.clone());
             }
             // Retire the key before waking followers: queries arriving
             // from here on start a fresh flight.
             self.inflight
                 .lock()
-                .expect("singleflight poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .remove(&key);
             slot.ready.notify_all();
             (value, false)
         } else {
-            *slot.waiters.lock().expect("singleflight poisoned") += 1;
-            let mut state = slot.state.lock().expect("singleflight poisoned");
-            while matches!(*state, SlotState::Pending) {
-                state = slot.ready.wait(state).expect("singleflight poisoned");
-            }
-            *slot.waiters.lock().expect("singleflight poisoned") -= 1;
-            match &*state {
-                SlotState::Done(v) => (v.clone(), true),
-                SlotState::Pending => unreachable!("woken before publish"),
-            }
+            *slot.waiters.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+            let mut state = slot.state.lock().unwrap_or_else(PoisonError::into_inner);
+            let value = loop {
+                if let SlotState::Done(v) = &*state {
+                    break v.clone();
+                }
+                state = slot
+                    .ready
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            };
+            drop(state);
+            *slot.waiters.lock().unwrap_or_else(PoisonError::into_inner) -= 1;
+            (value, true)
         }
     }
 
@@ -108,11 +112,11 @@ impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
         let slot = {
             self.inflight
                 .lock()
-                .expect("singleflight poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .get(key)
                 .map(Arc::clone)
         };
-        slot.map(|s| *s.waiters.lock().expect("singleflight poisoned"))
+        slot.map(|s| *s.waiters.lock().unwrap_or_else(PoisonError::into_inner))
             .unwrap_or(0)
     }
 
@@ -120,7 +124,7 @@ impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
     pub fn in_flight(&self, key: &K) -> bool {
         self.inflight
             .lock()
-            .expect("singleflight poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .contains_key(key)
     }
 }

@@ -5,6 +5,10 @@ use std::fmt;
 /// Result alias used across the connectivity layer.
 pub type DbcResult<T> = Result<T, SqlError>;
 
+/// Gateway-wide alias: layers above dbc (core, global) speak of
+/// `GridRmError`, which today is the same enum the drivers throw.
+pub type GridRmError = SqlError;
+
 /// Errors surfaced by drivers, connections, statements and result sets.
 ///
 /// `NotImplemented` deserves a note: the paper's incremental driver
@@ -42,6 +46,11 @@ pub enum SqlError {
     Unsupported(String),
     /// Any other driver-specific failure.
     Driver(String),
+    /// A gateway-internal invariant failed. Never the data source's
+    /// fault: seeing one of these means a GridRM bug, not a Grid fault.
+    /// Introduced so the hot request path can degrade instead of
+    /// panicking (see `docs/static-analysis.md`, rule `hot-path-panic`).
+    Internal(String),
 }
 
 impl SqlError {
@@ -72,6 +81,7 @@ impl fmt::Display for SqlError {
             SqlError::Timeout(m) => write!(f, "timed out: {m}"),
             SqlError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
             SqlError::Driver(m) => write!(f, "driver error: {m}"),
+            SqlError::Internal(m) => write!(f, "internal gateway error: {m}"),
         }
     }
 }

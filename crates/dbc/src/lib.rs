@@ -41,7 +41,7 @@ pub mod url;
 
 pub use connection::{Connection, ConnectionMetadata};
 pub use driver::{Driver, DriverMetaData, Properties};
-pub use error::{DbcResult, SqlError};
+pub use error::{DbcResult, GridRmError, SqlError};
 pub use manager::{DriverManager, SelectionStats};
 pub use result_set::{ColumnMeta, ResultSet, ResultSetMetaData, RowSet};
 pub use statement::Statement;

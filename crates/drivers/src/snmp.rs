@@ -349,6 +349,7 @@ impl Statement for SnmpStatement {
             if keys.contains(&sysname_key) {
                 let (_, bindings) = self.exchange(Pdu::Get {
                     request_id: 0,
+                    // xlint: allow(hot-path-panic) -- oids::SYS_NAME is a compile-time constant; covered by the oid unit tests
                     oids: vec![oids::SYS_NAME.parse().expect("static OID")],
                 })?;
                 for (oid, value) in bindings {
@@ -377,6 +378,7 @@ impl Statement for SnmpStatement {
             if wants_avail {
                 for extra in [oids::HR_STORAGE_SIZE, oids::HR_STORAGE_USED] {
                     if !keys.iter().any(|k| k == extra) {
+                        // xlint: allow(hot-path-panic) -- both HR_STORAGE_* inputs are compile-time constant OIDs
                         let prefix: Oid = extra.parse().expect("static OID");
                         for (idx, value) in self.walk(&prefix)? {
                             per_index

@@ -1,0 +1,118 @@
+//! The ratcheted baseline: existing violations are grandfathered in a
+//! committed `xlint-baseline.json` as per-(rule, file) counts; a check
+//! run fails when any bucket exceeds its grandfathered count, and
+//! `--update-baseline` rewrites the file (which code review then keeps
+//! monotonically shrinking).
+//!
+//! Counts — not line numbers — key the ratchet, so unrelated edits that
+//! shift lines do not invalidate the baseline.
+
+use crate::Finding;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The committed baseline document.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Format version.
+    pub version: u32,
+    /// Grandfathered buckets, sorted by (rule, file).
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// Grandfathered findings for one (rule, file) bucket.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BaselineEntry {
+    /// Rule id.
+    pub rule: String,
+    /// Repo-relative file.
+    pub file: String,
+    /// Number of grandfathered findings.
+    pub count: usize,
+}
+
+impl Baseline {
+    /// Build a baseline from a fresh scan.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut buckets: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for f in findings {
+            *buckets.entry((f.rule.clone(), f.file.clone())).or_insert(0) += 1;
+        }
+        Baseline {
+            version: 1,
+            entries: buckets
+                .into_iter()
+                .map(|((rule, file), count)| BaselineEntry { rule, file, count })
+                .collect(),
+        }
+    }
+
+    /// Parse the committed JSON.
+    pub fn from_json(json: &str) -> Result<Baseline, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Render as committed JSON (stable formatting).
+    pub fn to_json(&self) -> String {
+        let mut out = serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_owned());
+        out.push('\n');
+        out
+    }
+
+    fn count(&self, rule: &str, file: &str) -> usize {
+        self.entries
+            .iter()
+            .find(|e| e.rule == rule && e.file == file)
+            .map(|e| e.count)
+            .unwrap_or(0)
+    }
+}
+
+/// Result of diffing a fresh scan against the baseline.
+#[derive(Debug, Default)]
+pub struct Diff {
+    /// Buckets over their grandfathered count, with every current
+    /// finding in the bucket (the analyzer cannot know *which* are new).
+    pub regressions: Vec<(BaselineEntry, Vec<Finding>)>,
+    /// Buckets now below their grandfathered count: ratchet these down
+    /// with `--update-baseline`.
+    pub improvements: Vec<(BaselineEntry, usize)>,
+}
+
+impl Diff {
+    /// True when nothing exceeds the baseline.
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compare a fresh scan against the committed baseline.
+pub fn diff(baseline: &Baseline, findings: &[Finding]) -> Diff {
+    let fresh = Baseline::from_findings(findings);
+    let mut out = Diff::default();
+    for entry in &fresh.entries {
+        let grandfathered = baseline.count(&entry.rule, &entry.file);
+        if entry.count > grandfathered {
+            let bucket: Vec<Finding> = findings
+                .iter()
+                .filter(|f| f.rule == entry.rule && f.file == entry.file)
+                .cloned()
+                .collect();
+            out.regressions.push((
+                BaselineEntry {
+                    rule: entry.rule.clone(),
+                    file: entry.file.clone(),
+                    count: grandfathered,
+                },
+                bucket,
+            ));
+        }
+    }
+    for entry in &baseline.entries {
+        let now = fresh.count(&entry.rule, &entry.file);
+        if now < entry.count {
+            out.improvements.push((entry.clone(), now));
+        }
+    }
+    out
+}

@@ -1,0 +1,193 @@
+//! The `gridrm-lint` binary: scan the workspace, diff against the
+//! committed baseline, report.
+//!
+//! ```text
+//! gridrm-lint [--check] [--json] [--list] [--update-baseline]
+//!             [--root <dir>] [--baseline <file>]
+//! ```
+//!
+//! * default / `--check` — fail (exit 1) on any finding not
+//!   grandfathered in the baseline; point out ratchet opportunities.
+//! * `--list` — print every current finding (grandfathered included).
+//! * `--json` — machine-readable findings on stdout.
+//! * `--update-baseline` — rewrite the baseline from a fresh scan.
+
+use gridrm_xlint::baseline::{diff, Baseline};
+use gridrm_xlint::{scan_workspace, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    baseline: PathBuf,
+    json: bool,
+    list: bool,
+    update: bool,
+}
+
+const USAGE: &str = "gridrm-lint [--check] [--json] [--list] [--update-baseline] \
+                     [--root <dir>] [--baseline <file>]";
+
+/// `Ok(None)` means `--help` was asked for: print [`USAGE`] and stop.
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut json = false;
+    let mut list = false;
+    let mut update = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => {}
+            "--json" => json = true,
+            "--list" => list = true,
+            "--update-baseline" => update = true,
+            "--root" => root = Some(PathBuf::from(it.next().ok_or("--root needs a value")?)),
+            "--baseline" => {
+                baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a value")?))
+            }
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let root = root.unwrap_or_else(find_workspace_root);
+    let baseline = baseline.unwrap_or_else(|| root.join("xlint-baseline.json"));
+    Ok(Some(Args {
+        root,
+        baseline,
+        json,
+        list,
+        update,
+    }))
+}
+
+/// Walk upward from the current directory to the workspace root (the
+/// directory holding `xlint-baseline.json` or a `[workspace]` manifest).
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if dir.join("xlint-baseline.json").exists()
+            || std::fs::read_to_string(&manifest)
+                .map(|t| t.contains("[workspace]"))
+                .unwrap_or(false)
+        {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(a)) => a,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("gridrm-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let config = match Config::for_workspace(&args.root) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("gridrm-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = match scan_workspace(&args.root, &config) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("gridrm-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.update {
+        let fresh = Baseline::from_findings(&findings);
+        if let Err(e) = std::fs::write(&args.baseline, fresh.to_json()) {
+            eprintln!("gridrm-lint: cannot write {}: {e}", args.baseline.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "gridrm-lint: baseline updated — {} finding(s) in {} bucket(s)",
+            findings.len(),
+            fresh.entries.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if args.json {
+        match serde_json::to_string_pretty(&findings) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("gridrm-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        if args.list {
+            return ExitCode::SUCCESS;
+        }
+    }
+
+    if args.list {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!("gridrm-lint: {} finding(s) total", findings.len());
+        return ExitCode::SUCCESS;
+    }
+
+    let committed = match std::fs::read_to_string(&args.baseline) {
+        Ok(text) => match Baseline::from_json(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!(
+                    "gridrm-lint: {} is not a valid baseline: {e}",
+                    args.baseline.display()
+                );
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Baseline::default(), // no baseline: everything is new
+    };
+    let d = diff(&committed, &findings);
+    for (entry, bucket) in &d.regressions {
+        eprintln!(
+            "FAIL: [{}] {} — {} finding(s), baseline grandfathers {}:",
+            entry.rule,
+            entry.file,
+            bucket.len(),
+            entry.count
+        );
+        for f in bucket {
+            eprintln!("  {f}");
+        }
+    }
+    for (entry, now) in &d.improvements {
+        println!(
+            "ratchet: [{}] {} improved {} -> {} — run `gridrm-lint --update-baseline` \
+             and commit xlint-baseline.json",
+            entry.rule, entry.file, entry.count, now
+        );
+    }
+    if d.is_clean() {
+        println!(
+            "gridrm-lint: OK — {} finding(s), all grandfathered by {}",
+            findings.len(),
+            args.baseline.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "gridrm-lint: {} bucket(s) exceed the baseline — fix the findings or add \
+             `xlint: allow(<rule>) -- <reason>` comment waivers (see docs/static-analysis.md)",
+            d.regressions.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,217 @@
+//! `lock-across-dispatch` — a `Mutex`/`RwLock` guard bound with `let`
+//! must not stay live across a driver dispatch or cross-layer call
+//! (`.execute(..)`, `.handle_request(..)`, ...). That shape is exactly
+//! the deadlock that would break single-flight coalescing: the leader
+//! parks followers on a condvar while holding a gateway lock the
+//! followers need.
+//!
+//! Temporaries (`map.lock().get(..)`) are fine — the guard dies at the
+//! end of the statement. The rule tracks `let g = <expr>.lock();`-style
+//! bindings (also `.read()` / `.write()`, with optional trailing
+//! `.unwrap()` / `.expect(..)` / `?`) and flags dispatch calls between
+//! the binding and `drop(g)` or the end of the enclosing block.
+
+use crate::tokens::{group_with, ident_text, is_ident, is_punct, method_calls};
+use crate::{collect_fns, Config, Finding, SourceFile};
+use proc_macro2::{Delimiter, TokenTree};
+
+const GUARD_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Run the lock-hygiene rule over one file.
+pub fn check(sf: &SourceFile, config: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in collect_fns(&sf.ast) {
+        if f.in_test {
+            continue;
+        }
+        let body: Vec<TokenTree> = f.body.clone().into_iter().collect();
+        check_block(&body, sf, config, &f.name, &mut out);
+    }
+    out
+}
+
+/// Analyze one brace-delimited statement sequence; recurses into nested
+/// blocks (each with a fresh guard environment — guards bound in a
+/// nested block die at its end).
+fn check_block(
+    seq: &[TokenTree],
+    sf: &SourceFile,
+    config: &Config,
+    fn_name: &str,
+    out: &mut Vec<Finding>,
+) {
+    let statements = split_statements(seq);
+    let mut live_guards: Vec<(String, usize)> = Vec::new(); // (name, line)
+    for stmt in &statements {
+        // Release on `drop(guard)` / `std::mem::drop(guard)`.
+        if let Some(name) = dropped_guard(stmt) {
+            live_guards.retain(|(g, _)| *g != name);
+        }
+        let guard = guard_binding(stmt);
+        if guard.is_none() && !live_guards.is_empty() {
+            // Scan this statement (including nested groups) for dispatch
+            // calls made while a guard is live.
+            scan_for_dispatch(stmt, sf, config, fn_name, &live_guards, out);
+        }
+        // Recurse into nested blocks for their own bindings. When guards
+        // are live here, the nested scan above already covered dispatch
+        // inside them; the recursion looks for *new* guard bindings.
+        for t in stmt {
+            if let Some(g) = group_with(t, Delimiter::Brace) {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                check_block(&inner, sf, config, fn_name, out);
+            }
+        }
+        if let Some(g) = guard {
+            live_guards.push(g);
+        }
+    }
+}
+
+/// Split a block's top-level tokens into statements at `;`. Brace groups
+/// end statements too (`if`/`match`/`loop` tails), keeping guard
+/// lifetimes aligned with statement boundaries.
+fn split_statements(seq: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut stmts = Vec::new();
+    let mut cur = Vec::new();
+    for t in seq {
+        if is_punct(t, ';') {
+            cur.push(t.clone());
+            stmts.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(t.clone());
+        }
+    }
+    if !cur.is_empty() {
+        stmts.push(cur);
+    }
+    stmts
+}
+
+/// `let [mut] NAME = <expr>.lock()[.unwrap()|.expect(..)|?]* ;` →
+/// `Some((NAME, line))`.
+fn guard_binding(stmt: &[TokenTree]) -> Option<(String, usize)> {
+    if !matches!(stmt.first(), Some(t) if is_ident(t, "let")) {
+        return None;
+    }
+    let mut i = 1;
+    if matches!(stmt.get(i), Some(t) if is_ident(t, "mut")) {
+        i += 1;
+    }
+    let name = ident_text(stmt.get(i)?)?;
+    let line = stmt.get(i)?.span().start().line;
+    if !matches!(stmt.get(i + 1), Some(t) if is_punct(t, '=')) {
+        return None; // destructuring / typed patterns: not a simple guard
+    }
+    // Find the *last* `.lock()`-style call and require that only
+    // panic-to-value adapters follow it before the terminating `;`.
+    let mut last_guard_end: Option<usize> = None;
+    for j in 0..stmt.len() {
+        if !is_punct(&stmt[j], '.') {
+            continue;
+        }
+        let Some(m) = stmt.get(j + 1).and_then(ident_text) else {
+            continue;
+        };
+        if !GUARD_METHODS.contains(&m.as_str()) {
+            continue;
+        }
+        let Some(args) = stmt
+            .get(j + 2)
+            .and_then(|t| group_with(t, Delimiter::Parenthesis))
+        else {
+            continue;
+        };
+        if args.stream().is_empty() {
+            last_guard_end = Some(j + 3);
+        }
+    }
+    let mut k = last_guard_end?;
+    while k < stmt.len() {
+        match &stmt[k] {
+            t if is_punct(t, ';') || is_punct(t, '?') => k += 1,
+            t if is_punct(t, '.') => {
+                let adapter = stmt.get(k + 1).and_then(ident_text)?;
+                if adapter != "unwrap" && adapter != "expect" && adapter != "unwrap_or_else" {
+                    return None; // projection through the guard: temporary
+                }
+                k += 2;
+                if matches!(stmt.get(k), Some(TokenTree::Group(_))) {
+                    k += 1;
+                }
+            }
+            _ => return None,
+        }
+    }
+    Some((name, line))
+}
+
+/// `drop(name)` (possibly `std::mem::drop`) → the guard name.
+fn dropped_guard(stmt: &[TokenTree]) -> Option<String> {
+    for i in 0..stmt.len() {
+        if !is_ident(&stmt[i], "drop") {
+            continue;
+        }
+        let Some(args) = stmt
+            .get(i + 1)
+            .and_then(|t| group_with(t, Delimiter::Parenthesis))
+        else {
+            continue;
+        };
+        let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+        if inner.len() == 1 {
+            if let Some(name) = ident_text(&inner[0]) {
+                return Some(name);
+            }
+        }
+    }
+    None
+}
+
+/// Flag dispatch-method calls anywhere inside `stmt` (nested groups
+/// included) while `guards` are live.
+fn scan_for_dispatch(
+    stmt: &[TokenTree],
+    sf: &SourceFile,
+    config: &Config,
+    fn_name: &str,
+    guards: &[(String, usize)],
+    out: &mut Vec<Finding>,
+) {
+    fn walk(
+        seq: &[TokenTree],
+        sf: &SourceFile,
+        config: &Config,
+        fn_name: &str,
+        guards: &[(String, usize)],
+        out: &mut Vec<Finding>,
+    ) {
+        for call in method_calls(seq) {
+            if config.dispatch_methods.contains(&call.name) {
+                let held: Vec<String> = guards
+                    .iter()
+                    .map(|(g, l)| format!("`{g}` (bound line {l})"))
+                    .collect();
+                out.push(Finding {
+                    rule: "lock-across-dispatch".to_owned(),
+                    file: sf.rel_path.clone(),
+                    line: call.line,
+                    column: call.column + 1,
+                    message: format!(
+                        "`.{}(..)` called in `{fn_name}` while lock guard {} is held — \
+                         drop the guard before dispatching (single-flight deadlock shape)",
+                        call.name,
+                        held.join(", ")
+                    ),
+                });
+            }
+        }
+        for t in seq {
+            if let TokenTree::Group(g) = t {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                walk(&inner, sf, config, fn_name, guards, out);
+            }
+        }
+    }
+    walk(stmt, sf, config, fn_name, guards, out);
+}

@@ -1,0 +1,126 @@
+//! Metric-registration rules, resolved from the call expression rather
+//! than line grepping:
+//!
+//! * `metric-prefix` — every registered metric name starts `gridrm_`.
+//! * `counter-suffix` — counter names end `_total`.
+//! * `label-key` — label keys never come from client-controlled open
+//!   sets (`source`, `url`, `hostname`, ...): high-cardinality detail
+//!   belongs in the trace, not in labels.
+
+use crate::tokens::{first_str_literal, for_each_seq, group_with, method_calls, path_calls};
+use crate::{Config, Finding, SourceFile};
+use proc_macro2::{Delimiter, TokenTree};
+
+const REGISTRATIONS: &[&str] = &[
+    "counter",
+    "gauge",
+    "histogram",
+    "expose_counter",
+    "expose_gauge",
+    "expose_histogram",
+];
+
+/// Run the three metric rules over one file.
+pub fn check(sf: &SourceFile, config: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let file = sf.rel_path.clone();
+    for_each_seq(&sf.tokens, &mut |seq| {
+        // Registration calls: `.counter("name", ...)` and friends.
+        for call in method_calls(seq) {
+            if !REGISTRATIONS.contains(&call.name.as_str()) {
+                continue;
+            }
+            let Some((name, line, column)) = first_str_literal(call.args) else {
+                continue; // dynamic name: nothing to resolve statically
+            };
+            if !name.starts_with("gridrm_") {
+                out.push(Finding {
+                    rule: "metric-prefix".to_owned(),
+                    file: file.clone(),
+                    line,
+                    column: column + 1,
+                    message: format!(
+                        "metric `{name}` registered via `.{}()` must start with `gridrm_`",
+                        call.name
+                    ),
+                });
+            }
+            if call.name.ends_with("counter") && !name.ends_with("_total") {
+                out.push(Finding {
+                    rule: "counter-suffix".to_owned(),
+                    file: file.clone(),
+                    line,
+                    column: column + 1,
+                    message: format!(
+                        "counter `{name}` registered via `.{}()` must end in `_total`",
+                        call.name
+                    ),
+                });
+            }
+        }
+        // Label keys: tuples inside `Labels::from_pairs(&[("key", v), ..])`
+        // and the first argument of `.with("key", v)`.
+        for (args, _line) in path_calls(seq, "Labels", "from_pairs") {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            collect_pair_keys(&inner, config, &file, &mut out);
+        }
+        for call in method_calls(seq) {
+            if call.name != "with" {
+                continue;
+            }
+            if let Some((key, line, column)) = first_tuple_free_literal(call.args) {
+                flag_key(&key, line, column, config, &file, &mut out);
+            }
+        }
+    });
+    out
+}
+
+/// Walk `&[("key", value), ...]` shapes: every parenthesised group whose
+/// first token is a string literal contributes a label key.
+fn collect_pair_keys(seq: &[TokenTree], config: &Config, file: &str, out: &mut Vec<Finding>) {
+    for t in seq {
+        if let Some(g) = group_with(t, Delimiter::Parenthesis) {
+            if let Some((key, line, column)) = first_str_literal(g) {
+                flag_key(&key, line, column, config, file, out);
+            }
+        } else if let TokenTree::Group(g) = t {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            collect_pair_keys(&inner, config, file, out);
+        }
+    }
+}
+
+/// First string literal of the args — but only when it is genuinely the
+/// first argument (not nested inside a sub-group), so `.with(var, "x")`
+/// is not misread.
+fn first_tuple_free_literal(args: &proc_macro2::Group) -> Option<(String, usize, usize)> {
+    match args.stream().trees().first() {
+        Some(TokenTree::Literal(l)) => l.str_value().map(|v| {
+            let at = l.span().start();
+            (v, at.line, at.column)
+        }),
+        _ => None,
+    }
+}
+
+fn flag_key(
+    key: &str,
+    line: usize,
+    column: usize,
+    config: &Config,
+    file: &str,
+    out: &mut Vec<Finding>,
+) {
+    if config.forbidden_label_keys.iter().any(|k| k == key) {
+        out.push(Finding {
+            rule: "label-key".to_owned(),
+            file: file.to_owned(),
+            line,
+            column: column + 1,
+            message: format!(
+                "label key `{key}` is a client-controlled open set — put the detail in the trace, not in labels"
+            ),
+        });
+    }
+}

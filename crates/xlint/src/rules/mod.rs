@@ -1,0 +1,22 @@
+//! The rule catalog. Each rule module exposes
+//! `check(&SourceFile, &Config) -> Vec<Finding>`; waiver filtering
+//! happens in [`crate::check_file`].
+
+pub mod drivers;
+pub mod locks;
+pub mod metrics;
+pub mod panics;
+pub mod stages;
+
+/// Every rule id the analyzer can emit (used to validate waivers).
+pub const RULES: &[&str] = &[
+    "metric-prefix",
+    "counter-suffix",
+    "label-key",
+    "stage-vocab",
+    "hot-path-panic",
+    "lock-across-dispatch",
+    "driver-conformance",
+    "waiver-syntax",
+    "parse",
+];

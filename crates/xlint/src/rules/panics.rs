@@ -1,0 +1,129 @@
+//! `hot-path-panic` — panic-freedom audit of the hot request path.
+//!
+//! Inside the configured scope (gateway request handling, the driver /
+//! connection managers, ACIL, the global fan-out engine, and every
+//! driver's `execute_query`/`execute_update`) the following are
+//! findings: `.unwrap()`, `.expect(..)`, `panic!`, `unreachable!`,
+//! `todo!`, `unimplemented!`, and slice/array indexing `expr[i]` (which
+//! panics out of bounds). Test code (`#[cfg(test)]` modules, `#[test]`
+//! fns) is exempt; deliberate uses take an inline
+//! `// xlint: allow(hot-path-panic) -- reason` waiver.
+
+use crate::tokens::{for_each_seq, is_punct, macro_calls, method_calls};
+use crate::{collect_fns, Config, Finding, SourceFile};
+use proc_macro2::{Delimiter, TokenTree};
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that may directly precede a `[` without it being an index
+/// expression (slice patterns, array-literal positions).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "if", "else", "match", "return", "break", "continue", "move", "as",
+    "where", "loop", "while", "for", "unsafe", "async", "dyn", "impl", "fn", "use", "pub", "const",
+    "static", "box", "await", "yield", "union", "type", "enum", "struct", "trait", "mod",
+];
+
+/// Run the panic audit over one file.
+pub fn check(sf: &SourceFile, config: &Config) -> Vec<Finding> {
+    let whole_file = config
+        .hot_path_files
+        .iter()
+        .any(|p| sf.rel_path.ends_with(p));
+    let fn_names: Vec<&str> = config
+        .hot_path_fns
+        .iter()
+        .filter(|(prefix, _)| sf.rel_path.starts_with(prefix))
+        .flat_map(|(_, names)| names.iter().map(String::as_str))
+        .collect();
+    if !whole_file && fn_names.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for f in collect_fns(&sf.ast) {
+        if f.in_test {
+            continue;
+        }
+        if !whole_file && !fn_names.contains(&f.name.as_str()) {
+            continue;
+        }
+        audit_fn(sf, &f.name, &f.body, &mut out);
+    }
+    out
+}
+
+fn audit_fn(
+    sf: &SourceFile,
+    fn_name: &str,
+    body: &proc_macro2::TokenStream,
+    out: &mut Vec<Finding>,
+) {
+    let file = &sf.rel_path;
+    for_each_seq(body, &mut |seq| {
+        for call in method_calls(seq) {
+            let finding = match call.name.as_str() {
+                "unwrap" if call.args.stream().is_empty() => Some(format!(
+                    "`.unwrap()` in hot-path fn `{fn_name}` — convert to a GridRmError \
+                     (or waive with a reason)"
+                )),
+                "expect" if !call.args.stream().is_empty() => Some(format!(
+                    "`.expect(..)` in hot-path fn `{fn_name}` — convert to a GridRmError \
+                     (or waive with a reason)"
+                )),
+                _ => None,
+            };
+            if let Some(message) = finding {
+                out.push(Finding {
+                    rule: "hot-path-panic".to_owned(),
+                    file: file.clone(),
+                    line: call.line,
+                    column: call.column + 1,
+                    message,
+                });
+            }
+        }
+        for mac in macro_calls(seq) {
+            if PANIC_MACROS.contains(&mac.name.as_str()) {
+                out.push(Finding {
+                    rule: "hot-path-panic".to_owned(),
+                    file: file.clone(),
+                    line: mac.line,
+                    column: mac.column + 1,
+                    message: format!("`{}!` in hot-path fn `{fn_name}`", mac.name),
+                });
+            }
+        }
+        // Indexing: a bracket group directly following an expression
+        // tail (identifier, literal, call/paren, or another index).
+        for i in 1..seq.len() {
+            let TokenTree::Group(g) = &seq[i] else {
+                continue;
+            };
+            if g.delimiter() != Delimiter::Bracket {
+                continue;
+            }
+            let indexable = match &seq[i - 1] {
+                TokenTree::Ident(id) => !NON_INDEX_KEYWORDS.contains(&id.to_string().as_str()),
+                TokenTree::Literal(_) => true,
+                TokenTree::Group(p) => {
+                    matches!(p.delimiter(), Delimiter::Parenthesis | Delimiter::Bracket)
+                }
+                TokenTree::Punct(_) => false,
+            };
+            // `name![...]` is a macro, not an index.
+            let is_macro = i >= 2 && is_punct(&seq[i - 1], '!');
+            if indexable && !is_macro {
+                let at = g.span().start();
+                out.push(Finding {
+                    rule: "hot-path-panic".to_owned(),
+                    file: file.clone(),
+                    line: at.line,
+                    column: at.column + 1,
+                    message: format!(
+                        "slice indexing in hot-path fn `{fn_name}` can panic out of bounds — \
+                         use `.get(..)` (or waive with a reason)"
+                    ),
+                });
+            }
+        }
+    });
+}

@@ -1,0 +1,40 @@
+//! `stage-vocab` — every span stage recorded via `.stage("...")` /
+//! `.stage_with("...", ...)` must belong to the closed vocabulary
+//! documented in the "Span stage vocabulary" section of
+//! `docs/observability.md`.
+
+use crate::tokens::{for_each_seq, method_calls};
+use crate::{Config, Finding, SourceFile};
+use proc_macro2::TokenTree;
+
+/// Run the stage-vocabulary rule over one file.
+pub fn check(sf: &SourceFile, config: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for_each_seq(&sf.tokens, &mut |seq| {
+        for call in method_calls(seq) {
+            if call.name != "stage" && call.name != "stage_with" {
+                continue;
+            }
+            // The stage must be the literal *first* argument; dynamic
+            // stage names (forwarding helpers) are out of static reach.
+            let Some(TokenTree::Literal(l)) = call.args.stream().trees().first().cloned() else {
+                continue;
+            };
+            let Some(stage) = l.str_value() else { continue };
+            if !config.stage_vocab.contains(&stage) {
+                let at = l.span().start();
+                out.push(Finding {
+                    rule: "stage-vocab".to_owned(),
+                    file: sf.rel_path.clone(),
+                    line: at.line,
+                    column: at.column + 1,
+                    message: format!(
+                        "span stage `{stage}` is not documented in docs/observability.md \
+                         (Span stage vocabulary) — stages are a closed set"
+                    ),
+                });
+            }
+        }
+    });
+    out
+}

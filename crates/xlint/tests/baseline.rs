@@ -1,0 +1,82 @@
+//! Baseline-ratchet tests: the committed `xlint-baseline.json` must
+//! match a fresh scan exactly (no silent drift in either direction),
+//! and the diff logic must classify regressions and improvements.
+
+use gridrm_xlint::baseline::{diff, Baseline};
+use gridrm_xlint::{scan_workspace, Config, Finding};
+use std::path::Path;
+
+fn finding(rule: &str, file: &str, line: usize) -> Finding {
+    Finding {
+        rule: rule.to_owned(),
+        file: file.to_owned(),
+        line,
+        column: 1,
+        message: "test".to_owned(),
+    }
+}
+
+#[test]
+fn committed_baseline_matches_fresh_scan() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let config = Config::for_workspace(root).expect("workspace config");
+    let findings = scan_workspace(root, &config).expect("scan");
+    let fresh = Baseline::from_findings(&findings);
+    let text = std::fs::read_to_string(root.join("xlint-baseline.json"))
+        .expect("xlint-baseline.json is committed");
+    let committed = Baseline::from_json(&text).expect("baseline parses");
+    assert_eq!(
+        committed, fresh,
+        "xlint-baseline.json is stale — run `cargo run -p gridrm-xlint -- \
+         --update-baseline` and commit the result.\nfindings now: {findings:#?}"
+    );
+}
+
+#[test]
+fn new_findings_are_regressions() {
+    let committed = Baseline::from_findings(&[finding("hot-path-panic", "a.rs", 1)]);
+    let now = vec![
+        finding("hot-path-panic", "a.rs", 1),
+        finding("hot-path-panic", "a.rs", 9),
+    ];
+    let d = diff(&committed, &now);
+    assert!(!d.is_clean());
+    assert_eq!(d.regressions.len(), 1);
+    assert_eq!(d.regressions[0].1.len(), 2, "whole bucket is reported");
+}
+
+#[test]
+fn fixed_findings_are_improvements_not_failures() {
+    let committed = Baseline::from_findings(&[
+        finding("hot-path-panic", "a.rs", 1),
+        finding("hot-path-panic", "a.rs", 2),
+    ]);
+    let now = vec![finding("hot-path-panic", "a.rs", 1)];
+    let d = diff(&committed, &now);
+    assert!(d.is_clean(), "shrinking a bucket never fails the check");
+    assert_eq!(d.improvements.len(), 1);
+    assert_eq!(d.improvements[0].1, 1, "new count is reported");
+}
+
+#[test]
+fn line_shifts_do_not_disturb_the_ratchet() {
+    let committed = Baseline::from_findings(&[finding("label-key", "b.rs", 10)]);
+    let now = vec![finding("label-key", "b.rs", 400)];
+    let d = diff(&committed, &now);
+    assert!(d.is_clean(), "counts key the ratchet, not line numbers");
+    assert!(d.improvements.is_empty());
+}
+
+#[test]
+fn baseline_json_round_trips() {
+    let b = Baseline::from_findings(&[
+        finding("metric-prefix", "x.rs", 3),
+        finding("metric-prefix", "x.rs", 5),
+        finding("stage-vocab", "y.rs", 8),
+    ]);
+    let back = Baseline::from_json(&b.to_json()).expect("round trip");
+    assert_eq!(b, back);
+}

@@ -1,0 +1,10 @@
+//! Fixture: a driver that breaks every conformance promise — no
+//! `accepts_url`, GLUE translation bypassing the DDK.
+
+impl Driver for BadDriver {
+    fn execute_query(&self, sql: &str) -> DbcResult<RowSet> {
+        let translator = Translator::new(self.schema());
+        let rows = translator.translate_all(self.native_rows(sql));
+        Ok(rows)
+    }
+}

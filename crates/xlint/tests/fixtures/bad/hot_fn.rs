@@ -1,0 +1,17 @@
+//! Fixture: panic-audit scope for drivers is per-function — only the
+//! `execute_query`/`execute_update` entry points are audited.
+
+pub fn helper() {
+    helper_value().unwrap();
+}
+
+impl Driver for HotDriver {
+    fn accepts_url(&self, url: &str) -> bool {
+        url.starts_with("gridrm:hot:")
+    }
+
+    fn execute_query(&self, sql: &str) -> DbcResult<RowSet> {
+        let rows = fetch(sql).unwrap();
+        Ok(rows)
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: lock guards held across driver dispatch.
+
+pub fn dispatch_holding_guard(gw: &Gateway) -> Result<RowSet, SqlError> {
+    let mut stats = gw.stats.lock();
+    stats.requests += 1;
+    let rows = gw.driver.execute_query(&gw.sql)?;
+    Ok(rows)
+}
+
+pub fn poll_holding_read_guard(gw: &Gateway) {
+    let snapshot = gw.table.read().unwrap();
+    gw.scheduler.poll_now(&snapshot);
+}

@@ -1,0 +1,11 @@
+//! Fixture: metric-registration violations. Never compiled — only
+//! parsed by gridrm-xlint's tests.
+
+pub fn register(reg: &Registry, name: &str, target: &str) {
+    reg.counter("queries_total", "fan-out queries", Labels::empty());
+    reg.counter("gridrm_queries", "fan-out queries", Labels::empty());
+    reg.gauge("up", "gateway liveness", Labels::empty());
+    let labels = Labels::from_pairs(&[("source", name), ("layer", "local")]);
+    reg.histogram("gridrm_latency_ms", "latency", labels.with("url", target));
+    reg.expose_counter("polls", "agent polls", Labels::empty());
+}

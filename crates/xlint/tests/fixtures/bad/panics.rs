@@ -1,0 +1,20 @@
+//! Fixture: every hot-path-panic shape once; test code stays exempt.
+
+pub fn handle(req: &Request) -> Response {
+    let first = req.parts.get(0).unwrap();
+    let second = req.lookup("x").expect("present");
+    let third = req.parts[1];
+    if second.is_empty() {
+        panic!("empty request");
+    }
+    respond(first, third)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_in_tests() {
+        build().unwrap();
+        parts()[0].clone();
+    }
+}

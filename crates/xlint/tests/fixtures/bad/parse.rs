@@ -1,0 +1,5 @@
+//! Fixture: unbalanced delimiters — must surface as a `parse` finding,
+//! not a crash.
+
+pub fn broken(x: u32 -> u32 {
+    x + 1

@@ -1,0 +1,6 @@
+//! Fixture: span stages outside the documented vocabulary.
+
+pub fn trace(span: &mut Span, rows: usize) {
+    span.stage("warp_drive");
+    span.stage_with("hyperspace", rows);
+}

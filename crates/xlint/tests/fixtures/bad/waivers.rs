@@ -1,0 +1,11 @@
+//! Fixture: every malformed-waiver shape once.
+
+pub fn f() -> u32 {
+    // xlint: allow(hot-path-panic)
+    let a = 1;
+    // xlint: allow(made-up-rule) -- because I said so
+    let b = 2;
+    // xlint: nothing to see here
+    let c = 3;
+    a + b + c
+}

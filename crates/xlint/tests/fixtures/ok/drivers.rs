@@ -1,0 +1,13 @@
+//! Fixture: a conforming driver — `accepts_url` present, GLUE rows
+//! routed through the DDK.
+
+impl Driver for GoodDriver {
+    fn accepts_url(&self, url: &str) -> bool {
+        url.starts_with("gridrm:good:")
+    }
+
+    fn execute_query(&self, sql: &str) -> DbcResult<RowSet> {
+        let translator = Translator::new(self.schema());
+        base::glue_translate(&translator, self.native_rows(sql))
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: lock hygiene done right — drop before dispatch, or keep
+//! the guard a statement-scoped temporary.
+
+pub fn dispatch_after_drop(gw: &Gateway) -> Result<RowSet, SqlError> {
+    let mut stats = gw.stats.lock();
+    stats.requests += 1;
+    drop(stats);
+    let rows = gw.driver.execute_query(&gw.sql)?;
+    Ok(rows)
+}
+
+pub fn temporaries_are_fine(gw: &Gateway) {
+    let n = gw.stats.lock().requests;
+    gw.scheduler.poll_now(n);
+}

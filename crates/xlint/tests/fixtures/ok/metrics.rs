@@ -1,0 +1,10 @@
+//! Fixture: conforming metric registrations. Never compiled — only
+//! parsed by gridrm-xlint's tests.
+
+pub fn register(reg: &Registry, name: &str, code: &str) {
+    reg.counter("gridrm_queries_total", "fan-out queries", Labels::empty());
+    reg.gauge("gridrm_up", "gateway liveness", Labels::empty());
+    let labels = Labels::from_pairs(&[("driver", name), ("layer", "local")]);
+    reg.histogram("gridrm_latency_ms", "latency", labels.with("status", code));
+    reg.expose_counter("gridrm_polls_total", "agent polls", Labels::empty());
+}

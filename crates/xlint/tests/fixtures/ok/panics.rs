@@ -1,0 +1,11 @@
+//! Fixture: a panic-free hot-path function.
+
+pub fn handle(req: &Request) -> Result<Response, GridRmError> {
+    let first = req
+        .parts
+        .first()
+        .ok_or_else(|| GridRmError::Internal("no parts".to_owned()))?;
+    let rest = req.parts.get(1..).unwrap_or_default();
+    let second = req.lookup("x").unwrap_or("");
+    Ok(respond(first, rest, second))
+}

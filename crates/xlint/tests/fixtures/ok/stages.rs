@@ -1,0 +1,8 @@
+//! Fixture: span stages from the documented vocabulary, plus a dynamic
+//! stage name the analyzer deliberately leaves alone.
+
+pub fn trace(span: &mut Span, rows: usize, dynamic: &str) {
+    span.stage("parse");
+    span.stage_with("execute", rows);
+    span.stage(dynamic);
+}

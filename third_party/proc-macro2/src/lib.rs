@@ -1,0 +1,1014 @@
+//! Workspace-local stand-in for the `proc-macro2` crate (offline build),
+//! exposing the API subset the workspace needs: parsing Rust source text
+//! into a [`TokenStream`] of spanned [`TokenTree`]s, entirely outside a
+//! procedural-macro context.
+//!
+//! The lexer is a faithful-enough standalone implementation of Rust's
+//! lexical grammar for linting purposes: nested block comments, doc
+//! comments (skipped — they carry no token-level signal the lints need),
+//! raw/byte/C strings, char-vs-lifetime disambiguation, raw identifiers,
+//! numeric literals with suffixes, and joint/alone punctuation spacing.
+//! Every token records a [`Span`] with 1-based line and 0-based column,
+//! mirroring `proc-macro2`'s `span-locations` feature.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A region of source text: start and end line/column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    start: LineColumn,
+    end: LineColumn,
+}
+
+/// A line/column pair: `line` is 1-based, `column` 0-based (as in
+/// `proc-macro2` with `span-locations`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LineColumn {
+    /// 1-based source line.
+    pub line: usize,
+    /// 0-based UTF-8 column.
+    pub column: usize,
+}
+
+impl Span {
+    /// A span pointing at nothing in particular (line 1, column 0).
+    pub fn call_site() -> Span {
+        Span {
+            start: LineColumn { line: 1, column: 0 },
+            end: LineColumn { line: 1, column: 0 },
+        }
+    }
+
+    /// Where the token begins.
+    pub fn start(&self) -> LineColumn {
+        self.start
+    }
+
+    /// Where the token ends (exclusive).
+    pub fn end(&self) -> LineColumn {
+        self.end
+    }
+}
+
+/// One leaf or group in the token-tree view of a source file.
+#[derive(Debug, Clone)]
+pub enum TokenTree {
+    /// A delimited group: `(...)`, `[...]` or `{...}`.
+    Group(Group),
+    /// An identifier or keyword (keywords are not distinguished).
+    Ident(Ident),
+    /// A single punctuation character with spacing information.
+    Punct(Punct),
+    /// A literal: string, byte string, char, or number.
+    Literal(Literal),
+}
+
+impl TokenTree {
+    /// The token's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            TokenTree::Group(g) => g.span(),
+            TokenTree::Ident(i) => i.span(),
+            TokenTree::Punct(p) => p.span(),
+            TokenTree::Literal(l) => l.span(),
+        }
+    }
+}
+
+impl fmt::Display for TokenTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenTree::Group(g) => g.fmt(f),
+            TokenTree::Ident(i) => i.fmt(f),
+            TokenTree::Punct(p) => p.fmt(f),
+            TokenTree::Literal(l) => l.fmt(f),
+        }
+    }
+}
+
+/// Which bracket pair delimits a [`Group`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delimiter {
+    /// `( ... )`
+    Parenthesis,
+    /// `{ ... }`
+    Brace,
+    /// `[ ... ]`
+    Bracket,
+    /// Invisible delimiters (never produced by the lexer; kept for API
+    /// parity).
+    None,
+}
+
+/// A delimited token sequence.
+#[derive(Debug, Clone)]
+pub struct Group {
+    delimiter: Delimiter,
+    stream: TokenStream,
+    span: Span,
+}
+
+impl Group {
+    /// Build a group (used by tests and token surgery).
+    pub fn new(delimiter: Delimiter, stream: TokenStream) -> Group {
+        Group {
+            delimiter,
+            stream,
+            span: Span::call_site(),
+        }
+    }
+
+    /// The delimiter kind.
+    pub fn delimiter(&self) -> Delimiter {
+        self.delimiter
+    }
+
+    /// The tokens between the delimiters.
+    pub fn stream(&self) -> TokenStream {
+        self.stream.clone()
+    }
+
+    /// Span of the opening delimiter through the closing one.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Group {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (open, close) = match self.delimiter {
+            Delimiter::Parenthesis => ("(", ")"),
+            Delimiter::Brace => ("{ ", " }"),
+            Delimiter::Bracket => ("[", "]"),
+            Delimiter::None => ("", ""),
+        };
+        write!(f, "{open}{}{close}", self.stream)
+    }
+}
+
+/// An identifier (or keyword; raw identifiers keep their `r#` prefix
+/// stripped, matching `proc-macro2`'s `Display`).
+#[derive(Debug, Clone)]
+pub struct Ident {
+    text: String,
+    span: Span,
+}
+
+impl Ident {
+    /// Build an identifier at a given span.
+    pub fn new(text: &str, span: Span) -> Ident {
+        Ident {
+            text: text.to_owned(),
+            span,
+        }
+    }
+
+    /// The token's source span.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl PartialEq<str> for Ident {
+    fn eq(&self, other: &str) -> bool {
+        self.text == other
+    }
+}
+
+impl PartialEq<&str> for Ident {
+    fn eq(&self, other: &&str) -> bool {
+        self.text == *other
+    }
+}
+
+/// Whether a punctuation character is immediately followed by another
+/// punctuation character (`Joint`, e.g. the `-` in `->`) or not
+/// (`Alone`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Spacing {
+    /// Followed directly by another punct: part of a multi-char operator.
+    Joint,
+    /// Free-standing.
+    Alone,
+}
+
+/// One punctuation character.
+#[derive(Debug, Clone)]
+pub struct Punct {
+    ch: char,
+    spacing: Spacing,
+    span: Span,
+}
+
+impl Punct {
+    /// The character itself.
+    pub fn as_char(&self) -> char {
+        self.ch
+    }
+
+    /// Joint/alone spacing.
+    pub fn spacing(&self) -> Spacing {
+        self.spacing
+    }
+
+    /// The token's source span.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Punct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.ch)
+    }
+}
+
+/// A literal token, kept as its raw source text.
+#[derive(Debug, Clone)]
+pub struct Literal {
+    text: String,
+    span: Span,
+}
+
+impl Literal {
+    /// The token's source span.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// If this is a plain or raw (byte/C) string literal, its unescaped
+    /// value. Extension over upstream `proc-macro2` (which routes this
+    /// through `syn::LitStr`); the stand-in offers it directly.
+    pub fn str_value(&self) -> Option<String> {
+        let t = self.text.as_str();
+        let (rest, raw) = if let Some(r) = t.strip_prefix("br").or_else(|| t.strip_prefix("cr")) {
+            (r, true)
+        } else if let Some(r) = t.strip_prefix('r') {
+            (r, true)
+        } else if let Some(r) = t.strip_prefix('b').or_else(|| t.strip_prefix('c')) {
+            (r, false)
+        } else {
+            (t, false)
+        };
+        if raw {
+            let hashes = rest.len() - rest.trim_start_matches('#').len();
+            let inner = rest.trim_start_matches('#').strip_prefix('"')?;
+            let inner = inner.strip_suffix(&"#".repeat(hashes))?;
+            let inner = inner.strip_suffix('"')?;
+            Some(inner.to_owned())
+        } else {
+            let inner = rest.strip_prefix('"')?.strip_suffix('"')?;
+            Some(unescape(inner))
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('0') => out.push('\0'),
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('\'') => out.push('\''),
+            Some('x') => {
+                let hex: String = chars.by_ref().take(2).collect();
+                if let Ok(v) = u8::from_str_radix(&hex, 16) {
+                    out.push(v as char);
+                }
+            }
+            Some('u') => {
+                // \u{...}
+                let mut hex = String::new();
+                for c in chars.by_ref() {
+                    if c == '{' {
+                        continue;
+                    }
+                    if c == '}' {
+                        break;
+                    }
+                    hex.push(c);
+                }
+                if let Ok(v) = u32::from_str_radix(&hex, 16) {
+                    if let Some(c) = char::from_u32(v) {
+                        out.push(c);
+                    }
+                }
+            }
+            Some('\n') => {
+                // Line continuation: swallow leading whitespace.
+                while let Some(&c) = chars.as_str().as_bytes().first() {
+                    if c == b' ' || c == b'\t' {
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+/// A sequence of token trees.
+#[derive(Debug, Clone, Default)]
+pub struct TokenStream {
+    trees: Vec<TokenTree>,
+}
+
+impl TokenStream {
+    /// An empty stream.
+    pub fn new() -> TokenStream {
+        TokenStream::default()
+    }
+
+    /// Whether the stream holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Number of top-level token trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Borrow the top-level trees (stand-in extension; upstream requires
+    /// `into_iter`, but the lints walk streams repeatedly).
+    pub fn trees(&self) -> &[TokenTree] {
+        &self.trees
+    }
+}
+
+impl FromIterator<TokenTree> for TokenStream {
+    fn from_iter<I: IntoIterator<Item = TokenTree>>(iter: I) -> TokenStream {
+        TokenStream {
+            trees: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for TokenStream {
+    type Item = TokenTree;
+    type IntoIter = std::vec::IntoIter<TokenTree>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.trees.into_iter()
+    }
+}
+
+impl fmt::Display for TokenStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for t in &self.trees {
+            if !first {
+                f.write_str(" ")?;
+            }
+            first = false;
+            t.fmt(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Lexing failure: what went wrong and where.
+#[derive(Debug, Clone)]
+pub struct LexError {
+    msg: String,
+    /// Where the offending text begins.
+    pub at: LineColumn,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}:{}", self.msg, self.at.line, self.at.column + 1)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+impl FromStr for TokenStream {
+    type Err = LexError;
+
+    fn from_str(src: &str) -> Result<TokenStream, LexError> {
+        Lexer::new(src).lex_all()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The lexer
+// ---------------------------------------------------------------------------
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    text: &'a str,
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+const PUNCT_CHARS: &[u8] = b";,.@#~?:$=!<>-&|+*/^%'";
+
+impl<'a> Lexer<'a> {
+    fn new(text: &'a str) -> Lexer<'a> {
+        let mut lx = Lexer {
+            src: text.as_bytes(),
+            text,
+            pos: 0,
+            line: 1,
+            col: 0,
+        };
+        // A shebang line (`#!...` not followed by `[`) is not Rust tokens.
+        if text.starts_with("#!") && !text[2..].trim_start().starts_with('[') {
+            while lx.pos < lx.src.len() && lx.src[lx.pos] != b'\n' {
+                lx.pos += 1;
+            }
+        }
+        lx
+    }
+
+    fn here(&self) -> LineColumn {
+        LineColumn {
+            line: self.line,
+            column: self.col,
+        }
+    }
+
+    fn err(&self, msg: &str) -> LexError {
+        LexError {
+            msg: msg.to_owned(),
+            at: self.here(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 0;
+        } else if b & 0xC0 != 0x80 {
+            // Count UTF-8 scalar starts only, so columns match char offsets.
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn lex_all(&mut self) -> Result<TokenStream, LexError> {
+        let (stream, closer) = self.lex_group_body(None)?;
+        if closer.is_some() {
+            return Err(self.err("unbalanced closing delimiter"));
+        }
+        Ok(stream)
+    }
+
+    /// Lex tokens until the matching close delimiter for `open` (or EOF
+    /// when `open` is `None`). Returns the stream plus the closer seen.
+    fn lex_group_body(&mut self, open: Option<u8>) -> Result<(TokenStream, Option<u8>), LexError> {
+        let mut trees: Vec<TokenTree> = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let start = self.here();
+            let Some(b) = self.peek() else {
+                if open.is_some() {
+                    return Err(self.err("unterminated group"));
+                }
+                return Ok((TokenStream { trees }, None));
+            };
+            match b {
+                b'(' | b'[' | b'{' => {
+                    self.bump();
+                    let (inner, closer) = self.lex_group_body(Some(b))?;
+                    let want = match b {
+                        b'(' => b')',
+                        b'[' => b']',
+                        _ => b'}',
+                    };
+                    if closer != Some(want) {
+                        return Err(self.err("mismatched delimiter"));
+                    }
+                    let delim = match b {
+                        b'(' => Delimiter::Parenthesis,
+                        b'[' => Delimiter::Bracket,
+                        _ => Delimiter::Brace,
+                    };
+                    trees.push(TokenTree::Group(Group {
+                        delimiter: delim,
+                        stream: inner,
+                        span: Span {
+                            start,
+                            end: self.here(),
+                        },
+                    }));
+                }
+                b')' | b']' | b'}' => {
+                    if open.is_none() {
+                        return Err(self.err("unbalanced closing delimiter"));
+                    }
+                    self.bump();
+                    return Ok((TokenStream { trees }, Some(b)));
+                }
+                b'"' => {
+                    let s = self.pos;
+                    trees.push(self.lex_string(start, s)?);
+                }
+                b'\'' => trees.push(self.lex_char_or_lifetime(start)?),
+                b'0'..=b'9' => trees.push(self.lex_number(start)),
+                _ if ident_start(b) => {
+                    // May be a prefixed literal: r"", r#"", b"", b'', br"",
+                    // c"", cr"", or a raw identifier r#name.
+                    if let Some(tok) = self.try_prefixed_literal(start)? {
+                        trees.push(tok);
+                    } else {
+                        trees.push(self.lex_ident(start));
+                    }
+                }
+                _ if PUNCT_CHARS.contains(&b) => {
+                    self.bump();
+                    let joint =
+                        matches!(self.peek(), Some(n) if PUNCT_CHARS.contains(&n) && n != b'\'');
+                    trees.push(TokenTree::Punct(Punct {
+                        ch: b as char,
+                        spacing: if joint {
+                            Spacing::Joint
+                        } else {
+                            Spacing::Alone
+                        },
+                        span: Span {
+                            start,
+                            end: self.here(),
+                        },
+                    }));
+                }
+                _ => {
+                    // Non-ASCII identifier or stray byte: consume the full
+                    // UTF-8 scalar(s) as an ident-ish token to stay robust.
+                    let s = self.pos;
+                    while let Some(b) = self.peek() {
+                        if !b.is_ascii() || ident_continue(b) {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    if self.pos == s {
+                        self.bump(); // ensure progress
+                    }
+                    trees.push(TokenTree::Ident(Ident {
+                        text: self.text[s..self.pos].to_owned(),
+                        span: Span {
+                            start,
+                            end: self.here(),
+                        },
+                    }));
+                }
+            }
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(b) if (b as char).is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'/'), Some(b'*')) => {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                            }
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => return Err(self.err("unterminated block comment")),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_ident(&mut self, start: LineColumn) -> TokenTree {
+        let s = self.pos;
+        while let Some(b) = self.peek() {
+            if ident_continue(b) || !b.is_ascii() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenTree::Ident(Ident {
+            text: self.text[s..self.pos].to_owned(),
+            span: Span {
+                start,
+                end: self.here(),
+            },
+        })
+    }
+
+    /// Handle `r`/`b`/`c` prefixed string-ish literals and raw idents.
+    /// Returns `None` when the upcoming token is a plain identifier.
+    fn try_prefixed_literal(&mut self, start: LineColumn) -> Result<Option<TokenTree>, LexError> {
+        let lit_pos = self.pos;
+        let rest = &self.src[self.pos..];
+        let prefix_len = match rest {
+            [b'r', b'#', n, ..] if ident_start(*n) => {
+                // r#ident — raw identifier, lex as ident with prefix.
+                self.bump();
+                self.bump();
+                let TokenTree::Ident(id) = self.lex_ident(start) else {
+                    unreachable!()
+                };
+                return Ok(Some(TokenTree::Ident(Ident {
+                    text: id.text,
+                    span: Span {
+                        start,
+                        end: self.here(),
+                    },
+                })));
+            }
+            [b'b', b'\'', ..] => {
+                self.bump();
+                return self.lex_char_or_lifetime(start).map(Some);
+            }
+            [b'r', b'"', ..] | [b'r', b'#', ..] => 1,
+            [b'b', b'"', ..] | [b'c', b'"', ..] => 1,
+            [b'b', b'r', t, ..] | [b'c', b'r', t, ..] if *t == b'"' || *t == b'#' => 2,
+            _ => return Ok(None),
+        };
+        let raw = rest[prefix_len - 1] == b'r';
+        for _ in 0..prefix_len {
+            self.bump();
+        }
+        if raw {
+            self.lex_raw_string(start, lit_pos).map(Some)
+        } else {
+            self.lex_string(start, lit_pos).map(Some)
+        }
+    }
+
+    /// Lex a `"..."` (cooked) string; `self.pos` is at the opening quote
+    /// and `s` is the byte offset where the literal (incl. any `b`/`c`
+    /// prefix) begins.
+    fn lex_string(&mut self, start: LineColumn, s: usize) -> Result<TokenTree, LexError> {
+        self.bump(); // opening quote
+        loop {
+            match self.peek() {
+                Some(b'\\') => {
+                    self.bump();
+                    self.bump();
+                }
+                Some(b'"') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => {
+                    self.bump();
+                }
+                None => return Err(self.err("unterminated string literal")),
+            }
+        }
+        Ok(TokenTree::Literal(Literal {
+            text: self.text[s..self.pos].to_owned(),
+            span: Span {
+                start,
+                end: self.here(),
+            },
+        }))
+    }
+
+    /// Lex a raw string starting at `#`* `"`; the `r`/`br`/`cr` prefix is
+    /// already consumed and `s` is the byte offset where it began.
+    fn lex_raw_string(&mut self, start: LineColumn, s: usize) -> Result<TokenTree, LexError> {
+        let mut hashes = 0usize;
+        while self.peek() == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek() != Some(b'"') {
+            return Err(self.err("malformed raw string"));
+        }
+        self.bump();
+        let closer: Vec<u8> = std::iter::once(b'"')
+            .chain(std::iter::repeat_n(b'#', hashes))
+            .collect();
+        loop {
+            if self.pos + closer.len() <= self.src.len()
+                && &self.src[self.pos..self.pos + closer.len()] == closer.as_slice()
+            {
+                for _ in 0..closer.len() {
+                    self.bump();
+                }
+                break;
+            }
+            if self.bump().is_none() {
+                return Err(self.err("unterminated raw string literal"));
+            }
+        }
+        Ok(TokenTree::Literal(Literal {
+            text: self.text[s..self.pos].to_owned(),
+            span: Span {
+                start,
+                end: self.here(),
+            },
+        }))
+    }
+
+    /// At a `'`: disambiguate char literal from lifetime.
+    fn lex_char_or_lifetime(&mut self, start: LineColumn) -> Result<TokenTree, LexError> {
+        let s = self.pos;
+        self.bump(); // the quote
+        match self.peek() {
+            Some(b'\\') => {
+                // Escaped char literal.
+                self.bump();
+                self.bump();
+                // \u{...} and \x.. escapes: eat through the closing quote.
+                while let Some(b) = self.peek() {
+                    self.bump();
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                Ok(TokenTree::Literal(Literal {
+                    text: self.text[s..self.pos].to_owned(),
+                    span: Span {
+                        start,
+                        end: self.here(),
+                    },
+                }))
+            }
+            Some(b) if ident_start(b) => {
+                // Could be 'a' (char) or 'a / 'static (lifetime): a char
+                // literal has exactly one ident char then a quote.
+                let after = self.src.get(self.pos + 1).copied();
+                if after == Some(b'\'') {
+                    self.bump();
+                    self.bump();
+                    Ok(TokenTree::Literal(Literal {
+                        text: self.text[s..self.pos].to_owned(),
+                        span: Span {
+                            start,
+                            end: self.here(),
+                        },
+                    }))
+                } else {
+                    // Lifetime: quote punct (joint) + ident, like upstream.
+                    let _ = self.lex_ident(self.here());
+                    Ok(TokenTree::Punct(Punct {
+                        ch: '\'',
+                        spacing: Spacing::Joint,
+                        span: Span {
+                            start,
+                            end: self.here(),
+                        },
+                    }))
+                }
+            }
+            Some(_) => {
+                // Non-ident char like '3' or '%' (or UTF-8 scalar).
+                self.bump();
+                while let Some(b) = self.peek() {
+                    if b & 0xC0 == 0x80 {
+                        self.bump(); // continuation bytes of a scalar
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek() == Some(b'\'') {
+                    self.bump();
+                }
+                Ok(TokenTree::Literal(Literal {
+                    text: self.text[s..self.pos].to_owned(),
+                    span: Span {
+                        start,
+                        end: self.here(),
+                    },
+                }))
+            }
+            None => Err(self.err("unterminated char literal")),
+        }
+    }
+
+    fn lex_number(&mut self, start: LineColumn) -> TokenTree {
+        let s = self.pos;
+        // Radix prefix.
+        if self.peek() == Some(b'0')
+            && matches!(self.peek2(), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+        {
+            self.bump();
+            self.bump();
+            while let Some(b) = self.peek() {
+                if b.is_ascii_alphanumeric() || b == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        } else {
+            while let Some(b) = self.peek() {
+                if b.is_ascii_digit() || b == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            // Fractional part: a dot followed by a digit (so `1..x` and
+            // `1.method()` keep the dot as punctuation).
+            if self.peek() == Some(b'.') && matches!(self.peek2(), Some(d) if d.is_ascii_digit()) {
+                self.bump();
+                while let Some(b) = self.peek() {
+                    if b.is_ascii_digit() || b == b'_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(), Some(b'e' | b'E'))
+                && matches!(self.peek2(), Some(d) if d.is_ascii_digit() || d == b'+' || d == b'-')
+            {
+                self.bump();
+                self.bump();
+                while let Some(b) = self.peek() {
+                    if b.is_ascii_digit() || b == b'_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Type suffix (u8, f64, usize, ...).
+        while let Some(b) = self.peek() {
+            if ident_continue(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenTree::Literal(Literal {
+            text: self.text[s..self.pos].to_owned(),
+            span: Span {
+                start,
+                end: self.here(),
+            },
+        })
+    }
+}
+
+fn ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(src: &str) -> TokenStream {
+        src.parse().expect("lexes")
+    }
+
+    fn kinds(ts: &TokenStream) -> String {
+        ts.trees()
+            .iter()
+            .map(|t| match t {
+                TokenTree::Group(g) => match g.delimiter() {
+                    Delimiter::Parenthesis => "(".to_owned(),
+                    Delimiter::Brace => "{".to_owned(),
+                    Delimiter::Bracket => "[".to_owned(),
+                    Delimiter::None => "?".to_owned(),
+                },
+                TokenTree::Ident(i) => format!("i:{i}"),
+                TokenTree::Punct(p) => format!("p:{}", p.as_char()),
+                TokenTree::Literal(l) => format!("l:{l}"),
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let ts = lex("fn main() { let x = 1.5e3; }");
+        assert_eq!(kinds(&ts), "i:fn i:main ( {");
+    }
+
+    #[test]
+    fn comments_are_skipped_even_nested() {
+        let ts = lex("a /* x /* y */ z */ b // tail\nc");
+        assert_eq!(kinds(&ts), "i:a i:b i:c");
+    }
+
+    #[test]
+    fn strings_raw_strings_and_escapes() {
+        let ts = lex(r####"("plain \" quote", r#"raw "inner""#, b"bytes")"####);
+        let TokenTree::Group(g) = &ts.trees()[0] else {
+            panic!("expected group")
+        };
+        let lits: Vec<String> = g
+            .stream()
+            .trees()
+            .iter()
+            .filter_map(|t| match t {
+                TokenTree::Literal(l) => l.str_value(),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lits, [r#"plain " quote"#, r#"raw "inner""#, "bytes"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ts = lex("<'a> 'x' '\\n' 'static");
+        let k = kinds(&ts);
+        assert!(k.contains("p:'"), "lifetime lexes as punct: {k}");
+        assert!(k.contains("l:'x'"), "char literal kept: {k}");
+        assert!(k.contains("l:'\\n'"), "escaped char kept: {k}");
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let ts = lex("a\n  b");
+        let spans: Vec<(usize, usize)> = ts
+            .trees()
+            .iter()
+            .map(|t| (t.span().start().line, t.span().start().column))
+            .collect();
+        assert_eq!(spans, [(1, 0), (2, 2)]);
+    }
+
+    #[test]
+    fn number_then_range_keeps_dots() {
+        let ts = lex("0..10");
+        assert_eq!(kinds(&ts), "l:0 p:. p:. l:10");
+    }
+
+    #[test]
+    fn unbalanced_is_an_error() {
+        assert!("fn f( {".parse::<TokenStream>().is_err());
+        assert!("}".parse::<TokenStream>().is_err());
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let ts = lex("r#type");
+        assert_eq!(kinds(&ts), "i:type");
+    }
+}

@@ -1,0 +1,757 @@
+//! Workspace-local stand-in for the `syn` crate (offline build),
+//! exposing the API subset the workspace's static-analysis tooling
+//! needs: [`parse_file`] turns Rust source into a [`File`] of items —
+//! functions, impl blocks, traits and modules — with every function
+//! body kept as a `proc-macro2` [`TokenStream`] for token-level
+//! inspection.
+//!
+//! The parser is deliberately lenient: constructs it does not model
+//! (structs, enums, uses, macros, consts, ...) are preserved as
+//! [`Item::Verbatim`] so a lint pass can still walk their tokens, and
+//! unknown syntax never aborts parsing — only lexical errors (from the
+//! `proc-macro2` stand-in) are fatal, mirroring how `syn::parse_file`
+//! fails on broken source.
+
+use proc_macro2::{Delimiter, LineColumn, Span, TokenStream, TokenTree};
+use std::fmt;
+
+/// Parse failure (lexical, or a file that is not valid UTF-8 Rust).
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+    at: Option<LineColumn>,
+}
+
+impl Error {
+    /// Line/column the error points at, when known.
+    pub fn location(&self) -> Option<LineColumn> {
+        self.at
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching upstream `syn`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// A parsed source file.
+#[derive(Debug, Clone)]
+pub struct File {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// One top-level (or module-nested) item.
+#[derive(Debug, Clone)]
+pub enum Item {
+    /// A free function.
+    Fn(ItemFn),
+    /// An `impl` block (inherent or trait).
+    Impl(ItemImpl),
+    /// A `mod name { ... }` or `mod name;`.
+    Mod(ItemMod),
+    /// A `trait Name { ... }`.
+    Trait(ItemTrait),
+    /// Anything else, kept as raw tokens.
+    Verbatim(TokenStream),
+}
+
+/// An outer attribute `#[...]` (inner `#![...]` attributes are parsed
+/// but not attached).
+#[derive(Debug, Clone)]
+pub struct Attribute {
+    /// The tokens between the brackets, e.g. `cfg(test)`.
+    pub tokens: TokenStream,
+    /// Span of the opening `#`.
+    pub span: Span,
+}
+
+impl Attribute {
+    /// The attribute's leading path, e.g. `cfg`, `test`, `serde`.
+    pub fn path(&self) -> String {
+        match self.tokens.trees().first() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            _ => String::new(),
+        }
+    }
+
+    /// True for `#[cfg(test)]` (possibly with extra predicates that
+    /// include `test`).
+    pub fn is_cfg_test(&self) -> bool {
+        if self.path() != "cfg" {
+            return false;
+        }
+        fn mentions_test(ts: &TokenStream) -> bool {
+            ts.trees().iter().any(|t| match t {
+                TokenTree::Ident(i) => *i == "test",
+                TokenTree::Group(g) => mentions_test(&g.stream()),
+                _ => false,
+            })
+        }
+        mentions_test(&self.tokens)
+    }
+}
+
+/// A function signature (subset: just the name; the full token text of
+/// the signature is kept for diagnostics).
+#[derive(Debug, Clone)]
+pub struct Signature {
+    /// The function's name.
+    pub ident: String,
+}
+
+/// A function with its body tokens, used for both free functions and
+/// methods inside `impl`/`trait` blocks.
+#[derive(Debug, Clone)]
+pub struct ItemFn {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// Name (and, in spirit, the rest of the signature).
+    pub sig: Signature,
+    /// Body tokens; empty for signature-only trait methods.
+    pub block: TokenStream,
+    /// Whether a `{ ... }` body was present.
+    pub has_body: bool,
+    /// Span of the `fn` keyword.
+    pub span: Span,
+}
+
+/// An `impl` block.
+#[derive(Debug, Clone)]
+pub struct ItemImpl {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// Rendered trait path for `impl Trait for Type` (e.g.
+    /// `gridrm_dbc::Driver`); `None` for inherent impls.
+    pub trait_path: Option<String>,
+    /// Rendered self type (e.g. `GangliaDriver`).
+    pub self_ty: String,
+    /// Functions defined in the block (non-fn members are dropped).
+    pub fns: Vec<ItemFn>,
+    /// Span of the `impl` keyword.
+    pub span: Span,
+}
+
+impl ItemImpl {
+    /// Last path segment of the implemented trait, generics stripped:
+    /// `impl gridrm_dbc::Driver for X` → `Some("Driver")`.
+    pub fn trait_name(&self) -> Option<&str> {
+        let path = self.trait_path.as_deref()?;
+        let last = path.rsplit("::").next().unwrap_or(path);
+        Some(last.split('<').next().unwrap_or(last).trim())
+    }
+}
+
+/// A module.
+#[derive(Debug, Clone)]
+pub struct ItemMod {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// Module name.
+    pub ident: String,
+    /// Inline body items; `None` for `mod name;`.
+    pub content: Option<Vec<Item>>,
+    /// Span of the `mod` keyword.
+    pub span: Span,
+}
+
+/// A trait definition (subset: its methods).
+#[derive(Debug, Clone)]
+pub struct ItemTrait {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// Trait name.
+    pub ident: String,
+    /// Methods; `has_body` distinguishes defaulted methods.
+    pub fns: Vec<ItemFn>,
+    /// Span of the `trait` keyword.
+    pub span: Span,
+}
+
+/// Parse a whole source file.
+pub fn parse_file(src: &str) -> Result<File> {
+    let stream: TokenStream = src.parse().map_err(|e: proc_macro2::LexError| Error {
+        message: e.to_string(),
+        at: Some(e.at),
+    })?;
+    let trees: Vec<TokenTree> = stream.into_iter().collect();
+    Ok(File {
+        items: parse_items(&trees),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Item-level recursive-descent over token trees
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if *i == s)
+}
+
+fn group_with(t: &TokenTree, d: Delimiter) -> Option<&proc_macro2::Group> {
+    match t {
+        TokenTree::Group(g) if g.delimiter() == d => Some(g),
+        _ => None,
+    }
+}
+
+/// Render tokens tightly enough that paths read naturally
+/// (`a::b::C<D>`); idents/literals get a separating space.
+fn render(tokens: &[TokenTree]) -> String {
+    let mut out = String::new();
+    let mut prev_wordy = false;
+    for t in tokens {
+        let wordy = matches!(t, TokenTree::Ident(_) | TokenTree::Literal(_));
+        if wordy && prev_wordy {
+            out.push(' ');
+        }
+        match t {
+            TokenTree::Group(g) => out.push_str(&g.to_string()),
+            other => out.push_str(&other.to_string()),
+        }
+        prev_wordy = wordy;
+    }
+    out
+}
+
+struct Cursor<'a> {
+    toks: &'a [TokenTree],
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<&'a TokenTree> {
+        self.toks.get(self.i)
+    }
+
+    fn peek_at(&self, n: usize) -> Option<&'a TokenTree> {
+        self.toks.get(self.i + n)
+    }
+
+    fn bump(&mut self) -> Option<&'a TokenTree> {
+        let t = self.toks.get(self.i);
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    /// Collect outer attributes; inner attributes are consumed and
+    /// dropped.
+    fn attrs(&mut self) -> Vec<Attribute> {
+        let mut attrs = Vec::new();
+        while let Some(t) = self.peek() {
+            if !is_punct(t, '#') {
+                break;
+            }
+            let span = t.span();
+            match self.peek_at(1) {
+                Some(inner) if is_punct(inner, '!') => {
+                    if let Some(g) = self
+                        .peek_at(2)
+                        .and_then(|t| group_with(t, Delimiter::Bracket))
+                    {
+                        let _ = g;
+                        self.i += 3; // #![...] — inner attribute, dropped
+                    } else {
+                        break;
+                    }
+                }
+                Some(t2) => {
+                    if let Some(g) = group_with(t2, Delimiter::Bracket) {
+                        attrs.push(Attribute {
+                            tokens: g.stream(),
+                            span,
+                        });
+                        self.i += 2;
+                    } else {
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+        attrs
+    }
+
+    /// Consume visibility / `const` / `unsafe` / `async` / `extern "C"` /
+    /// `default` modifiers that may precede an item keyword. Returns
+    /// `false` if a `const`/`static`-style *item* was detected instead
+    /// (cursor left on its keyword).
+    fn modifiers(&mut self) -> bool {
+        loop {
+            let Some(t) = self.peek() else {
+                return true;
+            };
+            let TokenTree::Ident(id) = t else {
+                return true;
+            };
+            let word = id.to_string();
+            match word.as_str() {
+                "pub" => {
+                    self.i += 1;
+                    if let Some(t) = self.peek() {
+                        if group_with(t, Delimiter::Parenthesis).is_some() {
+                            self.i += 1; // pub(crate) etc.
+                        }
+                    }
+                }
+                "unsafe" | "async" | "default" => {
+                    self.i += 1;
+                }
+                "extern" => {
+                    self.i += 1;
+                    if let Some(TokenTree::Literal(_)) = self.peek() {
+                        self.i += 1; // the ABI string
+                    }
+                }
+                "const" => {
+                    // `const fn` / `const unsafe fn` are modifiers; a
+                    // `const NAME: ...` is an item.
+                    match self.peek_at(1) {
+                        Some(t)
+                            if is_ident(t, "fn")
+                                || is_ident(t, "unsafe")
+                                || is_ident(t, "async")
+                                || is_ident(t, "extern") =>
+                        {
+                            self.i += 1;
+                        }
+                        _ => return false,
+                    }
+                }
+                _ => return true,
+            }
+        }
+    }
+
+    /// Skip a balanced `<...>` generics run if the cursor is on `<`.
+    fn skip_generics(&mut self) {
+        if !matches!(self.peek(), Some(t) if is_punct(t, '<')) {
+            return;
+        }
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        // A `->` arrow inside Fn(...) bounds: the `-` was
+                        // skipped as an ordinary token, so only count `>`
+                        // when the previous token was not `-`.
+                        let prev_minus = self.i > 0 && is_punct(&self.toks[self.i - 1], '-');
+                        if !prev_minus {
+                            depth -= 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            self.i += 1;
+            if depth == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Skip forward to just past the next top-level `;`, or consume a
+    /// trailing brace group (whichever comes first). Used for items the
+    /// parser does not model.
+    fn skip_item_tail(&mut self) {
+        while let Some(t) = self.bump() {
+            if is_punct(t, ';') {
+                return;
+            }
+            if group_with(t, Delimiter::Brace).is_some() {
+                return;
+            }
+        }
+    }
+}
+
+fn parse_items(toks: &[TokenTree]) -> Vec<Item> {
+    let mut cur = Cursor { toks, i: 0 };
+    let mut items = Vec::new();
+    while cur.peek().is_some() {
+        let before = cur.i;
+        let attrs = cur.attrs();
+        if !cur.modifiers() {
+            // const/static item: keep tokens, skip to `;`.
+            let start = cur.i;
+            cur.skip_item_tail();
+            items.push(Item::Verbatim(toks[start..cur.i].iter().cloned().collect()));
+            continue;
+        }
+        let Some(t) = cur.peek() else { break };
+        let span = t.span();
+        if is_ident(t, "fn") {
+            cur.i += 1;
+            if let Some(f) = parse_fn_after_keyword(&mut cur, attrs, span) {
+                items.push(Item::Fn(f));
+            }
+        } else if is_ident(t, "impl") {
+            cur.i += 1;
+            items.push(Item::Impl(parse_impl(&mut cur, attrs, span)));
+        } else if is_ident(t, "mod") {
+            cur.i += 1;
+            let name = match cur.peek() {
+                Some(TokenTree::Ident(i)) => {
+                    let n = i.to_string();
+                    cur.i += 1;
+                    n
+                }
+                _ => String::new(),
+            };
+            let content = match cur.peek() {
+                Some(t) if group_with(t, Delimiter::Brace).is_some() => {
+                    let g = group_with(t, Delimiter::Brace).map(|g| g.stream());
+                    cur.i += 1;
+                    g.map(|s| {
+                        let inner: Vec<TokenTree> = s.into_iter().collect();
+                        parse_items(&inner)
+                    })
+                }
+                _ => {
+                    cur.skip_item_tail();
+                    None
+                }
+            };
+            items.push(Item::Mod(ItemMod {
+                attrs,
+                ident: name,
+                content,
+                span,
+            }));
+        } else if is_ident(t, "trait") {
+            cur.i += 1;
+            let name = match cur.peek() {
+                Some(TokenTree::Ident(i)) => {
+                    let n = i.to_string();
+                    cur.i += 1;
+                    n
+                }
+                _ => String::new(),
+            };
+            // Supertraits / generics / where clause up to the body.
+            let mut body = None;
+            while let Some(t) = cur.bump() {
+                if let Some(g) = group_with(t, Delimiter::Brace) {
+                    body = Some(g.stream());
+                    break;
+                }
+                if is_punct(t, ';') {
+                    break;
+                }
+            }
+            let fns = body
+                .map(|s| {
+                    let inner: Vec<TokenTree> = s.into_iter().collect();
+                    parse_member_fns(&inner)
+                })
+                .unwrap_or_default();
+            items.push(Item::Trait(ItemTrait {
+                attrs,
+                ident: name,
+                fns,
+                span,
+            }));
+        } else {
+            // struct / enum / use / type / macro / stray tokens: verbatim.
+            let start = cur.i;
+            cur.skip_item_tail();
+            items.push(Item::Verbatim(toks[start..cur.i].iter().cloned().collect()));
+        }
+        if cur.i == before {
+            cur.i += 1; // guarantee progress on pathological input
+        }
+    }
+    items
+}
+
+/// Parse `name <generics>? (args) -> ret? where...? { body }` with the
+/// cursor just past the `fn` keyword.
+fn parse_fn_after_keyword(
+    cur: &mut Cursor<'_>,
+    attrs: Vec<Attribute>,
+    span: Span,
+) -> Option<ItemFn> {
+    let name = match cur.peek() {
+        Some(TokenTree::Ident(i)) => {
+            let n = i.to_string();
+            cur.i += 1;
+            n
+        }
+        _ => return None,
+    };
+    // Everything up to the body brace (or `;` for signature-only).
+    loop {
+        match cur.peek() {
+            Some(t) if is_punct(t, '<') => cur.skip_generics(),
+            Some(t) if group_with(t, Delimiter::Brace).is_some() => {
+                let block = group_with(t, Delimiter::Brace)
+                    .map(|g| g.stream())
+                    .unwrap_or_default();
+                cur.i += 1;
+                return Some(ItemFn {
+                    attrs,
+                    sig: Signature { ident: name },
+                    block,
+                    has_body: true,
+                    span,
+                });
+            }
+            Some(t) if is_punct(t, ';') => {
+                cur.i += 1;
+                return Some(ItemFn {
+                    attrs,
+                    sig: Signature { ident: name },
+                    block: TokenStream::new(),
+                    has_body: false,
+                    span,
+                });
+            }
+            Some(_) => {
+                cur.i += 1;
+            }
+            None => return None,
+        }
+    }
+}
+
+fn parse_impl(cur: &mut Cursor<'_>, attrs: Vec<Attribute>, span: Span) -> ItemImpl {
+    cur.skip_generics();
+    // Collect type tokens until the body, splitting on a top-level `for`
+    // (excluding `for<'a>` higher-ranked binders).
+    let mut head: Vec<TokenTree> = Vec::new();
+    let mut for_at: Option<usize> = None;
+    let mut where_at: Option<usize> = None;
+    let mut body = None;
+    let mut angle_depth = 0i32;
+    while let Some(t) = cur.peek() {
+        if let Some(g) = group_with(t, Delimiter::Brace) {
+            body = Some(g.stream());
+            cur.i += 1;
+            break;
+        }
+        if is_punct(t, ';') {
+            cur.i += 1;
+            break;
+        }
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => {
+                    let prev_minus = head.last().map(|t| is_punct(t, '-')).unwrap_or(false);
+                    if !prev_minus {
+                        angle_depth -= 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if angle_depth == 0 && is_ident(t, "for") {
+            let hrtb = matches!(cur.peek_at(1), Some(n) if is_punct(n, '<'));
+            if !hrtb && for_at.is_none() {
+                for_at = Some(head.len());
+            }
+        }
+        if angle_depth == 0 && is_ident(t, "where") && where_at.is_none() {
+            where_at = Some(head.len());
+        }
+        head.push(t.clone());
+        cur.i += 1;
+    }
+    let clause_end = where_at.unwrap_or(head.len());
+    let (trait_path, self_ty) = match for_at {
+        Some(at) if at < clause_end => {
+            (Some(render(&head[..at])), render(&head[at + 1..clause_end]))
+        }
+        _ => (None, render(&head[..clause_end])),
+    };
+    let fns = body
+        .map(|s| {
+            let inner: Vec<TokenTree> = s.into_iter().collect();
+            parse_member_fns(&inner)
+        })
+        .unwrap_or_default();
+    ItemImpl {
+        attrs,
+        trait_path,
+        self_ty,
+        fns,
+        span,
+    }
+}
+
+/// Parse the functions out of an impl/trait body, skipping consts,
+/// associated types and macros.
+fn parse_member_fns(toks: &[TokenTree]) -> Vec<ItemFn> {
+    let mut cur = Cursor { toks, i: 0 };
+    let mut fns = Vec::new();
+    while cur.peek().is_some() {
+        let before = cur.i;
+        let attrs = cur.attrs();
+        if !cur.modifiers() {
+            cur.skip_item_tail(); // associated const
+            continue;
+        }
+        match cur.peek() {
+            Some(t) if is_ident(t, "fn") => {
+                let span = t.span();
+                cur.i += 1;
+                if let Some(f) = parse_fn_after_keyword(&mut cur, attrs, span) {
+                    fns.push(f);
+                }
+            }
+            Some(t) if is_ident(t, "type") => {
+                cur.skip_item_tail();
+                let _ = t;
+            }
+            Some(_) => {
+                cur.skip_item_tail();
+            }
+            None => break,
+        }
+        if cur.i == before {
+            cur.i += 1;
+        }
+    }
+    fns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(items: &[Item]) -> Vec<String> {
+        items
+            .iter()
+            .map(|i| match i {
+                Item::Fn(f) => format!("fn:{}", f.sig.ident),
+                Item::Impl(im) => format!(
+                    "impl:{}:{}",
+                    im.trait_name().unwrap_or("-"),
+                    im.self_ty.split('<').next().unwrap_or("").trim()
+                ),
+                Item::Mod(m) => format!("mod:{}", m.ident),
+                Item::Trait(t) => format!("trait:{}", t.ident),
+                Item::Verbatim(_) => "verbatim".to_owned(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn items_and_impls() {
+        let src = r#"
+            use std::sync::Arc;
+            pub struct Foo { x: u32 }
+            impl Foo { fn new() -> Foo { Foo { x: 0 } } }
+            impl gridrm_dbc::Driver for Foo {
+                fn accepts_url(&self, url: &JdbcUrl) -> bool { true }
+            }
+            pub fn free<T: Into<String>>(t: T) -> String { t.into() }
+            mod inner { pub fn helper() {} }
+        "#;
+        let file = parse_file(src).unwrap();
+        assert_eq!(
+            names(&file.items),
+            [
+                "verbatim",
+                "verbatim",
+                "impl:-:Foo",
+                "impl:Driver:Foo",
+                "fn:free",
+                "mod:inner"
+            ]
+        );
+        let Item::Impl(im) = &file.items[3] else {
+            panic!()
+        };
+        assert_eq!(im.fns.len(), 1);
+        assert_eq!(im.fns[0].sig.ident, "accepts_url");
+        let Item::Mod(m) = &file.items[5] else {
+            panic!()
+        };
+        assert_eq!(names(m.content.as_ref().unwrap()), ["fn:helper"]);
+    }
+
+    #[test]
+    fn cfg_test_attribute_detection() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests { #[test] fn t() { x.unwrap(); } }
+        "#;
+        let file = parse_file(src).unwrap();
+        let Item::Mod(m) = &file.items[0] else {
+            panic!()
+        };
+        assert!(m.attrs.iter().any(|a| a.is_cfg_test()));
+        let Item::Fn(f) = &m.content.as_ref().unwrap()[0] else {
+            panic!()
+        };
+        assert_eq!(f.attrs[0].path(), "test");
+    }
+
+    #[test]
+    fn generic_impl_with_where_clause() {
+        let src =
+            "impl<K: Eq + Hash, V: Clone> SingleFlight<K, V> where K: Send { fn go(&self) {} }";
+        let file = parse_file(src).unwrap();
+        let Item::Impl(im) = &file.items[0] else {
+            panic!()
+        };
+        assert!(im.trait_path.is_none());
+        assert!(im.self_ty.starts_with("SingleFlight"));
+        assert_eq!(im.fns[0].sig.ident, "go");
+    }
+
+    #[test]
+    fn fn_bound_arrow_does_not_break_generics() {
+        let src = "impl<F: Fn(&str) -> String> Holder<F> { fn call(&self) {} }";
+        let file = parse_file(src).unwrap();
+        let Item::Impl(im) = &file.items[0] else {
+            panic!()
+        };
+        assert!(im.self_ty.starts_with("Holder"));
+        assert_eq!(im.fns.len(), 1);
+    }
+
+    #[test]
+    fn trait_with_default_methods() {
+        let src = r#"
+            pub trait Driver {
+                fn accepts_url(&self, url: &JdbcUrl) -> bool;
+                fn name(&self) -> String { self.meta().name }
+            }
+        "#;
+        let file = parse_file(src).unwrap();
+        let Item::Trait(t) = &file.items[0] else {
+            panic!()
+        };
+        assert_eq!(t.fns.len(), 2);
+        assert!(!t.fns[0].has_body);
+        assert!(t.fns[1].has_body);
+    }
+
+    #[test]
+    fn const_items_do_not_eat_fns() {
+        let src = "const N: usize = 3; pub const fn f() -> usize { N }";
+        let file = parse_file(src).unwrap();
+        assert_eq!(names(&file.items), ["verbatim", "fn:f"]);
+    }
+
+    #[test]
+    fn lex_error_is_reported() {
+        assert!(parse_file("fn broken( {").is_err());
+    }
+}

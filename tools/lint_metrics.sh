@@ -1,100 +1,3 @@
 #!/usr/bin/env bash
-# Grep-based lint for the metric naming and label-cardinality house
-# rules in docs/observability.md:
-#
-#   1. every registered metric name starts with `gridrm_`
-#   2. counter names end in `_total`
-#   3. label KEYS never come from the open sets clients control
-#      (source / url / hostname / host / sql / query / address) —
-#      high-cardinality detail belongs in the trace, not in labels
-#   4. every span stage name recorded via .stage()/.stage_with() is
-#      documented in the "Span stage vocabulary" section of
-#      docs/observability.md — stages are a closed set too
-#
-# Usage: tools/lint_metrics.sh   (exits nonzero on any violation)
-set -u
-cd "$(dirname "$0")/.."
-
-SCAN_DIRS="crates src examples"
-FORBIDDEN_LABEL_KEYS='source|url|hostname|host|sql|query|address'
-fail=0
-
-# Every counter/gauge/histogram registration (direct or expose_*)
-# paired with the metric-name literal that follows it — the name sits
-# on the same line or within the next two (rustfmt wraps arguments).
-registrations() {
-  grep -rn -E '\.(expose_)?(counter|gauge|histogram)\(' \
-      --include='*.rs' $SCAN_DIRS |
-    while IFS=: read -r file line rest; do
-      kind=$(printf '%s' "$rest" |
-        grep -oE '(expose_)?(counter|gauge|histogram)\(' | head -1 |
-        sed 's/expose_//; s/($//; s/(//')
-      name=$(sed -n "${line},$((line + 2))p" "$file" |
-        grep -oE '"[A-Za-z0-9_:]+"' | head -1 | tr -d '"')
-      [ -n "$name" ] && printf '%s:%s:%s:%s\n' "$file" "$line" "$kind" "$name"
-    done
-}
-
-regs=$(registrations)
-if [ -z "$regs" ]; then
-  echo "lint_metrics: found no metric registrations — scan pattern broken?" >&2
-  exit 1
-fi
-
-# Rule 1: gridrm_ prefix.
-bad=$(printf '%s\n' "$regs" | awk -F: '$4 !~ /^gridrm_/')
-if [ -n "$bad" ]; then
-  echo "FAIL: metric names must start with gridrm_:" >&2
-  printf '%s\n' "$bad" | sed 's/^/  /' >&2
-  fail=1
-fi
-
-# Rule 2: counters end in _total.
-bad=$(printf '%s\n' "$regs" | awk -F: '$3 == "counter" && $4 !~ /_total$/')
-if [ -n "$bad" ]; then
-  echo "FAIL: counter names must end in _total:" >&2
-  printf '%s\n' "$bad" | sed 's/^/  /' >&2
-  fail=1
-fi
-
-# Rule 3: no open-set label keys. Label pairs are written
-# ("key", "value") inside Labels::from_pairs; the key literal may land
-# one line below the call after rustfmt wrapping, so scan every
-# ("...", pair on lines near a from_pairs call.
-bad=$(grep -rn -A3 'Labels::from_pairs' --include='*.rs' $SCAN_DIRS |
-  grep -E "\(\"(${FORBIDDEN_LABEL_KEYS})\"," || true)
-if [ -n "$bad" ]; then
-  echo "FAIL: forbidden label key (open-set / client-controlled values):" >&2
-  printf '%s\n' "$bad" | sed 's/^/  /' >&2
-  fail=1
-fi
-
-# Rule 4: span stage names must appear (backticked) in the "Span stage
-# vocabulary" section of docs/observability.md. Stage literals follow
-# .stage("...") / .stage_with("...", — the literal may land on the next
-# line after rustfmt wrapping, so match across newlines (-z).
-VOCAB_DOC="docs/observability.md"
-vocab=$(awk '/^### Span stage vocabulary/{hit=1; next} hit && /^#/{exit} hit' \
-  "$VOCAB_DOC" | grep -oE '`[a-z_]+`' | tr -d '`' | sort -u)
-if [ -z "$vocab" ]; then
-  echo "lint_metrics: no stage vocabulary found in $VOCAB_DOC — section renamed?" >&2
-  exit 1
-fi
-stages=$(grep -rzoE '\.stage(_with)?\(\s*"[a-z_]+"' --include='*.rs' $SCAN_DIRS |
-  tr '\0' '\n' | grep -oE '"[a-z_]+"' | tr -d '"' | sort -u)
-if [ -z "$stages" ]; then
-  echo "lint_metrics: found no span stages — scan pattern broken?" >&2
-  exit 1
-fi
-bad=$(comm -23 <(printf '%s\n' "$stages") <(printf '%s\n' "$vocab"))
-if [ -n "$bad" ]; then
-  echo "FAIL: span stage(s) not documented in $VOCAB_DOC (Span stage vocabulary):" >&2
-  printf '%s\n' "$bad" | sed 's/^/  /' >&2
-  fail=1
-fi
-
-if [ "$fail" -eq 0 ]; then
-  nstages=$(printf '%s\n' "$stages" | wc -l | tr -d ' ')
-  echo "lint_metrics: OK ($(printf '%s\n' "$regs" | wc -l | tr -d ' ') registrations, ${nstages} stage names checked)"
-fi
-exit "$fail"
+# Superseded by the AST-based analyzer (see docs/static-analysis.md).
+exec cargo run -q -p gridrm-xlint -- "$@"
