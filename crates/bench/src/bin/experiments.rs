@@ -577,6 +577,266 @@ fn e13() {
     println!("  RESULT: {}", if ok { "PASS" } else { "FAIL" });
 }
 
+/// E14 — Time-series + SLO engine at scale: feed the recorder a million
+/// deterministic synthetic samples, roll them up three independent ways
+/// — the columnar `bucketed()` kernel, the SQL `TIME_BUCKET` GROUP BY
+/// path through the store executor, and a naive row loop — and require
+/// bucket-for-bucket agreement; then drive the burn-rate engine through
+/// a scripted regression and recovery in virtual time. Sample values
+/// are exact multiples of 1/8 so every sum is exact in f64 and the
+/// aggregates are bit-identical regardless of summation order; counts,
+/// sums and transition timestamps land in `BENCH_slo.json`, wall-clock
+/// timings go to stdout only.
+fn e14_run(series: usize, points_per_series: usize, write_json: bool) -> bool {
+    use gridrm_sqlparse::ast::{ColumnDef, Statement};
+    use gridrm_sqlparse::{SqlType, SqlValue};
+    use gridrm_store::Table;
+    use gridrm_telemetry::{
+        Journal, Labels, PointKind, Registry, SloEngine, SloObjective, SloSpec, TimeSeriesRecorder,
+        DEFAULT_LATENCY_BUCKETS_MS,
+    };
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const STEP_MS: u64 = 100;
+    const BUCKET_MS: u64 = 60_000;
+    const NAME: &str = "gridrm_bench_signal";
+    let total_points = series * points_per_series;
+    // Exact eighths in [0, 500): every partial sum is a multiple of 1/8
+    // well inside f64's exact-integer range, so addition never rounds.
+    let value = |s: usize, i: usize| ((s + i).wrapping_mul(2_654_435_761) % 4_000) as f64 / 8.0;
+    let label = |s: usize| format!("series=\"s{s:02}\"");
+
+    // Ingest: one ring per series, sized so nothing is evicted.
+    let rec = TimeSeriesRecorder::new();
+    rec.configure(1, points_per_series);
+    let t0 = Instant::now();
+    for s in 0..series {
+        let labels = label(s);
+        for i in 0..points_per_series {
+            rec.record_point(
+                NAME,
+                &labels,
+                PointKind::Gauge,
+                i as u64 * STEP_MS,
+                value(s, i),
+            );
+        }
+    }
+    let ingest = t0.elapsed();
+    println!(
+        "  ingest: {total_points} points in {:.0}ms ({:.2}M points/s)",
+        ingest.as_secs_f64() * 1e3,
+        total_points as f64 / ingest.as_secs_f64() / 1e6
+    );
+
+    // Path 1: the columnar kernel over every series.
+    let t0 = Instant::now();
+    let kernel: Vec<Vec<gridrm_telemetry::BucketStats>> = (0..series)
+        .map(|s| rec.bucketed(NAME, &label(s), BUCKET_MS))
+        .collect();
+    let kernel_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Path 2: a naive per-row loop over the materialised history.
+    let t0 = Instant::now();
+    let mut naive_ok = true;
+    for (s, want) in kernel.iter().enumerate() {
+        let mut got: Vec<(u64, u64, f64, f64, f64)> = Vec::new();
+        for r in rec.history_for(Some(NAME), Some(&label(s))) {
+            let b = r.ts_ms / BUCKET_MS * BUCKET_MS;
+            match got.last_mut() {
+                Some(last) if last.0 == b => {
+                    last.1 += 1;
+                    last.2 = last.2.min(r.value);
+                    last.3 = last.3.max(r.value);
+                    last.4 += r.value;
+                }
+                _ => got.push((b, 1, r.value, r.value, r.value)),
+            }
+        }
+        naive_ok &= got.len() == want.len()
+            && got.iter().zip(want).all(|(g, w)| {
+                (g.0, g.1, g.2, g.3, g.4) == (w.bucket_ms, w.count, w.min, w.max, w.sum)
+            });
+    }
+    let naive_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Path 3: the SQL TIME_BUCKET GROUP BY path through the store
+    // executor, over series 0 loaded into a plain two-column table.
+    let mut table = Table::new(
+        "samples",
+        vec![
+            ColumnDef {
+                name: "ts".into(),
+                ty: SqlType::Timestamp,
+                primary_key: false,
+            },
+            ColumnDef {
+                name: "value".into(),
+                ty: SqlType::Float,
+                primary_key: false,
+            },
+        ],
+    );
+    for i in 0..points_per_series {
+        table
+            .insert(
+                &[],
+                vec![
+                    SqlValue::Timestamp((i as u64 * STEP_MS) as i64),
+                    SqlValue::Float(value(0, i)),
+                ],
+            )
+            .expect("insert sample");
+    }
+    let sql = format!(
+        "SELECT TIME_BUCKET({BUCKET_MS}, ts) AS bucket, COUNT(*), MIN(value), \
+         MAX(value), SUM(value) FROM samples \
+         GROUP BY TIME_BUCKET({BUCKET_MS}, ts) ORDER BY bucket"
+    );
+    let sel = match gridrm_sqlparse::parse(&sql) {
+        Ok(Statement::Select(sel)) => sel,
+        other => panic!("TIME_BUCKET select parses: {other:?}"),
+    };
+    let t0 = Instant::now();
+    let rs = gridrm_store::select_in_memory(&table, &sel, 0).expect("TIME_BUCKET rollup");
+    let sql_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let sql_ok = rs.len() == kernel[0].len()
+        && rs.rows().iter().zip(&kernel[0]).all(|(row, w)| {
+            row[0].as_i64() == Some(w.bucket_ms as i64)
+                && row[1].as_i64() == Some(w.count as i64)
+                && row[2].as_f64() == Some(w.min)
+                && row[3].as_f64() == Some(w.max)
+                && row[4].as_f64() == Some(w.sum)
+        });
+
+    let buckets_per_series = kernel[0].len();
+    let total_count: u64 = kernel.iter().flatten().map(|b| b.count).sum();
+    let total_sum: f64 = kernel.iter().flatten().map(|b| b.sum).sum();
+    let global_min = kernel
+        .iter()
+        .flatten()
+        .map(|b| b.min)
+        .fold(f64::MAX, f64::min);
+    let global_max = kernel
+        .iter()
+        .flatten()
+        .map(|b| b.max)
+        .fold(f64::MIN, f64::max);
+    row(&["path", "time", "buckets", "agrees"], &[22, 12, 10, 8]);
+    row(
+        &[
+            "columnar kernel",
+            &format!("{kernel_ms:.1}ms"),
+            &buckets_per_series.to_string(),
+            "-",
+        ],
+        &[22, 12, 10, 8],
+    );
+    row(
+        &[
+            "naive row loop",
+            &format!("{naive_ms:.1}ms"),
+            &buckets_per_series.to_string(),
+            if naive_ok { "yes" } else { "NO" },
+        ],
+        &[22, 12, 10, 8],
+    );
+    row(
+        &[
+            "sql TIME_BUCKET",
+            &format!("{sql_ms:.1}ms"),
+            &rs.len().to_string(),
+            if sql_ok { "yes" } else { "NO" },
+        ],
+        &[22, 12, 10, 8],
+    );
+
+    // The burn-rate engine on a scripted workload: 10 ms requests, a
+    // 10-minute 500 ms regression starting at t=600 s, then recovery.
+    // All in virtual time, so the transition stamps are deterministic.
+    let registry = Arc::new(Registry::new());
+    let journal = Arc::new(Journal::new(64));
+    let engine = SloEngine::new(registry.clone(), journal);
+    let mut spec = SloSpec::new(
+        "bench-latency",
+        SloObjective::Latency {
+            metric: "gridrm_request_latency_ms".to_owned(),
+            threshold_ms: 100.0,
+        },
+        0.9,
+    );
+    spec.fast_window_ms = 60_000;
+    spec.slow_window_ms = 300_000;
+    spec.fast_burn_threshold = 2.0;
+    spec.slow_burn_threshold = 1.0;
+    engine.configure(&[spec]);
+    let hist = registry.histogram(
+        "gridrm_request_latency_ms",
+        "scripted request latency",
+        Labels::none(),
+        DEFAULT_LATENCY_BUCKETS_MS,
+    );
+    let (mut fired_at, mut cleared_at) = (0u64, 0u64);
+    let mut evaluations = 0u64;
+    for step in 0..3_600u64 {
+        let now = step * 1_000;
+        let latency = if (600_000..1_200_000).contains(&now) {
+            500.0
+        } else {
+            10.0
+        };
+        for _ in 0..10 {
+            hist.observe(latency);
+        }
+        engine.evaluate(now);
+        evaluations += 1;
+        for t in engine.take_transitions() {
+            if t.firing {
+                fired_at = now;
+            } else {
+                cleared_at = now;
+            }
+        }
+    }
+    let status = &engine.snapshot()[0];
+    let slo_ok = status.transitions == 2 && fired_at > 0 && cleared_at > fired_at;
+    println!(
+        "  slo: {} evaluations, fired at t={}ms, cleared at t={}ms, {} transitions",
+        evaluations, fired_at, cleared_at, status.transitions
+    );
+
+    let ok = naive_ok && sql_ok && slo_ok && total_count as usize == total_points;
+    if write_json {
+        let json = format!(
+            "{{\n  \"experiment\": \"slo_timebucket\",\n  \"unit\": \"virtual_ms\",\n  \
+             \"series\": {series},\n  \"points_per_series\": {points_per_series},\n  \
+             \"total_points\": {total_points},\n  \"step_ms\": {STEP_MS},\n  \
+             \"bucket_ms\": {BUCKET_MS},\n  \"buckets_per_series\": {buckets_per_series},\n  \
+             \"total_count\": {total_count},\n  \"total_sum\": {total_sum:.3},\n  \
+             \"global_min\": {global_min:.3},\n  \"global_max\": {global_max:.3},\n  \
+             \"paths_agree\": {agree},\n  \"slo_evaluations\": {evaluations},\n  \
+             \"slo_fired_at_ms\": {fired_at},\n  \"slo_cleared_at_ms\": {cleared_at},\n  \
+             \"slo_transitions\": {transitions}\n}}\n",
+            agree = naive_ok && sql_ok,
+            transitions = status.transitions,
+        );
+        std::fs::write("BENCH_slo.json", &json).expect("write BENCH_slo.json");
+        println!("  wrote BENCH_slo.json");
+    }
+    println!("  RESULT: {}", if ok { "PASS" } else { "FAIL" });
+    ok
+}
+
+/// E14 at full scale: 8 series x 131072 points = 1,048,576 samples.
+fn e14() {
+    banner(
+        "E14",
+        "TIME_BUCKET rollups + SLO burn engine over 1M samples",
+    );
+    e14_run(8, 131_072, true);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id || a == "all");
@@ -612,5 +872,18 @@ fn main() {
     if want("e13") {
         e13();
     }
+    if want("e14") {
+        e14();
+    }
     println!();
+}
+
+#[cfg(test)]
+mod tests {
+    /// CI smoke: the full e14 pipeline at reduced scale, without
+    /// touching the committed BENCH_slo.json.
+    #[test]
+    fn e14_paths_agree_at_reduced_scale() {
+        assert!(super::e14_run(2, 4_096, false));
+    }
 }

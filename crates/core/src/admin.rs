@@ -9,7 +9,9 @@ use crate::driver_manager::{FailurePolicy, GridRMDriverManager};
 use crate::health::{HealthMonitor, SourceHealthSnapshot};
 use gridrm_dbc::{DbcResult, JdbcUrl, SqlError};
 use gridrm_simnet::Network;
-use gridrm_telemetry::{GatewayTelemetry, JournalEntry, MetricSnapshot, TraceRecord};
+use gridrm_telemetry::{
+    GatewayTelemetry, HistoryRow, JournalEntry, MetricSnapshot, SloStatus, TraceRecord,
+};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
@@ -230,6 +232,36 @@ impl AdminInterface {
     /// JSON text of [`AdminInterface::slow_queries`].
     pub fn slow_queries_json(&self) -> String {
         serde_json::to_string_pretty(&self.slow_queries()).expect("traces are serialisable")
+    }
+
+    /// Point-in-time SLO statuses: burn rates, remaining error budget,
+    /// and firing state per declared SLO, sorted by name.
+    pub fn slo_snapshot(&self) -> Vec<SloStatus> {
+        self.telemetry
+            .read()
+            .as_ref()
+            .map(|t| t.slo().snapshot())
+            .unwrap_or_default()
+    }
+
+    /// JSON text of [`AdminInterface::slo_snapshot`].
+    pub fn slo_json(&self) -> String {
+        serde_json::to_string_pretty(&self.slo_snapshot()).expect("SLO status is serialisable")
+    }
+
+    /// Recorded metric time-series rows, ordered by series then time.
+    pub fn timeseries_history(&self) -> Vec<HistoryRow> {
+        self.telemetry
+            .read()
+            .as_ref()
+            .map(|t| t.timeseries().history())
+            .unwrap_or_default()
+    }
+
+    /// JSON text of [`AdminInterface::timeseries_history`].
+    pub fn timeseries_history_json(&self) -> String {
+        serde_json::to_string_pretty(&self.timeseries_history())
+            .expect("history rows are serialisable")
     }
 
     /// Add (or modify) a data source; applies its driver preferences and

@@ -5,6 +5,7 @@
 use crate::events::{GridRMEvent, Severity};
 use crate::health::{HealthState, HealthTransition};
 use gridrm_dbc::RowSet;
+use gridrm_telemetry::SloTransition;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
@@ -176,6 +177,27 @@ impl AlertEngine {
             ),
             value: None,
         })
+    }
+
+    /// Map an SLO burn-rate transition to an alert event: a firing SLO
+    /// raises a Critical alert, a recovery an Info notice. The event's
+    /// value carries the slow-window burn rate (the confirming signal).
+    pub fn slo_alert(&self, t: &SloTransition) -> GridRMEvent {
+        let (severity, category) = if t.firing {
+            (Severity::Critical, "slo.burn.firing")
+        } else {
+            (Severity::Info, "slo.burn.recovered")
+        };
+        GridRMEvent {
+            id: 0,
+            at_ms: t.at_ms as i64,
+            source: format!("slo:{}", t.slo),
+            hostname: None,
+            severity,
+            category: category.to_owned(),
+            message: t.message.clone(),
+            value: Some(t.burn_slow),
+        }
     }
 }
 

@@ -1,5 +1,6 @@
 //! Gateway policy & configuration (Fig 2's "Gateway Policy and Schemas").
 
+use gridrm_telemetry::SloSpec;
 use serde::{Deserialize, Serialize};
 
 /// Static configuration of one gateway.
@@ -58,6 +59,16 @@ pub struct GatewayConfig {
     /// execution (single-flight).
     #[serde(default = "defaults::coalesce_identical")]
     pub coalesce_identical: bool,
+    /// Virtual ms between samples of the metrics registry into the
+    /// time-series recorder (driven by `pump`).
+    #[serde(default = "defaults::timeseries_interval_ms")]
+    pub timeseries_interval_ms: u64,
+    /// Per-series ring capacity of the time-series recorder.
+    #[serde(default = "defaults::timeseries_capacity")]
+    pub timeseries_capacity: usize,
+    /// Declared SLOs, evaluated by the burn-rate engine on every pump.
+    #[serde(default)]
+    pub slos: Vec<SloSpec>,
 }
 
 /// Serde defaults so pre-health persisted configs keep loading.
@@ -86,6 +97,12 @@ mod defaults {
     pub fn coalesce_identical() -> bool {
         true
     }
+    pub fn timeseries_interval_ms() -> u64 {
+        gridrm_telemetry::DEFAULT_TIMESERIES_INTERVAL_MS
+    }
+    pub fn timeseries_capacity() -> usize {
+        gridrm_telemetry::DEFAULT_TIMESERIES_CAPACITY
+    }
 }
 
 impl GatewayConfig {
@@ -111,6 +128,9 @@ impl GatewayConfig {
             fanout_parallel: defaults::fanout_parallel(),
             default_deadline_ms: 0,
             coalesce_identical: defaults::coalesce_identical(),
+            timeseries_interval_ms: defaults::timeseries_interval_ms(),
+            timeseries_capacity: defaults::timeseries_capacity(),
+            slos: Vec::new(),
         }
     }
 }
@@ -171,5 +191,44 @@ mod tests {
         assert!(c.fanout_parallel);
         assert!(c.coalesce_identical);
         assert_eq!(c.default_deadline_ms, 0);
+    }
+
+    #[test]
+    fn pre_slo_config_loads_with_defaults() {
+        // A config persisted before the time-series/SLO layer existed
+        // must still deserialise: default recorder knobs, no SLOs.
+        let json = r#"{
+            "name": "gw-old", "site": "s", "address": "gw.s",
+            "cache_ttl_ms": 10000, "history_retention_ms": 86400000,
+            "event_fast_capacity": 1024, "pool_max_idle": 8,
+            "session_ttl_ms": 1800000, "record_history": true
+        }"#;
+        let c: GatewayConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(
+            c.timeseries_interval_ms,
+            gridrm_telemetry::DEFAULT_TIMESERIES_INTERVAL_MS
+        );
+        assert_eq!(
+            c.timeseries_capacity,
+            gridrm_telemetry::DEFAULT_TIMESERIES_CAPACITY
+        );
+        assert!(c.slos.is_empty());
+    }
+
+    #[test]
+    fn slo_specs_roundtrip_through_config() {
+        use gridrm_telemetry::slo::SloObjective;
+        let mut c = GatewayConfig::new("gw-a", "site-a");
+        c.slos.push(SloSpec::new(
+            "latency-100ms",
+            SloObjective::Latency {
+                metric: "gridrm_request_latency_ms".to_owned(),
+                threshold_ms: 100.0,
+            },
+            0.99,
+        ));
+        let json = serde_json::to_string(&c).unwrap();
+        let back: GatewayConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.slos, c.slos);
     }
 }

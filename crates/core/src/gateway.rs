@@ -64,6 +64,10 @@ impl Gateway {
         // Spans are stamped with the gateway's Grid identity so a
         // multi-site trace reassembles unambiguously.
         telemetry.set_identity(&config.site, &config.name);
+        telemetry
+            .timeseries()
+            .configure(config.timeseries_interval_ms, config.timeseries_capacity);
+        telemetry.slo().configure(&config.slos);
         let schema = Arc::new(SchemaManager::new());
         let driver_manager = Arc::new(GridRMDriverManager::new());
         let connections = Arc::new(ConnectionManager::new(
@@ -368,6 +372,16 @@ impl Gateway {
                     Labels::from_pairs(&[("state", state.name())]),
                 )
                 .set(count as f64);
+        }
+        // 4. Time series & SLOs, after the gauge refresh above so the
+        // recorder and the burn-rate engine both read current levels.
+        // SLO alert events ingest now and dispatch on the next pump;
+        // the journal entry and the gauges carry the exact fire time.
+        self.telemetry.timeseries().maybe_sample(registry, now);
+        let slo = self.telemetry.slo();
+        slo.evaluate(now);
+        for t in slo.take_transitions() {
+            self.events.ingest(self.alerts.slo_alert(&t));
         }
         self.sessions.sweep(now);
         self.cache

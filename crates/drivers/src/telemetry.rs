@@ -29,6 +29,34 @@
 //! timings, outcome and the rendered stage breakdown. Joining rows on
 //! `trace_id` reconstructs the same tree `EXPLAIN ANALYZE` renders.
 //!
+//! `gridrm_metrics_history` — one row per recorded time-series sample
+//! (see `gridrm_telemetry::timeseries`), ordered by series then time:
+//!
+//! | column     | type      | meaning                                  |
+//! |------------|-----------|------------------------------------------|
+//! | ts_ms      | TIMESTAMP | virtual sample time                      |
+//! | name       | TEXT      | series name (histograms expand to        |
+//! |            |           | `_count`/`_sum`/`_p50`/`_p95`/`_p99`)    |
+//! | labels     | TEXT      | rendered labels                          |
+//! | kind       | TEXT      | `counter` or `gauge`                     |
+//! | value      | REAL      | sampled value                            |
+//! | delta      | REAL      | counter increase since the previous      |
+//! |            |           | sample (NULL for gauges/first sample)    |
+//! | rate_per_s | REAL      | counter rate over the sample gap (NULL   |
+//! |            |           | for gauges/first sample)                 |
+//!
+//! Equality filters on `name`/`labels` are pushed down to the recorder
+//! so a single series is extracted without materialising every ring.
+//! The canonical rollup is `TIME_BUCKET` + `GROUP BY`:
+//! `SELECT TIME_BUCKET(60000, ts_ms) AS bucket, AVG(value) FROM
+//! gridrm_metrics_history WHERE name = '…' GROUP BY
+//! TIME_BUCKET(60000, ts_ms) ORDER BY bucket`.
+//!
+//! `gridrm_slo` — one row per declared SLO (see
+//! `gridrm_telemetry::slo`): name, objective description, target,
+//! last-observed good/total, fast/slow burn rates, remaining error
+//! budget, firing flag, last transition time and transition count.
+//!
 //! URL form: `jdbc:telemetry://local/metrics`.
 
 use crate::base::{parse_select, DriverStats};
@@ -37,7 +65,7 @@ use gridrm_dbc::{
     Connection, DbcResult, Driver, DriverMetaData, JdbcUrl, Properties, ResultSet, SqlError,
     Statement,
 };
-use gridrm_sqlparse::ast::ColumnDef;
+use gridrm_sqlparse::ast::{BinaryOp, ColumnDef, Expr, SelectStatement};
 use gridrm_sqlparse::{SqlType, SqlValue};
 use gridrm_store::Table;
 use gridrm_telemetry::GatewayTelemetry;
@@ -60,6 +88,12 @@ pub const SLOW_TABLE: &str = "gridrm_slow_queries";
 
 /// The hierarchical-span virtual table name.
 pub const SPANS_TABLE: &str = "gridrm_spans";
+
+/// The metrics time-series virtual table name.
+pub const HISTORY_TABLE: &str = "gridrm_metrics_history";
+
+/// The SLO status virtual table name.
+pub const SLO_TABLE: &str = "gridrm_slo";
 
 /// The JDBC-Telemetry [`Driver`].
 pub struct TelemetryDriver {
@@ -182,6 +216,46 @@ fn opt_ms(v: Option<u64>) -> SqlValue {
     match v {
         Some(ms) => SqlValue::Int(ms as i64),
         None => SqlValue::Null,
+    }
+}
+
+fn opt_f64(v: Option<f64>) -> SqlValue {
+    match v {
+        Some(f) => SqlValue::Float(f),
+        None => SqlValue::Null,
+    }
+}
+
+/// Extract `column = 'literal'` string-equality conjuncts from a WHERE
+/// clause, recursing only through `AND` — an equality under `OR`/`NOT`
+/// is not a guaranteed filter and must not be pushed down. The full
+/// WHERE is still re-applied by the in-memory executor, so pushdown is
+/// purely a pre-filter and can afford to be conservative.
+fn equality_pushdown(expr: &Expr, column: &str) -> Option<String> {
+    match expr {
+        Expr::Binary {
+            left,
+            op: BinaryOp::And,
+            right,
+        } => equality_pushdown(left, column).or_else(|| equality_pushdown(right, column)),
+        Expr::Binary {
+            left,
+            op: BinaryOp::Eq,
+            right,
+        } => {
+            let pair = |a: &Expr, b: &Expr| match (a, b) {
+                (
+                    Expr::Column {
+                        qualifier: None,
+                        name,
+                    },
+                    Expr::Literal(SqlValue::Str(s)),
+                ) if name.eq_ignore_ascii_case(column) => Some(s.clone()),
+                _ => None,
+            };
+            pair(left, right).or_else(|| pair(right, left))
+        }
+        _ => None,
     }
 }
 
@@ -393,6 +467,86 @@ fn spans_table(telemetry: &GatewayTelemetry) -> Table {
     }
 }
 
+/// One row per recorded time-series sample, ordered by series then time.
+/// Equality filters on `name`/`labels` are pushed down to the recorder so
+/// querying one series does not materialise every ring.
+fn history_table(telemetry: &GatewayTelemetry, sel: &SelectStatement) -> Table {
+    let (name, labels) = match &sel.where_clause {
+        Some(w) => (equality_pushdown(w, "name"), equality_pushdown(w, "labels")),
+        None => (None, None),
+    };
+    let rows = telemetry
+        .timeseries()
+        .history_for(name.as_deref(), labels.as_deref())
+        .into_iter()
+        .map(|r| {
+            vec![
+                SqlValue::Timestamp(r.ts_ms as i64),
+                SqlValue::Str(r.name),
+                SqlValue::Str(r.labels),
+                SqlValue::Str(r.kind),
+                SqlValue::Float(r.value),
+                opt_f64(r.delta),
+                opt_f64(r.rate_per_s),
+            ]
+        })
+        .collect();
+    Table {
+        name: HISTORY_TABLE.to_owned(),
+        columns: columns(&[
+            ("ts_ms", SqlType::Timestamp),
+            ("name", SqlType::Str),
+            ("labels", SqlType::Str),
+            ("kind", SqlType::Str),
+            ("value", SqlType::Float),
+            ("delta", SqlType::Float),
+            ("rate_per_s", SqlType::Float),
+        ]),
+        rows,
+    }
+}
+
+/// One row per declared SLO, straight from the burn-rate engine.
+fn slo_table(telemetry: &GatewayTelemetry) -> Table {
+    let rows = telemetry
+        .slo()
+        .snapshot()
+        .into_iter()
+        .map(|s| {
+            vec![
+                SqlValue::Str(s.name),
+                SqlValue::Str(s.objective),
+                SqlValue::Float(s.target),
+                SqlValue::Float(s.good),
+                SqlValue::Float(s.total),
+                SqlValue::Float(s.burn_fast),
+                SqlValue::Float(s.burn_slow),
+                SqlValue::Float(s.error_budget_remaining),
+                SqlValue::Bool(s.firing),
+                SqlValue::Int(s.since_ms as i64),
+                SqlValue::Int(s.transitions as i64),
+            ]
+        })
+        .collect();
+    Table {
+        name: SLO_TABLE.to_owned(),
+        columns: columns(&[
+            ("name", SqlType::Str),
+            ("objective", SqlType::Str),
+            ("target", SqlType::Float),
+            ("good", SqlType::Float),
+            ("total", SqlType::Float),
+            ("burn_fast", SqlType::Float),
+            ("burn_slow", SqlType::Float),
+            ("error_budget", SqlType::Float),
+            ("firing", SqlType::Bool),
+            ("since_ms", SqlType::Int),
+            ("transitions", SqlType::Int),
+        ]),
+        rows,
+    }
+}
+
 impl Statement for TelemetryStatement {
     fn execute_query(&mut self, sql: &str) -> DbcResult<Box<dyn ResultSet>> {
         self.stats.query();
@@ -407,10 +561,15 @@ impl Statement for TelemetryStatement {
             slow_table(&self.telemetry)
         } else if sel.table.eq_ignore_ascii_case(SPANS_TABLE) {
             spans_table(&self.telemetry)
+        } else if sel.table.eq_ignore_ascii_case(HISTORY_TABLE) {
+            history_table(&self.telemetry, &sel)
+        } else if sel.table.eq_ignore_ascii_case(SLO_TABLE) {
+            slo_table(&self.telemetry)
         } else {
             return Err(SqlError::Unsupported(format!(
                 "the telemetry driver serves {TABLE_NAME}, {HEALTH_TABLE}, \
-                 {JOURNAL_TABLE}, {SLOW_TABLE} and {SPANS_TABLE}, got '{}'",
+                 {JOURNAL_TABLE}, {SLOW_TABLE}, {SPANS_TABLE}, \
+                 {HISTORY_TABLE} and {SLO_TABLE}, got '{}'",
                 sel.table
             )));
         };
@@ -638,6 +797,92 @@ mod tests {
         );
         let rs = query(&d, "SELECT trace_id FROM gridrm_journal").unwrap();
         assert_eq!(rs.rows()[0][0], SqlValue::Str("gw-a:1".into()));
+    }
+
+    #[test]
+    fn history_table_serves_recorded_series() {
+        use gridrm_telemetry::PointKind;
+        let (t, d) = driver();
+        let ts = t.timeseries();
+        ts.record_point("gridrm_x_total", "", PointKind::Counter, 0, 1.0);
+        ts.record_point("gridrm_x_total", "", PointKind::Counter, 1_000, 5.0);
+        ts.record_point("gridrm_load1", "host=\"n1\"", PointKind::Gauge, 500, 0.7);
+        let rs = query(
+            &d,
+            "SELECT ts_ms, value, delta, rate_per_s FROM gridrm_metrics_history \
+             WHERE name = 'gridrm_x_total' ORDER BY ts_ms",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 2);
+        assert!(rs.rows()[0][2].is_null(), "oldest point has no delta");
+        assert_eq!(rs.rows()[1][2], SqlValue::Float(4.0));
+        assert_eq!(rs.rows()[1][3], SqlValue::Float(4.0));
+        // Pushdown under OR must not drop the other branch's rows.
+        let rs = query(
+            &d,
+            "SELECT name FROM gridrm_metrics_history \
+             WHERE name = 'gridrm_x_total' OR name = 'gridrm_load1'",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn history_time_bucket_group_by_aggregates() {
+        use gridrm_telemetry::PointKind;
+        let (t, d) = driver();
+        let ts = t.timeseries();
+        for i in 0..10u64 {
+            ts.record_point("gridrm_load1", "", PointKind::Gauge, i * 250, i as f64);
+        }
+        let rs = query(
+            &d,
+            "SELECT TIME_BUCKET(1000, ts_ms) AS bucket, COUNT(*), MIN(value), \
+             MAX(value), AVG(value), SUM(value) \
+             FROM gridrm_metrics_history WHERE name = 'gridrm_load1' \
+             GROUP BY TIME_BUCKET(1000, ts_ms) ORDER BY bucket",
+        )
+        .unwrap();
+        // Points at 0..2250 ms fall into buckets 0, 1000 and 2000.
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs.rows()[0][0], SqlValue::Timestamp(0));
+        assert_eq!(rs.rows()[0][1], SqlValue::Int(4));
+        assert_eq!(rs.rows()[0][2], SqlValue::Float(0.0));
+        assert_eq!(rs.rows()[0][3], SqlValue::Float(3.0));
+        assert_eq!(rs.rows()[0][4], SqlValue::Float(1.5));
+        assert_eq!(rs.rows()[1][5], SqlValue::Float(4.0 + 5.0 + 6.0 + 7.0));
+        assert_eq!(rs.rows()[2][1], SqlValue::Int(2));
+    }
+
+    #[test]
+    fn slo_table_reflects_engine_state() {
+        use gridrm_telemetry::{SloObjective, SloSpec};
+        let (t, d) = driver();
+        t.slo().configure(&[SloSpec::new(
+            "availability",
+            SloObjective::Availability {
+                bad_paths: vec!["denied".into()],
+            },
+            0.99,
+        )]);
+        let paths = t.registry().counter(
+            "gridrm_request_paths_total",
+            "Requests by path",
+            Labels::from_pairs(&[("path", "denied")]),
+        );
+        t.slo().evaluate(0);
+        paths.add(10);
+        t.slo().evaluate(60_000);
+        let rs = query(
+            &d,
+            "SELECT name, target, firing, burn_slow FROM gridrm_slo WHERE firing",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows()[0][0], SqlValue::Str("availability".into()));
+        assert_eq!(rs.rows()[0][1], SqlValue::Float(0.99));
+        assert_eq!(rs.rows()[0][2], SqlValue::Bool(true));
+        assert!(rs.rows()[0][3].as_f64().unwrap() > 2.0);
     }
 
     #[test]

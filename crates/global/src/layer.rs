@@ -172,6 +172,34 @@ impl SiteHealthRollup {
     }
 }
 
+/// Site-level SLO rollup: one gateway's declared SLOs aggregated into
+/// counts plus the worst observed burn, presented to the rest of the
+/// Grid next to [`SiteHealthRollup`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteSloRollup {
+    /// The Grid site.
+    pub site: String,
+    /// The reporting gateway.
+    pub gateway: String,
+    /// Declared SLOs.
+    pub slos: usize,
+    /// SLOs whose burn-rate alert is currently firing.
+    pub firing: usize,
+    /// Names of the firing SLOs, sorted.
+    pub firing_names: Vec<String>,
+    /// Highest slow-window burn rate across all SLOs (0 when none).
+    pub worst_burn_slow: f64,
+    /// Lowest remaining error budget across all SLOs (1 when none).
+    pub min_error_budget: f64,
+}
+
+impl SiteSloRollup {
+    /// True when every declared SLO is within budget.
+    pub fn healthy(&self) -> bool {
+        self.firing == 0
+    }
+}
+
 /// A gateway's Global-layer attachment.
 pub struct GlobalLayer {
     pub(crate) gateway: Arc<Gateway>,
@@ -501,6 +529,33 @@ impl GlobalLayer {
         )
     }
 
+    /// Roll this gateway's SLO statuses up to the site level for
+    /// Grid-wide presentation, next to [`GlobalLayer::site_health`].
+    pub fn site_slo(&self) -> SiteSloRollup {
+        let config = self.gateway.config();
+        let statuses = self.gateway.telemetry().slo().snapshot();
+        let mut firing_names: Vec<String> = statuses
+            .iter()
+            .filter(|s| s.firing)
+            .map(|s| s.name.clone())
+            .collect();
+        firing_names.sort();
+        let worst_burn_slow = statuses.iter().map(|s| s.burn_slow).fold(0.0, f64::max);
+        let min_error_budget = statuses
+            .iter()
+            .map(|s| s.error_budget_remaining)
+            .fold(1.0, f64::min);
+        SiteSloRollup {
+            site: config.site.clone(),
+            gateway: config.name.clone(),
+            slos: statuses.len(),
+            firing: firing_names.len(),
+            firing_names,
+            worst_burn_slow,
+            min_error_budget,
+        }
+    }
+
     /// Liveness check of a peer gateway.
     pub fn ping(&self, gateway_name: &str) -> bool {
         let Some(entry) = self.directory.by_name(gateway_name) else {
@@ -546,6 +601,23 @@ mod tests {
             (HealthState::Down, down),
             (HealthState::Unknown, unknown),
         ]
+    }
+
+    #[test]
+    fn slo_rollup_healthy_tracks_firing_count() {
+        let mut r = SiteSloRollup {
+            site: "s".into(),
+            gateway: "gw".into(),
+            slos: 2,
+            firing: 0,
+            firing_names: Vec::new(),
+            worst_burn_slow: 0.4,
+            min_error_budget: 0.8,
+        };
+        assert!(r.healthy());
+        r.firing = 1;
+        r.firing_names.push("latency".into());
+        assert!(!r.healthy());
     }
 
     #[test]

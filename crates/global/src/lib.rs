@@ -25,5 +25,5 @@ pub mod layer;
 pub mod protocol;
 
 pub use gma::{GmaDirectory, ProducerEntry};
-pub use layer::{GlobalLayer, SiteHealthRollup};
+pub use layer::{GlobalLayer, SiteHealthRollup, SiteSloRollup};
 pub use protocol::{GlobalRequest, GlobalResponse, WireIdentity, WireRows};

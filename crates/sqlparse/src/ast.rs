@@ -219,6 +219,8 @@ pub struct SelectStatement {
     pub table: String,
     /// Optional `WHERE` predicate.
     pub where_clause: Option<Expr>,
+    /// `GROUP BY` keys, possibly empty.
+    pub group_by: Vec<Expr>,
     /// `ORDER BY` keys, possibly empty.
     pub order_by: Vec<OrderBy>,
     /// Optional `LIMIT`.
@@ -235,6 +237,7 @@ impl SelectStatement {
             projection: Projection::Star,
             table: table.into(),
             where_clause: None,
+            group_by: Vec::new(),
             order_by: Vec::new(),
             limit: None,
             offset: None,
@@ -254,6 +257,9 @@ impl SelectStatement {
         }
         if let Some(w) = &self.where_clause {
             w.collect_columns(&mut cols);
+        }
+        for g in &self.group_by {
+            g.collect_columns(&mut cols);
         }
         for ob in &self.order_by {
             ob.expr.collect_columns(&mut cols);
@@ -422,6 +428,15 @@ impl fmt::Display for SelectStatement {
         if let Some(w) = &self.where_clause {
             write!(f, " WHERE {w}")?;
         }
+        if !self.group_by.is_empty() {
+            f.write_str(" GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
         if !self.order_by.is_empty() {
             f.write_str(" ORDER BY ")?;
             for (i, ob) in self.order_by.iter().enumerate() {
@@ -563,6 +578,7 @@ mod tests {
             ]),
             table: "Processor".into(),
             where_clause: Some(Expr::bin(Expr::col("Load1"), BinaryOp::Gt, Expr::lit(0.5))),
+            group_by: Vec::new(),
             order_by: vec![OrderBy {
                 expr: Expr::col("ClockMHz"),
                 desc: true,

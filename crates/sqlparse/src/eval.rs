@@ -459,6 +459,36 @@ impl Evaluator {
                 }
                 Ok(SqlValue::Null)
             }
+            "TIME_BUCKET" => {
+                // TIME_BUCKET(width_ms, ts): align `ts` down to a
+                // `width_ms`-wide bucket boundary (the grouping key for
+                // time-series aggregation). Timestamp in, Timestamp out.
+                arity(2)?;
+                let width = match self.eval(&args[0], ctx)? {
+                    SqlValue::Int(w) => w,
+                    SqlValue::Null => return Ok(SqlValue::Null),
+                    other => {
+                        return Err(EvalError::TypeMismatch {
+                            op: "TIME_BUCKET",
+                            detail: format!("bucket width must be an integer, got {other}"),
+                        })
+                    }
+                };
+                if width <= 0 {
+                    return Err(EvalError::DivisionByZero);
+                }
+                Ok(match self.eval(&args[1], ctx)? {
+                    SqlValue::Int(ts) => SqlValue::Int(ts.div_euclid(width) * width),
+                    SqlValue::Timestamp(ts) => SqlValue::Timestamp(ts.div_euclid(width) * width),
+                    SqlValue::Null => SqlValue::Null,
+                    other => {
+                        return Err(EvalError::TypeMismatch {
+                            op: "TIME_BUCKET",
+                            detail: format!("timestamp must be integral, got {other}"),
+                        })
+                    }
+                })
+            }
             other => Err(EvalError::UnknownFunction(other.to_owned())),
         }
     }
@@ -539,6 +569,34 @@ mod tests {
         // RHS references an unknown column but must never be evaluated.
         let e = parse_expr("1 = 2 AND NoSuchColumn = 1").unwrap();
         assert_eq!(Evaluator.eval_truth(&e, &ctx()).unwrap(), Some(false));
+    }
+
+    #[test]
+    fn time_bucket_aligns_down() {
+        assert_eq!(eval("TIME_BUCKET(1000, 1234)"), SqlValue::Int(1000));
+        assert_eq!(eval("TIME_BUCKET(1000, 999)"), SqlValue::Int(0));
+        assert_eq!(eval("TIME_BUCKET(1000, 1000)"), SqlValue::Int(1000));
+        // Negative timestamps floor toward -inf (div_euclid).
+        assert_eq!(eval("TIME_BUCKET(1000, -1)"), SqlValue::Int(-1000));
+        // Timestamp in, Timestamp out (NOW() is the context clock).
+        assert_eq!(
+            eval("TIME_BUCKET(60000, NOW())"),
+            SqlValue::Timestamp(960_000)
+        );
+        assert_eq!(eval("TIME_BUCKET(1000, Missing)"), SqlValue::Null);
+    }
+
+    #[test]
+    fn time_bucket_rejects_bad_width() {
+        let e = parse_expr("TIME_BUCKET(0, 5)").unwrap();
+        assert_eq!(Evaluator.eval(&e, &ctx()), Err(EvalError::DivisionByZero));
+        let e = parse_expr("TIME_BUCKET(-10, 5)").unwrap();
+        assert_eq!(Evaluator.eval(&e, &ctx()), Err(EvalError::DivisionByZero));
+        let e = parse_expr("TIME_BUCKET(1000)").unwrap();
+        assert!(matches!(
+            Evaluator.eval(&e, &ctx()),
+            Err(EvalError::Arity { .. })
+        ));
     }
 
     #[test]

@@ -175,6 +175,16 @@ impl Parser {
         } else {
             None
         };
+        let mut group_by = Vec::new();
+        if self.eat_kw(K::Group) {
+            self.expect_kw(K::By)?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat_kind(&T::Comma) {
+                    break;
+                }
+            }
+        }
         let mut order_by = Vec::new();
         if self.eat_kw(K::Order) {
             self.expect_kw(K::By)?;
@@ -207,6 +217,7 @@ impl Parser {
             projection,
             table,
             where_clause,
+            group_by,
             order_by,
             limit,
             offset,
@@ -773,6 +784,38 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn parse_group_by() {
+        let stmt = parse(
+            "SELECT TIME_BUCKET(1000, ts_ms) AS bucket, AVG(value) FROM h \
+             WHERE name = 'x' GROUP BY TIME_BUCKET(1000, ts_ms) ORDER BY bucket LIMIT 5",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert_eq!(s.group_by.len(), 1);
+                assert!(s.where_clause.is_some());
+                assert_eq!(s.order_by.len(), 1);
+                assert_eq!(s.limit, Some(5));
+                // GROUP BY round-trips through Display.
+                let rendered = s.to_string();
+                assert!(
+                    rendered.contains("GROUP BY TIME_BUCKET(1000, ts_ms)"),
+                    "{rendered}"
+                );
+            }
+            _ => panic!("not select"),
+        }
+        // Multiple keys parse as a comma list.
+        let stmt = parse("SELECT name FROM h GROUP BY name, kind").unwrap();
+        match stmt {
+            Statement::Select(s) => assert_eq!(s.group_by.len(), 2),
+            _ => panic!("not select"),
+        }
+        // GROUP without BY is rejected.
+        assert!(parse("SELECT name FROM h GROUP name").is_err());
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub enum Keyword {
     Create,
     Table,
     Order,
+    Group,
     By,
     Asc,
     Desc,
@@ -76,6 +77,7 @@ impl Keyword {
             "CREATE" => Create,
             "TABLE" => Table,
             "ORDER" => Order,
+            "GROUP" => Group,
             "BY" => By,
             "ASC" => Asc,
             "DESC" => Desc,

@@ -93,6 +93,8 @@ pub const KIND_EVENT: &str = "event";
 pub const KIND_EVENT_OVERFLOW: &str = "event_overflow";
 /// Kind: a native push no formatter accepted.
 pub const KIND_EVENT_UNFORMATTED: &str = "event_unformatted";
+/// Kind: an SLO burn-rate alert fired or cleared.
+pub const KIND_SLO: &str = "slo_alert";
 
 /// Per-severity journal counters. Shared telemetry cells, exposable in a
 /// gateway-wide [`Registry`] via [`JournalStats::register_into`].
@@ -144,6 +146,9 @@ pub struct Journal {
     ring: Mutex<VecDeque<JournalEntry>>,
     next_seq: AtomicU64,
     stats: JournalStats,
+    /// Evictions, exposed as `gridrm_journal_drops_total` so loss of
+    /// observability data is itself observable.
+    drops: Counter,
 }
 
 impl Journal {
@@ -154,6 +159,7 @@ impl Journal {
             ring: Mutex::new(VecDeque::new()),
             next_seq: AtomicU64::new(1),
             stats: JournalStats::default(),
+            drops: Counter::new(),
         }
     }
 
@@ -194,6 +200,7 @@ impl Journal {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         if ring.len() == self.capacity {
             ring.pop_front();
+            self.drops.inc();
         }
         ring.push_back(JournalEntry {
             seq,
@@ -248,6 +255,11 @@ impl Journal {
     pub fn stats(&self) -> &JournalStats {
         &self.stats
     }
+
+    /// Shared counter of entries evicted before being read.
+    pub fn drops(&self) -> &Counter {
+        &self.drops
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +290,8 @@ mod tests {
         assert_eq!(seqs, vec![3, 4, 5]);
         assert_eq!(journal.total_recorded(), 5);
         assert_eq!(journal.capacity(), 3);
+        // 5 recorded into a ring of 3: two evictions, both counted.
+        assert_eq!(journal.drops().get(), 2);
     }
 
     #[test]

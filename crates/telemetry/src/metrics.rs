@@ -55,14 +55,20 @@ impl Labels {
         &self.0
     }
 
-    /// Prometheus body text: `k1="v1",k2="v2"` (no braces).
+    /// Prometheus body text: `k1="v1",k2="v2"` (no braces). Label
+    /// values escape `\`, `"`, and newline per the text exposition
+    /// format, so a value containing any of them cannot corrupt the
+    /// line-oriented output.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (i, (k, v)) in self.0.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
+            let escaped = v
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n");
             let _ = write!(out, "{k}=\"{escaped}\"");
         }
         out
@@ -306,6 +312,60 @@ pub struct Sample {
     pub value: f64,
 }
 
+/// Kind of a recordable time-series point (see
+/// [`Registry::series_points`]): counters are cumulative (rate/delta
+/// derivable), gauges are instantaneous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointKind {
+    /// Cumulative, monotonically non-decreasing.
+    Counter,
+    /// Instantaneous level.
+    Gauge,
+}
+
+impl PointKind {
+    /// Lower-case name (`counter` / `gauge`), for exposition rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PointKind::Counter => "counter",
+            PointKind::Gauge => "gauge",
+        }
+    }
+}
+
+impl Serialize for PointKind {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.name().to_owned())
+    }
+}
+
+impl<'de> Deserialize<'de> for PointKind {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v.as_str() {
+            Some("counter") => Ok(PointKind::Counter),
+            Some("gauge") => Ok(PointKind::Gauge),
+            _ => Err(serde::DeError::custom(format!(
+                "expected `counter` or `gauge`, got {v}"
+            ))),
+        }
+    }
+}
+
+/// One recordable point of one series, as sampled by the time-series
+/// recorder: the family (or histogram-component) name, the rendered
+/// labels, and the current value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesPoint {
+    /// Series name (`gridrm_requests_total`, `…_count`, `…_p95`, …).
+    pub name: String,
+    /// Rendered labels (`driver="ganglia"`), empty when unlabelled.
+    pub labels: String,
+    /// Counter (cumulative) or gauge (instantaneous).
+    pub kind: PointKind,
+    /// Value at sample time.
+    pub value: f64,
+}
+
 /// Snapshot of one metric family for JSON exposition.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct MetricSnapshot {
@@ -393,6 +453,13 @@ impl Registry {
     }
 
     /// Snapshot every family for JSON exposition.
+    ///
+    /// Output order is deterministic: families sort by metric name (the
+    /// `BTreeMap` key) and, within a family, series sort by their
+    /// *rendered* label text — while each histogram series keeps its
+    /// own `_bucket` (ascending, `+Inf` last) / `_sum` / `_count`
+    /// internal order. Exposition diffs and determinism fingerprints
+    /// therefore stay stable across runs.
     pub fn snapshot(&self) -> Vec<MetricSnapshot> {
         let families = self.families.read();
         families
@@ -406,11 +473,18 @@ impl Registry {
                     .map(|m| m.kind().to_string())
                     .unwrap_or_else(|| "counter".to_string()),
                 help: family.help.clone(),
-                samples: family
-                    .series
-                    .iter()
-                    .flat_map(|(labels, metric)| flatten(name, labels, metric))
-                    .collect(),
+                samples: {
+                    let mut series: Vec<(String, &Metric)> = family
+                        .series
+                        .iter()
+                        .map(|(labels, metric)| (labels.render(), metric))
+                        .collect();
+                    series.sort_by(|a, b| a.0.cmp(&b.0));
+                    series
+                        .iter()
+                        .flat_map(|(rendered, metric)| flatten(name, rendered, metric))
+                        .collect()
+                },
             })
             .collect()
     }
@@ -421,6 +495,117 @@ impl Registry {
             .into_iter()
             .flat_map(|s| s.samples)
             .collect()
+    }
+
+    /// One recordable point per series, for the time-series recorder.
+    ///
+    /// Counters and gauges yield one point each; a histogram expands to
+    /// `{name}_count` / `{name}_sum` (cumulative, counter-kind) plus
+    /// `{name}_p50` / `{name}_p95` / `{name}_p99` quantile estimates
+    /// (gauge-kind, omitted until the histogram has observations).
+    /// Order is deterministic: family name, then rendered labels.
+    pub fn series_points(&self) -> Vec<SeriesPoint> {
+        let families = self.families.read();
+        let mut out = Vec::new();
+        for (name, family) in families.iter() {
+            let mut series: Vec<(String, &Metric)> = family
+                .series
+                .iter()
+                .map(|(labels, metric)| (labels.render(), metric))
+                .collect();
+            series.sort_by(|a, b| a.0.cmp(&b.0));
+            for (labels, metric) in series {
+                match metric {
+                    Metric::Counter(c) => out.push(SeriesPoint {
+                        name: name.clone(),
+                        labels,
+                        kind: PointKind::Counter,
+                        value: c.get() as f64,
+                    }),
+                    Metric::Gauge(g) => out.push(SeriesPoint {
+                        name: name.clone(),
+                        labels,
+                        kind: PointKind::Gauge,
+                        value: g.get(),
+                    }),
+                    Metric::Histogram(h) => {
+                        out.push(SeriesPoint {
+                            name: format!("{name}_count"),
+                            labels: labels.clone(),
+                            kind: PointKind::Counter,
+                            value: h.count() as f64,
+                        });
+                        out.push(SeriesPoint {
+                            name: format!("{name}_sum"),
+                            labels: labels.clone(),
+                            kind: PointKind::Counter,
+                            value: h.sum(),
+                        });
+                        for (q, suffix) in [(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
+                            if let Some(v) = h.quantile(q) {
+                                out.push(SeriesPoint {
+                                    name: format!("{name}_{suffix}"),
+                                    labels: labels.clone(),
+                                    kind: PointKind::Gauge,
+                                    value: v,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Sum, across every series of histogram family `name`, of
+    /// `(observations ≤ threshold, total observations)`. `None` when
+    /// the family is absent or not a histogram. For an exact split the
+    /// threshold should coincide with a bucket upper bound; otherwise
+    /// the next lower bound is the effective cut.
+    pub fn histogram_good_total(&self, name: &str, threshold: f64) -> Option<(u64, u64)> {
+        let families = self.families.read();
+        let family = families.get(name)?;
+        let mut good = 0u64;
+        let mut total = 0u64;
+        let mut saw_histogram = false;
+        for metric in family.series.values() {
+            if let Metric::Histogram(h) = metric {
+                saw_histogram = true;
+                for (bound, count) in h.buckets() {
+                    if bound <= threshold {
+                        good = good.saturating_add(count);
+                    }
+                    total = total.saturating_add(count);
+                }
+            }
+        }
+        saw_histogram.then_some((good, total))
+    }
+
+    /// Point-in-time value of each series of family `name` as
+    /// `(rendered labels, value)`: counters and gauges report their
+    /// value, histograms their observation count. Empty when the
+    /// family is absent.
+    pub fn family_values(&self, name: &str) -> Vec<(String, f64)> {
+        let families = self.families.read();
+        let Some(family) = families.get(name) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(String, f64)> = family
+            .series
+            .iter()
+            .map(|(labels, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => c.get() as f64,
+                    Metric::Gauge(g) => g.get(),
+                    Metric::Histogram(h) => h.count() as f64,
+                };
+                (labels.render(), value)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     /// Render the Prometheus text exposition format.
@@ -461,16 +646,16 @@ fn format_value(v: f64) -> String {
     }
 }
 
-fn flatten(name: &str, labels: &Labels, metric: &Metric) -> Vec<Sample> {
+fn flatten(name: &str, labels: &str, metric: &Metric) -> Vec<Sample> {
     match metric {
         Metric::Counter(c) => vec![Sample {
             name: name.to_string(),
-            labels: labels.render(),
+            labels: labels.to_string(),
             value: c.get() as f64,
         }],
         Metric::Gauge(g) => vec![Sample {
             name: name.to_string(),
-            labels: labels.render(),
+            labels: labels.to_string(),
             value: g.get(),
         }],
         Metric::Histogram(h) => {
@@ -486,7 +671,7 @@ fn flatten(name: &str, labels: &Labels, metric: &Metric) -> Vec<Sample> {
                 let le_labels = if labels.is_empty() {
                     format!("le=\"{le}\"")
                 } else {
-                    format!("{},le=\"{le}\"", labels.render())
+                    format!("{labels},le=\"{le}\"")
                 };
                 out.push(Sample {
                     name: format!("{name}_bucket"),
@@ -496,12 +681,12 @@ fn flatten(name: &str, labels: &Labels, metric: &Metric) -> Vec<Sample> {
             }
             out.push(Sample {
                 name: format!("{name}_sum"),
-                labels: labels.render(),
+                labels: labels.to_string(),
                 value: h.sum(),
             });
             out.push(Sample {
                 name: format!("{name}_count"),
-                labels: labels.render(),
+                labels: labels.to_string(),
                 value: h.count() as f64,
             });
             out
@@ -609,6 +794,114 @@ mod tests {
         assert!(text.contains("gridrm_request_latency_ms_bucket{driver=\"ganglia\",le=\"10\"} 1"));
         assert!(text.contains("gridrm_request_latency_ms_bucket{driver=\"ganglia\",le=\"+Inf\"} 1"));
         assert!(text.contains("gridrm_request_latency_ms_count{driver=\"ganglia\"} 1"));
+    }
+
+    #[test]
+    fn label_values_escape_backslash_quote_and_newline() {
+        let backslash = Labels::from_pairs(&[("path", "C:\\tmp")]);
+        assert_eq!(backslash.render(), "path=\"C:\\\\tmp\"");
+        let quote = Labels::from_pairs(&[("msg", "he said \"hi\"")]);
+        assert_eq!(quote.render(), "msg=\"he said \\\"hi\\\"\"");
+        let newline = Labels::from_pairs(&[("msg", "line1\nline2")]);
+        assert_eq!(newline.render(), "msg=\"line1\\nline2\"");
+        // A newline smuggled into a label value must not break the
+        // line-oriented text format: the rendered exposition stays one
+        // sample per line.
+        let reg = Registry::new();
+        reg.counter("gridrm_evil_total", "Evil", newline).inc();
+        let text = reg.render_prometheus();
+        assert!(text.contains("gridrm_evil_total{msg=\"line1\\nline2\"} 1"));
+        assert_eq!(text.lines().count(), 3, "HELP + TYPE + one sample");
+    }
+
+    #[test]
+    fn exposition_order_is_deterministic() {
+        // Register in one order, read back sorted by name then rendered
+        // labels — and histogram internals keep bucket order (+Inf last)
+        // rather than sorting "+Inf" before "1" textually.
+        let reg = Registry::new();
+        reg.counter("gridrm_z_total", "Z", Labels::from_pairs(&[("kind", "b")]))
+            .inc();
+        reg.counter("gridrm_z_total", "Z", Labels::from_pairs(&[("kind", "a")]))
+            .inc();
+        reg.counter("gridrm_a_total", "A", Labels::none()).inc();
+        let h = reg.histogram("gridrm_lat_ms", "L", Labels::none(), &[1.0, 10.0]);
+        h.observe(3.0);
+
+        let flat: Vec<(String, String)> = reg
+            .samples()
+            .into_iter()
+            .map(|s| (s.name, s.labels))
+            .collect();
+        let expect: Vec<(String, String)> = [
+            ("gridrm_a_total", ""),
+            ("gridrm_lat_ms_bucket", "le=\"1\""),
+            ("gridrm_lat_ms_bucket", "le=\"10\""),
+            ("gridrm_lat_ms_bucket", "le=\"+Inf\""),
+            ("gridrm_lat_ms_sum", ""),
+            ("gridrm_lat_ms_count", ""),
+            ("gridrm_z_total", "kind=\"a\""),
+            ("gridrm_z_total", "kind=\"b\""),
+        ]
+        .into_iter()
+        .map(|(n, l)| (n.to_string(), l.to_string()))
+        .collect();
+        assert_eq!(flat, expect);
+        // Prometheus text renders the very same order, twice over.
+        assert_eq!(reg.render_prometheus(), reg.render_prometheus());
+    }
+
+    #[test]
+    fn series_points_expand_histograms() {
+        let reg = Registry::new();
+        reg.counter("gridrm_x_total", "X", Labels::none()).add(3);
+        let h = reg.histogram("gridrm_lat_ms", "L", Labels::none(), &[1.0, 10.0]);
+        let names = |reg: &Registry| -> Vec<String> {
+            reg.series_points().into_iter().map(|p| p.name).collect()
+        };
+        // No observations: quantile points are withheld.
+        assert_eq!(
+            names(&reg),
+            vec!["gridrm_lat_ms_count", "gridrm_lat_ms_sum", "gridrm_x_total"]
+        );
+        h.observe(5.0);
+        assert_eq!(
+            names(&reg),
+            vec![
+                "gridrm_lat_ms_count",
+                "gridrm_lat_ms_sum",
+                "gridrm_lat_ms_p50",
+                "gridrm_lat_ms_p95",
+                "gridrm_lat_ms_p99",
+                "gridrm_x_total"
+            ]
+        );
+        let points = reg.series_points();
+        assert_eq!(points[0].kind, PointKind::Counter);
+        assert_eq!(points[0].value, 1.0);
+        assert_eq!(points[2].kind, PointKind::Gauge);
+        assert_eq!(points[2].value, 10.0); // p50 reports the bucket bound
+    }
+
+    #[test]
+    fn histogram_good_total_splits_at_bucket_bound() {
+        let reg = Registry::new();
+        let h = reg.histogram("gridrm_lat_ms", "L", Labels::none(), &[10.0, 100.0]);
+        for _ in 0..9 {
+            h.observe(5.0);
+        }
+        h.observe(50.0);
+        assert_eq!(
+            reg.histogram_good_total("gridrm_lat_ms", 10.0),
+            Some((9, 10))
+        );
+        assert_eq!(
+            reg.histogram_good_total("gridrm_lat_ms", 100.0),
+            Some((10, 10))
+        );
+        assert_eq!(reg.histogram_good_total("gridrm_missing", 10.0), None);
+        reg.counter("gridrm_x_total", "X", Labels::none()).inc();
+        assert_eq!(reg.histogram_good_total("gridrm_x_total", 10.0), None);
     }
 
     #[test]

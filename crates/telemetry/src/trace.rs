@@ -16,8 +16,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::journal::{Journal, DEFAULT_JOURNAL_CAPACITY};
-use crate::metrics::Registry;
+use crate::metrics::{Counter, Labels, Registry};
+use crate::slo::SloEngine;
 use crate::slowlog::{SlowQueryLog, DEFAULT_SLOW_QUERY_CAPACITY, DEFAULT_SLOW_QUERY_THRESHOLD_MS};
+use crate::timeseries::TimeSeriesRecorder;
 
 /// One timestamped stage inside a trace (`resolve`, `connect`, …).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -173,6 +175,9 @@ struct RingState {
 pub struct TraceBuffer {
     capacity: usize,
     state: Mutex<RingState>,
+    /// Evictions, exposed as `gridrm_trace_drops_total` so loss of
+    /// observability data is itself observable.
+    drops: Counter,
 }
 
 impl TraceBuffer {
@@ -185,6 +190,7 @@ impl TraceBuffer {
                 ring: VecDeque::with_capacity(capacity),
                 slowest: None,
             }),
+            drops: Counter::new(),
         }
     }
 
@@ -193,6 +199,7 @@ impl TraceBuffer {
         let mut state = self.state.lock();
         if state.ring.len() == self.capacity {
             let evicted = state.ring.pop_front();
+            self.drops.inc();
             if state.slowest == evicted {
                 // The cached maximum left the ring: rescan what remains.
                 // Ties resolve to the newest, matching the old full scan.
@@ -244,6 +251,11 @@ impl TraceBuffer {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// Shared counter of traces evicted before being read.
+    pub fn drops(&self) -> &Counter {
+        &self.drops
+    }
 }
 
 /// Default number of traces retained per gateway.
@@ -288,6 +300,8 @@ pub struct GatewayTelemetry {
     traces: Arc<TraceBuffer>,
     journal: Arc<Journal>,
     slow_queries: Arc<SlowQueryLog>,
+    timeseries: Arc<TimeSeriesRecorder>,
+    slo: Arc<SloEngine>,
     clock: Arc<SimClock>,
     next_trace_id: Arc<AtomicU64>,
     identity: Arc<RwLock<TelemetryIdentity>>,
@@ -312,14 +326,41 @@ impl GatewayTelemetry {
 
     /// Telemetry hub with explicit capacities for every bounded store.
     pub fn with_capacities(clock: Arc<SimClock>, caps: TelemetryCapacities) -> GatewayTelemetry {
+        let registry = Arc::new(Registry::new());
+        let traces = Arc::new(TraceBuffer::new(caps.traces));
+        let journal = Arc::new(Journal::new(caps.journal));
+        // Ring-buffer eviction is silent data loss; count it where it
+        // can be scraped.
+        registry.expose_counter(
+            "gridrm_trace_drops_total",
+            "Trace spans evicted from the bounded ring buffer before being read",
+            Labels::none(),
+            traces.drops(),
+        );
+        registry.expose_counter(
+            "gridrm_journal_drops_total",
+            "Journal entries evicted from the bounded ring buffer before being read",
+            Labels::none(),
+            journal.drops(),
+        );
+        let slo = Arc::new(SloEngine::new(registry.clone(), journal.clone()));
+        let timeseries = Arc::new(TimeSeriesRecorder::new());
+        registry.expose_counter(
+            "gridrm_timeseries_points_total",
+            "Samples recorded into the metrics time-series rings",
+            Labels::none(),
+            timeseries.points_recorded(),
+        );
         GatewayTelemetry {
-            registry: Arc::new(Registry::new()),
-            traces: Arc::new(TraceBuffer::new(caps.traces)),
-            journal: Arc::new(Journal::new(caps.journal)),
+            registry,
+            traces,
+            journal,
             slow_queries: Arc::new(SlowQueryLog::new(
                 caps.slow_query_threshold_ms,
                 caps.slow_queries,
             )),
+            timeseries,
+            slo,
             clock,
             next_trace_id: Arc::new(AtomicU64::new(1)),
             identity: Arc::new(RwLock::new(TelemetryIdentity {
@@ -362,6 +403,16 @@ impl GatewayTelemetry {
     /// The slow-query log.
     pub fn slow_queries(&self) -> &Arc<SlowQueryLog> {
         &self.slow_queries
+    }
+
+    /// The metrics time-series recorder (history ring buffers).
+    pub fn timeseries(&self) -> &Arc<TimeSeriesRecorder> {
+        &self.timeseries
+    }
+
+    /// The SLO burn-rate engine.
+    pub fn slo(&self) -> &Arc<SloEngine> {
+        &self.slo
     }
 
     /// The clock stamping trace stages.
@@ -442,6 +493,8 @@ mod tests {
         assert_eq!(kept, vec![5, 6, 7]); // oldest-first, newest retained
         assert_eq!(buf.len(), 3);
         assert_eq!(buf.capacity(), 3);
+        // 7 pushed into a ring of 3: four evictions, all counted.
+        assert_eq!(buf.drops().get(), 4);
         // One more full cycle keeps eviction order stable.
         for id in 8..=10 {
             buf.push(record(id, 0, id));

@@ -60,12 +60,12 @@ pub mod prelude {
     };
     pub use gridrm_dbc::{JdbcUrl, ResultSet, RowSet, SqlError};
     pub use gridrm_drivers::install_into_gateway;
-    pub use gridrm_global::{GlobalLayer, GmaDirectory, SiteHealthRollup};
+    pub use gridrm_global::{GlobalLayer, GmaDirectory, SiteHealthRollup, SiteSloRollup};
     pub use gridrm_resmodel::{SiteModel, SiteSpec};
-    pub use gridrm_simnet::{Network, SimClock};
+    pub use gridrm_simnet::{Latency, Network, SimClock};
     pub use gridrm_sqlparse::SqlValue;
     pub use gridrm_telemetry::{
-        GatewayTelemetry, Journal, JournalEntry, JournalSeverity, Registry, SlowQueryLog,
-        TraceRecord,
+        GatewayTelemetry, Journal, JournalEntry, JournalSeverity, Registry, SloObjective, SloSpec,
+        SloStatus, SlowQueryLog, TimeSeriesRecorder, TraceRecord,
     };
 }

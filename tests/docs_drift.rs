@@ -1,0 +1,107 @@
+//! Doc-drift guard: the metric-family table in `docs/observability.md`
+//! must stay in lockstep with the live registry, in both directions —
+//! every documented family must be registered by a fully exercised
+//! gateway, and every registered family must be documented. A new
+//! metric without a doc row (or a doc row for a removed metric) fails
+//! here instead of rotting silently.
+
+use gridrm::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+const OBSERVABILITY_MD: &str = include_str!("../docs/observability.md");
+
+/// Family names from the `| metric | kind | labels | meaning |` table:
+/// the first backticked cell of each `| `gridrm_...` |` row.
+fn documented_families() -> BTreeSet<String> {
+    OBSERVABILITY_MD
+        .lines()
+        .filter_map(|line| {
+            let rest = line.strip_prefix("| `gridrm_")?;
+            let name = rest.split('`').next()?;
+            Some(format!("gridrm_{name}"))
+        })
+        .collect()
+}
+
+/// A world that materialises every documented family: two sites with
+/// an SLO-configured alpha gateway, one cross-Grid query (site-latency
+/// histogram + Global-layer counters), one local query, one pump
+/// (housekeeping gauges, probes, time-series recorder, SLO gauges).
+fn exercised_gateway() -> Arc<Gateway> {
+    let net = Network::new(SimClock::new(), 424_242);
+    let directory = GmaDirectory::new();
+    let mut gateways = Vec::new();
+    for (i, name) in ["alpha", "beta"].iter().enumerate() {
+        let model = SiteModel::generate(2_000 + i as u64, &SiteSpec::new(name, 3, 2));
+        model.advance_to(120_000);
+        gridrm::agents::deploy_site(&net, model);
+        let mut config = GatewayConfig::new(&format!("gw-{name}"), name);
+        if *name == "alpha" {
+            config.slos = vec![SloSpec::new(
+                "availability",
+                SloObjective::Availability {
+                    bad_paths: vec!["denied".into(), "deadline_exceeded".into()],
+                },
+                0.99,
+            )];
+        }
+        let gateway = Gateway::new(config, net.clone());
+        install_into_gateway(&gateway);
+        let layer = GlobalLayer::attach(gateway.clone(), directory.clone());
+        gateways.push((gateway, layer));
+    }
+    let (alpha, layer) = gateways.swap_remove(0);
+    alpha
+        .admin()
+        .add_source(DataSourceConfig::dynamic(
+            "jdbc:snmp://node01.alpha/public",
+            "node01 via SNMP",
+        ))
+        .expect("source registers");
+    layer
+        .query(
+            &ClientRequest::builder("SELECT Hostname, Load1 FROM Processor")
+                .sources(&[
+                    "jdbc:snmp://node00.alpha/public",
+                    "jdbc:snmp://node00.beta/public",
+                ])
+                .build(),
+        )
+        .expect("cross-grid query");
+    alpha.clock().advance(1_000);
+    alpha.pump();
+    alpha
+}
+
+#[test]
+fn metrics_table_matches_live_registry_both_ways() {
+    let documented = documented_families();
+    assert!(
+        documented.len() >= 20,
+        "table parse found only {} families — did the doc format change?",
+        documented.len()
+    );
+
+    let gateway = exercised_gateway();
+    let registered: BTreeSet<String> = gateway
+        .telemetry()
+        .registry()
+        .snapshot()
+        .into_iter()
+        .map(|f| f.name)
+        .collect();
+
+    let undocumented: Vec<&String> = registered.difference(&documented).collect();
+    assert!(
+        undocumented.is_empty(),
+        "registered but missing from the docs/observability.md metrics \
+         table: {undocumented:?}"
+    );
+    let unregistered: Vec<&String> = documented.difference(&registered).collect();
+    assert!(
+        unregistered.is_empty(),
+        "documented in docs/observability.md but never registered by an \
+         exercised gateway (stale row?): {unregistered:?}"
+    );
+}

@@ -1,0 +1,271 @@
+//! SLO burn-rate engine end-to-end: an induced WAN latency regression
+//! between two Grid sites must burn the latency SLO's error budget,
+//! fire the alert at an exact virtual timestamp, and clear it once the
+//! bad samples age out of the slow window — with the same facts visible
+//! through every surface: the `gridrm_slo` virtual SQL table, the
+//! structured journal, the Prometheus gauges, the alert-event stream,
+//! and the Global-layer per-site rollup.
+//!
+//! Plain simnet requests do not advance the virtual clock; Global-layer
+//! fan-out segments do (they charge the sampled RTT and record it in
+//! `gridrm_site_latency_ms`), so the SLO under test is declared over
+//! that histogram and the workload is cross-site queries.
+
+use gridrm::prelude::*;
+use gridrm::telemetry::KIND_SLO;
+use std::sync::Arc;
+
+const LOCAL_URL: &str = "jdbc:snmp://node01.alpha/public";
+const REMOTE_URL: &str = "jdbc:snmp://node01.beta/public";
+const TELEMETRY_URL: &str = "jdbc:telemetry://local/metrics";
+
+struct Grid {
+    net: Arc<Network>,
+    alpha: Arc<Gateway>,
+    layer: Arc<GlobalLayer>,
+    _beta: Arc<Gateway>,
+    _beta_layer: Arc<GlobalLayer>,
+}
+
+/// Two deployed sites whose alpha gateway declares one latency SLO:
+/// 90% of query segments under 100 ms, judged over a 60 s fast window
+/// and a 300 s slow window with burn thresholds 2x / 1x.
+fn grid() -> Grid {
+    let net = Network::new(SimClock::new(), 555);
+    let directory = GmaDirectory::new();
+    let mut gateways = Vec::new();
+    for (i, name) in ["alpha", "beta"].iter().enumerate() {
+        let model = SiteModel::generate(1000 + i as u64, &SiteSpec::new(name, 4, 2));
+        model.advance_to(120_000);
+        gridrm::agents::deploy_site(&net, model);
+        let mut config = GatewayConfig::new(&format!("gw-{name}"), name);
+        if *name == "alpha" {
+            config.timeseries_interval_ms = 1_000;
+            let mut spec = SloSpec::new(
+                "segment-latency",
+                SloObjective::Latency {
+                    metric: "gridrm_site_latency_ms".to_owned(),
+                    threshold_ms: 100.0,
+                },
+                0.9,
+            );
+            spec.fast_window_ms = 60_000;
+            spec.slow_window_ms = 300_000;
+            spec.fast_burn_threshold = 2.0;
+            spec.slow_burn_threshold = 1.0;
+            config.slos = vec![spec];
+        }
+        let gateway = Gateway::new(config, net.clone());
+        install_into_gateway(&gateway);
+        let layer = GlobalLayer::attach(gateway.clone(), directory.clone());
+        gateways.push((gateway, layer));
+    }
+    let (beta, beta_layer) = gateways.pop().expect("beta");
+    let (alpha, layer) = gateways.pop().expect("alpha");
+    Grid {
+        net,
+        alpha,
+        layer,
+        _beta: beta,
+        _beta_layer: beta_layer,
+    }
+}
+
+/// One cross-Grid query through alpha's Global layer.
+fn run_query(g: &Grid, source: &str) {
+    g.layer
+        .query(&ClientRequest::realtime(
+            source,
+            "SELECT Hostname, Load1 FROM Processor",
+        ))
+        .expect("grid query");
+}
+
+fn sql(gateway: &Gateway, query: &str) -> RowSet {
+    gateway
+        .query(&ClientRequest::realtime(TELEMETRY_URL, query))
+        .expect("telemetry virtual table query")
+        .rows
+}
+
+fn slo_status(gateway: &Gateway) -> SloStatus {
+    gateway
+        .telemetry()
+        .slo()
+        .snapshot()
+        .into_iter()
+        .find(|s| s.name == "segment-latency")
+        .expect("latency SLO declared")
+}
+
+#[test]
+fn latency_regression_fires_and_clears_across_all_surfaces() {
+    let g = grid();
+    let clock = g.alpha.clock().clone();
+    let (_, alerts) = g.alpha.events().register_listener(ListenerFilter {
+        category_prefix: Some("slo.".into()),
+        ..Default::default()
+    });
+
+    // Healthy baseline: LAN-local and zero-latency remote segments,
+    // all well under the 100 ms objective.
+    for _ in 0..4 {
+        run_query(&g, LOCAL_URL);
+        run_query(&g, REMOTE_URL);
+        clock.advance(5_000);
+        g.alpha.pump();
+    }
+    let s = slo_status(&g.alpha);
+    assert!(!s.firing, "baseline traffic must not fire");
+    assert_eq!(s.burn_fast, 0.0);
+    assert!(s.total >= 8.0, "segments observed: {}", s.total);
+    assert!(g.layer.site_slo().healthy());
+
+    // Induce the regression: every link now costs 250 ms one-way, so
+    // each cross-site segment pays a 500 ms round trip — far over the
+    // 100 ms objective — and the virtual clock is charged accordingly.
+    g.net.set_default_latency(Latency::ms(250, 0));
+    let mut fired_at = None;
+    for _ in 0..30 {
+        run_query(&g, REMOTE_URL);
+        clock.advance(5_000);
+        g.alpha.pump();
+        if slo_status(&g.alpha).firing {
+            fired_at = Some(clock.now_millis());
+            break;
+        }
+    }
+    // The alert fired at exactly the pump that evaluated it.
+    let fired_at = fired_at.expect("regression fires the SLO within 30 pumps");
+    let s = slo_status(&g.alpha);
+    assert_eq!(s.since_ms, fired_at, "transition stamped with pump time");
+    assert!(s.burn_fast >= 2.0, "fast burn {}", s.burn_fast);
+    assert!(s.burn_slow >= 1.0, "slow burn {}", s.burn_slow);
+    assert!(s.error_budget_remaining < 1.0);
+
+    // Surface 1: the journal records the fire at the exact timestamp.
+    let entries = g.alpha.telemetry().journal().recent_of_kind(KIND_SLO);
+    let fire = entries
+        .iter()
+        .find(|e| e.at_ms == fired_at)
+        .expect("journal entry at the fire time");
+    assert_eq!(fire.severity, JournalSeverity::Critical);
+    assert_eq!(fire.stage.as_deref(), Some("firing"));
+    assert_eq!(fire.source, "segment-latency");
+
+    // Surface 2: the gridrm_slo virtual SQL table shows the firing row.
+    let rows = sql(
+        &g.alpha,
+        "SELECT name, firing, since_ms, burn_fast FROM gridrm_slo WHERE firing",
+    );
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows.rows()[0][0], SqlValue::Str("segment-latency".into()));
+    assert_eq!(rows.rows()[0][2], SqlValue::Int(fired_at as i64));
+
+    // Surface 3: Prometheus gauges carry the burn and the spent budget.
+    let prom = g.alpha.telemetry().registry().render_prometheus();
+    assert!(prom.contains("gridrm_slo_burn_rate{slo=\"segment-latency\",window=\"fast\"}"));
+    assert!(prom.contains("gridrm_slo_error_budget{slo=\"segment-latency\"}"));
+    assert!(prom.contains("gridrm_slo_transitions_total{state=\"firing\"} 1"));
+
+    // Surface 4: the alert-event stream (events ingest at the firing
+    // pump and dispatch on the next one).
+    g.alpha.pump();
+    let mut categories = Vec::new();
+    while let Ok(e) = alerts.try_recv() {
+        assert_eq!(e.source, "slo:segment-latency");
+        categories.push(e.category);
+    }
+    assert!(
+        categories.contains(&"slo.burn.firing".to_owned()),
+        "firing alert dispatched: {categories:?}"
+    );
+
+    // Surface 5: the Global layer rolls the firing SLO up to the site.
+    let rollup = g.layer.site_slo();
+    assert_eq!(rollup.site, "alpha");
+    assert_eq!((rollup.slos, rollup.firing), (1, 1));
+    assert_eq!(rollup.firing_names, vec!["segment-latency".to_owned()]);
+    assert!(!rollup.healthy());
+    assert!(rollup.worst_burn_slow >= 1.0);
+
+    // Recovery: latency back to LAN-zero; keep serving good traffic
+    // until the bad samples age out of the 300 s slow window.
+    g.net.set_default_latency(Latency::ZERO);
+    let mut cleared_at = None;
+    for _ in 0..200 {
+        run_query(&g, REMOTE_URL);
+        clock.advance(5_000);
+        g.alpha.pump();
+        if !slo_status(&g.alpha).firing {
+            cleared_at = Some(clock.now_millis());
+            break;
+        }
+    }
+    let cleared_at = cleared_at.expect("SLO clears after the regression ends");
+    let s = slo_status(&g.alpha);
+    assert_eq!(s.since_ms, cleared_at, "clear stamped with pump time");
+    assert!(s.burn_fast < 2.0 && s.burn_slow < 1.0);
+    assert_eq!(s.transitions, 2, "one fire + one clear");
+
+    // The clear is journaled at its exact time and the event follows.
+    let entries = g.alpha.telemetry().journal().recent_of_kind(KIND_SLO);
+    let clear = entries
+        .iter()
+        .find(|e| e.at_ms == cleared_at)
+        .expect("journal entry at the clear time");
+    assert_eq!(clear.severity, JournalSeverity::Info);
+    assert_eq!(clear.stage.as_deref(), Some("ok"));
+    g.alpha.pump();
+    let mut recovered = false;
+    while let Ok(e) = alerts.try_recv() {
+        recovered |= e.category == "slo.burn.recovered";
+    }
+    assert!(recovered, "recovery alert dispatched");
+    assert!(g.layer.site_slo().healthy());
+}
+
+#[test]
+fn metrics_history_answers_time_bucket_rollups() {
+    let g = grid();
+    let clock = g.alpha.clock().clone();
+    for _ in 0..12 {
+        run_query(&g, LOCAL_URL);
+        clock.advance(5_000);
+        g.alpha.pump();
+    }
+
+    // The recorder sampled the request counter each pump; a time_bucket
+    // rollup over the virtual table condenses it into 20 s buckets.
+    let rows = sql(
+        &g.alpha,
+        "SELECT TIME_BUCKET(20000, ts_ms) AS bucket, COUNT(*), MAX(value) \
+         FROM gridrm_metrics_history WHERE name = 'gridrm_requests_total' \
+         GROUP BY TIME_BUCKET(20000, ts_ms) ORDER BY bucket",
+    );
+    assert!(rows.len() >= 3, "several buckets, got {}", rows.len());
+    let mut prev_bucket = i64::MIN;
+    let mut prev_max = f64::MIN;
+    for row in rows.rows() {
+        let bucket = row[0].as_i64().unwrap();
+        assert_eq!(bucket % 20_000, 0, "bucket aligned: {bucket}");
+        assert!(bucket > prev_bucket, "buckets ascend");
+        prev_bucket = bucket;
+        // The request counter is monotone, so per-bucket maxima ascend.
+        let max = row[2].as_f64().unwrap();
+        assert!(max >= prev_max, "counter maxima ascend");
+        prev_max = max;
+    }
+    // The in-process kernel agrees with the SQL rollup bucket-for-bucket.
+    let kernel = g
+        .alpha
+        .telemetry()
+        .timeseries()
+        .bucketed("gridrm_requests_total", "", 20_000);
+    assert_eq!(kernel.len(), rows.len());
+    for (b, row) in kernel.iter().zip(rows.rows()) {
+        assert_eq!(b.bucket_ms as i64, row[0].as_i64().unwrap());
+        assert_eq!(b.count as i64, row[1].as_i64().unwrap());
+        assert_eq!(b.max, row[2].as_f64().unwrap());
+    }
+}
