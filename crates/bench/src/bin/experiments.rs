@@ -837,6 +837,283 @@ fn e14() {
     e14_run(8, 131_072, true);
 }
 
+// --------------------------------------------------------------------
+// E15 support: a synthetic monitoring feed with a precisely scripted
+// change rate — each source serves `rows` rows of which exactly one
+// changes per evaluation cadence, so the delta volume is analytic.
+// --------------------------------------------------------------------
+
+mod feed {
+    use gridrm_dbc::{
+        ColumnMeta, Connection, DbcResult, Driver, DriverMetaData, JdbcUrl, Properties, ResultSet,
+        ResultSetMetaData, RowSet, SqlError, Statement,
+    };
+    use gridrm_simnet::SimClock;
+    use gridrm_sqlparse::{SqlType, SqlValue};
+    use std::sync::Arc;
+
+    pub struct FeedDriver {
+        pub clock: Arc<SimClock>,
+        pub rows: usize,
+        pub every_ms: u64,
+    }
+
+    struct FeedConnection {
+        url: JdbcUrl,
+        clock: Arc<SimClock>,
+        rows: usize,
+        every_ms: u64,
+        closed: bool,
+    }
+
+    struct FeedStatement {
+        clock: Arc<SimClock>,
+        rows: usize,
+        every_ms: u64,
+    }
+
+    impl Driver for FeedDriver {
+        fn meta(&self) -> DriverMetaData {
+            DriverMetaData {
+                name: "jdbc-feed".to_owned(),
+                subprotocol: "feed".to_owned(),
+                version: (0, 1),
+                description: "bench feed: one row changes per cadence".to_owned(),
+            }
+        }
+        fn accepts_url(&self, url: &JdbcUrl) -> bool {
+            url.subprotocol == "feed"
+        }
+        fn connect(&self, url: &JdbcUrl, _props: &Properties) -> DbcResult<Box<dyn Connection>> {
+            Ok(Box::new(FeedConnection {
+                url: url.clone(),
+                clock: self.clock.clone(),
+                rows: self.rows,
+                every_ms: self.every_ms,
+                closed: false,
+            }))
+        }
+    }
+
+    impl Connection for FeedConnection {
+        fn create_statement(&mut self) -> DbcResult<Box<dyn Statement>> {
+            Ok(Box::new(FeedStatement {
+                clock: self.clock.clone(),
+                rows: self.rows,
+                every_ms: self.every_ms,
+            }))
+        }
+        fn url(&self) -> &JdbcUrl {
+            &self.url
+        }
+        fn is_closed(&self) -> bool {
+            self.closed
+        }
+        fn close(&mut self) -> DbcResult<()> {
+            self.closed = true;
+            Ok(())
+        }
+    }
+
+    impl Statement for FeedStatement {
+        fn execute_query(&mut self, _sql: &str) -> DbcResult<Box<dyn ResultSet>> {
+            // Row 0 carries the current epoch (changes every cadence);
+            // the remaining rows are stable background data.
+            let epoch = self.clock.now_millis() / self.every_ms;
+            let rows: Vec<Vec<SqlValue>> = (0..self.rows)
+                .map(|r| {
+                    let value = if r == 0 { epoch as i64 } else { r as i64 * 100 };
+                    vec![SqlValue::Str(format!("h{r}")), SqlValue::Int(value)]
+                })
+                .collect();
+            let rows = RowSet::new(
+                ResultSetMetaData::new(vec![
+                    ColumnMeta::new("Host", SqlType::Str),
+                    ColumnMeta::new("Value", SqlType::Int),
+                ]),
+                rows,
+            )
+            .map_err(|e| SqlError::Driver(e.to_string()))?;
+            Ok(Box::new(rows))
+        }
+    }
+}
+
+/// E15 — the continuous-query plane at scale: N subscribers sharing
+/// deduplicated standing queries versus the same N clients re-polling.
+/// Executions, deltas and rows shipped are virtual-time deterministic
+/// and land in `BENCH_stream.json`; wall-clock goes to stdout only.
+fn e15_run(queries: usize, subs_per_query: usize, ticks: u64, write_json: bool) -> bool {
+    use gridrm_core::stream::BackpressurePolicy;
+    use gridrm_core::{Gateway, GatewayConfig};
+    use gridrm_simnet::{Network, SimClock};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const EVERY_MS: u64 = 1_000;
+    const ROWS_PER_SOURCE: usize = 5;
+    const BUFFER_CAP: usize = 4;
+    const UNPOLLED_TICKS: u64 = 10;
+    let subscribers = queries * subs_per_query;
+    let sources: Vec<String> = (0..queries)
+        .map(|q| format!("jdbc:feed://src{q:03}.bench/feed"))
+        .collect();
+    let world = |seed: u64| -> (Arc<Gateway>, Arc<SimClock>) {
+        let clock = SimClock::new();
+        let net = Network::new(clock.clone(), seed);
+        let gateway = Gateway::new(GatewayConfig::new("gw-stream", "bench"), net);
+        gateway.request_manager().set_record_history(false);
+        gateway
+            .driver_manager()
+            .register(Arc::new(feed::FeedDriver {
+                clock: clock.clone(),
+                rows: ROWS_PER_SOURCE,
+                every_ms: EVERY_MS,
+            }));
+        (gateway, clock)
+    };
+
+    // --- Streaming path: subscribe everyone, pump, drain every tick.
+    let (gateway, clock) = world(1);
+    let t0 = Instant::now();
+    let mut ids = Vec::with_capacity(subscribers);
+    for source in &sources {
+        for _ in 0..subs_per_query {
+            let spec = gridrm_core::ClientRequest::builder("SELECT Host, Value FROM Feed")
+                .source(source)
+                .subscribe_every(EVERY_MS)
+                .buffer(BUFFER_CAP)
+                .backpressure(BackpressurePolicy::DropOldest);
+            ids.push(gateway.subscribe(&spec).expect("subscribe"));
+        }
+    }
+    let subscribe_wall = t0.elapsed();
+    let mut stream_rows = 0u64;
+    let mut peak_pending = 0usize;
+    let t0 = Instant::now();
+    for _ in 0..=ticks {
+        for &id in &ids {
+            peak_pending = peak_pending.max(gateway.streams().pending(id));
+            for d in gateway.poll_deltas(id, 0).expect("poll") {
+                stream_rows += d.rows.len() as u64;
+            }
+        }
+        clock.advance(EVERY_MS);
+        gateway.pump();
+    }
+    let stream_wall = t0.elapsed();
+    let stats = gateway.streams().stats();
+    let stream_execs = stats.evaluations.get();
+    let stream_deltas = stats.deltas.get();
+
+    // --- Bounded-memory phase: stop draining entirely; buffers must
+    // plateau at their capacity while the drop counters absorb the rest.
+    for _ in 0..UNPOLLED_TICKS {
+        clock.advance(EVERY_MS);
+        gateway.pump();
+    }
+    let peak_unpolled = ids
+        .iter()
+        .map(|&id| gateway.streams().pending(id))
+        .max()
+        .unwrap_or(0);
+    let dropped_total = stats.dropped_oldest.get();
+
+    // --- Naive path: every subscriber re-polls its query every tick.
+    let (gateway2, clock2) = world(2);
+    let mut naive_rows = 0u64;
+    let t0 = Instant::now();
+    for tick in 0..=ticks {
+        if tick > 0 {
+            clock2.advance(EVERY_MS);
+        }
+        for source in &sources {
+            for _ in 0..subs_per_query {
+                let resp = gateway2
+                    .query(&gridrm_core::ClientRequest::realtime(
+                        source,
+                        "SELECT Host, Value FROM Feed",
+                    ))
+                    .expect("re-poll");
+                naive_rows += resp.rows.len() as u64;
+            }
+        }
+    }
+    let naive_wall = t0.elapsed();
+    let naive_execs = (ticks + 1) * subscribers as u64;
+
+    let exec_reduction = 100.0 * (1.0 - stream_execs as f64 / naive_execs as f64);
+    let rows_reduction = 100.0 * (1.0 - stream_rows as f64 / naive_rows as f64);
+    println!(
+        "  {subscribers} subscribers over {queries} standing queries, {ticks} ticks @ {EVERY_MS}ms, \
+         {ROWS_PER_SOURCE} rows/source\n"
+    );
+    row(
+        &["path", "executions", "rows shipped", "wall"],
+        &[10, 12, 14, 10],
+    );
+    row(
+        &[
+            "delta",
+            &stream_execs.to_string(),
+            &stream_rows.to_string(),
+            &format!("{:.0}ms", stream_wall.as_secs_f64() * 1e3),
+        ],
+        &[10, 12, 14, 10],
+    );
+    row(
+        &[
+            "re-poll",
+            &naive_execs.to_string(),
+            &naive_rows.to_string(),
+            &format!("{:.0}ms", naive_wall.as_secs_f64() * 1e3),
+        ],
+        &[10, 12, 14, 10],
+    );
+    println!(
+        "\n  subscribe burst: {subscribers} registrations in {:.0}ms",
+        subscribe_wall.as_secs_f64() * 1e3
+    );
+    println!("  source executions reduced ............. {exec_reduction:.1}%");
+    println!("  rows shipped reduced .................. {rows_reduction:.1}%");
+    println!(
+        "  buffers: peak {peak_pending} pending while drained, plateau {peak_unpolled}/{BUFFER_CAP} \
+         after {UNPOLLED_TICKS} unpolled ticks, {dropped_total} dropped"
+    );
+    let bounded = peak_unpolled <= BUFFER_CAP;
+    let ok = exec_reduction > 90.0 && rows_reduction > 50.0 && bounded && stream_rows > 0;
+    if write_json {
+        let json = format!(
+            "{{\n  \"experiment\": \"stream_delta\",\n  \"unit\": \"virtual_ms\",\n  \
+             \"standing_queries\": {queries},\n  \"subscribers\": {subscribers},\n  \
+             \"ticks\": {ticks},\n  \"every_ms\": {EVERY_MS},\n  \
+             \"rows_per_source\": {ROWS_PER_SOURCE},\n  \
+             \"stream_executions\": {stream_execs},\n  \
+             \"stream_deltas_emitted\": {stream_deltas},\n  \
+             \"stream_rows_shipped\": {stream_rows},\n  \
+             \"naive_executions\": {naive_execs},\n  \"naive_rows_shipped\": {naive_rows},\n  \
+             \"execution_reduction_pct\": {exec_reduction:.1},\n  \
+             \"rows_reduction_pct\": {rows_reduction:.1},\n  \
+             \"buffer_capacity\": {BUFFER_CAP},\n  \"unpolled_ticks\": {UNPOLLED_TICKS},\n  \
+             \"peak_pending_unpolled\": {peak_unpolled},\n  \
+             \"dropped_total\": {dropped_total},\n  \"memory_bounded\": {bounded}\n}}\n"
+        );
+        std::fs::write("BENCH_stream.json", &json).expect("write BENCH_stream.json");
+        println!("  wrote BENCH_stream.json");
+    }
+    println!("  RESULT: {}", if ok { "PASS" } else { "FAIL" });
+    ok
+}
+
+/// E15 at full scale: 10,000 subscribers over 100 standing queries.
+fn e15() {
+    banner(
+        "E15",
+        "Continuous queries: shared delta evaluation vs 10k re-pollers",
+    );
+    e15_run(100, 100, 20, true);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id || a == "all");
@@ -875,6 +1152,9 @@ fn main() {
     if want("e14") {
         e14();
     }
+    if want("e15") {
+        e15();
+    }
     println!();
 }
 
@@ -885,5 +1165,12 @@ mod tests {
     #[test]
     fn e14_paths_agree_at_reduced_scale() {
         assert!(super::e14_run(2, 4_096, false));
+    }
+
+    /// CI smoke: the full e15 pipeline at reduced scale, without
+    /// touching the committed BENCH_stream.json.
+    #[test]
+    fn e15_delta_beats_repoll_at_reduced_scale() {
+        assert!(super::e15_run(10, 20, 5, false));
     }
 }

@@ -320,6 +320,29 @@ impl QueryBuilder {
     pub fn build(self) -> ClientRequest {
         self.request
     }
+
+    /// Finish building as a continuous-query subscription instead of a
+    /// one-shot request. The cadence comes from the SQL's `EVERY <n>`
+    /// clause (or `every_ms` on the returned spec); buffer capacity and
+    /// backpressure fall back to the gateway defaults. Register the
+    /// spec with `Gateway::subscribe`.
+    pub fn subscribe(self) -> crate::stream::SubscribeSpec {
+        crate::stream::SubscribeSpec {
+            request: self.request,
+            every_ms: None,
+            buffer: None,
+            backpressure: None,
+        }
+    }
+
+    /// Finish building as a subscription with an explicit cadence
+    /// (overrides any `EVERY` clause in the SQL).
+    pub fn subscribe_every(self, every_ms: u64) -> crate::stream::SubscribeSpec {
+        crate::stream::SubscribeSpec {
+            every_ms: Some(every_ms),
+            ..self.subscribe()
+        }
+    }
 }
 
 /// The answer crossing back over the ACIL.
@@ -492,10 +515,33 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn with_sources_shim_still_works() {
-        let r = ClientRequest::realtime("seed", "SELECT 1 FROM t").with_sources(&["a", "b"]);
+    fn builder_replaces_the_with_sources_shim() {
+        // The old `.with_sources(&[..])` call sites migrate to the
+        // builder's `sources` knob (the deprecated shim survives one
+        // more release for out-of-tree callers).
+        let r = ClientRequest::builder("SELECT 1 FROM t")
+            .sources(&["a", "b"])
+            .build();
         assert_eq!(r.sources, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn builder_subscribe_produces_a_spec() {
+        let spec = ClientRequest::builder("SELECT Load1 FROM Processor EVERY 250")
+            .source("jdbc:snmp://node00.alpha/public")
+            .subscribe()
+            .buffer(8)
+            .backpressure(crate::stream::BackpressurePolicy::Coalesce);
+        assert_eq!(spec.every_ms, None, "cadence comes from the EVERY clause");
+        assert_eq!(spec.buffer, Some(8));
+        assert_eq!(
+            spec.backpressure,
+            Some(crate::stream::BackpressurePolicy::Coalesce)
+        );
+        let explicit = ClientRequest::builder("SELECT Load1 FROM Processor")
+            .source("jdbc:snmp://node00.alpha/public")
+            .subscribe_every(500);
+        assert_eq!(explicit.every_ms, Some(500));
     }
 
     #[test]

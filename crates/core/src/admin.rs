@@ -7,6 +7,7 @@ use crate::acil::{ClientRequest, ClientResponse, QueryExecutor};
 use crate::cache::CacheController;
 use crate::driver_manager::{FailurePolicy, GridRMDriverManager};
 use crate::health::{HealthMonitor, SourceHealthSnapshot};
+use crate::stream::{StreamManager, SubscriptionSnapshot};
 use gridrm_dbc::{DbcResult, JdbcUrl, SqlError};
 use gridrm_simnet::Network;
 use gridrm_telemetry::{
@@ -96,6 +97,7 @@ pub struct AdminInterface {
     cache: Arc<CacheController>,
     telemetry: RwLock<Option<GatewayTelemetry>>,
     health_monitor: RwLock<Option<Arc<HealthMonitor>>>,
+    streams: RwLock<Option<Arc<StreamManager>>>,
 }
 
 impl AdminInterface {
@@ -111,6 +113,7 @@ impl AdminInterface {
             cache,
             telemetry: RwLock::new(None),
             health_monitor: RwLock::new(None),
+            streams: RwLock::new(None),
         }
     }
 
@@ -247,6 +250,29 @@ impl AdminInterface {
     /// JSON text of [`AdminInterface::slo_snapshot`].
     pub fn slo_json(&self) -> String {
         serde_json::to_string_pretty(&self.slo_snapshot()).expect("SLO status is serialisable")
+    }
+
+    /// Attach the stream manager; enables the subscription exposition
+    /// below.
+    pub fn attach_streams(&self, streams: Arc<StreamManager>) {
+        *self.streams.write() = Some(streams);
+    }
+
+    /// Live continuous-query subscriptions, ordered by id (JSON
+    /// exposition source of truth — the `gridrm_subscriptions` SQL
+    /// table serves the same rows).
+    pub fn subscriptions_snapshot(&self) -> Vec<SubscriptionSnapshot> {
+        self.streams
+            .read()
+            .as_ref()
+            .map(|s| s.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// JSON text of [`AdminInterface::subscriptions_snapshot`].
+    pub fn subscriptions_json(&self) -> String {
+        serde_json::to_string_pretty(&self.subscriptions_snapshot())
+            .expect("subscriptions are serialisable")
     }
 
     /// Recorded metric time-series rows, ordered by series then time.

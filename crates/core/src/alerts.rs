@@ -1,10 +1,20 @@
 //! Resource alerts (Fig 2's "Resource Alerts", Fig 9's "Threshold
 //! exceeded → Event transmitted"): declarative threshold rules evaluated
 //! over harvested result sets, producing normalised [`GridRMEvent`]s.
+//!
+//! A rule *is* a query: [`AlertRule::to_select`] materialises it as
+//! `SELECT * FROM <group> WHERE <attr> <cmp> <threshold>`, and
+//! [`AlertEngine::scan`] evaluates that statement with the store's SQL
+//! engine over the harvested rows — the same evaluator continuous
+//! queries use. [`AlertRule::to_continuous_sql`] appends `EVERY <n>`,
+//! turning the rule into a standing subscription whose deltas are the
+//! alert firings (see `docs/streaming.md`).
 
 use crate::events::{GridRMEvent, Severity};
 use crate::health::{HealthState, HealthTransition};
 use gridrm_dbc::RowSet;
+use gridrm_sqlparse::{ColumnDef, SelectStatement, Statement};
+use gridrm_store::{select_in_memory, Table};
 use gridrm_telemetry::SloTransition;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
@@ -21,7 +31,8 @@ pub enum Comparison {
 }
 
 impl Comparison {
-    fn holds(&self, value: f64, threshold: f64) -> bool {
+    /// Whether `value <cmp> threshold` holds.
+    pub fn holds(&self, value: f64, threshold: f64) -> bool {
         match self {
             Comparison::Gt => value > threshold,
             Comparison::Ge => value >= threshold,
@@ -61,6 +72,46 @@ pub struct AlertRule {
     pub category: String,
 }
 
+impl AlertRule {
+    /// The rule as SQL: `SELECT * FROM <group> WHERE <attr> <cmp> <n>`.
+    /// Matching rows under this query are exactly the rows the rule
+    /// fires on.
+    pub fn to_sql(&self) -> String {
+        format!(
+            "SELECT * FROM {} WHERE {} {} {}",
+            self.group,
+            self.attr,
+            self.cmp.symbol(),
+            fmt_threshold(self.threshold)
+        )
+    }
+
+    /// The rule materialised as a parsed `SELECT` statement, ready for
+    /// the store's SQL evaluator.
+    pub fn to_select(&self) -> Option<SelectStatement> {
+        match gridrm_sqlparse::parse(&self.to_sql()) {
+            Ok(Statement::Select(sel)) => Some(sel),
+            _ => None, // a group/attr that is not a lexable identifier
+        }
+    }
+
+    /// The rule as a standing continuous query: its deltas are the
+    /// alert firings.
+    pub fn to_continuous_sql(&self, every_ms: u64) -> String {
+        format!("{} EVERY {}", self.to_sql(), every_ms)
+    }
+}
+
+/// Render a threshold so it round-trips through the SQL lexer as a
+/// float literal (a bare `3` would lex as an integer).
+fn fmt_threshold(v: f64) -> String {
+    if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
 /// The alert engine: a rule set scanned over query results.
 #[derive(Default)]
 pub struct AlertEngine {
@@ -95,6 +146,12 @@ impl AlertEngine {
 
     /// Scan a result set harvested from `source` for group `group`;
     /// returns one event per (rule, matching row).
+    ///
+    /// Each applicable rule is materialised as its `SELECT` statement
+    /// ([`AlertRule::to_select`]) and evaluated by the store's SQL
+    /// engine over the harvested rows — the rows that survive the
+    /// `WHERE` clause are the firings. SQL three-valued logic gives the
+    /// NULL handling (a NULL attribute never matches) for free.
     pub fn scan(&self, source: &str, group: &str, rows: &RowSet, now_ms: i64) -> Vec<GridRMEvent> {
         let rules = self.rules.read();
         let applicable: Vec<&AlertRule> = rules
@@ -104,43 +161,62 @@ impl AlertEngine {
         if applicable.is_empty() {
             return Vec::new();
         }
+        // Mount the harvested result set as a transient table so rules
+        // evaluate through the ordinary SQL path.
         let meta = rows.meta();
-        let host_idx = meta.column_index("Hostname").ok();
+        let columns: Vec<ColumnDef> = meta
+            .columns()
+            .iter()
+            .map(|c| ColumnDef {
+                name: c.name.clone(),
+                ty: c.ty,
+                primary_key: false,
+            })
+            .collect();
+        let mut table = Table::new(group, columns);
+        table.rows = rows.rows().to_vec();
         let mut events = Vec::new();
         for rule in applicable {
-            let Ok(attr_idx) = meta.column_index(&rule.attr) else {
+            if meta.column_index(&rule.attr).is_err() {
                 continue; // attribute not in this projection
+            }
+            let Some(sel) = rule.to_select() else {
+                continue;
             };
-            for row in rows.rows() {
-                let Some(value) = row[attr_idx].as_f64() else {
-                    continue; // NULL or non-numeric
+            let Ok(matched) = select_in_memory(&table, &sel, now_ms) else {
+                continue;
+            };
+            let matched_meta = matched.meta();
+            let host_idx = matched_meta.column_index("Hostname").ok();
+            let attr_idx = matched_meta.column_index(&rule.attr).ok();
+            for row in matched.rows() {
+                let Some(value) = attr_idx.and_then(|i| row.get(i)).and_then(|v| v.as_f64()) else {
+                    continue;
                 };
-                if rule.cmp.holds(value, rule.threshold) {
-                    let hostname = host_idx
-                        .and_then(|i| row.get(i))
-                        .and_then(|v| v.as_str().map(str::to_owned));
-                    events.push(GridRMEvent {
-                        id: 0,
-                        at_ms: now_ms,
-                        source: source.to_owned(),
-                        hostname: hostname.clone(),
-                        severity: rule.severity,
-                        category: rule.category.clone(),
-                        message: format!(
-                            "{}: {}.{} = {value:.3} {} {:.3}{}",
-                            rule.name,
-                            group,
-                            rule.attr,
-                            rule.cmp.symbol(),
-                            rule.threshold,
-                            hostname
-                                .as_deref()
-                                .map(|h| format!(" on {h}"))
-                                .unwrap_or_default(),
-                        ),
-                        value: Some(value),
-                    });
-                }
+                let hostname = host_idx
+                    .and_then(|i| row.get(i))
+                    .and_then(|v| v.as_str().map(str::to_owned));
+                events.push(GridRMEvent {
+                    id: 0,
+                    at_ms: now_ms,
+                    source: source.to_owned(),
+                    hostname: hostname.clone(),
+                    severity: rule.severity,
+                    category: rule.category.clone(),
+                    message: format!(
+                        "{}: {}.{} = {value:.3} {} {:.3}{}",
+                        rule.name,
+                        group,
+                        rule.attr,
+                        rule.cmp.symbol(),
+                        rule.threshold,
+                        hostname
+                            .as_deref()
+                            .map(|h| format!(" on {h}"))
+                            .unwrap_or_default(),
+                    ),
+                    value: Some(value),
+                });
             }
         }
         events
@@ -313,6 +389,29 @@ mod tests {
         assert!(Comparison::Le.holds(1.0, 1.0));
         assert!(Comparison::Lt.holds(0.5, 1.0));
         assert!(Comparison::Eq.holds(2.0, 2.0));
+    }
+
+    #[test]
+    fn rule_materialises_as_a_select_statement() {
+        let rule = load_rule(1.0);
+        assert_eq!(rule.to_sql(), "SELECT * FROM Processor WHERE Load1 > 1.0");
+        let sel = rule.to_select().unwrap();
+        assert_eq!(sel.table, "Processor");
+        assert!(sel.where_clause.is_some());
+        assert_eq!(sel.every_ms, None);
+        // Fractional and negative thresholds survive the round-trip.
+        assert!(load_rule(0.75).to_select().is_some());
+        assert!(load_rule(-100.0).to_select().is_some());
+    }
+
+    #[test]
+    fn rule_materialises_as_a_continuous_query() {
+        let sql = load_rule(1.0).to_continuous_sql(500);
+        assert_eq!(sql, "SELECT * FROM Processor WHERE Load1 > 1.0 EVERY 500");
+        let Ok(gridrm_sqlparse::Statement::Select(sel)) = gridrm_sqlparse::parse(&sql) else {
+            panic!("continuous rule SQL must parse as SELECT");
+        };
+        assert_eq!(sel.every_ms, Some(500));
     }
 
     #[test]

@@ -69,6 +69,24 @@ pub struct GatewayConfig {
     /// Declared SLOs, evaluated by the burn-rate engine on every pump.
     #[serde(default)]
     pub slos: Vec<SloSpec>,
+    /// Per-subscriber delta buffer capacity for continuous queries
+    /// (`SELECT … EVERY n`); the backpressure policy decides what
+    /// happens when a slow subscriber fills it.
+    #[serde(default = "defaults::stream_buffer_capacity")]
+    pub stream_buffer_capacity: usize,
+    /// Default backpressure policy for subscribers that do not pick one.
+    #[serde(default)]
+    pub stream_backpressure: crate::stream::BackpressurePolicy,
+    /// Floor for `EVERY` intervals, virtual ms: subscriptions asking
+    /// for a faster cadence are clamped so a client cannot turn the
+    /// pump into a busy loop.
+    #[serde(default = "defaults::stream_min_every_ms")]
+    pub stream_min_every_ms: u64,
+    /// Hard cap on concurrently registered subscribers (bounded
+    /// memory); further `subscribe` calls are refused. 0 disables the
+    /// cap.
+    #[serde(default = "defaults::stream_max_subscribers")]
+    pub stream_max_subscribers: usize,
 }
 
 /// Serde defaults so pre-health persisted configs keep loading.
@@ -103,6 +121,15 @@ mod defaults {
     pub fn timeseries_capacity() -> usize {
         gridrm_telemetry::DEFAULT_TIMESERIES_CAPACITY
     }
+    pub fn stream_buffer_capacity() -> usize {
+        64
+    }
+    pub fn stream_min_every_ms() -> u64 {
+        10
+    }
+    pub fn stream_max_subscribers() -> usize {
+        100_000
+    }
 }
 
 impl GatewayConfig {
@@ -131,6 +158,10 @@ impl GatewayConfig {
             timeseries_interval_ms: defaults::timeseries_interval_ms(),
             timeseries_capacity: defaults::timeseries_capacity(),
             slos: Vec::new(),
+            stream_buffer_capacity: defaults::stream_buffer_capacity(),
+            stream_backpressure: crate::stream::BackpressurePolicy::default(),
+            stream_min_every_ms: defaults::stream_min_every_ms(),
+            stream_max_subscribers: defaults::stream_max_subscribers(),
         }
     }
 }
@@ -213,6 +244,27 @@ mod tests {
             gridrm_telemetry::DEFAULT_TIMESERIES_CAPACITY
         );
         assert!(c.slos.is_empty());
+    }
+
+    #[test]
+    fn pre_stream_config_loads_with_defaults() {
+        // A config persisted before the continuous-query plane existed
+        // must still deserialise: bounded buffers, DropOldest, clamped
+        // cadence, capped subscriber count.
+        let json = r#"{
+            "name": "gw-old", "site": "s", "address": "gw.s",
+            "cache_ttl_ms": 10000, "history_retention_ms": 86400000,
+            "event_fast_capacity": 1024, "pool_max_idle": 8,
+            "session_ttl_ms": 1800000, "record_history": true
+        }"#;
+        let c: GatewayConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(c.stream_buffer_capacity, 64);
+        assert_eq!(
+            c.stream_backpressure,
+            crate::stream::BackpressurePolicy::DropOldest
+        );
+        assert_eq!(c.stream_min_every_ms, 10);
+        assert_eq!(c.stream_max_subscribers, 100_000);
     }
 
     #[test]

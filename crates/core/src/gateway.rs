@@ -14,10 +14,12 @@ use crate::history::HistoryManager;
 use crate::request::RequestManager;
 use crate::security::{Identity, SecurityPolicy};
 use crate::session::{SessionManager, SessionToken};
+use crate::stream::{StreamDelta, StreamManager, StreamSettings, SubscribeSpec, SubscriptionId};
 use crossbeam::channel::Receiver;
-use gridrm_dbc::{DbcResult, JdbcUrl};
+use gridrm_dbc::{ColumnMeta, DbcResult, JdbcUrl, ResultSetMetaData, RowSet};
 use gridrm_glue::SchemaManager;
 use gridrm_simnet::{Network, Push, SimClock};
+use gridrm_sqlparse::{SqlType, SqlValue, Statement};
 use gridrm_store::Store;
 use gridrm_telemetry::{GatewayTelemetry, Labels, TelemetryCapacities, DEFAULT_TRACE_CAPACITY};
 use parking_lot::RwLock;
@@ -42,6 +44,7 @@ pub struct Gateway {
     request: Arc<RequestManager>,
     telemetry: GatewayTelemetry,
     health: Arc<HealthMonitor>,
+    streams: Arc<StreamManager>,
     /// Native pushes (traps, streamed events) addressed to this gateway.
     push_rx: Receiver<Push>,
 }
@@ -128,6 +131,20 @@ impl Gateway {
             telemetry.journal().stats().register_into(registry);
             telemetry.slow_queries().register_into(registry);
         }
+        // The live observability plane: standing queries registered by
+        // `subscribe` / `SELECT … EVERY n`, evaluated incrementally in
+        // `pump`. Construction registers the streaming metric families.
+        let streams = Arc::new(StreamManager::new(
+            StreamSettings {
+                buffer_capacity: config.stream_buffer_capacity,
+                backpressure: config.stream_backpressure,
+                min_every_ms: config.stream_min_every_ms,
+                max_subscribers: config.stream_max_subscribers,
+            },
+            format!("local:{}", config.name),
+            Some(telemetry.clone()),
+        ));
+        admin.attach_streams(streams.clone());
         // Become reachable: agents push traps to `config.address`.
         network.register(
             &config.address,
@@ -157,6 +174,7 @@ impl Gateway {
             request,
             telemetry,
             health,
+            streams,
             push_rx,
         })
     }
@@ -247,13 +265,180 @@ impl Gateway {
         &self.health
     }
 
+    /// The continuous-query subscription manager.
+    pub fn streams(&self) -> &Arc<StreamManager> {
+        &self.streams
+    }
+
     /// Authenticate and open a session.
     pub fn login(&self, identity: Identity) -> SessionToken {
         self.sessions.open(identity, self.clock.now_millis())
     }
 
+    /// Register a continuous-query subscription and run its initial
+    /// evaluation, so the first [`Gateway::poll_deltas`] returns the
+    /// current state as delta #1. Traced with `subscribe` and `delta`
+    /// stages.
+    pub fn subscribe(&self, spec: &SubscribeSpec) -> DbcResult<SubscriptionId> {
+        let now = self.clock.now_millis();
+        let mut span = match &spec.request.trace {
+            Some(ctx) => self.telemetry.span_in(ctx, &spec.request.sql),
+            None => self.telemetry.span(&spec.request.sql),
+        };
+        span.stage("subscribe");
+        match self.streams.subscribe(spec, now) {
+            Ok(id) => {
+                // A joiner on an already-materialized standing query got
+                // its snapshot synthesized at registration — evaluating
+                // again would bill every such subscriber one execution,
+                // which is exactly the cost sharing exists to avoid.
+                if self.streams.pending(id) == 0 {
+                    let ctx = span.context();
+                    span.stage("delta");
+                    self.streams.evaluate_for(id, now, |req| {
+                        let traced = ClientRequest {
+                            trace: Some(ctx.clone()),
+                            ..req.clone()
+                        };
+                        self.request.handle(&traced).map(|r| r.rows)
+                    });
+                }
+                span.finish("ok");
+                Ok(id)
+            }
+            Err(e) => {
+                span.finish("error");
+                Err(e)
+            }
+        }
+    }
+
+    /// Drain up to `max` pending deltas (0 = all) from one
+    /// subscription's buffer. Untraced: this is the per-subscriber hot
+    /// path, and 10k pollers must not flood the trace ring.
+    pub fn poll_deltas(&self, id: SubscriptionId, max: usize) -> DbcResult<Vec<StreamDelta>> {
+        self.streams.poll(id, max, self.clock.now_millis())
+    }
+
+    /// Cancel a subscription. Returns whether it existed.
+    pub fn cancel_subscription(&self, id: SubscriptionId) -> bool {
+        self.streams.cancel(id, self.clock.now_millis())
+    }
+
+    /// The one-row acknowledgement a `SELECT … EVERY n` query answers
+    /// with: the subscription id plus its effective delivery knobs.
+    fn subscription_ack(&self, id: SubscriptionId) -> DbcResult<ClientResponse> {
+        let snap = self
+            .streams
+            .snapshot()
+            .into_iter()
+            .find(|s| s.id == id)
+            .ok_or_else(|| gridrm_dbc::SqlError::Internal("subscription vanished".into()))?;
+        let meta = ResultSetMetaData::new(vec![
+            ColumnMeta::new("Subscription", SqlType::Int),
+            ColumnMeta::new("EveryMs", SqlType::Int),
+            ColumnMeta::new("Policy", SqlType::Str),
+            ColumnMeta::new("Buffer", SqlType::Int),
+        ]);
+        let rows = RowSet::new(
+            meta,
+            vec![vec![
+                SqlValue::Int(snap.id as i64),
+                SqlValue::Int(snap.every_ms as i64),
+                SqlValue::Str(snap.policy),
+                SqlValue::Int(snap.buffer_capacity as i64),
+            ]],
+        )?;
+        Ok(ClientResponse {
+            rows,
+            warnings: Vec::new(),
+            served_from_cache: 0,
+            sources_ok: 0,
+            outcomes: Vec::new(),
+        })
+    }
+
+    /// `EXPLAIN [ANALYZE] SELECT … EVERY n`: run the full subscription
+    /// lifecycle — register, initial delta evaluation, one delivery —
+    /// under a single trace, cancel the temporary subscription, and
+    /// answer with the span tree so the `subscribe`/`delta`/`deliver`
+    /// stages are visible.
+    fn explain_subscription(
+        &self,
+        request: &ClientRequest,
+        analyze: bool,
+        inner_sql: &str,
+    ) -> DbcResult<ClientResponse> {
+        let mut span = match &request.trace {
+            Some(ctx) => self.telemetry.span_in(ctx, &request.sql),
+            None => self.telemetry.span(&request.sql),
+        };
+        span.stage_with("explain", if analyze { "analyze" } else { "plan" });
+        let trace_id = span.trace_id().to_owned();
+        let ctx = span.context();
+        let spec = SubscribeSpec {
+            request: ClientRequest {
+                sql: inner_sql.to_owned(),
+                trace: Some(ctx.clone()),
+                ..request.clone()
+            },
+            every_ms: None,
+            buffer: None,
+            backpressure: None,
+        };
+        match self.subscribe(&spec) {
+            Ok(id) => {
+                let now = self.clock.now_millis();
+                let mut deliver = self.telemetry.span_in(&ctx, "deliver");
+                let delivered = self.streams.poll(id, 0, now).map(|d| d.len()).unwrap_or(0);
+                deliver.stage_with("deliver", &format!("{delivered} deltas"));
+                deliver.finish("ok");
+                self.streams.cancel(id, now);
+                span.finish("ok");
+            }
+            Err(e) => {
+                span.finish("error");
+                return Err(e);
+            }
+        }
+        let spans = self.telemetry.traces().for_trace(&trace_id);
+        Ok(ClientResponse {
+            rows: crate::explain::explain_rowset(&spans, analyze)?,
+            warnings: Vec::new(),
+            served_from_cache: 0,
+            sources_ok: 0,
+            outcomes: Vec::new(),
+        })
+    }
+
     /// Submit a client request (ACIL shortcut).
+    ///
+    /// A `SELECT … EVERY n` registers a subscription instead of
+    /// answering rows: the response is a one-row acknowledgement
+    /// carrying the subscription id (poll it with
+    /// [`Gateway::poll_deltas`]). `EXPLAIN [ANALYZE]` over such a query
+    /// traces the subscription lifecycle.
     pub fn query(&self, request: &ClientRequest) -> DbcResult<ClientResponse> {
+        match gridrm_sqlparse::parse(&request.sql) {
+            Ok(Statement::Select(sel)) if sel.every_ms.is_some() => {
+                let spec = SubscribeSpec {
+                    request: request.clone(),
+                    every_ms: None,
+                    buffer: None,
+                    backpressure: None,
+                };
+                let id = self.subscribe(&spec)?;
+                return self.subscription_ack(id);
+            }
+            Ok(Statement::Explain { analyze, inner }) => {
+                if let Statement::Select(sel) = inner.as_ref() {
+                    if sel.every_ms.is_some() {
+                        return self.explain_subscription(request, analyze, &sel.to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
         let result = self.request.handle(request);
         // Feed the admin tree-view health model (Fig 9 icons) from the
         // structured per-source outcomes.
@@ -337,8 +522,12 @@ impl Gateway {
                 self.events.ingest(event);
             }
         }
-        // 1. Native pushes → formatters → fast buffer.
+        // 1. Native pushes → formatters → fast buffer. An agent update
+        // also marks standing queries over that agent dirty, so the
+        // continuous-query pass below re-evaluates them immediately
+        // instead of waiting out their cadence.
         while let Ok(push) = self.push_rx.try_recv() {
+            self.streams.mark_dirty(&push.from);
             self.events
                 .ingest_native(&push.from, &push.payload, push.sent_at as i64);
         }
@@ -347,6 +536,7 @@ impl Gateway {
         for event in &dispatched {
             let _ = self.history.record_event(event);
             self.admin.record_event(&event.source, now);
+            self.streams.mark_dirty(&event.source);
         }
         // 3. Housekeeping.
         let registry = self.telemetry.registry();
@@ -383,6 +573,12 @@ impl Gateway {
         for t in slo.take_transitions() {
             self.events.ingest(self.alerts.slo_alert(&t));
         }
+        // 5. Continuous queries: due (or dirtied) standing queries
+        // re-evaluate once each, and only the changed rows fan out to
+        // subscriber buffers. 10k subscribers to one query cost one
+        // evaluation here, not 10k re-polls.
+        self.streams
+            .pump(now, |req| self.request.handle(req).map(|r| r.rows));
         self.sessions.sweep(now);
         self.cache
             .sweep(now, self.config.cache_ttl_ms.saturating_mul(10));

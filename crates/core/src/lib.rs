@@ -22,6 +22,7 @@
 //! | Driver/data-source administration (Figs 6–8) | [`admin`] |
 //! | Gateway policy | [`config`] |
 //! | Data-source health state machine + probes | [`health`] |
+//! | Continuous queries & streaming subscriptions | [`stream`] |
 //!
 //! The [`gateway::Gateway`] facade wires everything together; the Global
 //! layer (`gridrm-global`) stacks GMA routing on top of it.
@@ -42,6 +43,7 @@ pub mod request;
 pub mod security;
 pub mod session;
 pub mod singleflight;
+pub mod stream;
 
 pub use acil::{
     ClientInterface, ClientRequest, ClientResponse, OutcomeStatus, QueryBuilder, QueryExecutor,
@@ -63,3 +65,7 @@ pub use request::{RequestManager, RequestSnapshot};
 pub use security::{CoarseOperation, Decision, Identity, SecurityPolicy};
 pub use session::{SessionManager, SessionToken};
 pub use singleflight::SingleFlight;
+pub use stream::{
+    BackpressurePolicy, StreamDelta, StreamManager, SubscribeSpec, SubscriptionId,
+    SubscriptionSnapshot,
+};

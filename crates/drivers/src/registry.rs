@@ -50,15 +50,17 @@ pub fn install_into_gateway(gateway: &gridrm_core::Gateway) -> Arc<DriverEnv> {
     );
     env.mount_store("history", gateway.history().store().clone());
     register_standard_drivers(gateway.driver_manager().base(), &env);
-    // The gateway's own metrics, health, journal and slow-query log,
-    // queryable as the `gridrm_telemetry`/`gridrm_health`/
-    // `gridrm_journal`/`gridrm_slow_queries` virtual tables via
+    // The gateway's own metrics, health, journal, slow-query log and
+    // live subscriptions, queryable as the `gridrm_telemetry`/
+    // `gridrm_health`/`gridrm_journal`/`gridrm_slow_queries`/
+    // `gridrm_subscriptions` virtual tables via
     // `jdbc:telemetry://local/metrics`.
     gateway
         .driver_manager()
-        .register(crate::TelemetryDriver::with_health(
+        .register(crate::TelemetryDriver::with_streams(
             gateway.telemetry().clone(),
             Some(gateway.health().clone()),
+            Some(gateway.streams().clone()),
         ));
     install_standard_formatters(gateway.events());
     env

@@ -57,10 +57,17 @@
 //! last-observed good/total, fast/slow burn rates, remaining error
 //! budget, firing flag, last transition time and transition count.
 //!
+//! `gridrm_subscriptions` — one row per live continuous-query
+//! subscription (see `gridrm_core::stream`): id, origin, sql, watched
+//! source count, cadence, backpressure policy, buffer capacity,
+//! pending/emitted/delivered/dropped counts and emit/registration
+//! times. Served empty when no stream manager is attached.
+//!
 //! URL form: `jdbc:telemetry://local/metrics`.
 
 use crate::base::{parse_select, DriverStats};
 use gridrm_core::health::HealthMonitor;
+use gridrm_core::stream::StreamManager;
 use gridrm_dbc::{
     Connection, DbcResult, Driver, DriverMetaData, JdbcUrl, Properties, ResultSet, SqlError,
     Statement,
@@ -95,10 +102,14 @@ pub const HISTORY_TABLE: &str = "gridrm_metrics_history";
 /// The SLO status virtual table name.
 pub const SLO_TABLE: &str = "gridrm_slo";
 
+/// The live-subscription virtual table name.
+pub const SUBSCRIPTIONS_TABLE: &str = "gridrm_subscriptions";
+
 /// The JDBC-Telemetry [`Driver`].
 pub struct TelemetryDriver {
     telemetry: GatewayTelemetry,
     health: Option<Arc<HealthMonitor>>,
+    streams: Option<Arc<StreamManager>>,
     stats: Arc<DriverStats>,
 }
 
@@ -115,9 +126,20 @@ impl TelemetryDriver {
         telemetry: GatewayTelemetry,
         health: Option<Arc<HealthMonitor>>,
     ) -> Arc<TelemetryDriver> {
+        TelemetryDriver::with_streams(telemetry, health, None)
+    }
+
+    /// Create the driver over a gateway's telemetry hub, health monitor
+    /// and stream manager, enabling every virtual table.
+    pub fn with_streams(
+        telemetry: GatewayTelemetry,
+        health: Option<Arc<HealthMonitor>>,
+        streams: Option<Arc<StreamManager>>,
+    ) -> Arc<TelemetryDriver> {
         Arc::new(TelemetryDriver {
             telemetry,
             health,
+            streams,
             stats: Arc::new(DriverStats::default()),
         })
     }
@@ -148,6 +170,7 @@ impl Driver for TelemetryDriver {
         Ok(Box::new(TelemetryConnection {
             telemetry: self.telemetry.clone(),
             health: self.health.clone(),
+            streams: self.streams.clone(),
             stats: self.stats.clone(),
             url: url.clone(),
             closed: false,
@@ -158,6 +181,7 @@ impl Driver for TelemetryDriver {
 struct TelemetryConnection {
     telemetry: GatewayTelemetry,
     health: Option<Arc<HealthMonitor>>,
+    streams: Option<Arc<StreamManager>>,
     stats: Arc<DriverStats>,
     url: JdbcUrl,
     closed: bool,
@@ -171,6 +195,7 @@ impl Connection for TelemetryConnection {
         Ok(Box::new(TelemetryStatement {
             telemetry: self.telemetry.clone(),
             health: self.health.clone(),
+            streams: self.streams.clone(),
             stats: self.stats.clone(),
         }))
     }
@@ -192,6 +217,7 @@ impl Connection for TelemetryConnection {
 struct TelemetryStatement {
     telemetry: GatewayTelemetry,
     health: Option<Arc<HealthMonitor>>,
+    streams: Option<Arc<StreamManager>>,
     stats: Arc<DriverStats>,
 }
 
@@ -547,6 +573,52 @@ fn slo_table(telemetry: &GatewayTelemetry) -> Table {
     }
 }
 
+/// One row per live continuous-query subscription, ordered by id.
+/// Served empty when no stream manager is attached.
+fn subscriptions_table(streams: Option<&Arc<StreamManager>>) -> Table {
+    let rows = streams
+        .map(|s| s.snapshot())
+        .unwrap_or_default()
+        .into_iter()
+        .map(|s| {
+            vec![
+                SqlValue::Int(s.id as i64),
+                SqlValue::Str(s.origin),
+                SqlValue::Str(s.sql),
+                SqlValue::Int(s.sources as i64),
+                SqlValue::Int(s.every_ms as i64),
+                SqlValue::Str(s.policy),
+                SqlValue::Int(s.buffer_capacity as i64),
+                SqlValue::Int(s.pending as i64),
+                SqlValue::Int(s.emitted as i64),
+                SqlValue::Int(s.delivered as i64),
+                SqlValue::Int(s.dropped as i64),
+                opt_ms(s.last_emit_ms),
+                SqlValue::Int(s.created_ms as i64),
+            ]
+        })
+        .collect();
+    Table {
+        name: SUBSCRIPTIONS_TABLE.to_owned(),
+        columns: columns(&[
+            ("id", SqlType::Int),
+            ("origin", SqlType::Str),
+            ("sql", SqlType::Str),
+            ("sources", SqlType::Int),
+            ("every_ms", SqlType::Int),
+            ("policy", SqlType::Str),
+            ("buffer_capacity", SqlType::Int),
+            ("pending", SqlType::Int),
+            ("emitted", SqlType::Int),
+            ("delivered", SqlType::Int),
+            ("dropped", SqlType::Int),
+            ("last_emit_ms", SqlType::Int),
+            ("created_ms", SqlType::Int),
+        ]),
+        rows,
+    }
+}
+
 impl Statement for TelemetryStatement {
     fn execute_query(&mut self, sql: &str) -> DbcResult<Box<dyn ResultSet>> {
         self.stats.query();
@@ -565,11 +637,14 @@ impl Statement for TelemetryStatement {
             history_table(&self.telemetry, &sel)
         } else if sel.table.eq_ignore_ascii_case(SLO_TABLE) {
             slo_table(&self.telemetry)
+        } else if sel.table.eq_ignore_ascii_case(SUBSCRIPTIONS_TABLE) {
+            subscriptions_table(self.streams.as_ref())
         } else {
             return Err(SqlError::Unsupported(format!(
                 "the telemetry driver serves {TABLE_NAME}, {HEALTH_TABLE}, \
                  {JOURNAL_TABLE}, {SLOW_TABLE}, {SPANS_TABLE}, \
-                 {HISTORY_TABLE} and {SLO_TABLE}, got '{}'",
+                 {HISTORY_TABLE}, {SLO_TABLE} and {SUBSCRIPTIONS_TABLE}, \
+                 got '{}'",
                 sel.table
             )));
         };
@@ -883,6 +958,62 @@ mod tests {
         assert_eq!(rs.rows()[0][1], SqlValue::Float(0.99));
         assert_eq!(rs.rows()[0][2], SqlValue::Bool(true));
         assert!(rs.rows()[0][3].as_f64().unwrap() > 2.0);
+    }
+
+    #[test]
+    fn subscriptions_table_reflects_live_subscribers() {
+        use gridrm_core::acil::ClientRequest;
+        use gridrm_core::stream::{BackpressurePolicy, StreamSettings, SubscribeSpec};
+        use gridrm_dbc::{ColumnMeta, ResultSetMetaData};
+        let telemetry = GatewayTelemetry::new(SimClock::new());
+        let streams = Arc::new(StreamManager::new(
+            StreamSettings {
+                buffer_capacity: 4,
+                backpressure: BackpressurePolicy::DropOldest,
+                min_every_ms: 1,
+                max_subscribers: 0,
+            },
+            "local:test".to_owned(),
+            None,
+        ));
+        let spec = SubscribeSpec {
+            request: ClientRequest::builder("SELECT Load1 FROM Processor EVERY 250")
+                .sources(&["jdbc:snmp://n1.siteA/public"])
+                .build(),
+            every_ms: None,
+            buffer: None,
+            backpressure: Some(BackpressurePolicy::Coalesce),
+        };
+        let id = streams.subscribe(&spec, 0).unwrap();
+        streams.pump(0, |_req| {
+            RowSet::new(
+                ResultSetMetaData::new(vec![ColumnMeta::new("Load1", SqlType::Float)]),
+                vec![vec![SqlValue::Float(0.5)]],
+            )
+        });
+        let d = TelemetryDriver::with_streams(telemetry, None, Some(streams));
+        let rs = query(
+            &d,
+            "SELECT id, sql, every_ms, policy, pending, emitted FROM gridrm_subscriptions",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows()[0][0], SqlValue::Int(id as i64));
+        assert_eq!(
+            rs.rows()[0][1],
+            SqlValue::Str("SELECT Load1 FROM Processor".into())
+        );
+        assert_eq!(rs.rows()[0][2], SqlValue::Int(250));
+        assert_eq!(rs.rows()[0][3], SqlValue::Str("coalesce".into()));
+        assert_eq!(rs.rows()[0][4], SqlValue::Int(1));
+        assert_eq!(rs.rows()[0][5], SqlValue::Int(1));
+    }
+
+    #[test]
+    fn subscriptions_table_empty_without_manager() {
+        let (_t, d) = driver();
+        let rs = query(&d, "SELECT * FROM gridrm_subscriptions").unwrap();
+        assert_eq!(rs.len(), 0);
     }
 
     #[test]

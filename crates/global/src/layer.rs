@@ -2,10 +2,11 @@
 //! routing, and inter-gateway event propagation.
 
 use crate::gma::{GmaDirectory, ProducerEntry};
-use crate::protocol::{self, GlobalRequest, GlobalResponse, WireRows};
+use crate::protocol::{self, GlobalRequest, GlobalResponse, WireDelta, WireRows};
 use gridrm_core::acil::{ClientRequest, ClientResponse, QueryExecutor, QueryMode};
 use gridrm_core::events::{EventTransmitter, GridRMEvent, Severity};
 use gridrm_core::health::HealthState;
+use gridrm_core::stream::SubscribeSpec;
 use gridrm_core::Gateway;
 use gridrm_dbc::DbcResult;
 use gridrm_simnet::{Network, Service};
@@ -366,6 +367,45 @@ impl GlobalLayer {
                     },
                 }
             }
+            GlobalRequest::Subscribe {
+                identity,
+                sources,
+                sql,
+                every_ms,
+                buffer,
+                backpressure,
+                ..
+            } => {
+                self.stats.remote_queries_in.inc();
+                let spec = SubscribeSpec {
+                    request: ClientRequest::builder(&sql)
+                        .sources(&sources)
+                        .identity(identity.to_identity())
+                        .build(),
+                    every_ms,
+                    buffer,
+                    backpressure,
+                };
+                match self.gateway.subscribe(&spec) {
+                    Ok(id) => GlobalResponse::Subscribed { subscription: id },
+                    Err(e) => GlobalResponse::Error {
+                        message: e.to_string(),
+                    },
+                }
+            }
+            GlobalRequest::PollDeltas { subscription, max } => {
+                match self.gateway.poll_deltas(subscription, max) {
+                    Ok(deltas) => GlobalResponse::Deltas {
+                        deltas: deltas.iter().map(WireDelta::from_delta).collect(),
+                    },
+                    Err(e) => GlobalResponse::Error {
+                        message: e.to_string(),
+                    },
+                }
+            }
+            GlobalRequest::Unsubscribe { subscription } => GlobalResponse::Unsubscribed {
+                existed: self.gateway.cancel_subscription(subscription),
+            },
         };
         protocol::encode(&response)
     }

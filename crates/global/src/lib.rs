@@ -23,7 +23,9 @@ mod engine;
 pub mod gma;
 pub mod layer;
 pub mod protocol;
+pub mod stream;
 
 pub use gma::{GmaDirectory, ProducerEntry};
 pub use layer::{GlobalLayer, SiteHealthRollup, SiteSloRollup};
-pub use protocol::{GlobalRequest, GlobalResponse, WireIdentity, WireRows};
+pub use protocol::{GlobalRequest, GlobalResponse, WireDelta, WireIdentity, WireRows};
+pub use stream::{GridSubscription, RemoteSubscription};

@@ -4,6 +4,7 @@
 use gridrm_core::acil::SourceOutcome;
 use gridrm_core::events::GridRMEvent;
 use gridrm_core::security::Identity;
+use gridrm_core::stream::{BackpressurePolicy, StreamDelta};
 use gridrm_dbc::{ColumnMeta, DbcResult, ResultSetMetaData, RowSet, SqlError};
 use gridrm_sqlparse::{SqlType, SqlValue};
 use gridrm_telemetry::{TraceContext, TraceRecord};
@@ -77,6 +78,57 @@ impl WireRows {
     }
 }
 
+/// One continuous-query delta batch in wire form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireDelta {
+    /// Subscription id *on the gateway that evaluated the query*.
+    pub subscription: u64,
+    /// Per-subscriber sequence number of the newest merged emission.
+    pub seq: u64,
+    /// Virtual emit time on the origin gateway.
+    pub emitted_ms: u64,
+    /// Scope label of the evaluating gateway (e.g. `local:gw-a`).
+    pub origin: String,
+    /// The changed rows.
+    pub rows: WireRows,
+    /// Rows that disappeared since the previous emission (count only;
+    /// absent from pre-stream peers).
+    #[serde(default)]
+    pub removed: usize,
+    /// How many buffered emissions were merged into this one by the
+    /// `Coalesce` backpressure policy (absent from pre-stream peers).
+    #[serde(default)]
+    pub coalesced: u32,
+}
+
+impl WireDelta {
+    /// Capture a core [`StreamDelta`].
+    pub fn from_delta(d: &StreamDelta) -> WireDelta {
+        WireDelta {
+            subscription: d.subscription,
+            seq: d.seq,
+            emitted_ms: d.emitted_ms,
+            origin: d.origin.clone(),
+            rows: WireRows::from_rowset(&d.rows),
+            removed: d.removed,
+            coalesced: d.coalesced,
+        }
+    }
+
+    /// Rebuild a core [`StreamDelta`].
+    pub fn to_delta(&self) -> DbcResult<StreamDelta> {
+        Ok(StreamDelta {
+            subscription: self.subscription,
+            seq: self.seq,
+            emitted_ms: self.emitted_ms,
+            origin: self.origin.clone(),
+            rows: self.rows.to_rowset()?,
+            removed: self.removed,
+            coalesced: self.coalesced,
+        })
+    }
+}
+
 /// Requests a gateway's `:gma` endpoint accepts.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum GlobalRequest {
@@ -111,6 +163,41 @@ pub enum GlobalRequest {
     },
     /// Liveness probe.
     Ping,
+    /// Register a continuous-query subscription on sources this gateway
+    /// owns (the grid-level share of a `SELECT … EVERY n`).
+    Subscribe {
+        /// Requesting gateway.
+        from_gateway: String,
+        /// Vouched client identity.
+        identity: WireIdentity,
+        /// Data-source URLs (all owned by the receiving gateway).
+        sources: Vec<String>,
+        /// SQL text, including any `EVERY` clause.
+        sql: String,
+        /// Explicit cadence override (virtual ms); when absent the
+        /// receiving gateway uses the SQL's `EVERY` clause.
+        #[serde(default)]
+        every_ms: Option<u64>,
+        /// Per-subscriber buffer capacity override.
+        #[serde(default)]
+        buffer: Option<usize>,
+        /// Backpressure policy override.
+        #[serde(default)]
+        backpressure: Option<BackpressurePolicy>,
+    },
+    /// Drain pending deltas from a subscription registered here.
+    PollDeltas {
+        /// Subscription id returned by `Subscribed`.
+        subscription: u64,
+        /// Maximum deltas to drain (0 = all pending).
+        #[serde(default)]
+        max: usize,
+    },
+    /// Cancel a subscription registered here.
+    Unsubscribe {
+        /// Subscription id returned by `Subscribed`.
+        subscription: u64,
+    },
 }
 
 /// Responses from a gateway's `:gma` endpoint.
@@ -144,6 +231,22 @@ pub enum GlobalResponse {
     Pong {
         /// Responding gateway name.
         gateway: String,
+    },
+    /// Subscription registered; poll it with `PollDeltas`.
+    Subscribed {
+        /// Id of the new subscription on the responding gateway.
+        subscription: u64,
+    },
+    /// Pending deltas drained from a subscription.
+    Deltas {
+        /// The drained batches, oldest first.
+        deltas: Vec<WireDelta>,
+    },
+    /// Subscription cancel acknowledged.
+    Unsubscribed {
+        /// Whether the subscription existed.
+        #[serde(default)]
+        existed: bool,
     },
     /// Something failed.
     Error {
@@ -242,6 +345,93 @@ mod tests {
                 assert!(spans.is_empty());
                 assert_eq!(elapsed_ms, 0);
                 assert!(outcomes.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_delta_roundtrip() {
+        let rs = RowSet::new(
+            ResultSetMetaData::new(vec![ColumnMeta::new("Load1", SqlType::Float)]),
+            vec![vec![SqlValue::Float(1.5)]],
+        )
+        .unwrap();
+        let delta = StreamDelta {
+            subscription: 7,
+            seq: 3,
+            emitted_ms: 1_000,
+            origin: "local:gw-a".into(),
+            rows: rs,
+            removed: 2,
+            coalesced: 1,
+        };
+        let wire = WireDelta::from_delta(&delta);
+        let back: WireDelta = decode(&encode(&wire)).unwrap();
+        let restored = back.to_delta().unwrap();
+        assert_eq!(restored.subscription, 7);
+        assert_eq!(restored.seq, 3);
+        assert_eq!(restored.origin, "local:gw-a");
+        assert_eq!(restored.rows.rows(), delta.rows.rows());
+        assert_eq!(restored.removed, 2);
+        assert_eq!(restored.coalesced, 1);
+    }
+
+    #[test]
+    fn subscribe_roundtrip_and_minimal_json_decodes() {
+        let req = GlobalRequest::Subscribe {
+            from_gateway: "gw-a".into(),
+            identity: WireIdentity {
+                name: "alice".into(),
+                roles: vec![],
+            },
+            sources: vec!["jdbc:snmp://n/p".into()],
+            sql: "SELECT * FROM Processor EVERY 500".into(),
+            every_ms: None,
+            buffer: Some(4),
+            backpressure: Some(BackpressurePolicy::Coalesce),
+        };
+        match decode::<GlobalRequest>(&encode(&req)).unwrap() {
+            GlobalRequest::Subscribe {
+                sql, backpressure, ..
+            } => {
+                assert!(sql.contains("EVERY 500"));
+                assert!(matches!(backpressure, Some(BackpressurePolicy::Coalesce)));
+            }
+            other => panic!("{other:?}"),
+        }
+        // A sender that only knows the required fields still decodes:
+        // cadence/buffer/policy all default.
+        let json = br#"{"Subscribe":{"from_gateway":"gw-b","identity":{"name":"alice","roles":[]},"sources":["jdbc:snmp://n/p"],"sql":"SELECT 1 EVERY 100"}}"#;
+        match decode::<GlobalRequest>(json).unwrap() {
+            GlobalRequest::Subscribe {
+                every_ms,
+                buffer,
+                backpressure,
+                ..
+            } => {
+                assert!(every_ms.is_none());
+                assert!(buffer.is_none());
+                assert!(backpressure.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        // PollDeltas without `max` drains everything; a bare WireDelta
+        // without removed/coalesced defaults both to zero.
+        let json = br#"{"PollDeltas":{"subscription":9}}"#;
+        match decode::<GlobalRequest>(json).unwrap() {
+            GlobalRequest::PollDeltas { subscription, max } => {
+                assert_eq!(subscription, 9);
+                assert_eq!(max, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        let json = br#"{"Deltas":{"deltas":[{"subscription":1,"seq":1,"emitted_ms":5,"origin":"local:gw-b","rows":{"columns":[],"rows":[]}}]}}"#;
+        match decode::<GlobalResponse>(json).unwrap() {
+            GlobalResponse::Deltas { deltas } => {
+                assert_eq!(deltas.len(), 1);
+                assert_eq!(deltas[0].removed, 0);
+                assert_eq!(deltas[0].coalesced, 0);
             }
             other => panic!("{other:?}"),
         }

@@ -1,0 +1,215 @@
+//! Grid-level continuous queries: one subscription that watches every
+//! site.
+//!
+//! A [`GridSubscription`] partitions a [`SubscribeSpec`]'s sources by
+//! owning gateway exactly like the query fan-out does: the local share
+//! becomes an ordinary local subscription, and each remote share is
+//! registered on its owning gateway over the wire (`Subscribe`). Polling
+//! drains the local buffer plus each remote buffer (`PollDeltas`) and
+//! merges the batches deterministically — by emit time, then origin
+//! label, then sequence number — so a two-site grid produces the same
+//! delta order on every run under virtual time.
+//!
+//! The model is pull-based on purpose: remote gateways evaluate standing
+//! queries on *their* pump cadence and buffer emissions under *their*
+//! backpressure policy, so a slow or disconnected consumer costs the
+//! producer a bounded buffer, never an unbounded queue.
+
+use crate::gma::ProducerEntry;
+use crate::layer::GlobalLayer;
+use crate::protocol::{self, GlobalRequest, GlobalResponse, WireIdentity};
+use gridrm_core::acil::ClientRequest;
+use gridrm_core::security::Identity;
+use gridrm_core::stream::{StreamDelta, SubscribeSpec, SubscriptionId};
+use gridrm_dbc::{DbcResult, JdbcUrl, SqlError};
+use std::collections::BTreeMap;
+
+/// One remote share of a grid subscription.
+#[derive(Debug, Clone)]
+pub struct RemoteSubscription {
+    /// The owning gateway's name.
+    pub gateway: String,
+    /// The owning gateway's GMA endpoint.
+    pub gma_address: String,
+    /// Subscription id *on that gateway*.
+    pub subscription: u64,
+}
+
+/// A standing query registered across the grid: the local share (when
+/// any sources are owned here) plus one wire subscription per remote
+/// gateway. Obtain via [`GlobalLayer::subscribe`], drain via
+/// [`GlobalLayer::poll_deltas`], release via [`GlobalLayer::unsubscribe`].
+#[derive(Debug, Clone)]
+pub struct GridSubscription {
+    /// Local subscription id, when the query has a local share.
+    pub local: Option<SubscriptionId>,
+    /// Remote shares, in deterministic gateway-name order.
+    pub remotes: Vec<RemoteSubscription>,
+}
+
+impl GridSubscription {
+    /// How many gateways (local + remote) hold a share.
+    pub fn shares(&self) -> usize {
+        usize::from(self.local.is_some()) + self.remotes.len()
+    }
+}
+
+impl GlobalLayer {
+    /// Register `spec` as a grid-wide continuous query: sources owned by
+    /// this gateway subscribe locally, each remote gateway's share is
+    /// registered there over the wire. Partial failures unwind the
+    /// shares already registered before the error is returned.
+    pub fn subscribe(&self, spec: &SubscribeSpec) -> DbcResult<GridSubscription> {
+        let my_name = self.gateway.config().name.clone();
+
+        // ---- plan: partition sources by owning gateway (same idiom as
+        // the query fan-out) ----
+        let mut local: Vec<String> = Vec::new();
+        let mut remote: BTreeMap<String, (ProducerEntry, Vec<String>)> = BTreeMap::new();
+        for source in &spec.request.sources {
+            let owner = JdbcUrl::parse(source)
+                .ok()
+                .and_then(|u| self.directory.lookup(&u));
+            match owner {
+                Some(entry) if entry.gateway != my_name => {
+                    remote
+                        .entry(entry.gateway.clone())
+                        .or_insert_with(|| (entry, Vec::new()))
+                        .1
+                        .push(source.clone());
+                }
+                _ => local.push(source.clone()),
+            }
+        }
+
+        let identity = spec
+            .request
+            .identity
+            .clone()
+            .unwrap_or_else(Identity::anonymous);
+        let mut grid = GridSubscription {
+            local: None,
+            remotes: Vec::new(),
+        };
+        if !local.is_empty() {
+            let local_spec = SubscribeSpec {
+                request: ClientRequest {
+                    sources: local,
+                    ..spec.request.clone()
+                },
+                every_ms: spec.every_ms,
+                buffer: spec.buffer,
+                backpressure: spec.backpressure,
+            };
+            grid.local = Some(self.gateway.subscribe(&local_spec)?);
+        }
+        for (name, (entry, sources)) in remote {
+            let wire = GlobalRequest::Subscribe {
+                from_gateway: my_name.clone(),
+                identity: WireIdentity::from(&identity),
+                sources,
+                sql: spec.request.sql.clone(),
+                every_ms: spec.every_ms,
+                buffer: spec.buffer,
+                backpressure: spec.backpressure,
+            };
+            self.stats.remote_queries_out.inc();
+            let answer = self
+                .network
+                .request(
+                    &self.gma_address,
+                    &entry.gma_address,
+                    &protocol::encode(&wire),
+                )
+                .map_err(|e| SqlError::Connection(format!("{name}: {e}")))
+                .and_then(|bytes| protocol::decode::<GlobalResponse>(&bytes));
+            match answer {
+                Ok(GlobalResponse::Subscribed { subscription }) => {
+                    grid.remotes.push(RemoteSubscription {
+                        gateway: name,
+                        gma_address: entry.gma_address,
+                        subscription,
+                    });
+                }
+                Ok(GlobalResponse::Error { message }) => {
+                    self.unsubscribe(&grid);
+                    return Err(SqlError::Driver(format!("{name}: {message}")));
+                }
+                Ok(other) => {
+                    self.unsubscribe(&grid);
+                    return Err(SqlError::Driver(format!(
+                        "{name}: unexpected subscribe response: {other:?}"
+                    )));
+                }
+                Err(e) => {
+                    self.unsubscribe(&grid);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(grid)
+    }
+
+    /// Drain up to `max` pending deltas *per share* (0 = all pending)
+    /// and merge them into one deterministic stream: emit time, then
+    /// origin label, then sequence number. Unreachable remotes
+    /// contribute nothing this round; their deltas stay buffered under
+    /// the producer's backpressure policy until the next poll.
+    pub fn poll_deltas(&self, sub: &GridSubscription, max: usize) -> DbcResult<Vec<StreamDelta>> {
+        let mut out = Vec::new();
+        if let Some(id) = sub.local {
+            out.extend(self.gateway.poll_deltas(id, max)?);
+        }
+        for remote in &sub.remotes {
+            let wire = GlobalRequest::PollDeltas {
+                subscription: remote.subscription,
+                max,
+            };
+            self.stats.remote_queries_out.inc();
+            let Ok(bytes) = self.network.request(
+                &self.gma_address,
+                &remote.gma_address,
+                &protocol::encode(&wire),
+            ) else {
+                continue;
+            };
+            if let Ok(GlobalResponse::Deltas { deltas }) = protocol::decode(&bytes) {
+                for delta in &deltas {
+                    out.push(delta.to_delta()?);
+                }
+            }
+        }
+        out.sort_by(|a, b| (a.emitted_ms, &a.origin, a.seq).cmp(&(b.emitted_ms, &b.origin, b.seq)));
+        Ok(out)
+    }
+
+    /// Cancel every share of a grid subscription. Returns how many
+    /// shares acknowledged the cancel.
+    pub fn unsubscribe(&self, sub: &GridSubscription) -> usize {
+        let mut cancelled = 0;
+        if let Some(id) = sub.local {
+            if self.gateway.cancel_subscription(id) {
+                cancelled += 1;
+            }
+        }
+        for remote in &sub.remotes {
+            let wire = GlobalRequest::Unsubscribe {
+                subscription: remote.subscription,
+            };
+            self.stats.remote_queries_out.inc();
+            if let Ok(bytes) = self.network.request(
+                &self.gma_address,
+                &remote.gma_address,
+                &protocol::encode(&wire),
+            ) {
+                if matches!(
+                    protocol::decode::<GlobalResponse>(&bytes),
+                    Ok(GlobalResponse::Unsubscribed { existed: true })
+                ) {
+                    cancelled += 1;
+                }
+            }
+        }
+        cancelled
+    }
+}

@@ -227,6 +227,10 @@ pub struct SelectStatement {
     pub limit: Option<u64>,
     /// Optional `OFFSET`.
     pub offset: Option<u64>,
+    /// Optional `EVERY <n>` re-evaluation interval in virtual
+    /// milliseconds. Present only on continuous queries: the statement
+    /// describes a standing subscription rather than a one-shot fetch.
+    pub every_ms: Option<u64>,
 }
 
 impl SelectStatement {
@@ -241,6 +245,16 @@ impl SelectStatement {
             order_by: Vec::new(),
             limit: None,
             offset: None,
+            every_ms: None,
+        }
+    }
+
+    /// The same statement without its `EVERY` clause: the one-shot
+    /// query a standing subscription evaluates on each tick.
+    pub fn without_every(&self) -> SelectStatement {
+        SelectStatement {
+            every_ms: None,
+            ..self.clone()
         }
     }
 
@@ -452,6 +466,9 @@ impl fmt::Display for SelectStatement {
         if let Some(o) = self.offset {
             write!(f, " OFFSET {o}")?;
         }
+        if let Some(e) = self.every_ms {
+            write!(f, " EVERY {e}")?;
+        }
         Ok(())
     }
 }
@@ -585,6 +602,7 @@ mod tests {
             }],
             limit: None,
             offset: None,
+            every_ms: None,
         };
         assert_eq!(
             s.required_columns().unwrap(),

@@ -212,6 +212,19 @@ impl Parser {
         } else {
             None
         };
+        let every_ms = if self.eat_kw(K::Every) {
+            let at = self.peek().offset;
+            let interval = self.expect_u64()?;
+            if interval == 0 {
+                return Err(ParseError::new(
+                    "EVERY interval must be a positive number of milliseconds".to_owned(),
+                    at,
+                ));
+            }
+            Some(interval)
+        } else {
+            None
+        };
         Ok(SelectStatement {
             distinct,
             projection,
@@ -221,6 +234,7 @@ impl Parser {
             order_by,
             limit,
             offset,
+            every_ms,
         })
     }
 
@@ -632,6 +646,40 @@ mod tests {
         assert!(!s.order_by[1].desc);
         assert_eq!(s.limit, Some(10));
         assert_eq!(s.offset, Some(5));
+    }
+
+    #[test]
+    fn parse_every_continuous_query() {
+        let stmt =
+            parse("SELECT Hostname, Load1 FROM Processor WHERE Load1 > 0.5 EVERY 500").unwrap();
+        let Statement::Select(s) = &stmt else {
+            panic!("not a select")
+        };
+        assert_eq!(s.every_ms, Some(500));
+        // Round-trips through Display so remote gateways re-parse the
+        // same standing query.
+        assert_eq!(
+            stmt.to_string(),
+            "SELECT Hostname, Load1 FROM Processor WHERE (Load1 > 0.5) EVERY 500"
+        );
+        // EVERY composes after LIMIT/OFFSET; stripping it yields the
+        // one-shot query a tick evaluates.
+        let stmt = parse("SELECT * FROM Processor LIMIT 10 OFFSET 5 EVERY 250").unwrap();
+        let Statement::Select(s) = stmt else {
+            panic!("not a select")
+        };
+        assert_eq!(s.every_ms, Some(250));
+        assert_eq!(
+            s.without_every().to_string(),
+            "SELECT * FROM Processor LIMIT 10 OFFSET 5"
+        );
+    }
+
+    #[test]
+    fn every_rejects_zero_and_garbage() {
+        assert!(parse("SELECT * FROM Processor EVERY 0").is_err());
+        assert!(parse("SELECT * FROM Processor EVERY").is_err());
+        assert!(parse("SELECT * FROM Processor EVERY fast").is_err());
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub enum Keyword {
     Drop,
     Explain,
     Analyze,
+    Every,
 }
 
 impl Keyword {
@@ -99,6 +100,7 @@ impl Keyword {
             "DROP" => Drop,
             "EXPLAIN" => Explain,
             "ANALYZE" => Analyze,
+            "EVERY" => Every,
             _ => return None,
         })
     }

@@ -1,0 +1,174 @@
+//! Incremental row-set differencing — the evaluation kernel behind
+//! continuous queries (`SELECT … EVERY n`).
+//!
+//! A standing query is re-evaluated on a cadence, but subscribers only
+//! want what *changed*: shipping the full result set every tick is the
+//! repeated-polling cost the R-GMA-style continuous path exists to
+//! avoid. [`DeltaTracker`] remembers a fingerprint of every row the
+//! previous emission contained and turns the next evaluation into a
+//! [`RowDelta`]: the rows that are new or modified since the last emit,
+//! plus a count of rows that disappeared. An unchanged result produces
+//! no delta at all, so an idle grid costs nothing downstream.
+
+use gridrm_dbc::RowSet;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+/// What changed between two successive evaluations of a standing query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowDelta {
+    /// Rows that are new or whose values changed since the last emit,
+    /// in evaluation order. A modified row appears here in its *new*
+    /// form (its old form counts towards `removed`).
+    pub rows: RowSet,
+    /// Rows from the previous emission that no longer appear.
+    pub removed: usize,
+}
+
+impl RowDelta {
+    /// Total change volume: changed rows plus disappearances.
+    pub fn change_count(&self) -> usize {
+        self.rows.len() + self.removed
+    }
+}
+
+/// Fingerprint of one row: a stable hash over the rendered cell values.
+///
+/// Rendering before hashing sidesteps `f64`'s lack of `Hash` and keeps
+/// the fingerprint independent of in-memory representation. The hasher
+/// is [`DefaultHasher::new`], which is keyed with constants — the same
+/// row fingerprints identically across processes and runs, which the
+/// deterministic tests rely on.
+pub fn row_fingerprint(row: &[gridrm_sqlparse::SqlValue]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for cell in row {
+        cell.to_string().hash(&mut h);
+        // Cell separator so ("ab","c") and ("a","bc") differ.
+        0xffu8.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Remembers the previous emission of one standing query and diffs the
+/// next evaluation against it.
+///
+/// Memory is bounded by the cardinality of the query's result set (one
+/// `u64` per distinct row), not by how long the subscription lives.
+/// Duplicate identical rows collapse into one fingerprint; a continuous
+/// query over rows with an identity column (hostname, source) is
+/// unaffected, and a pathological all-duplicates result merely
+/// under-reports its multiplicity.
+#[derive(Debug, Default)]
+pub struct DeltaTracker {
+    seen: HashSet<u64>,
+}
+
+impl DeltaTracker {
+    /// A tracker that has emitted nothing yet: the first `diff` returns
+    /// the full result set as the initial snapshot delta.
+    pub fn new() -> DeltaTracker {
+        DeltaTracker::default()
+    }
+
+    /// Number of distinct rows in the last emission.
+    pub fn tracked_rows(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Diff `current` against the last emission. Returns `None` when
+    /// nothing changed (the common idle case); otherwise the changed
+    /// rows and the removed count, and the tracker adopts `current` as
+    /// the new baseline.
+    pub fn diff(&mut self, current: &RowSet) -> Option<RowDelta> {
+        let mut fresh: HashSet<u64> = HashSet::with_capacity(current.len());
+        let mut changed: Vec<Vec<gridrm_sqlparse::SqlValue>> = Vec::new();
+        for row in current.rows() {
+            let fp = row_fingerprint(row);
+            if fresh.insert(fp) && !self.seen.contains(&fp) {
+                changed.push(row.clone());
+            }
+        }
+        let removed = self.seen.iter().filter(|fp| !fresh.contains(fp)).count();
+        if changed.is_empty() && removed == 0 {
+            return None;
+        }
+        self.seen = fresh;
+        let rows = RowSet::new(current.meta().clone(), changed)
+            .expect("changed rows share the source result set's arity");
+        Some(RowDelta { rows, removed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridrm_dbc::{ColumnMeta, ResultSetMetaData};
+    use gridrm_sqlparse::{SqlType, SqlValue};
+
+    fn meta() -> ResultSetMetaData {
+        ResultSetMetaData::new(vec![
+            ColumnMeta::new("Hostname", SqlType::Str),
+            ColumnMeta::new("Load1", SqlType::Float),
+        ])
+    }
+
+    fn rows(pairs: &[(&str, f64)]) -> RowSet {
+        RowSet::new(
+            meta(),
+            pairs
+                .iter()
+                .map(|(h, l)| vec![SqlValue::Str((*h).to_owned()), SqlValue::Float(*l)])
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn first_diff_is_the_full_snapshot() {
+        let mut t = DeltaTracker::new();
+        let d = t.diff(&rows(&[("n1", 0.5), ("n2", 0.7)])).unwrap();
+        assert_eq!(d.rows.len(), 2);
+        assert_eq!(d.removed, 0);
+    }
+
+    #[test]
+    fn unchanged_result_produces_no_delta() {
+        let mut t = DeltaTracker::new();
+        let r = rows(&[("n1", 0.5), ("n2", 0.7)]);
+        t.diff(&r).unwrap();
+        assert!(t.diff(&r).is_none());
+        assert_eq!(t.tracked_rows(), 2);
+    }
+
+    #[test]
+    fn modified_row_emits_only_itself() {
+        let mut t = DeltaTracker::new();
+        t.diff(&rows(&[("n1", 0.5), ("n2", 0.7)])).unwrap();
+        let d = t.diff(&rows(&[("n1", 0.5), ("n2", 0.9)])).unwrap();
+        assert_eq!(d.rows.len(), 1);
+        assert_eq!(d.rows.rows()[0][0], SqlValue::Str("n2".into()));
+        // The old n2 row counts as removed: one modification = 1 + 1.
+        assert_eq!(d.removed, 1);
+        assert_eq!(d.change_count(), 2);
+    }
+
+    #[test]
+    fn disappeared_rows_are_counted() {
+        let mut t = DeltaTracker::new();
+        t.diff(&rows(&[("n1", 0.5), ("n2", 0.7)])).unwrap();
+        let d = t.diff(&rows(&[("n1", 0.5)])).unwrap();
+        assert!(d.rows.is_empty());
+        assert_eq!(d.removed, 1);
+        // And the removal emptied the delta only once.
+        assert!(t.diff(&rows(&[("n1", 0.5)])).is_none());
+    }
+
+    #[test]
+    fn fingerprints_are_order_insensitive_per_row_but_cell_sensitive() {
+        let a = vec![SqlValue::Str("ab".into()), SqlValue::Str("c".into())];
+        let b = vec![SqlValue::Str("a".into()), SqlValue::Str("bc".into())];
+        assert_ne!(row_fingerprint(&a), row_fingerprint(&b));
+        assert_eq!(row_fingerprint(&a), row_fingerprint(&a.clone()));
+    }
+}

@@ -20,10 +20,12 @@
 //! the real-time path.
 
 pub mod database;
+pub mod delta;
 pub mod exec;
 pub mod table;
 
 pub use database::{Database, Store};
+pub use delta::{row_fingerprint, DeltaTracker, RowDelta};
 pub use exec::{select_in_memory, ExecOutcome};
 pub use table::{StoreError, Table};
 

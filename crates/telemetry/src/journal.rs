@@ -95,6 +95,8 @@ pub const KIND_EVENT_OVERFLOW: &str = "event_overflow";
 pub const KIND_EVENT_UNFORMATTED: &str = "event_unformatted";
 /// Kind: an SLO burn-rate alert fired or cleared.
 pub const KIND_SLO: &str = "slo_alert";
+/// Kind: continuous-query subscription lifecycle and evaluation facts.
+pub const KIND_STREAM: &str = "stream";
 
 /// Per-severity journal counters. Shared telemetry cells, exposable in a
 /// gateway-wide [`Registry`] via [`JournalStats::register_into`].

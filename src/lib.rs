@@ -53,14 +53,17 @@ pub use gridrm_telemetry as telemetry;
 pub mod prelude {
     pub use gridrm_agents::{deploy_site, SiteAgents};
     pub use gridrm_core::{
-        AlertRule, ClientInterface, ClientRequest, ClientResponse, Comparison, DataSourceConfig,
-        FailurePolicy, Gateway, GatewayConfig, GridRMEvent, HealthMonitor, HealthState, Identity,
-        ListenerFilter, OutcomeStatus, QueryBuilder, QueryExecutor, QueryMode, ResultPolicy,
-        SecurityPolicy, Severity, SourceHealthSnapshot, SourceOutcome,
+        AlertRule, BackpressurePolicy, ClientInterface, ClientRequest, ClientResponse, Comparison,
+        DataSourceConfig, FailurePolicy, Gateway, GatewayConfig, GridRMEvent, HealthMonitor,
+        HealthState, Identity, ListenerFilter, OutcomeStatus, QueryBuilder, QueryExecutor,
+        QueryMode, ResultPolicy, SecurityPolicy, Severity, SourceHealthSnapshot, SourceOutcome,
+        StreamDelta, SubscribeSpec, SubscriptionId, SubscriptionSnapshot,
     };
     pub use gridrm_dbc::{JdbcUrl, ResultSet, RowSet, SqlError};
     pub use gridrm_drivers::install_into_gateway;
-    pub use gridrm_global::{GlobalLayer, GmaDirectory, SiteHealthRollup, SiteSloRollup};
+    pub use gridrm_global::{
+        GlobalLayer, GmaDirectory, GridSubscription, SiteHealthRollup, SiteSloRollup,
+    };
     pub use gridrm_resmodel::{SiteModel, SiteSpec};
     pub use gridrm_simnet::{Latency, Network, SimClock};
     pub use gridrm_sqlparse::SqlValue;
