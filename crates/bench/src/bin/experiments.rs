@@ -1114,6 +1114,213 @@ fn e15() {
     e15_run(100, 100, 20, true);
 }
 
+/// E16 core — the monitor's own network footprint (Zhang et al.'s
+/// *intrusiveness* axis), read straight from the portal gateway's cost
+/// ledger. Two sweeps: (a) grid size — consolidated queries against
+/// every site of an N-site grid must impose a *flat* per-site load
+/// (each site answers once per query regardless of N, one frame each
+/// way); (b) subscriber count — grid-wide standing queries against one
+/// remote site cost one poll round-trip per subscriber per tick, so
+/// per-site subscription traffic is exactly linear. Message counts are
+/// virtual-network facts, so both curves are deterministic and land in
+/// `BENCH_intrusion.json`; wall-clock never matters here.
+fn e16_run(
+    grid_sizes: &[usize],
+    rounds: u64,
+    sub_counts: &[usize],
+    ticks: u64,
+    write_json: bool,
+) -> bool {
+    use gridrm_core::stream::SubscribeSpec;
+    use gridrm_telemetry::IntrusionRow;
+
+    const WAN_MS: u64 = 20;
+    const EVERY_MS: u64 = 1_000;
+    let sql = "SELECT Hostname, Load1 FROM Processor ORDER BY Hostname";
+    let query_bucket = |snapshot: &[IntrusionRow], site: &str| -> (u64, u64, f64, f64) {
+        snapshot
+            .iter()
+            .filter(|r| r.site == site && r.cause == "query")
+            .map(|r| {
+                (
+                    r.bucket.msgs,
+                    r.bucket.bytes,
+                    r.bucket.msgs_per_vsec(),
+                    r.bucket.bytes_per_vsec(),
+                )
+            })
+            .next()
+            .unwrap_or((0, 0, 0.0, 0.0))
+    };
+
+    // ---- Sweep A: per-site query intrusion vs. grid size ----
+    println!("  {rounds} cold fan-out queries per grid, {WAN_MS}ms WAN\n");
+    row(
+        &[
+            "sites",
+            "msgs/site",
+            "bytes/site",
+            "msgs/site/query",
+            "flat?",
+        ],
+        &[6, 10, 11, 16, 6],
+    );
+    let mut grid_rows = Vec::new();
+    let mut per_site_msgs_per_query = Vec::new();
+    for &n in grid_sizes {
+        let world = grid_world_with_wan(n, 2, Latency::ms(WAN_MS, 0));
+        let (_, _, portal_gw, portal) = &world.sites[0];
+        let sources: Vec<String> = (0..n)
+            .map(|i| format!("jdbc:snmp://node00.site{i}/public"))
+            .collect();
+        let sources: Vec<&str> = sources.iter().map(String::as_str).collect();
+        for _ in 0..rounds {
+            for (_, _, gw, _) in &world.sites {
+                gw.cache().sweep(gw.clock().now_millis(), 0);
+            }
+            let request = ClientRequest::builder(sql).sources(&sources).build();
+            portal.query(&request).expect("fan-out query");
+        }
+        let snapshot = portal_gw.telemetry().costs().intrusion_snapshot();
+        // Average over the remote sites; each should carry the same
+        // load (and sweep A's claim is that it is independent of n).
+        let remotes: Vec<(u64, u64, f64, f64)> = (1..n)
+            .map(|i| query_bucket(&snapshot, &format!("site{i}")))
+            .collect();
+        let site_msgs = remotes.iter().map(|r| r.0).sum::<u64>() / remotes.len() as u64;
+        let site_bytes = remotes.iter().map(|r| r.1).sum::<u64>() / remotes.len() as u64;
+        let msgs_per_vsec = remotes.iter().map(|r| r.2).sum::<f64>() / remotes.len() as f64;
+        let bytes_per_vsec = remotes.iter().map(|r| r.3).sum::<f64>() / remotes.len() as f64;
+        let uniform = remotes.iter().all(|r| r.0 == site_msgs);
+        let per_query = site_msgs as f64 / rounds as f64;
+        per_site_msgs_per_query.push(per_query);
+        row(
+            &[
+                &n.to_string(),
+                &site_msgs.to_string(),
+                &site_bytes.to_string(),
+                &format!("{per_query:.1}"),
+                if uniform { "yes" } else { "NO" },
+            ],
+            &[6, 10, 11, 16, 6],
+        );
+        grid_rows.push(format!(
+            "    {{\"sites\": {n}, \"queries\": {rounds}, \"msgs_per_site\": {site_msgs}, \
+             \"bytes_per_site\": {site_bytes}, \"msgs_per_site_per_query\": {per_query:.1}, \
+             \"msgs_per_site_per_vsec\": {msgs_per_vsec:.3}, \
+             \"bytes_per_site_per_vsec\": {bytes_per_vsec:.3}, \
+             \"uniform_across_sites\": {uniform}}}"
+        ));
+        if !uniform {
+            println!("  RESULT: FAIL (unequal load across sites)");
+            return false;
+        }
+    }
+    // Flat: every grid size imposes the same per-site per-query load
+    // (one request frame out, one response frame in).
+    let flat = per_site_msgs_per_query
+        .iter()
+        .all(|&m| m == per_site_msgs_per_query[0]);
+    println!(
+        "\n  per-site msgs per query across grid sizes ... {:?} (expect flat)",
+        per_site_msgs_per_query
+    );
+
+    // ---- Sweep B: subscription intrusion vs. subscriber count ----
+    println!("\n  standing queries against one remote site, {ticks} ticks @ {EVERY_MS}ms\n");
+    row(&["subs", "msgs", "bytes", "msgs/sub"], &[6, 8, 10, 10]);
+    let mut sub_rows = Vec::new();
+    let mut msgs_per_sub = Vec::new();
+    for &k in sub_counts {
+        let world = grid_world_with_wan(2, 2, Latency::ms(WAN_MS, 0));
+        let (_, _, portal_gw, portal) = &world.sites[0];
+        let subs: Vec<_> = (0..k)
+            .map(|_| {
+                let spec = SubscribeSpec {
+                    request: ClientRequest::builder(sql)
+                        .sources(&["jdbc:snmp://node00.site1/public"])
+                        .build(),
+                    every_ms: Some(EVERY_MS),
+                    buffer: None,
+                    backpressure: None,
+                };
+                portal.subscribe(&spec).expect("grid subscribe")
+            })
+            .collect();
+        for _ in 0..ticks {
+            portal_gw.clock().advance(EVERY_MS);
+            world.sites[1].2.pump();
+            for sub in &subs {
+                portal.poll_deltas(sub, 0).expect("poll deltas");
+            }
+        }
+        for sub in &subs {
+            portal.unsubscribe(sub);
+        }
+        let snapshot = portal_gw.telemetry().costs().intrusion_snapshot();
+        let (msgs, bytes, msgs_vsec, bytes_vsec) = snapshot
+            .iter()
+            .filter(|r| r.site == "site1" && r.cause == "subscription")
+            .map(|r| {
+                (
+                    r.bucket.msgs,
+                    r.bucket.bytes,
+                    r.bucket.msgs_per_vsec(),
+                    r.bucket.bytes_per_vsec(),
+                )
+            })
+            .next()
+            .unwrap_or((0, 0, 0.0, 0.0));
+        let per_sub = msgs as f64 / k as f64;
+        msgs_per_sub.push(per_sub);
+        row(
+            &[
+                &k.to_string(),
+                &msgs.to_string(),
+                &bytes.to_string(),
+                &format!("{per_sub:.1}"),
+            ],
+            &[6, 8, 10, 10],
+        );
+        sub_rows.push(format!(
+            "    {{\"subscribers\": {k}, \"ticks\": {ticks}, \"msgs\": {msgs}, \
+             \"bytes\": {bytes}, \"msgs_per_subscriber\": {per_sub:.1}, \
+             \"msgs_per_vsec\": {msgs_vsec:.3}, \"bytes_per_vsec\": {bytes_vsec:.3}}}"
+        ));
+    }
+    // Linear: subscribe + ticks polls + unsubscribe, one round trip
+    // each, identically per subscriber.
+    let linear = msgs_per_sub.iter().all(|&m| m == msgs_per_sub[0]);
+    println!(
+        "\n  msgs per subscriber across counts ........... {:?} (expect linear)",
+        msgs_per_sub
+    );
+
+    if write_json {
+        let json = format!(
+            "{{\n  \"experiment\": \"intrusion\",\n  \"seed\": \"{SEED:#x}\",\n  \
+             \"wan_ms\": {WAN_MS},\n  \"unit\": \"virtual_network_messages_and_bytes\",\n  \
+             \"grid_sweep\": [\n{}\n  ],\n  \"subscriber_sweep\": [\n{}\n  ]\n}}\n",
+            grid_rows.join(",\n"),
+            sub_rows.join(",\n")
+        );
+        std::fs::write("BENCH_intrusion.json", &json).expect("write BENCH_intrusion.json");
+        println!("  wrote BENCH_intrusion.json");
+    }
+    let ok = flat && linear;
+    println!("  RESULT: {}", if ok { "PASS" } else { "FAIL" });
+    ok
+}
+
+/// E16 at full scale: grids of 2/4/8 sites, 1/4/16 subscribers.
+fn e16() {
+    banner(
+        "E16",
+        "Intrusion profile: per-site monitor traffic vs. grid size and subscribers",
+    );
+    e16_run(&[2, 4, 8], 8, &[1, 4, 16], 5, true);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id || a == "all");
@@ -1155,6 +1362,9 @@ fn main() {
     if want("e15") {
         e15();
     }
+    if want("e16") {
+        e16();
+    }
     println!();
 }
 
@@ -1172,5 +1382,12 @@ mod tests {
     #[test]
     fn e15_delta_beats_repoll_at_reduced_scale() {
         assert!(super::e15_run(10, 20, 5, false));
+    }
+
+    /// CI smoke: both e16 sweeps at reduced scale, without touching
+    /// the committed BENCH_intrusion.json.
+    #[test]
+    fn e16_intrusion_is_flat_and_linear_at_reduced_scale() {
+        assert!(super::e16_run(&[2, 3], 2, &[1, 2], 2, false));
     }
 }

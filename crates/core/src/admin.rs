@@ -11,7 +11,8 @@ use crate::stream::{StreamManager, SubscriptionSnapshot};
 use gridrm_dbc::{DbcResult, JdbcUrl, SqlError};
 use gridrm_simnet::Network;
 use gridrm_telemetry::{
-    GatewayTelemetry, HistoryRow, JournalEntry, MetricSnapshot, SloStatus, TraceRecord,
+    GatewayTelemetry, HistoryRow, IntrusionRow, JournalEntry, MetricSnapshot, QueryCostEntry,
+    SloStatus, TraceRecord,
 };
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
@@ -273,6 +274,39 @@ impl AdminInterface {
     pub fn subscriptions_json(&self) -> String {
         serde_json::to_string_pretty(&self.subscriptions_snapshot())
             .expect("subscriptions are serialisable")
+    }
+
+    /// Recent per-query inclusive cost entries (oldest first): wire
+    /// bytes/messages, rows scanned/returned, fetch units, and whether
+    /// the query breached the configured cost budget.
+    pub fn costs_snapshot(&self) -> Vec<QueryCostEntry> {
+        self.telemetry
+            .read()
+            .as_ref()
+            .map(|t| t.costs().entries())
+            .unwrap_or_default()
+    }
+
+    /// JSON text of [`AdminInterface::costs_snapshot`].
+    pub fn costs_json(&self) -> String {
+        serde_json::to_string_pretty(&self.costs_snapshot()).expect("costs are serialisable")
+    }
+
+    /// Per-(site, cause) intrusion buckets: wire traffic this gateway
+    /// imposed on (or endured at, for its own site) each grid site,
+    /// with rates per virtual second.
+    pub fn intrusion_snapshot(&self) -> Vec<IntrusionRow> {
+        self.telemetry
+            .read()
+            .as_ref()
+            .map(|t| t.costs().intrusion_snapshot())
+            .unwrap_or_default()
+    }
+
+    /// JSON text of [`AdminInterface::intrusion_snapshot`].
+    pub fn intrusion_json(&self) -> String {
+        serde_json::to_string_pretty(&self.intrusion_snapshot())
+            .expect("intrusion rows are serialisable")
     }
 
     /// Recorded metric time-series rows, ordered by series then time.

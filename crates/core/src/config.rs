@@ -87,6 +87,14 @@ pub struct GatewayConfig {
     /// cap.
     #[serde(default = "defaults::stream_max_subscribers")]
     pub stream_max_subscribers: usize,
+    /// Per-query cost budget in total wire bytes (in + out, whole span
+    /// tree): a root whose bill exceeds it is journalled as
+    /// `cost_budget` and marked over-budget. 0 disables.
+    #[serde(default)]
+    pub cost_budget_bytes: u64,
+    /// Per-query cost budget in rows returned to the client. 0 disables.
+    #[serde(default)]
+    pub cost_budget_rows: u64,
 }
 
 /// Serde defaults so pre-health persisted configs keep loading.
@@ -162,6 +170,8 @@ impl GatewayConfig {
             stream_backpressure: crate::stream::BackpressurePolicy::default(),
             stream_min_every_ms: defaults::stream_min_every_ms(),
             stream_max_subscribers: defaults::stream_max_subscribers(),
+            cost_budget_bytes: 0,
+            cost_budget_rows: 0,
         }
     }
 }
@@ -265,6 +275,21 @@ mod tests {
         );
         assert_eq!(c.stream_min_every_ms, 10);
         assert_eq!(c.stream_max_subscribers, 100_000);
+    }
+
+    #[test]
+    fn pre_cost_config_loads_with_defaults() {
+        // A config persisted before the cost accounting plane existed
+        // must still deserialise, with both budget dimensions disabled.
+        let json = r#"{
+            "name": "gw-old", "site": "s", "address": "gw.s",
+            "cache_ttl_ms": 10000, "history_retention_ms": 86400000,
+            "event_fast_capacity": 1024, "pool_max_idle": 8,
+            "session_ttl_ms": 1800000, "record_history": true
+        }"#;
+        let c: GatewayConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(c.cost_budget_bytes, 0);
+        assert_eq!(c.cost_budget_rows, 0);
     }
 
     #[test]

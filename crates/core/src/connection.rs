@@ -12,7 +12,7 @@ use crate::driver_manager::{FailurePolicy, GridRMDriverManager};
 use crate::health::HealthMonitor;
 use gridrm_dbc::{Connection, DbcResult, JdbcUrl, Properties, RowSet, SqlError};
 use gridrm_telemetry::{
-    Counter, GatewayTelemetry, JournalSeverity, Labels, Registry, SpanBuilder,
+    CostVector, Counter, GatewayTelemetry, JournalSeverity, Labels, Registry, SpanBuilder,
     DEFAULT_LATENCY_BUCKETS_MS, KIND_DRIVER_FALLBACK, KIND_POLICY_DECISION,
 };
 use parking_lot::{Mutex, RwLock};
@@ -313,7 +313,14 @@ impl ConnectionManager {
                 };
                 self.attempt(url, &name, sql, exec_span.as_mut())
             };
-            if let Some(es) = exec_span {
+            if let Some(mut es) = exec_span {
+                // Every attempt is one native driver fetch; a successful
+                // one also materialised rows the ledger should attribute.
+                es.add_cost(&CostVector {
+                    fetch_units: 1,
+                    rows_scanned: outcome.as_ref().map(RowSet::len).unwrap_or(0) as u64,
+                    ..CostVector::default()
+                });
                 es.finish(if outcome.is_ok() { "ok" } else { "error" });
             }
             if let (Some(t), Some(started)) = (&telemetry, started_ms) {

@@ -92,6 +92,9 @@ pub fn explain_rowset(spans: &[TraceRecord], analyze: bool) -> DbcResult<RowSet>
         ColumnMeta::new("duration_ms", SqlType::Int),
         ColumnMeta::new("outcome", SqlType::Str),
         ColumnMeta::new("stages", SqlType::Str),
+        ColumnMeta::new("rows", SqlType::Int),
+        ColumnMeta::new("bytes", SqlType::Int),
+        ColumnMeta::new("msgs", SqlType::Int),
     ]);
     let rows = span_tree(spans)
         .into_iter()
@@ -116,6 +119,11 @@ pub fn explain_rowset(spans: &[TraceRecord], analyze: bool) -> DbcResult<RowSet>
                 timing(s.duration_ms()),
                 SqlValue::Str(s.outcome.clone()),
                 SqlValue::Str(render_stages(s, analyze)),
+                // Cost columns are measurements, so like the timings
+                // they are NULL under plain EXPLAIN.
+                timing(s.cost.rows_returned),
+                timing(s.cost.total_bytes()),
+                timing(s.cost.total_msgs()),
             ]
         })
         .collect();
@@ -155,7 +163,7 @@ pub fn render_span_tree(spans: &[TraceRecord]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gridrm_telemetry::SpanStage;
+    use gridrm_telemetry::{CostVector, SpanStage};
 
     fn span(span_id: &str, parent: Option<&str>, started: u64, finished: u64) -> TraceRecord {
         TraceRecord {
@@ -217,6 +225,30 @@ mod tests {
         assert_eq!(row[7], SqlValue::Null);
         assert_eq!(row[9], SqlValue::Null);
         assert_eq!(row[11], SqlValue::Str("resolve=jdbc-snmp".into()));
+    }
+
+    #[test]
+    fn cost_columns_follow_the_timing_rule() {
+        let mut s = span("gw:1", None, 10, 30);
+        s.cost = CostVector {
+            msgs_out: 2,
+            msgs_in: 2,
+            bytes_out: 100,
+            bytes_in: 300,
+            rows_returned: 7,
+            ..CostVector::default()
+        };
+        let analyzed = explain_rowset(&[s.clone()], true).unwrap();
+        let row = &analyzed.rows()[0];
+        assert_eq!(row[12], SqlValue::Int(7)); // rows
+        assert_eq!(row[13], SqlValue::Int(400)); // bytes
+        assert_eq!(row[14], SqlValue::Int(4)); // msgs
+
+        let planned = explain_rowset(&[s], false).unwrap();
+        let row = &planned.rows()[0];
+        assert_eq!(row[12], SqlValue::Null);
+        assert_eq!(row[13], SqlValue::Null);
+        assert_eq!(row[14], SqlValue::Null);
     }
 
     #[test]

@@ -21,7 +21,10 @@ use gridrm_glue::SchemaManager;
 use gridrm_simnet::{Network, Push, SimClock};
 use gridrm_sqlparse::{SqlType, SqlValue, Statement};
 use gridrm_store::Store;
-use gridrm_telemetry::{GatewayTelemetry, Labels, TelemetryCapacities, DEFAULT_TRACE_CAPACITY};
+use gridrm_telemetry::{
+    CostVector, GatewayTelemetry, IntrusionCause, Labels, TelemetryCapacities,
+    DEFAULT_TRACE_CAPACITY,
+};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -71,6 +74,9 @@ impl Gateway {
             .timeseries()
             .configure(config.timeseries_interval_ms, config.timeseries_capacity);
         telemetry.slo().configure(&config.slos);
+        telemetry
+            .costs()
+            .set_budget(config.cost_budget_bytes, config.cost_budget_rows);
         let schema = Arc::new(SchemaManager::new());
         let driver_manager = Arc::new(GridRMDriverManager::new());
         let connections = Arc::new(ConnectionManager::new(
@@ -478,6 +484,18 @@ impl Gateway {
             if !self.health.probe_due(&source.url, now) {
                 continue;
             }
+            // Every probe costs the local site one request/response pair
+            // against the data source: intrusion the monitoring system
+            // itself imposes just by being on.
+            let probe_cost = CostVector {
+                msgs_out: 1,
+                msgs_in: 1,
+                ..CostVector::default()
+            };
+            self.telemetry.costs().count(&probe_cost);
+            self.telemetry
+                .costs()
+                .intrude(&self.config.site, IntrusionCause::Probe, &probe_cost);
             match JdbcUrl::parse(&source.url) {
                 Ok(url) => {
                     let started = self.clock.now_millis();

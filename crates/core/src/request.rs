@@ -20,7 +20,8 @@ use gridrm_dbc::{DbcResult, JdbcUrl, RowSet, SqlError};
 use gridrm_simnet::SimClock;
 use gridrm_sqlparse::Statement;
 use gridrm_telemetry::{
-    Counter, GatewayTelemetry, JournalSeverity, Labels, Registry, SpanBuilder, KIND_CACHE_SERVE,
+    CostVector, Counter, GatewayTelemetry, JournalSeverity, Labels, Registry, SpanBuilder,
+    KIND_CACHE_SERVE,
 };
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
@@ -237,7 +238,17 @@ impl RequestManager {
                 )
                 .observe(elapsed as f64);
         }
-        if let Some(s) = span {
+        if let Some(mut s) = span {
+            // The rows this request ships back to its caller — cache
+            // hits and coalesced shares included — are a direct charge
+            // on the request span; driver-side work (rows scanned,
+            // fetch units) rolls up from the execute child spans.
+            if let Ok(resp) = &result {
+                s.add_cost(&CostVector {
+                    rows_returned: resp.rows.len() as u64,
+                    ..CostVector::default()
+                });
+            }
             s.finish(match &result {
                 Ok(_) => "ok",
                 Err(SqlError::Security(_)) => "denied",

@@ -20,8 +20,8 @@ use gridrm_dbc::{DbcResult, RowSet, SqlError};
 use gridrm_sqlparse::Statement;
 use gridrm_store::DeltaTracker;
 use gridrm_telemetry::{
-    Counter, GatewayTelemetry, Gauge, Histogram, JournalSeverity, Labels, Registry,
-    DEFAULT_LATENCY_BUCKETS_MS, KIND_STREAM,
+    CostVector, Counter, GatewayTelemetry, Gauge, Histogram, IntrusionCause, JournalSeverity,
+    Labels, Registry, DEFAULT_LATENCY_BUCKETS_MS, KIND_STREAM,
 };
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -653,13 +653,26 @@ impl StreamManager {
             max.min(sub.buffer.len())
         };
         let mut out = Vec::with_capacity(take);
+        let mut cost = CostVector::default();
         for _ in 0..take {
             if let Some(d) = sub.buffer.pop_front() {
                 sub.delivered += 1;
                 if let Some(h) = &self.lag {
                     h.observe(now.saturating_sub(d.emitted_ms) as f64);
                 }
+                // Each delivered delta is one message's worth of rows
+                // shipped to a subscriber: subscription traffic the
+                // local site endures.
+                cost.msgs_out += 1;
+                cost.rows_returned += d.rows.len() as u64;
                 out.push(d);
+            }
+        }
+        if let Some(t) = &self.telemetry {
+            if !out.is_empty() {
+                let costs = t.costs();
+                costs.count(&cost);
+                costs.intrude(&t.site(), IntrusionCause::Subscription, &cost);
             }
         }
         Ok(out)

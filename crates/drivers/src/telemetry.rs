@@ -63,6 +63,18 @@
 //! pending/emitted/delivered/dropped counts and emit/registration
 //! times. Served empty when no stream manager is attached.
 //!
+//! `gridrm_query_costs` — one row per recently finished root query,
+//! oldest first, from the cost ledger (see `gridrm_telemetry::cost`):
+//! trace id, site, request, start/finish/duration, wire messages and
+//! bytes in both directions, rows scanned/returned, driver fetch units
+//! and whether the inclusive cost breached the configured budget.
+//!
+//! `gridrm_intrusion` — one row per (site, cause) intrusion bucket:
+//! how much wire traffic this gateway imposed on each grid site
+//! (endured, for its own site), split by cause (`query`, `probe`,
+//! `subscription`, `gossip`), with per-virtual-second rates over the
+//! bucket's observation window.
+//!
 //! URL form: `jdbc:telemetry://local/metrics`.
 
 use crate::base::{parse_select, DriverStats};
@@ -104,6 +116,12 @@ pub const SLO_TABLE: &str = "gridrm_slo";
 
 /// The live-subscription virtual table name.
 pub const SUBSCRIPTIONS_TABLE: &str = "gridrm_subscriptions";
+
+/// The per-query cost-ledger virtual table name.
+pub const COSTS_TABLE: &str = "gridrm_query_costs";
+
+/// The per-site intrusion-profile virtual table name.
+pub const INTRUSION_TABLE: &str = "gridrm_intrusion";
 
 /// The JDBC-Telemetry [`Driver`].
 pub struct TelemetryDriver {
@@ -619,6 +637,88 @@ fn subscriptions_table(streams: Option<&Arc<StreamManager>>) -> Table {
     }
 }
 
+/// One row per recently finished root query, oldest first, straight
+/// from the cost ledger's entry ring.
+fn costs_table(telemetry: &GatewayTelemetry) -> Table {
+    let rows = telemetry
+        .costs()
+        .entries()
+        .into_iter()
+        .map(|e| {
+            vec![
+                SqlValue::Str(e.trace_id),
+                SqlValue::Str(e.site),
+                SqlValue::Str(e.request),
+                SqlValue::Int(e.started_ms as i64),
+                SqlValue::Int(e.finished_ms as i64),
+                SqlValue::Int(e.finished_ms.saturating_sub(e.started_ms) as i64),
+                SqlValue::Int(e.cost.msgs_out as i64),
+                SqlValue::Int(e.cost.msgs_in as i64),
+                SqlValue::Int(e.cost.bytes_out as i64),
+                SqlValue::Int(e.cost.bytes_in as i64),
+                SqlValue::Int(e.cost.rows_scanned as i64),
+                SqlValue::Int(e.cost.rows_returned as i64),
+                SqlValue::Int(e.cost.fetch_units as i64),
+                SqlValue::Bool(e.over_budget),
+            ]
+        })
+        .collect();
+    Table {
+        name: COSTS_TABLE.to_owned(),
+        columns: columns(&[
+            ("trace_id", SqlType::Str),
+            ("site", SqlType::Str),
+            ("request", SqlType::Str),
+            ("started_ms", SqlType::Int),
+            ("finished_ms", SqlType::Int),
+            ("duration_ms", SqlType::Int),
+            ("msgs_out", SqlType::Int),
+            ("msgs_in", SqlType::Int),
+            ("bytes_out", SqlType::Int),
+            ("bytes_in", SqlType::Int),
+            ("rows_scanned", SqlType::Int),
+            ("rows_returned", SqlType::Int),
+            ("fetch_units", SqlType::Int),
+            ("over_budget", SqlType::Bool),
+        ]),
+        rows,
+    }
+}
+
+/// One row per (site, cause) intrusion bucket, ordered by site then
+/// cause, with rates over each bucket's virtual observation window.
+fn intrusion_table(telemetry: &GatewayTelemetry) -> Table {
+    let rows = telemetry
+        .costs()
+        .intrusion_snapshot()
+        .into_iter()
+        .map(|r| {
+            vec![
+                SqlValue::Str(r.site),
+                SqlValue::Str(r.cause),
+                SqlValue::Int(r.bucket.msgs as i64),
+                SqlValue::Int(r.bucket.bytes as i64),
+                SqlValue::Int(r.bucket.window_ms() as i64),
+                SqlValue::Float(r.bucket.msgs_per_vsec()),
+                SqlValue::Float(r.bucket.bytes_per_vsec()),
+            ]
+        })
+        .collect();
+    Table {
+        name: INTRUSION_TABLE.to_owned(),
+        columns: columns(&[
+            ("site", SqlType::Str),
+            ("cause", SqlType::Str),
+            ("msgs", SqlType::Int),
+            ("bytes", SqlType::Int),
+            ("window_ms", SqlType::Int),
+            ("msgs_per_vsec", SqlType::Float),
+            ("bytes_per_vsec", SqlType::Float),
+        ]),
+        rows,
+    }
+}
+
 impl Statement for TelemetryStatement {
     fn execute_query(&mut self, sql: &str) -> DbcResult<Box<dyn ResultSet>> {
         self.stats.query();
@@ -639,12 +739,16 @@ impl Statement for TelemetryStatement {
             slo_table(&self.telemetry)
         } else if sel.table.eq_ignore_ascii_case(SUBSCRIPTIONS_TABLE) {
             subscriptions_table(self.streams.as_ref())
+        } else if sel.table.eq_ignore_ascii_case(COSTS_TABLE) {
+            costs_table(&self.telemetry)
+        } else if sel.table.eq_ignore_ascii_case(INTRUSION_TABLE) {
+            intrusion_table(&self.telemetry)
         } else {
             return Err(SqlError::Unsupported(format!(
                 "the telemetry driver serves {TABLE_NAME}, {HEALTH_TABLE}, \
                  {JOURNAL_TABLE}, {SLOW_TABLE}, {SPANS_TABLE}, \
-                 {HISTORY_TABLE}, {SLO_TABLE} and {SUBSCRIPTIONS_TABLE}, \
-                 got '{}'",
+                 {HISTORY_TABLE}, {SLO_TABLE}, {SUBSCRIPTIONS_TABLE}, \
+                 {COSTS_TABLE} and {INTRUSION_TABLE}, got '{}'",
                 sel.table
             )));
         };
@@ -1014,6 +1118,62 @@ mod tests {
         let (_t, d) = driver();
         let rs = query(&d, "SELECT * FROM gridrm_subscriptions").unwrap();
         assert_eq!(rs.len(), 0);
+    }
+
+    #[test]
+    fn query_costs_table_serves_ledger_entries() {
+        use gridrm_telemetry::CostVector;
+        let (t, d) = driver();
+        t.set_identity("siteA", "gw-a");
+        t.costs().set_budget(10, 0);
+        let mut span = t.span("SELECT Load1 FROM Processor");
+        span.add_cost(&CostVector {
+            msgs_out: 2,
+            msgs_in: 2,
+            bytes_out: 64,
+            bytes_in: 256,
+            rows_returned: 3,
+            ..CostVector::default()
+        });
+        span.finish("ok");
+        let rs = query(
+            &d,
+            "SELECT trace_id, site, bytes_in, rows_returned, over_budget \
+             FROM gridrm_query_costs",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows()[0][1], SqlValue::Str("siteA".into()));
+        assert_eq!(rs.rows()[0][2], SqlValue::Int(256));
+        assert_eq!(rs.rows()[0][3], SqlValue::Int(3));
+        assert_eq!(rs.rows()[0][4], SqlValue::Bool(true));
+    }
+
+    #[test]
+    fn intrusion_table_splits_sites_by_cause() {
+        use gridrm_telemetry::{CostVector, IntrusionCause};
+        let (t, d) = driver();
+        let v = CostVector {
+            msgs_out: 4,
+            bytes_out: 400,
+            ..CostVector::default()
+        };
+        t.costs().intrude("siteB", IntrusionCause::Query, &v);
+        t.costs().intrude("siteB", IntrusionCause::Probe, &v);
+        let rs = query(
+            &d,
+            "SELECT site, cause, msgs, bytes, msgs_per_vsec FROM gridrm_intrusion \
+             ORDER BY cause",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.rows()[0][0], SqlValue::Str("siteB".into()));
+        assert_eq!(rs.rows()[0][1], SqlValue::Str("probe".into()));
+        assert_eq!(rs.rows()[1][1], SqlValue::Str("query".into()));
+        assert_eq!(rs.rows()[1][2], SqlValue::Int(4));
+        assert_eq!(rs.rows()[1][3], SqlValue::Int(400));
+        // Window floors at one virtual second, so 4 msgs → 4.0/vsec.
+        assert_eq!(rs.rows()[1][4], SqlValue::Float(4.0));
     }
 
     #[test]

@@ -31,6 +31,7 @@ use gridrm_core::acil::{
 };
 use gridrm_core::security::Identity;
 use gridrm_dbc::{DbcResult, JdbcUrl, RowSet, SqlError};
+use gridrm_telemetry::{CostVector, IntrusionCause};
 use std::collections::{BTreeMap, HashSet};
 
 /// One unit of the fan-out plan: the local gateway's share of the
@@ -273,16 +274,39 @@ impl GlobalLayer {
                         trace: Some(seg_span.context()),
                         deadline_ms: budget,
                     };
+                    // The frame is the single source of truth for the
+                    // bytes this segment imposes on the remote site.
+                    let frame = protocol::encode_framed(&wire);
+                    let out_cost = CostVector {
+                        msgs_out: 1,
+                        bytes_out: frame.len(),
+                        ..CostVector::default()
+                    };
+                    seg_span.add_cost(&out_cost);
+                    telemetry
+                        .costs()
+                        .intrude(&entry.site, IntrusionCause::Query, &out_cost);
                     let sent = self.network.request_timed(
                         &self.gma_address,
                         &entry.gma_address,
-                        &protocol::encode(&wire),
+                        frame.bytes(),
                     );
                     let (answer, rtt_ms) = match sent {
-                        Ok((bytes, rtt_us)) => (
-                            protocol::decode::<GlobalResponse>(&bytes),
-                            rtt_us.div_ceil(1000),
-                        ),
+                        Ok((bytes, rtt_us)) => {
+                            let in_cost = CostVector {
+                                msgs_in: 1,
+                                bytes_in: bytes.len() as u64,
+                                ..CostVector::default()
+                            };
+                            seg_span.add_cost(&in_cost);
+                            telemetry
+                                .costs()
+                                .intrude(&entry.site, IntrusionCause::Query, &in_cost);
+                            (
+                                protocol::decode::<GlobalResponse>(&bytes),
+                                rtt_us.div_ceil(1000),
+                            )
+                        }
                         Err(e) => (Err(SqlError::Connection(e.to_string())), 0),
                     };
                     let clock_delta = clock.now_millis().saturating_sub(seg_start);
@@ -297,8 +321,18 @@ impl GlobalLayer {
                         }) => {
                             // Adopt the remote half of the trace into the
                             // local ring buffer so EXPLAIN sees one
-                            // cross-site tree.
+                            // cross-site tree. Remote spans that hang
+                            // directly off this segment carry the remote
+                            // gateway's inclusive costs; absorb (not
+                            // count — they were counted over there) so
+                            // the local roll-up still sums.
+                            let seg_span_id = seg_span.context().parent_span_id;
                             for remote_span in spans {
+                                if remote_span.parent_span_id.as_deref()
+                                    == Some(seg_span_id.as_str())
+                                {
+                                    seg_span.absorb_cost(&remote_span.cost);
+                                }
                                 telemetry.import_span(remote_span);
                             }
                             // A shared sim clock means remote compute may

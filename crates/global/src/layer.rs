@@ -11,8 +11,11 @@ use gridrm_core::Gateway;
 use gridrm_dbc::DbcResult;
 use gridrm_simnet::{Network, Service};
 use gridrm_sqlparse::ast::Statement as SqlStatement;
-use gridrm_telemetry::{Counter, Labels, Registry, SpanBuilder, DEFAULT_LATENCY_BUCKETS_MS};
+use gridrm_telemetry::{
+    CostVector, Counter, IntrusionCause, Labels, Registry, SpanBuilder, DEFAULT_LATENCY_BUCKETS_MS,
+};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 
@@ -201,6 +204,31 @@ impl SiteSloRollup {
     }
 }
 
+/// Site-level intrusion rollup: the monitoring traffic this gateway has
+/// accounted against one Grid site, aggregated across causes and
+/// presented next to [`SiteHealthRollup`] / [`SiteSloRollup`]. A rollup
+/// for the local site is traffic the site *endured*; one for a remote
+/// site is traffic this gateway *imposed* on it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteIntrusionRollup {
+    /// The Grid site the traffic was accounted against.
+    pub site: String,
+    /// The reporting gateway (whose ledger this view comes from).
+    pub gateway: String,
+    /// Messages, both directions, all causes.
+    pub msgs: u64,
+    /// Bytes, both directions, all causes.
+    pub bytes: u64,
+    /// Observation window in virtual ms (floored at one second).
+    pub window_ms: u64,
+    /// Messages per virtual second over the window.
+    pub msgs_per_vsec: f64,
+    /// Bytes per virtual second over the window.
+    pub bytes_per_vsec: f64,
+    /// Causes observed for this site, sorted.
+    pub causes: Vec<String>,
+}
+
 /// A gateway's Global-layer attachment.
 pub struct GlobalLayer {
     pub(crate) gateway: Arc<Gateway>,
@@ -286,13 +314,23 @@ impl GlobalLayer {
     }
 
     fn handle_wire(&self, _from: &str, req: &[u8]) -> Vec<u8> {
-        let request: GlobalRequest = match protocol::decode(req) {
+        let (request, inbound_bytes) = match protocol::decode_framed::<GlobalRequest>(req) {
             Ok(r) => r,
             Err(e) => {
                 return protocol::encode(&GlobalResponse::Error {
                     message: e.to_string(),
                 })
             }
+        };
+        // Classify what this wire service costs the local site: traffic
+        // we *endure*, split by why the peer sent it.
+        let cause = match &request {
+            GlobalRequest::Query { .. } => IntrusionCause::Query,
+            GlobalRequest::Ping => IntrusionCause::Probe,
+            GlobalRequest::Subscribe { .. }
+            | GlobalRequest::PollDeltas { .. }
+            | GlobalRequest::Unsubscribe { .. } => IntrusionCause::Subscription,
+            GlobalRequest::Event { .. } => IntrusionCause::Gossip,
         };
         let response = match request {
             GlobalRequest::Ping => GlobalResponse::Pong {
@@ -407,7 +445,18 @@ impl GlobalLayer {
                 existed: self.gateway.cancel_subscription(subscription),
             },
         };
-        protocol::encode(&response)
+        let frame = protocol::encode_framed(&response);
+        let served = CostVector {
+            msgs_in: 1,
+            msgs_out: 1,
+            bytes_in: inbound_bytes,
+            bytes_out: frame.len(),
+            ..CostVector::default()
+        };
+        let costs = self.gateway.telemetry().costs();
+        costs.count(&served);
+        costs.intrude(&self.gateway.config().site, cause, &served);
+        frame.into_bytes()
     }
 
     /// Query through the Global layer: local sources are handled by the
@@ -509,11 +558,18 @@ impl GlobalLayer {
                 from_gateway: my_name.clone(),
                 event: event.clone(),
             };
-            if let Ok(bytes) = self.network.request(
-                &self.gma_address,
-                &peer.gma_address,
-                &protocol::encode(&wire),
-            ) {
+            let frame = protocol::encode_framed(&wire);
+            let mut cost = CostVector {
+                msgs_out: 1,
+                bytes_out: frame.len(),
+                ..CostVector::default()
+            };
+            if let Ok(bytes) =
+                self.network
+                    .request(&self.gma_address, &peer.gma_address, frame.bytes())
+            {
+                cost.msgs_in = 1;
+                cost.bytes_in = bytes.len() as u64;
                 if matches!(
                     protocol::decode::<GlobalResponse>(&bytes),
                     Ok(GlobalResponse::EventAccepted)
@@ -522,6 +578,9 @@ impl GlobalLayer {
                     accepted += 1;
                 }
             }
+            let costs = self.gateway.telemetry().costs();
+            costs.count(&cost);
+            costs.intrude(&peer.site, IntrusionCause::Gossip, &cost);
         }
         accepted
     }
@@ -596,20 +655,77 @@ impl GlobalLayer {
         }
     }
 
+    /// Roll this gateway's intrusion ledger up to per-site totals for
+    /// Grid-wide presentation, next to [`GlobalLayer::site_slo`]. Pure
+    /// local-ledger arithmetic — no extra wire traffic (the profiler
+    /// must not itself intrude).
+    pub fn site_intrusion(&self) -> Vec<SiteIntrusionRollup> {
+        let config = self.gateway.config();
+        struct Agg {
+            msgs: u64,
+            bytes: u64,
+            first_ms: u64,
+            last_ms: u64,
+            causes: Vec<String>,
+        }
+        let mut by_site: BTreeMap<String, Agg> = BTreeMap::new();
+        for row in self.gateway.telemetry().costs().intrusion_snapshot() {
+            let agg = by_site.entry(row.site).or_insert(Agg {
+                msgs: 0,
+                bytes: 0,
+                first_ms: row.bucket.first_ms,
+                last_ms: row.bucket.last_ms,
+                causes: Vec::new(),
+            });
+            agg.msgs = agg.msgs.saturating_add(row.bucket.msgs);
+            agg.bytes = agg.bytes.saturating_add(row.bucket.bytes);
+            agg.first_ms = agg.first_ms.min(row.bucket.first_ms);
+            agg.last_ms = agg.last_ms.max(row.bucket.last_ms);
+            agg.causes.push(row.cause);
+        }
+        by_site
+            .into_iter()
+            .map(|(site, mut agg)| {
+                agg.causes.sort();
+                let window_ms = agg.last_ms.saturating_sub(agg.first_ms).max(1_000);
+                SiteIntrusionRollup {
+                    site,
+                    gateway: config.name.clone(),
+                    msgs: agg.msgs,
+                    bytes: agg.bytes,
+                    window_ms,
+                    msgs_per_vsec: agg.msgs as f64 * 1_000.0 / window_ms as f64,
+                    bytes_per_vsec: agg.bytes as f64 * 1_000.0 / window_ms as f64,
+                    causes: agg.causes,
+                }
+            })
+            .collect()
+    }
+
     /// Liveness check of a peer gateway.
     pub fn ping(&self, gateway_name: &str) -> bool {
         let Some(entry) = self.directory.by_name(gateway_name) else {
             return false;
         };
+        let frame = protocol::encode_framed(&GlobalRequest::Ping);
+        let mut cost = CostVector {
+            msgs_out: 1,
+            bytes_out: frame.len(),
+            ..CostVector::default()
+        };
+        let answer = self
+            .network
+            .request(&self.gma_address, &entry.gma_address, frame.bytes())
+            .ok();
+        if let Some(bytes) = &answer {
+            cost.msgs_in = 1;
+            cost.bytes_in = bytes.len() as u64;
+        }
+        let costs = self.gateway.telemetry().costs();
+        costs.count(&cost);
+        costs.intrude(&entry.site, IntrusionCause::Probe, &cost);
         matches!(
-            self.network
-                .request(
-                    &self.gma_address,
-                    &entry.gma_address,
-                    &protocol::encode(&GlobalRequest::Ping),
-                )
-                .ok()
-                .and_then(|b| protocol::decode::<GlobalResponse>(&b).ok()),
+            answer.and_then(|b| protocol::decode::<GlobalResponse>(&b).ok()),
             Some(GlobalResponse::Pong { .. })
         )
     }

@@ -26,6 +26,6 @@ pub mod protocol;
 pub mod stream;
 
 pub use gma::{GmaDirectory, ProducerEntry};
-pub use layer::{GlobalLayer, SiteHealthRollup, SiteSloRollup};
-pub use protocol::{GlobalRequest, GlobalResponse, WireDelta, WireIdentity, WireRows};
+pub use layer::{GlobalLayer, SiteHealthRollup, SiteIntrusionRollup, SiteSloRollup};
+pub use protocol::{GlobalRequest, GlobalResponse, WireDelta, WireFrame, WireIdentity, WireRows};
 pub use stream::{GridSubscription, RemoteSubscription};

@@ -255,15 +255,64 @@ pub enum GlobalResponse {
     },
 }
 
-/// Encode a message for the wire.
-pub fn encode<T: Serialize>(msg: &T) -> Vec<u8> {
-    serde_json::to_vec(msg).expect("wire messages are serialisable")
+/// An encoded wire message together with its measured size.
+///
+/// Wire-frame sizes used to be measured ad hoc at each call site (or
+/// not at all); this is now the **single source of truth** for the byte
+/// counts the cost ledger attributes to queries, subscriptions, probes
+/// and gossip. Both directions agree by construction: the sender
+/// charges `frame.len()`, the receiver charges the slice length that
+/// [`decode_framed`] reports, and they are the same bytes.
+#[derive(Debug, Clone)]
+pub struct WireFrame {
+    bytes: Vec<u8>,
 }
 
-/// Decode a message from the wire.
+impl WireFrame {
+    /// The frame size in bytes — what the ledger charges.
+    pub fn len(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// True for a zero-length frame (never produced by [`encode_framed`]).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The encoded payload.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consume the frame, yielding the payload for the network.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Encode a message for the wire, measuring its size.
+pub fn encode_framed<T: Serialize>(msg: &T) -> WireFrame {
+    WireFrame {
+        bytes: serde_json::to_vec(msg).expect("wire messages are serialisable"),
+    }
+}
+
+/// Decode a message from the wire, reporting the frame size the ledger
+/// should charge for the inbound direction.
+pub fn decode_framed<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> DbcResult<(T, u64)> {
+    let msg = serde_json::from_slice(bytes)
+        .map_err(|e| SqlError::Driver(format!("bad global-layer message: {e}")))?;
+    Ok((msg, bytes.len() as u64))
+}
+
+/// Encode a message for the wire (size not needed).
+pub fn encode<T: Serialize>(msg: &T) -> Vec<u8> {
+    encode_framed(msg).into_bytes()
+}
+
+/// Decode a message from the wire (size not needed).
 pub fn decode<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> DbcResult<T> {
-    serde_json::from_slice(bytes)
-        .map_err(|e| SqlError::Driver(format!("bad global-layer message: {e}")))
+    decode_framed(bytes).map(|(msg, _)| msg)
 }
 
 #[cfg(test)]
@@ -440,6 +489,20 @@ mod tests {
     #[test]
     fn decode_garbage_errors() {
         assert!(decode::<GlobalRequest>(b"not json").is_err());
+        assert!(decode_framed::<GlobalRequest>(b"not json").is_err());
+    }
+
+    #[test]
+    fn framed_sizes_agree_in_both_directions() {
+        let frame = encode_framed(&GlobalRequest::Ping);
+        assert!(!frame.is_empty());
+        assert_eq!(frame.len(), frame.bytes().len() as u64);
+        // The receiver measures the same bytes the sender charged.
+        let (back, inbound) = decode_framed::<GlobalRequest>(frame.bytes()).unwrap();
+        assert!(matches!(back, GlobalRequest::Ping));
+        assert_eq!(inbound, frame.len());
+        // And the unframed helpers produce identical payloads.
+        assert_eq!(encode(&GlobalRequest::Ping), frame.into_bytes());
     }
 
     #[test]

@@ -22,6 +22,7 @@ use gridrm_core::acil::ClientRequest;
 use gridrm_core::security::Identity;
 use gridrm_core::stream::{StreamDelta, SubscribeSpec, SubscriptionId};
 use gridrm_dbc::{DbcResult, JdbcUrl, SqlError};
+use gridrm_telemetry::{CostVector, IntrusionCause};
 use std::collections::BTreeMap;
 
 /// One remote share of a grid subscription.
@@ -33,6 +34,9 @@ pub struct RemoteSubscription {
     pub gma_address: String,
     /// Subscription id *on that gateway*.
     pub subscription: u64,
+    /// The owning gateway's Grid site, so every poll charges its
+    /// intrusion against the right site.
+    pub site: String,
 }
 
 /// A standing query registered across the grid: the local share (when
@@ -114,21 +118,31 @@ impl GlobalLayer {
                 backpressure: spec.backpressure,
             };
             self.stats.remote_queries_out.inc();
+            let frame = protocol::encode_framed(&wire);
+            let mut cost = CostVector {
+                msgs_out: 1,
+                bytes_out: frame.len(),
+                ..CostVector::default()
+            };
             let answer = self
                 .network
-                .request(
-                    &self.gma_address,
-                    &entry.gma_address,
-                    &protocol::encode(&wire),
-                )
+                .request(&self.gma_address, &entry.gma_address, frame.bytes())
                 .map_err(|e| SqlError::Connection(format!("{name}: {e}")))
-                .and_then(|bytes| protocol::decode::<GlobalResponse>(&bytes));
+                .and_then(|bytes| {
+                    cost.msgs_in = 1;
+                    cost.bytes_in = bytes.len() as u64;
+                    protocol::decode::<GlobalResponse>(&bytes)
+                });
+            let costs = self.gateway.telemetry().costs();
+            costs.count(&cost);
+            costs.intrude(&entry.site, IntrusionCause::Subscription, &cost);
             match answer {
                 Ok(GlobalResponse::Subscribed { subscription }) => {
                     grid.remotes.push(RemoteSubscription {
                         gateway: name,
                         gma_address: entry.gma_address,
                         subscription,
+                        site: entry.site,
                     });
                 }
                 Ok(GlobalResponse::Error { message }) => {
@@ -166,11 +180,23 @@ impl GlobalLayer {
                 max,
             };
             self.stats.remote_queries_out.inc();
-            let Ok(bytes) = self.network.request(
-                &self.gma_address,
-                &remote.gma_address,
-                &protocol::encode(&wire),
-            ) else {
+            let frame = protocol::encode_framed(&wire);
+            let mut cost = CostVector {
+                msgs_out: 1,
+                bytes_out: frame.len(),
+                ..CostVector::default()
+            };
+            let answer =
+                self.network
+                    .request(&self.gma_address, &remote.gma_address, frame.bytes());
+            if let Ok(bytes) = &answer {
+                cost.msgs_in = 1;
+                cost.bytes_in = bytes.len() as u64;
+            }
+            let costs = self.gateway.telemetry().costs();
+            costs.count(&cost);
+            costs.intrude(&remote.site, IntrusionCause::Subscription, &cost);
+            let Ok(bytes) = answer else {
                 continue;
             };
             if let Ok(GlobalResponse::Deltas { deltas }) = protocol::decode(&bytes) {
@@ -197,11 +223,18 @@ impl GlobalLayer {
                 subscription: remote.subscription,
             };
             self.stats.remote_queries_out.inc();
-            if let Ok(bytes) = self.network.request(
-                &self.gma_address,
-                &remote.gma_address,
-                &protocol::encode(&wire),
-            ) {
+            let frame = protocol::encode_framed(&wire);
+            let mut cost = CostVector {
+                msgs_out: 1,
+                bytes_out: frame.len(),
+                ..CostVector::default()
+            };
+            if let Ok(bytes) =
+                self.network
+                    .request(&self.gma_address, &remote.gma_address, frame.bytes())
+            {
+                cost.msgs_in = 1;
+                cost.bytes_in = bytes.len() as u64;
                 if matches!(
                     protocol::decode::<GlobalResponse>(&bytes),
                     Ok(GlobalResponse::Unsubscribed { existed: true })
@@ -209,6 +242,9 @@ impl GlobalLayer {
                     cancelled += 1;
                 }
             }
+            let costs = self.gateway.telemetry().costs();
+            costs.count(&cost);
+            costs.intrude(&remote.site, IntrusionCause::Subscription, &cost);
         }
         cancelled
     }

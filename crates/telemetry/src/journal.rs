@@ -97,6 +97,8 @@ pub const KIND_EVENT_UNFORMATTED: &str = "event_unformatted";
 pub const KIND_SLO: &str = "slo_alert";
 /// Kind: continuous-query subscription lifecycle and evaluation facts.
 pub const KIND_STREAM: &str = "stream";
+/// Kind: a query's inclusive cost exceeded the configured budget.
+pub const KIND_COST_BUDGET: &str = "cost_budget";
 
 /// Per-severity journal counters. Shared telemetry cells, exposable in a
 /// gateway-wide [`Registry`] via [`JournalStats::register_into`].

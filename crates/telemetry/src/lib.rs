@@ -2,6 +2,7 @@
 //! event journal, slow-query log, exposition.
 
 pub mod active;
+pub mod cost;
 pub mod journal;
 pub mod metrics;
 pub mod slo;
@@ -9,9 +10,13 @@ pub mod slowlog;
 pub mod timeseries;
 pub mod trace;
 
+pub use cost::{
+    CostLedger, CostVector, IntrusionBucket, IntrusionCause, IntrusionRow, QueryCostEntry,
+    DEFAULT_COST_ENTRIES, DEFAULT_COST_PENDING,
+};
 pub use journal::{
     Journal, JournalEntry, JournalSeverity, JournalStats, DEFAULT_JOURNAL_CAPACITY,
-    KIND_CACHE_SERVE, KIND_DRIVER_FALLBACK, KIND_EVENT, KIND_EVENT_OVERFLOW,
+    KIND_CACHE_SERVE, KIND_COST_BUDGET, KIND_DRIVER_FALLBACK, KIND_EVENT, KIND_EVENT_OVERFLOW,
     KIND_EVENT_UNFORMATTED, KIND_POLICY_DECISION, KIND_PROBE, KIND_SLO, KIND_STATE_TRANSITION,
     KIND_STREAM,
 };

@@ -15,6 +15,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::cost::{CostLedger, CostVector, QueryCostEntry};
 use crate::journal::{Journal, DEFAULT_JOURNAL_CAPACITY};
 use crate::metrics::{Counter, Labels, Registry};
 use crate::slo::SloEngine;
@@ -66,6 +67,12 @@ pub struct TraceRecord {
     pub outcome: String,
     /// Ordered stages with monotonic timestamps.
     pub stages: Vec<SpanStage>,
+    /// Inclusive cost: this span's direct charges plus everything its
+    /// finished children rolled up into it. Defaults to zero so spans
+    /// serialised before the cost-accounting upgrade (and wire messages
+    /// from pre-cost peers) still deserialise.
+    #[serde(default)]
+    pub cost: CostVector,
 }
 
 impl TraceRecord {
@@ -116,6 +123,28 @@ impl SpanBuilder {
         self.record.source = Some(url.to_string());
     }
 
+    /// Charge a *direct* cost against this span: accumulated into the
+    /// span's cost vector and counted into the gateway-wide
+    /// `gridrm_cost_*` counters.
+    pub fn add_cost(&mut self, v: &CostVector) {
+        self.hub.costs.count(v);
+        self.record.cost.add(v);
+    }
+
+    /// Absorb an already-counted cost into this span's vector without
+    /// touching the counters — used for costs imported from remote
+    /// spans (counted on the remote gateway) so nothing is double
+    /// counted while the span tree still sums correctly.
+    pub fn absorb_cost(&mut self, v: &CostVector) {
+        self.record.cost.add(v);
+    }
+
+    /// The cost accumulated on this span so far (children not yet
+    /// merged — that happens at finish).
+    pub fn cost(&self) -> &CostVector {
+        &self.record.cost
+    }
+
     /// The numeric id assigned to this span.
     pub fn id(&self) -> u64 {
         self.record.id
@@ -158,6 +187,35 @@ impl SpanBuilder {
     pub fn finish_at(mut self, outcome: &str, finished_ms: u64) {
         self.record.finished_ms = finished_ms.max(self.record.started_ms);
         self.record.outcome = outcome.to_string();
+        // Merge whatever finished children parked under this span, then
+        // either credit the inclusive total to the parent or — at a
+        // root — commit the whole bill to the ledger.
+        let rolled = self.hub.costs.take_pending(&self.record.span_id);
+        self.record.cost.add(&rolled);
+        match &self.record.parent_span_id {
+            Some(parent) => self.hub.costs.roll_up(parent, &self.record.cost),
+            None => {
+                let over_budget = self.hub.costs.note_root(
+                    QueryCostEntry {
+                        trace_id: self.record.trace_id.clone(),
+                        site: self.record.site.clone(),
+                        request: self.record.request.clone(),
+                        started_ms: self.record.started_ms,
+                        finished_ms: self.record.finished_ms,
+                        cost: self.record.cost,
+                        over_budget: false,
+                    },
+                    self.record.source.as_deref(),
+                );
+                if over_budget {
+                    self.record.stages.push(SpanStage {
+                        stage: "cost".to_string(),
+                        at_ms: self.record.finished_ms,
+                        detail: Some("over_budget".to_string()),
+                    });
+                }
+            }
+        }
         self.hub.slow_queries.offer(&self.record);
         self.hub.traces.push(self.record);
     }
@@ -302,6 +360,7 @@ pub struct GatewayTelemetry {
     slow_queries: Arc<SlowQueryLog>,
     timeseries: Arc<TimeSeriesRecorder>,
     slo: Arc<SloEngine>,
+    costs: Arc<CostLedger>,
     clock: Arc<SimClock>,
     next_trace_id: Arc<AtomicU64>,
     identity: Arc<RwLock<TelemetryIdentity>>,
@@ -351,6 +410,10 @@ impl GatewayTelemetry {
             Labels::none(),
             timeseries.points_recorded(),
         );
+        let costs = Arc::new(CostLedger::new(clock.clone(), journal.clone()));
+        // Registered unconditionally so the cost/intrusion families
+        // always exist for scrapes and the docs-drift check.
+        costs.register_into(&registry);
         GatewayTelemetry {
             registry,
             traces,
@@ -361,6 +424,7 @@ impl GatewayTelemetry {
             )),
             timeseries,
             slo,
+            costs,
             clock,
             next_trace_id: Arc::new(AtomicU64::new(1)),
             identity: Arc::new(RwLock::new(TelemetryIdentity {
@@ -415,6 +479,11 @@ impl GatewayTelemetry {
         &self.slo
     }
 
+    /// The cost accounting ledger.
+    pub fn costs(&self) -> &Arc<CostLedger> {
+        &self.costs
+    }
+
     /// The clock stamping trace stages.
     pub fn clock(&self) -> &Arc<SimClock> {
         &self.clock
@@ -442,6 +511,7 @@ impl GatewayTelemetry {
                 finished_ms: now,
                 outcome: "pending".to_string(),
                 stages: Vec::new(),
+                cost: CostVector::default(),
             },
             hub: self.clone(),
         }
@@ -606,6 +676,87 @@ mod tests {
                 assert!(ids.contains(&p.as_str()), "dangling parent {p}");
             }
         }
+    }
+
+    #[test]
+    fn child_costs_roll_up_to_the_root() {
+        let telemetry = GatewayTelemetry::new(SimClock::new());
+        telemetry.set_identity("alpha", "gw-a");
+        let root = telemetry.span("SELECT 1 FROM t");
+        let mut child_a = root.child("seg-a");
+        let mut child_b = root.child("seg-b");
+        let mut grandchild = child_a.child("driver");
+        grandchild.add_cost(&CostVector {
+            rows_scanned: 10,
+            fetch_units: 1,
+            ..CostVector::default()
+        });
+        grandchild.finish("ok");
+        child_a.add_cost(&CostVector {
+            msgs_out: 1,
+            bytes_out: 100,
+            ..CostVector::default()
+        });
+        child_a.finish("ok");
+        child_b.add_cost(&CostVector {
+            msgs_in: 1,
+            bytes_in: 40,
+            ..CostVector::default()
+        });
+        child_b.finish("ok");
+        let trace_id = root.trace_id().to_owned();
+        root.finish("ok");
+
+        let spans = telemetry.traces().for_trace(&trace_id);
+        let root_span = spans
+            .iter()
+            .find(|s| s.parent_span_id.is_none())
+            .expect("root span");
+        // Inclusive: the root had no direct charges, so its cost is
+        // exactly the sum of its children's inclusive costs.
+        let mut sum = CostVector::default();
+        for s in spans
+            .iter()
+            .filter(|s| s.parent_span_id.as_deref() == Some(root_span.span_id.as_str()))
+        {
+            sum.add(&s.cost);
+        }
+        assert_eq!(root_span.cost, sum);
+        assert_eq!(root_span.cost.rows_scanned, 10);
+        assert_eq!(root_span.cost.bytes_out, 100);
+        assert_eq!(root_span.cost.bytes_in, 40);
+        assert_eq!(root_span.cost.total_msgs(), 2);
+        // The root's bill landed in the ledger.
+        let entries = telemetry.costs().entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].trace_id, trace_id);
+        assert_eq!(entries[0].cost, root_span.cost);
+        // Counters saw each direct charge exactly once.
+        assert_eq!(telemetry.costs().totals().rows_scanned, 10);
+        assert_eq!(telemetry.costs().totals().bytes_out, 100);
+    }
+
+    #[test]
+    fn over_budget_root_gains_cost_stage_and_journal_entry() {
+        let telemetry = GatewayTelemetry::new(SimClock::new());
+        telemetry.costs().set_budget(50, 0);
+        let mut root = telemetry.span("big query");
+        root.add_cost(&CostVector {
+            bytes_in: 500,
+            ..CostVector::default()
+        });
+        let trace_id = root.trace_id().to_owned();
+        root.finish("ok");
+        let spans = telemetry.traces().for_trace(&trace_id);
+        let stage = spans[0].stages.last().expect("cost stage");
+        assert_eq!(stage.stage, "cost");
+        assert_eq!(stage.detail.as_deref(), Some("over_budget"));
+        let breaches = telemetry
+            .journal()
+            .recent_of_kind(crate::journal::KIND_COST_BUDGET);
+        assert_eq!(breaches.len(), 1);
+        assert_eq!(breaches[0].trace_id.as_deref(), Some(&*trace_id));
+        assert!(telemetry.costs().entries()[0].over_budget);
     }
 
     #[test]

@@ -36,6 +36,21 @@ fn committed_baseline_matches_fresh_scan() {
 }
 
 #[test]
+fn workspace_stage_vocab_includes_cost_accounting() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let config = Config::for_workspace(root).expect("workspace config");
+    // The cost-accounting upgrade added the `cost` (over-budget) stage;
+    // the vocabulary the stage-vocab rule enforces must carry it.
+    assert!(
+        config.stage_vocab.contains("cost"),
+        "docs/observability.md stage vocabulary lost `cost`"
+    );
+}
+
+#[test]
 fn new_findings_are_regressions() {
     let committed = Baseline::from_findings(&[finding("hot-path-panic", "a.rs", 1)]);
     let now = vec![

@@ -8,3 +8,39 @@ pub fn register(reg: &Registry, name: &str, code: &str) {
     reg.histogram("gridrm_latency_ms", "latency", labels.with("status", code));
     reg.expose_counter("gridrm_polls_total", "agent polls", Labels::empty());
 }
+
+pub fn register_cost_families(reg: &Registry) {
+    // The cost-ledger and intrusion families: bounded label sets
+    // (dir/kind/cause), gridrm_ prefix, _total counter suffix.
+    for dir in ["in", "out"] {
+        reg.counter(
+            "gridrm_cost_msgs_total",
+            "wire messages",
+            Labels::from_pairs(&[("dir", dir)]),
+        );
+        reg.counter(
+            "gridrm_cost_bytes_total",
+            "wire bytes",
+            Labels::from_pairs(&[("dir", dir)]),
+        );
+    }
+    for kind in ["scanned", "returned"] {
+        reg.counter(
+            "gridrm_cost_rows_total",
+            "rows",
+            Labels::from_pairs(&[("kind", kind)]),
+        );
+    }
+    for cause in ["query", "probe", "subscription", "gossip"] {
+        reg.counter(
+            "gridrm_intrusion_msgs_total",
+            "imposed messages",
+            Labels::from_pairs(&[("cause", cause)]),
+        );
+        reg.counter(
+            "gridrm_intrusion_bytes_total",
+            "imposed bytes",
+            Labels::from_pairs(&[("cause", cause)]),
+        );
+    }
+}

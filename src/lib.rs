@@ -62,13 +62,15 @@ pub mod prelude {
     pub use gridrm_dbc::{JdbcUrl, ResultSet, RowSet, SqlError};
     pub use gridrm_drivers::install_into_gateway;
     pub use gridrm_global::{
-        GlobalLayer, GmaDirectory, GridSubscription, SiteHealthRollup, SiteSloRollup,
+        GlobalLayer, GmaDirectory, GridSubscription, SiteHealthRollup, SiteIntrusionRollup,
+        SiteSloRollup,
     };
     pub use gridrm_resmodel::{SiteModel, SiteSpec};
     pub use gridrm_simnet::{Latency, Network, SimClock};
     pub use gridrm_sqlparse::SqlValue;
     pub use gridrm_telemetry::{
-        GatewayTelemetry, Journal, JournalEntry, JournalSeverity, Registry, SloObjective, SloSpec,
-        SloStatus, SlowQueryLog, TimeSeriesRecorder, TraceRecord,
+        CostLedger, CostVector, GatewayTelemetry, IntrusionCause, IntrusionRow, Journal,
+        JournalEntry, JournalSeverity, QueryCostEntry, Registry, SloObjective, SloSpec, SloStatus,
+        SlowQueryLog, TimeSeriesRecorder, TraceRecord,
     };
 }
