@@ -90,6 +90,47 @@ struct PersistedState {
     sources: Vec<DataSourceConfig>,
 }
 
+/// Outcome class of one [`AdminInterface::handle`] dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdminStatus {
+    /// The path resolved to an exposition endpoint.
+    Ok,
+    /// Unknown path; the body carries the endpoint index instead.
+    NotFound,
+}
+
+/// One answered admin request: what [`AdminInterface::handle`] returns
+/// for any transport to serialise — the serve crate's plain-text admin
+/// port writes `status`/`content_type` as a header line and the body
+/// verbatim.
+#[derive(Debug, Clone)]
+pub struct AdminResponse {
+    /// Dispatch outcome.
+    pub status: AdminStatus,
+    /// MIME type of `body` (`text/plain` or `application/json`).
+    pub content_type: &'static str,
+    /// The rendered exposition.
+    pub body: String,
+}
+
+impl AdminResponse {
+    fn ok_json(body: String) -> AdminResponse {
+        AdminResponse {
+            status: AdminStatus::Ok,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    fn ok_text(body: String) -> AdminResponse {
+        AdminResponse {
+            status: AdminStatus::Ok,
+            content_type: "text/plain",
+            body,
+        }
+    }
+}
+
 /// The administration interface.
 pub struct AdminInterface {
     sources: RwLock<BTreeMap<String, DataSourceConfig>>,
@@ -549,6 +590,62 @@ impl AdminInterface {
             .map_err(|e| SqlError::Driver(format!("cannot read {}: {e}", path.display())))?;
         self.from_json(&json)
     }
+
+    /// The versioned admin dispatch: one entry point behind which every
+    /// ad-hoc `*_json` accessor now lives, so transports expose a single
+    /// surface instead of growing a method per exposition. Paths are
+    /// `/v1/<endpoint>`; unknown paths answer `NotFound` with the
+    /// endpoint index as the body, and `/` or `/v1` serve the index
+    /// directly. Trailing slashes are tolerated.
+    pub fn handle(&self, path: &str) -> AdminResponse {
+        let trimmed = path.trim().trim_end_matches('/');
+        match trimmed {
+            "" | "/" | "/v1" => AdminResponse::ok_text(self.index_text()),
+            "/v1/metrics" => AdminResponse::ok_text(self.metrics_prometheus()),
+            "/v1/metrics.json" => AdminResponse::ok_json(self.metrics_json()),
+            "/v1/health" => AdminResponse::ok_json(self.health_json()),
+            "/v1/journal" => AdminResponse::ok_json(self.journal_json()),
+            "/v1/slow-queries" => AdminResponse::ok_json(self.slow_queries_json()),
+            "/v1/slo" => AdminResponse::ok_json(self.slo_json()),
+            "/v1/subscriptions" => AdminResponse::ok_json(self.subscriptions_json()),
+            "/v1/costs" => AdminResponse::ok_json(self.costs_json()),
+            "/v1/intrusion" => AdminResponse::ok_json(self.intrusion_json()),
+            "/v1/timeseries" => AdminResponse::ok_json(self.timeseries_history_json()),
+            "/v1/traces" => AdminResponse::ok_json(
+                serde_json::to_string_pretty(&self.traces()).expect("traces are serialisable"),
+            ),
+            "/v1/sources" => AdminResponse::ok_json(self.to_json()),
+            _ => match trimmed.strip_prefix("/v1/traces/") {
+                Some(trace_id) if !trace_id.is_empty() => {
+                    AdminResponse::ok_json(self.trace_spans_json(trace_id))
+                }
+                _ => AdminResponse {
+                    status: AdminStatus::NotFound,
+                    content_type: "text/plain",
+                    body: self.index_text(),
+                },
+            },
+        }
+    }
+
+    /// The endpoint index `/` and `/v1` serve (and `NotFound` bodies).
+    fn index_text(&self) -> String {
+        "gridrm admin v1\n\
+         /v1/metrics        Prometheus text exposition\n\
+         /v1/metrics.json   metric families as JSON\n\
+         /v1/health         per-source health snapshot\n\
+         /v1/journal        structured journal entries\n\
+         /v1/slow-queries   slow-query log, slowest first\n\
+         /v1/slo            SLO burn rates and error budgets\n\
+         /v1/subscriptions  live continuous-query subscriptions\n\
+         /v1/costs          per-query inclusive cost entries\n\
+         /v1/intrusion      per-(site, cause) intrusion buckets\n\
+         /v1/timeseries     recorded metric time-series rows\n\
+         /v1/traces         recent query traces\n\
+         /v1/traces/<id>    span tree of one trace\n\
+         /v1/sources        configured data sources\n"
+            .to_owned()
+    }
 }
 
 #[cfg(test)]
@@ -693,6 +790,56 @@ mod tests {
         // Preferences re-applied on load.
         let url = JdbcUrl::parse("jdbc:ganglia://head/clu").unwrap();
         assert!(b.driver_manager.clear_preferences(&url));
+    }
+
+    #[test]
+    fn handle_dispatches_every_versioned_endpoint() {
+        let a = admin();
+        a.add_source(DataSourceConfig::dynamic("jdbc:snmp://n/p", "n"))
+            .unwrap();
+        // JSON endpoints answer Ok with parseable JSON bodies, even with
+        // nothing attached (they expose empty snapshots).
+        for path in [
+            "/v1/metrics.json",
+            "/v1/health",
+            "/v1/journal",
+            "/v1/slow-queries",
+            "/v1/slo",
+            "/v1/subscriptions",
+            "/v1/costs",
+            "/v1/intrusion",
+            "/v1/timeseries",
+            "/v1/traces",
+            "/v1/traces/some-trace",
+            "/v1/sources",
+        ] {
+            let resp = a.handle(path);
+            assert_eq!(resp.status, AdminStatus::Ok, "{path}");
+            assert_eq!(resp.content_type, "application/json", "{path}");
+            assert!(
+                serde_json::from_str::<serde_json::Value>(&resp.body).is_ok(),
+                "{path} body is not JSON: {}",
+                resp.body
+            );
+        }
+        // The consolidated dispatch answers exactly what the accessors do.
+        assert_eq!(a.handle("/v1/sources").body, a.to_json());
+        assert_eq!(a.handle("/v1/costs").body, a.costs_json());
+        assert_eq!(a.handle("/v1/metrics").body, a.metrics_prometheus());
+        // Index + tolerated trailing slash.
+        for path in ["/", "/v1", "/v1/", ""] {
+            let resp = a.handle(path);
+            assert_eq!(resp.status, AdminStatus::Ok, "{path:?}");
+            assert!(resp.body.contains("/v1/metrics"), "{path:?}");
+        }
+        // Unknown paths: NotFound, body is the index.
+        let resp = a.handle("/v2/nope");
+        assert_eq!(resp.status, AdminStatus::NotFound);
+        assert!(resp.body.contains("gridrm admin v1"));
+        // Trailing-slash tolerance folds `/v1/traces/` into the list
+        // endpoint rather than an empty trace id.
+        assert_eq!(a.handle("/v1/traces/").status, AdminStatus::Ok);
+        assert_eq!(a.handle("/v1/nope").status, AdminStatus::NotFound);
     }
 
     #[test]

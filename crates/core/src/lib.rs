@@ -49,7 +49,10 @@ pub use acil::{
     ClientInterface, ClientRequest, ClientResponse, OutcomeStatus, QueryBuilder, QueryExecutor,
     QueryMode, ResultPolicy, SourceOutcome,
 };
-pub use admin::{render_tree_text, AdminInterface, DataSourceConfig, SourceStatus, TreeNode};
+pub use admin::{
+    render_tree_text, AdminInterface, AdminResponse, AdminStatus, DataSourceConfig, SourceStatus,
+    TreeNode,
+};
 pub use alerts::{AlertEngine, AlertRule, Comparison};
 pub use cache::{CacheController, CacheSnapshot};
 pub use config::GatewayConfig;

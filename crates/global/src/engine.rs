@@ -25,7 +25,7 @@
 
 use crate::gma::ProducerEntry;
 use crate::layer::GlobalLayer;
-use crate::protocol::{self, GlobalRequest, GlobalResponse, WireIdentity};
+use crate::protocol::{GlobalRequest, GlobalResponse, WireFrame, WireIdentity};
 use gridrm_core::acil::{
     ClientRequest, ClientResponse, OutcomeStatus, QueryMode, ResultPolicy, SourceOutcome,
 };
@@ -276,7 +276,7 @@ impl GlobalLayer {
                     };
                     // The frame is the single source of truth for the
                     // bytes this segment imposes on the remote site.
-                    let frame = protocol::encode_framed(&wire);
+                    let frame = WireFrame::encode(&wire);
                     let out_cost = CostVector {
                         msgs_out: 1,
                         bytes_out: frame.len(),
@@ -286,11 +286,9 @@ impl GlobalLayer {
                     telemetry
                         .costs()
                         .intrude(&entry.site, IntrusionCause::Query, &out_cost);
-                    let sent = self.network.request_timed(
-                        &self.gma_address,
-                        &entry.gma_address,
-                        frame.bytes(),
-                    );
+                    let sent =
+                        self.transport
+                            .send_frame(&self.gma_address, &entry.gma_address, &frame);
                     let (answer, rtt_ms) = match sent {
                         Ok((bytes, rtt_us)) => {
                             let in_cost = CostVector {
@@ -303,7 +301,7 @@ impl GlobalLayer {
                                 .costs()
                                 .intrude(&entry.site, IntrusionCause::Query, &in_cost);
                             (
-                                protocol::decode::<GlobalResponse>(&bytes),
+                                WireFrame::decode::<GlobalResponse>(&bytes).map(|(r, _)| r),
                                 rtt_us.div_ceil(1000),
                             )
                         }
@@ -432,6 +430,33 @@ impl GlobalLayer {
                                 ));
                             }
                             first_err.get_or_insert(SqlError::Driver(message));
+                            failed = true;
+                            self.stats.segments_error.inc();
+                            ("error", rtt_ms)
+                        }
+                        Ok(GlobalResponse::Overloaded {
+                            queue_depth,
+                            retry_after_ms,
+                        }) => {
+                            // A serving-layer peer shed this segment at
+                            // admission; the query was never executed
+                            // there. Surface it as a retryable
+                            // connection-class failure. (Simnet peers
+                            // never produce this.)
+                            let cost = clock_delta + rtt_ms;
+                            let message = format!(
+                                "via {label}: peer overloaded \
+                                 (queue depth {queue_depth}, retry after {retry_after_ms}ms)"
+                            );
+                            for source in sources {
+                                outcomes.push(SourceOutcome::failure(
+                                    source,
+                                    OutcomeStatus::Error,
+                                    cost,
+                                    &message,
+                                ));
+                            }
+                            first_err.get_or_insert(SqlError::Connection(message.clone()));
                             failed = true;
                             self.stats.segments_error.inc();
                             ("error", rtt_ms)

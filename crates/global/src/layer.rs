@@ -2,14 +2,14 @@
 //! routing, and inter-gateway event propagation.
 
 use crate::gma::{GmaDirectory, ProducerEntry};
-use crate::protocol::{self, GlobalRequest, GlobalResponse, WireDelta, WireRows};
+use crate::protocol::{GlobalRequest, GlobalResponse, WireDelta, WireFrame, WireRows};
+use crate::transport::{FrameService, Transport};
 use gridrm_core::acil::{ClientRequest, ClientResponse, QueryExecutor, QueryMode};
 use gridrm_core::events::{EventTransmitter, GridRMEvent, Severity};
 use gridrm_core::health::HealthState;
 use gridrm_core::stream::SubscribeSpec;
 use gridrm_core::Gateway;
 use gridrm_dbc::DbcResult;
-use gridrm_simnet::{Network, Service};
 use gridrm_sqlparse::ast::Statement as SqlStatement;
 use gridrm_telemetry::{
     CostVector, Counter, IntrusionCause, Labels, Registry, SpanBuilder, DEFAULT_LATENCY_BUCKETS_MS,
@@ -233,7 +233,7 @@ pub struct SiteIntrusionRollup {
 pub struct GlobalLayer {
     pub(crate) gateway: Arc<Gateway>,
     pub(crate) directory: Arc<GmaDirectory>,
-    pub(crate) network: Arc<Network>,
+    pub(crate) transport: Arc<dyn Transport>,
     pub(crate) gma_address: String,
     pub(crate) stats: GlobalStats,
     /// Fan-out dispatch mode: `true` issues segments concurrently in
@@ -243,11 +243,24 @@ pub struct GlobalLayer {
 }
 
 impl GlobalLayer {
-    /// Attach the Global layer to `gateway`: registers the gateway as a
-    /// GMA producer for its site's hosts and serves the `{address}:gma`
-    /// endpoint.
+    /// Attach the Global layer to `gateway` over the gateway's simnet —
+    /// the deterministic default every test and experiment uses.
+    /// Registers the gateway as a GMA producer for its site's hosts and
+    /// serves the `{address}:gma` endpoint.
     pub fn attach(gateway: Arc<Gateway>, directory: Arc<GmaDirectory>) -> Arc<GlobalLayer> {
-        let network = gateway.network().clone();
+        let transport: Arc<dyn Transport> = gateway.network().clone();
+        GlobalLayer::attach_via(gateway, directory, transport)
+    }
+
+    /// Attach the Global layer to `gateway` over an explicit
+    /// [`Transport`] — the simnet for deterministic tests, `gridrm-serve`'s
+    /// TCP transport in production, or a recording wrapper for transcript
+    /// pinning. Everything else is identical to [`GlobalLayer::attach`].
+    pub fn attach_via(
+        gateway: Arc<Gateway>,
+        directory: Arc<GmaDirectory>,
+        transport: Arc<dyn Transport>,
+    ) -> Arc<GlobalLayer> {
         let config = gateway.config().clone();
         let gma_address = format!("{}:gma", config.address);
         directory.register(ProducerEntry {
@@ -259,26 +272,42 @@ impl GlobalLayer {
         let layer = Arc::new_cyclic(|this: &Weak<GlobalLayer>| GlobalLayer {
             gateway,
             directory,
-            network: network.clone(),
+            transport: transport.clone(),
             gma_address: gma_address.clone(),
             stats: GlobalStats::default(),
             parallel: AtomicBool::new(config.fanout_parallel),
             this: this.clone(),
         });
-        let weak = layer.this.clone();
-        let service: Arc<dyn Service> =
-            Arc::new(move |from: &str, req: &[u8]| match weak.upgrade() {
-                Some(layer) => layer.handle_wire(from, req),
-                None => protocol::encode(&GlobalResponse::Error {
-                    message: "gateway shut down".into(),
-                }),
-            });
-        network.register(&gma_address, service);
+        transport.serve(&gma_address, layer.wire_service());
         // Global-layer traffic shows up in the gateway's own registry.
         layer
             .stats
             .register_into(layer.gateway.telemetry().registry());
         layer
+    }
+
+    /// The transport frames travel over (simnet in tests, TCP in
+    /// production).
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
+    }
+
+    /// This layer's wire endpoint as a shareable [`FrameService`] — the
+    /// same handler [`GlobalLayer::attach_via`] registers on the
+    /// transport. A second transport (e.g. `gridrm-serve`'s TCP server
+    /// fronting a simnet-attached gateway) dispatches into the identical
+    /// decode → execute → encode → cost-charge path; the service holds
+    /// the layer weakly, so a shut-down gateway answers with a wire
+    /// error instead of keeping the world alive.
+    pub fn wire_service(&self) -> Arc<dyn FrameService> {
+        let weak = self.this.clone();
+        Arc::new(move |from: &str, req: &[u8]| match weak.upgrade() {
+            Some(layer) => layer.handle_wire(from, req),
+            None => WireFrame::encode(&GlobalResponse::Error {
+                message: "gateway shut down".into(),
+            })
+            .into_bytes(),
+        })
     }
 
     /// The wrapped gateway.
@@ -314,12 +343,13 @@ impl GlobalLayer {
     }
 
     fn handle_wire(&self, _from: &str, req: &[u8]) -> Vec<u8> {
-        let (request, inbound_bytes) = match protocol::decode_framed::<GlobalRequest>(req) {
+        let (request, inbound_bytes) = match WireFrame::decode::<GlobalRequest>(req) {
             Ok(r) => r,
             Err(e) => {
-                return protocol::encode(&GlobalResponse::Error {
+                return WireFrame::encode(&GlobalResponse::Error {
                     message: e.to_string(),
                 })
+                .into_bytes()
             }
         };
         // Classify what this wire service costs the local site: traffic
@@ -445,7 +475,7 @@ impl GlobalLayer {
                 existed: self.gateway.cancel_subscription(subscription),
             },
         };
-        let frame = protocol::encode_framed(&response);
+        let frame = WireFrame::encode(&response);
         let served = CostVector {
             msgs_in: 1,
             msgs_out: 1,
@@ -558,20 +588,20 @@ impl GlobalLayer {
                 from_gateway: my_name.clone(),
                 event: event.clone(),
             };
-            let frame = protocol::encode_framed(&wire);
+            let frame = WireFrame::encode(&wire);
             let mut cost = CostVector {
                 msgs_out: 1,
                 bytes_out: frame.len(),
                 ..CostVector::default()
             };
-            if let Ok(bytes) =
-                self.network
-                    .request(&self.gma_address, &peer.gma_address, frame.bytes())
+            if let Ok((bytes, _)) =
+                self.transport
+                    .send_frame(&self.gma_address, &peer.gma_address, &frame)
             {
                 cost.msgs_in = 1;
                 cost.bytes_in = bytes.len() as u64;
                 if matches!(
-                    protocol::decode::<GlobalResponse>(&bytes),
+                    WireFrame::decode::<GlobalResponse>(&bytes).map(|(r, _)| r),
                     Ok(GlobalResponse::EventAccepted)
                 ) {
                     self.stats.events_out.inc();
@@ -707,16 +737,17 @@ impl GlobalLayer {
         let Some(entry) = self.directory.by_name(gateway_name) else {
             return false;
         };
-        let frame = protocol::encode_framed(&GlobalRequest::Ping);
+        let frame = WireFrame::encode(&GlobalRequest::Ping);
         let mut cost = CostVector {
             msgs_out: 1,
             bytes_out: frame.len(),
             ..CostVector::default()
         };
         let answer = self
-            .network
-            .request(&self.gma_address, &entry.gma_address, frame.bytes())
-            .ok();
+            .transport
+            .send_frame(&self.gma_address, &entry.gma_address, &frame)
+            .ok()
+            .map(|(bytes, _)| bytes);
         if let Some(bytes) = &answer {
             cost.msgs_in = 1;
             cost.bytes_in = bytes.len() as u64;
@@ -725,8 +756,8 @@ impl GlobalLayer {
         costs.count(&cost);
         costs.intrude(&entry.site, IntrusionCause::Probe, &cost);
         matches!(
-            answer.and_then(|b| protocol::decode::<GlobalResponse>(&b).ok()),
-            Some(GlobalResponse::Pong { .. })
+            answer.and_then(|b| WireFrame::decode::<GlobalResponse>(&b).ok()),
+            Some((GlobalResponse::Pong { .. }, _))
         )
     }
 }

@@ -24,8 +24,12 @@ pub mod gma;
 pub mod layer;
 pub mod protocol;
 pub mod stream;
+pub mod transport;
 
 pub use gma::{GmaDirectory, ProducerEntry};
 pub use layer::{GlobalLayer, SiteHealthRollup, SiteIntrusionRollup, SiteSloRollup};
 pub use protocol::{GlobalRequest, GlobalResponse, WireDelta, WireFrame, WireIdentity, WireRows};
 pub use stream::{GridSubscription, RemoteSubscription};
+pub use transport::{
+    FrameService, RecordingTransport, Transport, TransportError, TransportExchange,
+};

@@ -253,6 +253,19 @@ pub enum GlobalResponse {
         /// Error description.
         message: String,
     },
+    /// The serving layer refused admission: the caller's queue is full
+    /// or the scheduler is saturated. Retry after the hinted delay —
+    /// the request was **not** executed. (Never produced by the simnet
+    /// path, whose virtual time admits everything; older peers decode
+    /// it like any unknown-variant error and surface a driver error.)
+    Overloaded {
+        /// Queue depth observed at rejection time.
+        #[serde(default)]
+        queue_depth: u64,
+        /// Suggested client backoff in wall-clock milliseconds.
+        #[serde(default)]
+        retry_after_ms: u64,
+    },
 }
 
 /// An encoded wire message together with its measured size.
@@ -269,6 +282,28 @@ pub struct WireFrame {
 }
 
 impl WireFrame {
+    /// Encode a message for the wire, measuring its size. This is the
+    /// supported entry point for producing wire bytes: every message a
+    /// transport carries passes through here, so the cost ledger sees
+    /// every byte.
+    pub fn encode<T: Serialize>(msg: &T) -> WireFrame {
+        encode_framed(msg)
+    }
+
+    /// Decode a message from the wire, reporting the frame size the
+    /// ledger should charge inbound. The supported counterpart of
+    /// [`WireFrame::encode`].
+    pub fn decode<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> DbcResult<(T, u64)> {
+        decode_framed(bytes)
+    }
+
+    /// Wrap already-encoded payload bytes (a frame received from a
+    /// socket being re-sent verbatim). The bytes are *not* validated;
+    /// the receiving side's [`WireFrame::decode`] does that.
+    pub fn from_bytes(bytes: Vec<u8>) -> WireFrame {
+        WireFrame { bytes }
+    }
+
     /// The frame size in bytes — what the ledger charges.
     pub fn len(&self) -> u64 {
         self.bytes.len() as u64
@@ -305,12 +340,21 @@ pub fn decode_framed<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> DbcResult<(T
     Ok((msg, bytes.len() as u64))
 }
 
-/// Encode a message for the wire (size not needed).
+/// Encode a message for the wire, discarding the size.
+///
+/// Deprecated for external use: the size-less helpers made it easy to
+/// put bytes on the wire that the cost ledger never saw. Use
+/// [`WireFrame::encode`] and charge `frame.len()`.
+#[deprecated(note = "use WireFrame::encode so wire bytes stay priced")]
 pub fn encode<T: Serialize>(msg: &T) -> Vec<u8> {
     encode_framed(msg).into_bytes()
 }
 
-/// Decode a message from the wire (size not needed).
+/// Decode a message from the wire, discarding the size.
+///
+/// Deprecated for external use for the same reason as [`encode`]: use
+/// [`WireFrame::decode`] and charge the reported inbound size.
+#[deprecated(note = "use WireFrame::decode so wire bytes stay priced")]
 pub fn decode<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> DbcResult<T> {
     decode_framed(bytes).map(|(msg, _)| msg)
 }
@@ -318,6 +362,14 @@ pub fn decode<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> DbcResult<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn enc<T: Serialize>(msg: &T) -> Vec<u8> {
+        WireFrame::encode(msg).into_bytes()
+    }
+
+    fn dec<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> DbcResult<T> {
+        WireFrame::decode(bytes).map(|(msg, _)| msg)
+    }
 
     #[test]
     fn wire_rows_roundtrip() {
@@ -355,8 +407,8 @@ mod tests {
             }),
             deadline_ms: Some(250),
         };
-        let bytes = encode(&req);
-        let back: GlobalRequest = decode(&bytes).unwrap();
+        let bytes = enc(&req);
+        let back: GlobalRequest = dec(&bytes).unwrap();
         match back {
             GlobalRequest::Query { identity, sql, .. } => {
                 assert_eq!(identity.name, "alice");
@@ -373,7 +425,7 @@ mod tests {
         // the fan-out engine additionally omit `deadline_ms`,
         // `elapsed_ms` and `outcomes`.
         let json = br#"{"Query":{"from_gateway":"gw-b","identity":{"name":"alice","roles":[]},"sources":[],"sql":"SELECT 1","max_cache_age_ms":null}}"#;
-        match decode::<GlobalRequest>(json).unwrap() {
+        match dec::<GlobalRequest>(json).unwrap() {
             GlobalRequest::Query {
                 trace, deadline_ms, ..
             } => {
@@ -384,7 +436,7 @@ mod tests {
         }
         let json =
             br#"{"Rows":{"rows":{"columns":[],"rows":[]},"warnings":[],"served_from_cache":0}}"#;
-        match decode::<GlobalResponse>(json).unwrap() {
+        match dec::<GlobalResponse>(json).unwrap() {
             GlobalResponse::Rows {
                 spans,
                 elapsed_ms,
@@ -416,7 +468,7 @@ mod tests {
             coalesced: 1,
         };
         let wire = WireDelta::from_delta(&delta);
-        let back: WireDelta = decode(&encode(&wire)).unwrap();
+        let back: WireDelta = dec(&enc(&wire)).unwrap();
         let restored = back.to_delta().unwrap();
         assert_eq!(restored.subscription, 7);
         assert_eq!(restored.seq, 3);
@@ -440,7 +492,7 @@ mod tests {
             buffer: Some(4),
             backpressure: Some(BackpressurePolicy::Coalesce),
         };
-        match decode::<GlobalRequest>(&encode(&req)).unwrap() {
+        match dec::<GlobalRequest>(&enc(&req)).unwrap() {
             GlobalRequest::Subscribe {
                 sql, backpressure, ..
             } => {
@@ -452,7 +504,7 @@ mod tests {
         // A sender that only knows the required fields still decodes:
         // cadence/buffer/policy all default.
         let json = br#"{"Subscribe":{"from_gateway":"gw-b","identity":{"name":"alice","roles":[]},"sources":["jdbc:snmp://n/p"],"sql":"SELECT 1 EVERY 100"}}"#;
-        match decode::<GlobalRequest>(json).unwrap() {
+        match dec::<GlobalRequest>(json).unwrap() {
             GlobalRequest::Subscribe {
                 every_ms,
                 buffer,
@@ -468,7 +520,7 @@ mod tests {
         // PollDeltas without `max` drains everything; a bare WireDelta
         // without removed/coalesced defaults both to zero.
         let json = br#"{"PollDeltas":{"subscription":9}}"#;
-        match decode::<GlobalRequest>(json).unwrap() {
+        match dec::<GlobalRequest>(json).unwrap() {
             GlobalRequest::PollDeltas { subscription, max } => {
                 assert_eq!(subscription, 9);
                 assert_eq!(max, 0);
@@ -476,7 +528,7 @@ mod tests {
             other => panic!("{other:?}"),
         }
         let json = br#"{"Deltas":{"deltas":[{"subscription":1,"seq":1,"emitted_ms":5,"origin":"local:gw-b","rows":{"columns":[],"rows":[]}}]}}"#;
-        match decode::<GlobalResponse>(json).unwrap() {
+        match dec::<GlobalResponse>(json).unwrap() {
             GlobalResponse::Deltas { deltas } => {
                 assert_eq!(deltas.len(), 1);
                 assert_eq!(deltas[0].removed, 0);
@@ -487,21 +539,29 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the deprecated helpers must keep working
     fn decode_garbage_errors() {
         assert!(decode::<GlobalRequest>(b"not json").is_err());
         assert!(decode_framed::<GlobalRequest>(b"not json").is_err());
+        assert!(WireFrame::decode::<GlobalRequest>(b"not json").is_err());
     }
 
     #[test]
+    #[allow(deprecated)] // pins the deprecated helpers to WireFrame's bytes
     fn framed_sizes_agree_in_both_directions() {
-        let frame = encode_framed(&GlobalRequest::Ping);
+        let frame = WireFrame::encode(&GlobalRequest::Ping);
         assert!(!frame.is_empty());
         assert_eq!(frame.len(), frame.bytes().len() as u64);
         // The receiver measures the same bytes the sender charged.
-        let (back, inbound) = decode_framed::<GlobalRequest>(frame.bytes()).unwrap();
+        let (back, inbound) = WireFrame::decode::<GlobalRequest>(frame.bytes()).unwrap();
         assert!(matches!(back, GlobalRequest::Ping));
         assert_eq!(inbound, frame.len());
-        // And the unframed helpers produce identical payloads.
+        // Re-wrapping received bytes is lossless.
+        let rewrapped = WireFrame::from_bytes(frame.bytes().to_vec());
+        assert_eq!(rewrapped.len(), frame.len());
+        // And the free helpers — framed and deprecated size-less alike —
+        // produce identical payloads.
+        assert_eq!(encode_framed(&GlobalRequest::Ping).bytes(), frame.bytes());
         assert_eq!(encode(&GlobalRequest::Ping), frame.into_bytes());
     }
 

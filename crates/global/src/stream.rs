@@ -17,7 +17,7 @@
 
 use crate::gma::ProducerEntry;
 use crate::layer::GlobalLayer;
-use crate::protocol::{self, GlobalRequest, GlobalResponse, WireIdentity};
+use crate::protocol::{GlobalRequest, GlobalResponse, WireFrame, WireIdentity};
 use gridrm_core::acil::ClientRequest;
 use gridrm_core::security::Identity;
 use gridrm_core::stream::{StreamDelta, SubscribeSpec, SubscriptionId};
@@ -118,20 +118,20 @@ impl GlobalLayer {
                 backpressure: spec.backpressure,
             };
             self.stats.remote_queries_out.inc();
-            let frame = protocol::encode_framed(&wire);
+            let frame = WireFrame::encode(&wire);
             let mut cost = CostVector {
                 msgs_out: 1,
                 bytes_out: frame.len(),
                 ..CostVector::default()
             };
             let answer = self
-                .network
-                .request(&self.gma_address, &entry.gma_address, frame.bytes())
+                .transport
+                .send_frame(&self.gma_address, &entry.gma_address, &frame)
                 .map_err(|e| SqlError::Connection(format!("{name}: {e}")))
-                .and_then(|bytes| {
+                .and_then(|(bytes, _)| {
                     cost.msgs_in = 1;
                     cost.bytes_in = bytes.len() as u64;
-                    protocol::decode::<GlobalResponse>(&bytes)
+                    WireFrame::decode::<GlobalResponse>(&bytes).map(|(r, _)| r)
                 });
             let costs = self.gateway.telemetry().costs();
             costs.count(&cost);
@@ -180,26 +180,26 @@ impl GlobalLayer {
                 max,
             };
             self.stats.remote_queries_out.inc();
-            let frame = protocol::encode_framed(&wire);
+            let frame = WireFrame::encode(&wire);
             let mut cost = CostVector {
                 msgs_out: 1,
                 bytes_out: frame.len(),
                 ..CostVector::default()
             };
-            let answer =
-                self.network
-                    .request(&self.gma_address, &remote.gma_address, frame.bytes());
-            if let Ok(bytes) = &answer {
+            let answer = self
+                .transport
+                .send_frame(&self.gma_address, &remote.gma_address, &frame);
+            if let Ok((bytes, _)) = &answer {
                 cost.msgs_in = 1;
                 cost.bytes_in = bytes.len() as u64;
             }
             let costs = self.gateway.telemetry().costs();
             costs.count(&cost);
             costs.intrude(&remote.site, IntrusionCause::Subscription, &cost);
-            let Ok(bytes) = answer else {
+            let Ok((bytes, _)) = answer else {
                 continue;
             };
-            if let Ok(GlobalResponse::Deltas { deltas }) = protocol::decode(&bytes) {
+            if let Ok((GlobalResponse::Deltas { deltas }, _)) = WireFrame::decode(&bytes) {
                 for delta in &deltas {
                     out.push(delta.to_delta()?);
                 }
@@ -223,20 +223,20 @@ impl GlobalLayer {
                 subscription: remote.subscription,
             };
             self.stats.remote_queries_out.inc();
-            let frame = protocol::encode_framed(&wire);
+            let frame = WireFrame::encode(&wire);
             let mut cost = CostVector {
                 msgs_out: 1,
                 bytes_out: frame.len(),
                 ..CostVector::default()
             };
-            if let Ok(bytes) =
-                self.network
-                    .request(&self.gma_address, &remote.gma_address, frame.bytes())
+            if let Ok((bytes, _)) =
+                self.transport
+                    .send_frame(&self.gma_address, &remote.gma_address, &frame)
             {
                 cost.msgs_in = 1;
                 cost.bytes_in = bytes.len() as u64;
                 if matches!(
-                    protocol::decode::<GlobalResponse>(&bytes),
+                    WireFrame::decode::<GlobalResponse>(&bytes).map(|(r, _)| r),
                     Ok(GlobalResponse::Unsubscribed { existed: true })
                 ) {
                     cancelled += 1;

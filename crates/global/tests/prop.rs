@@ -2,11 +2,19 @@
 
 use gridrm_core::events::{GridRMEvent, Severity};
 use gridrm_dbc::{ColumnMeta, ResultSetMetaData, RowSet};
-use gridrm_global::protocol::{decode, encode};
-use gridrm_global::{GlobalRequest, GlobalResponse, WireIdentity, WireRows};
+use gridrm_global::{GlobalRequest, GlobalResponse, WireFrame, WireIdentity, WireRows};
 use gridrm_sqlparse::{SqlType, SqlValue};
 use proptest::prelude::*;
 use proptest::strategy::ValueTree;
+use serde::{Deserialize, Serialize};
+
+fn encode<T: Serialize>(msg: &T) -> Vec<u8> {
+    WireFrame::encode(msg).into_bytes()
+}
+
+fn decode<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> gridrm_dbc::DbcResult<T> {
+    WireFrame::decode(bytes).map(|(msg, _)| msg)
+}
 
 fn arb_value() -> impl Strategy<Value = SqlValue> {
     prop_oneof![

@@ -1,0 +1,247 @@
+//! The serving benchmark: cached-query throughput and latency curves
+//! versus concurrent client count, against a real TCP socket.
+//!
+//! Every client is a closed loop — send one cached `Query` frame, wait
+//! for the reply, repeat — so offered load scales with client count
+//! and the curve shows where the worker pool saturates. The world's
+//! virtual clock does **not** advance during a run: the warm-up query
+//! leaves every source's cache at age zero, so `max_cache_age_ms`
+//! always hits and the numbers measure the serving path (framing,
+//! scheduling, dispatch, encode) rather than simulated agent RPCs.
+
+use crate::frame::{read_frame, write_frame};
+use crate::scheduler::SchedulerConfig;
+use crate::server::TcpServer;
+use crate::world::{query_frame, ServeWorld, SEED};
+use gridrm_global::{GlobalResponse, WireFrame};
+use serde::Serialize;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// The SQL every bench client runs.
+pub const BENCH_SQL: &str = "SELECT Hostname, NCpu, Load1 FROM Processor";
+
+/// One point on the throughput/latency curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchPoint {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Completed request/response round trips.
+    pub requests: u64,
+    /// Responses that decoded as `Rows`.
+    pub rows_responses: u64,
+    /// Responses that decoded as `Overloaded` (shed by admission).
+    pub shed_responses: u64,
+    /// Wire or decode errors.
+    pub errors: u64,
+    /// Round trips per wall-clock second.
+    pub qps: f64,
+    /// Median round-trip latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile round-trip latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile round-trip latency, microseconds.
+    pub p99_us: u64,
+    /// Worst observed round trip, microseconds.
+    pub max_us: u64,
+}
+
+/// The full benchmark report (serialised to `BENCH_serve.json`).
+#[derive(Debug, Serialize)]
+pub struct BenchReport {
+    /// Report format tag.
+    pub experiment: &'static str,
+    /// Latency unit used by the percentile fields.
+    pub unit: &'static str,
+    /// World seed (the simulated site is reproducible even though
+    /// wall-clock timings are not).
+    pub seed: u64,
+    /// Hosts in the simulated site.
+    pub hosts: usize,
+    /// Scheduler worker threads serving the socket.
+    pub workers: usize,
+    /// Wall-clock measurement window per point, milliseconds.
+    pub duration_ms: u64,
+    /// SQL each client ran.
+    pub sql: &'static str,
+    /// One point per client count, ascending.
+    pub curves: Vec<BenchPoint>,
+    /// `PASS` when every point completed round trips without errors.
+    pub result: String,
+}
+
+/// Run the curve: for each entry in `client_counts`, hammer a fresh
+/// [`TcpServer`] with that many closed-loop clients for `duration_ms`.
+pub fn run(client_counts: &[usize], duration_ms: u64, hosts: usize) -> BenchReport {
+    let world = ServeWorld::build(hosts);
+    // Warm every source's cache once over the simnet path; virtual time
+    // then stands still, so cached reads always hit.
+    let service = world.service();
+    for n in 0..hosts {
+        let reply = service.handle_frame(
+            "warmup",
+            &query_frame(&[world.source_url(n)], BENCH_SQL, None),
+        );
+        if !matches!(
+            WireFrame::decode::<GlobalResponse>(&reply),
+            Ok((GlobalResponse::Rows { .. }, _))
+        ) {
+            eprintln!("warmup query against source {n} did not return rows");
+        }
+    }
+    let config = SchedulerConfig::default();
+    let workers = config.workers;
+    let mut curves = Vec::with_capacity(client_counts.len());
+    for &clients in client_counts {
+        match measure_point(&world, config.clone(), clients, duration_ms, hosts) {
+            Ok(point) => {
+                println!(
+                    "  clients={:>3}  qps={:>9.0}  p50={:>6}us  p95={:>6}us  p99={:>6}us  shed={}  errors={}",
+                    point.clients,
+                    point.qps,
+                    point.p50_us,
+                    point.p95_us,
+                    point.p99_us,
+                    point.shed_responses,
+                    point.errors
+                );
+                curves.push(point);
+            }
+            Err(e) => eprintln!("  clients={clients}: bench point failed: {e}"),
+        }
+    }
+    let pass = curves.len() == client_counts.len()
+        && curves.iter().all(|p| p.requests > 0 && p.errors == 0);
+    BenchReport {
+        experiment: "serve_tcp",
+        unit: "wall_us",
+        seed: SEED,
+        hosts,
+        workers,
+        duration_ms,
+        sql: BENCH_SQL,
+        curves,
+        result: if pass { "PASS" } else { "FAIL" }.to_owned(),
+    }
+}
+
+fn measure_point(
+    world: &ServeWorld,
+    config: SchedulerConfig,
+    clients: usize,
+    duration_ms: u64,
+    hosts: usize,
+) -> std::io::Result<BenchPoint> {
+    let server = TcpServer::start("127.0.0.1:0", world.service(), config)?;
+    let addr = server.local_addr();
+    let deadline = Instant::now() + Duration::from_millis(duration_ms);
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(clients);
+    for c in 0..clients {
+        let source = world.source_url(c % hosts);
+        let handle = std::thread::Builder::new()
+            .name(format!("bench-client-{c}"))
+            .spawn(move || client_loop(addr, &source, deadline))?;
+        handles.push(handle);
+    }
+    let mut latencies_us: Vec<u64> = Vec::new();
+    let (mut rows, mut shed, mut errors) = (0u64, 0u64, 0u64);
+    for handle in handles {
+        if let Ok(sample) = handle.join() {
+            latencies_us.extend(sample.latencies_us);
+            rows += sample.rows;
+            shed += sample.shed;
+            errors += sample.errors;
+        } else {
+            errors += 1;
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    server.stop();
+    latencies_us.sort_unstable();
+    let requests = latencies_us.len() as u64;
+    Ok(BenchPoint {
+        clients,
+        requests,
+        rows_responses: rows,
+        shed_responses: shed,
+        errors,
+        qps: requests as f64 / elapsed,
+        p50_us: percentile(&latencies_us, 0.50),
+        p95_us: percentile(&latencies_us, 0.95),
+        p99_us: percentile(&latencies_us, 0.99),
+        max_us: latencies_us.last().copied().unwrap_or(0),
+    })
+}
+
+struct ClientSample {
+    latencies_us: Vec<u64>,
+    rows: u64,
+    shed: u64,
+    errors: u64,
+}
+
+fn client_loop(addr: std::net::SocketAddr, source: &str, deadline: Instant) -> ClientSample {
+    let mut sample = ClientSample {
+        latencies_us: Vec::new(),
+        rows: 0,
+        shed: 0,
+        errors: 0,
+    };
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        sample.errors += 1;
+        return sample;
+    };
+    let _ = stream.set_nodelay(true);
+    let frame = query_frame(&[source.to_owned()], BENCH_SQL, Some(3_600_000));
+    while Instant::now() < deadline {
+        let sent = Instant::now();
+        let reply = write_frame(&mut stream, &frame).and_then(|()| read_frame(&mut stream));
+        let bytes = match reply {
+            Ok(Some(bytes)) => bytes,
+            _ => {
+                sample.errors += 1;
+                break;
+            }
+        };
+        sample.latencies_us.push(sent.elapsed().as_micros() as u64);
+        match WireFrame::decode::<GlobalResponse>(&bytes) {
+            Ok((GlobalResponse::Rows { .. }, _)) => sample.rows += 1,
+            Ok((GlobalResponse::Overloaded { .. }, _)) => sample.shed += 1,
+            _ => sample.errors += 1,
+        }
+    }
+    sample
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample (0 if empty).
+fn percentile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&s, 0.50), 51);
+        assert_eq!(percentile(&s, 0.95), 95);
+        assert_eq!(percentile(&s, 0.99), 99);
+        assert_eq!(percentile(&s, 1.0), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn tiny_bench_point_completes() {
+        let report = run(&[2], 150, 2);
+        assert_eq!(report.curves.len(), 1);
+        assert!(report.curves[0].requests > 0);
+        assert_eq!(report.result, "PASS", "{report:?}");
+    }
+}

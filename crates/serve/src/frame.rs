@@ -1,0 +1,108 @@
+//! Length-prefixed framing over byte streams: `u32` big-endian payload
+//! length, then the payload — the TCP encoding of a
+//! [`WireFrame`](gridrm_global::WireFrame). The prefix carries *no*
+//! semantics beyond delimiting; the payload bytes are exactly what the
+//! simnet would have carried, so cost accounting (which prices payload
+//! bytes) agrees across transports.
+
+use std::io::{self, Read, Write};
+
+/// Refuse frames larger than this (16 MiB): a corrupt or hostile length
+/// prefix must not make the server allocate unbounded memory.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Write one frame: 4-byte big-endian length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds {MAX_FRAME_BYTES}", payload.len()),
+        ));
+    }
+    // One buffer, one write: a prefix written separately from its
+    // payload tickles Nagle/delayed-ACK stalls on real sockets.
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Read one frame. Returns `Ok(None)` on a clean close (EOF exactly at
+/// a frame boundary); a close mid-frame is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < len_buf.len() {
+        // xlint: allow(hot-path-panic) -- the loop condition guarantees filled < len_buf.len()
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-length-prefix",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds {MAX_FRAME_BYTES}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"world").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"world"[..]));
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_write_rejected() {
+        let huge = vec![0u8; MAX_FRAME_BYTES + 1];
+        let mut out = Vec::new();
+        assert!(write_frame(&mut out, &huge).is_err());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(6); // length prefix + 2 payload bytes
+        let mut r = Cursor::new(buf);
+        assert!(read_frame(&mut r).is_err());
+        // EOF mid-prefix is also an error, not a clean close.
+        let mut r = Cursor::new(vec![0u8, 0]);
+        assert!(read_frame(&mut r).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! Real-socket serving: the gateway wire protocol over TCP.
+//!
+//! Everything below the serving edge — agents, drivers, caches, the
+//! Global layer — already speaks [`WireFrame`](gridrm_global::WireFrame)
+//! through the [`Transport`](gridrm_global::Transport) API, with the
+//! deterministic simnet as the test transport. This crate supplies the
+//! production side of that API:
+//!
+//! - [`frame`]: length-prefixed framing over byte streams — `u32`
+//!   big-endian length, then the exact payload the simnet would carry.
+//! - [`scheduler`]: a worker pool with bounded per-source queues,
+//!   admission control, and FIFO load shedding (`Overloaded` replies in
+//!   request order; flooding sources are closed).
+//! - [`server`]: [`TcpServer`] (wire protocol), [`AdminServer`]
+//!   (versioned plain-text admin endpoints), and [`TcpTransport`] — a
+//!   real-socket [`Transport`](gridrm_global::Transport) implementation.
+//! - [`world`]: the served world — a simulated site fronted by real
+//!   sockets, dispatching into the gateway's canonical wire service.
+//! - [`mod@bench`]: closed-loop throughput/latency curves vs client count
+//!   (`BENCH_serve.json`).
+//!
+//! See `docs/serving.md` for the design and the determinism story.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod frame;
+pub mod scheduler;
+pub mod server;
+pub mod world;
+
+pub use frame::{read_frame, write_frame, MAX_FRAME_BYTES};
+pub use scheduler::{Admission, Scheduler, SchedulerConfig, SchedulerStats, SourceQueue};
+pub use server::{admin_request, AdminServer, TcpServer, TcpTransport};
+pub use world::{client_identity, query_frame, ServeWorld, SEED};

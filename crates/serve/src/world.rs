@@ -1,0 +1,106 @@
+//! The served world: one simulated site whose gateway answers over
+//! real sockets.
+//!
+//! The grid itself stays simulated (agents, drivers, the simnet, the
+//! virtual clock) so server behaviour is reproducible; only the serving
+//! edge is real TCP. The TCP server dispatches into
+//! [`GlobalLayer::wire_service`] — the *identical* decode → execute →
+//! encode → cost-charge path the simnet endpoint uses — so a frame
+//! over a socket and a frame over the simnet produce the same answer
+//! and the same ledger charges.
+
+use gridrm_agents::{deploy_site, SiteAgents};
+use gridrm_core::{Gateway, GatewayConfig};
+use gridrm_drivers::install_into_gateway;
+use gridrm_global::transport::FrameService;
+use gridrm_global::{GlobalLayer, GlobalRequest, GmaDirectory, WireFrame, WireIdentity};
+use gridrm_resmodel::{SiteModel, SiteSpec};
+use gridrm_simnet::{Network, SimClock};
+use std::sync::Arc;
+
+/// Fixed seed: the served world is as reproducible as the experiments.
+pub const SEED: u64 = 0x6721d;
+
+/// A single simulated site with the Global layer attached, ready to be
+/// fronted by a [`crate::server::TcpServer`].
+pub struct ServeWorld {
+    /// The simulated network.
+    pub net: Arc<Network>,
+    /// The resource model.
+    pub site: Arc<SiteModel>,
+    /// Deployed agents.
+    pub agents: SiteAgents,
+    /// The gateway (standard drivers installed).
+    pub gateway: Arc<Gateway>,
+    /// The GMA directory (single entry: this gateway).
+    pub directory: Arc<GmaDirectory>,
+    /// The Global-layer attachment whose wire service the TCP server
+    /// dispatches into.
+    pub layer: Arc<GlobalLayer>,
+}
+
+impl ServeWorld {
+    /// Build a site named `serve` with `hosts` nodes, advanced to ten
+    /// virtual minutes so metrics and history are populated.
+    pub fn build(hosts: usize) -> ServeWorld {
+        let net = Network::new(SimClock::new(), SEED);
+        let site = SiteModel::generate(SEED, &SiteSpec::new("serve", hosts, 4));
+        site.advance_to(600_000);
+        let agents = deploy_site(&net, site.clone());
+        let gateway = Gateway::new(GatewayConfig::new("gw-serve", "serve"), net.clone());
+        install_into_gateway(&gateway);
+        let directory = GmaDirectory::new();
+        let layer = GlobalLayer::attach(gateway.clone(), directory.clone());
+        ServeWorld {
+            net,
+            site,
+            agents,
+            gateway,
+            directory,
+            layer,
+        }
+    }
+
+    /// The frame service a TCP server should dispatch into.
+    pub fn service(&self) -> Arc<dyn FrameService> {
+        self.layer.wire_service()
+    }
+
+    /// Advance virtual time by `ms` and run one gateway pump cycle
+    /// (subscriptions fire, agents push). Returns deltas produced.
+    pub fn pump_once(&self, ms: u64) -> usize {
+        self.net.clock().advance(ms);
+        self.site.advance_to(self.net.clock().now_millis());
+        self.agents.pump();
+        self.gateway.pump()
+    }
+
+    /// The data-source URL of host `n` (`jdbc:snmp://nodeNN.serve/public`).
+    pub fn source_url(&self, n: usize) -> String {
+        format!("jdbc:snmp://node{n:02}.serve/public")
+    }
+}
+
+/// An encoded `GlobalRequest::Query` frame, as a wire client would
+/// produce it. `max_cache_age_ms: Some(..)` asks the gateway to serve
+/// from cache when fresh enough.
+pub fn query_frame(sources: &[String], sql: &str, max_cache_age_ms: Option<u64>) -> Vec<u8> {
+    WireFrame::encode(&GlobalRequest::Query {
+        from_gateway: "wire-client".to_owned(),
+        identity: client_identity(),
+        sources: sources.to_vec(),
+        sql: sql.to_owned(),
+        max_cache_age_ms,
+        trace: None,
+        deadline_ms: None,
+    })
+    .into_bytes()
+}
+
+/// The identity wire clients present.
+pub fn client_identity() -> WireIdentity {
+    WireIdentity {
+        name: "wire-client".to_owned(),
+        roles: vec!["admin".to_owned()],
+    }
+}

@@ -115,6 +115,10 @@ impl Config {
                 "crates/core/src/acil.rs",
                 "crates/core/src/singleflight.rs",
                 "crates/global/src/engine.rs",
+                "crates/global/src/transport.rs",
+                "crates/serve/src/frame.rs",
+                "crates/serve/src/scheduler.rs",
+                "crates/serve/src/server.rs",
             ]
             .into_iter()
             .map(str::to_owned)
