@@ -16,7 +16,7 @@ use gridrm_telemetry::{
 };
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A configured data source (one row of Fig 8's registration panel).
@@ -134,7 +134,7 @@ impl AdminResponse {
 /// The administration interface.
 pub struct AdminInterface {
     sources: RwLock<BTreeMap<String, DataSourceConfig>>,
-    health: RwLock<HashMap<String, SourceHealth>>,
+    health: RwLock<BTreeMap<String, SourceHealth>>,
     driver_manager: Arc<GridRMDriverManager>,
     cache: Arc<CacheController>,
     telemetry: RwLock<Option<GatewayTelemetry>>,
@@ -150,7 +150,7 @@ impl AdminInterface {
     ) -> AdminInterface {
         AdminInterface {
             sources: RwLock::new(BTreeMap::new()),
-            health: RwLock::new(HashMap::new()),
+            health: RwLock::new(BTreeMap::new()),
             driver_manager,
             cache,
             telemetry: RwLock::new(None),

@@ -8,7 +8,7 @@ use gridrm_dbc::RowSet;
 use gridrm_telemetry::{Counter, Labels, Registry};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A cached result with its capture time.
@@ -90,7 +90,7 @@ type Key = (String, String); // (source url, sql)
 
 /// The gateway query-result cache.
 pub struct CacheController {
-    entries: RwLock<HashMap<Key, CachedResult>>,
+    entries: RwLock<BTreeMap<Key, CachedResult>>,
     /// Default maximum age served, ms (clients may ask for fresher).
     default_ttl_ms: u64,
     stats: CacheStats,
@@ -100,7 +100,7 @@ impl CacheController {
     /// Controller with a default TTL.
     pub fn new(default_ttl_ms: u64) -> CacheController {
         CacheController {
-            entries: RwLock::new(HashMap::new()),
+            entries: RwLock::new(BTreeMap::new()),
             default_ttl_ms,
             stats: CacheStats::default(),
         }

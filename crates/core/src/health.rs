@@ -18,7 +18,7 @@ use gridrm_telemetry::{
 };
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Health of one data source as seen by the gateway.
@@ -172,7 +172,7 @@ struct SourceRecord {
 /// The per-gateway health monitor.
 pub struct HealthMonitor {
     config: HealthConfig,
-    records: RwLock<HashMap<String, SourceRecord>>,
+    records: RwLock<BTreeMap<String, SourceRecord>>,
     journal: Arc<Journal>,
     /// Transitions not yet drained by the gateway pump (for alerting).
     pending: Mutex<Vec<HealthTransition>>,
@@ -189,7 +189,7 @@ impl HealthMonitor {
                 probe_interval_ms: config.probe_interval_ms.max(1),
                 ..config
             },
-            records: RwLock::new(HashMap::new()),
+            records: RwLock::new(BTreeMap::new()),
             journal,
             pending: Mutex::new(Vec::new()),
             stats: HealthStats::default(),
@@ -552,7 +552,7 @@ mod tests {
         m.track("a");
         m.record_success("b", "d", 0);
         m.record_failure("c", None, "e", 0);
-        let counts: HashMap<&str, usize> = m
+        let counts: BTreeMap<&str, usize> = m
             .state_counts()
             .iter()
             .map(|(s, n)| (s.name(), *n))

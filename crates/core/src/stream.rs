@@ -25,7 +25,7 @@ use gridrm_telemetry::{
 };
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Identifies one subscriber on one gateway.
@@ -246,8 +246,8 @@ struct Subscriber {
 
 #[derive(Default)]
 struct Inner {
-    queries: HashMap<String, StandingQuery>,
-    subs: HashMap<SubscriptionId, Subscriber>,
+    queries: BTreeMap<String, StandingQuery>,
+    subs: BTreeMap<SubscriptionId, Subscriber>,
 }
 
 /// The subscription registry and delta pump: standing queries in,

@@ -118,6 +118,7 @@ impl SiteModel {
             for k in 0..intervals {
                 let t = last + (k + 1) * ((t_ms - last) / intervals.max(1)).max(1);
                 for p in &mut inner.pairs {
+                    // xlint: allow(lock-order) -- PairLink::measure is lock-free; the name-based call graph confuses it with the agents' NWS measure
                     p.measure(t.min(t_ms));
                 }
             }

@@ -5,13 +5,13 @@ use crate::table::{StoreError, Table};
 use gridrm_dbc::RowSet;
 use gridrm_sqlparse::{parse, Statement};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A single-threaded database: a named collection of tables.
 #[derive(Debug, Default)]
 pub struct Database {
-    tables: HashMap<String, Table>,
+    tables: BTreeMap<String, Table>,
 }
 
 impl Database {

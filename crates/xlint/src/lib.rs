@@ -10,6 +10,7 @@
 
 pub mod baseline;
 pub mod rules;
+pub mod schema;
 pub mod tokens;
 
 use proc_macro2::TokenStream;
@@ -83,6 +84,19 @@ pub struct Config {
     /// Driver-dir files exempt from the conformance rule (the DDK
     /// itself, registries, pure helpers).
     pub driver_exempt: Vec<String>,
+    /// Path prefixes of the simnet-deterministic source set audited by
+    /// the `determinism` rule. Wall-clock crates (serve, bench,
+    /// resmodel) are simply not listed.
+    pub deterministic_dirs: Vec<String>,
+    /// The one file allowed to touch the raw codec helpers
+    /// (`protocol.rs` itself) — everything else goes through
+    /// `WireFrame::encode`/`decode` (`deprecated-codec`).
+    pub codec_home: String,
+    /// Scheduling-boundary method names for the `lock-order` pass
+    /// (holding a guard across these is flagged even without a cycle).
+    pub boundary_methods: BTreeSet<String>,
+    /// Root type names the wire-schema closure starts from.
+    pub wire_roots: Vec<String>,
 }
 
 impl Config {
@@ -160,6 +174,19 @@ impl Config {
             .into_iter()
             .map(str::to_owned)
             .collect(),
+            deterministic_dirs: [
+                "crates/core/src/",
+                "crates/global/src/",
+                "crates/store/src/",
+                "crates/telemetry/src/",
+                "crates/drivers/src/",
+            ]
+            .into_iter()
+            .map(str::to_owned)
+            .collect(),
+            codec_home: "crates/global/src/protocol.rs".to_owned(),
+            boundary_methods: ["pump"].into_iter().map(str::to_owned).collect(),
+            wire_roots: vec!["GlobalRequest".to_owned(), "GlobalResponse".to_owned()],
         })
     }
 }
@@ -444,10 +471,10 @@ fn visit(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Scan the whole workspace: parse every file, run every rule, apply
-/// waivers. Returns findings sorted by (file, line, rule). Files that
-/// fail to lex are reported as `parse` findings rather than aborting.
-pub fn scan_workspace(root: &Path, config: &Config) -> io::Result<Vec<Finding>> {
+/// Parse every workspace file. Files that fail to lex come back as
+/// `parse` findings instead of aborting the scan.
+pub fn parse_workspace(root: &Path) -> io::Result<(Vec<SourceFile>, Vec<Finding>)> {
+    let mut files = Vec::new();
     let mut findings = Vec::new();
     for path in workspace_files(root)? {
         let rel = path
@@ -457,7 +484,7 @@ pub fn scan_workspace(root: &Path, config: &Config) -> io::Result<Vec<Finding>> 
             .replace('\\', "/");
         let text = fs::read_to_string(&path)?;
         match SourceFile::parse(&rel, text) {
-            Ok(sf) => findings.extend(check_file(&sf, config)),
+            Ok(sf) => files.push(sf),
             Err(e) => findings.push(Finding {
                 rule: "parse".to_owned(),
                 file: rel,
@@ -467,8 +494,48 @@ pub fn scan_workspace(root: &Path, config: &Config) -> io::Result<Vec<Finding>> 
             }),
         }
     }
+    Ok((files, findings))
+}
+
+/// Scan the whole workspace: parse every file, run every per-file rule
+/// plus the workspace-level passes, apply waivers. Returns findings
+/// sorted by (file, line, rule).
+pub fn scan_workspace(root: &Path, config: &Config) -> io::Result<Vec<Finding>> {
+    let (files, mut findings) = parse_workspace(root)?;
+    findings.extend(scan_files(&files, config));
     findings.sort();
     Ok(findings)
+}
+
+/// Run every rule over already-parsed files: per-file rules first, then
+/// the workspace-level lock-order pass (which needs the whole tree for
+/// its inter-procedural summaries). Waivers apply to both.
+pub fn scan_files(files: &[SourceFile], config: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for sf in files {
+        out.extend(check_file(sf, config));
+    }
+    out.extend(apply_file_waivers(
+        files,
+        rules::lockorder::check_workspace(files, config),
+    ));
+    out.sort();
+    out
+}
+
+/// Filter workspace-level findings through the waivers of the file each
+/// finding lands in.
+pub fn apply_file_waivers(files: &[SourceFile], findings: Vec<Finding>) -> Vec<Finding> {
+    findings
+        .into_iter()
+        .filter(|f| {
+            files
+                .iter()
+                .find(|sf| sf.rel_path == f.file)
+                .map(|sf| !sf.waived(f))
+                .unwrap_or(true)
+        })
+        .collect()
 }
 
 /// Run every rule against one parsed file and apply its waivers.
@@ -480,6 +547,8 @@ pub fn check_file(sf: &SourceFile, config: &Config) -> Vec<Finding> {
     raw.extend(rules::panics::check(sf, config));
     raw.extend(rules::locks::check(sf, config));
     raw.extend(rules::drivers::check(sf, config));
+    raw.extend(rules::determinism::check(sf, config));
+    raw.extend(rules::codec::check(sf, config));
     let mut out: Vec<Finding> = raw.into_iter().filter(|f| !sf.waived(f)).collect();
     out.sort();
     out

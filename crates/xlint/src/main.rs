@@ -1,40 +1,51 @@
 //! The `gridrm-lint` binary: scan the workspace, diff against the
-//! committed baseline, report.
+//! committed baseline and wire-schema fingerprint, report.
 //!
 //! ```text
 //! gridrm-lint [--check] [--json] [--list] [--update-baseline]
-//!             [--root <dir>] [--baseline <file>]
+//!             [--update-wire-schema] [--root <dir>] [--baseline <file>]
+//!             [--schema <file>]
 //! ```
 //!
 //! * default / `--check` — fail (exit 1) on any finding not
-//!   grandfathered in the baseline; point out ratchet opportunities.
+//!   grandfathered in the baseline, on incompatible wire-schema
+//!   evolution, or on wire-schema drift that needs a fingerprint
+//!   refresh; point out ratchet opportunities.
 //! * `--list` — print every current finding (grandfathered included).
 //! * `--json` — machine-readable findings on stdout.
 //! * `--update-baseline` — rewrite the baseline from a fresh scan.
+//! * `--update-wire-schema` — rewrite `xlint-wire-schema.json` from a
+//!   fresh scan (only after reviewing the diff for compatibility!).
 
 use gridrm_xlint::baseline::{diff, Baseline};
-use gridrm_xlint::{scan_workspace, Config};
+use gridrm_xlint::schema::{build_schema, diff_schema, WireSchema};
+use gridrm_xlint::{apply_file_waivers, parse_workspace, scan_files, Config, Finding};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
     root: PathBuf,
     baseline: PathBuf,
+    schema: PathBuf,
     json: bool,
     list: bool,
     update: bool,
+    update_schema: bool,
 }
 
 const USAGE: &str = "gridrm-lint [--check] [--json] [--list] [--update-baseline] \
-                     [--root <dir>] [--baseline <file>]";
+                     [--update-wire-schema] [--root <dir>] [--baseline <file>] \
+                     [--schema <file>]";
 
 /// `Ok(None)` means `--help` was asked for: print [`USAGE`] and stop.
 fn parse_args() -> Result<Option<Args>, String> {
     let mut root: Option<PathBuf> = None;
     let mut baseline: Option<PathBuf> = None;
+    let mut schema: Option<PathBuf> = None;
     let mut json = false;
     let mut list = false;
     let mut update = false;
+    let mut update_schema = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -42,22 +53,27 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--json" => json = true,
             "--list" => list = true,
             "--update-baseline" => update = true,
+            "--update-wire-schema" => update_schema = true,
             "--root" => root = Some(PathBuf::from(it.next().ok_or("--root needs a value")?)),
             "--baseline" => {
                 baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a value")?))
             }
+            "--schema" => schema = Some(PathBuf::from(it.next().ok_or("--schema needs a value")?)),
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
     let root = root.unwrap_or_else(find_workspace_root);
     let baseline = baseline.unwrap_or_else(|| root.join("xlint-baseline.json"));
+    let schema = schema.unwrap_or_else(|| root.join("xlint-wire-schema.json"));
     Ok(Some(Args {
         root,
         baseline,
+        schema,
         json,
         list,
         update,
+        update_schema,
     }))
 }
 
@@ -99,13 +115,57 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let findings = match scan_workspace(&args.root, &config) {
-        Ok(f) => f,
+    let (files, mut findings) = match parse_workspace(&args.root) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("gridrm-lint: scan failed: {e}");
             return ExitCode::from(2);
         }
     };
+    findings.extend(scan_files(&files, &config));
+    let (fresh_schema, schema_locs) = build_schema(&files, &config);
+
+    if args.update_schema {
+        if let Err(e) = std::fs::write(&args.schema, fresh_schema.to_json()) {
+            eprintln!("gridrm-lint: cannot write {}: {e}", args.schema.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "gridrm-lint: wire schema updated — {} type(s) reachable from {}",
+            fresh_schema.types.len(),
+            fresh_schema.roots.join(", ")
+        );
+        if !args.update {
+            return ExitCode::SUCCESS;
+        }
+    }
+
+    // Wire-schema ratchet: incompatible evolution becomes findings (so
+    // the baseline machinery and --json/--list see it); compatible drift
+    // is a --check failure with a friendlier refresh instruction.
+    let mut schema_drift = false;
+    let mut schema_missing = false;
+    match std::fs::read_to_string(&args.schema) {
+        Ok(text) => match WireSchema::from_json(&text) {
+            Ok(committed) => {
+                let schema_findings: Vec<Finding> = apply_file_waivers(
+                    &files,
+                    diff_schema(&committed, &fresh_schema, &schema_locs),
+                );
+                schema_drift = schema_findings.is_empty() && committed != fresh_schema;
+                findings.extend(schema_findings);
+            }
+            Err(e) => {
+                eprintln!(
+                    "gridrm-lint: {} is not a valid wire schema: {e}",
+                    args.schema.display()
+                );
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => schema_missing = true,
+    }
+    findings.sort();
 
     if args.update {
         let fresh = Baseline::from_findings(&findings);
@@ -175,19 +235,39 @@ fn main() -> ExitCode {
             entry.rule, entry.file, entry.count, now
         );
     }
-    if d.is_clean() {
+    if schema_missing {
+        eprintln!(
+            "gridrm-lint: {} is missing — run `gridrm-lint --update-wire-schema` and \
+             commit it (the wire-schema ratchet has nothing to diff against)",
+            args.schema.display()
+        );
+    }
+    if schema_drift {
+        eprintln!(
+            "gridrm-lint: wire schema drifted compatibly (new defaulted fields, variants \
+             or types) — review the diff, then run `gridrm-lint --update-wire-schema` \
+             and commit {}",
+            args.schema.display()
+        );
+    }
+    if d.is_clean() && !schema_missing && !schema_drift {
         println!(
-            "gridrm-lint: OK — {} finding(s), all grandfathered by {}",
+            "gridrm-lint: OK — {} finding(s), all grandfathered by {}; wire schema matches \
+             {} ({} type(s))",
             findings.len(),
-            args.baseline.display()
+            args.baseline.display(),
+            args.schema.display(),
+            fresh_schema.types.len()
         );
         ExitCode::SUCCESS
     } else {
-        eprintln!(
-            "gridrm-lint: {} bucket(s) exceed the baseline — fix the findings or add \
-             `xlint: allow(<rule>) -- <reason>` comment waivers (see docs/static-analysis.md)",
-            d.regressions.len()
-        );
+        if !d.is_clean() {
+            eprintln!(
+                "gridrm-lint: {} bucket(s) exceed the baseline — fix the findings or add \
+                 `xlint: allow(<rule>) -- <reason>` comment waivers (see docs/static-analysis.md)",
+                d.regressions.len()
+            );
+        }
         ExitCode::FAILURE
     }
 }

@@ -1,0 +1,106 @@
+//! `deprecated-codec` — all wire codec traffic goes through
+//! `WireFrame::encode` / `WireFrame::decode` (the single choke point
+//! that prices every message into the cost ledger). The free functions
+//! `protocol::encode` / `protocol::decode` and the lower-level
+//! `encode_framed` / `decode_framed` helpers were deprecated in the
+//! serving-layer PR; calling them anywhere outside
+//! `Config::codec_home` (protocol.rs itself) bypasses cost accounting
+//! and is flagged here.
+
+use crate::tokens::{for_each_seq, group_with, ident_text, is_ident, is_punct};
+use crate::{Config, Finding, SourceFile};
+use proc_macro2::Delimiter;
+
+/// Run the deprecated-codec rule over one file.
+pub fn check(sf: &SourceFile, config: &Config) -> Vec<Finding> {
+    if sf.rel_path == config.codec_home {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for_each_seq(&sf.tokens, &mut |seq| {
+        for i in 0..seq.len() {
+            let Some(name) = ident_text(&seq[i]) else {
+                continue;
+            };
+            // `protocol::encode(..)` / `protocol::decode(..)` path calls.
+            if name == "protocol"
+                && matches!((seq.get(i + 1), seq.get(i + 2)),
+                    (Some(a), Some(b)) if is_punct(a, ':') && is_punct(b, ':'))
+            {
+                if let Some(m) = seq.get(i + 3).and_then(ident_text) {
+                    let called = seq
+                        .get(i + 4)
+                        .map(|t| {
+                            group_with(t, Delimiter::Parenthesis).is_some() || is_punct(t, ':')
+                        })
+                        .unwrap_or(false);
+                    if (m == "encode" || m == "decode") && called {
+                        let at = seq[i + 3].span().start();
+                        out.push(Finding {
+                            rule: "deprecated-codec".to_owned(),
+                            file: sf.rel_path.clone(),
+                            line: at.line,
+                            column: at.column + 1,
+                            message: format!(
+                                "deprecated `protocol::{m}` — use `WireFrame::{m}` so the \
+                                 message is priced into the cost ledger"
+                            ),
+                        });
+                    }
+                }
+            }
+            // `encode_framed(..)` / `decode_framed(..)` calls, bare or
+            // path-qualified (definitions and `use` imports are not
+            // calls — no argument list follows them).
+            if name == "encode_framed" || name == "decode_framed" {
+                let prev_is_def = i > 0 && is_ident(&seq[i - 1], "fn");
+                let mut next = i + 1;
+                // Skip a turbofish before the argument list.
+                if matches!((seq.get(next), seq.get(next + 1)),
+                    (Some(a), Some(b)) if is_punct(a, ':') && is_punct(b, ':'))
+                {
+                    next += 2;
+                    if matches!(seq.get(next), Some(t) if is_punct(t, '<')) {
+                        let mut depth = 0i32;
+                        while next < seq.len() {
+                            if is_punct(&seq[next], '<') {
+                                depth += 1;
+                            } else if is_punct(&seq[next], '>') {
+                                depth -= 1;
+                                if depth == 0 {
+                                    next += 1;
+                                    break;
+                                }
+                            }
+                            next += 1;
+                        }
+                    }
+                }
+                let called = seq
+                    .get(next)
+                    .and_then(|t| group_with(t, Delimiter::Parenthesis))
+                    .is_some();
+                if called && !prev_is_def {
+                    let at = seq[i].span().start();
+                    out.push(Finding {
+                        rule: "deprecated-codec".to_owned(),
+                        file: sf.rel_path.clone(),
+                        line: at.line,
+                        column: at.column + 1,
+                        message: format!(
+                            "deprecated `{name}` — use `WireFrame::{}` so the message is \
+                             priced into the cost ledger",
+                            if name == "encode_framed" {
+                                "encode"
+                            } else {
+                                "decode"
+                            }
+                        ),
+                    });
+                }
+            }
+        }
+    });
+    out.sort();
+    out
+}

@@ -2,7 +2,10 @@
 //! `check(&SourceFile, &Config) -> Vec<Finding>`; waiver filtering
 //! happens in [`crate::check_file`].
 
+pub mod codec;
+pub mod determinism;
 pub mod drivers;
+pub mod lockorder;
 pub mod locks;
 pub mod metrics;
 pub mod panics;
@@ -16,6 +19,10 @@ pub const RULES: &[&str] = &[
     "stage-vocab",
     "hot-path-panic",
     "lock-across-dispatch",
+    "lock-order",
+    "determinism",
+    "deprecated-codec",
+    "wire-schema",
     "driver-conformance",
     "waiver-syntax",
     "parse",

@@ -1,0 +1,16 @@
+//! Fixture: deprecated raw codec calls outside `protocol.rs`. Parsed by
+//! the tests, never compiled.
+
+use gridrm_global::protocol;
+
+pub fn ship(msg: &GlobalRequest) -> Vec<u8> {
+    protocol::encode(msg)
+}
+
+pub fn relay(bytes: &[u8]) -> DbcResult<GlobalRequest> {
+    let frame = encode_framed(&GlobalRequest::Ping);
+    let _ = frame;
+    let (msg, _cost) = decode_framed::<GlobalRequest>(bytes)?;
+    let _ = protocol::decode::<GlobalResponse>(bytes);
+    Ok(msg)
+}

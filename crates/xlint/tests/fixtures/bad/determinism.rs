@@ -1,0 +1,50 @@
+//! Fixture: wall-clock reads, real sleeps, entropy and hash-order
+//! iteration inside a simnet-deterministic module. Parsed by the tests,
+//! never compiled.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Instant, SystemTime};
+
+pub struct Snapshotter {
+    seen: HashMap<String, u64>,
+    tags: HashSet<String>,
+}
+
+impl Snapshotter {
+    pub fn stamp(&self) -> u64 {
+        let _t0 = Instant::now();
+        let _t1 = SystemTime::now();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        0
+    }
+
+    pub fn rows(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for (k, v) in self.seen.iter() {
+            out.push((k.clone(), *v));
+        }
+        for t in &self.tags {
+            out.push((t.clone(), 0));
+        }
+        out
+    }
+
+    pub fn jitter(&self) -> u64 {
+        rand::random::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let s = Snapshotter {
+            seen: HashMap::new(),
+            tags: HashSet::new(),
+        };
+        let _ = Instant::now();
+        for (_k, _v) in s.seen.iter() {}
+    }
+}

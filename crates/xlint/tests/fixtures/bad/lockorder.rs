@@ -1,0 +1,36 @@
+//! Fixture: opposite lock orders across two functions — one side
+//! acquires directly, the other through a helper (exercising the
+//! inter-procedural summaries) — plus a guard held across the `pump`
+//! scheduling boundary. Parsed by the tests, never compiled.
+
+use parking_lot::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u32 {
+        let gb = self.b.lock();
+        let x = self.grab_a();
+        drop(gb);
+        x
+    }
+
+    fn grab_a(&self) -> u32 {
+        *self.a.lock()
+    }
+
+    pub fn across_pump(&self, gw: &Gateway) {
+        let ga = self.a.lock();
+        gw.pump(10);
+        drop(ga);
+    }
+}

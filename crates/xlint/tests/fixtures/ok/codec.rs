@@ -1,0 +1,28 @@
+//! Fixture: the blessed codec path — everything goes through
+//! `WireFrame`. Imports and same-named definitions are not calls.
+//! Parsed by the tests, never compiled.
+
+use gridrm_global::protocol::encode_framed;
+
+pub fn ship(msg: &GlobalRequest) -> WireFrame {
+    WireFrame::encode(msg)
+}
+
+pub fn receive(bytes: &[u8]) -> DbcResult<(GlobalRequest, u64)> {
+    WireFrame::decode(bytes)
+}
+
+pub mod shim {
+    /// A local `encode` — not `protocol::encode`.
+    pub fn encode(x: u8) -> u8 {
+        x
+    }
+}
+
+pub fn uses_local(x: u8) -> u8 {
+    shim::encode(x)
+}
+
+fn encode_framed_like() -> u8 {
+    0
+}

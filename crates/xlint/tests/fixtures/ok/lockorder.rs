@@ -1,0 +1,39 @@
+//! Fixture: consistent `a` → `b` acquisition order everywhere (directly
+//! and through a helper), guards dropped before the `pump` boundary,
+//! and statement temporaries. Parsed by the tests, never compiled.
+
+use parking_lot::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    pub fn also_forward(&self) -> u32 {
+        let ga = self.a.lock();
+        let x = *ga + self.grab_b();
+        x
+    }
+
+    fn grab_b(&self) -> u32 {
+        *self.b.lock()
+    }
+
+    pub fn before_pump(&self, gw: &Gateway) {
+        let ga = self.a.lock();
+        let snapshot = *ga;
+        drop(ga);
+        gw.pump(snapshot as u64);
+    }
+
+    pub fn temporaries(&self) -> u32 {
+        *self.a.lock() + *self.b.lock()
+    }
+}

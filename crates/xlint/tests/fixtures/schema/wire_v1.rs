@@ -1,0 +1,32 @@
+//! Schema-ratchet fixture: baseline wire protocol (v1). Reachable
+//! closure from root `Req` is {Req, Envelope, Payload}; `Unreachable`
+//! stays outside the fingerprint. Parsed, never compiled.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Envelope {
+    pub from: String,
+    pub cost: u64,
+    #[serde(default)]
+    pub trace: Option<String>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Req {
+    Ping,
+    Query {
+        env: Envelope,
+        sql: String,
+        rows: Payload,
+    },
+    Bye(u32),
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Payload(pub Vec<String>, pub u32);
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Unreachable {
+    pub x: u8,
+}

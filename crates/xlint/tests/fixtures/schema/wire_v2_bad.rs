@@ -1,0 +1,33 @@
+//! Schema-ratchet fixture: an *incompatible* evolution of v1 — a field
+//! added without `#[serde(default)]`, a field type change, a removed
+//! variant, reordered surviving variants, and a lost tuple slot. Every
+//! one must produce a `wire-schema` finding. Parsed, never compiled.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Envelope {
+    pub from: String,
+    pub cost: i64,
+    #[serde(default)]
+    pub trace: Option<String>,
+    pub peer: String,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Req {
+    Query {
+        env: Envelope,
+        sql: String,
+        rows: Payload,
+    },
+    Ping,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Payload(pub Vec<String>);
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Unreachable {
+    pub x: u8,
+}

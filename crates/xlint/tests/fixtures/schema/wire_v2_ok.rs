@@ -1,0 +1,42 @@
+//! Schema-ratchet fixture: a *compatible* evolution of v1 — a defaulted
+//! field, a new trailing variant, and a new type pulled into the
+//! closure. The ratchet reports no findings but the fingerprint drifts
+//! (so `--check` still demands `--update-wire-schema`). Parsed, never
+//! compiled.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Envelope {
+    pub from: String,
+    pub cost: u64,
+    #[serde(default)]
+    pub trace: Option<String>,
+    #[serde(default)]
+    pub hops: u32,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Req {
+    Ping,
+    Query {
+        env: Envelope,
+        sql: String,
+        rows: Payload,
+    },
+    Bye(u32),
+    Subscribe { every: Cadence },
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Payload(pub Vec<String>, pub u32);
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cadence {
+    pub every_ms: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Unreachable {
+    pub x: u8,
+}

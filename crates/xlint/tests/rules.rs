@@ -2,7 +2,7 @@
 //! and a fixture it stays silent on. Fixtures live under
 //! `tests/fixtures/{ok,bad}/` and are parsed, never compiled.
 
-use gridrm_xlint::{check_file, Config, Finding, SourceFile};
+use gridrm_xlint::{check_file, scan_files, Config, Finding, SourceFile};
 use std::collections::BTreeSet;
 
 fn fixture(rel: &str) -> String {
@@ -45,6 +45,16 @@ fn test_config() -> Config {
         .collect(),
         driver_dir: "crates/drivers/src/".to_owned(),
         driver_exempt: vec!["crates/drivers/src/base.rs".to_owned()],
+        deterministic_dirs: vec![
+            "crates/core/src/".to_owned(),
+            "crates/global/src/".to_owned(),
+            "crates/store/src/".to_owned(),
+            "crates/telemetry/src/".to_owned(),
+            "crates/drivers/src/".to_owned(),
+        ],
+        codec_home: "crates/global/src/protocol.rs".to_owned(),
+        boundary_methods: ["pump"].into_iter().map(str::to_owned).collect(),
+        wire_roots: vec!["GlobalRequest".to_owned(), "GlobalResponse".to_owned()],
     }
 }
 
@@ -165,6 +175,88 @@ fn waivers_only_cover_their_own_rule() {
     let sf = SourceFile::parse("crates/core/src/cross.rs", src.to_owned()).expect("parses");
     let f = check_file(&sf, &test_config());
     assert_eq!(count(&f, "stage-vocab"), 1, "{f:#?}");
+}
+
+#[test]
+fn determinism_fires_on_wall_clock_entropy_and_hash_iteration() {
+    let f = scan(
+        "bad/determinism.rs",
+        "crates/core/src/determinism_fixture.rs",
+    );
+    // Instant::now + SystemTime::now + thread::sleep + rand:: +
+    // seen.iter() + `for .. in &self.tags` — and nothing from the
+    // #[cfg(test)] module.
+    assert_eq!(count(&f, "determinism"), 6, "{f:#?}");
+}
+
+#[test]
+fn determinism_passes_ordered_orderless_and_waived_code() {
+    let f = scan(
+        "ok/determinism.rs",
+        "crates/core/src/determinism_fixture.rs",
+    );
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn determinism_ignores_wall_clock_crates() {
+    let f = scan(
+        "bad/determinism.rs",
+        "crates/serve/src/determinism_fixture.rs",
+    );
+    assert_eq!(count(&f, "determinism"), 0, "{f:#?}");
+}
+
+#[test]
+fn deprecated_codec_fires_on_raw_codec_calls() {
+    let f = scan("bad/codec.rs", "crates/core/src/codec_fixture.rs");
+    // protocol::encode + encode_framed + decode_framed::<..> +
+    // protocol::decode::<..>.
+    assert_eq!(count(&f, "deprecated-codec"), 4, "{f:#?}");
+}
+
+#[test]
+fn deprecated_codec_passes_wireframe_imports_and_definitions() {
+    let f = scan("ok/codec.rs", "crates/core/src/codec_fixture.rs");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn deprecated_codec_exempts_the_codec_home() {
+    let f = scan("bad/codec.rs", "crates/global/src/protocol.rs");
+    assert_eq!(count(&f, "deprecated-codec"), 0, "{f:#?}");
+}
+
+#[test]
+fn lock_order_detects_cycle_through_helper_and_pump_boundary() {
+    let sf = SourceFile::parse(
+        "crates/core/src/lockorder_fixture.rs",
+        fixture("bad/lockorder.rs"),
+    )
+    .expect("fixture parses");
+    let f = scan_files(std::slice::from_ref(&sf), &test_config());
+    // One cycle (forward locks a→b, backward locks b then a via
+    // grab_a's summary) and one guard held across pump.
+    assert_eq!(count(&f, "lock-order"), 2, "{f:#?}");
+    assert!(
+        f.iter().any(|x| x.message.contains("lock-order cycle")),
+        "{f:#?}"
+    );
+    assert!(
+        f.iter().any(|x| x.message.contains("scheduling boundary")),
+        "{f:#?}"
+    );
+}
+
+#[test]
+fn lock_order_passes_consistent_order_and_dropped_guards() {
+    let sf = SourceFile::parse(
+        "crates/core/src/lockorder_fixture.rs",
+        fixture("ok/lockorder.rs"),
+    )
+    .expect("fixture parses");
+    let f = scan_files(std::slice::from_ref(&sf), &test_config());
+    assert!(f.is_empty(), "{f:#?}");
 }
 
 #[test]

@@ -1,0 +1,67 @@
+//! Static-analysis report: run every `gridrm-lint` rule plus the
+//! wire-schema extraction over this very workspace and print the result —
+//! the same data `--check` gates CI on, consumable as a dashboard.
+//!
+//! Run with: `cargo run --example xlint_report` (human summary) or
+//! `cargo run --example xlint_report -- --json` (machine-readable).
+
+use gridrm_xlint::schema::build_schema;
+use gridrm_xlint::{parse_workspace, scan_files, Config};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let config = Config::for_workspace(root).expect("workspace config");
+    let (files, parse_findings) = parse_workspace(root).expect("parse workspace");
+    let mut findings = parse_findings;
+    findings.extend(scan_files(&files, &config));
+    findings.sort();
+    let (schema, _locs) = build_schema(&files, &config);
+
+    if json {
+        let findings_json = serde_json::to_string_pretty(&findings).expect("findings serialize");
+        let schema_json = schema.to_json();
+        println!(
+            "{{\n\"files_scanned\": {},\n\"findings\": {},\n\"wire_schema\": {}\n}}",
+            files.len(),
+            findings_json,
+            schema_json.trim_end()
+        );
+        return;
+    }
+
+    println!("gridrm-lint report — {} file(s) scanned", files.len());
+    println!();
+    if findings.is_empty() {
+        println!("findings: none — the ratchet baseline stays empty");
+    } else {
+        let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
+        for f in &findings {
+            *by_rule.entry(f.rule.as_str()).or_default() += 1;
+        }
+        println!("findings by rule:");
+        for (rule, n) in &by_rule {
+            println!("  {rule:<24} {n}");
+        }
+        println!();
+        for f in &findings {
+            println!("  {}:{} [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+    }
+    println!();
+    println!(
+        "wire schema: {} type(s) reachable from {:?} (fingerprint v{})",
+        schema.types.len(),
+        schema.roots,
+        schema.version
+    );
+    for t in &schema.types {
+        let shape = match t.kind.as_str() {
+            "enum" => format!("{} variant(s)", t.variants.len()),
+            _ => format!("{} field(s)", t.fields.len()),
+        };
+        println!("  {:<20} {:<6} {shape:<14} {}", t.name, t.kind, t.file);
+    }
+}
